@@ -1,0 +1,34 @@
+"""Bench ``aggregate``: aggregate-only measurement (Section 7 extension)."""
+
+import numpy as np
+
+from repro.core.estimators import AggregateEstimator, cross_section
+
+
+def test_aggregate_series(bench_experiment):
+    result = bench_experiment("aggregate")
+    for row in result.rows:
+        # With the recommended memory the aggregate-only scheme delivers
+        # QoS within a small factor of the per-flow scheme (both measured
+        # as exact time fractions on independent runs).
+        if row["T_m_over_Th_tilde"] >= 1.0:
+            per_flow = max(row["p_f_per_flow"], 1e-4)
+            assert row["p_f_aggregate"] <= 10.0 * per_flow
+            # And comparable utilization (within a few percent).
+            assert abs(row["util_aggregate"] - row["util_per_flow"]) < 0.05
+
+
+def test_aggregate_estimator_kernel(benchmark):
+    estimator = AggregateEstimator(variance_memory=10.0, mean_memory=10.0)
+    section = cross_section(np.full(100, 1.0))
+    estimator.observe(section)
+    state = {"t": 0.0}
+
+    def kernel():
+        state["t"] += 0.1
+        estimator.advance(state["t"])
+        estimator.observe(section)
+        return estimator.estimate()
+
+    out = benchmark(kernel)
+    assert out.mu > 0.0

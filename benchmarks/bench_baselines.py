@@ -1,0 +1,33 @@
+"""Bench ``baselines``: controller comparison on a common workload (Sec 6)."""
+
+
+def test_baselines_series(bench_experiment):
+    result = bench_experiment("baselines")
+    p_q = result.params["p_q"]
+    rows = {row["scheme"]: row for row in result.rows}
+
+    # The fragile scheme misses; the paper's schemes hold.
+    assert rows["ce-memoryless"]["p_f_sim"] > 3.0 * p_q
+    assert rows["ce-memory"]["p_f_sim"] <= 4.0 * p_q
+    assert rows["adjusted"]["p_f_sim"] <= 3.0 * p_q
+    assert rows["perfect"]["p_f_sim"] <= 3.0 * p_q
+
+    # Peak allocation is safe but wasteful.
+    assert rows["peak-rate"]["p_f_sim"] < 1e-6
+    assert rows["peak-rate"]["utilization"] < 0.7
+
+    # The paper's schemes track perfect-knowledge utilization closely.
+    reference = rows["perfect"]["utilization"]
+    assert rows["ce-memory"]["utilization"] > reference - 0.05
+    assert rows["adjusted"]["utilization"] > reference - 0.07
+
+
+def test_controller_decision_kernel(benchmark):
+    """Time one admission decision (estimate -> target count)."""
+    from repro.core.controllers import CertaintyEquivalentController
+    from repro.core.estimators import BandwidthEstimate
+
+    controller = CertaintyEquivalentController(100.0, 1e-3)
+    estimate = BandwidthEstimate(mu=1.0, sigma=0.3, n=90)
+    value = benchmark(lambda: controller.admission_slack(estimate, 88))
+    assert value >= 0

@@ -1,0 +1,37 @@
+"""Bench ``buffer``: bufferless overflow bounds buffered loss (Section 2)."""
+
+import pytest
+
+from repro.simulation.buffered import BufferedLink
+
+
+def test_buffer_series(bench_experiment):
+    result = bench_experiment("buffer")
+    rows = sorted(result.rows, key=lambda r: r["buffer_size"])
+    losses = [row["loss_fraction"] for row in rows]
+    # Monotone: more buffer, less loss (same trajectory => exact).
+    assert losses == sorted(losses, reverse=True)
+    # Buffer 0 reproduces the bufferless lost-work fraction (up to the
+    # accumulation order of the two independent integrators).
+    zero = rows[0]
+    assert zero["buffer_size"] == 0.0
+    assert zero["loss_fraction"] == pytest.approx(
+        zero["bufferless_loss_fraction"], rel=1e-6
+    )
+    # Every buffered loss is bounded by the bufferless measures.
+    for row in rows:
+        assert row["loss_fraction"] <= row["bufferless_loss_fraction"] + 1e-12
+        assert row["loss_time_fraction"] <= row["bufferless_overflow_time"] + 1e-12
+
+
+def test_buffered_link_kernel(benchmark):
+    link = BufferedLink(capacity=10.0, buffer_size=5.0)
+    state = {"toggle": False}
+
+    def kernel():
+        state["toggle"] = not state["toggle"]
+        link.accumulate(12.0 if state["toggle"] else 8.0, 0.5)
+        return link.loss_fraction
+
+    value = benchmark(kernel)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,80 @@
+"""Ablation bench: event-driven vs vectorized engine throughput.
+
+Not a paper figure -- this quantifies the design trade-off DESIGN.md calls
+out: the exact continuous-time engine pays per-event interpreter cost, the
+vectorized engine amortizes across flows.  Reported as simulated-time
+throughput on the fig5 workload.
+"""
+
+import numpy as np
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import ExponentialMemoryEstimator
+from repro.simulation.engine import EventDrivenEngine
+from repro.simulation.fast import FastEngine, as_vector_model
+from repro.traffic.rcbr import paper_rcbr_source
+
+CAPACITY = 100.0
+HOLDING = 1000.0
+CHUNK = 200.0  # simulated time per benchmark round
+
+
+def _controller():
+    return CertaintyEquivalentController(CAPACITY, 1e-3)
+
+
+def test_event_engine_throughput(benchmark):
+    engine = EventDrivenEngine(
+        source=paper_rcbr_source(),
+        controller=_controller(),
+        estimator=ExponentialMemoryEstimator(10.0),
+        capacity=CAPACITY,
+        holding_time=HOLDING,
+        rng=np.random.default_rng(0),
+    )
+    engine.run_until(50.0)  # warm
+
+    def kernel():
+        engine.run_until(engine.time + CHUNK)
+
+    benchmark.pedantic(kernel, rounds=5, iterations=1)
+    assert engine.n_flows > 0
+
+
+def test_fast_engine_throughput(benchmark):
+    source = paper_rcbr_source()
+    engine = FastEngine(
+        model=as_vector_model(source),
+        controller=_controller(),
+        estimator=ExponentialMemoryEstimator(10.0),
+        capacity=CAPACITY,
+        holding_time=HOLDING,
+        dt=0.1,
+        rng=np.random.default_rng(0),
+    )
+    engine.run_until(50.0)
+
+    def kernel():
+        engine.run_until(engine.time + CHUNK)
+
+    benchmark.pedantic(kernel, rounds=5, iterations=1)
+    assert engine.n_flows > 0
+
+
+def test_exponential_estimator_update(benchmark):
+    """Micro-bench: one exact filter advance+observe cycle."""
+    from repro.core.estimators import cross_section
+
+    estimator = ExponentialMemoryEstimator(10.0)
+    section = cross_section(np.full(100, 1.0))
+    estimator.observe(section)
+    state = {"t": 0.0}
+
+    def kernel():
+        state["t"] += 0.1
+        estimator.advance(state["t"])
+        estimator.observe(section)
+        return estimator.estimate()
+
+    out = benchmark(kernel)
+    assert out.mu > 0.0

@@ -1,0 +1,33 @@
+"""Bench ``fig10``: the robustness surface by simulation (RCBR workload)."""
+
+
+def test_fig10_series(bench_experiment):
+    result = bench_experiment("fig10")
+    p_ce = result.params["p_ce"]
+    rows = result.rows
+    small = [r for r in rows if r["T_m_over_Th_tilde"] < 0.3]
+    ruled = [r for r in rows if r["T_m_over_Th_tilde"] >= 1.0]
+    assert small and ruled
+    # Small memory violates the target somewhere in the sweep...
+    assert any(r["p_f_sim"] > 3.0 * p_ce for r in small)
+    # ... while T_m >= T_h_tilde holds it (allowing one noisy point).
+    misses = [r for r in ruled if r["p_f_sim"] > 3.0 * p_ce]
+    assert len(misses) <= max(0, len(ruled) // 4)
+
+
+def test_fig10_simulation_kernel(benchmark):
+    from repro.experiments.sweeps import simulate_rcbr_point
+
+    def kernel():
+        return simulate_rcbr_point(
+            n=100.0,
+            holding_time=1000.0,
+            correlation_time=1.0,
+            memory=100.0,
+            p_ce=1e-3,
+            max_time=500.0,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert result.simulated_time > 0.0

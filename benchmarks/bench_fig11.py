@@ -1,0 +1,34 @@
+"""Bench ``fig11``: LRD ("Starwars-like") traffic, memoryless MBAC."""
+
+import numpy as np
+
+from repro.traffic.lrd import synthetic_video_trace
+
+
+def test_fig11_series(bench_experiment):
+    result = bench_experiment("fig11")
+    p_q = result.params["p_ce"]
+    misses = [row["p_f_sim"] / p_q for row in result.rows]
+    # Memoryless estimation on LRD traffic misses the target badly: by an
+    # order of magnitude at standard quality, at least severalfold even on
+    # the single short smoke point.
+    required = 10.0 if len(misses) > 1 else 3.0
+    assert max(misses) > required
+    # ... and every point violates it.
+    assert all(m > 1.0 for m in misses)
+    # Degradation worsens (weakly) as holding times grow: compare ends.
+    if len(misses) > 1:
+        assert misses[-1] > misses[0]
+
+
+def test_fig11_trace_synthesis_kernel(benchmark):
+    """Time the exact fGn trace synthesis (the workload generator)."""
+    rng = np.random.default_rng(0)
+
+    def kernel():
+        return synthetic_video_trace(
+            n_segments=1 << 14, segment_time=1.0, hurst=0.85, rng=rng
+        )
+
+    trace = benchmark(kernel)
+    assert trace.rates.size == 1 << 14

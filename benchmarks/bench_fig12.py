@@ -1,0 +1,41 @@
+"""Bench ``fig12``: LRD traffic with the memory rule ``T_m = T_h_tilde``."""
+
+import numpy as np
+
+from repro.simulation.fast import VectorTrace
+from repro.traffic.lrd import synthetic_video_trace
+
+
+def test_fig12_series(bench_experiment):
+    result = bench_experiment("fig12")
+    p_q = result.params["p_ce"]
+    # The memory rule is robust across the whole holding-time sweep,
+    # LRD notwithstanding (allow one noisy point at 3x).
+    misses = [row for row in result.rows if row["p_f_sim"] > 3.0 * p_q]
+    assert len(misses) <= max(0, len(result.rows) // 4)
+
+
+def test_fig12_vs_fig11_contrast(bench_experiment, experiment_runner):
+    """The paper's side-by-side: same sweep, memory on vs off."""
+    memoryless = experiment_runner("fig11")
+    ruled = bench_experiment("fig12")  # session-cached; timing ~ cache hit
+    worst_11 = max(row["p_f_sim"] for row in memoryless.rows)
+    worst_12 = max(row["p_f_sim"] for row in ruled.rows)
+    assert worst_12 < 0.3 * worst_11
+
+
+def test_fig12_playback_kernel(benchmark, rng=np.random.default_rng(1)):
+    """Time the vectorized trace playback (one engine step's model work)."""
+    trace = synthetic_video_trace(
+        n_segments=1 << 12, segment_time=1.0, hurst=0.85, rng=rng
+    )
+    model = VectorTrace(trace)
+    rates, state = model.sample(rng, 400)
+    active = np.ones(400, dtype=bool)
+
+    def kernel():
+        model.advance(rng, rates, state, active, 1.0)
+        return rates
+
+    out = benchmark(kernel)
+    assert out.shape == (400,)

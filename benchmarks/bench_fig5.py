@@ -1,0 +1,49 @@
+"""Bench ``fig5``: p_f vs memory window, theory (37)/(38) vs simulation."""
+
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+
+def test_fig5_series(bench_experiment):
+    result = bench_experiment("fig5")
+    theory = [row["p_f_theory38"] for row in result.rows]
+    sim = [row["p_f_sim"] for row in result.rows]
+    # Theory curve strictly decreasing in memory.
+    assert theory == sorted(theory, reverse=True)
+    # Simulation improves by >= an order of magnitude from memoryless to
+    # the largest window.
+    assert sim[-1] < 0.1 * max(sim[0], 1e-12)
+    # Theory conservative w.r.t. simulation at every point (paper's Fig 5),
+    # within the sampled estimate's own confidence interval (at p ~ 1e-3 a
+    # single extra overflow sample moves the point estimate by ~1/n_samples).
+    for row in result.rows:
+        slack = 3.0 * row["sim_ci"] if row["sim_ci"] is not None else 0.0
+        assert row["p_f_sim"] - slack <= 3.0 * row["p_f_theory38"] + 1e-4
+
+
+def test_fig5_theory_kernel(benchmark):
+    """Time the eqn (37) numerical integration at the fig5 operating point."""
+    model = ContinuousLoadModel(
+        correlation_time=1.0, holding_time_scaled=100.0, snr=0.3, memory=10.0
+    )
+    value = benchmark(lambda: overflow_probability(model, p_ce=1e-3))
+    assert 0.0 < value < 1.0
+
+
+def test_fig5_simulation_kernel(benchmark):
+    """Time a short continuous-load simulation chunk (the sweep's unit of
+    work)."""
+    from repro.experiments.sweeps import simulate_rcbr_point
+
+    def kernel():
+        return simulate_rcbr_point(
+            n=100.0,
+            holding_time=1000.0,
+            correlation_time=1.0,
+            memory=10.0,
+            p_ce=1e-3,
+            max_time=500.0,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert result.simulated_time > 0.0

@@ -1,0 +1,30 @@
+"""Bench ``fig6``: adjusted target p_ce(T_m) by inversion of eqn (38)."""
+
+from repro.theory.inversion import adjusted_ce_alpha
+
+
+def test_fig6_series(bench_experiment):
+    result = bench_experiment("fig6")
+    # Within each (n, T_h) curve, alpha_ce decreases (p_ce rises) with T_m.
+    curves = {}
+    for row in result.rows:
+        curves.setdefault((row["n"], row["T_h"]), []).append(row["alpha_ce"])
+    for key, alphas in curves.items():
+        assert alphas == sorted(alphas, reverse=True), key
+    # Small T_m demands extreme conservatism (paper: p_ce << p_q).
+    first = result.rows[0]
+    assert first["log10_p_ce"] < -6.0
+
+
+def test_fig6_inversion_kernel(benchmark):
+    alpha = benchmark(
+        lambda: adjusted_ce_alpha(
+            1e-3,
+            memory=10.0,
+            correlation_time=1.0,
+            holding_time_scaled=100.0,
+            snr=0.3,
+            formula="separation",
+        )
+    )
+    assert alpha > 3.0

@@ -1,0 +1,34 @@
+"""Bench ``eqn21``: the finite-holding-time overflow curve (Section 3.2)."""
+
+import numpy as np
+
+from repro.theory.finite_holding import overflow_probability_curve
+
+
+def test_eqn21_series(bench_experiment):
+    result = bench_experiment("eqn21")
+    sim = [row["p_f_sim"] for row in result.rows]
+    theory = [row["p_f_eqn21"] for row in result.rows]
+    # Shape: start at zero, a clear interior peak, decay at the tail.
+    assert sim[0] == 0.0
+    assert max(sim) > 0.0
+    assert sim[-1] <= 0.1 * max(sim)
+    peak_sim = int(np.argmax(sim))
+    peak_theory = int(np.argmax(theory))
+    assert abs(peak_sim - peak_theory) <= 3  # peaks in the same region
+
+
+def test_eqn21_kernel(benchmark):
+    times = np.geomspace(0.05, 300.0, 50)
+
+    def kernel():
+        return overflow_probability_curve(
+            times,
+            p_q=1e-2,
+            snr=0.3,
+            holding_time_scaled=50.0,
+            correlation_time=1.0,
+        )
+
+    curve = benchmark(kernel)
+    assert curve.shape == times.shape

@@ -1,0 +1,38 @@
+"""Bench ``hetero``: heterogeneity makes the MBAC conservative (Sec 5.4)."""
+
+from repro.traffic.heterogeneous import mixture_moments
+
+
+def test_hetero_series(bench_experiment):
+    result = bench_experiment("hetero")
+    p_q = result.params["p_ce"]
+    for row in result.rows:
+        # The homogeneity-assuming variance estimator over-estimates as
+        # soon as class means differ (the ratio-1 row is the homogeneous
+        # control where the bias is exactly zero) ...
+        assert row["mixture_std"] >= row["within_std"]
+        if row["mean_ratio"] > 1.0:
+            assert row["mixture_std"] > row["within_std"]
+        # ... so QoS is protected ...
+        assert row["p_f_sim"] <= 3.0 * p_q
+        # ... at a utilization cost relative to a class-aware controller.
+        assert row["utilization_mbac"] <= row["utilization_class_aware"] + 0.02
+
+
+def test_hetero_bias_grows_with_separation(bench_experiment):
+    result = bench_experiment("hetero")
+    rows = sorted(result.rows, key=lambda r: r["mean_ratio"])
+    if len(rows) >= 2:
+        biases = [r["bias_var"] for r in rows]
+        assert biases == sorted(biases)
+
+
+def test_mixture_moment_kernel(benchmark):
+    value = benchmark(
+        lambda: mixture_moments(
+            [0.25, 0.25, 0.25, 0.25],
+            [0.5, 1.0, 2.0, 4.0],
+            [0.15, 0.3, 0.6, 1.2],
+        )
+    )
+    assert value.between_class_variance > 0.0

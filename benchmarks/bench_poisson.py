@@ -1,0 +1,50 @@
+"""Bench ``poisson``: finite arrival rates approach the continuous-load
+worst case from below (the paper's Section 4 justification)."""
+
+import math
+
+
+def test_poisson_series(bench_experiment):
+    result = bench_experiment("poisson")
+    finite = [r for r in result.rows if math.isfinite(r["load_factor"])]
+    infinite = [r for r in result.rows if not math.isfinite(r["load_factor"])]
+    assert finite and len(infinite) == 1
+    reference = infinite[0]["p_f_time_fraction"]
+    # Continuous load is the worst case: every finite-rate point is at or
+    # below the infinite-rate reference (plus sampling slack).
+    for row in finite:
+        assert row["p_f_time_fraction"] <= 2.0 * reference + 1e-3
+    # Blocking rises with offered load.
+    blocking = [row["blocking_probability"] for row in finite]
+    assert blocking == sorted(blocking)
+    # Light load: essentially no blocking; heavy load: substantial.
+    assert blocking[0] < 0.05
+    assert blocking[-1] > 0.3
+
+
+def test_poisson_arrival_kernel(benchmark):
+    """Time the Poisson-load engine on a short horizon."""
+    import numpy as np
+
+    from repro.core.controllers import CertaintyEquivalentController
+    from repro.core.estimators import make_estimator
+    from repro.simulation.arrivals import PoissonLoadEngine
+    from repro.traffic.rcbr import paper_rcbr_source
+
+    source = paper_rcbr_source()
+
+    def kernel():
+        engine = PoissonLoadEngine(
+            source=source,
+            controller=CertaintyEquivalentController(50.0, 1e-2),
+            estimator=make_estimator(10.0),
+            capacity=50.0,
+            holding_time=200.0,
+            arrival_rate=1.0,
+            rng=np.random.default_rng(0),
+        )
+        engine.run_until(100.0)
+        return engine
+
+    engine = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert engine.n_offered > 0

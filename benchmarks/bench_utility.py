@@ -1,0 +1,24 @@
+"""Bench ``utility``: adaptive applications vs the overflow metric (Sec 7)."""
+
+from repro.core.utility import ConcaveUtility, gaussian_utility_loss
+
+
+def test_utility_series(bench_experiment):
+    result = bench_experiment("utility")
+    for row in result.rows:
+        # Step utility reproduces the overflow-time metric exactly.
+        assert row["loss_step"] == row["overflow_time_fraction"]
+        # Elastic applications lose far less utility on the same path.
+        if row["loss_step"] > 1e-4:
+            assert row["loss_linear"] < 0.2 * row["loss_step"]
+            assert row["loss_concave"] < row["loss_linear"]
+
+
+def test_gaussian_utility_kernel(benchmark):
+    utility = ConcaveUtility(4.0)
+    value = benchmark(
+        lambda: gaussian_utility_loss(
+            utility, capacity=100.0, mean=96.0, std=4.0
+        )
+    )
+    assert 0.0 < value < 1.0

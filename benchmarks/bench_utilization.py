@@ -1,0 +1,28 @@
+"""Bench ``util40``: the utilization cost of conservatism (eqn (40))."""
+
+from repro.theory.utilization import utilization_difference
+
+
+def test_util40_series(bench_experiment):
+    result = bench_experiment("util40")
+    rows = result.rows
+    assert rows
+    # More memory -> less conservatism -> higher utilization (weak check
+    # end-to-end: compare the two ends of the sweep).
+    assert rows[-1]["alpha_ce"] < rows[0]["alpha_ce"]
+    assert rows[-1]["sim_utilization"] > rows[0]["sim_utilization"] - 0.01
+    # The predicted utilization delta tracks the simulated one in sign and
+    # rough magnitude (both as fractions of capacity).
+    n = result.params["n"]
+    for row in rows:
+        predicted_frac = row["delta_util_eqn40"] / n
+        simulated_frac = row["sim_utilization"] - rows[-1]["sim_utilization"]
+        assert predicted_frac <= 0.0
+        assert abs(predicted_frac - simulated_frac) < 0.08
+
+
+def test_eqn40_kernel(benchmark):
+    value = benchmark(
+        lambda: utilization_difference(100.0, 0.3, 1e-3, 1e-6)
+    )
+    assert value > 0.0

@@ -1,0 +1,87 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` regenerates one paper artifact (figure / proposition):
+a module-scoped fixture runs the experiment once at the configured quality,
+prints the series (through the terminal reporter, so it is visible in a
+normal ``pytest benchmarks/ --benchmark-only`` run) and persists it to
+``benchmarks/results/<id>.json``; the ``benchmark`` fixture then times the
+experiment's computational kernel.
+
+Environment:
+    REPRO_BENCH_QUALITY = smoke | standard | full   (default: standard)
+    REPRO_BENCH_SEED    = int                        (default: 0)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import render, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_QUALITY = os.environ.get("REPRO_BENCH_QUALITY", "standard")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Write a line to the real stdout, bypassing output capture.
+
+    ``terminalreporter.write_line`` alone is not enough: with the default
+    fd-level capture and a piped (non-tty) stdout, pytest swallows reporter
+    writes made during a test.  Temporarily disabling global capture makes
+    the series tables reach ``pytest benchmarks/ | tee bench_output.txt``.
+    """
+    capmanager = request.config.pluginmanager.get_plugin("capturemanager")
+    reporter = request.config.pluginmanager.get_plugin("terminalreporter")
+
+    def _emit(text: str) -> None:
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print(text, flush=True)
+        elif reporter is not None:  # pragma: no cover - fallback path
+            reporter.write_line(text)
+
+    return _emit
+
+
+@pytest.fixture
+def bench_experiment(benchmark, experiment_runner):
+    """Generate an experiment's series under the benchmark timer.
+
+    ``--benchmark-only`` skips tests that never touch the ``benchmark``
+    fixture, so the series-generation tests time the (session-cached)
+    experiment run itself: the first test to request an id pays and reports
+    the real generation cost, later ones the cache hit.
+    """
+
+    def _run(experiment_id: str):
+        return benchmark.pedantic(
+            experiment_runner, args=(experiment_id,), rounds=1, iterations=1
+        )
+
+    return _run
+
+
+@pytest.fixture(scope="session")
+def experiment_runner(emit):
+    """Run an experiment once per session, print + persist the series."""
+    cache = {}
+
+    def _run(experiment_id: str):
+        if experiment_id not in cache:
+            result = run_experiment(
+                experiment_id, quality=BENCH_QUALITY, seed=BENCH_SEED
+            )
+            emit("")
+            emit(render(result))
+            path = result.save(RESULTS_DIR)
+            emit(f"   [series saved to {path}]")
+            cache[experiment_id] = result
+        return cache[experiment_id]
+
+    return _run

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Adaptive applications and the QoS metric (the paper's Section 7 outlook).
+
+The overflow probability treats any bandwidth shortfall as total failure.
+Real applications adapt: a video codec at 97% of its target rate is barely
+degraded.  This example instruments one MBAC trajectory with three utility
+meters -- hard real-time (step), perfectly elastic (linear) and
+diminishing-returns elastic (concave) -- and shows how much cheaper the
+same overload events are for adaptive traffic, across the memory sweep.
+
+Run:  python examples/adaptive_applications.py
+"""
+
+from repro.core.utility import ConcaveUtility, LinearUtility, StepUtility
+from repro.core.utility import gaussian_utility_loss
+from repro.experiments.exp_utility import run as run_utility
+from repro.experiments.report import render
+
+
+def main() -> None:
+    result = run_utility(quality="standard", seed=3)
+    print(render(result))
+
+    print(
+        "\nReading the table: loss_step IS the overflow-time fraction (the "
+        "paper's metric);\nelastic applications lose 1-2 orders of magnitude "
+        "less utility on the same paths,\nbecause a bufferless link in "
+        "overload still delivers c/S (typically > 95%) of demand."
+    )
+
+    # Theory-side illustration with a Gaussian aggregate near capacity.
+    c, mean, std = 100.0, 96.0, 4.0
+    print(f"\nGaussian illustration (c={c:.0f}, aggregate ~ N({mean:.0f}, "
+          f"{std:.0f}^2)): expected utility loss")
+    for utility in [StepUtility(), LinearUtility(), ConcaveUtility(4.0)]:
+        loss = gaussian_utility_loss(utility, capacity=c, mean=mean, std=std)
+        print(f"  {utility.name:<8} {loss:.3e}")
+    print(
+        "\nImplication: for adaptive traffic the MBAC can run with a much "
+        "less conservative\ntarget (or less memory) at equal delivered "
+        "utility -- the trade-off the paper's\nSection 7 anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Compare admission-control schemes on one workload (Section 6 context).
+
+Runs every controller in the library -- the paper's schemes and the
+prior-work baselines it discusses -- on the identical continuous-load RCBR
+workload, and prints each scheme's operating point: achieved overflow
+probability vs mean utilization.  A good scheme sits at (<= p_q, high
+utilization); the Pareto frontier is anchored by the perfect-knowledge
+controller.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.experiments.exp_baselines import run as run_baselines
+from repro.experiments.report import render
+
+
+def main() -> None:
+    result = run_baselines(quality="standard", seed=1)
+    print(render(result))
+
+    p_q = result.params["p_q"]
+    print("\nReading the table:")
+    for row in result.rows:
+        verdict = "meets QoS" if row["p_f_sim"] <= 2.0 * p_q else "VIOLATES QoS"
+        print(
+            f"  {row['scheme']:<15} {verdict:<13} "
+            f"(p_f/p_q = {row['p_f_sim'] / p_q:8.2f}, "
+            f"utilization {row['utilization']:.1%})"
+        )
+    print(
+        "\nExpected pattern: 'ce-memoryless' blows through the target by ~2 "
+        "orders; 'peak-rate' is safe\nbut wastes half the link; 'ce-memory' "
+        "sits within a small factor of the target (the masking-\nregime "
+        "(snr*alpha+1)x residual, plus sampling noise at p ~ 1e-3); the fully "
+        "robust 'adjusted'\nscheme -- memory plus the inverted conservative "
+        "target -- holds the target outright while\nmatching the perfect "
+        "controller's utilization to within a point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Capacity planning with measurement uncertainty (Section 3 insights).
+
+A network operator sizing a link usually asks: *how many flows fit at QoS
+p_q?*  This example walks the paper's impulsive-load theory as a planning
+toolkit:
+
+* the perfect-knowledge count ``m*`` and its sqrt(n) safety margin (eqn 5);
+* the sqrt(2) law: what actually happens if you admit by measurement with
+  certainty equivalence (Prop 3.3) -- validated by Monte Carlo;
+* the conservative target that restores QoS (eqn 15) and its utilization
+  price (both analytic and simulated);
+* why this never goes away with scale: the sensitivity analysis (s_mu vs
+  s_sigma).
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.core.gaussian import q_inverse
+from repro.simulation.impulsive import steady_state_overflow_mc
+from repro.theory.impulsive import (
+    adjusted_target_impulsive,
+    ce_overflow_probability,
+    mean_sensitivity,
+    perfect_knowledge_count,
+    std_sensitivity,
+    utilization_loss_impulsive,
+)
+from repro.traffic.marginals import TruncatedGaussianMarginal
+
+P_Q = 1e-3
+SNR = 0.3
+
+
+def main() -> None:
+    marginal = TruncatedGaussianMarginal.from_cv(1.0, SNR)
+    rng = np.random.default_rng(0)
+    p_ce = float(adjusted_target_impulsive(P_Q))
+    limit = float(ce_overflow_probability(P_Q))
+
+    print(f"target p_q = {P_Q:g}  (alpha_q = {q_inverse(P_Q):.3f});  "
+          f"flows: mean 1, CV {SNR}")
+    print(f"sqrt(2) law: certainty equivalence delivers p_f -> {limit:.3e} "
+          f"regardless of link size")
+    print(f"eqn (15) fix: run the admission test at p_ce = {p_ce:.3e}\n")
+
+    header = (
+        f"{'n':>6} {'m* (perfect)':>13} {'margin':>7} "
+        f"{'p_f CE (sim)':>13} {'p_f adj (sim)':>14} {'util loss':>10}"
+    )
+    print(header)
+    for n in [100, 400, 1600]:
+        m_star = perfect_knowledge_count(n, marginal.mean, marginal.std, P_Q)
+        ce = steady_state_overflow_mc(
+            n=n, marginal=marginal, p_q=P_Q, n_reps=40000, rng=rng
+        )
+        adjusted = steady_state_overflow_mc(
+            n=n, marginal=marginal, p_q=p_ce, n_reps=40000, rng=rng
+        )
+        loss = utilization_loss_impulsive(n, marginal.std, P_Q)
+        print(
+            f"{n:>6} {m_star:>13.1f} {n - m_star:>7.1f} "
+            f"{ce.probability:>13.3e} {adjusted.probability:>14.3e} "
+            f"{loss:>10.2f}"
+        )
+
+    print("\nWhy it never averages out (sensitivities at n, relative error "
+          "units):")
+    for n in [100, 1600]:
+        s_mu = mean_sensitivity(n, 1.0, SNR, P_Q)
+        s_sigma = std_sensitivity(SNR, P_Q)
+        print(
+            f"  n = {n:>5}: dp_f/d(mu_hat) = {s_mu:9.3f}  "
+            f"dp_f/d(sigma_hat) = {s_sigma:8.4f}  "
+            f"(mean sensitivity grows ~sqrt(n); estimator error shrinks "
+            f"~1/sqrt(n) -- they cancel)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Finite arrival rates: blocking, overflow, and the worst-case model.
+
+The paper analyzes an *infinite* arrival rate ("continuous load") because
+it upper-bounds every finite-rate system.  This example makes that premise
+concrete: flows arrive as a Poisson process and are blocked (cleared) when
+the MBAC says no.  Sweeping the offered load shows
+
+* the overflow probability approaching the continuous-load value from
+  below, and
+* the blocking probability rising along the classical Erlang-like curve --
+  in fact, with CBR flows the engine *is* an M/M/m/m queue, and we check
+  it against the Erlang-B formula directly.
+
+Run:  python examples/finite_arrival_rates.py
+"""
+
+import numpy as np
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import MemorylessEstimator
+from repro.experiments.exp_poisson import run as run_poisson
+from repro.experiments.report import render
+from repro.simulation.arrivals import PoissonLoadEngine, erlang_b
+from repro.traffic.marginals import DeterministicMarginal
+from repro.traffic.rcbr import RcbrSource
+
+
+def erlang_check() -> None:
+    """CBR flows: the engine must reproduce Erlang B."""
+    servers, holding = 10, 10.0
+    capacity = servers + 0.5
+    print(f"\n=== Erlang-B cross-check ({servers} circuits, M/M/m/m) ===")
+    print(f"{'offered (erl)':>14} {'simulated B':>12} {'Erlang B':>10}")
+    source = RcbrSource(DeterministicMarginal(1.0), correlation_time=5.0)
+    for i, offered in enumerate([4.0, 8.0, 12.0]):
+        engine = PoissonLoadEngine(
+            source=source,
+            controller=CertaintyEquivalentController(capacity, 1e-6),
+            estimator=MemorylessEstimator(),
+            capacity=capacity,
+            holding_time=holding,
+            arrival_rate=offered / holding,
+            rng=np.random.default_rng(100 + i),
+        )
+        engine.run_until(300.0)
+        engine.reset_statistics()
+        engine.run_until(6000.0)
+        print(
+            f"{offered:>14.1f} {engine.blocking_probability():>12.4f} "
+            f"{erlang_b(offered, servers):>10.4f}"
+        )
+
+
+def main() -> None:
+    result = run_poisson(quality="standard", seed=2)
+    print(render(result))
+    print(
+        "\nReading the table: overflow rises toward the load_factor=inf "
+        "(continuous-load) row from\nbelow -- the paper's worst-case premise "
+        "-- while blocking climbs toward saturation."
+    )
+    erlang_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: run a measurement-based admission controller on one link.
+
+Sets up the paper's canonical scenario -- a bufferless link carrying RCBR
+flows with Gaussian marginal (sigma/mu = 0.3) under infinite offered load --
+and compares three admission schemes:
+
+* certainty-equivalent MBAC without memory (the fragile scheme),
+* the same MBAC with the paper's memory rule ``T_m = T_h / sqrt(n)``,
+* the perfect-knowledge controller (the benchmark).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimulationConfig,
+    ce_overflow_probability,
+    critical_time_scale,
+    paper_rcbr_source,
+    simulate,
+)
+from repro.core.controllers import PerfectKnowledgeController
+
+# --- scenario ---------------------------------------------------------------
+N = 100.0  # system size: capacity in units of per-flow mean bandwidth
+HOLDING_TIME = 1000.0  # mean flow lifetime T_h
+CORRELATION_TIME = 1.0  # traffic burst time-scale T_c
+P_Q = 1e-2  # QoS target: overflow probability
+MAX_TIME = 2e4  # simulated time budget per run
+
+source = paper_rcbr_source(mean=1.0, cv=0.3, correlation_time=CORRELATION_TIME)
+capacity = N * source.mean
+t_h_tilde = critical_time_scale(HOLDING_TIME, N)
+
+
+def run(label: str, **overrides) -> None:
+    config = SimulationConfig(
+        source=source,
+        capacity=capacity,
+        holding_time=HOLDING_TIME,
+        p_q=P_Q,
+        max_time=MAX_TIME,
+        seed=7,
+        **overrides,
+    )
+    result = simulate(config)
+    print(
+        f"{label:<22} p_f = {result.overflow_probability:9.3e}"
+        f"   utilization = {result.mean_utilization:5.1%}"
+        f"   mean flows = {result.mean_flows:5.1f}"
+        f"   ({result.stop_reason})"
+    )
+
+
+def main() -> None:
+    print(f"link capacity {capacity:.0f}, target p_q = {P_Q:g}, "
+          f"critical time-scale T_h_tilde = {t_h_tilde:.0f}\n")
+
+    run("MBAC, memoryless", p_ce=P_Q, memory=0.0)
+    run("MBAC, T_m = T_h_tilde", p_ce=P_Q, memory=t_h_tilde)
+    run(
+        "perfect knowledge",
+        controller=PerfectKnowledgeController(
+            source.mean, source.std, capacity, P_Q
+        ),
+    )
+
+    print(
+        "\nTheory check: even in the *easiest* measurement-based setting "
+        "(one admission burst, Prop 3.3),\ncertainty equivalence degrades "
+        f"p_q = {P_Q:g} to Q(alpha_q/sqrt(2)) = "
+        f"{float(ce_overflow_probability(P_Q)):.3e}; the continuous-load "
+        "memoryless scheme above is worse still.\nThe memory rule restores "
+        "the target at a small utilization cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Robust MBAC design workflow (the paper's engineering recipe, Sec 5).
+
+Given a link, a QoS target and rough knowledge of the flow holding time,
+design a robust MBAC in three steps and validate it by simulation:
+
+1. size the memory window with the rule ``T_m = T_h_tilde = T_h / sqrt(n)``;
+2. compute the conservative certainty-equivalent parameter ``alpha_ce`` by
+   inverting the overflow formula (eqn (37));
+3. verify by simulation that the achieved overflow probability meets the
+   target over a wide range of (unknown!) traffic correlation time-scales --
+   the masking/repair robustness of Fig 9/10.
+
+Run:  python examples/robust_design.py
+"""
+
+from repro import SimulationConfig, paper_rcbr_source, simulate
+from repro.core.gaussian import q_function
+from repro.core.memory import critical_time_scale
+from repro.theory.inversion import adjusted_ce_alpha
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+from repro.theory.regimes import classify_regime
+
+# --- requirements -----------------------------------------------------------
+N = 100.0
+HOLDING_TIME = 1000.0
+P_Q = 1e-2
+SNR = 0.3  # engineering estimate of per-flow sigma/mu
+DESIGN_T_C = 1.0  # nominal correlation time used at design time
+MAX_TIME = 2e4
+
+
+def main() -> None:
+    t_h_tilde = critical_time_scale(HOLDING_TIME, N)
+    memory = t_h_tilde  # step 1: the memory rule
+
+    # Step 2: invert eqn (37) for the conservative target.
+    alpha_ce = adjusted_ce_alpha(
+        P_Q,
+        memory=memory,
+        correlation_time=DESIGN_T_C,
+        holding_time_scaled=t_h_tilde,
+        snr=SNR,
+        formula="general",
+    )
+    print("=== design ===")
+    print(f"T_h_tilde = {t_h_tilde:.1f}  =>  memory T_m = {memory:.1f}")
+    print(f"alpha_ce = {alpha_ce:.3f}  (p_ce = {q_function(alpha_ce):.3e}, "
+          f"vs plain p_q = {P_Q:g})")
+
+    # Step 3: validate across a sweep of true correlation time-scales the
+    # designer did NOT know.
+    print("\n=== validation sweep over the unknown T_c ===")
+    print(f"{'T_c':>8} {'regime':>10} {'theory p_f':>12} {'simulated p_f':>14} "
+          f"{'meets target':>13}")
+    for i, true_t_c in enumerate([0.1, 0.3, 1.0, 3.0, 10.0, 100.0]):
+        model = ContinuousLoadModel(
+            correlation_time=true_t_c,
+            holding_time_scaled=t_h_tilde,
+            snr=SNR,
+            memory=memory,
+        )
+        predicted = overflow_probability(model, alpha=alpha_ce)
+        source = paper_rcbr_source(mean=1.0, cv=SNR, correlation_time=true_t_c)
+        result = simulate(
+            SimulationConfig(
+                source=source,
+                capacity=N * source.mean,
+                holding_time=HOLDING_TIME,
+                alpha_ce=alpha_ce,
+                memory=memory,
+                p_q=P_Q,
+                max_time=MAX_TIME,
+                seed=20 + i,
+            )
+        )
+        ok = result.overflow_probability <= 2.0 * P_Q
+        print(
+            f"{true_t_c:>8.1f} {classify_regime(model).value:>10} "
+            f"{predicted:>12.3e} {result.overflow_probability:>14.3e} "
+            f"{'yes' if ok else 'NO':>13}"
+        )
+
+    print(
+        "\nShort T_c: the memory window masks the burst structure; long "
+        "T_c: departures repair\nslow estimate drift before it can hurt.  "
+        "One design, robust across two orders of magnitude of T_c."
+    )
+
+
+if __name__ == "__main__":
+    main()

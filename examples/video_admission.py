@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Admitting long-range-dependent video flows (the Fig 11/12 scenario).
+
+VBR video traffic is long-range dependent: it fluctuates at *every*
+time-scale, so no measurement window can ever "see all of it".  The paper's
+striking claim is that this does not matter: the MBAC only needs to predict
+traffic over the critical time-scale ``T_h_tilde`` -- slower fluctuations
+are absorbed by flow departures, faster ones are smoothed by the estimator
+memory.
+
+This example synthesizes a Starwars-like LRD trace (exact fractional
+Gaussian noise, Hurst 0.85 -- see DESIGN.md for the substitution), measures
+its Hurst exponent, and then shows the memoryless MBAC failing by an order
+of magnitude while the ``T_m = T_h_tilde`` rule holds the QoS target.
+
+Run:  python examples/video_admission.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import SimulationConfig, simulate
+from repro.core.memory import critical_time_scale
+from repro.processes.autocorr import hurst_aggregated_variance
+from repro.traffic.lrd import starwars_like_source
+
+N = 100.0
+P_Q = 1e-2
+HOLDING_TIMES = [300.0, 1000.0, 3000.0]
+MAX_TIME = 3e4
+
+
+def main() -> None:
+    source = starwars_like_source(
+        n_segments=1 << 15,
+        segment_time=1.0,
+        renegotiation_period=None,
+        mean=1.0,
+        cv=0.3,
+        hurst=0.85,
+        rng=np.random.default_rng(42),
+    )
+    hurst = hurst_aggregated_variance(source.trace.rates)
+    print(
+        f"synthetic video trace: {source.trace.rates.size} segments, "
+        f"mean {source.mean:.3f}, CV {source.std / source.mean:.3f}, "
+        f"measured Hurst {hurst:.2f}"
+    )
+    print(f"empirical integral correlation time: "
+          f"{source.empirical_correlation_time():.1f} segments "
+          f"(LRD: diverges with the window)\n")
+
+    print(f"{'T_h':>7} {'T_h_tilde':>10} | {'memoryless p_f':>15} "
+          f"{'miss factor':>12} | {'T_m=T_h_tilde p_f':>18} {'ok?':>4}")
+    for i, t_h in enumerate(HOLDING_TIMES):
+        t_h_tilde = critical_time_scale(t_h, N)
+
+        def run(memory: float, seed: int):
+            return simulate(
+                SimulationConfig(
+                    source=source,
+                    capacity=N * source.mean,
+                    holding_time=t_h,
+                    p_ce=P_Q,
+                    memory=memory,
+                    p_q=P_Q,
+                    max_time=MAX_TIME,
+                    seed=seed,
+                )
+            )
+
+        memoryless = run(0.0, seed=50 + i)
+        ruled = run(t_h_tilde, seed=70 + i)
+        print(
+            f"{t_h:>7.0f} {t_h_tilde:>10.0f} | "
+            f"{memoryless.overflow_probability:>15.3e} "
+            f"{memoryless.overflow_probability / P_Q:>11.1f}x | "
+            f"{ruled.overflow_probability:>18.3e} "
+            f"{'yes' if ruled.overflow_probability <= 2 * P_Q else 'NO':>4}"
+        )
+
+    print(
+        "\nThe memoryless scheme degrades as T_h grows (admission errors "
+        "persist longer);\nthe memory rule tracks the critical time-scale "
+        "and stays at the target despite LRD."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks the `wheel` package needed for PEP 660 editable wheels
+(`pip install -e . --no-build-isolation --no-use-pep517`).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro: robust measurement-based admission control.
+
+A complete reproduction of Grossglauser & Tse, *A Framework for Robust
+Measurement-Based Admission Control* (SIGCOMM 1997 / UCB ERL M98/17):
+
+* :mod:`repro.core` -- the paper's contribution: the Gaussian admission
+  criterion, memoryless and exponential-memory estimators, the
+  certainty-equivalent / adjusted-target controllers, baselines.
+* :mod:`repro.theory` -- every analytic result (Props 3.1/3.3, eqns (21),
+  (30)-(41)), plus the robust-target inversion.
+* :mod:`repro.traffic` -- RCBR, Markov-fluid, on-off, trace and synthetic
+  LRD video sources.
+* :mod:`repro.processes` -- OU, fGn, generic stationary Gaussian sampling,
+  Monte-Carlo boundary crossing.
+* :mod:`repro.simulation` -- event-driven and vectorized engines, the
+  paper's measurement/termination protocol, impulsive-load Monte Carlo.
+* :mod:`repro.experiments` -- one module per figure/result of the paper.
+
+Quickstart::
+
+    from repro import SimulationConfig, simulate, paper_rcbr_source
+
+    source = paper_rcbr_source(correlation_time=1.0)
+    result = simulate(SimulationConfig(
+        source=source, capacity=100.0, holding_time=1000.0,
+        p_ce=1e-3, memory=10.0, max_time=2e4, seed=7,
+    ))
+    print(result.overflow_probability)
+"""
+
+from repro.core import (
+    AdmissionCriterion,
+    CertaintyEquivalentController,
+    ExponentialMemoryEstimator,
+    MemorylessEstimator,
+    PerfectKnowledgeController,
+    admissible_flow_count,
+    critical_time_scale,
+    make_estimator,
+    q_function,
+    q_inverse,
+    recommended_memory,
+)
+from repro.simulation import SimulationConfig, SimulationResult, simulate
+from repro.theory import (
+    ContinuousLoadModel,
+    adjusted_ce_alpha,
+    adjusted_ce_target,
+    ce_overflow_probability,
+    overflow_probability,
+    overflow_probability_separation,
+)
+from repro.traffic import paper_rcbr_source, starwars_like_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionCriterion",
+    "CertaintyEquivalentController",
+    "ContinuousLoadModel",
+    "ExponentialMemoryEstimator",
+    "MemorylessEstimator",
+    "PerfectKnowledgeController",
+    "SimulationConfig",
+    "SimulationResult",
+    "__version__",
+    "adjusted_ce_alpha",
+    "adjusted_ce_target",
+    "admissible_flow_count",
+    "ce_overflow_probability",
+    "critical_time_scale",
+    "make_estimator",
+    "overflow_probability",
+    "overflow_probability_separation",
+    "paper_rcbr_source",
+    "q_function",
+    "q_inverse",
+    "recommended_memory",
+    "simulate",
+    "starwars_like_source",
+]

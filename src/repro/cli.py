@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the available paper experiments.
+``run EXPERIMENT``
+    Run one experiment (see DESIGN.md's index) and print its table.
+``simulate``
+    Run a single MBAC simulation on the paper's RCBR workload.
+``theory``
+    Evaluate the overflow-probability formulas at one parameter point.
+``design``
+    The robust-MBAC design recipe: memory rule + inverted target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.core.gaussian import log_q_function, q_function
+from repro.core.memory import critical_time_scale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Robust measurement-based admission control "
+            "(Grossglauser & Tse, SIGCOMM 1997) -- reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one paper experiment")
+    run.add_argument("experiment", help="experiment id (see `repro list`)")
+    run.add_argument(
+        "--quality",
+        choices=("smoke", "standard", "full"),
+        default="standard",
+        help="statistical weight / runtime trade-off",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--save", metavar="DIR", default=None, help="also write <id>.json here"
+    )
+
+    sim = sub.add_parser(
+        "simulate", help="simulate one MBAC configuration (RCBR workload)"
+    )
+    sim.add_argument("--n", type=float, default=100.0, help="system size c/mu")
+    sim.add_argument("--holding-time", type=float, default=1000.0)
+    sim.add_argument("--correlation-time", type=float, default=1.0)
+    sim.add_argument("--snr", type=float, default=0.3, help="per-flow sigma/mu")
+    sim.add_argument("--p-ce", type=float, default=1e-3)
+    sim.add_argument(
+        "--memory",
+        type=float,
+        default=None,
+        help="estimator memory T_m (default: the T_h/sqrt(n) rule; 0 = memoryless)",
+    )
+    sim.add_argument("--max-time", type=float, default=2e4)
+    sim.add_argument("--engine", choices=("fast", "event"), default="fast")
+    sim.add_argument("--seed", type=int, default=0)
+
+    theory = sub.add_parser(
+        "theory", help="evaluate the overflow formulas at one point"
+    )
+    for flag, default in (
+        ("--n", 100.0),
+        ("--holding-time", 1000.0),
+        ("--correlation-time", 1.0),
+        ("--snr", 0.3),
+        ("--memory", 0.0),
+        ("--p-ce", 1e-3),
+    ):
+        theory.add_argument(flag, type=float, default=default)
+
+    design = sub.add_parser(
+        "design", help="memory rule + inverted conservative target"
+    )
+    design.add_argument("--n", type=float, required=True)
+    design.add_argument("--holding-time", type=float, required=True)
+    design.add_argument("--p-q", type=float, required=True)
+    design.add_argument("--correlation-time", type=float, default=1.0)
+    design.add_argument("--snr", type=float, default=0.3)
+    design.add_argument(
+        "--memory-fraction",
+        type=float,
+        default=1.0,
+        help="T_m as a fraction of T_h_tilde",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import list_experiments
+
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import render, run_experiment
+
+    result = run_experiment(args.experiment, quality=args.quality, seed=args.seed)
+    print(render(result))
+    if args.save:
+        path = result.save(args.save)
+        print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.runner import SimulationConfig, simulate
+    from repro.traffic.rcbr import paper_rcbr_source
+
+    memory = args.memory
+    if memory is None:
+        memory = critical_time_scale(args.holding_time, args.n)
+    source = paper_rcbr_source(
+        mean=1.0, cv=args.snr, correlation_time=args.correlation_time
+    )
+    result = simulate(
+        SimulationConfig(
+            source=source,
+            capacity=args.n * source.mean,
+            holding_time=args.holding_time,
+            p_ce=args.p_ce,
+            memory=memory,
+            engine=args.engine,
+            max_time=args.max_time,
+            seed=args.seed,
+        )
+    )
+    print(f"memory T_m           : {memory:g}")
+    print(f"overflow probability : {result.overflow_probability:.4e} "
+          f"({result.stop_reason}"
+          f"{', gaussian fallback' if result.used_gaussian_fallback else ''})")
+    print(f"time-in-overload     : {result.time_fraction:.4e}")
+    print(f"mean utilization     : {result.mean_utilization:.2%}")
+    print(f"mean flows           : {result.mean_flows:.1f}")
+    print(f"samples              : {result.n_samples} "
+          f"(CI half-width {result.sampled_ci_halfwidth:.2e})")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.theory.memoryful import (
+        ContinuousLoadModel,
+        overflow_probability,
+        overflow_probability_separation,
+    )
+    from repro.theory.regimes import classify_regime
+
+    model = ContinuousLoadModel.from_system(
+        n=args.n,
+        holding_time=args.holding_time,
+        correlation_time=args.correlation_time,
+        snr=args.snr,
+        memory=args.memory,
+    )
+    print(f"T_h_tilde = {model.holding_time_scaled:g}, gamma = {model.gamma:g}, "
+          f"beta = {model.beta:g}, regime = {classify_regime(model).value}")
+    print(f"eqn (37) general    : p_f = "
+          f"{overflow_probability(model, p_ce=args.p_ce):.4e}")
+    print(f"eqn (38) separation : p_f = "
+          f"{overflow_probability_separation(model, p_ce=args.p_ce):.4e}")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.theory.inversion import adjusted_ce_alpha
+
+    t_h_tilde = critical_time_scale(args.holding_time, args.n)
+    memory = args.memory_fraction * t_h_tilde
+    alpha_ce = adjusted_ce_alpha(
+        args.p_q,
+        memory=memory,
+        correlation_time=args.correlation_time,
+        holding_time_scaled=t_h_tilde,
+        snr=args.snr,
+        formula="general",
+    )
+    log10_p_ce = log_q_function(alpha_ce) / math.log(10.0)
+    print(f"critical time-scale T_h_tilde : {t_h_tilde:g}")
+    print(f"memory window T_m             : {memory:g}")
+    print(f"conservative alpha_ce         : {alpha_ce:.4f}")
+    if log10_p_ce > -300:
+        print(f"conservative p_ce             : {q_function(alpha_ce):.4e}")
+    else:
+        print(f"conservative p_ce             : 10^{log10_p_ce:.1f}")
+    print("configure: CertaintyEquivalentController(capacity, "
+          f"alpha={alpha_ce:.4f}) with ExponentialMemoryEstimator({memory:g})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "theory":
+        return _cmd_theory(args)
+    if args.command == "design":
+        return _cmd_design(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""The paper's primary contribution: criterion, estimators, controllers.
+
+Public surface re-exported here; see the individual modules for details.
+"""
+
+from repro.core.admission import (
+    AdmissionCriterion,
+    admissible_flow_count,
+    admissible_flow_count_alpha,
+    overflow_probability_for_count,
+)
+from repro.core.baselines import (
+    MeasuredSumController,
+    PeakRateController,
+    PriorSmoothedController,
+)
+from repro.core.controllers import (
+    AdmissionController,
+    CertaintyEquivalentController,
+    PerfectKnowledgeController,
+)
+from repro.core.estimators import (
+    AggregateEstimator,
+    BandwidthEstimate,
+    ClassAwareEstimator,
+    CrossSection,
+    Estimator,
+    ExponentialMemoryEstimator,
+    MemorylessEstimator,
+    PerfectEstimator,
+    SlidingWindowEstimator,
+    cross_section,
+    make_estimator,
+)
+from repro.core.gaussian import phi, q_function, q_inverse
+from repro.core.utility import (
+    ConcaveUtility,
+    LinearUtility,
+    StepUtility,
+    UtilityFunction,
+    UtilityMeter,
+    gaussian_utility_loss,
+)
+from repro.core.memory import (
+    critical_time_scale,
+    recommended_memory,
+    scaled_holding_time,
+    system_size,
+)
+
+__all__ = [
+    "AdmissionCriterion",
+    "admissible_flow_count",
+    "admissible_flow_count_alpha",
+    "overflow_probability_for_count",
+    "AdmissionController",
+    "CertaintyEquivalentController",
+    "PerfectKnowledgeController",
+    "PeakRateController",
+    "MeasuredSumController",
+    "PriorSmoothedController",
+    "AggregateEstimator",
+    "BandwidthEstimate",
+    "ClassAwareEstimator",
+    "CrossSection",
+    "Estimator",
+    "ExponentialMemoryEstimator",
+    "MemorylessEstimator",
+    "PerfectEstimator",
+    "SlidingWindowEstimator",
+    "cross_section",
+    "make_estimator",
+    "phi",
+    "q_function",
+    "q_inverse",
+    "ConcaveUtility",
+    "LinearUtility",
+    "StepUtility",
+    "UtilityFunction",
+    "UtilityMeter",
+    "gaussian_utility_loss",
+    "critical_time_scale",
+    "recommended_memory",
+    "scaled_holding_time",
+    "system_size",
+]

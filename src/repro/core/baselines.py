@@ -1,0 +1,141 @@
+"""Baseline admission-control schemes the paper positions itself against.
+
+Section 6 of the paper discusses two families of prior MBAC work; we
+implement simplified but faithful versions so experiments can compare the
+paper's design against them on a common substrate:
+
+* :class:`PeakRateController` -- the classical no-multiplexing baseline:
+  reserve every flow's peak rate.  Never violates QoS, wastes bandwidth.
+* :class:`MeasuredSumController` -- the admission test at the core of
+  Jamin, Danzig, Shenker & Zhang (SIGCOMM '95): admit a new flow iff the
+  *measured* aggregate load plus the new flow's declared rate stays below a
+  utilization target ``u * c``.
+* :class:`PriorSmoothedController` -- the decision-theoretic flavour of
+  Gibbens, Kelly & Key (JSAC '95): memoryless observations are blended with
+  a fixed Bayesian prior before being fed to the Gaussian criterion, which
+  smooths estimate fluctuations the way their prior weighting does.
+
+All baselines implement the same
+:class:`~repro.core.controllers.AdmissionController` interface so they drop
+into either simulation engine unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import AdmissionCriterion
+from repro.core.controllers import AdmissionController
+from repro.core.estimators import BandwidthEstimate
+from repro.errors import ParameterError
+
+__all__ = [
+    "PeakRateController",
+    "MeasuredSumController",
+    "PriorSmoothedController",
+]
+
+
+class PeakRateController(AdmissionController):
+    """Peak-rate allocation: admit ``floor(c / peak_rate)`` flows."""
+
+    name = "peak-rate"
+
+    def __init__(self, capacity: float, peak_rate: float) -> None:
+        if capacity <= 0.0 or peak_rate <= 0.0:
+            raise ParameterError("capacity and peak_rate must be positive")
+        self.capacity = float(capacity)
+        self.peak_rate = float(peak_rate)
+
+    def target_count(self, estimate: BandwidthEstimate, n_current: int) -> float:
+        return self.capacity / self.peak_rate
+
+
+class MeasuredSumController(AdmissionController):
+    """Measured-sum test (Jamin et al., simplified).
+
+    Admit a new flow iff ``nu_hat + r_new <= u * c``, where ``nu_hat`` is the
+    measured aggregate mean load, ``r_new`` the newcomer's declared rate and
+    ``u`` the utilization target.  Expressed as a target count this is
+
+        M = n + (u*c - n*mu_hat) / r_new
+
+    i.e. fill the remaining measured headroom with declared-rate flows.
+
+    Parameters
+    ----------
+    capacity : float
+        Link capacity ``c``.
+    utilization_target : float
+        The fraction ``u`` in (0, 1] of capacity the measured sum may reach.
+        Jamin et al. back this off below 1 to absorb estimation error -- the
+        analogue of the paper's conservative ``p_ce``.
+    declared_rate : float
+        The token-bucket / descriptor rate ``r_new`` a newcomer declares
+        (typically its mean or peak rate).
+    """
+
+    name = "measured-sum"
+
+    def __init__(
+        self, capacity: float, utilization_target: float, declared_rate: float
+    ) -> None:
+        if not 0.0 < utilization_target <= 1.0:
+            raise ParameterError("utilization_target must be in (0, 1]")
+        if capacity <= 0.0 or declared_rate <= 0.0:
+            raise ParameterError("capacity and declared_rate must be positive")
+        self.capacity = float(capacity)
+        self.utilization_target = float(utilization_target)
+        self.declared_rate = float(declared_rate)
+
+    def target_count(self, estimate: BandwidthEstimate, n_current: int) -> float:
+        measured_load = estimate.mu * n_current
+        headroom = self.utilization_target * self.capacity - measured_load
+        if headroom <= 0.0:
+            return float(n_current)
+        return n_current + headroom / self.declared_rate
+
+
+class PriorSmoothedController(AdmissionController):
+    """Gaussian criterion on prior-blended estimates (GKK-style, simplified).
+
+    The memoryless estimates are shrunk toward a fixed prior
+    ``(mu_0, sigma_0)`` with prior weight ``w`` (in units of "equivalent
+    number of observed flows"):
+
+        mu_tilde     = (w*mu_0    + n*mu_hat)    / (w + n)
+        sigma_tilde^2 = (w*sigma_0^2 + n*sigma_hat^2) / (w + n)
+
+    then fed to the certainty-equivalent criterion.  With ``w = 0`` this
+    degenerates to the plain memoryless MBAC; with ``w -> inf`` it becomes a
+    static controller at the prior (perfect knowledge if the prior is true).
+    """
+
+    name = "prior-smoothed"
+
+    def __init__(
+        self,
+        capacity: float,
+        p_target: float,
+        prior_mu: float,
+        prior_sigma: float,
+        prior_weight: float,
+    ) -> None:
+        if prior_mu <= 0.0 or prior_sigma < 0.0:
+            raise ParameterError("invalid prior parameters")
+        if prior_weight < 0.0:
+            raise ParameterError("prior_weight must be non-negative")
+        self.criterion = AdmissionCriterion.from_target(capacity, p_target)
+        self.prior_mu = float(prior_mu)
+        self.prior_sigma = float(prior_sigma)
+        self.prior_weight = float(prior_weight)
+
+    def target_count(self, estimate: BandwidthEstimate, n_current: int) -> float:
+        w, n = self.prior_weight, estimate.n
+        total = w + n
+        if total == 0.0:
+            mu, var = self.prior_mu, self.prior_sigma**2
+        else:
+            mu = (w * self.prior_mu + n * estimate.mu) / total
+            var = (w * self.prior_sigma**2 + n * estimate.sigma**2) / total
+        if mu <= 0.0:
+            return float(n_current)
+        return self.criterion.admissible_count(mu, var**0.5)

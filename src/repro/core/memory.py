@@ -1,0 +1,70 @@
+"""Memory-window sizing rules (Section 5.3 of the paper).
+
+The paper's central engineering guideline is that the estimator memory
+``T_m`` should be set to the *critical time-scale*
+
+    T_h_tilde = T_h / sqrt(n)
+
+the time the system needs to "repair" an admission error through natural
+departures.  With ``T_m ~ T_h_tilde`` the MBAC is robust over a wide range
+of (unknown, hard-to-measure) traffic correlation time-scales ``T_c``:
+
+* ``T_c << T_h_tilde`` -- the *masking regime*: the memory smooths the
+  traffic fluctuations and the estimates are reliable regardless of ``T_c``.
+* ``T_c >> T_h_tilde`` -- the *repair regime*: memory is useless, but the
+  estimates fluctuate slower than the system repairs itself, so overflow is
+  unlikely anyway.
+
+These helpers centralize the scalings so experiments, controllers and docs
+all use the same definitions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "critical_time_scale",
+    "recommended_memory",
+    "system_size",
+    "scaled_holding_time",
+]
+
+
+def system_size(capacity: float, mu: float) -> float:
+    """Normalized system size ``n = c / mu`` (Section 2)."""
+    if capacity <= 0.0 or mu <= 0.0:
+        raise ParameterError("capacity and mu must be positive")
+    return capacity / mu
+
+
+def critical_time_scale(holding_time: float, n: float) -> float:
+    """The critical time-scale ``T_h_tilde = T_h / sqrt(n)``.
+
+    Parameters
+    ----------
+    holding_time : float
+        Mean flow holding time ``T_h``.
+    n : float
+        System size (link capacity in units of per-flow mean bandwidth).
+    """
+    if holding_time <= 0.0 or n <= 0.0:
+        raise ParameterError("holding_time and n must be positive")
+    return holding_time / math.sqrt(n)
+
+
+# ``scaled_holding_time`` is the paper's notation for the same quantity.
+scaled_holding_time = critical_time_scale
+
+
+def recommended_memory(holding_time: float, n: float, *, fraction: float = 1.0) -> float:
+    """The paper's rule: ``T_m = fraction * T_h_tilde`` with fraction ~ 1.
+
+    ``fraction`` lets experiments sweep multiples of the rule (Fig 9/10 use
+    ``T_m / T_h_tilde`` as the x-axis).
+    """
+    if fraction <= 0.0:
+        raise ParameterError("fraction must be positive")
+    return fraction * critical_time_scale(holding_time, n)

@@ -1,0 +1,180 @@
+"""Utility-based QoS for adaptive applications (Section 7 of the paper).
+
+The paper's QoS metric -- the probability that a flow cannot get its full
+target bandwidth -- is "extreme in the sense that it does not account for
+the fact that getting part of that target bandwidth is still useful to an
+adaptive application".  The authors flag a utility-function generalization
+(inspired by Shenker's work) as ongoing work; this module implements it.
+
+Model: on a bufferless link in overload the flows share the capacity
+proportionally, so each receives the fraction ``g = min(1, c/S)`` of its
+demand.  An application is characterized by a utility function
+``U: [0, 1] -> [0, 1]`` with ``U(1) = 1``; the generalized QoS metric is
+the stationary *expected utility loss*
+
+    L = E[ 1 - U(min(1, c/S_t)) ]
+
+For the hard real-time step utility ``U(g) = 1{g >= 1}`` this reduces
+exactly to the paper's overflow probability; elastic utilities make the
+same overload events far less costly, quantifying how much conservatism
+adaptivity buys back.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "UtilityFunction",
+    "StepUtility",
+    "LinearUtility",
+    "ConcaveUtility",
+    "UtilityMeter",
+    "gaussian_utility_loss",
+]
+
+
+class UtilityFunction(ABC):
+    """Utility of receiving a fraction ``g`` of the demanded bandwidth.
+
+    Required normalization: ``U(1) = 1`` and ``U`` non-decreasing on
+    [0, 1].  Values are clipped to the domain.
+    """
+
+    #: Short label used in experiment tables.
+    name: str = "utility"
+
+    @abstractmethod
+    def value(self, fraction: float) -> float:
+        """Utility at delivered fraction ``fraction`` (scalar, in [0, 1])."""
+
+    def __call__(self, fraction):
+        """Vectorized evaluation with domain clipping."""
+        arr = np.clip(np.asarray(fraction, dtype=float), 0.0, 1.0)
+        out = np.vectorize(self.value, otypes=[float])(arr)
+        return out if out.ndim else float(out)
+
+    def loss(self, fraction):
+        """Utility loss ``1 - U(g)``."""
+        out = 1.0 - np.asarray(self(fraction))
+        return out if out.ndim else float(out)
+
+
+class StepUtility(UtilityFunction):
+    """Hard real-time: any shortfall destroys all utility.
+
+    ``U(g) = 1{g >= threshold}``; with ``threshold = 1`` the expected
+    utility loss is exactly the paper's overflow probability.
+    """
+
+    name = "step"
+
+    def __init__(self, threshold: float = 1.0) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ParameterError("threshold must lie in (0, 1]")
+        self.threshold = float(threshold)
+
+    def value(self, fraction: float) -> float:
+        return 1.0 if fraction >= self.threshold else 0.0
+
+
+class LinearUtility(UtilityFunction):
+    """Perfectly elastic: utility proportional to delivered bandwidth."""
+
+    name = "linear"
+
+    def value(self, fraction: float) -> float:
+        return fraction
+
+
+class ConcaveUtility(UtilityFunction):
+    """Diminishing-returns elastic utility (Shenker's elastic class).
+
+    ``U(g) = (1 - exp(-a g)) / (1 - exp(-a))`` -- concave, normalized, with
+    curvature ``a > 0``; larger ``a`` means the first bits of bandwidth
+    matter most (more adaptive).
+    """
+
+    name = "concave"
+
+    def __init__(self, curvature: float = 4.0) -> None:
+        if curvature <= 0.0:
+            raise ParameterError("curvature must be positive")
+        self.curvature = float(curvature)
+        self._norm = 1.0 - math.exp(-self.curvature)
+
+    def value(self, fraction: float) -> float:
+        return (1.0 - math.exp(-self.curvature * fraction)) / self._norm
+
+
+class UtilityMeter:
+    """Engine observer accumulating the expected-utility-loss integral.
+
+    Plug into an engine's ``observers`` list; every constant-demand
+    interval contributes ``loss(min(1, c/S)) * duration``.
+    """
+
+    def __init__(self, capacity: float, utility: UtilityFunction) -> None:
+        if capacity <= 0.0:
+            raise ParameterError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.utility = utility
+        self.loss_time = 0.0
+        self.observed_time = 0.0
+
+    def accumulate(self, aggregate: float, duration: float) -> None:
+        """Account ``duration`` time units at constant demand."""
+        if duration < 0.0:
+            raise ParameterError("duration must be non-negative")
+        self.observed_time += duration
+        if aggregate > self.capacity:
+            fraction = self.capacity / aggregate
+            self.loss_time += self.utility.loss(fraction) * duration
+
+    @property
+    def mean_utility_loss(self) -> float:
+        """Time-averaged expected utility loss ``L``."""
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.loss_time / self.observed_time
+
+    def reset_statistics(self) -> None:
+        """Zero the integrals."""
+        self.loss_time = 0.0
+        self.observed_time = 0.0
+
+
+def gaussian_utility_loss(
+    utility: UtilityFunction,
+    *,
+    capacity: float,
+    mean: float,
+    std: float,
+    n_grid: int = 4001,
+) -> float:
+    """Stationary expected utility loss under a Gaussian aggregate.
+
+    ``L = E[1 - U(min(1, c/S))]`` with ``S ~ N(mean, std^2)``, evaluated by
+    quadrature over the overload region ``S > c``.  This is the theory-side
+    counterpart of :class:`UtilityMeter` (the analogue of using ``Q((c -
+    m)/s)`` for the step utility).
+    """
+    if capacity <= 0.0 or std < 0.0:
+        raise ParameterError("invalid parameters")
+    if std == 0.0:
+        if mean <= capacity:
+            return 0.0
+        return float(utility.loss(capacity / mean))
+    # Integrate from c to mean + 10 std (density beyond is negligible).
+    upper = max(capacity, mean) + 10.0 * std
+    if upper <= capacity:
+        return 0.0
+    s = np.linspace(capacity, upper, n_grid)
+    density = np.exp(-0.5 * ((s - mean) / std) ** 2) / (std * math.sqrt(2 * math.pi))
+    losses = np.asarray(utility.loss(capacity / s))
+    return float(np.trapezoid(losses * density, s))

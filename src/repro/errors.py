@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or algorithm parameter is outside its valid domain."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical routine (root finding, quadrature) failed to converge."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class EstimatorError(ReproError, RuntimeError):
+    """An estimator was queried before it had observed any data."""
+
+
+class TraceError(ReproError, ValueError):
+    """A traffic trace is malformed (empty, negative rates, bad framing)."""

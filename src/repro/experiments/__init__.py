@@ -1,0 +1,36 @@
+"""Experiments: one module per table/figure-level result of the paper.
+
+Run them from Python::
+
+    from repro.experiments import run_experiment, render
+    print(render(run_experiment("fig5", quality="standard")))
+
+or from the command line::
+
+    python -m repro.experiments.exp_fig5
+"""
+
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.experiments.report import format_table, render
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_P_Q",
+    "PAPER_SNR",
+    "Quality",
+    "format_table",
+    "render",
+    "run_experiment",
+    "list_experiments",
+    "EXPERIMENTS",
+]
+
+
+def __getattr__(name):
+    # Lazy import: the registry imports every experiment module, which in
+    # turn import the whole library; keep `import repro.experiments` cheap.
+    if name in ("run_experiment", "list_experiments", "EXPERIMENTS"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,97 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(quality=..., seed=...) ->
+ExperimentResult``.  ``quality`` trades statistical weight for wall-clock:
+
+* ``"smoke"``    -- seconds; enough to exercise the code path (CI tests);
+* ``"standard"`` -- minutes; reproduces the qualitative shape (benchmarks);
+* ``"full"``     -- tens of minutes; the numbers recorded in EXPERIMENTS.md.
+
+Results carry plain rows (list of dicts) so they can be printed as text
+tables, serialized to JSON, and asserted on in tests without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ParameterError
+
+__all__ = ["Quality", "ExperimentResult", "PAPER_SNR", "PAPER_P_Q"]
+
+#: The paper's simulation parameters (Section 5.2): Gaussian marginal with
+#: sigma/mu = 0.3 and a QoS target of 1e-3 throughout Figs 5-7.
+PAPER_SNR = 0.3
+PAPER_P_Q = 1.0e-3
+
+_QUALITIES = ("smoke", "standard", "full")
+
+
+class Quality:
+    """Validated quality level with per-level knob lookup."""
+
+    def __init__(self, level: str) -> None:
+        if level not in _QUALITIES:
+            raise ParameterError(f"quality must be one of {_QUALITIES}, got {level!r}")
+        self.level = level
+
+    def pick(self, smoke, standard, full):
+        """Select a knob value by level."""
+        return {"smoke": smoke, "standard": standard, "full": full}[self.level]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Quality({self.level!r})"
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment.
+
+    Attributes
+    ----------
+    experiment_id : str
+        Stable id matching DESIGN.md's experiment index (e.g. "fig5").
+    title : str
+        Human-readable description.
+    columns : list of str
+        Column order for rendering.
+    rows : list of dict
+        One dict per row; keys are a superset of ``columns``.
+    params : dict
+        The parameters the experiment ran with (for provenance).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list
+    rows: list
+    params: dict = field(default_factory=dict)
+
+    def column(self, name: str) -> list:
+        """Extract one column as a list (None where missing)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_json(self) -> str:
+        """Serialize (rows + params) to a JSON string."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "params": self.params,
+            },
+            indent=2,
+            default=float,
+        )
+
+    def save(self, directory) -> Path:
+        """Write ``<experiment_id>.json`` into ``directory``; returns path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.json"
+        path.write_text(self.to_json())
+        return path

@@ -1,0 +1,112 @@
+"""Experiment ``buffer``: the bufferless model is a conservative bound.
+
+Section 2 of the paper: "the performance of schemes for the bufferless
+model is a conservative upper bound to the case when there are buffers."
+We verify this on a *single shared trajectory*: the engine drives the
+bufferless link and a family of buffered-link observers simultaneously, so
+the comparison is path-by-path, not statistical.  Expected shape: the lost
+fraction decreases monotonically in the buffer size and is bounded above by
+the bufferless overflow measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import make_estimator
+from repro.experiments.common import ExperimentResult, PAPER_SNR, Quality
+from repro.simulation.buffered import BufferedLink
+from repro.simulation.fast import FastEngine, as_vector_model
+from repro.simulation.rng import make_rng
+from repro.traffic.rcbr import paper_rcbr_source
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "buffer"
+TITLE = "Bufferless conservatism: loss fraction vs buffer size (one path)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0
+    holding_time = 1000.0
+    correlation_time = 1.0
+    p_ce = q.pick(5e-2, 2e-2, 1e-2)  # run hot enough to observe losses
+    memory = 0.1 * holding_time / math.sqrt(n)  # deliberately under-sized
+    sim_time = q.pick(3e3, 2e4, 2e5)
+    # Buffer sizes in units of (mean rate x correlation time).
+    buffer_sizes = q.pick([0.0, 2.0], [0.0, 0.5, 1.0, 2.0, 5.0, 10.0], None)
+    if buffer_sizes is None:
+        buffer_sizes = [0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
+
+    source = paper_rcbr_source(
+        mean=1.0, cv=PAPER_SNR, correlation_time=correlation_time
+    )
+    capacity = n * source.mean
+    observers = [
+        BufferedLink(capacity=capacity, buffer_size=b) for b in buffer_sizes
+    ]
+    engine = FastEngine(
+        model=as_vector_model(source),
+        controller=CertaintyEquivalentController(capacity, p_ce),
+        estimator=make_estimator(memory),
+        capacity=capacity,
+        holding_time=holding_time,
+        dt=0.05,
+        rng=make_rng(seed),
+        observers=observers,
+    )
+    warmup = 20.0 * max(memory, correlation_time)
+    engine.run_until(warmup)
+    engine.reset_statistics()
+    engine.run_until(warmup + sim_time)
+
+    # Bufferless references from the same trajectory.
+    overflow_time_fraction = engine.link.overflow_fraction
+    offered = engine.link.demand_time
+    bufferless_lost_fraction = (
+        engine.link.demand_time - engine.link.bandwidth_time
+    ) / offered if offered > 0 else 0.0
+
+    rows = []
+    for b, observer in zip(buffer_sizes, observers):
+        rows.append(
+            {
+                "buffer_size": b,
+                "loss_fraction": observer.loss_fraction,
+                "loss_time_fraction": observer.loss_time_fraction,
+                "bufferless_loss_fraction": bufferless_lost_fraction,
+                "bufferless_overflow_time": overflow_time_fraction,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "buffer_size",
+            "loss_fraction",
+            "loss_time_fraction",
+            "bufferless_loss_fraction",
+            "bufferless_overflow_time",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_c": correlation_time,
+            "T_m": memory,
+            "p_ce": p_ce,
+            "snr": PAPER_SNR,
+            "sim_time": sim_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

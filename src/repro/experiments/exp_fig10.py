@@ -1,0 +1,94 @@
+"""Experiment ``fig10``: the fig9 robustness surface, by simulation.
+
+Figure 10 of the paper simulates the RCBR workload over the same
+``(T_m/T_h_tilde, T_c)`` range as the numerical surface of Figure 9 and
+confirms the two regimes empirically: a small memory window is fragile at
+short ``T_c``; ``T_m ~ T_h_tilde`` is robust across the sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.experiments.sweeps import simulate_rcbr_point
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Simulated p_f over (T_m/T_h_tilde, T_c) (RCBR workload)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0
+    holding_time = 1000.0  # T_h_tilde = 100
+    t_h_tilde = holding_time / math.sqrt(n)
+    p_ce = PAPER_P_Q
+    memory_ratios = q.pick([0.05, 1.0], [0.05, 0.3, 1.0], [0.02, 0.1, 0.3, 1.0, 3.0])
+    correlation_times = q.pick([1.0], [0.3, 1.0, 10.0], [0.1, 0.3, 1.0, 3.0, 10.0, 30.0])
+    max_time = q.pick(3e3, 2e4, 2e5)
+
+    rows = []
+    run_index = 0
+    for ratio in memory_ratios:
+        for t_c in correlation_times:
+            run_index += 1
+            t_m = ratio * t_h_tilde
+            sim = simulate_rcbr_point(
+                n=n,
+                holding_time=holding_time,
+                correlation_time=t_c,
+                memory=t_m,
+                p_ce=p_ce,
+                p_q=p_ce,
+                max_time=max_time,
+                seed=None if seed is None else seed + run_index,
+            )
+            model = ContinuousLoadModel(
+                correlation_time=t_c,
+                holding_time_scaled=t_h_tilde,
+                snr=PAPER_SNR,
+                memory=t_m,
+            )
+            rows.append(
+                {
+                    "T_m_over_Th_tilde": ratio,
+                    "T_c": t_c,
+                    "T_m": t_m,
+                    "p_f_sim": sim.overflow_probability,
+                    "p_f_theory37": overflow_probability(model, p_ce=p_ce),
+                    "sim_stop": sim.stop_reason,
+                    "meets_target": sim.overflow_probability <= 3.0 * p_ce,
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "T_m_over_Th_tilde",
+            "T_c",
+            "p_f_sim",
+            "p_f_theory37",
+            "meets_target",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_h_tilde": t_h_tilde,
+            "p_ce": p_ce,
+            "snr": PAPER_SNR,
+            "max_time": max_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

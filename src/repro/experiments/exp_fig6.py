@@ -1,0 +1,98 @@
+"""Experiment ``fig6``: the adjusted target ``p_ce`` by inversion of (38).
+
+Figure 6 of the paper: for ``n in {100, 1000}``, ``T_h in {1e3, 1e4}`` and
+``p_q = 1e-3``, invert the closed form (38) to find the conservative
+certainty-equivalent target ``p_ce(T_m)`` that makes the predicted overflow
+equal the QoS target.  Expected shape: for small ``T_m`` the required
+``p_ce`` is astronomically small (the paper notes values below 1e-10);
+as ``T_m`` grows it rises towards (and slightly above) ``p_q``.
+
+Pure theory -- no simulation.  ``alpha_ce`` is also reported since ``p_ce``
+can underflow double precision at the conservative end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.gaussian import log_q_function
+from repro.errors import ConvergenceError
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.theory.inversion import adjusted_ce_alpha
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Adjusted target p_ce(T_m) by inversion of eqn (38)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring.  ``seed`` is unused
+    (deterministic computation) but accepted for interface uniformity."""
+    q = Quality(quality)
+    systems = q.pick(
+        [(100.0, 1e3)],
+        [(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)],
+        [(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)],
+    )
+    n_points = q.pick(5, 12, 24)
+    p_q = PAPER_P_Q
+    correlation_time = 1.0
+
+    rows = []
+    for n, t_h in systems:
+        t_h_tilde = t_h / math.sqrt(n)
+        memories = np.geomspace(0.1, 100.0 * t_h_tilde, n_points)
+        for t_m in memories:
+            try:
+                alpha_ce = adjusted_ce_alpha(
+                    p_q,
+                    memory=float(t_m),
+                    correlation_time=correlation_time,
+                    holding_time_scaled=t_h_tilde,
+                    snr=PAPER_SNR,
+                    formula="separation",
+                )
+                log10_p_ce = log_q_function(alpha_ce) / math.log(10.0)
+            except ConvergenceError:
+                alpha_ce, log10_p_ce = math.inf, -math.inf
+            rows.append(
+                {
+                    "n": n,
+                    "T_h": t_h,
+                    "T_h_tilde": t_h_tilde,
+                    "T_m": float(t_m),
+                    "T_m_over_Th_tilde": float(t_m / t_h_tilde),
+                    "alpha_ce": alpha_ce,
+                    "log10_p_ce": log10_p_ce,
+                    "p_ce": 10.0**log10_p_ce if log10_p_ce > -300 else 0.0,
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "n",
+            "T_h",
+            "T_m",
+            "T_m_over_Th_tilde",
+            "alpha_ce",
+            "log10_p_ce",
+            "p_ce",
+        ],
+        rows=rows,
+        params={
+            "p_q": p_q,
+            "T_c": correlation_time,
+            "snr": PAPER_SNR,
+            "quality": quality,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

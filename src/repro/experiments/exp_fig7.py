@@ -1,0 +1,120 @@
+"""Experiment ``fig7``: simulated overflow with the adjusted target.
+
+Figure 7 of the paper closes the robust-MBAC loop: run the
+certainty-equivalent controller with the *adjusted* conservative target
+``alpha_ce(T_m)`` obtained by inverting eqn (38) (experiment fig6) and
+verify by simulation that the achieved overflow probability stays at or
+slightly below the QoS target ``p_q`` across the whole ``T_m`` range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.experiments.sweeps import simulate_rcbr_point
+from repro.theory.inversion import adjusted_ce_alpha
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Simulated p_f with the adjusted target alpha_ce (robust MBAC)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    systems = q.pick(
+        [(100.0, 1e3)],
+        [(100.0, 1e3), (100.0, 1e4)],
+        [(100.0, 1e3), (100.0, 1e4), (1000.0, 1e3), (1000.0, 1e4)],
+    )
+    n_points = q.pick(2, 4, 8)
+    max_time = q.pick(4e3, 4e4, 4e5)
+    p_q = PAPER_P_Q
+    correlation_time = 1.0
+
+    rows = []
+    run_index = 0
+    for n, t_h in systems:
+        t_h_tilde = t_h / math.sqrt(n)
+        memories = np.geomspace(max(0.5, 0.01 * t_h_tilde), 3.0 * t_h_tilde, n_points)
+        for t_m in memories:
+            run_index += 1
+            try:
+                alpha_ce = adjusted_ce_alpha(
+                    p_q,
+                    memory=float(t_m),
+                    correlation_time=correlation_time,
+                    holding_time_scaled=t_h_tilde,
+                    snr=PAPER_SNR,
+                    formula="separation",
+                )
+            except ConvergenceError:
+                rows.append(
+                    {
+                        "n": n,
+                        "T_h": t_h,
+                        "T_m": float(t_m),
+                        "alpha_ce": math.inf,
+                        "p_f_sim": None,
+                        "note": "target unreachable",
+                    }
+                )
+                continue
+            sim = simulate_rcbr_point(
+                n=n,
+                holding_time=t_h,
+                correlation_time=correlation_time,
+                memory=float(t_m),
+                alpha_ce=alpha_ce,
+                p_q=p_q,
+                max_time=max_time,
+                seed=None if seed is None else seed + run_index,
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "T_h": t_h,
+                    "T_m": float(t_m),
+                    "T_m_over_Th_tilde": float(t_m / t_h_tilde),
+                    "alpha_ce": alpha_ce,
+                    "p_f_sim": sim.overflow_probability,
+                    "p_q": p_q,
+                    "meets_target": sim.overflow_probability <= 2.0 * p_q,
+                    "sim_stop": sim.stop_reason,
+                    "utilization": sim.mean_utilization,
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "n",
+            "T_h",
+            "T_m",
+            "alpha_ce",
+            "p_f_sim",
+            "p_q",
+            "meets_target",
+            "utilization",
+        ],
+        rows=rows,
+        params={
+            "p_q": p_q,
+            "T_c": correlation_time,
+            "snr": PAPER_SNR,
+            "max_time": max_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

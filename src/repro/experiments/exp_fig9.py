@@ -1,0 +1,85 @@
+"""Experiment ``fig9``: robustness surface by numerical integration of (37).
+
+Figure 9 of the paper: the overflow probability as a function of the
+normalized memory ``T_m / T_h_tilde`` and the traffic correlation
+time-scale ``T_c``, with the certainty-equivalent target held at the QoS
+target.  Expected shape: for small ``T_m/T_h_tilde`` performance is
+fragile (orders of magnitude above target at unfavourable ``T_c``); once
+``T_m`` is a significant fraction of ``T_h_tilde`` the QoS is met over the
+whole ``T_c`` range (masking regime on the left, repair regime on the
+right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig9"
+TITLE = "p_f surface over (T_m/T_h_tilde, T_c) by integration of eqn (37)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; deterministic (``seed`` accepted for symmetry)."""
+    q = Quality(quality)
+    t_h_tilde = 100.0
+    p_ce = PAPER_P_Q
+    memory_ratios = q.pick(
+        [0.01, 1.0],
+        [0.01, 0.03, 0.1, 0.3, 1.0, 3.0],
+        [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0],
+    )
+    correlation_times = q.pick(
+        [0.1, 10.0],
+        [0.01, 0.1, 1.0, 10.0, 100.0],
+        [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0],
+    )
+
+    rows = []
+    for ratio in memory_ratios:
+        for t_c in correlation_times:
+            model = ContinuousLoadModel(
+                correlation_time=t_c,
+                holding_time_scaled=t_h_tilde,
+                snr=PAPER_SNR,
+                memory=ratio * t_h_tilde,
+            )
+            p_f = overflow_probability(model, p_ce=p_ce)
+            rows.append(
+                {
+                    "T_m_over_Th_tilde": ratio,
+                    "T_c": t_c,
+                    "T_m": ratio * t_h_tilde,
+                    "p_f_theory37": p_f,
+                    "log10_pf_over_pq": float(np.log10(max(p_f, 1e-300) / p_ce)),
+                    "meets_target": p_f <= 3.0 * p_ce,
+                }
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "T_m_over_Th_tilde",
+            "T_c",
+            "p_f_theory37",
+            "log10_pf_over_pq",
+            "meets_target",
+        ],
+        rows=rows,
+        params={
+            "T_h_tilde": t_h_tilde,
+            "p_ce": p_ce,
+            "snr": PAPER_SNR,
+            "quality": quality,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

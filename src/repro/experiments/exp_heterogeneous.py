@@ -1,0 +1,143 @@
+"""Experiment ``hetero``: heterogeneity and the variance-estimator bias.
+
+Section 5.4 of the paper: when flows have different means, the
+homogeneity-assuming cross-sectional variance estimator (eqn (7)) converges
+to the *mixture* variance -- within-class variance plus between-class
+spread -- so it over-estimates, and the MBAC becomes conservative: QoS is
+protected (overflow at or below target) at the price of lower utilization.
+
+The experiment mixes two RCBR classes at increasing mean separation and
+reports (a) the exact moment decomposition, (b) the simulated overflow and
+utilization of the homogeneity-assuming MBAC, and (c) the same MBAC run
+with the paper's suggested remedy -- a *measured* class-aware estimator
+(:class:`~repro.core.estimators.ClassAwareEstimator`, "a different mean
+estimate for each class") -- which removes the between-class bias and
+recovers the lost utilization.  The experiment also surfaces the remedy's
+limit: at extreme mean separations the class-aware scheme's tighter margin
+no longer covers *composition* fluctuations (``p_f_class_aware`` rises
+above target), so classification should be paired with a more conservative
+target there.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import ClassAwareEstimator
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, Quality
+from repro.experiments.sweeps import simulate_source_point
+from repro.simulation.fast import FastEngine, as_vector_model
+from repro.simulation.rng import make_rng
+from repro.traffic.heterogeneous import HeterogeneousPopulation, mixture_moments
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import RcbrSource
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "hetero"
+TITLE = "Heterogeneous classes: variance-estimator bias => conservatism"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0  # system size in units of the mixture mean
+    holding_time = 1000.0
+    correlation_time = 1.0
+    p_ce = PAPER_P_Q
+    t_h_tilde = holding_time / math.sqrt(n)
+    memory = t_h_tilde  # the paper's rule, so only heterogeneity varies
+    separations = q.pick([3.0], [1.0, 2.0, 4.0], [1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+    max_time = q.pick(3e3, 2e4, 2e5)
+    cv = 0.3  # per-class CV
+
+    rows = []
+    for i, ratio in enumerate(separations):
+        # Two equal-weight classes with mean ratio ``ratio`` and overall
+        # mixture mean 1 (so capacity n*1 is comparable across rows).
+        mu_small = 2.0 / (1.0 + ratio)
+        mu_large = ratio * mu_small
+        classes = [
+            RcbrSource(
+                TruncatedGaussianMarginal.from_cv(mu_small, cv), correlation_time
+            ),
+            RcbrSource(
+                TruncatedGaussianMarginal.from_cv(mu_large, cv), correlation_time
+            ),
+        ]
+        population = HeterogeneousPopulation(classes, [0.5, 0.5])
+        moments = mixture_moments(
+            [0.5, 0.5],
+            [c.mean for c in classes],
+            [c.std for c in classes],
+        )
+        sim = simulate_source_point(
+            source=population,
+            n=n / population.mean,  # capacity = n (mixture mean ~ 1)
+            holding_time=holding_time,
+            memory=memory,
+            p_ce=p_ce,
+            p_q=p_ce,
+            max_time=max_time,
+            seed=None if seed is None else seed + i,
+        )
+        # The Sec 5.4 remedy, *measured*: same MBAC, per-class estimator.
+        capacity = n
+        aware_engine = FastEngine(
+            model=as_vector_model(population),
+            controller=CertaintyEquivalentController(capacity, p_ce),
+            estimator=ClassAwareEstimator(memory),
+            capacity=capacity,
+            holding_time=holding_time,
+            dt=0.1,
+            rng=make_rng(None if seed is None else seed + 1000 + i),
+        )
+        warmup = 10.0 * max(memory, correlation_time)
+        aware_engine.run_until(warmup)
+        aware_engine.reset_statistics()
+        aware_engine.run_until(warmup + max_time / 2)
+        rows.append(
+            {
+                "mean_ratio": ratio,
+                "mixture_std": moments.std,
+                "within_std": moments.within_class_std,
+                "bias_var": moments.between_class_variance,
+                "p_f_sim": sim.overflow_probability,
+                "p_q": p_ce,
+                "utilization_mbac": sim.mean_utilization,
+                "utilization_class_aware": aware_engine.link.mean_utilization,
+                "p_f_class_aware": aware_engine.link.overflow_fraction,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "mean_ratio",
+            "mixture_std",
+            "within_std",
+            "bias_var",
+            "p_f_sim",
+            "utilization_mbac",
+            "utilization_class_aware",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_c": correlation_time,
+            "T_m": memory,
+            "p_ce": p_ce,
+            "cv_per_class": cv,
+            "max_time": max_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

@@ -1,0 +1,132 @@
+"""Experiment ``poisson``: finite arrival rates vs the continuous-load bound.
+
+The paper justifies its infinite-arrival-rate model as the worst case:
+"the performance of any admission control algorithm under finite arrival
+rate will be no worse than its performance in this model".  This experiment
+verifies that claim end-to-end: flows arrive as a Poisson process of rate
+``lambda`` (blocked-calls-cleared) and we sweep ``lambda`` from lightly
+loaded to far beyond the system's carrying capacity ``~ n / T_h``:
+
+* the overflow probability rises monotonically (in trend) with ``lambda``
+  and approaches the continuous-load value from below;
+* the blocking probability rises from ~0 toward the Erlang-like saturation
+  ``1 - (carried)/(offered)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import make_estimator
+from repro.experiments.common import ExperimentResult, PAPER_SNR, Quality
+from repro.experiments.sweeps import simulate_rcbr_point
+from repro.simulation.arrivals import PoissonLoadEngine
+from repro.simulation.rng import make_rng
+from repro.traffic.rcbr import paper_rcbr_source
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "poisson"
+TITLE = "Finite (Poisson) arrival rates vs the continuous-load worst case"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0
+    holding_time = 1000.0
+    correlation_time = 1.0
+    p_ce = 1e-2  # resolvable at these run lengths
+    memory = holding_time / math.sqrt(n)  # the paper's rule
+    sim_time = q.pick(4e3, 2e4, 2e5)
+    # Carrying capacity ~ n/T_h = 0.1 flows per unit time.
+    load_factors = q.pick([0.5, 4.0], [0.25, 0.5, 1.0, 2.0, 8.0], None)
+    if load_factors is None:
+        load_factors = [0.1, 0.25, 0.5, 0.8, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0]
+
+    source = paper_rcbr_source(
+        mean=1.0, cv=PAPER_SNR, correlation_time=correlation_time
+    )
+    capacity = n * source.mean
+    base_rate = n / holding_time
+
+    rows = []
+    for i, factor in enumerate(load_factors):
+        engine = PoissonLoadEngine(
+            source=source,
+            controller=CertaintyEquivalentController(capacity, p_ce),
+            estimator=make_estimator(memory),
+            capacity=capacity,
+            holding_time=holding_time,
+            arrival_rate=factor * base_rate,
+            rng=make_rng(None if seed is None else seed + i),
+            sample_period=2.0 * max(memory, correlation_time),
+        )
+        warmup = 5.0 * max(memory, holding_time / math.sqrt(n))
+        engine.run_until(warmup)
+        engine.reset_statistics()
+        engine.run_until(warmup + sim_time)
+        rows.append(
+            {
+                "load_factor": factor,
+                "arrival_rate": factor * base_rate,
+                "p_f_time_fraction": engine.link.overflow_fraction,
+                "blocking_probability": engine.blocking_probability(),
+                "utilization": engine.link.mean_utilization,
+                "n_offered": engine.n_offered,
+                "n_blocked": engine.n_blocked,
+            }
+        )
+
+    # The continuous-load reference on the same configuration.
+    reference = simulate_rcbr_point(
+        n=n,
+        holding_time=holding_time,
+        correlation_time=correlation_time,
+        memory=memory,
+        p_ce=p_ce,
+        p_q=p_ce,
+        max_time=sim_time,
+        seed=None if seed is None else seed + 1000,
+    )
+    rows.append(
+        {
+            "load_factor": math.inf,
+            "arrival_rate": math.inf,
+            "p_f_time_fraction": reference.time_fraction,
+            "blocking_probability": None,
+            "utilization": reference.mean_utilization,
+            "n_offered": None,
+            "n_blocked": None,
+        }
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "load_factor",
+            "arrival_rate",
+            "p_f_time_fraction",
+            "blocking_probability",
+            "utilization",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_c": correlation_time,
+            "T_m": memory,
+            "p_ce": p_ce,
+            "snr": PAPER_SNR,
+            "sim_time": sim_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

@@ -1,0 +1,127 @@
+"""Experiment ``utility``: adaptive applications and the QoS metric (Sec 7).
+
+The paper's overflow probability treats any shortfall as total failure;
+its Section 7 asks how *adaptive* applications -- which retain utility from
+partial bandwidth -- change the admission problem.  We run the MBAC across
+memory sizes and measure, on the same trajectories, the expected utility
+loss under three application models:
+
+* ``step``    -- hard real-time (recovers the overflow metric exactly);
+* ``linear``  -- perfectly elastic;
+* ``concave`` -- diminishing-returns elastic (most adaptive).
+
+Expected shape: the elastic losses are orders of magnitude below the step
+loss at every operating point (an overloaded bufferless link still delivers
+``c/S ~ 95%+`` of demand), so an MBAC serving adaptive traffic can run with
+far less conservatism for the same delivered utility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import make_estimator
+from repro.core.utility import (
+    ConcaveUtility,
+    LinearUtility,
+    StepUtility,
+    UtilityMeter,
+)
+from repro.experiments.common import ExperimentResult, PAPER_SNR, Quality
+from repro.simulation.fast import FastEngine, as_vector_model
+from repro.simulation.rng import make_rng
+from repro.traffic.rcbr import paper_rcbr_source
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "utility"
+TITLE = "Utility-based QoS: step vs elastic applications (Sec 7 extension)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0
+    holding_time = 1000.0
+    correlation_time = 1.0
+    p_ce = 1e-2
+    t_h_tilde = holding_time / math.sqrt(n)
+    memories = q.pick([0.0], [0.0, 0.1 * t_h_tilde, t_h_tilde], None)
+    if memories is None:
+        memories = [0.0, 0.03 * t_h_tilde, 0.1 * t_h_tilde, 0.3 * t_h_tilde,
+                    t_h_tilde, 3.0 * t_h_tilde]
+    sim_time = q.pick(3e3, 2e4, 2e5)
+
+    source = paper_rcbr_source(
+        mean=1.0, cv=PAPER_SNR, correlation_time=correlation_time
+    )
+    capacity = n * source.mean
+    utilities = [StepUtility(), LinearUtility(), ConcaveUtility(curvature=4.0)]
+
+    rows = []
+    for i, t_m in enumerate(memories):
+        meters = [UtilityMeter(capacity, u) for u in utilities]
+        engine = FastEngine(
+            model=as_vector_model(source),
+            controller=CertaintyEquivalentController(capacity, p_ce),
+            estimator=make_estimator(t_m if t_m > 0 else None),
+            capacity=capacity,
+            holding_time=holding_time,
+            dt=0.1,
+            rng=make_rng(None if seed is None else seed + i),
+            observers=meters,
+        )
+        warmup = 10.0 * max(t_m, correlation_time)
+        engine.run_until(warmup)
+        engine.reset_statistics()
+        engine.run_until(warmup + sim_time)
+        losses = {
+            f"loss_{u.name}": meter.mean_utility_loss
+            for u, meter in zip(utilities, meters)
+        }
+        rows.append(
+            {
+                "T_m": t_m,
+                "T_m_over_Th_tilde": t_m / t_h_tilde,
+                "overflow_time_fraction": engine.link.overflow_fraction,
+                **losses,
+                "elastic_gain": (
+                    losses["loss_step"] / losses["loss_linear"]
+                    if losses["loss_linear"] > 0.0
+                    else None
+                ),
+                "utilization": engine.link.mean_utilization,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "T_m",
+            "T_m_over_Th_tilde",
+            "overflow_time_fraction",
+            "loss_step",
+            "loss_linear",
+            "loss_concave",
+            "elastic_gain",
+            "utilization",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_c": correlation_time,
+            "p_ce": p_ce,
+            "snr": PAPER_SNR,
+            "sim_time": sim_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

@@ -1,0 +1,110 @@
+"""Experiment ``util40``: the utilization cost of conservatism (eqn (40)).
+
+The robust scheme's price: running the certainty-equivalent controller with
+``p_ce < p_q`` lowers the stationary carried load by
+``sigma sqrt(n) (Q^{-1}(p_ce) - Q^{-1}(p_q))``.  The experiment sweeps the
+conservatism (via the memory, which sets the required ``p_ce`` through the
+fig6 inversion) and reports the predicted utilization difference alongside
+the simulated utilization -- quantifying the memory-vs-utilization
+trade-off the paper highlights in Section 5.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ConvergenceError
+from repro.experiments.common import ExperimentResult, PAPER_P_Q, PAPER_SNR, Quality
+from repro.experiments.sweeps import simulate_rcbr_point
+from repro.theory.inversion import adjusted_ce_alpha
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "util40"
+TITLE = "Utilization cost of the conservative target (eqn 40)"
+
+
+def run(quality: str = "standard", seed: int | None = 0) -> ExperimentResult:
+    """Run the experiment; see module docstring."""
+    q = Quality(quality)
+    n = 100.0
+    holding_time = 1000.0
+    correlation_time = 1.0
+    t_h_tilde = holding_time / math.sqrt(n)
+    p_q = PAPER_P_Q
+    sigma = PAPER_SNR  # mu = 1
+    alpha_q = q_inverse(p_q)
+    memories = q.pick([10.0, 100.0], [3.0, 10.0, 30.0, 100.0, 300.0], None)
+    if memories is None:
+        memories = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0]
+    max_time = q.pick(3e3, 2e4, 2e5)
+
+    rows = []
+    for i, t_m in enumerate(memories):
+        try:
+            alpha_ce = adjusted_ce_alpha(
+                p_q,
+                memory=t_m,
+                correlation_time=correlation_time,
+                holding_time_scaled=t_h_tilde,
+                snr=PAPER_SNR,
+                formula="separation",
+            )
+        except ConvergenceError:
+            continue
+        # eqn (40) against the unadjusted target p_q:
+        delta_util = sigma * math.sqrt(n) * (alpha_q - alpha_ce)
+        sim = simulate_rcbr_point(
+            n=n,
+            holding_time=holding_time,
+            correlation_time=correlation_time,
+            memory=t_m,
+            alpha_ce=alpha_ce,
+            p_q=p_q,
+            max_time=max_time,
+            seed=None if seed is None else seed + i,
+        )
+        rows.append(
+            {
+                "T_m": t_m,
+                "alpha_ce": alpha_ce,
+                "p_ce": q_function(alpha_ce),
+                "delta_util_eqn40": delta_util,
+                "delta_util_frac": delta_util / n,
+                "sim_utilization": sim.mean_utilization,
+                "sim_mean_flows": sim.mean_flows,
+                "p_f_sim": sim.overflow_probability,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "T_m",
+            "alpha_ce",
+            "p_ce",
+            "delta_util_eqn40",
+            "delta_util_frac",
+            "sim_utilization",
+            "sim_mean_flows",
+            "p_f_sim",
+        ],
+        rows=rows,
+        params={
+            "n": n,
+            "T_h": holding_time,
+            "T_c": correlation_time,
+            "p_q": p_q,
+            "snr": PAPER_SNR,
+            "max_time": max_time,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.experiments.report import render
+
+    print(render(run()))

@@ -1,0 +1,65 @@
+"""Experiment registry: one entry per paper artifact (see DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    exp_aggregate,
+    exp_baselines,
+    exp_buffer,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_finite_holding,
+    exp_heterogeneous,
+    exp_poisson,
+    exp_prop33,
+    exp_utility,
+    exp_utilization,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "prop33": exp_prop33.run,
+    "eqn21": exp_finite_holding.run,
+    "fig5": exp_fig5.run,
+    "fig6": exp_fig6.run,
+    "fig7": exp_fig7.run,
+    "fig9": exp_fig9.run,
+    "fig10": exp_fig10.run,
+    "fig11": exp_fig11.run,
+    "fig12": exp_fig12.run,
+    "util40": exp_utilization.run,
+    "poisson": exp_poisson.run,
+    "aggregate": exp_aggregate.run,
+    "buffer": exp_buffer.run,
+    "utility": exp_utility.run,
+    "hetero": exp_heterogeneous.run,
+    "baselines": exp_baselines.run,
+}
+
+
+def list_experiments() -> list[str]:
+    """Stable listing of experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, quality: str = "standard", seed: int | None = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; known: {list_experiments()}"
+        ) from None
+    return runner(quality=quality, seed=seed)

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure's series as an aligned table --
+"the same rows/series the paper reports" -- without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["format_value", "format_table", "render"]
+
+
+def format_value(value) -> str:
+    """Compact scientific formatting tuned for probabilities."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if not math.isfinite(value):
+            return "inf" if value > 0 else "-inf"
+        if 1e-3 <= abs(value) < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    headers = list(result.columns)
+    body = [[format_value(row.get(col)) for col in headers] for row in result.rows]
+    widths = [
+        max(len(h), *(len(line[i]) for line in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "  "
+    lines = [
+        sep.join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep.join("-" * w for w in widths),
+    ]
+    lines.extend(sep.join(c.ljust(w) for c, w in zip(line, widths)) for line in body)
+    return "\n".join(lines)
+
+
+def render(result: ExperimentResult) -> str:
+    """Title + params + table, ready to print."""
+    param_str = ", ".join(f"{k}={format_value(v)}" for k, v in result.params.items())
+    header = f"== {result.experiment_id}: {result.title} =="
+    if param_str:
+        header += f"\n   [{param_str}]"
+    return f"{header}\n{format_table(result)}"

@@ -1,0 +1,94 @@
+"""Helpers shared by the continuous-load sweep experiments (Figs 5-12)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import PAPER_SNR
+from repro.simulation.runner import SimulationConfig, SimulationResult, simulate
+from repro.traffic.base import TrafficSource
+from repro.traffic.rcbr import paper_rcbr_source
+
+__all__ = ["simulate_rcbr_point", "simulate_source_point"]
+
+
+def simulate_source_point(
+    *,
+    source: TrafficSource,
+    n: float,
+    holding_time: float,
+    memory: float,
+    p_ce: float | None = None,
+    alpha_ce: float | None = None,
+    p_q: float | None = None,
+    max_time: float,
+    seed: int | None,
+    engine: str = "fast",
+    dt: float | None = None,
+) -> SimulationResult:
+    """Simulate one continuous-load point for an arbitrary source.
+
+    ``n`` is the system size; the capacity is ``n * source.mean`` so that
+    results line up with the theory's normalized parameterization.
+    """
+    config = SimulationConfig(
+        source=source,
+        capacity=n * source.mean,
+        holding_time=holding_time,
+        p_ce=p_ce,
+        alpha_ce=alpha_ce,
+        p_q=p_q,
+        memory=memory,
+        engine=engine,
+        dt=dt,
+        max_time=max_time,
+        seed=seed,
+    )
+    return simulate(config)
+
+
+def simulate_rcbr_point(
+    *,
+    n: float,
+    holding_time: float,
+    correlation_time: float,
+    memory: float,
+    p_ce: float | None = None,
+    alpha_ce: float | None = None,
+    p_q: float | None = None,
+    max_time: float,
+    seed: int | None,
+    snr: float = PAPER_SNR,
+    engine: str = "fast",
+    dt: float | None = None,
+) -> SimulationResult:
+    """One simulated point of the paper's RCBR workload (Section 5.2).
+
+    The step defaults to ``min(T_c, T_m or T_c)/10`` so the filter and the
+    renegotiation process are both resolved.
+    """
+    source = paper_rcbr_source(mean=1.0, cv=snr, correlation_time=correlation_time)
+    if dt is None:
+        fastest = min(correlation_time, memory) if memory > 0.0 else correlation_time
+        dt = fastest / 10.0
+        # Don't let very small T_m values (<< T_c) blow up the step count:
+        # below T_c/40 the filter dynamics no longer matter to the decision.
+        dt = max(dt, correlation_time / 40.0)
+    return simulate_source_point(
+        source=source,
+        n=n,
+        holding_time=holding_time,
+        memory=memory,
+        p_ce=p_ce,
+        alpha_ce=alpha_ce,
+        p_q=p_q,
+        max_time=max_time,
+        seed=seed,
+        engine=engine,
+        dt=dt,
+    )
+
+
+def scaled_holding(holding_time: float, n: float) -> float:
+    """``T_h_tilde`` convenience (mirrors repro.core.memory)."""
+    return holding_time / math.sqrt(n)

@@ -1,0 +1,26 @@
+"""Stochastic-process substrate: OU, fGn, generic stationary GP, MC hitting."""
+
+from repro.processes.autocorr import (
+    empirical_autocorrelation,
+    hurst_aggregated_variance,
+    integral_time_scale,
+)
+from repro.processes.fgn import fbm, fgn, fgn_autocovariance
+from repro.processes.gaussian_process import sample_stationary_gaussian
+from repro.processes.hitting_mc import HittingEstimate, hitting_probability_mc
+from repro.processes.ou import filtered_ou_paths, ou_autocorrelation, ou_paths
+
+__all__ = [
+    "HittingEstimate",
+    "empirical_autocorrelation",
+    "fbm",
+    "fgn",
+    "fgn_autocovariance",
+    "filtered_ou_paths",
+    "hitting_probability_mc",
+    "hurst_aggregated_variance",
+    "integral_time_scale",
+    "ou_autocorrelation",
+    "ou_paths",
+    "sample_stationary_gaussian",
+]

@@ -1,0 +1,59 @@
+"""Simulation substrate: engines, statistics, runners, impulsive-load MC."""
+
+from repro.simulation.arrivals import PoissonLoadEngine, erlang_b
+from repro.simulation.engine import EventDrivenEngine
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.fast import (
+    FastEngine,
+    VectorModel,
+    VectorRcbr,
+    VectorTrace,
+    as_vector_model,
+)
+from repro.simulation.flows import Flow
+from repro.simulation.impulsive import (
+    OverflowMcResult,
+    admitted_counts_mc,
+    finite_holding_overflow_mc,
+    steady_state_overflow_mc,
+)
+from repro.simulation.link import Link
+from repro.simulation.rng import make_rng, spawn_rngs
+from repro.simulation.replication import ReplicatedResult, replicated_simulate
+from repro.simulation.runner import SimulationConfig, SimulationResult, simulate
+from repro.simulation.stats import (
+    BatchMeans,
+    OverflowRecorder,
+    TerminationDecision,
+    TerminationRule,
+)
+
+__all__ = [
+    "BatchMeans",
+    "EventDrivenEngine",
+    "EventKind",
+    "EventQueue",
+    "FastEngine",
+    "Flow",
+    "Link",
+    "OverflowMcResult",
+    "OverflowRecorder",
+    "PoissonLoadEngine",
+    "ReplicatedResult",
+    "SimulationConfig",
+    "SimulationResult",
+    "TerminationDecision",
+    "TerminationRule",
+    "VectorModel",
+    "VectorRcbr",
+    "VectorTrace",
+    "admitted_counts_mc",
+    "erlang_b",
+    "as_vector_model",
+    "finite_holding_overflow_mc",
+    "make_rng",
+    "replicated_simulate",
+    "simulate",
+    "spawn_rngs",
+    "steady_state_overflow_mc",
+]

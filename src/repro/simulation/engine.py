@@ -1,0 +1,287 @@
+"""Continuous-time event-driven simulation engine (reference semantics).
+
+This engine realizes the paper's continuous-load model exactly:
+
+* **infinite offered load** -- there are always flows waiting, so whenever
+  the controller's target count exceeds the occupancy, flows are admitted
+  *immediately* (one at a time, re-measuring after each, since every
+  admission perturbs the cross-section the next decision sees);
+* **piecewise-constant traffic** -- between events all rates are constant,
+  so the time-in-overload integral, the utilization integral and the
+  exponential-filter estimator updates are all computed in closed form with
+  zero discretization error;
+* **exponential holding times** -- departure times are drawn at admission.
+
+Event ordering within an instant is deterministic (departures, then rate
+changes, then samples), making runs bit-reproducible for a given seed.
+
+The engine is deliberately single-link and single-class-interface; the
+vectorized :mod:`repro.simulation.fast` engine trades this generality for
+the throughput needed by the large parameter sweeps, and the two are
+cross-validated in the integration tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.controllers import AdmissionController
+from repro.core.estimators import CrossSection, Estimator
+from repro.errors import ParameterError, SimulationError
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.flows import Flow
+from repro.simulation.link import Link
+from repro.simulation.stats import BatchMeans, OverflowRecorder
+from repro.traffic.base import TrafficSource
+
+__all__ = ["EventDrivenEngine"]
+
+#: Recompute the rate sums exactly every this many incremental updates to
+#: bound floating-point drift.
+_RESYNC_EVERY = 4096
+
+
+class EventDrivenEngine:
+    """Exact continuous-time MBAC simulation on one bufferless link.
+
+    Parameters
+    ----------
+    source : TrafficSource
+        The flow population.
+    controller : AdmissionController
+        Admission policy mapping estimates to a target count.
+    estimator : Estimator
+        Measurement process feeding the controller.
+    capacity : float
+        Link capacity ``c``.
+    holding_time : float
+        Mean exponential flow holding time ``T_h``.
+    rng : numpy.random.Generator
+        Randomness source.
+    sample_period : float, optional
+        Period of the paper-style point sampler.  ``None`` disables point
+        sampling (the exact time-weighted statistics are always kept).
+    batch_duration : float, optional
+        Batch length for the batch-means CI on the time-weighted overflow
+        fraction; defaults to ``10 * sample_period`` when sampling is on,
+        else must be provided for a CI to exist.
+    max_flows : int, optional
+        Runaway guard on the admission loop (default ``ceil(10 c / mu)``).
+    observers : list, optional
+        Extra ``accumulate(aggregate, duration)`` objects driven on the
+        same trajectory (e.g. :class:`~repro.simulation.buffered.BufferedLink`,
+        :class:`~repro.core.utility.UtilityMeter`).
+    """
+
+    def __init__(
+        self,
+        *,
+        source: TrafficSource,
+        controller: AdmissionController,
+        estimator: Estimator,
+        capacity: float,
+        holding_time: float,
+        rng: np.random.Generator,
+        sample_period: float | None = None,
+        batch_duration: float | None = None,
+        max_flows: int | None = None,
+        observers: list | None = None,
+    ) -> None:
+        if holding_time <= 0.0:
+            raise ParameterError("holding_time must be positive")
+        if sample_period is not None and sample_period <= 0.0:
+            raise ParameterError("sample_period must be positive")
+        self.source = source
+        self.controller = controller
+        self.estimator = estimator
+        self.link = Link(capacity=capacity)
+        self.holding_time = float(holding_time)
+        self.rng = rng
+        self.sample_period = sample_period
+        if max_flows is None:
+            max_flows = int(math.ceil(10.0 * capacity / source.mean))
+        self.max_flows = int(max_flows)
+        #: Extra accumulate(aggregate, duration) observers driven on the
+        #: same trajectory (e.g. BufferedLink comparators).
+        self.observers = list(observers) if observers else []
+
+        self.time = 0.0
+        self.flows: dict[int, Flow] = {}
+        self._next_flow_id = 0
+        self._sum_rate = 0.0
+        self._sum_rate_sq = 0.0
+        self._updates_since_resync = 0
+
+        self.queue = EventQueue()
+        self.recorder = OverflowRecorder(capacity=capacity)
+        if batch_duration is None and sample_period is not None:
+            batch_duration = 10.0 * sample_period
+        self.batch = BatchMeans(batch_duration) if batch_duration else None
+
+        self.n_admitted = 0
+        self.n_departed = 0
+        self.n_rate_changes = 0
+        self.cap_hits = 0
+
+        self.estimator.reset(0.0)
+        self._bootstrap()
+        if self.sample_period is not None:
+            self.queue.push(self.sample_period, EventKind.SAMPLE)
+
+    # -- public read-side --------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Current occupancy ``N_t``."""
+        return len(self.flows)
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Current aggregate demand ``S_t``."""
+        return self._sum_rate
+
+    # -- state mutation ----------------------------------------------------
+
+    def _cross_section(self) -> CrossSection:
+        n = len(self.flows)
+        if n == 0:
+            return CrossSection(n=0, mean=0.0, second_moment=0.0, variance=0.0)
+        mean = self._sum_rate / n
+        m2 = self._sum_rate_sq / n
+        var = max(0.0, m2 - mean * mean) * (n / (n - 1)) if n >= 2 else 0.0
+        return CrossSection(n=n, mean=mean, second_moment=m2, variance=var)
+
+    def _resync_sums(self) -> None:
+        self._sum_rate = math.fsum(f.rate for f in self.flows.values())
+        self._sum_rate_sq = math.fsum(f.rate**2 for f in self.flows.values())
+        self._updates_since_resync = 0
+
+    def _apply_rate_delta(self, old: float, new: float) -> None:
+        self._sum_rate += new - old
+        self._sum_rate_sq += new * new - old * old
+        self._updates_since_resync += 1
+        if self._updates_since_resync >= _RESYNC_EVERY:
+            self._resync_sums()
+
+    def _admit_one(self) -> None:
+        process = self.source.new_flow(self.rng)
+        if process.rate < 0.0:
+            raise SimulationError("traffic source produced a negative rate")
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        departs = self.time + self.rng.exponential(self.holding_time)
+        self.flows[flow_id] = Flow(
+            flow_id=flow_id, process=process, admitted_at=self.time, departs_at=departs
+        )
+        self._apply_rate_delta(0.0, process.rate)
+        self.queue.push(departs, EventKind.DEPARTURE, flow_id)
+        dt = process.time_to_next_change(self.rng)
+        if math.isfinite(dt):
+            self.queue.push(self.time + dt, EventKind.RATE_CHANGE, flow_id)
+        self.n_admitted += 1
+
+    def _bootstrap(self) -> None:
+        """Seed the measurement process with one flow, then fill to target."""
+        self._admit_one()
+        self.estimator.observe(self._cross_section())
+        self._admission_round()
+
+    def _admission_round(self) -> None:
+        """Admit flows one at a time until the controller says stop.
+
+        Re-measures after every admission: the newly admitted flow's rate
+        enters the cross-section that decides about the *next* one, exactly
+        as an online controller would experience it.
+        """
+        while True:
+            if len(self.flows) >= self.max_flows:
+                self.cap_hits += 1
+                return
+            if not self.flows:
+                # Empty system: there is nothing to measure and nothing to
+                # protect -- admit unconditionally to re-seed measurement
+                # (otherwise a zero mean estimate would freeze admission
+                # forever).
+                self._admit_one()
+                self.estimator.observe(self._cross_section())
+                continue
+            estimate = self.estimator.estimate()
+            if self.controller.admission_slack(estimate, len(self.flows)) <= 0:
+                return
+            self._admit_one()
+            self.estimator.observe(self._cross_section())
+
+    def _advance_time(self, t_next: float) -> None:
+        duration = t_next - self.time
+        if duration < -1e-9:
+            raise SimulationError("event times went backwards")
+        if duration > 0.0:
+            overloaded = self.link.is_overloaded(self._sum_rate)
+            self.link.accumulate(self._sum_rate, duration)
+            for observer in self.observers:
+                observer.accumulate(self._sum_rate, duration)
+            if self.batch is not None:
+                self.batch.add(duration, overloaded)
+            self.time = t_next
+
+    # -- event handlers ----------------------------------------------------
+
+    def _handle_departure(self, flow_id: int) -> bool:
+        flow = self.flows.pop(flow_id, None)
+        if flow is None:  # pragma: no cover - departures are never stale
+            return False
+        self._apply_rate_delta(flow.rate, 0.0)
+        self.n_departed += 1
+        return True
+
+    def _handle_rate_change(self, flow_id: int) -> bool:
+        flow = self.flows.get(flow_id)
+        if flow is None:
+            return False  # stale event for a departed flow
+        old = flow.rate
+        flow.process.apply_change(self.rng)
+        if flow.rate < 0.0:
+            raise SimulationError("traffic source produced a negative rate")
+        self._apply_rate_delta(old, flow.rate)
+        dt = flow.process.time_to_next_change(self.rng)
+        if math.isfinite(dt):
+            self.queue.push(self.time + dt, EventKind.RATE_CHANGE, flow_id)
+        self.n_rate_changes += 1
+        return True
+
+    # -- main loop ----------------------------------------------------------
+
+    def run_until(self, t_end: float) -> None:
+        """Advance the simulation clock to ``t_end``."""
+        if t_end < self.time:
+            raise ParameterError("t_end must not precede the current time")
+        while len(self.queue) and self.queue.peek_time() <= t_end:
+            t_next, kind, flow_id = self.queue.pop()
+            self._advance_time(t_next)
+            self.estimator.advance(t_next)
+            if kind is EventKind.SAMPLE:
+                self.recorder.record(self._sum_rate)
+                self.queue.push(self.time + self.sample_period, EventKind.SAMPLE)
+                continue
+            if kind is EventKind.DEPARTURE:
+                changed = self._handle_departure(flow_id)
+            else:
+                changed = self._handle_rate_change(flow_id)
+            if changed:
+                self.estimator.observe(self._cross_section())
+                self._admission_round()
+        self._advance_time(t_end)
+        self.estimator.advance(t_end)
+
+    def reset_statistics(self) -> None:
+        """Zero all accumulated statistics (end of warm-up)."""
+        self.link.reset_statistics()
+        self.recorder = OverflowRecorder(capacity=self.link.capacity)
+        if self.batch is not None:
+            self.batch = BatchMeans(self.batch.batch_duration)
+        for observer in self.observers:
+            reset = getattr(observer, "reset_statistics", None)
+            if reset is not None:
+                reset()

@@ -1,0 +1,62 @@
+"""Event types and the event queue for the continuous-time engine.
+
+A thin, allocation-light wrapper over :mod:`heapq`.  Events are plain
+tuples ``(time, seq, kind, flow_id)``; the monotone sequence number breaks
+time ties deterministically (FIFO within an instant), which keeps runs
+bit-reproducible for a given seed.
+
+Cancellation is lazy: a flow's pending rate-change event is simply ignored
+when the flow has already departed (the engine checks membership), which is
+both simpler and faster than heap surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import IntEnum
+
+from repro.errors import SimulationError
+
+__all__ = ["EventKind", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Kinds of engine events.
+
+    Enum order is the tie-break order within one instant: departures are
+    processed before rate changes so a departing flow cannot renegotiate at
+    its departure instant, and samples observe the settled state last.
+    """
+
+    DEPARTURE = 0
+    RATE_CHANGE = 1
+    SAMPLE = 2
+
+
+class EventQueue:
+    """Min-heap of ``(time, kind, seq, flow_id)`` tuples."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, kind: EventKind, flow_id: int = -1) -> None:
+        """Schedule an event; ``flow_id`` is -1 for flowless events."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time, int(kind), self._seq, flow_id))
+
+    def peek_time(self) -> float:
+        """Time of the next event (raises if empty)."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        return self._heap[0][0]
+
+    def pop(self) -> tuple[float, EventKind, int]:
+        """Pop the next event as ``(time, kind, flow_id)``."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        time, kind, _seq, flow_id = heapq.heappop(self._heap)
+        return time, EventKind(kind), flow_id

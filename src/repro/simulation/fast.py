@@ -1,0 +1,426 @@
+"""Vectorized discrete-time engine for large parameter sweeps.
+
+The event-driven engine (:mod:`repro.simulation.engine`) is exact but pays
+Python-interpreter cost per event; the figure-level experiments sweep dozens
+of parameter points and need orders of magnitude more simulated time.  This
+engine advances all flows together on a fixed step ``dt`` with numpy:
+
+* renegotiations/departures become per-step Bernoulli events with the exact
+  exponential probabilities ``1 - exp(-dt/T)``;
+* the measurement process reuses the *same*
+  :class:`~repro.core.estimators.Estimator` objects as the reference engine
+  (their continuous-time filter updates are exact over each step);
+* admission is evaluated once per step: ``k = floor(M_t) - N_t`` flows are
+  admitted together (the reference engine re-measures between single
+  admissions; at ``dt`` well below the traffic time-scales the difference
+  is second-order, and the two engines are statistically cross-validated in
+  the integration tests).
+
+Supports traffic models whose per-flow state vectorizes: i.i.d.
+renegotiation sources (RCBR) and trace playback (with ``dt`` equal to the
+trace segment time).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.controllers import AdmissionController
+from repro.core.estimators import CrossSection, Estimator
+from repro.errors import ParameterError
+from repro.simulation.link import Link
+from repro.simulation.stats import BatchMeans, OverflowRecorder
+from repro.traffic.base import IIDRenegotiationSource, TrafficSource
+from repro.traffic.trace import TraceSource
+
+__all__ = [
+    "VectorModel",
+    "VectorRcbr",
+    "VectorTrace",
+    "VectorMixture",
+    "as_vector_model",
+    "FastEngine",
+]
+
+
+class VectorModel(ABC):
+    """Vectorized population model: batched sampling and batched advance."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Stationary per-flow mean rate."""
+
+    @property
+    @abstractmethod
+    def std(self) -> float:
+        """Stationary per-flow rate standard deviation."""
+
+    @abstractmethod
+    def sample(
+        self, rng: np.random.Generator, size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` stationary flows; returns ``(rates, state)``."""
+
+    @abstractmethod
+    def advance(
+        self,
+        rng: np.random.Generator,
+        rates: np.ndarray,
+        state: np.ndarray,
+        active: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Advance active flows by ``dt`` in place."""
+
+
+class VectorRcbr(VectorModel):
+    """Vectorized RCBR: exponential renegotiation epochs, i.i.d. redraws."""
+
+    def __init__(self, marginal, correlation_time: float) -> None:
+        if correlation_time <= 0.0:
+            raise ParameterError("correlation_time must be positive")
+        self.marginal = marginal
+        self.correlation_time = float(correlation_time)
+
+    @property
+    def mean(self) -> float:
+        return self.marginal.mean
+
+    @property
+    def std(self) -> float:
+        return self.marginal.std
+
+    def sample(self, rng, size):
+        rates = np.asarray(self.marginal.sample(rng, size), dtype=float)
+        return rates, np.zeros(size, dtype=np.int64)
+
+    def advance(self, rng, rates, state, active, dt):
+        p_reneg = -math.expm1(-dt / self.correlation_time)
+        mask = active & (rng.random(rates.size) < p_reneg)
+        count = int(mask.sum())
+        if count:
+            rates[mask] = self.marginal.sample(rng, count)
+
+
+class VectorTrace(VectorModel):
+    """Vectorized trace playback; requires ``dt`` = trace segment time."""
+
+    def __init__(self, trace) -> None:
+        self.trace = trace
+        self._rates = np.asarray(trace.rates, dtype=float)
+
+    @property
+    def mean(self) -> float:
+        return self.trace.mean
+
+    @property
+    def std(self) -> float:
+        return self.trace.std
+
+    @property
+    def segment_time(self) -> float:
+        return self.trace.segment_time
+
+    def sample(self, rng, size):
+        idx = rng.integers(self._rates.size, size=size)
+        return self._rates[idx].copy(), idx.astype(np.int64)
+
+    def advance(self, rng, rates, state, active, dt):
+        if abs(dt - self.trace.segment_time) > 1e-9 * self.trace.segment_time:
+            raise ParameterError(
+                "VectorTrace requires the engine step to equal the trace "
+                f"segment time ({self.trace.segment_time}), got {dt}"
+            )
+        state[active] = (state[active] + 1) % self._rates.size
+        rates[active] = self._rates[state[active]]
+
+
+class VectorMixture(VectorModel):
+    """Vectorized mixture of RCBR classes (heterogeneous flows, Sec 5.4).
+
+    Per-flow state is the class index; renegotiation probability and the
+    redraw marginal are class-dependent.
+    """
+
+    def __init__(self, marginals, correlation_times, weights) -> None:
+        self.marginals = list(marginals)
+        self.correlation_times = np.asarray(correlation_times, dtype=float)
+        w = np.asarray(weights, dtype=float)
+        k = len(self.marginals)
+        if self.correlation_times.shape != (k,) or w.shape != (k,) or k == 0:
+            raise ParameterError("need matching marginals/times/weights")
+        if np.any(self.correlation_times <= 0.0):
+            raise ParameterError("correlation times must be positive")
+        if np.any(w < 0.0) or w.sum() <= 0.0:
+            raise ParameterError("weights must be non-negative, not all zero")
+        self.weights = w / w.sum()
+        means = np.array([m.mean for m in self.marginals])
+        stds = np.array([m.std for m in self.marginals])
+        self._mean = float(self.weights @ means)
+        second = float(self.weights @ (stds**2 + means**2))
+        self._std = math.sqrt(max(0.0, second - self._mean**2))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    def sample(self, rng, size):
+        classes = rng.choice(len(self.marginals), size=size, p=self.weights)
+        rates = np.empty(size)
+        for k, marginal in enumerate(self.marginals):
+            mask = classes == k
+            count = int(mask.sum())
+            if count:
+                rates[mask] = marginal.sample(rng, count)
+        return rates, classes.astype(np.int64)
+
+    def advance(self, rng, rates, state, active, dt):
+        p_by_class = -np.expm1(-dt / self.correlation_times)
+        uniforms = rng.random(rates.size)
+        for k, marginal in enumerate(self.marginals):
+            mask = active & (state == k) & (uniforms < p_by_class[k])
+            count = int(mask.sum())
+            if count:
+                rates[mask] = marginal.sample(rng, count)
+
+
+def as_vector_model(source: TrafficSource) -> VectorModel:
+    """Adapt a scalar :class:`TrafficSource` to its vectorized equivalent."""
+    # Imported here to avoid a hard dependency cycle at module load.
+    from repro.traffic.heterogeneous import HeterogeneousPopulation
+
+    if isinstance(source, HeterogeneousPopulation):
+        if all(isinstance(s, IIDRenegotiationSource) for s in source.sources):
+            return VectorMixture(
+                [s.marginal for s in source.sources],
+                [s.renegotiation_timescale for s in source.sources],
+                source.weights,
+            )
+        raise ParameterError(
+            "heterogeneous populations vectorize only when every class is "
+            "an IID-renegotiation source; use the event-driven engine"
+        )
+    if isinstance(source, IIDRenegotiationSource):
+        # All IID-renegotiation sources in this package carry a marginal.
+        marginal = getattr(source, "marginal", None)
+        if marginal is None:
+            raise ParameterError(
+                f"{type(source).__name__} exposes no marginal to vectorize"
+            )
+        return VectorRcbr(marginal, source.renegotiation_timescale)
+    if isinstance(source, TraceSource):
+        return VectorTrace(source.trace)
+    raise ParameterError(
+        f"no vectorized model for {type(source).__name__}; use the "
+        "event-driven engine"
+    )
+
+
+class FastEngine:
+    """Fixed-step vectorized MBAC simulation.
+
+    Parameters mirror :class:`~repro.simulation.engine.EventDrivenEngine`
+    (including ``observers``) plus the time step ``dt``.  The step should
+    resolve the fastest system time-scale (``dt <= T_c/10`` is a good
+    default for RCBR; trace models fix ``dt`` to the segment time).
+
+    Estimators exposing ``observe_classified`` (the class-aware scheme of
+    Section 5.4) are fed per-class cross-sections automatically when the
+    model is a :class:`VectorMixture`.
+    """
+
+    def __init__(
+        self,
+        *,
+        model: VectorModel,
+        controller: AdmissionController,
+        estimator: Estimator,
+        capacity: float,
+        holding_time: float,
+        dt: float,
+        rng: np.random.Generator,
+        sample_period: float | None = None,
+        batch_duration: float | None = None,
+        max_flows: int | None = None,
+        observers: list | None = None,
+    ) -> None:
+        if holding_time <= 0.0 or dt <= 0.0:
+            raise ParameterError("holding_time and dt must be positive")
+        if sample_period is not None and sample_period < dt:
+            raise ParameterError("sample_period must be at least one step")
+        self.model = model
+        self.controller = controller
+        self.estimator = estimator
+        self.link = Link(capacity=capacity)
+        self.holding_time = float(holding_time)
+        self.dt = float(dt)
+        self.rng = rng
+        self.sample_period = sample_period
+
+        nominal = capacity / model.mean
+        if max_flows is None:
+            max_flows = int(math.ceil(3.0 * nominal + 50.0))
+        self._cap = int(max_flows)
+        self._rates = np.zeros(self._cap)
+        self._state = np.zeros(self._cap, dtype=np.int64)
+        self._active = np.zeros(self._cap, dtype=bool)
+        self._free: list[int] = list(range(self._cap - 1, -1, -1))
+        self._n = 0
+        self._p_depart = -math.expm1(-self.dt / self.holding_time)
+
+        self.time = 0.0
+        self._next_sample = sample_period if sample_period is not None else math.inf
+        self.recorder = OverflowRecorder(capacity=capacity)
+        if batch_duration is None and sample_period is not None:
+            batch_duration = 10.0 * sample_period
+        self.batch = BatchMeans(batch_duration) if batch_duration else None
+
+        self.n_admitted = 0
+        self.n_departed = 0
+        self.cap_hits = 0
+        #: Extra accumulate(aggregate, duration) observers (see engine.py).
+        self.observers = list(observers) if observers else []
+
+        self.estimator.reset(0.0)
+        self._admit(1)  # seed the measurement process
+        self._observe()
+        self._admission_step()
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Current occupancy ``N_t``."""
+        return self._n
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Current aggregate demand ``S_t``."""
+        return float(self._rates.sum())
+
+    def _cross_section(self) -> CrossSection:
+        n = self._n
+        if n == 0:
+            return CrossSection(n=0, mean=0.0, second_moment=0.0, variance=0.0)
+        total = float(self._rates.sum())
+        total_sq = float((self._rates * self._rates).sum())
+        mean = total / n
+        m2 = total_sq / n
+        var = max(0.0, m2 - mean * mean) * (n / (n - 1)) if n >= 2 else 0.0
+        return CrossSection(n=n, mean=mean, second_moment=m2, variance=var)
+
+    # -- mutations -----------------------------------------------------------
+
+    def _observe(self) -> None:
+        """Feed the estimator; per-class sections when it can use them."""
+        observe_classified = getattr(self.estimator, "observe_classified", None)
+        if observe_classified is not None and isinstance(self.model, VectorMixture):
+            sections = []
+            for k in range(len(self.model.marginals)):
+                mask = self._active & (self._state == k)
+                count = int(mask.sum())
+                if count == 0:
+                    continue
+                rates = self._rates[mask]
+                mean = float(rates.mean())
+                m2 = float((rates * rates).mean())
+                var = (
+                    max(0.0, m2 - mean * mean) * count / (count - 1)
+                    if count >= 2
+                    else 0.0
+                )
+                sections.append(
+                    (k, CrossSection(n=count, mean=mean, second_moment=m2,
+                                     variance=var))
+                )
+            observe_classified(sections)
+            return
+        self.estimator.observe(self._cross_section())
+
+    def _admit(self, k: int) -> int:
+        """Admit up to ``k`` fresh flows; returns how many fit under the cap."""
+        k = min(k, len(self._free))
+        if k <= 0:
+            return 0
+        slots = [self._free.pop() for _ in range(k)]
+        rates, state = self.model.sample(self.rng, k)
+        idx = np.asarray(slots, dtype=np.int64)
+        self._rates[idx] = rates
+        self._state[idx] = state
+        self._active[idx] = True
+        self._n += k
+        self.n_admitted += k
+        return k
+
+    def _admission_step(self) -> None:
+        if self._n == 0:
+            # Empty system: re-seed measurement unconditionally (a zero
+            # mean estimate would otherwise freeze admission forever).
+            self._admit(1)
+            self._observe()
+        estimate = self.estimator.estimate()
+        slack = self.controller.admission_slack(estimate, self._n)
+        if slack <= 0:
+            return
+        admitted = self._admit(slack)
+        if admitted < slack:
+            self.cap_hits += 1
+        if admitted:
+            self._observe()
+
+    def _depart_step(self) -> None:
+        mask = self._active & (self.rng.random(self._cap) < self._p_depart)
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            return
+        self._rates[idx] = 0.0
+        self._active[idx] = False
+        self._free.extend(int(i) for i in idx)
+        self._n -= idx.size
+        self.n_departed += idx.size
+
+    # -- main loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance by one time step ``dt``."""
+        t_next = self.time + self.dt
+        self.estimator.advance(t_next)
+        self.model.advance(self.rng, self._rates, self._state, self._active, self.dt)
+        self._depart_step()
+        self._observe()
+        self._admission_step()
+        aggregate = float(self._rates.sum())
+        overloaded = self.link.is_overloaded(aggregate)
+        self.link.accumulate(aggregate, self.dt)
+        for observer in self.observers:
+            observer.accumulate(aggregate, self.dt)
+        if self.batch is not None:
+            self.batch.add(self.dt, overloaded)
+        self.time = t_next
+        if self.time >= self._next_sample - 1e-9:
+            self.recorder.record(aggregate)
+            self._next_sample += self.sample_period
+
+    def run_until(self, t_end: float) -> None:
+        """Advance the clock to (at least) ``t_end``."""
+        while self.time < t_end - 1e-9:
+            self.step()
+
+    def reset_statistics(self) -> None:
+        """Zero all accumulated statistics (end of warm-up)."""
+        self.link.reset_statistics()
+        self.recorder = OverflowRecorder(capacity=self.link.capacity)
+        if self.batch is not None:
+            self.batch = BatchMeans(self.batch.batch_duration)
+        for observer in self.observers:
+            reset = getattr(observer, "reset_statistics", None)
+            if reset is not None:
+                reset()

@@ -1,0 +1,36 @@
+"""Flow bookkeeping for the event-driven engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traffic.base import FlowProcess
+
+__all__ = ["Flow"]
+
+
+@dataclass
+class Flow:
+    """One admitted flow: its rate process plus engine metadata.
+
+    Attributes
+    ----------
+    flow_id : int
+        Engine-unique identifier.
+    process : FlowProcess
+        The flow's piecewise-constant rate process.
+    admitted_at : float
+        Admission time (simulation clock).
+    departs_at : float
+        Pre-drawn departure time (exponential holding).
+    """
+
+    flow_id: int
+    process: FlowProcess
+    admitted_at: float
+    departs_at: float
+
+    @property
+    def rate(self) -> float:
+        """Current bandwidth of the flow."""
+        return self.process.rate

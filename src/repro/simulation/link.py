@@ -1,0 +1,88 @@
+"""The bufferless link resource model (Section 2 of the paper).
+
+A single link of capacity ``c``; overload is instantaneous: the QoS event
+occurs whenever the aggregate bandwidth demand exceeds ``c``.  (In the
+paper's RCBR interpretation this is a renegotiation failure.)  The class
+also carries the exact time-in-overload integrals the engines accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["Link"]
+
+
+@dataclass
+class Link:
+    """Bufferless link with exact overload-time accounting.
+
+    Attributes
+    ----------
+    capacity : float
+        Link capacity ``c`` (positive).
+    busy_time : float
+        Accumulated ``integral 1{S_t > c} dt`` since the last reset.
+    observed_time : float
+        Accumulated total time since the last reset.
+    bandwidth_time : float
+        Accumulated ``integral min(S_t, c) dt`` (carried traffic) -- the
+        utilization integral.
+    demand_time : float
+        Accumulated ``integral S_t dt`` (offered aggregate demand).
+    """
+
+    capacity: float
+    busy_time: float = 0.0
+    observed_time: float = 0.0
+    bandwidth_time: float = 0.0
+    demand_time: float = 0.0
+    overload_episodes: int = field(default=0)
+    _was_overloaded: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0:
+            raise ParameterError("capacity must be positive")
+
+    def is_overloaded(self, aggregate: float) -> bool:
+        """Whether demand ``aggregate`` exceeds capacity."""
+        return aggregate > self.capacity
+
+    def accumulate(self, aggregate: float, duration: float) -> None:
+        """Account for ``duration`` time units spent at constant demand."""
+        if duration < 0.0:
+            raise ParameterError("duration must be non-negative")
+        overloaded = self.is_overloaded(aggregate)
+        self.observed_time += duration
+        self.bandwidth_time += min(aggregate, self.capacity) * duration
+        self.demand_time += aggregate * duration
+        if overloaded:
+            self.busy_time += duration
+            if not self._was_overloaded:
+                self.overload_episodes += 1
+        self._was_overloaded = overloaded
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Exact fraction of time in overload since the last reset."""
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.busy_time / self.observed_time
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean carried load as a fraction of capacity."""
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.bandwidth_time / (self.capacity * self.observed_time)
+
+    def reset_statistics(self) -> None:
+        """Zero the integrals (used at the end of the warm-up period)."""
+        self.busy_time = 0.0
+        self.observed_time = 0.0
+        self.bandwidth_time = 0.0
+        self.demand_time = 0.0
+        self.overload_episodes = 0
+        self._was_overloaded = False

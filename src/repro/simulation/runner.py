@@ -1,0 +1,279 @@
+"""High-level simulation API: configure, run, measure, stop per the paper.
+
+:func:`simulate` wires a traffic source, an estimator, and an admission
+controller into one of the two engines, runs the warm-up, then simulates in
+chunks until the paper's termination criteria fire (or a wall-clock-bounded
+``max_time`` of simulated time elapses), and returns a
+:class:`SimulationResult` with both the paper-style sampled estimate and the
+exact time-weighted one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.controllers import AdmissionController, CertaintyEquivalentController
+from repro.core.estimators import make_estimator
+from repro.core.memory import critical_time_scale
+from repro.errors import ParameterError
+from repro.simulation.engine import EventDrivenEngine
+from repro.simulation.fast import FastEngine, VectorTrace, as_vector_model
+from repro.simulation.rng import make_rng
+from repro.simulation.stats import TerminationRule
+from repro.traffic.base import TrafficSource
+
+__all__ = ["SimulationConfig", "SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to reproduce one MBAC simulation run.
+
+    Attributes
+    ----------
+    source : TrafficSource
+        Flow population.
+    capacity : float
+        Link capacity ``c``.
+    holding_time : float
+        Mean flow holding time ``T_h``.
+    p_ce : float, optional
+        Certainty-equivalent target fed to the Gaussian criterion.  Exactly
+        one of ``p_ce``/``alpha_ce`` must be set unless ``controller`` is
+        given.
+    alpha_ce : float, optional
+        ``Q^{-1}(p_ce)`` directly (for ultra-conservative adjusted targets).
+    memory : float
+        Estimator memory ``T_m`` (0 = memoryless).
+    window_shape : str
+        "exponential" (the paper's AR filter) or "sliding".
+    controller : AdmissionController, optional
+        Override the certainty-equivalent controller (e.g. baselines).
+    engine : {"fast", "event"}
+        Which engine to run.
+    dt : float, optional
+        Fast-engine step; defaults to ``T_c / 10`` (or the trace segment
+        time for trace sources).
+    p_q : float, optional
+        QoS target used by the termination rule; defaults to ``p_ce``.
+    sample_period : float, optional
+        Defaults to the paper's ``2 max(T_h_tilde, T_m, T_c)``.
+    warmup : float, optional
+        Defaults to ``10 * sample_period``.
+    max_time : float
+        Hard cap on simulated time after warm-up.
+    chunk_samples : int
+        Termination criteria are evaluated every this many samples.
+    min_sigma : float
+        Floor for the controller's sigma estimate.
+    seed : int, optional
+        Reproducibility seed.
+    """
+
+    source: TrafficSource
+    capacity: float
+    holding_time: float
+    p_ce: float | None = None
+    alpha_ce: float | None = None
+    memory: float = 0.0
+    window_shape: str = "exponential"
+    controller: AdmissionController | None = None
+    engine: str = "fast"
+    dt: float | None = None
+    p_q: float | None = None
+    sample_period: float | None = None
+    warmup: float | None = None
+    max_time: float = 1e6
+    chunk_samples: int = 64
+    min_sigma: float = 0.0
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0 or self.holding_time <= 0.0:
+            raise ParameterError("capacity and holding_time must be positive")
+        if self.memory < 0.0:
+            raise ParameterError("memory must be non-negative")
+        if self.controller is None and (self.p_ce is None) == (self.alpha_ce is None):
+            raise ParameterError(
+                "provide exactly one of p_ce or alpha_ce (or a controller)"
+            )
+        if self.engine not in ("fast", "event"):
+            raise ParameterError("engine must be 'fast' or 'event'")
+        if self.max_time <= 0.0:
+            raise ParameterError("max_time must be positive")
+
+    @property
+    def system_size(self) -> float:
+        """Normalized capacity ``n = c / mu``."""
+        return self.capacity / self.source.mean
+
+    @property
+    def holding_time_scaled(self) -> float:
+        """Critical time-scale ``T_h_tilde = T_h / sqrt(n)``."""
+        return critical_time_scale(self.holding_time, self.system_size)
+
+    def resolved_sample_period(self) -> float:
+        """The paper's sampling period ``2 max(T_h_tilde, T_m, T_c)``."""
+        if self.sample_period is not None:
+            return self.sample_period
+        t_c = self.source.correlation_time or 0.0
+        return 2.0 * max(self.holding_time_scaled, self.memory, t_c)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    ``overflow_probability`` is the headline estimate selected by the
+    paper's rules: the sampled fraction when the CI criterion fired, the
+    Gaussian-tail fallback when the probability was too small to sample.
+    """
+
+    overflow_probability: float
+    stop_reason: str
+    used_gaussian_fallback: bool
+    sampled_mean: float
+    sampled_ci_halfwidth: float
+    n_samples: int
+    gaussian_tail: float | None
+    time_fraction: float
+    time_fraction_ci_halfwidth: float
+    mean_utilization: float
+    mean_flows: float
+    simulated_time: float
+    n_admitted: int
+    n_departed: int
+    cap_hits: int
+    config_notes: dict = field(default_factory=dict)
+
+
+def _build_controller(config: SimulationConfig) -> AdmissionController:
+    if config.controller is not None:
+        return config.controller
+    return CertaintyEquivalentController(
+        config.capacity,
+        config.p_ce,
+        alpha=config.alpha_ce,
+        min_sigma=config.min_sigma,
+    )
+
+
+def _build_engine(config: SimulationConfig, sample_period: float):
+    rng = make_rng(config.seed)
+    controller = _build_controller(config)
+    estimator = make_estimator(
+        config.memory if config.memory > 0.0 else None,
+        window_shape=config.window_shape,
+    )
+    if config.engine == "event":
+        return EventDrivenEngine(
+            source=config.source,
+            controller=controller,
+            estimator=estimator,
+            capacity=config.capacity,
+            holding_time=config.holding_time,
+            rng=rng,
+            sample_period=sample_period,
+        )
+    model = as_vector_model(config.source)
+    if config.dt is not None:
+        dt = config.dt
+    elif isinstance(model, VectorTrace):
+        dt = model.segment_time
+    else:
+        t_c = config.source.correlation_time
+        if t_c is None:
+            raise ParameterError("cannot infer dt; set SimulationConfig.dt")
+        dt = t_c / 10.0
+    return FastEngine(
+        model=model,
+        controller=controller,
+        estimator=estimator,
+        capacity=config.capacity,
+        holding_time=config.holding_time,
+        dt=dt,
+        rng=rng,
+        sample_period=sample_period,
+    )
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Run one MBAC simulation to the paper's stopping criteria.
+
+    Returns
+    -------
+    SimulationResult
+        See the class docstring; ``stop_reason`` is "ci" (criterion (a)),
+        "tiny" (criterion (b), Gaussian fallback), or "max_time".
+    """
+    sample_period = config.resolved_sample_period()
+    if sample_period <= 0.0:
+        raise ParameterError("resolved sample period must be positive")
+    engine = _build_engine(config, sample_period)
+
+    warmup = (
+        config.warmup if config.warmup is not None else 10.0 * sample_period
+    )
+    engine.run_until(warmup)
+    engine.reset_statistics()
+
+    p_q = config.p_q
+    if p_q is None:
+        p_q = config.p_ce if config.p_ce is not None else 1e-3
+    rule = TerminationRule(p_target=p_q)
+    chunk = config.chunk_samples * sample_period
+    t_end = warmup + config.max_time
+    decision = None
+    while engine.time < t_end:
+        engine.run_until(min(engine.time + chunk, t_end))
+        decision = rule.evaluate(engine.recorder)
+        if decision.stop:
+            break
+
+    recorder = engine.recorder
+    if decision is None or not decision.stop:
+        stop_reason = "max_time"
+        used_fallback = recorder.mean == 0.0 and recorder.n_samples >= 2
+        estimate = (
+            recorder.gaussian_tail_estimate() if used_fallback else recorder.mean
+        )
+    else:
+        stop_reason = decision.reason
+        used_fallback = decision.used_gaussian_fallback
+        estimate = decision.estimate
+
+    gaussian_tail = (
+        recorder.gaussian_tail_estimate() if recorder.n_samples >= 2 else None
+    )
+    link = engine.link
+    elapsed = link.observed_time
+    mean_flows = (
+        link.demand_time / (config.source.mean * elapsed) if elapsed > 0.0 else 0.0
+    )
+    batch = engine.batch
+    return SimulationResult(
+        overflow_probability=float(estimate),
+        stop_reason=stop_reason,
+        used_gaussian_fallback=used_fallback,
+        sampled_mean=recorder.mean,
+        sampled_ci_halfwidth=recorder.ci_halfwidth(),
+        n_samples=recorder.n_samples,
+        gaussian_tail=gaussian_tail,
+        time_fraction=link.overflow_fraction,
+        time_fraction_ci_halfwidth=(
+            batch.ci_halfwidth() if batch is not None else math.inf
+        ),
+        mean_utilization=link.mean_utilization,
+        mean_flows=mean_flows,
+        simulated_time=elapsed,
+        n_admitted=engine.n_admitted,
+        n_departed=engine.n_departed,
+        cap_hits=engine.cap_hits,
+        config_notes={
+            "engine": config.engine,
+            "sample_period": sample_period,
+            "warmup": warmup,
+            "p_q": p_q,
+        },
+    )

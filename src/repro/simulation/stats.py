@@ -1,0 +1,212 @@
+"""Overflow-probability estimation and the paper's termination rules.
+
+Section 5.2 of the paper describes the measurement protocol we reproduce
+verbatim:
+
+* the system is sampled at regular intervals of ``2 max(T_h_tilde, T_m,
+  T_c)`` -- long enough for samples to be approximately independent;
+* simulation stops when (a) the 95% confidence interval is within +/- 20%
+  of the estimated mean, or (b) the estimated mean plus the confidence
+  interval is at least two orders of magnitude below the target, in which
+  case the reported ``p_f`` is the Gaussian-tail fallback
+  ``Q((c - mu_hat)/sigma_hat)`` computed from the empirical mean and
+  variance of the sampled aggregate bandwidth.
+
+In addition to the paper's point-sampling estimator we keep the *exact*
+time-weighted overflow fraction (free in an event-driven simulation) with a
+batch-means confidence interval; experiments report both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.gaussian import q_function
+from repro.errors import ParameterError
+
+__all__ = [
+    "OverflowRecorder",
+    "BatchMeans",
+    "TerminationRule",
+    "TerminationDecision",
+]
+
+_Z_95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+@dataclass
+class OverflowRecorder:
+    """Point samples of the (indicator, aggregate) pair at the sample epochs.
+
+    Holds sufficient statistics only -- O(1) memory regardless of run
+    length.
+    """
+
+    capacity: float
+    n_samples: int = 0
+    n_overflows: int = 0
+    sum_aggregate: float = 0.0
+    sum_aggregate_sq: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0:
+            raise ParameterError("capacity must be positive")
+
+    def record(self, aggregate: float) -> None:
+        """Record one sample of the instantaneous aggregate demand."""
+        self.n_samples += 1
+        if aggregate > self.capacity:
+            self.n_overflows += 1
+        self.sum_aggregate += aggregate
+        self.sum_aggregate_sq += aggregate * aggregate
+
+    @property
+    def mean(self) -> float:
+        """Empirical overflow probability (fraction of overflow samples)."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.n_overflows / self.n_samples
+
+    def ci_halfwidth(self, z: float = _Z_95) -> float:
+        """Normal-approximation CI half-width on the Bernoulli mean.
+
+        Infinite until at least two samples exist (no width estimate).
+        """
+        if self.n_samples < 2:
+            return math.inf
+        p = self.mean
+        return z * math.sqrt(max(p * (1.0 - p), 0.0) / self.n_samples)
+
+    def gaussian_tail_estimate(self) -> float:
+        """The paper's fallback: ``Q((c - mu_hat)/sigma_hat)`` from the
+        sampled aggregate's empirical mean and standard deviation."""
+        if self.n_samples < 2:
+            raise ParameterError("need at least two samples")
+        mean = self.sum_aggregate / self.n_samples
+        var = self.sum_aggregate_sq / self.n_samples - mean * mean
+        if var <= 0.0:
+            return 0.0 if mean <= self.capacity else 1.0
+        return q_function((self.capacity - mean) / math.sqrt(var))
+
+    def merge(self, other: "OverflowRecorder") -> None:
+        """Fold another recorder's samples into this one (parallel runs)."""
+        if other.capacity != self.capacity:
+            raise ParameterError("cannot merge recorders for different links")
+        self.n_samples += other.n_samples
+        self.n_overflows += other.n_overflows
+        self.sum_aggregate += other.sum_aggregate
+        self.sum_aggregate_sq += other.sum_aggregate_sq
+
+
+@dataclass
+class BatchMeans:
+    """Batch-means CI for the exact time-weighted overflow fraction.
+
+    Time is cut into contiguous batches of fixed duration; the per-batch
+    overflow fractions are treated as approximately i.i.d. (valid when the
+    batch length is well beyond the system's memory) and a t-style normal
+    CI is formed on their mean.
+    """
+
+    batch_duration: float
+    _batches: list[float] = field(default_factory=list)
+    _current_busy: float = 0.0
+    _current_elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_duration <= 0.0:
+            raise ParameterError("batch_duration must be positive")
+
+    def add(self, duration: float, overloaded: bool) -> None:
+        """Account a constant-state interval, splitting across batches."""
+        if duration < 0.0:
+            raise ParameterError("duration must be non-negative")
+        remaining = duration
+        while remaining > 0.0:
+            room = self.batch_duration - self._current_elapsed
+            chunk = min(room, remaining)
+            self._current_elapsed += chunk
+            if overloaded:
+                self._current_busy += chunk
+            remaining -= chunk
+            if self._current_elapsed >= self.batch_duration - 1e-12:
+                self._batches.append(self._current_busy / self._current_elapsed)
+                self._current_busy = 0.0
+                self._current_elapsed = 0.0
+
+    @property
+    def n_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def mean(self) -> float:
+        if not self._batches:
+            return 0.0
+        return sum(self._batches) / len(self._batches)
+
+    def ci_halfwidth(self, z: float = _Z_95) -> float:
+        n = len(self._batches)
+        if n < 2:
+            return math.inf
+        mean = self.mean
+        var = sum((b - mean) ** 2 for b in self._batches) / (n - 1)
+        return z * math.sqrt(var / n)
+
+
+@dataclass(frozen=True)
+class TerminationDecision:
+    """Outcome of applying the paper's stopping rules."""
+
+    stop: bool
+    reason: str  # "ci", "tiny", or "continue"
+    estimate: float
+    used_gaussian_fallback: bool
+
+
+@dataclass(frozen=True)
+class TerminationRule:
+    """The paper's two stopping criteria (Section 5.2).
+
+    Parameters
+    ----------
+    p_target : float
+        The *QoS* target ``p_q`` the run is judged against (criterion (b)
+        compares the estimate to this, not to ``p_ce``).
+    rel_halfwidth : float
+        Criterion (a): stop when the CI half-width is below this fraction of
+        the mean (paper: 0.2).
+    margin_orders : float
+        Criterion (b): stop when ``mean + halfwidth`` is at least this many
+        orders of magnitude below ``p_target`` (paper: 2).
+    min_samples : int
+        Do not stop before this many samples regardless (guards the
+        all-zeros start where both criteria degenerate).
+    """
+
+    p_target: float
+    rel_halfwidth: float = 0.2
+    margin_orders: float = 2.0
+    min_samples: int = 50
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_target < 1.0:
+            raise ParameterError("p_target must be in (0, 1)")
+        if self.rel_halfwidth <= 0.0 or self.margin_orders <= 0.0:
+            raise ParameterError("rule thresholds must be positive")
+
+    def evaluate(self, recorder: OverflowRecorder) -> TerminationDecision:
+        """Apply both criteria to the current sample set."""
+        if recorder.n_samples < self.min_samples:
+            return TerminationDecision(False, "continue", recorder.mean, False)
+        mean = recorder.mean
+        half = recorder.ci_halfwidth()
+        if mean > 0.0 and half <= self.rel_halfwidth * mean:
+            return TerminationDecision(True, "ci", mean, False)
+        threshold = self.p_target * 10.0 ** (-self.margin_orders)
+        upper = mean + (half if math.isfinite(half) else 0.0)
+        if upper <= threshold:
+            return TerminationDecision(
+                True, "tiny", recorder.gaussian_tail_estimate(), True
+            )
+        return TerminationDecision(False, "continue", mean, False)

@@ -1,0 +1,95 @@
+"""Analytic results of the paper, one module per model.
+
+* :mod:`repro.theory.impulsive` -- Section 3.1 (the ``sqrt(2)`` law).
+* :mod:`repro.theory.finite_holding` -- Section 3.2 (eqn (21)).
+* :mod:`repro.theory.continuous` -- Sections 4.1-4.2, memoryless MBAC.
+* :mod:`repro.theory.memoryful` -- Section 4.3, MBAC with memory.
+* :mod:`repro.theory.hitting` -- the Braker boundary-crossing machinery.
+* :mod:`repro.theory.inversion` -- robust-target computation (Figs 6-7).
+* :mod:`repro.theory.utilization` -- eqn (40).
+* :mod:`repro.theory.regimes` -- masking/repair classification (Fig 8).
+"""
+
+from repro.theory.continuous import (
+    overflow_in_flow_params,
+    overflow_probability_memoryless,
+    overflow_vs_target,
+    separation_approx,
+)
+from repro.theory.finite_holding import (
+    exponential_autocorrelation,
+    overflow_probability_at,
+    overflow_probability_curve,
+    peak_overflow,
+)
+from repro.theory.hitting import boundary_crossing_probability, first_passage_density
+from repro.theory.impulsive import (
+    adjusted_target_impulsive,
+    admitted_count_distribution,
+    ce_overflow_probability,
+    mean_sensitivity,
+    mean_sensitivity_relative,
+    perfect_knowledge_count,
+    perfect_knowledge_count_asymptotic,
+    std_sensitivity,
+    utilization_loss_impulsive,
+)
+from repro.theory.inversion import (
+    OVERFLOW_FORMULAS,
+    adjusted_ce_alpha,
+    adjusted_ce_target,
+)
+from repro.theory.memoryful import (
+    ContinuousLoadModel,
+    masking_regime_approx,
+    overflow_probability,
+    overflow_probability_flow_params,
+    overflow_probability_separation,
+    repair_regime_approx,
+    variance_function,
+)
+from repro.theory.regimes import Regime, RegimeReport, classify_regime, regime_report
+from repro.theory.utilization import (
+    expected_utilization_mc,
+    perfect_knowledge_utilization,
+    utilization_difference,
+)
+
+__all__ = [
+    "ContinuousLoadModel",
+    "Regime",
+    "RegimeReport",
+    "OVERFLOW_FORMULAS",
+    "adjusted_ce_alpha",
+    "adjusted_ce_target",
+    "adjusted_target_impulsive",
+    "admitted_count_distribution",
+    "boundary_crossing_probability",
+    "ce_overflow_probability",
+    "classify_regime",
+    "exponential_autocorrelation",
+    "expected_utilization_mc",
+    "first_passage_density",
+    "masking_regime_approx",
+    "mean_sensitivity",
+    "mean_sensitivity_relative",
+    "overflow_in_flow_params",
+    "overflow_probability",
+    "overflow_probability_at",
+    "overflow_probability_curve",
+    "overflow_probability_flow_params",
+    "overflow_probability_memoryless",
+    "overflow_probability_separation",
+    "overflow_vs_target",
+    "peak_overflow",
+    "perfect_knowledge_count",
+    "perfect_knowledge_count_asymptotic",
+    "perfect_knowledge_utilization",
+    "regime_report",
+    "repair_regime_approx",
+    "separation_approx",
+    "std_sensitivity",
+    "utilization_difference",
+    "utilization_loss_impulsive",
+    "variance_function",
+]

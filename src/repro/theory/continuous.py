@@ -1,0 +1,100 @@
+"""Memoryless continuous-load theory (Sections 4.1-4.2, eqns (29)-(35)).
+
+The memoryless MBAC is the ``T_m = 0`` special case of the memoryful
+formulas in :mod:`repro.theory.memoryful`; this module exposes the paper's
+standalone forms -- the OU hitting integral (32), the closed form under
+separation of time-scales (33) and its flow-parameter rewrites (34)/(35) --
+and delegates the numerics to the shared machinery so all versions agree by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+__all__ = [
+    "overflow_probability_memoryless",
+    "separation_approx",
+    "overflow_in_flow_params",
+    "overflow_vs_target",
+]
+
+
+def _memoryless(model: ContinuousLoadModel) -> ContinuousLoadModel:
+    return replace(model, memory=0.0) if model.memory else model
+
+
+def overflow_probability_memoryless(
+    model: ContinuousLoadModel, *, p_ce: float | None = None, alpha: float | None = None
+) -> float:
+    """Eqn (32): numerical integration of the OU hitting probability.
+
+    ``p_f ~ gamma int_0^inf (alpha+t) / [2(1-e^{-gamma t})]^{3/2}
+    phi((alpha+t)/sqrt(2(1-e^{-gamma t}))) dt`` -- evaluated through the
+    generic boundary-crossing machinery (identical by the change of variable
+    ``t = beta * tau``).
+    """
+    return overflow_probability(_memoryless(model), p_ce=p_ce, alpha=alpha)
+
+
+def separation_approx(
+    gamma: float, *, p_ce: float | None = None, alpha: float | None = None
+) -> float:
+    """Eqn (33): ``p_f ~ gamma/(2 sqrt(pi)) * exp(-alpha^2/4)``.
+
+    Valid when flow and burst time-scales separate (``gamma >> 1``).
+    """
+    if gamma <= 0.0:
+        raise ParameterError("gamma must be positive")
+    if (p_ce is None) == (alpha is None):
+        raise ParameterError("provide exactly one of p_ce or alpha")
+    a = q_inverse(p_ce) if alpha is None else float(alpha)
+    return float(min(gamma / (2.0 * math.sqrt(math.pi)) * math.exp(-0.25 * a * a), 1.0))
+
+
+def overflow_in_flow_params(model: ContinuousLoadModel, p_ce: float) -> float:
+    """Eqn (34): ``p_f ~ (T_h_tilde / 2 T_c) * (sigma alpha / mu) * Q(alpha/sqrt(2))``.
+
+    The paper's rewrite of (33) via ``phi(x)/x ~ Q(x)``; it makes the
+    comparison with the impulsive-load result ``Q(alpha/sqrt(2))``
+    (Prop 3.3) explicit: continuous load multiplies it by the number of
+    independent "estimation opportunities" per critical window.
+    """
+    alpha = q_inverse(p_ce)
+    if alpha <= 0.0:
+        raise ParameterError("eqn (34) requires p_ce < 1/2")
+    factor = (
+        model.holding_time_scaled
+        / (2.0 * model.correlation_time)
+        * model.snr
+        * alpha
+    )
+    return float(min(factor * q_function(alpha / math.sqrt(2.0)), 1.0))
+
+
+def overflow_vs_target(model: ContinuousLoadModel, p_ce: float) -> float:
+    """Eqn (35): ``p_f`` expressed directly through the target ``p_ce``.
+
+    ``p_f ~ (T_h_tilde / (sqrt(2) T_c)) * (sigma / (sqrt(2 pi) mu))
+    * (sqrt(2 pi) alpha p_ce)^{1/2}`` -- the memoryless scheme achieves only
+    the *square root* of its configured target.
+    """
+    alpha = q_inverse(p_ce)
+    if alpha <= 0.0:
+        raise ParameterError("eqn (35) requires p_ce < 1/2")
+    # (35) follows from (33) by the identity exp(-a^2/2) ~= sqrt(2pi)*a*Q(a),
+    # the same Q(x) ~ phi(x)/x approximation used throughout the paper.
+    base = math.sqrt(2.0 * math.pi) * alpha * p_ce
+    value = (
+        model.holding_time_scaled
+        / (math.sqrt(2.0) * model.correlation_time)
+        * model.snr
+        / math.sqrt(2.0 * math.pi)
+        * math.sqrt(base)
+    )
+    return float(min(value, 1.0))

@@ -1,0 +1,155 @@
+"""Impulsive-load theory (Section 3.1 of the paper).
+
+All the analytic results for the model where an infinite burst of flows
+arrives at time 0, the MBAC admits ``M_0`` of them based on measured
+``(mu_hat, sigma_hat)``, and no further arrivals occur:
+
+* the perfect-knowledge admissible count ``m*`` (eqn (4)) and its
+  heavy-traffic expansion (eqn (5));
+* the limiting distribution of ``M_0`` (Prop 3.1, eqns (10)-(11));
+* the ``sqrt(2)`` law for the certainty-equivalent steady-state overflow
+  probability (Prop 3.3, eqn (14));
+* the conservative adjustment ``p_ce = Q(sqrt(2) alpha_q)`` (eqn (15)) and
+  the associated utilization loss;
+* the deterministic sensitivities ``s_mu`` and ``s_sigma`` explaining why the
+  mean-estimation error dominates in large systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.admission import admissible_flow_count_alpha
+from repro.core.gaussian import phi, q_function, q_inverse
+from repro.errors import ParameterError
+
+__all__ = [
+    "perfect_knowledge_count",
+    "perfect_knowledge_count_asymptotic",
+    "admitted_count_distribution",
+    "ce_overflow_probability",
+    "adjusted_target_impulsive",
+    "utilization_loss_impulsive",
+    "mean_sensitivity",
+    "mean_sensitivity_relative",
+    "std_sensitivity",
+]
+
+
+def perfect_knowledge_count(n: float, mu: float, sigma: float, p_q: float) -> float:
+    """Exact (real-valued) ``m*`` solving eqn (4) for capacity ``c = n*mu``."""
+    if n <= 0.0:
+        raise ParameterError("system size n must be positive")
+    return admissible_flow_count_alpha(mu, sigma, n * mu, q_inverse(p_q))
+
+
+def perfect_knowledge_count_asymptotic(
+    n: float, mu: float, sigma: float, p_q: float
+) -> float:
+    """Heavy-traffic expansion ``m* ~ n - (sigma*alpha_q/mu) sqrt(n)`` (eqn 5)."""
+    if n <= 0.0 or mu <= 0.0 or sigma < 0.0:
+        raise ParameterError("invalid parameters")
+    alpha_q = q_inverse(p_q)
+    return n - (sigma * alpha_q / mu) * math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class AdmittedCountDistribution:
+    """Gaussian limit of the admitted count ``M_0`` (Prop 3.1 / eqn (11)).
+
+    ``(M_0 - n)/sqrt(n) -> -(sigma/mu)(Y_0 + alpha_q)`` with ``Y_0 ~ N(0,1)``,
+    i.e. ``M_0 ~ Normal(mean, std^2)`` with the attributes below.
+    """
+
+    mean: float
+    std: float
+
+    def quantile(self, p) -> float:
+        """Quantile of the limiting Gaussian (upper-tail convention: the
+        value exceeded with probability ``p``)."""
+        return self.mean + self.std * q_inverse(p)
+
+
+def admitted_count_distribution(
+    n: float, mu: float, sigma: float, p_q: float
+) -> AdmittedCountDistribution:
+    """Limiting Gaussian law of the MBAC-admitted count ``M_0`` (eqn (11))."""
+    if n <= 0.0 or mu <= 0.0 or sigma < 0.0:
+        raise ParameterError("invalid parameters")
+    alpha_q = q_inverse(p_q)
+    root_n = math.sqrt(n)
+    return AdmittedCountDistribution(
+        mean=n - (sigma / mu) * alpha_q * root_n,
+        std=(sigma / mu) * root_n,
+    )
+
+
+def ce_overflow_probability(p_q) -> float:
+    """Prop 3.3: the certainty-equivalent steady-state overflow probability.
+
+    ``lim_n p_f = Q(Q^{-1}(p_q) / sqrt(2))`` -- the universal ``sqrt(2)``
+    degradation, independent of the flow distribution and of ``n``.
+    """
+    alpha = q_inverse(p_q)
+    return q_function(np.asarray(alpha) / math.sqrt(2.0))
+
+
+def adjusted_target_impulsive(p_q) -> float:
+    """Eqn (15): the ``p_ce`` achieving ``p_f = p_q`` in the impulsive model.
+
+    ``p_ce = Q(sqrt(2) * alpha_q)`` -- roughly the square of the target.
+    """
+    alpha = q_inverse(p_q)
+    return q_function(math.sqrt(2.0) * np.asarray(alpha))
+
+
+def utilization_loss_impulsive(n: float, sigma: float, p_q: float) -> float:
+    """Bandwidth-utilization loss of the adjusted scheme vs perfect knowledge.
+
+    ``(sqrt(2) - 1) * sigma * alpha_q * sqrt(n)`` (Section 3.1).
+    """
+    if n <= 0.0 or sigma < 0.0:
+        raise ParameterError("invalid parameters")
+    return (math.sqrt(2.0) - 1.0) * sigma * q_inverse(p_q) * math.sqrt(n)
+
+
+def mean_sensitivity(n: float, mu: float, sigma: float, p_q: float) -> float:
+    """Sensitivity ``s_mu = d p_f / d mu_hat`` at the nominal point.
+
+    Derived from the defining relations of Section 3.1:
+    ``s_mu = -phi(alpha_q) * sqrt(m*) / sigma`` (per unit *absolute* error in
+    the mean estimate; grows like ``sqrt(n)``).  The memo's printed formula
+    carries an extra factor ``mu`` -- that is the *relative*-error
+    sensitivity, exposed as :func:`mean_sensitivity_relative`.  Tests verify
+    this version by finite differences on the exact criterion.
+    """
+    if sigma <= 0.0:
+        raise ParameterError("sigma must be positive for sensitivity analysis")
+    alpha_q = q_inverse(p_q)
+    m_star = perfect_knowledge_count(n, mu, sigma, p_q)
+    return -phi(alpha_q) * math.sqrt(m_star) / sigma
+
+
+def mean_sensitivity_relative(n: float, mu: float, sigma: float, p_q: float) -> float:
+    """Sensitivity of ``p_f`` per unit relative error ``mu_hat/mu - 1``.
+
+    ``-phi(alpha_q) * (mu/sigma) * sqrt(m*)`` -- the form printed in the
+    paper (their ``s_mu``).
+    """
+    return mu * mean_sensitivity(n, mu, sigma, p_q)
+
+
+def std_sensitivity(sigma: float, p_q: float) -> float:
+    """Sensitivity ``s_sigma = -alpha_q * phi(alpha_q) / sigma``.
+
+    Independent of the system size -- the key asymmetry of Section 3.1: as
+    ``n`` grows, the improving ``sigma_hat`` has vanishing net impact while
+    the improving ``mu_hat`` does not.
+    """
+    if sigma <= 0.0:
+        raise ParameterError("sigma must be positive")
+    alpha_q = q_inverse(p_q)
+    return -alpha_q * phi(alpha_q) / sigma

@@ -1,0 +1,88 @@
+"""Masking / repair regime classification (Section 5.3, Fig 8).
+
+With the paper's recommended memory ``T_m ~ T_h_tilde``, the MBAC's
+behaviour splits into two regimes along the (unknown) traffic correlation
+time-scale ``T_c``:
+
+* **masking** (``T_c << T_m``): the estimator memory smooths the traffic
+  fluctuations; the fluctuation time-scale of the mean estimate is set by
+  ``T_m`` alone and the detailed correlation structure is irrelevant.
+* **repair** (``T_c >> T_h_tilde``): memory cannot reduce estimation error,
+  but the estimate fluctuates slower than the system's relaxation, so
+  departures repair mistakes before they can cause overflow.
+
+The crossover band in between is where neither closed form applies and the
+general integral (37) must be evaluated numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ParameterError
+from repro.theory.memoryful import (
+    ContinuousLoadModel,
+    masking_regime_approx,
+    overflow_probability,
+    repair_regime_approx,
+)
+
+__all__ = ["Regime", "classify_regime", "RegimeReport", "regime_report"]
+
+
+class Regime(Enum):
+    """Operating regime of an MBAC with memory ``T_m ~ T_h_tilde``."""
+
+    MASKING = "masking"
+    REPAIR = "repair"
+    CROSSOVER = "crossover"
+
+
+def classify_regime(
+    model: ContinuousLoadModel, *, separation: float = 10.0
+) -> Regime:
+    """Classify by the ratio of ``T_c`` to the MBAC's own time-scales.
+
+    ``separation`` is the factor considered "much larger/smaller";
+    the paper's asymptotics use an order-of-magnitude separation.
+    """
+    if separation <= 1.0:
+        raise ParameterError("separation factor must exceed 1")
+    reference = max(model.memory, model.holding_time_scaled)
+    if model.correlation_time * separation <= min(
+        model.memory if model.memory > 0.0 else model.holding_time_scaled,
+        model.holding_time_scaled,
+    ):
+        return Regime.MASKING
+    if model.correlation_time >= separation * reference:
+        return Regime.REPAIR
+    return Regime.CROSSOVER
+
+
+@dataclass(frozen=True)
+class RegimeReport:
+    """Regime plus the overflow predictions relevant to it."""
+
+    regime: Regime
+    p_f_general: float
+    p_f_regime_approx: float | None
+
+
+def regime_report(model: ContinuousLoadModel, p_ce: float) -> RegimeReport:
+    """Evaluate eqn (37) and the applicable closed-form regime approximation.
+
+    The regime approximation is ``None`` in the crossover band (the paper:
+    "for ``T_c`` in between the two extremes, there is no closed-form
+    expression ... we resort to a numerical integration of (37)").
+    """
+    regime = classify_regime(model)
+    general = overflow_probability(model, p_ce=p_ce)
+    approx: float | None
+    if regime is Regime.MASKING:
+        approx = masking_regime_approx(p_ce, model.snr)
+    elif regime is Regime.REPAIR and model.memory > 0.0:
+        approx = repair_regime_approx(model, p_ce=p_ce)
+    else:
+        approx = None
+    return RegimeReport(regime=regime, p_f_general=general, p_f_regime_approx=approx)

@@ -1,0 +1,49 @@
+"""Traffic models: RCBR, Markov fluids, on-off, traces, synthetic LRD video."""
+
+from repro.traffic.base import FlowProcess, IIDRenegotiationSource, TrafficSource
+from repro.traffic.heterogeneous import (
+    HeterogeneousPopulation,
+    MixtureMoments,
+    mixture_moments,
+)
+from repro.traffic.lrd import starwars_like_source, synthetic_video_trace
+from repro.traffic.marginals import (
+    DeterministicMarginal,
+    EmpiricalMarginal,
+    LognormalMarginal,
+    Marginal,
+    TruncatedGaussianMarginal,
+    UniformMarginal,
+)
+from repro.traffic.markov import MarkovFluidFlow, MarkovFluidSource
+from repro.traffic.onoff import OnOffSource, on_off_source
+from repro.traffic.rcbr import RcbrFlow, RcbrSource, paper_rcbr_source
+from repro.traffic.trace import Trace, TraceFlow, TraceSource, rcbr_smooth
+
+__all__ = [
+    "DeterministicMarginal",
+    "EmpiricalMarginal",
+    "FlowProcess",
+    "HeterogeneousPopulation",
+    "IIDRenegotiationSource",
+    "LognormalMarginal",
+    "Marginal",
+    "MarkovFluidFlow",
+    "MarkovFluidSource",
+    "MixtureMoments",
+    "OnOffSource",
+    "RcbrFlow",
+    "RcbrSource",
+    "Trace",
+    "TraceFlow",
+    "TraceSource",
+    "TrafficSource",
+    "TruncatedGaussianMarginal",
+    "UniformMarginal",
+    "mixture_moments",
+    "on_off_source",
+    "paper_rcbr_source",
+    "rcbr_smooth",
+    "starwars_like_source",
+    "synthetic_video_trace",
+]

@@ -1,0 +1,125 @@
+"""Traffic source and flow-process abstractions.
+
+The paper's resource model (Section 2) sees each flow as a stationary
+bandwidth process ``X_i(t)`` with mean ``mu``, variance ``sigma^2`` and
+autocorrelation ``rho(t)``.  Every concrete model in this package
+(RCBR, Markov fluids, on-off, trace playback, synthetic LRD video) realizes
+two interfaces:
+
+* :class:`TrafficSource` -- the *population*: knows the stationary moments
+  and mints per-flow processes.
+* :class:`FlowProcess` -- one flow's piecewise-constant rate process, driven
+  by the event engine: the process exposes its current ``rate``, the time to
+  its next rate change, and a mutation applying that change.
+
+Sources whose successive rates are i.i.d. draws at exponential renegotiation
+epochs (the paper's RCBR model) additionally implement
+:class:`IIDRenegotiationSource`, which the vectorized discrete-time engine
+exploits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["FlowProcess", "TrafficSource", "IIDRenegotiationSource"]
+
+
+class FlowProcess(ABC):
+    """One flow's piecewise-constant bandwidth process.
+
+    The engine alternates: read :attr:`rate`, schedule the next change after
+    :meth:`time_to_next_change`, then :meth:`apply_change` when it fires.
+    """
+
+    #: Current bandwidth (constant until the next change event).
+    rate: float
+
+    @abstractmethod
+    def time_to_next_change(self, rng: np.random.Generator) -> float:
+        """Sample the (strictly positive) time until the next rate change."""
+
+    @abstractmethod
+    def apply_change(self, rng: np.random.Generator) -> None:
+        """Advance the process across one rate-change epoch."""
+
+
+class TrafficSource(ABC):
+    """A homogeneous population of flows with known stationary moments."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Stationary mean bandwidth ``mu`` of one flow."""
+
+    @property
+    @abstractmethod
+    def std(self) -> float:
+        """Stationary standard deviation ``sigma`` of one flow."""
+
+    @property
+    def snr(self) -> float:
+        """Coefficient of variation ``sigma / mu``."""
+        mean = self.mean
+        if mean <= 0.0:
+            raise ParameterError("source mean must be positive")
+        return self.std / mean
+
+    @property
+    def correlation_time(self) -> float | None:
+        """Nominal correlation time-scale ``T_c`` (``None`` if undefined,
+        e.g. long-range-dependent traces have no single time-scale)."""
+        return None
+
+    @property
+    def peak_rate(self) -> float:
+        """Declared peak rate for peak-allocation baselines.
+
+        Defaults to ``mu + 3 sigma``; bounded sources override with their
+        true maximum.
+        """
+        return self.mean + 3.0 * self.std
+
+    @abstractmethod
+    def new_flow(self, rng: np.random.Generator) -> FlowProcess:
+        """Mint a new flow in its stationary regime."""
+
+    def autocorrelation(self, t):
+        """Stationary autocorrelation ``rho(t)`` if known analytically.
+
+        Raises
+        ------
+        NotImplementedError
+            For sources without a closed-form autocorrelation.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no analytic autocorrelation"
+        )
+
+
+class IIDRenegotiationSource(TrafficSource):
+    """Sources with i.i.d. rates at exponential renegotiation epochs.
+
+    This is the paper's RCBR model: rate changes form a Poisson process of
+    rate ``1/T_c`` per flow and each new rate is an independent draw from
+    the marginal, which makes the autocorrelation exactly
+    ``exp(-|t|/T_c)``.  The vectorized engine requires this structure.
+    """
+
+    @property
+    @abstractmethod
+    def renegotiation_timescale(self) -> float:
+        """Mean renegotiation interval ``T_c``."""
+
+    @abstractmethod
+    def sample_rates(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. stationary rates (vectorized)."""
+
+    def autocorrelation(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.exp(-np.abs(t) / self.renegotiation_timescale)
+        return out if out.ndim else float(out)

@@ -1,0 +1,131 @@
+"""Heterogeneous flow populations (Section 5.4 of the paper).
+
+The paper's analysis assumes homogeneous flows, then argues the scheme
+degrades gracefully under heterogeneity: the cross-sectional *variance*
+estimator of eqn (7) treats every flow as sharing one mean, so with classes
+of different means it picks up the between-class spread on top of the true
+within-class variance -- it is biased *upwards*, making the MBAC
+conservative (lost utilization, never lost QoS).
+
+This module provides a mixture population usable by the event engine plus
+the exact mixture-moment algebra needed to quantify that bias.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.traffic.base import FlowProcess, TrafficSource
+
+__all__ = ["HeterogeneousPopulation", "MixtureMoments", "mixture_moments"]
+
+
+@dataclass(frozen=True)
+class MixtureMoments:
+    """Exact moments of a weighted mixture of flow classes.
+
+    Attributes
+    ----------
+    mean : float
+        ``sum_k w_k mu_k`` -- the mean of a randomly drawn flow.
+    variance : float
+        Total variance ``sum_k w_k (sigma_k^2 + mu_k^2) - mean^2``: what the
+        homogeneous cross-sectional estimator converges to.
+    within_class_variance : float
+        ``sum_k w_k sigma_k^2``: what a class-aware estimator would use.
+    between_class_variance : float
+        The estimator's asymptotic bias,
+        ``variance - within_class_variance >= 0``.
+    """
+
+    mean: float
+    variance: float
+    within_class_variance: float
+
+    @property
+    def between_class_variance(self) -> float:
+        return self.variance - self.within_class_variance
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def within_class_std(self) -> float:
+        return math.sqrt(self.within_class_variance)
+
+
+def mixture_moments(weights, means, stds) -> MixtureMoments:
+    """Compute :class:`MixtureMoments` from per-class parameters."""
+    w = np.asarray(weights, dtype=float)
+    mu = np.asarray(means, dtype=float)
+    sd = np.asarray(stds, dtype=float)
+    if w.shape != mu.shape or w.shape != sd.shape or w.ndim != 1 or w.size == 0:
+        raise ParameterError("weights, means, stds must be equal-length 1-D")
+    if np.any(w < 0.0) or w.sum() <= 0.0:
+        raise ParameterError("weights must be non-negative and not all zero")
+    if np.any(mu <= 0.0) or np.any(sd < 0.0):
+        raise ParameterError("means must be positive, stds non-negative")
+    w = w / w.sum()
+    mean = float(w @ mu)
+    within = float(w @ (sd * sd))
+    total = float(w @ (sd * sd + mu * mu) - mean * mean)
+    return MixtureMoments(mean=mean, variance=total, within_class_variance=within)
+
+
+class HeterogeneousPopulation(TrafficSource):
+    """A mixture of :class:`~repro.traffic.base.TrafficSource` classes.
+
+    Each new flow is drawn from class ``k`` with probability proportional to
+    ``weights[k]`` and then behaves exactly as that class's source
+    prescribes.  The population-level ``mean``/``std`` are the *mixture*
+    moments -- i.e. the statistics a homogeneity-assuming measurement
+    process ultimately sees.
+    """
+
+    def __init__(self, sources, weights) -> None:
+        self.sources = list(sources)
+        w = np.asarray(weights, dtype=float)
+        if len(self.sources) == 0 or w.shape != (len(self.sources),):
+            raise ParameterError("need one weight per source")
+        if np.any(w < 0.0) or w.sum() <= 0.0:
+            raise ParameterError("weights must be non-negative, not all zero")
+        self.weights = w / w.sum()
+        self._moments = mixture_moments(
+            self.weights,
+            [s.mean for s in self.sources],
+            [s.std for s in self.sources],
+        )
+
+    @property
+    def moments(self) -> MixtureMoments:
+        """Exact mixture moments, including the estimator-bias decomposition."""
+        return self._moments
+
+    @property
+    def mean(self) -> float:
+        return self._moments.mean
+
+    @property
+    def std(self) -> float:
+        return self._moments.std
+
+    @property
+    def peak_rate(self) -> float:
+        return max(s.peak_rate for s in self.sources)
+
+    @property
+    def correlation_time(self) -> float | None:
+        """Weighted average of class time-scales (None if any is undefined)."""
+        times = [s.correlation_time for s in self.sources]
+        if any(t is None for t in times):
+            return None
+        return float(self.weights @ np.asarray(times, dtype=float))
+
+    def new_flow(self, rng: np.random.Generator) -> FlowProcess:
+        k = int(rng.choice(len(self.sources), p=self.weights))
+        return self.sources[k].new_flow(rng)

@@ -1,0 +1,67 @@
+"""On-off sources: the classical two-state special case.
+
+A flow alternates between silence and a peak rate with exponential sojourn
+times.  This is the workhorse model of the admission-control literature the
+paper builds on (and the simplest Markov fluid satisfying condition B.6);
+the wrapper exposes the familiar (peak, activity factor, burst time)
+parameterization on top of :class:`~repro.traffic.markov.MarkovFluidSource`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.traffic.markov import MarkovFluidSource
+
+__all__ = ["OnOffSource", "on_off_source"]
+
+
+class OnOffSource(MarkovFluidSource):
+    """Two-state on-off fluid.
+
+    Parameters
+    ----------
+    peak : float
+        Rate while "on".
+    activity : float
+        Stationary probability of being on, in (0, 1).
+    burst_time : float
+        Mean "on" sojourn ``1/down_rate``.
+
+    Notes
+    -----
+    Mean is ``peak * activity``; variance ``peak^2 * activity (1-activity)``;
+    autocorrelation ``exp(-t/T)`` with
+    ``T = burst_time * (1 - activity)`` (since the relaxation rate is
+    ``up + down`` and ``up = down * activity/(1-activity)``).
+    """
+
+    def __init__(self, *, peak: float, activity: float, burst_time: float) -> None:
+        if peak <= 0.0:
+            raise ParameterError("peak must be positive")
+        if not 0.0 < activity < 1.0:
+            raise ParameterError("activity must be in (0, 1)")
+        if burst_time <= 0.0:
+            raise ParameterError("burst_time must be positive")
+        down = 1.0 / burst_time
+        up = down * activity / (1.0 - activity)
+        self.peak = float(peak)
+        self.activity = float(activity)
+        self.burst_time = float(burst_time)
+        super().__init__(
+            generator=[[-up, up], [down, -down]],
+            rates=[0.0, peak],
+        )
+
+    @property
+    def relaxation_time(self) -> float:
+        """Exact exponential autocorrelation time ``1/(up + down)``."""
+        return self.burst_time * (1.0 - self.activity)
+
+
+def on_off_source(
+    *, mean: float, peak: float, burst_time: float
+) -> OnOffSource:
+    """Build an on-off source from (mean, peak, burst_time)."""
+    if not 0.0 < mean < peak:
+        raise ParameterError("need 0 < mean < peak")
+    return OnOffSource(peak=peak, activity=mean / peak, burst_time=burst_time)

@@ -1,0 +1,151 @@
+"""Trace-driven traffic: piecewise-CBR playback of a recorded rate series.
+
+Figures 11-12 of the paper drive the MBAC with "a piecewise CBR version of
+the MPEG-1 encoded Starwars movie" -- i.e. the frame-size series smoothed
+into constant-rate segments, played back by each flow from a random phase.
+This module provides the trace container, the RCBR-style smoothing, and the
+:class:`TraceSource` that plugs traces into the simulation engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError, TraceError
+from repro.traffic.base import FlowProcess, TrafficSource
+
+__all__ = ["Trace", "rcbr_smooth", "TraceFlow", "TraceSource"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A rate trace: one rate per fixed-length segment.
+
+    Attributes
+    ----------
+    rates : numpy.ndarray
+        Non-negative segment rates.
+    segment_time : float
+        Duration of each segment (e.g. one frame time, or one
+        renegotiation period after smoothing).
+    """
+
+    rates: np.ndarray
+    segment_time: float
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        if rates.ndim != 1 or rates.size < 2:
+            raise TraceError("trace needs at least two segments")
+        if np.any(rates < 0.0) or not np.all(np.isfinite(rates)):
+            raise TraceError("trace rates must be finite and non-negative")
+        if self.segment_time <= 0.0:
+            raise TraceError("segment_time must be positive")
+        object.__setattr__(self, "rates", rates)
+
+    @property
+    def duration(self) -> float:
+        """Total trace length in time units."""
+        return self.rates.size * self.segment_time
+
+    @property
+    def mean(self) -> float:
+        return float(self.rates.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.rates.std())
+
+    @property
+    def peak(self) -> float:
+        return float(self.rates.max())
+
+
+def rcbr_smooth(trace: Trace, renegotiation_period: float) -> Trace:
+    """Average a trace over fixed renegotiation periods (piecewise-CBR).
+
+    This is the "RCBR version" transformation: within each period the rate
+    is the mean of the covered segments; a trailing partial period is
+    dropped (it would bias the final segment's rate).
+    """
+    if renegotiation_period < trace.segment_time:
+        raise ParameterError(
+            "renegotiation period must be at least one trace segment"
+        )
+    per_period = int(round(renegotiation_period / trace.segment_time))
+    n_periods = trace.rates.size // per_period
+    if n_periods < 2:
+        raise ParameterError("trace too short for this renegotiation period")
+    trimmed = trace.rates[: n_periods * per_period]
+    smoothed = trimmed.reshape(n_periods, per_period).mean(axis=1)
+    return Trace(rates=smoothed, segment_time=per_period * trace.segment_time)
+
+
+class TraceFlow(FlowProcess):
+    """One flow playing a trace from a random phase, wrapping at the end.
+
+    The random phase includes a sub-segment offset, so the *first* change
+    arrives after the residual of the initial segment -- this makes an
+    ensemble of flows stationary rather than frame-synchronized.
+    """
+
+    __slots__ = ("rate", "_trace", "_index", "_residual")
+
+    def __init__(self, trace: Trace, rng: np.random.Generator):
+        self._trace = trace
+        self._index = int(rng.integers(trace.rates.size))
+        self._residual = float(rng.uniform(0.0, trace.segment_time))
+        self.rate = float(trace.rates[self._index])
+
+    def time_to_next_change(self, rng: np.random.Generator) -> float:
+        if self._residual > 0.0:
+            out, self._residual = self._residual, 0.0
+            return out
+        return self._trace.segment_time
+
+    def apply_change(self, rng: np.random.Generator) -> None:
+        self._index = (self._index + 1) % self._trace.rates.size
+        self.rate = float(self._trace.rates[self._index])
+
+
+class TraceSource(TrafficSource):
+    """Population of flows all playing the same trace at random phases."""
+
+    def __init__(self, trace: Trace) -> None:
+        if trace.mean <= 0.0:
+            raise TraceError("trace mean rate must be positive")
+        self.trace = trace
+
+    @property
+    def mean(self) -> float:
+        return self.trace.mean
+
+    @property
+    def std(self) -> float:
+        return self.trace.std
+
+    @property
+    def peak_rate(self) -> float:
+        return self.trace.peak
+
+    @property
+    def correlation_time(self) -> float | None:
+        """Traces (especially LRD ones) have no single time-scale."""
+        return None
+
+    def empirical_correlation_time(self, max_lag: int | None = None) -> float:
+        """Integral time-scale measured from the trace itself."""
+        from repro.processes.autocorr import (
+            empirical_autocorrelation,
+            integral_time_scale,
+        )
+
+        n = self.trace.rates.size
+        lag = max_lag if max_lag is not None else min(n - 1, max(10, n // 10))
+        rho = empirical_autocorrelation(self.trace.rates, lag)
+        return integral_time_scale(rho, self.trace.segment_time)
+
+    def new_flow(self, rng: np.random.Generator) -> TraceFlow:
+        return TraceFlow(self.trace, rng)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.memoryful import ContinuousLoadModel
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import RcbrSource, paper_rcbr_source
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; one per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_marginal() -> TruncatedGaussianMarginal:
+    """The paper's Gaussian marginal (mean 1, CV 0.3)."""
+    return TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+
+
+@pytest.fixture
+def rcbr_source(paper_marginal) -> RcbrSource:
+    """The paper's RCBR workload at T_c = 1."""
+    return RcbrSource(paper_marginal, correlation_time=1.0)
+
+
+@pytest.fixture
+def paper_source() -> RcbrSource:
+    """Convenience alias built via the public factory."""
+    return paper_rcbr_source(mean=1.0, cv=0.3, correlation_time=1.0)
+
+
+@pytest.fixture
+def paper_model() -> ContinuousLoadModel:
+    """Fig-5 parameter point: n=100, T_h=1000, T_c=1, snr=0.3, memoryless."""
+    return ContinuousLoadModel(
+        correlation_time=1.0, holding_time_scaled=100.0, snr=0.3, memory=0.0
+    )

@@ -1,0 +1,149 @@
+"""Tests for the Gaussian certainty-equivalent admission criterion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.admission import (
+    AdmissionCriterion,
+    admissible_flow_count,
+    admissible_flow_count_alpha,
+    overflow_probability_for_count,
+)
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+
+
+class TestClosedForm:
+    def test_satisfies_criterion_exactly(self):
+        """Eqn (42) must solve eqn (4) with equality."""
+        mu, sigma, c, p = 1.0, 0.3, 100.0, 1e-3
+        m = admissible_flow_count(mu, sigma, c, p)
+        achieved = q_function((c - m * mu) / (sigma * math.sqrt(m)))
+        assert achieved == pytest.approx(p, rel=1e-9)
+
+    def test_zero_variance_fills_capacity(self):
+        assert admissible_flow_count(2.0, 0.0, 100.0, 1e-3) == pytest.approx(50.0)
+
+    def test_below_capacity_in_means(self):
+        m = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        assert m < 100.0
+
+    def test_negative_alpha_overbooks(self):
+        # Target above 1/2 => alpha < 0 => admit beyond c/mu.
+        m = admissible_flow_count_alpha(1.0, 0.3, 100.0, -1.0)
+        assert m > 100.0
+
+    def test_heavy_traffic_expansion(self):
+        """m* ~ n - (sigma alpha / mu) sqrt(n) for large n (eqn (5))."""
+        mu, sigma, p = 1.0, 0.3, 1e-3
+        alpha = q_inverse(p)
+        for n in [1e4, 1e6]:
+            m = admissible_flow_count(mu, sigma, n * mu, p)
+            approx = n - sigma * alpha / mu * math.sqrt(n)
+            assert m == pytest.approx(approx, abs=5.0)
+
+    def test_vectorized(self):
+        ms = admissible_flow_count(1.0, np.array([0.1, 0.3, 0.5]), 100.0, 1e-3)
+        assert ms.shape == (3,)
+        assert np.all(np.diff(ms) < 0)  # more variance, fewer flows
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mu=0.0, sigma=0.3, capacity=10.0, p_target=1e-3),
+            dict(mu=1.0, sigma=-0.1, capacity=10.0, p_target=1e-3),
+            dict(mu=1.0, sigma=0.3, capacity=0.0, p_target=1e-3),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            admissible_flow_count(**kwargs)
+
+
+class TestMonotonicity:
+    def test_increasing_in_capacity(self):
+        m1 = admissible_flow_count(1.0, 0.3, 50.0, 1e-3)
+        m2 = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        assert m2 > m1
+
+    def test_decreasing_in_mu(self):
+        m1 = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        m2 = admissible_flow_count(1.2, 0.3, 100.0, 1e-3)
+        assert m2 < m1
+
+    def test_decreasing_in_sigma(self):
+        m1 = admissible_flow_count(1.0, 0.2, 100.0, 1e-3)
+        m2 = admissible_flow_count(1.0, 0.4, 100.0, 1e-3)
+        assert m2 < m1
+
+    def test_increasing_in_target(self):
+        # Looser QoS admits more.
+        m1 = admissible_flow_count(1.0, 0.3, 100.0, 1e-5)
+        m2 = admissible_flow_count(1.0, 0.3, 100.0, 1e-2)
+        assert m2 > m1
+
+
+class TestOverflowForCount:
+    def test_inverse_of_admission(self):
+        mu, sigma, c, p = 1.0, 0.3, 200.0, 1e-2
+        m = admissible_flow_count(mu, sigma, c, p)
+        assert overflow_probability_for_count(mu, sigma, c, m) == pytest.approx(
+            p, rel=1e-9
+        )
+
+    def test_zero_flows(self):
+        assert overflow_probability_for_count(1.0, 0.3, 10.0, 0.0) == 0.0
+
+    def test_zero_variance_indicator(self):
+        assert overflow_probability_for_count(1.0, 0.0, 10.0, 11.0) == 1.0
+        assert overflow_probability_for_count(1.0, 0.0, 10.0, 9.0) == 0.0
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ParameterError):
+            overflow_probability_for_count(1.0, 0.3, 10.0, -1.0)
+
+    def test_monotone_in_count(self):
+        ms = np.array([50.0, 80.0, 95.0, 110.0])
+        ps = overflow_probability_for_count(1.0, 0.3, 100.0, ms)
+        assert np.all(np.diff(ps) > 0)
+
+
+class TestAdmissionCriterion:
+    def test_from_target_roundtrip(self):
+        crit = AdmissionCriterion.from_target(100.0, 1e-3)
+        assert crit.p_target == pytest.approx(1e-3, rel=1e-10)
+
+    def test_admissible_count_matches_function(self):
+        crit = AdmissionCriterion.from_target(100.0, 1e-3)
+        assert crit.admissible_count(1.0, 0.3) == pytest.approx(
+            admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        )
+
+    def test_admits_boundary(self):
+        crit = AdmissionCriterion.from_target(100.0, 1e-3)
+        m = crit.admissible_count(1.0, 0.3)
+        assert crit.admits(1.0, 0.3, int(m) - 1)
+        assert not crit.admits(1.0, 0.3, int(math.ceil(m)))
+
+    def test_slack_sign(self):
+        crit = AdmissionCriterion.from_target(100.0, 1e-3)
+        assert crit.slack(1.0, 0.3, 0) > 0
+        assert crit.slack(1.0, 0.3, 200) < 0
+
+    def test_direct_alpha_construction(self):
+        crit = AdmissionCriterion(capacity=100.0, alpha=q_inverse(1e-3))
+        ref = AdmissionCriterion.from_target(100.0, 1e-3)
+        assert crit.admissible_count(1.0, 0.3) == pytest.approx(
+            ref.admissible_count(1.0, 0.3)
+        )
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            AdmissionCriterion(capacity=-1.0, alpha=3.0)
+
+    def test_frozen(self):
+        crit = AdmissionCriterion.from_target(100.0, 1e-3)
+        with pytest.raises(AttributeError):
+            crit.capacity = 50.0

@@ -1,0 +1,90 @@
+"""Tests for the baseline admission controllers (Section 6 comparators)."""
+
+import pytest
+
+from repro.core.admission import admissible_flow_count
+from repro.core.baselines import (
+    MeasuredSumController,
+    PeakRateController,
+    PriorSmoothedController,
+)
+from repro.core.estimators import BandwidthEstimate
+from repro.errors import ParameterError
+
+
+def est(mu=1.0, sigma=0.3, n=50) -> BandwidthEstimate:
+    return BandwidthEstimate(mu=mu, sigma=sigma, n=n)
+
+
+class TestPeakRate:
+    def test_target_count(self):
+        ctrl = PeakRateController(capacity=100.0, peak_rate=2.0)
+        assert ctrl.target_count(est(), 0) == pytest.approx(50.0)
+
+    def test_independent_of_measurements(self):
+        ctrl = PeakRateController(capacity=100.0, peak_rate=2.0)
+        assert ctrl.target_count(est(mu=9.0), 3) == ctrl.target_count(est(mu=0.1), 90)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            PeakRateController(0.0, 2.0)
+        with pytest.raises(ParameterError):
+            PeakRateController(100.0, -1.0)
+
+
+class TestMeasuredSum:
+    def test_fills_measured_headroom(self):
+        ctrl = MeasuredSumController(100.0, utilization_target=0.9, declared_rate=1.0)
+        # 50 flows at measured mean 1.0 => headroom 40 declared-rate slots.
+        assert ctrl.target_count(est(mu=1.0), 50) == pytest.approx(90.0)
+
+    def test_no_headroom_freezes(self):
+        ctrl = MeasuredSumController(100.0, utilization_target=0.9, declared_rate=1.0)
+        assert ctrl.target_count(est(mu=2.0), 50) == 50.0  # measured 100 > 90
+
+    def test_under_measurement_admits_more(self):
+        ctrl = MeasuredSumController(100.0, utilization_target=0.9, declared_rate=1.0)
+        optimistic = ctrl.target_count(est(mu=0.8), 50)
+        accurate = ctrl.target_count(est(mu=1.0), 50)
+        assert optimistic > accurate
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ParameterError):
+            MeasuredSumController(100.0, utilization_target=0.0, declared_rate=1.0)
+        with pytest.raises(ParameterError):
+            MeasuredSumController(100.0, utilization_target=1.1, declared_rate=1.0)
+
+
+class TestPriorSmoothed:
+    def test_zero_weight_is_plain_ce(self):
+        ctrl = PriorSmoothedController(100.0, 1e-3, 2.0, 1.0, prior_weight=0.0)
+        expected = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        assert ctrl.target_count(est(mu=1.0, sigma=0.3), 0) == pytest.approx(expected)
+
+    def test_infinite_weight_pins_to_prior(self):
+        ctrl = PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, prior_weight=1e12)
+        expected = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        # Estimates wildly off; prior dominates.
+        assert ctrl.target_count(est(mu=5.0, sigma=2.0), 0) == pytest.approx(
+            expected, rel=1e-4
+        )
+
+    def test_blending_is_between_extremes(self):
+        prior_only = PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, 1e12)
+        data_only = PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, 0.0)
+        blended = PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, 50.0)
+        e = est(mu=1.3, sigma=0.3, n=50)
+        lo = min(prior_only.target_count(e, 0), data_only.target_count(e, 0))
+        hi = max(prior_only.target_count(e, 0), data_only.target_count(e, 0))
+        assert lo <= blended.target_count(e, 0) <= hi
+
+    def test_no_data_uses_prior(self):
+        ctrl = PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, prior_weight=0.0)
+        expected = admissible_flow_count(1.0, 0.3, 100.0, 1e-3)
+        assert ctrl.target_count(est(n=0), 0) == pytest.approx(expected)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ParameterError):
+            PriorSmoothedController(100.0, 1e-3, -1.0, 0.3, 1.0)
+        with pytest.raises(ParameterError):
+            PriorSmoothedController(100.0, 1e-3, 1.0, 0.3, -1.0)

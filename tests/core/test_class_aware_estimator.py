@@ -1,0 +1,134 @@
+"""Tests for the class-aware estimator (Section 5.4 remedy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import ClassAwareEstimator, CrossSection, cross_section
+from repro.errors import ParameterError
+
+
+def section(rates) -> CrossSection:
+    return cross_section(np.asarray(rates, dtype=float))
+
+
+class TestConstruction:
+    def test_requires_positive_memory(self):
+        with pytest.raises(ParameterError):
+            ClassAwareEstimator(0.0)
+
+
+class TestClassifiedObservation:
+    def test_mixture_mean_preserved(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified(
+            [(0, section([1.0, 1.0])), (1, section([3.0, 3.0]))]
+        )
+        out = est.estimate()
+        assert out.mu == pytest.approx(2.0)
+        assert out.n == 4
+
+    def test_within_class_variance_only(self):
+        """Two zero-variance classes at different means: the homogeneous
+        estimator would report the between-class spread; the class-aware
+        one must report sigma ~ 0."""
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified(
+            [(0, section([1.0, 1.0, 1.0])), (1, section([3.0, 3.0, 3.0]))]
+        )
+        assert est.estimate().sigma == pytest.approx(0.0, abs=1e-12)
+
+    def test_weighted_within_variance(self):
+        est = ClassAwareEstimator(memory=5.0)
+        low = section([0.9, 1.1])  # var 0.02
+        high = section([2.8, 3.2])  # var 0.08
+        est.observe_classified([(0, low), (1, high)])
+        expected = math.sqrt(0.5 * low.variance + 0.5 * high.variance)
+        assert est.estimate().sigma == pytest.approx(expected, rel=1e-9)
+
+    def test_unequal_class_sizes_weighting(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified(
+            [(0, section([1.0] * 3)), (1, section([4.0] * 1))]
+        )
+        assert est.estimate().mu == pytest.approx((3 * 1.0 + 4.0) / 4.0)
+
+    def test_class_appears_later(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified([(0, section([1.0, 1.0]))])
+        est.advance(1.0)
+        est.observe_classified(
+            [(0, section([1.0, 1.0])), (1, section([2.0, 2.0]))]
+        )
+        out = est.estimate()
+        assert out.mu == pytest.approx(1.5)
+
+    def test_filters_smooth_over_time(self):
+        """A step in one class's mean relaxes exponentially, per class."""
+        t_m = 4.0
+        est = ClassAwareEstimator(memory=t_m)
+        est.observe_classified([(0, section([1.0, 1.0]))])
+        est.advance(0.0)
+        est.observe_classified([(0, section([2.0, 2.0]))])
+        est.advance(t_m)  # one time constant
+        decay = math.exp(-1.0)
+        expected = 2.0 * (1 - decay) + 1.0 * decay
+        assert est.estimate().mu == pytest.approx(expected, rel=1e-9)
+
+    def test_plain_observe_fallback(self):
+        """Without classification the estimator degrades gracefully to the
+        instantaneous homogeneous cross-section."""
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe(section([1.0, 3.0]))
+        out = est.estimate()
+        assert out.mu == pytest.approx(2.0)
+        assert out.sigma == pytest.approx(math.sqrt(2.0))
+
+    def test_reset_clears_filters(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified([(0, section([1.0, 1.0]))])
+        est.reset()
+        assert est._filters == {}
+
+
+class TestEndToEndBiasRemoval:
+    def test_recovers_utilization_on_mixture(self, rng):
+        """On a heterogeneous workload the class-aware MBAC must carry more
+        traffic than the homogeneity-assuming one while keeping QoS."""
+        from repro.core.controllers import CertaintyEquivalentController
+        from repro.core.estimators import ExponentialMemoryEstimator
+        from repro.simulation.fast import FastEngine, as_vector_model
+        from repro.traffic.heterogeneous import HeterogeneousPopulation
+        from repro.traffic.marginals import TruncatedGaussianMarginal
+        from repro.traffic.rcbr import RcbrSource
+
+        population = HeterogeneousPopulation(
+            [
+                RcbrSource(TruncatedGaussianMarginal.from_cv(0.4, 0.3), 1.0),
+                RcbrSource(TruncatedGaussianMarginal.from_cv(1.6, 0.3), 1.0),
+            ],
+            [0.5, 0.5],
+        )
+
+        def run(estimator, seed):
+            engine = FastEngine(
+                model=as_vector_model(population),
+                controller=CertaintyEquivalentController(100.0, 1e-2),
+                estimator=estimator,
+                capacity=100.0,
+                holding_time=200.0,
+                dt=0.1,
+                rng=np.random.default_rng(seed),
+            )
+            engine.run_until(200.0)
+            engine.reset_statistics()
+            engine.run_until(1000.0)
+            return engine
+
+        homogeneous = run(ExponentialMemoryEstimator(20.0), seed=1)
+        aware = run(ClassAwareEstimator(20.0), seed=2)
+        assert aware.link.mean_utilization > homogeneous.link.mean_utilization + 0.03
+        # The class-aware sigma estimate sits near the within-class value.
+        within = population.moments.within_class_std
+        assert aware.estimator.estimate().sigma == pytest.approx(within, rel=0.2)

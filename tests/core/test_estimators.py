@@ -1,0 +1,233 @@
+"""Tests for the measurement estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    CrossSection,
+    ExponentialMemoryEstimator,
+    MemorylessEstimator,
+    PerfectEstimator,
+    SlidingWindowEstimator,
+    cross_section,
+    make_estimator,
+)
+from repro.errors import EstimatorError, ParameterError
+
+
+def section(rates) -> CrossSection:
+    return cross_section(np.asarray(rates, dtype=float))
+
+
+class TestCrossSection:
+    def test_basic_moments(self):
+        cs = section([1.0, 2.0, 3.0])
+        assert cs.n == 3
+        assert cs.mean == pytest.approx(2.0)
+        assert cs.second_moment == pytest.approx(14.0 / 3.0)
+        assert cs.variance == pytest.approx(1.0)  # unbiased
+
+    def test_empty(self):
+        cs = section([])
+        assert cs.n == 0 and cs.mean == 0.0 and cs.variance == 0.0
+
+    def test_single_flow_zero_variance(self):
+        cs = section([5.0])
+        assert cs.n == 1 and cs.variance == 0.0
+
+    def test_matches_numpy(self, rng):
+        rates = rng.uniform(0.5, 2.0, size=37)
+        cs = section(rates)
+        assert cs.mean == pytest.approx(np.mean(rates))
+        assert cs.variance == pytest.approx(np.var(rates, ddof=1))
+
+
+class TestMemoryless:
+    def test_estimate_is_current_section(self):
+        est = MemorylessEstimator()
+        est.observe(section([1.0, 3.0]))
+        out = est.estimate()
+        assert out.mu == pytest.approx(2.0)
+        assert out.sigma == pytest.approx(math.sqrt(2.0))
+        assert out.n == 2
+
+    def test_raises_before_data(self):
+        with pytest.raises(EstimatorError):
+            MemorylessEstimator().estimate()
+
+    def test_time_does_not_matter(self):
+        est = MemorylessEstimator()
+        est.observe(section([1.0, 2.0]))
+        est.advance(100.0)
+        est.observe(section([4.0, 6.0]))
+        assert est.estimate().mu == pytest.approx(5.0)
+
+    def test_clock_monotonicity_enforced(self):
+        est = MemorylessEstimator()
+        est.advance(5.0)
+        with pytest.raises(EstimatorError):
+            est.advance(4.0)
+
+    def test_reset(self):
+        est = MemorylessEstimator()
+        est.observe(section([1.0]))
+        est.reset(10.0)
+        assert est.time == 10.0
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+
+class TestExponentialMemory:
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ParameterError):
+            ExponentialMemoryEstimator(0.0)
+        with pytest.raises(ParameterError):
+            ExponentialMemoryEstimator(-1.0)
+
+    def test_constant_signal_is_fixed_point(self):
+        est = ExponentialMemoryEstimator(memory=2.0)
+        cs = section([1.0, 1.5, 0.5])
+        est.observe(cs)
+        for t in [1.0, 5.0, 20.0]:
+            est.advance(t)
+            est.observe(cs)
+        out = est.estimate()
+        assert out.mu == pytest.approx(cs.mean, rel=1e-12)
+        assert out.sigma == pytest.approx(math.sqrt(cs.variance), rel=1e-9)
+
+    def test_initialization_to_first_observation(self):
+        est = ExponentialMemoryEstimator(memory=10.0)
+        est.observe(section([2.0, 4.0]))
+        out = est.estimate()
+        assert out.mu == pytest.approx(3.0)
+
+    def test_exact_exponential_relaxation(self):
+        """A step change must relax with exactly exp(-dt/T_m)."""
+        t_m = 3.0
+        est = ExponentialMemoryEstimator(memory=t_m)
+        est.observe(section([1.0, 1.0, 1.0]))  # filter pinned at mean 1
+        est.advance(1e-9)
+        est.observe(section([2.0, 2.0, 2.0]))  # step to mean 2
+        dt = 4.2
+        est.advance(1e-9 + dt)
+        decay = math.exp(-dt / t_m)
+        expected = 2.0 * (1.0 - decay) + 1.0 * decay
+        assert est.estimate().mu == pytest.approx(expected, rel=1e-9)
+
+    def test_split_advance_equals_single_advance(self):
+        """Advancing in two steps must equal one combined step (semigroup)."""
+        def run(splits):
+            est = ExponentialMemoryEstimator(memory=5.0)
+            est.observe(section([1.0, 3.0]))
+            est.advance(0.0)
+            est.observe(section([10.0, 12.0]))
+            t = 0.0
+            for dt in splits:
+                t += dt
+                est.advance(t)
+            return est.estimate().mu
+
+        assert run([7.0]) == pytest.approx(run([2.0, 1.5, 3.5]), rel=1e-12)
+
+    def test_variance_includes_mean_wander(self):
+        """The filtered variance must pick up fluctuations of the
+        cross-sectional mean itself (the (m^2*h) - mu_m^2 term)."""
+        est = ExponentialMemoryEstimator(memory=1.0)
+        # Alternate between two zero-variance sections with different means.
+        est.observe(section([1.0, 1.0]))
+        t = 0.0
+        for _ in range(200):
+            t += 0.5
+            est.advance(t)
+            mean = 2.0 if (int(t * 2) % 2 == 0) else 1.0
+            est.observe(section([mean, mean]))
+        out = est.estimate()
+        assert out.sigma > 0.1  # wandering mean shows up as variance
+
+    def test_memoryless_limit(self):
+        """Tiny T_m tracks the instantaneous section closely."""
+        est = ExponentialMemoryEstimator(memory=1e-6)
+        est.observe(section([1.0, 2.0]))
+        est.advance(1.0)
+        est.observe(section([5.0, 7.0]))
+        est.advance(2.0)
+        assert est.estimate().mu == pytest.approx(6.0, rel=1e-6)
+
+
+class TestSlidingWindow:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ParameterError):
+            SlidingWindowEstimator(0.0)
+
+    def test_uniform_average(self):
+        est = SlidingWindowEstimator(window=10.0)
+        est.observe(section([1.0, 1.0]))
+        est.advance(5.0)  # mean 1 held for 5
+        est.observe(section([3.0, 3.0]))
+        est.advance(10.0)  # mean 3 held for 5
+        assert est.estimate().mu == pytest.approx(2.0)
+
+    def test_eviction(self):
+        est = SlidingWindowEstimator(window=2.0)
+        est.observe(section([1.0, 1.0]))
+        est.advance(10.0)  # long stretch at mean 1
+        est.observe(section([5.0, 5.0]))
+        est.advance(12.0)  # exactly one full window at mean 5
+        assert est.estimate().mu == pytest.approx(5.0, rel=1e-9)
+
+    def test_partial_eviction_prorates(self):
+        est = SlidingWindowEstimator(window=4.0)
+        est.observe(section([0.0, 0.0]))
+        est.advance(2.0)
+        est.observe(section([4.0, 4.0]))
+        est.advance(5.0)  # window covers 1 unit of mean 0, 3 units of mean 4
+        assert est.estimate().mu == pytest.approx(3.0, rel=1e-9)
+
+    def test_before_any_elapsed_time(self):
+        est = SlidingWindowEstimator(window=5.0)
+        est.observe(section([2.0, 4.0]))
+        assert est.estimate().mu == pytest.approx(3.0)
+
+
+class TestPerfect:
+    def test_returns_truth(self):
+        est = PerfectEstimator(mu=1.5, sigma=0.4)
+        est.observe(section([9.0, 9.0]))
+        out = est.estimate()
+        assert out.mu == 1.5 and out.sigma == 0.4
+
+    def test_works_without_observation(self):
+        est = PerfectEstimator(mu=1.0, sigma=0.2)
+        assert est.estimate().mu == 1.0
+
+    def test_rejects_bad_truth(self):
+        with pytest.raises(ParameterError):
+            PerfectEstimator(mu=0.0, sigma=0.1)
+        with pytest.raises(ParameterError):
+            PerfectEstimator(mu=1.0, sigma=-0.1)
+
+
+class TestFactory:
+    def test_none_is_memoryless(self):
+        assert isinstance(make_estimator(None), MemorylessEstimator)
+        assert isinstance(make_estimator(0.0), MemorylessEstimator)
+
+    def test_positive_is_exponential(self):
+        est = make_estimator(3.0)
+        assert isinstance(est, ExponentialMemoryEstimator)
+        assert est.memory == 3.0
+
+    def test_sliding_shape(self):
+        assert isinstance(
+            make_estimator(3.0, window_shape="sliding"), SlidingWindowEstimator
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            make_estimator(-1.0)
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(ParameterError):
+            make_estimator(1.0, window_shape="boxcar")

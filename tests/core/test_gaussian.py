@@ -1,0 +1,114 @@
+"""Tests for the Gaussian tail toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import (
+    log_q_function,
+    phi,
+    q_function,
+    q_inverse,
+    q_ratio_approx,
+)
+from repro.errors import ParameterError
+
+
+class TestPhi:
+    def test_peak_value(self):
+        assert phi(0.0) == pytest.approx(1.0 / math.sqrt(2.0 * math.pi))
+
+    def test_symmetry(self):
+        assert phi(1.7) == pytest.approx(phi(-1.7))
+
+    def test_integrates_to_one(self):
+        x = np.linspace(-10, 10, 20001)
+        assert np.trapezoid(phi(x), x) == pytest.approx(1.0, abs=1e-9)
+
+    def test_array_shape(self):
+        out = phi(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(phi(0.5), float)
+
+
+class TestQFunction:
+    def test_at_zero(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # Q(1.96) ~ 0.025 (the classical two-sided 95% point)
+        assert q_function(1.959963984540054) == pytest.approx(0.025, rel=1e-9)
+
+    def test_complement(self):
+        x = 0.83
+        assert q_function(x) + q_function(-x) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(-5, 5, 101)
+        qs = q_function(xs)
+        assert np.all(np.diff(qs) < 0)
+
+    def test_deep_tail_accuracy(self):
+        # Q(10) = 7.619...e-24 (reference value from high-precision tables)
+        assert q_function(10.0) == pytest.approx(7.61985e-24, rel=1e-4)
+
+    def test_array(self):
+        out = q_function([0.0, 1.0])
+        assert out.shape == (2,)
+
+
+class TestLogQ:
+    def test_matches_direct_in_bulk(self):
+        for x in [0.0, 1.0, 3.0, 8.0]:
+            assert log_q_function(x) == pytest.approx(math.log(q_function(x)), rel=1e-10)
+
+    def test_finite_in_deep_tail(self):
+        # Direct Q(40) underflows double precision entirely.
+        val = log_q_function(40.0)
+        assert math.isfinite(val)
+        # log Q(x) ~ -x^2/2 - log(x sqrt(2pi))
+        expected = -0.5 * 40.0**2 - math.log(40.0 * math.sqrt(2 * math.pi))
+        assert val == pytest.approx(expected, rel=1e-3)
+
+
+class TestQInverse:
+    @pytest.mark.parametrize("p", [0.4, 0.1, 1e-3, 1e-9, 0.9])
+    def test_roundtrip(self, p):
+        assert q_function(q_inverse(p)) == pytest.approx(p, rel=1e-10)
+
+    def test_half_maps_to_zero(self):
+        assert q_inverse(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_boundaries(self):
+        with pytest.raises(ParameterError):
+            q_inverse(0.0)
+        with pytest.raises(ParameterError):
+            q_inverse(1.0)
+        with pytest.raises(ParameterError):
+            q_inverse(-0.1)
+
+    def test_array_roundtrip(self):
+        ps = np.array([0.3, 0.01, 1e-5])
+        np.testing.assert_allclose(q_function(q_inverse(ps)), ps, rtol=1e-10)
+
+    def test_alpha_for_paper_target(self):
+        # alpha_q for p_q = 1e-3 is ~3.09 (used throughout the paper).
+        assert q_inverse(1e-3) == pytest.approx(3.0902, abs=1e-3)
+
+
+class TestQRatioApprox:
+    def test_close_to_q_in_tail(self):
+        # phi(x)/x over Q(x) -> 1 as x grows.
+        for x, tol in [(3.0, 0.15), (6.0, 0.05), (10.0, 0.02)]:
+            assert q_ratio_approx(x) / q_function(x) == pytest.approx(1.0, abs=tol)
+
+    def test_is_upper_bound(self):
+        xs = np.linspace(0.5, 10.0, 50)
+        assert np.all(q_ratio_approx(xs) >= q_function(xs))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            q_ratio_approx(0.0)

@@ -1,0 +1,56 @@
+"""Tests for the memory-sizing rules."""
+
+import math
+
+import pytest
+
+from repro.core.memory import (
+    critical_time_scale,
+    recommended_memory,
+    scaled_holding_time,
+    system_size,
+)
+from repro.errors import ParameterError
+
+
+class TestSystemSize:
+    def test_basic(self):
+        assert system_size(100.0, 1.0) == 100.0
+        assert system_size(100.0, 2.0) == 50.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            system_size(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            system_size(100.0, 0.0)
+
+
+class TestCriticalTimeScale:
+    def test_definition(self):
+        assert critical_time_scale(1000.0, 100.0) == pytest.approx(100.0)
+
+    def test_scales_with_sqrt_n(self):
+        t1 = critical_time_scale(1000.0, 100.0)
+        t2 = critical_time_scale(1000.0, 400.0)
+        assert t1 / t2 == pytest.approx(2.0)
+
+    def test_alias(self):
+        assert scaled_holding_time is critical_time_scale
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            critical_time_scale(-1.0, 100.0)
+
+
+class TestRecommendedMemory:
+    def test_default_is_critical_scale(self):
+        assert recommended_memory(1000.0, 100.0) == pytest.approx(
+            1000.0 / math.sqrt(100.0)
+        )
+
+    def test_fraction(self):
+        assert recommended_memory(1000.0, 100.0, fraction=0.5) == pytest.approx(50.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ParameterError):
+            recommended_memory(1000.0, 100.0, fraction=0.0)

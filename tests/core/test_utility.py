@@ -1,0 +1,174 @@
+"""Tests for the utility-based QoS extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import q_function
+from repro.core.utility import (
+    ConcaveUtility,
+    LinearUtility,
+    StepUtility,
+    UtilityMeter,
+    gaussian_utility_loss,
+)
+from repro.errors import ParameterError
+
+
+class TestUtilityFunctions:
+    @pytest.mark.parametrize(
+        "utility",
+        [StepUtility(), LinearUtility(), ConcaveUtility(2.0), ConcaveUtility(8.0)],
+        ids=["step", "linear", "concave2", "concave8"],
+    )
+    def test_normalization(self, utility):
+        assert utility(1.0) == pytest.approx(1.0)
+        assert 0.0 <= utility(0.0) <= 1.0 + 1e-12
+
+    @pytest.mark.parametrize(
+        "utility",
+        [StepUtility(), LinearUtility(), ConcaveUtility(4.0)],
+        ids=["step", "linear", "concave"],
+    )
+    def test_monotone(self, utility):
+        grid = np.linspace(0.0, 1.0, 101)
+        values = utility(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_step_threshold(self):
+        u = StepUtility(threshold=0.8)
+        assert u(0.79) == 0.0
+        assert u(0.81) == 1.0
+
+    def test_linear_is_identity(self):
+        assert LinearUtility()(0.37) == pytest.approx(0.37)
+
+    def test_concave_dominates_linear(self):
+        """Concavity: U(g) >= g on (0, 1)."""
+        u = ConcaveUtility(4.0)
+        grid = np.linspace(0.01, 0.99, 50)
+        assert np.all(u(grid) >= grid)
+
+    def test_more_curvature_more_adaptive(self):
+        mild, sharp = ConcaveUtility(1.0), ConcaveUtility(8.0)
+        assert sharp(0.5) > mild(0.5)
+
+    def test_domain_clipping(self):
+        assert LinearUtility()(1.7) == 1.0
+        assert LinearUtility()(-0.3) == 0.0
+
+    def test_loss_complement(self):
+        u = LinearUtility()
+        assert u.loss(0.3) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StepUtility(threshold=0.0)
+        with pytest.raises(ParameterError):
+            ConcaveUtility(curvature=0.0)
+
+
+class TestUtilityMeter:
+    def test_no_loss_under_capacity(self):
+        meter = UtilityMeter(10.0, LinearUtility())
+        meter.accumulate(8.0, 5.0)
+        assert meter.mean_utility_loss == 0.0
+
+    def test_step_meter_equals_overload_time(self):
+        meter = UtilityMeter(10.0, StepUtility())
+        meter.accumulate(12.0, 1.0)
+        meter.accumulate(8.0, 3.0)
+        assert meter.mean_utility_loss == pytest.approx(0.25)
+
+    def test_linear_meter_value(self):
+        meter = UtilityMeter(10.0, LinearUtility())
+        meter.accumulate(20.0, 1.0)  # delivered fraction 0.5, loss 0.5
+        assert meter.mean_utility_loss == pytest.approx(0.5)
+
+    def test_elastic_loses_less_than_step(self):
+        step = UtilityMeter(10.0, StepUtility())
+        linear = UtilityMeter(10.0, LinearUtility())
+        for aggregate, duration in [(10.5, 1.0), (9.0, 2.0), (11.0, 0.5)]:
+            step.accumulate(aggregate, duration)
+            linear.accumulate(aggregate, duration)
+        assert linear.mean_utility_loss < 0.2 * step.mean_utility_loss
+
+    def test_reset(self):
+        meter = UtilityMeter(10.0, StepUtility())
+        meter.accumulate(12.0, 1.0)
+        meter.reset_statistics()
+        assert meter.mean_utility_loss == 0.0
+        assert meter.observed_time == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UtilityMeter(0.0, StepUtility())
+        meter = UtilityMeter(1.0, StepUtility())
+        with pytest.raises(ParameterError):
+            meter.accumulate(1.0, -1.0)
+
+
+class TestGaussianUtilityLoss:
+    def test_step_recovers_overflow_probability(self):
+        """With the step utility the metric is exactly Q((c - m)/s)."""
+        c, m, s = 100.0, 95.0, 3.0
+        loss = gaussian_utility_loss(StepUtility(), capacity=c, mean=m, std=s)
+        # Tolerance set by the trapezoid cell straddling the step's jump
+        # discontinuity at S = c (~ density(c) * grid spacing / 2).
+        assert loss == pytest.approx(q_function((c - m) / s), rel=5e-3)
+
+    def test_elastic_below_step(self):
+        kwargs = dict(capacity=100.0, mean=97.0, std=3.0)
+        step = gaussian_utility_loss(StepUtility(), **kwargs)
+        linear = gaussian_utility_loss(LinearUtility(), **kwargs)
+        concave = gaussian_utility_loss(ConcaveUtility(4.0), **kwargs)
+        assert concave < linear < step
+
+    def test_deterministic_degenerate_cases(self):
+        assert gaussian_utility_loss(
+            LinearUtility(), capacity=10.0, mean=8.0, std=0.0
+        ) == 0.0
+        loss = gaussian_utility_loss(
+            LinearUtility(), capacity=10.0, mean=20.0, std=0.0
+        )
+        assert loss == pytest.approx(0.5)
+
+    def test_matches_meter_monte_carlo(self, rng):
+        """Quadrature vs direct sampling of the same Gaussian."""
+        c, m, s = 100.0, 96.0, 4.0
+        utility = ConcaveUtility(4.0)
+        theory = gaussian_utility_loss(utility, capacity=c, mean=m, std=s)
+        samples = rng.normal(m, s, size=400000)
+        over = samples[samples > c]
+        mc = float(np.sum(utility.loss(c / over))) / samples.size
+        assert theory == pytest.approx(mc, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            gaussian_utility_loss(StepUtility(), capacity=0.0, mean=1.0, std=1.0)
+
+
+class TestEngineIntegration:
+    def test_step_meter_tracks_link_overflow(self, paper_source):
+        """On a live engine trajectory, the step-utility loss must equal
+        the link's exact overload-time fraction."""
+        from repro.core.controllers import CertaintyEquivalentController
+        from repro.core.estimators import MemorylessEstimator
+        from repro.simulation.fast import FastEngine, as_vector_model
+
+        meter = UtilityMeter(50.0, StepUtility())
+        engine = FastEngine(
+            model=as_vector_model(paper_source),
+            controller=CertaintyEquivalentController(50.0, 5e-2),
+            estimator=MemorylessEstimator(),
+            capacity=50.0,
+            holding_time=100.0,
+            dt=0.1,
+            rng=np.random.default_rng(0),
+            observers=[meter],
+        )
+        engine.run_until(500.0)
+        assert meter.mean_utility_loss == pytest.approx(
+            engine.link.overflow_fraction, rel=1e-9
+        )

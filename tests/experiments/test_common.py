@@ -1,0 +1,72 @@
+"""Tests for experiment infrastructure (Quality, ExperimentResult, report)."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.common import ExperimentResult, Quality
+from repro.experiments.report import format_table, format_value, render
+
+
+class TestQuality:
+    def test_pick(self):
+        assert Quality("smoke").pick(1, 2, 3) == 1
+        assert Quality("standard").pick(1, 2, 3) == 2
+        assert Quality("full").pick(1, 2, 3) == 3
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ParameterError):
+            Quality("ludicrous")
+
+
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo",
+        title="A demo",
+        columns=["x", "p"],
+        rows=[{"x": 1, "p": 0.5, "extra": "hidden"}, {"x": 2, "p": 1.3e-7}],
+        params={"seed": 0},
+    )
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        result = sample_result()
+        assert result.column("x") == [1, 2]
+        assert result.column("missing") == [None, None]
+
+    def test_json_roundtrip(self):
+        result = sample_result()
+        data = json.loads(result.to_json())
+        assert data["experiment_id"] == "demo"
+        assert data["rows"][0]["x"] == 1
+
+    def test_save(self, tmp_path):
+        path = sample_result().save(tmp_path)
+        assert path.name == "demo.json"
+        assert json.loads(path.read_text())["title"] == "A demo"
+
+
+class TestReport:
+    def test_format_value_styles(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "True"
+        assert format_value(3) == "3"
+        assert format_value(0.0) == "0"
+        assert format_value(0.1234567) == "0.1235"
+        assert format_value(1.3e-7) == "1.300e-07"
+        assert format_value(float("inf")) == "inf"
+        assert format_value("txt") == "txt"
+
+    def test_table_contains_all_rows(self):
+        table = format_table(sample_result())
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "x" in lines[0] and "p" in lines[0]
+        assert "1.300e-07" in table
+
+    def test_render_has_title_and_params(self):
+        text = render(sample_result())
+        assert "demo: A demo" in text
+        assert "seed=0" in text

@@ -1,0 +1,134 @@
+"""Smoke-level runs of every experiment: schema and basic shape checks.
+
+These run each experiment at ``quality="smoke"`` (seconds each) and assert
+the row schema plus the weakest form of the paper's qualitative claim that
+survives smoke statistics.  The full shape checks live in
+``tests/integration/test_paper_claims.py``.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def get(experiment_id: str):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, quality="smoke")
+        return cache[experiment_id]
+
+    return get
+
+
+class TestSchemas:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        [
+            "prop33",
+            "eqn21",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "util40",
+            "hetero",
+            "baselines",
+            "poisson",
+            "aggregate",
+            "buffer",
+            "utility",
+        ],
+    )
+    def test_columns_present_in_rows(self, results, experiment_id):
+        result = results(experiment_id)
+        assert result.rows, f"{experiment_id} produced no rows"
+        for column in result.columns:
+            assert any(
+                column in row for row in result.rows
+            ), f"{experiment_id}: column {column} missing from all rows"
+        assert result.params.get("quality") in ("smoke", None)
+
+
+class TestSmokeShapes:
+    def test_prop33_ce_misses_target(self, results):
+        for row in results("prop33").rows:
+            assert row["p_f_ce_sim"] > row["p_q"]
+
+    def test_eqn21_peak_positive(self, results):
+        curve = [row["p_f_sim"] for row in results("eqn21").rows]
+        assert max(curve) > 0.0
+        assert curve[0] == 0.0
+
+    def test_fig5_memory_monotone_theory(self, results):
+        theory = [row["p_f_theory38"] for row in results("fig5").rows]
+        assert theory == sorted(theory, reverse=True)
+
+    def test_fig6_pce_rises_with_memory(self, results):
+        rows = results("fig6").rows
+        assert rows[0]["alpha_ce"] > rows[-1]["alpha_ce"]
+
+    def test_fig9_memory_helps_at_short_tc(self, results):
+        rows = results("fig9").rows
+        by_key = {(r["T_m_over_Th_tilde"], r["T_c"]): r["p_f_theory37"] for r in rows}
+        ratios = sorted({k[0] for k in by_key})
+        t_cs = sorted({k[1] for k in by_key})
+        assert by_key[(ratios[-1], t_cs[0])] < by_key[(ratios[0], t_cs[0])]
+
+    def test_fig12_no_worse_than_fig11(self, results):
+        p11 = results("fig11").rows[0]["p_f_sim"]
+        p12 = results("fig12").rows[0]["p_f_sim"]
+        assert p12 <= p11 * 1.5
+
+    def test_hetero_bias_positive(self, results):
+        for row in results("hetero").rows:
+            assert row["bias_var"] > 0.0
+            assert row["mixture_std"] > row["within_std"]
+
+    def test_baselines_contains_all_schemes(self, results):
+        schemes = {row["scheme"] for row in results("baselines").rows}
+        assert {
+            "perfect",
+            "ce-memoryless",
+            "ce-memory",
+            "adjusted",
+            "measured-sum",
+            "prior-smoothed",
+            "peak-rate",
+        } <= schemes
+
+    def test_util40_conservatism_costs_bandwidth(self, results):
+        rows = results("util40").rows
+        for row in rows:
+            assert row["delta_util_eqn40"] < 0.0  # adjusted loses utilization
+
+    def test_poisson_blocking_monotone(self, results):
+        import math
+
+        rows = [
+            r for r in results("poisson").rows if math.isfinite(r["load_factor"])
+        ]
+        blocking = [r["blocking_probability"] for r in rows]
+        assert blocking == sorted(blocking)
+
+    def test_aggregate_rows_paired(self, results):
+        for row in results("aggregate").rows:
+            assert 0.0 <= row["p_f_aggregate"] <= 1.0
+            assert 0.0 <= row["p_f_per_flow"] <= 1.0
+
+    def test_buffer_monotone(self, results):
+        rows = sorted(results("buffer").rows, key=lambda r: r["buffer_size"])
+        losses = [r["loss_fraction"] for r in rows]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_utility_step_equals_overflow(self, results):
+        for row in results("utility").rows:
+            assert row["loss_step"] == row["overflow_time_fraction"]
+            assert row["loss_concave"] <= row["loss_linear"] + 1e-12

@@ -1,0 +1,43 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+
+
+EXPECTED_IDS = {
+    "prop33",
+    "eqn21",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "util40",
+    "hetero",
+    "baselines",
+    "poisson",
+    "aggregate",
+    "buffer",
+    "utility",
+}
+
+
+class TestRegistry:
+    def test_every_design_doc_experiment_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_listing_sorted(self):
+        assert list_experiments() == sorted(EXPECTED_IDS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ParameterError):
+            run_experiment("fig99")
+
+    def test_run_dispatches(self):
+        result = run_experiment("fig6", quality="smoke")
+        assert result.experiment_id == "fig6"
+        assert result.rows

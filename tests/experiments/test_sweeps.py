@@ -1,0 +1,81 @@
+"""Tests for the sweep helpers shared by the figure experiments."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweeps import (
+    scaled_holding,
+    simulate_rcbr_point,
+    simulate_source_point,
+)
+from repro.traffic.rcbr import paper_rcbr_source
+
+pytestmark = pytest.mark.slow
+
+
+class TestScaledHolding:
+    def test_definition(self):
+        assert scaled_holding(1000.0, 100.0) == pytest.approx(100.0)
+
+
+class TestRcbrPoint:
+    def test_basic_run(self):
+        result = simulate_rcbr_point(
+            n=50.0,
+            holding_time=200.0,
+            correlation_time=1.0,
+            memory=10.0,
+            p_ce=1e-2,
+            max_time=2000.0,
+            seed=1,
+        )
+        assert result.simulated_time > 0.0
+        assert 0.0 <= result.overflow_probability <= 1.0
+
+    def test_dt_clamped_for_tiny_memory(self):
+        """A very small T_m must not blow up the step count: the default dt
+        is clamped at T_c/40."""
+        result = simulate_rcbr_point(
+            n=30.0,
+            holding_time=100.0,
+            correlation_time=1.0,
+            memory=1e-4,
+            p_ce=5e-2,
+            max_time=500.0,
+            seed=1,
+        )
+        assert result.simulated_time > 0.0
+
+    def test_alpha_and_p_paths_agree(self):
+        from repro.core.gaussian import q_inverse
+
+        common = dict(
+            n=50.0,
+            holding_time=200.0,
+            correlation_time=1.0,
+            memory=10.0,
+            max_time=1000.0,
+            seed=2,
+        )
+        a = simulate_rcbr_point(p_ce=1e-2, **common)
+        b = simulate_rcbr_point(alpha_ce=q_inverse(1e-2), p_q=1e-2, **common)
+        assert a.overflow_probability == pytest.approx(
+            b.overflow_probability, rel=1e-9
+        )
+
+
+class TestSourcePoint:
+    def test_capacity_scales_with_source_mean(self):
+        source = paper_rcbr_source(mean=2.0, cv=0.3)
+        result = simulate_source_point(
+            source=source,
+            n=30.0,
+            holding_time=100.0,
+            memory=5.0,
+            p_ce=5e-2,
+            max_time=500.0,
+            seed=3,
+        )
+        # n is in units of the source mean: ~30 flows, not ~15.
+        assert result.mean_flows == pytest.approx(30.0, rel=0.2)

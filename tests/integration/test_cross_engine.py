@@ -1,0 +1,80 @@
+"""Cross-validation of the two simulation engines.
+
+The event-driven engine is the exact reference; the vectorized engine
+discretizes time.  On identical configurations their *statistics* (not
+trajectories -- randomness is consumed differently) must agree within
+sampling error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation.runner import SimulationConfig, simulate
+from repro.traffic.rcbr import paper_rcbr_source
+
+pytestmark = pytest.mark.slow
+
+
+def run(engine: str, seed: int, **overrides):
+    defaults = dict(
+        source=paper_rcbr_source(),
+        capacity=50.0,
+        holding_time=200.0,
+        p_ce=2e-2,
+        memory=0.0,
+        engine=engine,
+        max_time=4000.0,
+        sample_period=10.0,
+        warmup=100.0,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return simulate(SimulationConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    """Three independent replicates per engine, memoryless config."""
+    fast = [run("fast", seed=i) for i in range(3)]
+    event = [run("event", seed=100 + i) for i in range(3)]
+    return fast, event
+
+
+class TestMemorylessAgreement:
+    def test_overflow_fraction(self, paired_runs):
+        fast, event = paired_runs
+        f = np.mean([r.time_fraction for r in fast])
+        e = np.mean([r.time_fraction for r in event])
+        assert f == pytest.approx(e, rel=0.5, abs=5e-3)
+
+    def test_utilization(self, paired_runs):
+        fast, event = paired_runs
+        f = np.mean([r.mean_utilization for r in fast])
+        e = np.mean([r.mean_utilization for r in event])
+        assert f == pytest.approx(e, abs=0.02)
+
+    def test_mean_flows(self, paired_runs):
+        fast, event = paired_runs
+        f = np.mean([r.mean_flows for r in fast])
+        e = np.mean([r.mean_flows for r in event])
+        assert f == pytest.approx(e, rel=0.05)
+
+
+class TestMemoryAgreement:
+    def test_with_exponential_memory(self):
+        fast = run("fast", seed=7, memory=20.0, max_time=3000.0)
+        event = run("event", seed=8, memory=20.0, max_time=3000.0)
+        assert fast.mean_utilization == pytest.approx(
+            event.mean_utilization, abs=0.03
+        )
+        assert fast.mean_flows == pytest.approx(event.mean_flows, rel=0.07)
+
+    def test_finer_step_converges_to_event_engine(self):
+        """Halving the fast engine's dt must move its overflow fraction
+        toward the reference, or at least not away by more than noise."""
+        event = run("event", seed=21, max_time=3000.0)
+        coarse = run("fast", seed=22, dt=0.5, max_time=3000.0)
+        fine = run("fast", seed=23, dt=0.05, max_time=3000.0)
+        gap_coarse = abs(coarse.time_fraction - event.time_fraction)
+        gap_fine = abs(fine.time_fraction - event.time_fraction)
+        assert gap_fine <= gap_coarse + 0.01

@@ -1,0 +1,163 @@
+"""End-to-end checks of the paper's headline claims (Section 5.1 summary).
+
+Each test simulates the full MBAC pipeline and asserts one bullet of the
+paper's "Summary of Results".  Parameters are scaled down so each test runs
+in seconds while keeping the claimed effect well above sampling noise.
+"""
+
+import math
+
+import pytest
+
+from repro.simulation.impulsive import steady_state_overflow_mc
+from repro.simulation.rng import make_rng
+from repro.simulation.runner import SimulationConfig, simulate
+from repro.theory.impulsive import ce_overflow_probability
+from repro.theory.inversion import adjusted_ce_alpha
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import paper_rcbr_source
+
+pytestmark = pytest.mark.slow
+
+P_Q = 1e-2  # scaled-up target so smoke-sized runs resolve it
+
+
+def simulate_rcbr(memory, *, alpha_ce=None, p_ce=None, seed=0, n=100.0,
+                  holding_time=1000.0, correlation_time=1.0, max_time=2e4):
+    source = paper_rcbr_source(correlation_time=correlation_time)
+    return simulate(
+        SimulationConfig(
+            source=source,
+            capacity=n * source.mean,
+            holding_time=holding_time,
+            p_ce=p_ce,
+            alpha_ce=alpha_ce,
+            memory=memory,
+            engine="fast",
+            p_q=P_Q,
+            max_time=max_time,
+            seed=seed,
+        )
+    )
+
+
+class TestClaim1CertaintyEquivalenceFails:
+    """'Memoryless certainty-equivalent admission control can have very
+    poor performance ... missed by several orders of magnitude.'"""
+
+    def test_continuous_load_memoryless_misses_badly(self):
+        result = simulate_rcbr(memory=0.0, p_ce=P_Q)
+        assert result.overflow_probability > 5.0 * P_Q
+
+    def test_size_independence_of_impulsive_degradation(self, rng):
+        """The sqrt(2) law does not improve with n (Prop 3.3)."""
+        marginal = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        limit = float(ce_overflow_probability(P_Q))
+        for n in [100, 1600]:
+            result = steady_state_overflow_mc(
+                n=n, marginal=marginal, p_q=P_Q, n_reps=20000, rng=rng
+            )
+            assert result.probability == pytest.approx(limit, rel=0.3)
+            assert result.probability > 3.0 * P_Q
+
+
+class TestClaim2MemoryRestoresQoS:
+    """'Increasing the amount of memory in the estimator reduces the
+    overflow probability' -- and the T_m ~ T_h_tilde rule is robust."""
+
+    def test_memory_ladder(self):
+        t_h_tilde = 100.0
+        ladder = [
+            simulate_rcbr(memory=m, p_ce=P_Q, seed=3).overflow_probability
+            for m in [0.0, 0.1 * t_h_tilde, t_h_tilde]
+        ]
+        assert ladder[2] < ladder[0] / 4.0
+        assert ladder[1] < ladder[0]
+
+    def test_paper_rule_meets_order_of_target(self):
+        result = simulate_rcbr(memory=100.0, p_ce=P_Q, seed=5)
+        # Masking-regime prediction: (snr*alpha_q + 1) * p_q ~ 1.7 * p_q.
+        assert result.overflow_probability <= 4.0 * P_Q
+
+
+class TestClaim3AdjustedTargetIsRobust:
+    """Figs 6-7: inverting the theory for p_ce achieves p_f <~ p_q."""
+
+    @pytest.mark.parametrize("memory", [10.0, 100.0])
+    def test_adjusted_scheme(self, memory):
+        alpha_ce = adjusted_ce_alpha(
+            P_Q,
+            memory=memory,
+            correlation_time=1.0,
+            holding_time_scaled=100.0,
+            snr=0.3,
+            formula="general",
+        )
+        result = simulate_rcbr(memory=memory, alpha_ce=alpha_ce, seed=11)
+        assert result.overflow_probability <= 2.0 * P_Q
+
+    def test_adjustment_costs_utilization(self):
+        plain = simulate_rcbr(memory=100.0, p_ce=P_Q, seed=13)
+        alpha_ce = adjusted_ce_alpha(
+            P_Q,
+            memory=10.0,
+            correlation_time=1.0,
+            holding_time_scaled=100.0,
+            snr=0.3,
+            formula="general",
+        )
+        conservative = simulate_rcbr(memory=10.0, alpha_ce=alpha_ce, seed=13)
+        assert conservative.mean_utilization < plain.mean_utilization
+
+
+class TestClaim4HoldingTimeMatters:
+    """'The parameter T_h_tilde defines a critical time-scale ... a high
+    flow arrival rate [and long holding] has a detrimental effect.'"""
+
+    def test_longer_holding_is_worse_memoryless(self):
+        quick = simulate_rcbr(
+            memory=0.0, p_ce=P_Q, holding_time=100.0, seed=17, max_time=1e4
+        )
+        slow = simulate_rcbr(
+            memory=0.0, p_ce=P_Q, holding_time=5000.0, seed=17, max_time=1e4
+        )
+        assert slow.overflow_probability > 2.0 * quick.overflow_probability
+
+
+class TestClaim5LrdRobustness:
+    """Figs 11-12: the memory rule holds even for LRD traffic."""
+
+    def test_memoryless_vs_rule_on_lrd(self):
+        from repro.traffic.lrd import starwars_like_source
+
+        source = starwars_like_source(
+            n_segments=1 << 14,
+            segment_time=1.0,
+            renegotiation_period=None,
+            cv=0.3,
+            hurst=0.85,
+            rng=make_rng(99),
+        )
+        n = 100.0
+        t_h = 1000.0
+        t_h_tilde = t_h / math.sqrt(n)
+
+        def run(memory, seed):
+            return simulate(
+                SimulationConfig(
+                    source=source,
+                    capacity=n * source.mean,
+                    holding_time=t_h,
+                    p_ce=P_Q,
+                    memory=memory,
+                    engine="fast",
+                    p_q=P_Q,
+                    max_time=4e4,
+                    seed=seed,
+                )
+            )
+
+        memoryless = run(0.0, seed=31)
+        ruled = run(t_h_tilde, seed=32)
+        assert memoryless.overflow_probability > 3.0 * P_Q
+        assert ruled.overflow_probability <= 2.5 * P_Q

@@ -1,0 +1,163 @@
+"""Theory-vs-Monte-Carlo consistency across module boundaries.
+
+These tests tie the analytic modules to fully independent stochastic
+implementations: the static impulsive MC, the finite-holding renewal MC,
+and the Gaussian-process boundary-crossing MC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import q_inverse
+from repro.processes.hitting_mc import hitting_probability_mc
+from repro.simulation.impulsive import (
+    admitted_counts_mc,
+    finite_holding_overflow_mc,
+)
+from repro.theory.finite_holding import overflow_probability_curve, peak_overflow
+from repro.theory.impulsive import admitted_count_distribution
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+from repro.traffic.marginals import (
+    LognormalMarginal,
+    TruncatedGaussianMarginal,
+    UniformMarginal,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestProp31UniversalityAcrossMarginals:
+    """Prop 3.1/3.3 are distribution-free: the admitted-count fluctuation
+    depends on the marginal only through (mu, sigma)."""
+
+    @pytest.mark.parametrize(
+        "marginal",
+        [
+            TruncatedGaussianMarginal.from_cv(1.0, 0.3),
+            LognormalMarginal(1.0, 0.3),
+            UniformMarginal(0.48, 1.52),  # mean 1, std ~0.3
+        ],
+        ids=["gaussian", "lognormal", "uniform"],
+    )
+    def test_admitted_count_gaussian_limit(self, marginal, rng):
+        n = 400
+        counts = admitted_counts_mc(
+            n=n, marginal=marginal, p_q=1e-2, n_reps=20000, rng=rng
+        )
+        limit = admitted_count_distribution(n, marginal.mean, marginal.std, 1e-2)
+        assert counts.mean() == pytest.approx(limit.mean, rel=0.01)
+        assert counts.std(ddof=1) == pytest.approx(limit.std, rel=0.15)
+
+
+class TestEqn21PeakAgainstMc:
+    def test_peak_location_and_height(self, rng):
+        marginal = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        n, t_h_tilde = 400, 50.0
+        holding = t_h_tilde * np.sqrt(n)
+        t_peak, p_peak = peak_overflow(
+            p_q=2e-2,
+            snr=marginal.std / marginal.mean,
+            holding_time_scaled=t_h_tilde,
+            correlation_time=1.0,
+        )
+        times = np.array([t_peak])
+        mc = finite_holding_overflow_mc(
+            n=n,
+            marginal=marginal,
+            p_q=2e-2,
+            holding_time=holding,
+            correlation_time=1.0,
+            times=times,
+            n_reps=60000,
+            rng=rng,
+        )
+        assert mc[0] == pytest.approx(p_peak, rel=0.4)
+
+    def test_curve_correlation(self, rng):
+        """Theory and MC curves must be strongly rank-correlated."""
+        marginal = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        times = np.geomspace(0.2, 200.0, 8)
+        mc = finite_holding_overflow_mc(
+            n=100,
+            marginal=marginal,
+            p_q=3e-2,
+            holding_time=500.0,
+            correlation_time=1.0,
+            times=times,
+            n_reps=30000,
+            rng=rng,
+        )
+        theory = overflow_probability_curve(
+            times,
+            p_q=3e-2,
+            snr=marginal.std / marginal.mean,
+            holding_time_scaled=50.0,
+            correlation_time=1.0,
+        )
+        # Compare shapes on points with meaningful mass.
+        mask = theory > 1e-4
+        ratio = mc[mask] / theory[mask]
+        assert np.all(ratio > 0.2) and np.all(ratio < 5.0)
+
+
+class TestBrakerShapeAgainstMc:
+    def test_memory_sweep_shape(self):
+        """Theory (37) and the GP Monte Carlo must order the memory sweep
+        identically and stay within a conservative envelope."""
+        alpha = 2.5
+        beta = 0.2
+        theory_curve, mc_curve = [], []
+        for t_m in [0.0, 2.0, 10.0]:
+            model = ContinuousLoadModel(
+                correlation_time=1.0,
+                holding_time_scaled=1.0 / (0.3 * beta),
+                snr=0.3,
+                memory=t_m,
+            )
+            theory_curve.append(overflow_probability(model, alpha=alpha))
+            mc = hitting_probability_mc(
+                alpha=alpha,
+                beta=beta,
+                correlation_time=1.0,
+                memory=t_m,
+                n_paths=4000,
+                rng=np.random.default_rng(42),
+            )
+            mc_curve.append(mc.probability)
+        assert theory_curve == sorted(theory_curve, reverse=True)
+        assert mc_curve == sorted(mc_curve, reverse=True)
+        for th, mc_p in zip(theory_curve, mc_curve):
+            assert mc_p <= th * 1.2 + 0.01  # theory conservative
+            assert th <= 12.0 * mc_p + 1e-4  # within an order of magnitude
+
+
+class TestAdjustedAlphaAgainstGpMc:
+    def test_inverted_target_meets_p_q_in_gp_world(self):
+        """Invert eqn (37) for alpha_ce, then check by GP Monte Carlo that
+        the hitting probability is at or below p_q."""
+        from repro.theory.inversion import adjusted_ce_alpha
+
+        p_q = 2e-2
+        t_m = 5.0
+        beta = 0.2
+        t_h_tilde = 1.0 / (0.3 * beta)
+        alpha_ce = adjusted_ce_alpha(
+            p_q,
+            memory=t_m,
+            correlation_time=1.0,
+            holding_time_scaled=t_h_tilde,
+            snr=0.3,
+            formula="general",
+        )
+        mc = hitting_probability_mc(
+            alpha=alpha_ce,
+            beta=beta,
+            correlation_time=1.0,
+            memory=t_m,
+            n_paths=6000,
+            rng=np.random.default_rng(17),
+        )
+        assert mc.probability <= p_q + 3.0 * mc.std_error
+
+    def test_sanity_alpha_scale(self):
+        assert q_inverse(2e-2) < 3.0  # the alpha scale these tests live at

@@ -1,0 +1,100 @@
+"""Tests for empirical autocorrelation and Hurst estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.autocorr import (
+    empirical_autocorrelation,
+    hurst_aggregated_variance,
+    integral_time_scale,
+)
+
+
+class TestEmpiricalAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        rho = empirical_autocorrelation(rng.standard_normal(1000), 10)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelated(self, rng):
+        rho = empirical_autocorrelation(rng.standard_normal(100000), 5)
+        assert np.max(np.abs(rho[1:])) < 0.02
+
+    def test_ar1_recovery(self, rng):
+        a = 0.9
+        n = 200000
+        x = np.empty(n)
+        x[0] = rng.standard_normal()
+        noise = rng.standard_normal(n)
+        for k in range(1, n):
+            x[k] = a * x[k - 1] + noise[k]
+        rho = empirical_autocorrelation(x, 10)
+        expected = a ** np.arange(11)
+        assert np.max(np.abs(rho - expected)) < 0.03
+
+    def test_matches_direct_computation(self, rng):
+        """FFT path must agree with the O(n^2) definition."""
+        x = rng.standard_normal(257)
+        rho = empirical_autocorrelation(x, 5)
+        centered = x - x.mean()
+        direct = np.array(
+            [
+                np.sum(centered[: x.size - k] * centered[k:]) / x.size
+                for k in range(6)
+            ]
+        )
+        direct = direct / direct[0]
+        np.testing.assert_allclose(rho, direct, atol=1e-10)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            empirical_autocorrelation(np.array([1.0]), 1)
+        with pytest.raises(ParameterError):
+            empirical_autocorrelation(rng.standard_normal(10), 10)
+        with pytest.raises(ParameterError):
+            empirical_autocorrelation(np.ones(100), 5)  # zero variance
+
+
+class TestIntegralTimeScale:
+    def test_exponential_gives_tc(self):
+        dt, t_c = 0.01, 2.0
+        lags = np.arange(5000) * dt
+        rho = np.exp(-lags / t_c)
+        assert integral_time_scale(rho, dt) == pytest.approx(t_c, rel=0.01)
+
+    def test_truncates_at_first_zero(self):
+        rho = np.array([1.0, 0.5, -0.2, 0.9])
+        # Only lags 0 and 1 counted: dt*(1 + 0.5 - 0.5) = dt.
+        assert integral_time_scale(rho, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            integral_time_scale(np.array([]), 1.0)
+        with pytest.raises(ParameterError):
+            integral_time_scale(np.array([1.0]), 0.0)
+
+
+class TestHurstEstimator:
+    def test_white_noise(self, rng):
+        h = hurst_aggregated_variance(rng.standard_normal(1 << 15))
+        assert h == pytest.approx(0.5, abs=0.05)
+
+    def test_lrd_series(self, rng):
+        from repro.processes.fgn import fgn
+
+        h = hurst_aggregated_variance(fgn(1 << 15, 0.8, rng))
+        assert h == pytest.approx(0.8, abs=0.08)
+
+    def test_custom_blocks(self, rng):
+        h = hurst_aggregated_variance(
+            rng.standard_normal(1 << 12), block_sizes=[2, 4, 8, 16, 32]
+        )
+        assert 0.3 < h < 0.7
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            hurst_aggregated_variance(rng.standard_normal(10))
+        with pytest.raises(ParameterError):
+            hurst_aggregated_variance(
+                rng.standard_normal(256), block_sizes=[1000]
+            )

@@ -1,0 +1,106 @@
+"""Tests for the exact fGn synthesis (Davies-Harte)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.fgn import fbm, fgn, fgn_autocovariance
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_one(self):
+        assert fgn_autocovariance(0, 0.8) == pytest.approx(1.0)
+
+    def test_white_noise_case(self):
+        assert fgn_autocovariance(1, 0.5) == pytest.approx(0.0, abs=1e-12)
+        assert fgn_autocovariance(5, 0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_correlations_for_high_hurst(self):
+        gamma = fgn_autocovariance(np.arange(1, 20), 0.85)
+        assert np.all(gamma > 0.0)
+
+    def test_negative_correlations_for_low_hurst(self):
+        assert fgn_autocovariance(1, 0.2) < 0.0
+
+    def test_power_law_tail(self):
+        """gamma(k) ~ H(2H-1) k^{2H-2} for large k."""
+        h = 0.8
+        k = np.array([100.0, 400.0])
+        gamma = fgn_autocovariance(k, h)
+        ratio = gamma[1] / gamma[0]
+        assert ratio == pytest.approx(4.0 ** (2 * h - 2), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fgn_autocovariance(1, 0.0)
+        with pytest.raises(ParameterError):
+            fgn_autocovariance(1, 1.0)
+
+
+class TestFgnSampling:
+    def test_shape_and_moments(self, rng):
+        x = fgn(1 << 14, 0.8, rng)
+        assert x.shape == (1 << 14,)
+        # LRD sample-mean std at n=2^14, H=0.8 is n^{H-1} ~ 0.14;
+        # allow ~3.5 sigma.
+        assert abs(x.mean()) < 0.5
+        assert x.std() == pytest.approx(1.0, rel=0.1)
+
+    def test_white_case_is_iid(self, rng):
+        x = fgn(1 << 14, 0.5, rng)
+        lag1 = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert abs(lag1) < 0.03
+
+    def test_empirical_autocovariance_matches(self, rng):
+        """Average the empirical ACF over independent replicates and compare
+        with the exact fGn autocovariance at small lags."""
+        h, n, reps = 0.8, 4096, 20
+        acfs = []
+        for _ in range(reps):
+            x = fgn(n, h, rng)
+            x = x - x.mean()
+            acf = np.correlate(x, x, "full")[n - 1 : n + 10] / n
+            acfs.append(acf / acf[0])
+        mean_acf = np.mean(acfs, axis=0)
+        expected = fgn_autocovariance(np.arange(11), h)
+        assert np.max(np.abs(mean_acf - expected)) < 0.05
+
+    def test_variance_of_block_means_lrd(self, rng):
+        """Var of m-block means must decay like m^{2H-2}, much slower than
+        the 1/m of i.i.d. data -- the defining LRD property."""
+        h = 0.85
+        x = fgn(1 << 16, h, rng)
+        m = 64
+        blocks = x[: (x.size // m) * m].reshape(-1, m).mean(axis=1)
+        observed = blocks.var()
+        expected = float(m) ** (2 * h - 2)
+        iid_prediction = 1.0 / m
+        assert observed == pytest.approx(expected, rel=0.3)
+        assert observed > 5.0 * iid_prediction
+
+    def test_reproducible(self):
+        a = fgn(512, 0.7, np.random.default_rng(9))
+        b = fgn(512, 0.7, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            fgn(1, 0.8, rng)
+
+
+class TestFbm:
+    def test_starts_at_zero(self, rng):
+        path = fbm(100, 0.7, rng)
+        assert path[0] == 0.0
+        assert path.shape == (101,)
+
+    def test_increments_are_fgn(self, rng):
+        path = fbm(100, 0.7, np.random.default_rng(4))
+        x = fgn(100, 0.7, np.random.default_rng(4))
+        np.testing.assert_allclose(np.diff(path), x, rtol=1e-12)
+
+    def test_self_similar_variance_growth(self, rng):
+        """Var[B_t] ~ t^{2H}: check the end-point variance across paths."""
+        h, n, reps = 0.75, 256, 400
+        finals = np.array([fbm(n, h, rng)[-1] for _ in range(reps)])
+        assert finals.var() == pytest.approx(float(n) ** (2 * h), rel=0.25)

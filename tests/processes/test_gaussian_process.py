@@ -1,0 +1,93 @@
+"""Tests for generic stationary Gaussian sampling (circulant embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.gaussian_process import sample_stationary_gaussian
+
+
+def exponential_cov(t_c: float, variance: float = 1.0):
+    def cov(lags):
+        return variance * np.exp(-np.asarray(lags) / t_c)
+
+    return cov
+
+
+class TestSampling:
+    def test_shape(self, rng):
+        out = sample_stationary_gaussian(
+            autocovariance=exponential_cov(1.0), n=64, dt=0.1, n_paths=5, rng=rng
+        )
+        assert out.shape == (5, 64)
+
+    def test_marginal_variance(self, rng):
+        out = sample_stationary_gaussian(
+            autocovariance=exponential_cov(1.0, variance=2.5),
+            n=32,
+            dt=0.25,
+            n_paths=4000,
+            rng=rng,
+        )
+        assert out[:, 10].var() == pytest.approx(2.5, rel=0.1)
+
+    def test_pairwise_covariance(self, rng):
+        t_c, dt = 2.0, 0.5
+        out = sample_stationary_gaussian(
+            autocovariance=exponential_cov(t_c), n=16, dt=dt, n_paths=30000, rng=rng
+        )
+        for lag in [1, 3]:
+            cov = np.mean(out[:, 0] * out[:, lag])
+            assert cov == pytest.approx(np.exp(-lag * dt / t_c), abs=0.02)
+
+    def test_two_scale_mixture(self, rng):
+        def cov(lags):
+            lags = np.asarray(lags)
+            return 0.6 * np.exp(-lags / 0.5) + 0.4 * np.exp(-lags / 10.0)
+
+        out = sample_stationary_gaussian(
+            autocovariance=cov, n=64, dt=0.5, n_paths=20000, rng=rng
+        )
+        assert np.mean(out[:, 0] * out[:, 4]) == pytest.approx(cov(2.0), abs=0.02)
+
+    def test_reproducible(self):
+        kwargs = dict(autocovariance=exponential_cov(1.0), n=32, dt=0.1, n_paths=2)
+        a = sample_stationary_gaussian(rng=np.random.default_rng(1), **kwargs)
+        b = sample_stationary_gaussian(rng=np.random.default_rng(1), **kwargs)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_rejects_tiny_n(self, rng):
+        with pytest.raises(ParameterError):
+            sample_stationary_gaussian(
+                autocovariance=exponential_cov(1.0), n=1, dt=0.1, n_paths=1, rng=rng
+            )
+
+    def test_rejects_bad_dt(self, rng):
+        with pytest.raises(ParameterError):
+            sample_stationary_gaussian(
+                autocovariance=exponential_cov(1.0), n=8, dt=0.0, n_paths=1, rng=rng
+            )
+
+    def test_rejects_zero_variance(self, rng):
+        with pytest.raises(ParameterError):
+            sample_stationary_gaussian(
+                autocovariance=lambda lags: np.zeros(len(np.atleast_1d(lags))),
+                n=8,
+                dt=0.1,
+                n_paths=1,
+                rng=rng,
+            )
+
+    def test_rejects_strongly_indefinite(self, rng):
+        """An oscillating 'covariance' that is far from PSD must raise."""
+
+        def bad(lags):
+            lags = np.asarray(lags, dtype=float)
+            return np.where(lags == 0.0, 1.0, -0.9)
+
+        with pytest.raises(ParameterError):
+            sample_stationary_gaussian(
+                autocovariance=bad, n=32, dt=1.0, n_paths=1, rng=rng
+            )

@@ -1,0 +1,105 @@
+"""Tests for the Monte-Carlo boundary-crossing estimator.
+
+These also serve as an independent validation of the Braker approximation
+used by the theory modules (the paper's eqns (30)/(32)/(37)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.hitting_mc import HittingEstimate, hitting_probability_mc
+
+
+class TestEstimateContainer:
+    def test_within_absolute(self):
+        est = HittingEstimate(probability=0.10, std_error=0.01, n_paths=900)
+        assert est.within(0.11)
+        assert not est.within(0.50, n_sigmas=1.0, rel=0.1)
+
+    def test_within_relative(self):
+        est = HittingEstimate(probability=0.10, std_error=1e-6, n_paths=10**8)
+        assert est.within(0.13, n_sigmas=1.0, rel=0.5)
+
+
+class TestMonteCarloHitting:
+    def test_decreasing_in_alpha(self, rng):
+        kwargs = dict(beta=0.2, correlation_time=1.0, n_paths=1500)
+        p1 = hitting_probability_mc(alpha=1.0, rng=rng, **kwargs).probability
+        p2 = hitting_probability_mc(alpha=2.5, rng=rng, **kwargs).probability
+        assert p2 < p1
+
+    def test_memory_reduces_hitting(self, rng):
+        kwargs = dict(alpha=1.5, beta=0.05, correlation_time=1.0, n_paths=1200)
+        memoryless = hitting_probability_mc(memory=0.0, rng=rng, **kwargs)
+        filtered = hitting_probability_mc(memory=10.0, rng=rng, **kwargs)
+        assert filtered.probability < memoryless.probability
+
+    def test_braker_tracks_mc_memoryless(self, rng):
+        """MC vs eqn (32): at alpha=3 the Braker value sits within a factor
+        ~2 above the exact (MC) probability -- the conservatism the paper
+        itself reports in Fig 5."""
+        from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+        alpha = 3.0
+        model = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=1.0 / (0.3 * 0.3), snr=0.3
+        )  # beta = 0.3
+        theory = overflow_probability(model, alpha=alpha)
+        mc = hitting_probability_mc(
+            alpha=alpha,
+            beta=model.beta,
+            correlation_time=1.0,
+            n_paths=6000,
+            rng=rng,
+        )
+        assert mc.probability <= theory + 3.0 * mc.std_error  # conservative
+        assert theory <= 2.5 * mc.probability  # but not wildly so
+
+    def test_braker_conservative_with_memory(self, rng):
+        """MC vs eqn (37): with estimator memory the approximation stays a
+        conservative upper bound, within one order of magnitude."""
+        from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+        alpha = 2.5
+        t_m = 5.0
+        model = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=1.0 / (0.3 * 0.2),
+            snr=0.3, memory=t_m,
+        )  # beta = 0.2
+        theory = overflow_probability(model, alpha=alpha)
+        mc = hitting_probability_mc(
+            alpha=alpha,
+            beta=model.beta,
+            correlation_time=1.0,
+            memory=t_m,
+            n_paths=6000,
+            rng=rng,
+        )
+        assert mc.probability <= theory + 3.0 * mc.std_error
+        assert theory <= 10.0 * mc.probability
+
+    def test_stderr_scaling(self, rng):
+        small = hitting_probability_mc(
+            alpha=1.0, beta=0.2, correlation_time=1.0, n_paths=500, rng=rng
+        )
+        large = hitting_probability_mc(
+            alpha=1.0, beta=0.2, correlation_time=1.0, n_paths=8000, rng=rng
+        )
+        assert large.std_error < small.std_error
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            hitting_probability_mc(
+                alpha=0.0, beta=0.1, correlation_time=1.0, rng=rng
+            )
+        with pytest.raises(ParameterError):
+            hitting_probability_mc(
+                alpha=1.0, beta=0.1, correlation_time=1.0, memory=-1.0, rng=rng
+            )
+
+    def test_reproducible(self):
+        kwargs = dict(alpha=1.5, beta=0.2, correlation_time=1.0, n_paths=400)
+        a = hitting_probability_mc(rng=np.random.default_rng(3), **kwargs)
+        b = hitting_probability_mc(rng=np.random.default_rng(3), **kwargs)
+        assert a.probability == b.probability

@@ -1,0 +1,113 @@
+"""Tests for the OU process simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.autocorr import empirical_autocorrelation
+from repro.processes.ou import filtered_ou_paths, ou_autocorrelation, ou_paths
+
+
+class TestOuAutocorrelation:
+    def test_values(self):
+        assert ou_autocorrelation(0.0, 2.0) == 1.0
+        assert ou_autocorrelation(2.0, 2.0) == pytest.approx(math.exp(-1.0))
+        assert ou_autocorrelation(-2.0, 2.0) == ou_autocorrelation(2.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ou_autocorrelation(1.0, 0.0)
+
+
+class TestOuPaths:
+    def test_shapes(self, rng):
+        times, paths = ou_paths(
+            correlation_time=1.0, n_paths=7, n_steps=50, dt=0.1, rng=rng
+        )
+        assert times.shape == (51,)
+        assert paths.shape == (7, 51)
+        assert times[-1] == pytest.approx(5.0)
+
+    def test_stationary_variance(self, rng):
+        _, paths = ou_paths(
+            correlation_time=1.0, n_paths=4000, n_steps=20, dt=0.5, rng=rng
+        )
+        # Every time slice must be ~N(0,1).
+        assert paths[:, 0].std() == pytest.approx(1.0, rel=0.05)
+        assert paths[:, -1].std() == pytest.approx(1.0, rel=0.05)
+        assert abs(paths[:, -1].mean()) < 0.06
+
+    def test_exact_one_step_correlation(self, rng):
+        dt, t_c = 0.3, 1.5
+        _, paths = ou_paths(
+            correlation_time=t_c, n_paths=60000, n_steps=1, dt=dt, rng=rng
+        )
+        corr = np.corrcoef(paths[:, 0], paths[:, 1])[0, 1]
+        assert corr == pytest.approx(math.exp(-dt / t_c), abs=0.01)
+
+    def test_path_autocorrelation(self, rng):
+        t_c, dt = 1.0, 0.05
+        _, paths = ou_paths(
+            correlation_time=t_c, n_paths=1, n_steps=200000, dt=dt, rng=rng
+        )
+        rho = empirical_autocorrelation(paths[0], max_lag=int(2 / dt))
+        lags = np.arange(rho.size) * dt
+        assert np.max(np.abs(rho - np.exp(-lags / t_c))) < 0.06
+
+    def test_zero_start_option(self, rng):
+        _, paths = ou_paths(
+            correlation_time=1.0,
+            n_paths=5,
+            n_steps=3,
+            dt=0.1,
+            rng=rng,
+            stationary_start=False,
+        )
+        assert np.all(paths[:, 0] == 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            ou_paths(correlation_time=0.0, n_paths=1, n_steps=1, dt=0.1, rng=rng)
+        with pytest.raises(ParameterError):
+            ou_paths(correlation_time=1.0, n_paths=0, n_steps=1, dt=0.1, rng=rng)
+
+
+class TestFilteredOuPaths:
+    def test_memoryless_passthrough(self, rng):
+        times, z = filtered_ou_paths(
+            correlation_time=1.0, memory=0.0, n_paths=3, n_steps=10, dt=0.1, rng=rng
+        )
+        assert z.shape == (3, 11)
+        assert z[:, 0].std() > 0.0  # stationary start, not zeros
+
+    def test_stationary_filtered_variance(self, rng):
+        """Var[Z] = T_c/(T_c + T_m) (the paper's estimator-variance law)."""
+        t_c, t_m = 1.0, 4.0
+        _, z = filtered_ou_paths(
+            correlation_time=t_c,
+            memory=t_m,
+            n_paths=3000,
+            n_steps=40,
+            dt=0.05,
+            rng=rng,
+        )
+        target = t_c / (t_c + t_m)
+        assert z[:, -1].var() == pytest.approx(target, rel=0.1)
+
+    def test_memory_smooths(self, rng):
+        """Filtered paths must fluctuate less step-to-step than raw ones."""
+        _, y = ou_paths(correlation_time=1.0, n_paths=1, n_steps=5000, dt=0.05, rng=rng)
+        _, z = filtered_ou_paths(
+            correlation_time=1.0, memory=5.0, n_paths=1, n_steps=5000, dt=0.05,
+            rng=np.random.default_rng(12345),
+        )
+        assert np.abs(np.diff(z[0])).mean() < 0.2 * np.abs(np.diff(y[0])).mean()
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            filtered_ou_paths(
+                correlation_time=1.0, memory=-1.0, n_paths=1, n_steps=1, dt=0.1,
+                rng=rng,
+            )

@@ -1,0 +1,87 @@
+"""Property-based invariant tests on the vectorized engine.
+
+Small configurations (tiny capacity, short horizons) keep each example
+fast while hypothesis explores the parameter space; the assertions are the
+engine's conservation laws, which must hold for *every* configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import make_estimator
+from repro.simulation.fast import FastEngine, as_vector_model
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import RcbrSource
+
+
+def build_engine(capacity, holding_time, p_ce, memory, dt, seed, t_c=1.0):
+    source = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), t_c)
+    return FastEngine(
+        model=as_vector_model(source),
+        controller=CertaintyEquivalentController(capacity, p_ce),
+        estimator=make_estimator(memory if memory > 0 else None),
+        capacity=capacity,
+        holding_time=holding_time,
+        dt=dt,
+        rng=np.random.default_rng(seed),
+    )
+
+
+engine_params = dict(
+    capacity=st.floats(min_value=5.0, max_value=40.0),
+    holding_time=st.floats(min_value=5.0, max_value=200.0),
+    p_ce=st.floats(min_value=1e-4, max_value=0.2),
+    memory=st.floats(min_value=0.0, max_value=20.0),
+    dt=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestEngineInvariants:
+    @given(**engine_params)
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_and_positivity(
+        self, capacity, holding_time, p_ce, memory, dt, seed
+    ):
+        engine = build_engine(capacity, holding_time, p_ce, memory, dt, seed)
+        engine.run_until(20.0)
+        # Flow conservation.
+        assert engine.n_flows == engine.n_admitted - engine.n_departed
+        assert engine.n_flows >= 0
+        # Aggregate consistency: inactive slots carry zero rate.
+        assert np.all(engine._rates[~engine._active] == 0.0)
+        assert np.all(engine._rates[engine._active] > 0.0)
+        assert engine.aggregate_rate == pytest.approx(
+            float(engine._rates[engine._active].sum())
+        )
+        # Accounting bounds.
+        assert 0.0 <= engine.link.overflow_fraction <= 1.0
+        assert 0.0 <= engine.link.mean_utilization <= 1.0 + 1e-12
+        assert engine.link.observed_time == pytest.approx(20.0, rel=0.05)
+
+    @given(**engine_params)
+    @settings(max_examples=15, deadline=None)
+    def test_chunked_equals_single_run(
+        self, capacity, holding_time, p_ce, memory, dt, seed
+    ):
+        single = build_engine(capacity, holding_time, p_ce, memory, dt, seed)
+        chunked = build_engine(capacity, holding_time, p_ce, memory, dt, seed)
+        single.run_until(10.0)
+        for t in (2.5, 5.0, 7.5, 10.0):
+            chunked.run_until(t)
+        assert single.aggregate_rate == pytest.approx(chunked.aggregate_rate)
+        assert single.n_admitted == chunked.n_admitted
+        assert single.link.busy_time == pytest.approx(chunked.link.busy_time)
+
+    @given(
+        capacity=st.floats(min_value=5.0, max_value=40.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_occupancy_respects_cap(self, capacity, seed):
+        engine = build_engine(capacity, 50.0, 0.1, 0.0, 0.1, seed)
+        engine.run_until(30.0)
+        assert engine.n_flows <= engine._cap

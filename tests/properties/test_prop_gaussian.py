@@ -1,0 +1,76 @@
+"""Property-based tests for the Gaussian toolkit."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gaussian import log_q_function, phi, q_function, q_inverse
+
+reasonable = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False)
+probabilities = st.floats(min_value=1e-12, max_value=1.0 - 1e-12)
+
+
+class TestQFunctionProperties:
+    @given(x=reasonable)
+    def test_range(self, x):
+        q = q_function(x)
+        assert 0.0 <= q <= 1.0
+
+    @given(x=reasonable)
+    def test_reflection(self, x):
+        assert q_function(x) + q_function(-x) == pytest.approx(1.0, abs=1e-12)
+
+    @given(
+        x=st.floats(min_value=-6.0, max_value=6.0),
+        dx=st.floats(min_value=1e-4, max_value=1.0),
+    )
+    def test_strictly_decreasing(self, x, dx):
+        # Restricted to |x| <= ~6+1: beyond that 1 - Q(x) saturates double
+        # precision and strictness necessarily breaks.
+        assert q_function(x + dx) < q_function(x)
+
+    @given(x=st.floats(min_value=0.1, max_value=30.0))
+    def test_tail_bounds(self, x):
+        """phi(x) x/(1+x^2) <= Q(x) <= phi(x)/x (classical bounds)."""
+        q = q_function(x)
+        density = phi(x)
+        assert q <= density / x * (1.0 + 1e-12)
+        assert q >= density * x / (1.0 + x * x) * (1.0 - 1e-12)
+
+    @given(p=probabilities)
+    def test_inverse_roundtrip(self, p):
+        assert q_function(q_inverse(p)) == pytest.approx(p, rel=1e-8)
+
+    @given(x=st.floats(min_value=-6.0, max_value=8.0))
+    def test_forward_roundtrip(self, x):
+        # Below x ~ -6 the complement 1-Q(x) saturates double precision and
+        # the inverse necessarily loses digits; restrict to the invertible
+        # range.
+        assert q_inverse(q_function(x)) == pytest.approx(x, abs=1e-6)
+
+    @given(x=st.floats(min_value=-5.0, max_value=37.0))
+    @settings(max_examples=200)
+    def test_log_q_consistent(self, x):
+        lq = log_q_function(x)
+        assert lq <= 0.0
+        direct = q_function(x)
+        if direct > 1e-300:
+            assert lq == pytest.approx(math.log(direct), rel=1e-8)
+
+
+class TestPhiProperties:
+    @given(x=reasonable)
+    def test_positive_and_bounded(self, x):
+        value = phi(x)
+        assert 0.0 <= value <= 0.39894228040143276
+
+    @given(x=reasonable)
+    def test_even(self, x):
+        assert phi(x) == pytest.approx(phi(-x), rel=1e-12)
+
+    @given(x=st.floats(min_value=-8.0, max_value=8.0), h=st.floats(min_value=1e-5, max_value=1e-3))
+    def test_is_derivative_of_one_minus_q(self, x, h):
+        numeric = (q_function(x - h) - q_function(x + h)) / (2.0 * h)
+        assert numeric == pytest.approx(phi(x), rel=1e-3, abs=1e-9)

@@ -1,0 +1,120 @@
+"""Property-based tests for the statistics layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.link import Link
+from repro.simulation.stats import BatchMeans, OverflowRecorder
+
+aggregates = st.lists(
+    st.floats(min_value=0.0, max_value=20.0), min_size=2, max_size=200
+)
+intervals = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),  # duration
+        st.booleans(),  # overloaded?
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestRecorderProperties:
+    @given(values=aggregates)
+    def test_mean_in_unit_interval(self, values):
+        rec = OverflowRecorder(capacity=10.0)
+        for v in values:
+            rec.record(v)
+        assert 0.0 <= rec.mean <= 1.0
+        assert rec.n_samples == len(values)
+
+    @given(values=aggregates)
+    def test_mean_matches_manual_count(self, values):
+        rec = OverflowRecorder(capacity=10.0)
+        for v in values:
+            rec.record(v)
+        manual = sum(1 for v in values if v > 10.0) / len(values)
+        assert rec.mean == pytest.approx(manual)
+
+    @given(values=aggregates)
+    def test_merge_equals_single_stream(self, values):
+        split = len(values) // 2
+        joint = OverflowRecorder(capacity=10.0)
+        a = OverflowRecorder(capacity=10.0)
+        b = OverflowRecorder(capacity=10.0)
+        for v in values:
+            joint.record(v)
+        for v in values[:split]:
+            a.record(v)
+        for v in values[split:]:
+            b.record(v)
+        a.merge(b)
+        assert a.n_samples == joint.n_samples
+        assert a.mean == pytest.approx(joint.mean)
+        assert a.sum_aggregate == pytest.approx(joint.sum_aggregate)
+
+    @given(values=aggregates)
+    def test_gaussian_tail_in_range(self, values):
+        rec = OverflowRecorder(capacity=10.0)
+        for v in values:
+            rec.record(v)
+        assert 0.0 <= rec.gaussian_tail_estimate() <= 1.0
+
+
+class TestBatchMeansProperties:
+    @given(chunks=intervals, batch=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_mean_bounded(self, chunks, batch):
+        bm = BatchMeans(batch_duration=batch)
+        for duration, overloaded in chunks:
+            bm.add(duration, overloaded)
+        assert 0.0 <= bm.mean <= 1.0
+
+    @given(chunks=intervals, batch=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_batch_count_matches_total_time(self, chunks, batch):
+        bm = BatchMeans(batch_duration=batch)
+        total = sum(d for d, _ in chunks)
+        for duration, overloaded in chunks:
+            bm.add(duration, overloaded)
+        assert bm.n_batches == int(total / batch + 1e-9)
+
+    @given(chunks=intervals)
+    @settings(max_examples=100)
+    def test_splitting_invariance(self, chunks):
+        """Adding an interval in two halves must equal adding it whole."""
+        whole = BatchMeans(batch_duration=1.0)
+        halved = BatchMeans(batch_duration=1.0)
+        for duration, overloaded in chunks:
+            whole.add(duration, overloaded)
+            halved.add(duration / 2.0, overloaded)
+            halved.add(duration / 2.0, overloaded)
+        assert halved.n_batches == whole.n_batches
+        if whole.n_batches:
+            assert halved.mean == pytest.approx(whole.mean, abs=1e-9)
+
+
+class TestLinkProperties:
+    @given(chunks=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=30.0),  # aggregate
+            st.floats(min_value=0.0, max_value=5.0),  # duration
+        ),
+        min_size=1,
+        max_size=100,
+    ))
+    @settings(max_examples=100)
+    def test_integral_consistency(self, chunks):
+        link = Link(capacity=10.0)
+        for aggregate, duration in chunks:
+            link.accumulate(aggregate, duration)
+        assert 0.0 <= link.overflow_fraction <= 1.0
+        assert 0.0 <= link.mean_utilization <= 1.0 + 1e-12
+        assert link.busy_time <= link.observed_time + 1e-12
+        assert link.bandwidth_time <= link.demand_time + 1e-9
+        assert link.bandwidth_time <= 10.0 * link.observed_time + 1e-9
+        total = sum(d for _, d in chunks)
+        assert link.observed_time == pytest.approx(total, rel=1e-9, abs=1e-12)

@@ -1,0 +1,155 @@
+"""Property-based tests for the theory formulas."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.theory.finite_holding import (
+    exponential_autocorrelation,
+    overflow_probability_at,
+)
+from repro.theory.impulsive import (
+    adjusted_target_impulsive,
+    ce_overflow_probability,
+)
+from repro.theory.memoryful import (
+    ContinuousLoadModel,
+    overflow_probability_separation,
+    variance_function,
+)
+
+targets = st.floats(min_value=1e-8, max_value=0.4)
+time_scales = st.floats(min_value=0.05, max_value=100.0)
+memories = st.floats(min_value=0.0, max_value=1000.0)
+snrs = st.floats(min_value=0.05, max_value=1.0)
+
+
+class TestImpulsiveProperties:
+    @given(p_q=targets)
+    def test_sqrt2_always_degrades(self, p_q):
+        assert float(ce_overflow_probability(p_q)) > p_q
+
+    @given(p_q=targets)
+    def test_adjustment_is_involution_fixpoint(self, p_q):
+        """Applying the sqrt(2) degradation to the adjusted target returns
+        the original target."""
+        p_ce = float(adjusted_target_impulsive(p_q))
+        assert float(ce_overflow_probability(p_ce)) == pytest.approx(
+            p_q, rel=1e-6
+        )
+
+    @given(p1=targets, p2=targets)
+    def test_monotone(self, p1, p2):
+        lo, hi = sorted([p1, p2])
+        assert float(ce_overflow_probability(lo)) <= float(
+            ce_overflow_probability(hi)
+        ) * (1.0 + 1e-12)
+
+
+class TestVarianceFunctionProperties:
+    @given(
+        t_c=time_scales,
+        t_m=memories,
+        t1=st.floats(min_value=0.0, max_value=1000.0),
+        t2=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_monotone_nondecreasing(self, t_c, t_m, t1, t2):
+        model = ContinuousLoadModel(
+            correlation_time=t_c, holding_time_scaled=10.0, snr=0.3, memory=t_m
+        )
+        lo, hi = sorted([t1, t2])
+        assert variance_function(lo, model) <= variance_function(hi, model) + 1e-12
+
+    @given(t_c=time_scales, t_m=memories)
+    def test_bounds(self, t_c, t_m):
+        model = ContinuousLoadModel(
+            correlation_time=t_c, holding_time_scaled=10.0, snr=0.3, memory=t_m
+        )
+        v0 = variance_function(0.0, model)
+        v_inf = variance_function(1e9, model)
+        assert 0.0 <= v0 <= 1.0 + 1e-12  # T_m/(T_c+T_m) <= 1
+        assert 1.0 - 1e-12 <= v_inf <= 2.0 + 1e-12  # 1 + Var[Z] in [1, 2]
+
+
+class TestSeparationFormulaProperties:
+    @given(
+        t_c=time_scales,
+        t_h=st.floats(min_value=1.0, max_value=1000.0),
+        snr=snrs,
+        t_m=memories,
+        alpha=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=200)
+    def test_range_and_memory_monotonicity(self, t_c, t_h, snr, t_m, alpha):
+        base = ContinuousLoadModel(
+            correlation_time=t_c, holding_time_scaled=t_h, snr=snr, memory=t_m
+        )
+        # Eqn (38) is only claimed under separation of time-scales; outside
+        # gamma >> 1 its two terms can cross over non-monotonically.
+        assume(base.gamma >= 10.0)
+        more = ContinuousLoadModel(
+            correlation_time=t_c,
+            holding_time_scaled=t_h,
+            snr=snr,
+            memory=t_m + 1.0,
+        )
+        p_base = overflow_probability_separation(base, alpha=alpha)
+        p_more = overflow_probability_separation(more, alpha=alpha)
+        assert 0.0 <= p_more <= 1.0
+        assert p_more <= p_base + 1e-12
+
+    @given(
+        t_c=time_scales,
+        t_h=st.floats(min_value=1.0, max_value=1000.0),
+        snr=snrs,
+        t_m=memories,
+        a1=st.floats(min_value=0.5, max_value=10.0),
+        a2=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_alpha(self, t_c, t_h, snr, t_m, a1, a2):
+        model = ContinuousLoadModel(
+            correlation_time=t_c, holding_time_scaled=t_h, snr=snr, memory=t_m
+        )
+        lo, hi = sorted([a1, a2])
+        p_lo = overflow_probability_separation(model, alpha=lo)
+        p_hi = overflow_probability_separation(model, alpha=hi)
+        assert p_hi <= p_lo + 1e-12
+
+
+class TestFiniteHoldingProperties:
+    @given(
+        t=st.floats(min_value=0.0, max_value=1000.0),
+        p_q=targets,
+        snr=snrs,
+        t_h=st.floats(min_value=0.5, max_value=1000.0),
+        t_c=time_scales,
+    )
+    @settings(max_examples=200)
+    def test_range(self, t, p_q, snr, t_h, t_c):
+        rho = exponential_autocorrelation(t_c)
+        p = overflow_probability_at(
+            t, p_q=p_q, snr=snr, holding_time_scaled=t_h, rho=rho
+        )
+        assert 0.0 <= p <= 0.5  # drift term is positive, so never above 1/2
+
+    @given(
+        p_q=targets,
+        snr=snrs,
+        t_c=time_scales,
+        t_h1=st.floats(min_value=0.5, max_value=1000.0),
+        t_h2=st.floats(min_value=0.5, max_value=1000.0),
+        t=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_holding_time(self, p_q, snr, t_c, t_h1, t_h2, t):
+        assume(abs(t_h1 - t_h2) > 1e-6)
+        rho = exponential_autocorrelation(t_c)
+        lo, hi = sorted([t_h1, t_h2])
+        p_short = overflow_probability_at(
+            t, p_q=p_q, snr=snr, holding_time_scaled=lo, rho=rho
+        )
+        p_long = overflow_probability_at(
+            t, p_q=p_q, snr=snr, holding_time_scaled=hi, rho=rho
+        )
+        assert p_long >= p_short - 1e-15

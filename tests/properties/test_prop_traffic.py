@@ -1,0 +1,121 @@
+"""Property-based tests for the traffic substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.heterogeneous import mixture_moments
+from repro.traffic.marginals import TruncatedGaussianMarginal, UniformMarginal
+from repro.traffic.trace import Trace, rcbr_smooth
+
+
+class TestTruncatedGaussianProperties:
+    @given(
+        mean=st.floats(min_value=0.1, max_value=100.0),
+        cv=st.floats(min_value=0.01, max_value=1.5),
+    )
+    @settings(max_examples=100)
+    def test_truncation_raises_mean_lowers_cv(self, mean, cv):
+        m = TruncatedGaussianMarginal.from_cv(mean, cv)
+        assert m.mean >= mean  # cutting the left tail can only raise it
+        assert m.std <= cv * mean * (1.0 + 1e-9)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=100.0),
+        cv=st.floats(min_value=0.01, max_value=1.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_samples_positive(self, mean, cv, seed):
+        m = TruncatedGaussianMarginal.from_cv(mean, cv)
+        draws = m.sample(np.random.default_rng(seed), 100)
+        assert np.all(draws > 0.0)
+
+
+class TestMixtureMomentProperties:
+    weights = st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=6)
+
+    @given(
+        weights=weights,
+        data=st.data(),
+    )
+    @settings(max_examples=100)
+    def test_law_of_total_variance(self, weights, data):
+        k = len(weights)
+        means = data.draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=10.0), min_size=k, max_size=k
+            )
+        )
+        stds = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=5.0), min_size=k, max_size=k
+            )
+        )
+        m = mixture_moments(weights, means, stds)
+        assert m.between_class_variance >= -1e-9
+        assert m.variance == pytest.approx(
+            m.within_class_variance + m.between_class_variance
+        )
+        assert min(means) - 1e-9 <= m.mean <= max(means) + 1e-9
+
+    @given(
+        mu=st.floats(min_value=0.1, max_value=10.0),
+        sd=st.floats(min_value=0.0, max_value=3.0),
+        weights=weights,
+    )
+    @settings(max_examples=100)
+    def test_identical_classes_collapse(self, mu, sd, weights):
+        k = len(weights)
+        m = mixture_moments(weights, [mu] * k, [sd] * k)
+        assert m.mean == pytest.approx(mu)
+        assert m.between_class_variance == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTraceSmoothingProperties:
+    traces = st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=8, max_size=200
+    )
+
+    @given(rates=traces, per=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100)
+    def test_smoothing_preserves_trimmed_mean(self, rates, per):
+        trace = Trace(rates=np.asarray(rates), segment_time=1.0)
+        n_periods = len(rates) // per
+        if n_periods < 2:
+            return
+        smoothed = rcbr_smooth(trace, renegotiation_period=float(per))
+        trimmed = np.asarray(rates)[: n_periods * per]
+        assert smoothed.mean == pytest.approx(trimmed.mean(), rel=1e-9, abs=1e-12)
+
+    @given(rates=traces, per=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=100)
+    def test_smoothing_never_increases_variance(self, rates, per):
+        trace = Trace(rates=np.asarray(rates), segment_time=1.0)
+        if len(rates) // per < 2:
+            return
+        smoothed = rcbr_smooth(trace, renegotiation_period=float(per))
+        # Variance of block means <= variance of the (trimmed) series.
+        trimmed = np.asarray(rates)[: (len(rates) // per) * per]
+        assert smoothed.std <= trimmed.std() + 1e-9
+
+    @given(rates=traces)
+    def test_bounds(self, rates):
+        trace = Trace(rates=np.asarray(rates), segment_time=0.5)
+        assert 0.0 <= trace.mean <= trace.peak
+        assert trace.duration == pytest.approx(0.5 * len(rates))
+
+
+class TestUniformMarginalProperties:
+    @given(
+        low=st.floats(min_value=0.0, max_value=10.0),
+        width=st.floats(min_value=0.01, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_support_respected(self, low, width, seed):
+        m = UniformMarginal(low, low + width)
+        draws = m.sample(np.random.default_rng(seed), 50)
+        assert np.all(draws >= low) and np.all(draws <= low + width)
+        assert low <= m.mean <= low + width

@@ -1,0 +1,187 @@
+"""Tests for the Poisson-load engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController, PerfectKnowledgeController
+from repro.core.estimators import ExponentialMemoryEstimator, MemorylessEstimator
+from repro.errors import ParameterError
+from repro.simulation.arrivals import PoissonLoadEngine
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def make_engine(arrival_rate=1.0, capacity=50.0, holding_time=100.0, p_ce=1e-2,
+                seed=3, memory=0.0, **kwargs):
+    source = paper_rcbr_source()
+    estimator = (
+        ExponentialMemoryEstimator(memory) if memory > 0 else MemorylessEstimator()
+    )
+    return PoissonLoadEngine(
+        source=source,
+        controller=CertaintyEquivalentController(capacity, p_ce),
+        estimator=estimator,
+        capacity=capacity,
+        holding_time=holding_time,
+        arrival_rate=arrival_rate,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_initial_fill_default(self):
+        engine = make_engine()
+        assert engine.n_flows > 20  # filled at t=0
+
+    def test_empty_start_option(self):
+        engine = make_engine(initial_fill=False)
+        assert engine.n_flows == 1  # only the measurement seed
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_engine(arrival_rate=0.0)
+
+
+class TestArrivalDynamics:
+    def test_offered_rate(self):
+        engine = make_engine(arrival_rate=2.0)
+        engine.run_until(500.0)
+        # ~1000 offered arrivals in 500 time units.
+        assert engine.n_offered == pytest.approx(1000, rel=0.15)
+
+    def test_accounting_identity(self):
+        engine = make_engine(arrival_rate=1.0)
+        initial = engine.n_admitted  # the t=0 fill
+        engine.run_until(300.0)
+        carried = engine.n_admitted - initial
+        assert carried + engine.n_blocked == engine.n_offered
+
+    def test_blocking_increases_with_load(self):
+        light = make_engine(arrival_rate=0.1, seed=5)
+        heavy = make_engine(arrival_rate=5.0, seed=5)
+        light.run_until(400.0)
+        heavy.run_until(400.0)
+        assert heavy.blocking_probability() > light.blocking_probability()
+
+    def test_light_load_rarely_blocks(self):
+        # Carrying capacity ~ capacity/holding = 0.5 flows/unit; offer 0.05.
+        engine = make_engine(arrival_rate=0.05, holding_time=100.0, seed=9)
+        engine.run_until(1000.0)
+        assert engine.blocking_probability() < 0.1
+
+    def test_departures_free_capacity(self):
+        """Under heavy load occupancy hovers at the admissible ceiling."""
+        from repro.core.admission import admissible_flow_count
+
+        src = paper_rcbr_source()
+        engine = make_engine(arrival_rate=5.0, holding_time=50.0, seed=2)
+        engine.run_until(400.0)
+        ceiling = admissible_flow_count(src.mean, src.std, 50.0, 1e-2)
+        # The MBAC's ceiling is based on *measured* parameters, which
+        # fluctuate around the truth; allow the measurement slack.
+        assert engine.n_flows <= 1.15 * ceiling
+        assert engine.n_flows > 0.7 * ceiling
+
+
+class TestStatistics:
+    def test_reset_clears_counters(self):
+        engine = make_engine(arrival_rate=1.0)
+        engine.run_until(100.0)
+        engine.reset_statistics()
+        assert engine.n_offered == 0
+        assert engine.n_blocked == 0
+        assert engine.blocking_probability() == 0.0
+
+    def test_no_worse_than_continuous_load(self):
+        """The paper's Section 4 claim on a matched configuration."""
+        from repro.core.estimators import MemorylessEstimator
+        from repro.simulation.engine import EventDrivenEngine
+
+        kwargs = dict(
+            capacity=50.0,
+            holding_time=100.0,
+            p_ce=5e-2,
+        )
+        finite = make_engine(arrival_rate=0.4, seed=11, **kwargs)
+        finite.run_until(2000.0)
+        continuous = EventDrivenEngine(
+            source=paper_rcbr_source(),
+            controller=CertaintyEquivalentController(50.0, 5e-2),
+            estimator=MemorylessEstimator(),
+            capacity=50.0,
+            holding_time=100.0,
+            rng=np.random.default_rng(12),
+        )
+        continuous.run_until(2000.0)
+        assert (
+            finite.link.overflow_fraction
+            <= continuous.link.overflow_fraction + 0.01
+        )
+
+    def test_rate_changes_still_processed(self):
+        engine = make_engine(arrival_rate=0.5)
+        engine.run_until(50.0)
+        assert engine.n_rate_changes > 100
+
+
+class TestPerfectControllerUnderPoisson:
+    def test_blocking_with_static_controller(self):
+        src = paper_rcbr_source()
+        engine = PoissonLoadEngine(
+            source=src,
+            controller=PerfectKnowledgeController(src.mean, src.std, 50.0, 1e-2),
+            estimator=MemorylessEstimator(),
+            capacity=50.0,
+            holding_time=50.0,
+            arrival_rate=5.0,
+            rng=np.random.default_rng(21),
+        )
+        engine.run_until(500.0)
+        # Heavily overloaded: most arrivals blocked, occupancy at m*.
+        assert engine.blocking_probability() > 0.5
+
+
+class TestErlangBValidation:
+    """With CBR flows the Poisson engine is exactly M/M/m/m: its blocking
+    must match the Erlang-B formula."""
+
+    def test_erlang_b_values(self):
+        from repro.simulation.arrivals import erlang_b
+
+        # Classical reference values (e.g. B(a=2, m=4) = 2/21 ~ 0.0952...).
+        assert erlang_b(2.0, 4) == pytest.approx(2.0 / 21.0, rel=1e-12)
+        assert erlang_b(0.0, 3) == 0.0
+        assert erlang_b(5.0, 0) == 1.0
+
+    def test_erlang_b_monotonicity(self):
+        from repro.simulation.arrivals import erlang_b
+
+        assert erlang_b(3.0, 5) < erlang_b(4.0, 5)  # more load, more blocking
+        assert erlang_b(3.0, 6) < erlang_b(3.0, 5)  # more servers, less
+
+    def test_engine_matches_erlang_b(self):
+        from repro.simulation.arrivals import erlang_b
+        from repro.traffic.marginals import DeterministicMarginal
+        from repro.traffic.rcbr import RcbrSource
+
+        rate, servers = 1.0, 10
+        capacity = servers * rate + 0.5  # floor(c / rate) = 10 circuits
+        holding = 10.0
+        arrival_rate = 0.8  # offered load a = 8 erlangs
+        source = RcbrSource(DeterministicMarginal(rate), correlation_time=5.0)
+        engine = PoissonLoadEngine(
+            source=source,
+            controller=CertaintyEquivalentController(capacity, 1e-6),
+            estimator=MemorylessEstimator(),
+            capacity=capacity,
+            holding_time=holding,
+            arrival_rate=arrival_rate,
+            rng=np.random.default_rng(42),
+        )
+        engine.run_until(500.0)  # warm-up past the initial fill
+        engine.reset_statistics()
+        engine.run_until(8000.0)
+        expected = erlang_b(arrival_rate * holding, servers)
+        observed = engine.blocking_probability()
+        # ~6000 offered calls: binomial s.e. ~ 0.5%.
+        assert observed == pytest.approx(expected, abs=0.025)

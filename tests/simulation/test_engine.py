@@ -1,0 +1,235 @@
+"""Tests for the continuous-time event-driven engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.controllers import (
+    CertaintyEquivalentController,
+    PerfectKnowledgeController,
+)
+from repro.core.estimators import ExponentialMemoryEstimator, MemorylessEstimator
+from repro.errors import ParameterError
+from repro.simulation.engine import EventDrivenEngine
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def make_engine(
+    source=None,
+    capacity=50.0,
+    holding_time=200.0,
+    p_ce=1e-2,
+    memory=0.0,
+    seed=3,
+    **kwargs,
+):
+    source = source if source is not None else paper_rcbr_source()
+    controller = CertaintyEquivalentController(capacity, p_ce)
+    estimator = (
+        ExponentialMemoryEstimator(memory) if memory > 0 else MemorylessEstimator()
+    )
+    return EventDrivenEngine(
+        source=source,
+        controller=controller,
+        estimator=estimator,
+        capacity=capacity,
+        holding_time=holding_time,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_bootstrap_fills_system(self):
+        engine = make_engine()
+        # At t=0 the MBAC admits roughly up to its criterion (capacity 50).
+        assert 30 <= engine.n_flows <= 60
+
+    def test_aggregate_matches_flows(self):
+        engine = make_engine()
+        manual = sum(f.rate for f in engine.flows.values())
+        assert engine.aggregate_rate == pytest.approx(manual)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_engine(holding_time=-1.0)
+        with pytest.raises(ParameterError):
+            make_engine(sample_period=0.0)
+
+
+class TestInvariants:
+    def test_conservation_of_flows(self):
+        engine = make_engine()
+        engine.run_until(50.0)
+        assert engine.n_flows == engine.n_admitted - engine.n_departed
+        assert engine.n_flows >= 0
+
+    def test_aggregate_consistency_after_run(self):
+        engine = make_engine()
+        engine.run_until(50.0)
+        manual = sum(f.rate for f in engine.flows.values())
+        assert engine.aggregate_rate == pytest.approx(manual, rel=1e-9)
+
+    def test_time_advances_exactly(self):
+        engine = make_engine()
+        engine.run_until(17.5)
+        assert engine.time == pytest.approx(17.5)
+        assert engine.link.observed_time == pytest.approx(17.5)
+
+    def test_run_until_rejects_backwards(self):
+        engine = make_engine()
+        engine.run_until(5.0)
+        with pytest.raises(ParameterError):
+            engine.run_until(4.0)
+
+    def test_rate_changes_happen(self):
+        engine = make_engine()
+        engine.run_until(20.0)
+        # ~40 flows renegotiating at rate 1/T_c=1 for 20 time units.
+        assert engine.n_rate_changes > 200
+
+    def test_departures_happen(self):
+        engine = make_engine(holding_time=10.0)
+        engine.run_until(50.0)
+        assert engine.n_departed > 50
+
+
+class TestAdmissionBehaviour:
+    def test_occupancy_tracks_criterion(self):
+        """Time-average occupancy must sit near the admissible count for
+        the true parameters."""
+        from repro.core.admission import admissible_flow_count
+
+        engine = make_engine(p_ce=1e-2, holding_time=50.0)
+        engine.run_until(100.0)
+        engine.reset_statistics()
+        engine.run_until(400.0)
+        src = paper_rcbr_source()
+        m_star = admissible_flow_count(src.mean, src.std, 50.0, 1e-2)
+        mean_flows = engine.link.demand_time / (src.mean * engine.link.observed_time)
+        assert mean_flows == pytest.approx(m_star, rel=0.1)
+
+    def test_never_exceeds_max_flows(self):
+        engine = make_engine(max_flows=40)
+        engine.run_until(50.0)
+        assert engine.n_flows <= 40
+        assert engine.cap_hits > 0
+
+    def test_perfect_controller_holds_m_star(self):
+        src = paper_rcbr_source()
+        controller = PerfectKnowledgeController(src.mean, src.std, 50.0, 1e-2)
+        engine = EventDrivenEngine(
+            source=src,
+            controller=controller,
+            estimator=MemorylessEstimator(),
+            capacity=50.0,
+            holding_time=100.0,
+            rng=np.random.default_rng(1),
+        )
+        engine.run_until(100.0)
+        m_star = int(math.floor(controller.m_star))
+        # Infinite load refills instantly at every event: occupancy is
+        # pinned to floor(m_star) whenever an event just fired.
+        assert abs(engine.n_flows - m_star) <= 1
+
+
+class TestStatistics:
+    def test_sampling_counts(self):
+        engine = make_engine(sample_period=2.0)
+        engine.run_until(41.0)
+        assert engine.recorder.n_samples == 20
+
+    def test_reset_statistics(self):
+        engine = make_engine(sample_period=2.0)
+        engine.run_until(20.0)
+        engine.reset_statistics()
+        assert engine.recorder.n_samples == 0
+        assert engine.link.observed_time == 0.0
+        engine.run_until(30.0)
+        assert engine.link.observed_time == pytest.approx(10.0)
+
+    def test_overload_fraction_with_tiny_capacity(self):
+        """A link sized for ~2 flows runs hot: overload fraction must be
+        substantial, and utilization high."""
+        engine = make_engine(capacity=2.0, holding_time=20.0, p_ce=0.4)
+        engine.run_until(200.0)
+        assert engine.link.overflow_fraction > 0.05
+        assert engine.link.mean_utilization > 0.5
+
+    def test_batch_means_populated(self):
+        engine = make_engine(sample_period=1.0, batch_duration=5.0)
+        engine.run_until(52.0)
+        assert engine.batch.n_batches == 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = make_engine(seed=11)
+        b = make_engine(seed=11)
+        a.run_until(30.0)
+        b.run_until(30.0)
+        assert a.aggregate_rate == b.aggregate_rate
+        assert a.n_flows == b.n_flows
+        assert a.n_admitted == b.n_admitted
+
+    def test_different_seeds_differ(self):
+        a = make_engine(seed=11)
+        b = make_engine(seed=12)
+        a.run_until(30.0)
+        b.run_until(30.0)
+        assert a.aggregate_rate != b.aggregate_rate
+
+    def test_chunked_run_equals_single_run(self):
+        a = make_engine(seed=5)
+        b = make_engine(seed=5)
+        a.run_until(30.0)
+        for t in [7.0, 13.0, 22.5, 30.0]:
+            b.run_until(t)
+        assert a.aggregate_rate == pytest.approx(b.aggregate_rate)
+        assert a.link.busy_time == pytest.approx(b.link.busy_time)
+
+
+class TestWithMemoryEstimator:
+    def test_memory_estimator_runs(self):
+        engine = make_engine(memory=5.0)
+        engine.run_until(50.0)
+        assert engine.n_flows > 0
+
+    def test_memory_smooths_occupancy(self):
+        """The paper's smoothing effect (Fig 4): with estimator memory the
+        admissible count, and hence the occupancy, fluctuates far less."""
+
+        def occupancy_std(memory: float) -> float:
+            engine = make_engine(seed=8, holding_time=50.0, memory=memory)
+            engine.run_until(100.0)
+            samples = []
+            t = 100.0
+            while t < 500.0:
+                t += 1.0
+                engine.run_until(t)
+                samples.append(engine.n_flows)
+            return float(np.std(samples))
+
+        assert occupancy_std(50.0) < 0.6 * occupancy_std(0.0)
+
+
+class TestMarkovSourceIntegration:
+    def test_markov_fluid_runs(self):
+        from repro.traffic.markov import MarkovFluidSource
+
+        src = MarkovFluidSource.two_state(
+            rate_low=0.2, rate_high=2.0, up_rate=1.0, down_rate=1.0
+        )
+        controller = CertaintyEquivalentController(40.0, 1e-2)
+        engine = EventDrivenEngine(
+            source=src,
+            controller=controller,
+            estimator=MemorylessEstimator(),
+            capacity=40.0,
+            holding_time=100.0,
+            rng=np.random.default_rng(0),
+        )
+        engine.run_until(100.0)
+        assert engine.n_flows > 10
+        assert engine.link.mean_utilization > 0.3

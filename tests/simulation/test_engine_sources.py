@@ -1,0 +1,183 @@
+"""Engine scenarios across the whole traffic-model zoo.
+
+The figure experiments exercise RCBR and traces; these tests drive the
+engines with every other source family and check physically-required
+outcomes, so regressions in any source/engine pairing are caught.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.admission import admissible_flow_count
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import (
+    ExponentialMemoryEstimator,
+    MemorylessEstimator,
+    SlidingWindowEstimator,
+)
+from repro.simulation.engine import EventDrivenEngine
+from repro.simulation.runner import SimulationConfig, simulate
+from repro.traffic.heterogeneous import HeterogeneousPopulation
+from repro.traffic.marginals import DeterministicMarginal, TruncatedGaussianMarginal
+from repro.traffic.onoff import OnOffSource
+from repro.traffic.rcbr import RcbrSource
+
+
+def run_event_engine(source, *, capacity, p_ce=1e-2, holding_time=100.0,
+                     t_end=200.0, estimator=None, seed=0):
+    engine = EventDrivenEngine(
+        source=source,
+        controller=CertaintyEquivalentController(capacity, p_ce),
+        estimator=estimator if estimator is not None else MemorylessEstimator(),
+        capacity=capacity,
+        holding_time=holding_time,
+        rng=np.random.default_rng(seed),
+    )
+    engine.run_until(t_end)
+    return engine
+
+
+class TestCbrFlows:
+    def test_packs_link_exactly(self):
+        """Constant-rate flows: the MBAC packs floor(c/rate) flows and the
+        link never overflows."""
+        source = RcbrSource(DeterministicMarginal(2.0), correlation_time=5.0)
+        engine = run_event_engine(source, capacity=41.0)
+        assert engine.n_flows == 20
+        assert engine.link.overflow_fraction == 0.0
+        assert engine.link.mean_utilization == pytest.approx(40.0 / 41.0, rel=0.02)
+
+
+class TestOnOffFlows:
+    def test_multiplexing_gain(self):
+        """On-off flows at activity 0.5 multiplex ~2x over peak allocation."""
+        source = OnOffSource(peak=2.0, activity=0.5, burst_time=1.0)
+        engine = run_event_engine(source, capacity=50.0, p_ce=5e-2, t_end=400.0)
+        engine_flows = engine.link.demand_time / (source.mean * engine.link.observed_time)
+        peak_allocation = 50.0 / source.peak_rate  # 25 flows
+        assert engine_flows > 1.4 * peak_allocation
+
+    def test_respects_target_roughly(self):
+        source = OnOffSource(peak=2.0, activity=0.5, burst_time=1.0)
+        engine = run_event_engine(source, capacity=50.0, p_ce=5e-2, t_end=600.0,
+                                  estimator=ExponentialMemoryEstimator(10.0))
+        # On-off aggregate is only approximately Gaussian at n ~ 35; allow
+        # a small factor around the configured 5e-2.
+        assert engine.link.overflow_fraction < 4.0 * 5e-2
+
+
+class TestHeterogeneousFlows:
+    def test_event_engine_with_mixture(self):
+        classes = [
+            RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0),
+            RcbrSource(TruncatedGaussianMarginal.from_cv(2.0, 0.3), 1.0),
+        ]
+        population = HeterogeneousPopulation(classes, [0.5, 0.5])
+        engine = run_event_engine(population, capacity=60.0, t_end=300.0)
+        assert engine.n_flows > 10
+        mean_rate = engine.aggregate_rate / engine.n_flows
+        assert 0.4 < mean_rate < 2.2
+
+    def test_conservative_vs_homogeneous(self):
+        """Same total mean/capacity: the heterogeneous mixture leads to
+        fewer admitted flows (the variance-estimator bias)."""
+        homogeneous = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), 1.0)
+        mixture = HeterogeneousPopulation(
+            [
+                RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0),
+                RcbrSource(TruncatedGaussianMarginal.from_cv(1.5, 0.3), 1.0),
+            ],
+            [0.5, 0.5],
+        )
+        def steady_state_utilization(source, seed):
+            engine = run_event_engine(
+                source, capacity=60.0, t_end=300.0,
+                estimator=ExponentialMemoryEstimator(5.0), seed=seed,
+            )
+            engine.reset_statistics()  # discard the bootstrap transient
+            engine.run_until(900.0)
+            return engine.link.mean_utilization
+
+        util_homo = steady_state_utilization(homogeneous, seed=3)
+        util_mix = steady_state_utilization(mixture, seed=3)
+        assert util_mix < util_homo
+
+
+class TestSlidingWindowInEngine:
+    def test_sliding_window_runs_and_holds_target(self):
+        source = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), 1.0)
+        engine = run_event_engine(
+            source,
+            capacity=50.0,
+            p_ce=2e-2,
+            t_end=500.0,
+            estimator=SlidingWindowEstimator(window=10.0),
+        )
+        m_star = admissible_flow_count(source.mean, source.std, 50.0, 2e-2)
+        mean_flows = engine.link.demand_time / (
+            source.mean * engine.link.observed_time
+        )
+        assert mean_flows == pytest.approx(m_star, rel=0.1)
+
+    def test_runner_accepts_sliding_shape(self):
+        source = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), 1.0)
+        result = simulate(
+            SimulationConfig(
+                source=source,
+                capacity=50.0,
+                holding_time=100.0,
+                p_ce=2e-2,
+                memory=10.0,
+                window_shape="sliding",
+                engine="event",
+                max_time=500.0,
+                seed=1,
+            )
+        )
+        assert result.n_samples > 0
+        assert result.mean_flows > 20.0
+
+
+class TestScalingLaws:
+    def test_bigger_system_higher_utilization(self):
+        """The heavy-traffic economy of scale: utilization rises with n
+        (the sqrt(n) safety margin shrinks relatively)."""
+        source = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), 1.0)
+
+        def utilization(n: float, seed: int) -> float:
+            engine = run_event_engine(
+                source,
+                capacity=n,
+                p_ce=1e-2,
+                holding_time=50.0,
+                t_end=300.0,
+                estimator=ExponentialMemoryEstimator(5.0),
+                seed=seed,
+            )
+            return engine.link.mean_utilization
+
+        small = utilization(25.0, seed=5)
+        large = utilization(400.0, seed=6)
+        assert large > small
+
+    def test_safety_margin_matches_theory(self):
+        """Mean admitted flows ~ m*(n) for the perfect-information count."""
+        source = RcbrSource(TruncatedGaussianMarginal.from_cv(1.0, 0.3), 1.0)
+        n = 200.0
+        engine = run_event_engine(
+            source,
+            capacity=n,
+            p_ce=1e-2,
+            holding_time=50.0,
+            t_end=400.0,
+            estimator=ExponentialMemoryEstimator(5.0),
+            seed=2,
+        )
+        m_star = admissible_flow_count(source.mean, source.std, n, 1e-2)
+        mean_flows = engine.link.demand_time / (
+            source.mean * engine.link.observed_time
+        )
+        assert mean_flows == pytest.approx(m_star, rel=0.07)
+        assert mean_flows < n  # a genuine sqrt(n) margin remains

@@ -1,0 +1,63 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.RATE_CHANGE, 1)
+        q.push(1.0, EventKind.RATE_CHANGE, 2)
+        q.push(3.0, EventKind.RATE_CHANGE, 3)
+        times = [q.pop()[0] for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_kind_breaks_time_ties(self):
+        """At one instant: departures, then rate changes, then samples."""
+        q = EventQueue()
+        q.push(1.0, EventKind.SAMPLE)
+        q.push(1.0, EventKind.RATE_CHANGE, 7)
+        q.push(1.0, EventKind.DEPARTURE, 8)
+        kinds = [q.pop()[1] for _ in range(3)]
+        assert kinds == [
+            EventKind.DEPARTURE,
+            EventKind.RATE_CHANGE,
+            EventKind.SAMPLE,
+        ]
+
+    def test_fifo_within_same_time_and_kind(self):
+        q = EventQueue()
+        for flow_id in [10, 11, 12]:
+            q.push(1.0, EventKind.RATE_CHANGE, flow_id)
+        ids = [q.pop()[2] for _ in range(3)]
+        assert ids == [10, 11, 12]
+
+    def test_len(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.push(1.0, EventKind.SAMPLE)
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_peek_does_not_pop(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SAMPLE)
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_empty_queue_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+        with pytest.raises(SimulationError):
+            q.peek_time()
+
+    def test_flowless_event_id(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SAMPLE)
+        _, kind, flow_id = q.pop()
+        assert kind is EventKind.SAMPLE and flow_id == -1

@@ -1,0 +1,208 @@
+"""Tests for the vectorized discrete-time engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import ExponentialMemoryEstimator, MemorylessEstimator
+from repro.errors import ParameterError
+from repro.simulation.fast import (
+    FastEngine,
+    VectorMixture,
+    VectorRcbr,
+    VectorTrace,
+    as_vector_model,
+)
+from repro.traffic.heterogeneous import HeterogeneousPopulation
+from repro.traffic.lrd import starwars_like_source
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import RcbrSource, paper_rcbr_source
+from repro.traffic.trace import Trace, TraceSource
+
+
+def make_engine(capacity=50.0, holding_time=200.0, p_ce=1e-2, memory=0.0, dt=0.1, seed=3, **kw):
+    source = paper_rcbr_source()
+    return FastEngine(
+        model=as_vector_model(source),
+        controller=CertaintyEquivalentController(capacity, p_ce),
+        estimator=(
+            ExponentialMemoryEstimator(memory) if memory > 0 else MemorylessEstimator()
+        ),
+        capacity=capacity,
+        holding_time=holding_time,
+        dt=dt,
+        rng=np.random.default_rng(seed),
+        **kw,
+    )
+
+
+class TestVectorModels:
+    def test_rcbr_sampling(self, paper_marginal, rng):
+        model = VectorRcbr(paper_marginal, correlation_time=1.0)
+        rates, state = model.sample(rng, 500)
+        assert rates.shape == (500,)
+        assert np.all(rates > 0.0)
+        assert rates.mean() == pytest.approx(model.mean, rel=0.1)
+
+    def test_rcbr_renegotiation_fraction(self, paper_marginal, rng):
+        model = VectorRcbr(paper_marginal, correlation_time=1.0)
+        rates, state = model.sample(rng, 20000)
+        before = rates.copy()
+        active = np.ones(20000, dtype=bool)
+        dt = 0.1
+        model.advance(rng, rates, state, active, dt)
+        changed = np.mean(before != rates)
+        assert changed == pytest.approx(1.0 - np.exp(-dt), abs=0.01)
+
+    def test_rcbr_inactive_untouched(self, paper_marginal, rng):
+        model = VectorRcbr(paper_marginal, correlation_time=0.01)
+        rates, state = model.sample(rng, 100)
+        before = rates.copy()
+        active = np.zeros(100, dtype=bool)
+        model.advance(rng, rates, state, active, 1.0)
+        np.testing.assert_array_equal(rates, before)
+
+    def test_trace_advances_indices(self, rng):
+        trace = Trace(rates=np.array([1.0, 2.0, 3.0]), segment_time=1.0)
+        model = VectorTrace(trace)
+        rates, state = model.sample(rng, 50)
+        expected_next = trace.rates[(state + 1) % 3]
+        active = np.ones(50, dtype=bool)
+        model.advance(rng, rates, state, active, 1.0)
+        np.testing.assert_allclose(rates, expected_next)
+
+    def test_trace_requires_matching_dt(self, rng):
+        trace = Trace(rates=np.array([1.0, 2.0]), segment_time=1.0)
+        model = VectorTrace(trace)
+        rates, state = model.sample(rng, 4)
+        with pytest.raises(ParameterError):
+            model.advance(rng, rates, state, np.ones(4, dtype=bool), 0.5)
+
+    def test_mixture_moments(self, rng):
+        model = VectorMixture(
+            [
+                TruncatedGaussianMarginal.from_cv(0.5, 0.1),
+                TruncatedGaussianMarginal.from_cv(2.0, 0.1),
+            ],
+            [1.0, 1.0],
+            [0.5, 0.5],
+        )
+        rates, classes = model.sample(rng, 50000)
+        assert rates.mean() == pytest.approx(model.mean, rel=0.02)
+        assert rates.std() == pytest.approx(model.std, rel=0.05)
+        assert set(np.unique(classes)) == {0, 1}
+
+    def test_mixture_class_dependent_redraw(self, rng):
+        """Class 1 renegotiates much faster than class 0."""
+        model = VectorMixture(
+            [
+                TruncatedGaussianMarginal.from_cv(1.0, 0.3),
+                TruncatedGaussianMarginal.from_cv(1.0, 0.3),
+            ],
+            [100.0, 0.01],
+            [0.5, 0.5],
+        )
+        rates, classes = model.sample(rng, 20000)
+        before = rates.copy()
+        active = np.ones(20000, dtype=bool)
+        model.advance(rng, rates, state=classes, active=active, dt=0.1)
+        changed = before != rates
+        assert changed[classes == 1].mean() > 0.9
+        assert changed[classes == 0].mean() < 0.01
+
+    def test_mixture_validation(self):
+        with pytest.raises(ParameterError):
+            VectorMixture([], [], [])
+
+
+class TestAdapter:
+    def test_rcbr_adapter(self):
+        src = paper_rcbr_source(correlation_time=2.0)
+        model = as_vector_model(src)
+        assert isinstance(model, VectorRcbr)
+        assert model.correlation_time == 2.0
+
+    def test_trace_adapter(self, rng):
+        src = starwars_like_source(n_segments=128, rng=rng)
+        assert isinstance(as_vector_model(src), VectorTrace)
+
+    def test_heterogeneous_adapter(self):
+        pop = HeterogeneousPopulation(
+            [
+                RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0),
+                RcbrSource(TruncatedGaussianMarginal.from_cv(2.0, 0.3), 2.0),
+            ],
+            [0.5, 0.5],
+        )
+        model = as_vector_model(pop)
+        assert isinstance(model, VectorMixture)
+        assert model.mean == pytest.approx(pop.mean)
+
+    def test_markov_source_rejected(self):
+        from repro.traffic.markov import MarkovFluidSource
+
+        src = MarkovFluidSource.two_state(
+            rate_low=0.0, rate_high=1.0, up_rate=1.0, down_rate=1.0
+        )
+        with pytest.raises(ParameterError):
+            as_vector_model(src)
+
+
+class TestFastEngine:
+    def test_flow_conservation(self):
+        engine = make_engine()
+        engine.run_until(50.0)
+        assert engine.n_flows == engine.n_admitted - engine.n_departed
+
+    def test_aggregate_consistency(self):
+        engine = make_engine()
+        engine.run_until(20.0)
+        assert engine.aggregate_rate == pytest.approx(
+            float(engine._rates.sum())
+        )
+        # Inactive slots must hold rate 0.
+        assert np.all(engine._rates[~engine._active] == 0.0)
+
+    def test_occupancy_near_criterion(self):
+        from repro.core.admission import admissible_flow_count
+
+        engine = make_engine(p_ce=1e-2, holding_time=50.0)
+        engine.run_until(50.0)
+        engine.reset_statistics()
+        engine.run_until(300.0)
+        src = paper_rcbr_source()
+        m_star = admissible_flow_count(src.mean, src.std, 50.0, 1e-2)
+        mean_flows = engine.link.demand_time / (src.mean * engine.link.observed_time)
+        assert mean_flows == pytest.approx(m_star, rel=0.1)
+
+    def test_time_and_sampling(self):
+        engine = make_engine(dt=0.5, sample_period=5.0)
+        engine.run_until(52.0)
+        assert engine.time == pytest.approx(52.0)
+        assert engine.recorder.n_samples == 10
+
+    def test_determinism(self):
+        a = make_engine(seed=9)
+        b = make_engine(seed=9)
+        a.run_until(25.0)
+        b.run_until(25.0)
+        assert a.aggregate_rate == b.aggregate_rate
+        assert a.n_admitted == b.n_admitted
+
+    def test_capacity_cap_respected(self):
+        engine = make_engine(max_flows=45)
+        engine.run_until(20.0)
+        assert engine.n_flows <= 45
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_engine(dt=0.0)
+        with pytest.raises(ParameterError):
+            make_engine(dt=1.0, sample_period=0.5)
+
+    def test_reset_statistics(self):
+        engine = make_engine()
+        engine.run_until(10.0)
+        engine.reset_statistics()
+        assert engine.link.observed_time == 0.0
+        assert engine.recorder.n_samples == 0

@@ -1,0 +1,148 @@
+"""Tests for the impulsive-load Monte-Carlo experiments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation.impulsive import (
+    admitted_counts_mc,
+    finite_holding_overflow_mc,
+    steady_state_overflow_mc,
+)
+from repro.theory.impulsive import (
+    admitted_count_distribution,
+    ce_overflow_probability,
+)
+from repro.traffic.marginals import TruncatedGaussianMarginal
+
+
+@pytest.fixture
+def marginal() -> TruncatedGaussianMarginal:
+    return TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+
+
+class TestAdmittedCounts:
+    def test_matches_prop31_distribution(self, marginal, rng):
+        """Empirical mean/std of M_0 vs the Prop 3.1 Gaussian limit."""
+        n = 400
+        counts = admitted_counts_mc(
+            n=n, marginal=marginal, p_q=1e-2, n_reps=20000, rng=rng
+        )
+        limit = admitted_count_distribution(n, marginal.mean, marginal.std, 1e-2)
+        assert counts.mean() == pytest.approx(limit.mean, rel=5e-3)
+        assert counts.std(ddof=1) == pytest.approx(limit.std, rel=0.1)
+
+    def test_counts_are_approximately_gaussian(self, marginal, rng):
+        """Skewness of the limiting law vanishes with n."""
+        counts = admitted_counts_mc(
+            n=900, marginal=marginal, p_q=1e-2, n_reps=20000, rng=rng
+        )
+        z = (counts - counts.mean()) / counts.std()
+        assert abs(np.mean(z**3)) < 0.25
+
+    def test_validation(self, marginal, rng):
+        with pytest.raises(ParameterError):
+            admitted_counts_mc(n=1, marginal=marginal, p_q=1e-2, n_reps=5, rng=rng)
+
+
+class TestSteadyStateOverflow:
+    def test_sqrt2_law_conditional(self, marginal, rng):
+        """Prop 3.3 at n=400."""
+        result = steady_state_overflow_mc(
+            n=400, marginal=marginal, p_q=1e-2, n_reps=20000, rng=rng
+        )
+        limit = float(ce_overflow_probability(1e-2))
+        assert result.probability == pytest.approx(limit, rel=0.15)
+
+    def test_conditional_and_raw_agree(self, marginal, rng):
+        """The variance-reduced estimator must agree with raw indicator
+        Monte Carlo within sampling error."""
+        kw = dict(n=100, marginal=marginal, p_q=5e-2, n_reps=40000)
+        smooth = steady_state_overflow_mc(rng=np.random.default_rng(1), conditional=True, **kw)
+        raw = steady_state_overflow_mc(rng=np.random.default_rng(2), conditional=False, **kw)
+        tol = 4.0 * (smooth.std_error + raw.std_error) + 0.15 * raw.probability
+        assert abs(smooth.probability - raw.probability) < tol
+
+    def test_far_exceeds_target(self, marginal, rng):
+        result = steady_state_overflow_mc(
+            n=400, marginal=marginal, p_q=1e-3, n_reps=5000, rng=rng
+        )
+        assert result.probability > 10.0 * 1e-3
+
+    def test_stderr_positive(self, marginal, rng):
+        result = steady_state_overflow_mc(
+            n=100, marginal=marginal, p_q=1e-2, n_reps=100, rng=rng
+        )
+        assert result.std_error > 0.0
+        assert result.n_reps == 100
+
+
+class TestFiniteHolding:
+    def test_curve_shape(self, marginal, rng):
+        """Zero at t=0, positive peak, decays to ~0."""
+        times = np.array([0.0, 0.5, 2.0, 5.0, 20.0, 200.0])
+        curve = finite_holding_overflow_mc(
+            n=100,
+            marginal=marginal,
+            p_q=2e-2,
+            holding_time=500.0,
+            correlation_time=1.0,
+            times=times,
+            n_reps=8000,
+            rng=rng,
+        )
+        assert curve[0] == 0.0
+        assert curve.max() > 0.01
+        assert curve[-1] <= 0.001
+
+    def test_tracks_eqn21(self, marginal, rng):
+        """MC vs theory at the peak region, generous tolerance (eqn (21) is
+        an asymptotic approximation)."""
+        from repro.theory.finite_holding import overflow_probability_curve
+
+        times = np.array([1.0, 3.0, 8.0])
+        n = 400
+        holding = 50.0 * 20.0  # T_h_tilde = 50
+        mc = finite_holding_overflow_mc(
+            n=n,
+            marginal=marginal,
+            p_q=2e-2,
+            holding_time=holding,
+            correlation_time=1.0,
+            times=times,
+            n_reps=40000,
+            rng=rng,
+        )
+        theory = overflow_probability_curve(
+            times,
+            p_q=2e-2,
+            snr=marginal.std / marginal.mean,
+            holding_time_scaled=50.0,
+            correlation_time=1.0,
+        )
+        for sim, th in zip(mc, theory):
+            assert sim == pytest.approx(th, rel=0.5, abs=5e-3)
+
+    def test_validation(self, marginal, rng):
+        with pytest.raises(ParameterError):
+            finite_holding_overflow_mc(
+                n=100,
+                marginal=marginal,
+                p_q=1e-2,
+                holding_time=0.0,
+                correlation_time=1.0,
+                times=[1.0],
+                n_reps=10,
+                rng=rng,
+            )
+        with pytest.raises(ParameterError):
+            finite_holding_overflow_mc(
+                n=100,
+                marginal=marginal,
+                p_q=1e-2,
+                holding_time=1.0,
+                correlation_time=1.0,
+                times=[-1.0],
+                n_reps=10,
+                rng=rng,
+            )

@@ -1,0 +1,64 @@
+"""Tests for the bufferless link accounting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation.link import Link
+
+
+class TestAccounting:
+    def test_overflow_fraction(self):
+        link = Link(capacity=10.0)
+        link.accumulate(12.0, 1.0)  # overloaded
+        link.accumulate(8.0, 3.0)  # fine
+        assert link.overflow_fraction == pytest.approx(0.25)
+
+    def test_boundary_is_not_overload(self):
+        link = Link(capacity=10.0)
+        assert not link.is_overloaded(10.0)
+        assert link.is_overloaded(10.0 + 1e-9)
+
+    def test_utilization_caps_at_capacity(self):
+        link = Link(capacity=10.0)
+        link.accumulate(20.0, 1.0)
+        assert link.mean_utilization == pytest.approx(1.0)
+
+    def test_utilization_mixed(self):
+        link = Link(capacity=10.0)
+        link.accumulate(5.0, 1.0)
+        link.accumulate(15.0, 1.0)
+        assert link.mean_utilization == pytest.approx(0.75)
+
+    def test_demand_integral_uncapped(self):
+        link = Link(capacity=10.0)
+        link.accumulate(15.0, 2.0)
+        assert link.demand_time == pytest.approx(30.0)
+
+    def test_episode_counting(self):
+        link = Link(capacity=10.0)
+        link.accumulate(12.0, 1.0)
+        link.accumulate(13.0, 1.0)  # same episode continues
+        link.accumulate(8.0, 1.0)
+        link.accumulate(12.0, 1.0)  # second episode
+        assert link.overload_episodes == 2
+
+    def test_zero_duration_ok(self):
+        link = Link(capacity=10.0)
+        link.accumulate(12.0, 0.0)
+        assert link.observed_time == 0.0
+        assert link.overflow_fraction == 0.0
+
+    def test_reset(self):
+        link = Link(capacity=10.0)
+        link.accumulate(12.0, 1.0)
+        link.reset_statistics()
+        assert link.busy_time == 0.0
+        assert link.observed_time == 0.0
+        assert link.overload_episodes == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Link(capacity=0.0)
+        link = Link(capacity=10.0)
+        with pytest.raises(ParameterError):
+            link.accumulate(5.0, -1.0)

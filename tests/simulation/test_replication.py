@@ -1,0 +1,75 @@
+"""Tests for replicated simulation runs."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation.replication import replicated_simulate
+from repro.simulation.runner import SimulationConfig
+from repro.traffic.rcbr import paper_rcbr_source
+
+pytestmark = pytest.mark.slow
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        source=paper_rcbr_source(),
+        capacity=50.0,
+        holding_time=100.0,
+        p_ce=2e-2,
+        memory=5.0,
+        engine="fast",
+        max_time=1500.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestReplicatedSimulate:
+    def test_pools_replications(self):
+        result = replicated_simulate(config(), n_replications=3)
+        assert result.n_replications == 3
+        assert result.total_samples == sum(
+            r.n_samples for r in result.replications
+        )
+        assert 0.0 <= result.overflow_probability <= 1.0
+        assert math.isfinite(result.ci_halfwidth)
+
+    def test_mean_of_replicates(self):
+        result = replicated_simulate(config(), n_replications=3)
+        manual = sum(
+            r.overflow_probability for r in result.replications
+        ) / 3.0
+        assert result.overflow_probability == pytest.approx(manual)
+
+    def test_replicates_differ(self):
+        """Spawned streams must actually decorrelate the runs."""
+        result = replicated_simulate(config(), n_replications=3)
+        estimates = {r.time_fraction for r in result.replications}
+        assert len(estimates) > 1
+
+    def test_reproducible(self):
+        a = replicated_simulate(config(), n_replications=2, base_seed=5)
+        b = replicated_simulate(config(), n_replications=2, base_seed=5)
+        assert a.overflow_probability == b.overflow_probability
+
+    def test_single_replication_infinite_ci(self):
+        result = replicated_simulate(config(), n_replications=1)
+        assert math.isinf(result.ci_halfwidth)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            replicated_simulate(config(), n_replications=0)
+
+    def test_ci_is_t_interval_of_replicates(self):
+        """The half-width must be exactly t_{0.975,dof} * s / sqrt(n)."""
+        import numpy as np
+
+        result = replicated_simulate(config(), n_replications=3, base_seed=1)
+        estimates = np.array(
+            [r.overflow_probability for r in result.replications]
+        )
+        expected = 4.303 * estimates.std(ddof=1) / math.sqrt(3)
+        assert result.ci_halfwidth == pytest.approx(expected, rel=1e-9)

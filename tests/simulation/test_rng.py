@@ -1,0 +1,40 @@
+"""Tests for randomness management."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_seed(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert a.random() == b.random()
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        rngs = spawn_rngs(3, count=5)
+        assert len(rngs) == 5
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(3, count=4)
+        values = [g.random() for g in rngs]
+        assert len(set(values)) == 4
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_rngs(3, count=3)]
+        b = [g.random() for g in spawn_rngs(3, count=3)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, count=0)

@@ -1,0 +1,132 @@
+"""Tests for the high-level simulation runner."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import PeakRateController
+from repro.errors import ParameterError
+from repro.simulation.runner import SimulationConfig, simulate
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        source=paper_rcbr_source(),
+        capacity=50.0,
+        holding_time=200.0,
+        p_ce=1e-2,
+        memory=0.0,
+        engine="fast",
+        max_time=2000.0,
+        seed=4,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfig:
+    def test_system_size(self):
+        cfg = config()
+        assert cfg.system_size == pytest.approx(50.0 / cfg.source.mean)
+
+    def test_holding_time_scaled(self):
+        cfg = config()
+        assert cfg.holding_time_scaled == pytest.approx(
+            200.0 / math.sqrt(cfg.system_size)
+        )
+
+    def test_sample_period_paper_rule(self):
+        cfg = config(memory=50.0)
+        expected = 2.0 * max(cfg.holding_time_scaled, 50.0, 1.0)
+        assert cfg.resolved_sample_period() == pytest.approx(expected)
+
+    def test_sample_period_override(self):
+        assert config(sample_period=7.0).resolved_sample_period() == 7.0
+
+    def test_requires_one_target(self):
+        with pytest.raises(ParameterError):
+            config(p_ce=None)
+        with pytest.raises(ParameterError):
+            config(alpha_ce=3.0)  # both set
+
+    def test_controller_override_waives_target(self):
+        cfg = config(p_ce=None, controller=PeakRateController(50.0, 2.0))
+        assert cfg.controller is not None
+
+    def test_rejects_bad_engine(self):
+        with pytest.raises(ParameterError):
+            config(engine="quantum")
+
+
+class TestSimulate:
+    def test_basic_run(self):
+        result = simulate(config())
+        assert 0.0 <= result.overflow_probability <= 1.0
+        assert result.simulated_time > 0.0
+        assert result.n_samples > 0
+        assert result.mean_flows > 10.0
+        assert 0.0 < result.mean_utilization <= 1.0
+
+    def test_stop_reasons(self):
+        result = simulate(config(max_time=500.0))
+        assert result.stop_reason in ("ci", "tiny", "max_time")
+
+    def test_tiny_regime_uses_fallback(self):
+        """A very conservative target produces no overflow samples; the
+        estimate must come from the Gaussian tail."""
+        result = simulate(config(p_ce=1e-8, memory=20.0, max_time=3000.0))
+        assert result.used_gaussian_fallback
+        assert result.overflow_probability < 1e-3
+
+    def test_event_engine_path(self):
+        result = simulate(config(engine="event", max_time=300.0))
+        assert result.config_notes["engine"] == "event"
+        assert result.n_samples > 0
+
+    def test_alpha_ce_configuration(self):
+        from repro.core.gaussian import q_inverse
+
+        r1 = simulate(config(p_ce=None, alpha_ce=q_inverse(1e-2)))
+        r2 = simulate(config())
+        assert r1.overflow_probability == pytest.approx(
+            r2.overflow_probability, rel=1e-9
+        )
+
+    def test_reproducibility(self):
+        a = simulate(config())
+        b = simulate(config())
+        assert a.overflow_probability == b.overflow_probability
+        assert a.time_fraction == b.time_fraction
+
+    def test_custom_controller(self):
+        result = simulate(
+            config(p_ce=None, controller=PeakRateController(50.0, 1.9))
+        )
+        # Peak allocation: ~26 flows of mean 1 on a 50-capacity link.
+        assert result.mean_flows == pytest.approx(26.0, abs=1.5)
+        assert result.overflow_probability < 1e-6
+
+    def test_trace_source_infers_dt(self, rng):
+        from repro.traffic.lrd import starwars_like_source
+
+        src = starwars_like_source(n_segments=1024, rng=rng)
+        result = simulate(
+            SimulationConfig(
+                source=src,
+                capacity=30.0 * src.mean,
+                holding_time=200.0,
+                p_ce=1e-2,
+                engine="fast",
+                max_time=1000.0,
+                seed=1,
+            )
+        )
+        assert result.n_samples > 0
+
+    def test_max_time_respected(self):
+        result = simulate(config(max_time=400.0, p_ce=1e-9, memory=10.0,
+                                 p_q=1e-12))
+        # p_q so tiny that neither criterion can fire => max_time stop.
+        assert result.stop_reason == "max_time"
+        assert result.simulated_time <= 500.0 + result.config_notes["warmup"]

@@ -1,0 +1,154 @@
+"""Tests for the overflow statistics and the paper's termination rules."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation.stats import (
+    BatchMeans,
+    OverflowRecorder,
+    TerminationRule,
+)
+
+
+class TestOverflowRecorder:
+    def test_counts(self):
+        rec = OverflowRecorder(capacity=10.0)
+        for value in [8.0, 12.0, 9.0, 11.0]:
+            rec.record(value)
+        assert rec.n_samples == 4
+        assert rec.mean == pytest.approx(0.5)
+
+    def test_ci_shrinks(self):
+        rec = OverflowRecorder(capacity=10.0)
+        widths = []
+        for k in range(1000):
+            rec.record(12.0 if k % 10 == 0 else 8.0)
+            if rec.n_samples in (100, 1000):
+                widths.append(rec.ci_halfwidth())
+        assert widths[1] < widths[0]
+
+    def test_ci_infinite_before_two_samples(self):
+        rec = OverflowRecorder(capacity=10.0)
+        assert math.isinf(rec.ci_halfwidth())
+        rec.record(5.0)
+        assert math.isinf(rec.ci_halfwidth())
+
+    def test_gaussian_tail_estimate(self):
+        """Samples drawn at mean 8, std ~2 on a capacity-10 link must give
+        ~Q(1)."""
+        from repro.core.gaussian import q_function
+
+        rec = OverflowRecorder(capacity=10.0)
+        for value in [6.0, 10.0, 8.0, 8.0]:  # mean 8, population std sqrt(2)
+            rec.record(value)
+        expected = q_function((10.0 - 8.0) / math.sqrt(2.0))
+        assert rec.gaussian_tail_estimate() == pytest.approx(expected)
+
+    def test_gaussian_tail_degenerate(self):
+        rec = OverflowRecorder(capacity=10.0)
+        rec.record(8.0)
+        rec.record(8.0)
+        assert rec.gaussian_tail_estimate() == 0.0
+
+    def test_gaussian_tail_needs_samples(self):
+        rec = OverflowRecorder(capacity=10.0)
+        with pytest.raises(ParameterError):
+            rec.gaussian_tail_estimate()
+
+    def test_merge(self):
+        a = OverflowRecorder(capacity=10.0)
+        b = OverflowRecorder(capacity=10.0)
+        a.record(12.0)
+        b.record(8.0)
+        b.record(9.0)
+        a.merge(b)
+        assert a.n_samples == 3
+        assert a.mean == pytest.approx(1.0 / 3.0)
+
+    def test_merge_rejects_mismatched_links(self):
+        a = OverflowRecorder(capacity=10.0)
+        b = OverflowRecorder(capacity=20.0)
+        with pytest.raises(ParameterError):
+            a.merge(b)
+
+
+class TestBatchMeans:
+    def test_splits_across_batches(self):
+        bm = BatchMeans(batch_duration=1.0)
+        bm.add(2.5, overloaded=True)  # fills 2 batches, half of a third
+        assert bm.n_batches == 2
+        assert bm.mean == pytest.approx(1.0)
+
+    def test_mixed_fractions(self):
+        bm = BatchMeans(batch_duration=2.0)
+        bm.add(1.0, overloaded=True)
+        bm.add(1.0, overloaded=False)  # batch 1: 50%
+        bm.add(2.0, overloaded=False)  # batch 2: 0%
+        assert bm.n_batches == 2
+        assert bm.mean == pytest.approx(0.25)
+
+    def test_ci_requires_two_batches(self):
+        bm = BatchMeans(batch_duration=10.0)
+        bm.add(5.0, overloaded=True)
+        assert math.isinf(bm.ci_halfwidth())
+
+    def test_ci_zero_for_identical_batches(self):
+        bm = BatchMeans(batch_duration=1.0)
+        bm.add(4.0, overloaded=True)
+        assert bm.ci_halfwidth() == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BatchMeans(batch_duration=0.0)
+        bm = BatchMeans(batch_duration=1.0)
+        with pytest.raises(ParameterError):
+            bm.add(-1.0, overloaded=False)
+
+
+class TestTerminationRule:
+    def make_recorder(self, hits: int, total: int) -> OverflowRecorder:
+        rec = OverflowRecorder(capacity=10.0)
+        for k in range(total):
+            rec.record(12.0 if k < hits else 8.0)
+        return rec
+
+    def test_holds_until_min_samples(self):
+        rule = TerminationRule(p_target=1e-2, min_samples=50)
+        rec = self.make_recorder(hits=10, total=20)
+        assert not rule.evaluate(rec).stop
+
+    def test_ci_criterion(self):
+        """Criterion (a): tight CI around a positive mean stops the run."""
+        rule = TerminationRule(p_target=1e-2)
+        rec = self.make_recorder(hits=500, total=5000)
+        decision = rule.evaluate(rec)
+        assert decision.stop and decision.reason == "ci"
+        assert decision.estimate == pytest.approx(0.1)
+        assert not decision.used_gaussian_fallback
+
+    def test_tiny_criterion_uses_fallback(self):
+        """Criterion (b): all-clear samples two orders below target stop
+        with the Gaussian-tail estimate."""
+        rule = TerminationRule(p_target=1e-2)
+        rec = OverflowRecorder(capacity=100.0)
+        for k in range(200):
+            rec.record(50.0 + (k % 5))  # far below capacity, some spread
+        decision = rule.evaluate(rec)
+        assert decision.stop and decision.reason == "tiny"
+        assert decision.used_gaussian_fallback
+        assert decision.estimate < 1e-10
+
+    def test_continue_between_criteria(self):
+        """Some hits but too noisy: neither criterion fires."""
+        rule = TerminationRule(p_target=1e-2)
+        rec = self.make_recorder(hits=3, total=100)
+        decision = rule.evaluate(rec)
+        assert not decision.stop and decision.reason == "continue"
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TerminationRule(p_target=0.0)
+        with pytest.raises(ParameterError):
+            TerminationRule(p_target=1e-3, rel_halfwidth=0.0)

@@ -1,0 +1,110 @@
+"""Public-API surface tests: imports, __all__ hygiene, docstring coverage."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.theory",
+    "repro.traffic",
+    "repro.processes",
+    "repro.simulation",
+    "repro.experiments",
+]
+
+
+def walk_modules():
+    """All repro modules (imported)."""
+    modules = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_importable(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_every_module_imports(self):
+        assert len(walk_modules()) > 30  # the library is many small modules
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        assert exported, f"{name} has no __all__"
+        for symbol in exported:
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_top_level_convenience_names(self):
+        for symbol in [
+            "simulate",
+            "SimulationConfig",
+            "paper_rcbr_source",
+            "q_function",
+            "q_inverse",
+            "ce_overflow_probability",
+            "adjusted_ce_alpha",
+            "critical_time_scale",
+        ]:
+            assert hasattr(repro, symbol)
+
+
+class TestDocstrings:
+    def test_public_callables_documented(self):
+        """Every public function/class reachable from a subpackage __all__
+        must carry a docstring."""
+        undocumented = []
+        for name in PACKAGES[1:]:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                obj = getattr(module, symbol)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{name}.{symbol}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_public_methods_documented(self):
+        """Public methods of the core classes must carry docstrings."""
+        from repro.core.admission import AdmissionCriterion
+        from repro.core.estimators import Estimator
+        from repro.simulation.engine import EventDrivenEngine
+        from repro.simulation.fast import FastEngine
+
+        missing = []
+        for cls in [AdmissionCriterion, Estimator, EventDrivenEngine, FastEngine]:
+            for attr_name, attr in vars(cls).items():
+                if attr_name.startswith("_"):
+                    continue
+                if callable(attr) and not inspect.getdoc(attr):
+                    missing.append(f"{cls.__name__}.{attr_name}")
+        assert not missing, f"missing method docstrings: {missing}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        from repro.errors import ParameterError
+
+        assert issubclass(ParameterError, ValueError)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.quality == "standard"
+        assert args.seed == 0
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 100.0
+        assert args.memory is None  # the rule is applied downstream
+
+    def test_design_requires_core_params(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig5" in out and "prop33" in out
+
+    def test_run_smoke(self, capsys, tmp_path):
+        code = main(
+            ["run", "fig6", "--quality", "smoke", "--save", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert (tmp_path / "fig6.json").exists()
+
+    def test_theory(self, capsys):
+        assert main(["theory", "--memory", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "eqn (37)" in out and "regime = masking" in out
+
+    def test_design(self, capsys):
+        assert (
+            main(["design", "--n", "100", "--holding-time", "1000", "--p-q", "1e-3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "alpha_ce" in out
+        assert "T_h_tilde : 100" in out
+
+    def test_design_extreme_target_prints_log_form(self, capsys):
+        code = main(
+            [
+                "design",
+                "--n", "1000",
+                "--holding-time", "10000",
+                "--p-q", "1e-3",
+                "--memory-fraction", "0.0001",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p_ce" in out
+
+    @pytest.mark.slow
+    def test_simulate_smoke(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n", "50",
+                "--holding-time", "200",
+                "--p-ce", "1e-2",
+                "--max-time", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overflow probability" in out
+        assert "utilization" in out

@@ -1,0 +1,134 @@
+"""Cross-cutting edge cases not owned by any single module's test file."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+
+
+class TestExperimentsLazyImport:
+    def test_unknown_attribute_raises(self):
+        import repro.experiments as exps
+
+        with pytest.raises(AttributeError):
+            exps.nonexistent_symbol
+
+    def test_lazy_names_resolve(self):
+        import repro.experiments as exps
+
+        assert callable(exps.run_experiment)
+        assert isinstance(exps.EXPERIMENTS, dict)
+
+
+class TestRunnerConfigEdges:
+    def test_sample_period_with_trace_source(self, rng):
+        """Trace sources have no T_c; the paper rule falls back to
+        max(T_h_tilde, T_m)."""
+        from repro.simulation.runner import SimulationConfig
+        from repro.traffic.lrd import starwars_like_source
+
+        source = starwars_like_source(n_segments=256, rng=rng)
+        config = SimulationConfig(
+            source=source,
+            capacity=20.0 * source.mean,
+            holding_time=100.0,
+            p_ce=1e-2,
+            memory=3.0,
+            max_time=100.0,
+        )
+        expected = 2.0 * max(config.holding_time_scaled, 3.0)
+        assert config.resolved_sample_period() == pytest.approx(expected)
+
+    def test_config_notes_round_trip(self):
+        from repro.simulation.runner import SimulationConfig, simulate
+        from repro.traffic.rcbr import paper_rcbr_source
+
+        result = simulate(
+            SimulationConfig(
+                source=paper_rcbr_source(),
+                capacity=30.0,
+                holding_time=50.0,
+                p_ce=5e-2,
+                max_time=300.0,
+                seed=0,
+            )
+        )
+        notes = result.config_notes
+        assert notes["engine"] == "fast"
+        assert notes["p_q"] == 5e-2
+        assert notes["sample_period"] > 0.0
+
+
+class TestCliErrorPaths:
+    def test_unknown_experiment_id(self):
+        from repro.cli import main
+
+        with pytest.raises(ParameterError):
+            main(["run", "fig99", "--quality", "smoke"])
+
+
+class TestGaussianArrayPaths:
+    def test_log_q_array(self):
+        from repro.core.gaussian import log_q_function
+
+        out = log_q_function(np.array([0.0, 5.0, 35.0]))
+        assert out.shape == (3,)
+        assert np.all(np.isfinite(out))
+
+    def test_phi_preserves_dtype_width(self):
+        from repro.core.gaussian import phi
+
+        out = phi(np.zeros(4, dtype=np.float32))
+        assert out.shape == (4,)
+
+
+class TestSingleFlowSystem:
+    def test_engine_with_capacity_for_one_flow(self):
+        """Degenerate n ~ 1: variance is undefined with a single flow; the
+        engine must stay consistent rather than crash or runaway."""
+        from repro.core.controllers import CertaintyEquivalentController
+        from repro.core.estimators import MemorylessEstimator
+        from repro.simulation.engine import EventDrivenEngine
+        from repro.traffic.rcbr import paper_rcbr_source
+
+        engine = EventDrivenEngine(
+            source=paper_rcbr_source(),
+            controller=CertaintyEquivalentController(1.2, 1e-2),
+            estimator=MemorylessEstimator(),
+            capacity=1.2,
+            holding_time=20.0,
+            rng=np.random.default_rng(0),
+        )
+        engine.run_until(200.0)
+        assert engine.n_flows >= 0
+        assert engine.n_flows <= 3
+        assert 0.0 <= engine.link.overflow_fraction <= 1.0
+
+
+class TestStepUtilityThresholdMeter:
+    def test_partial_threshold(self):
+        """A 90%-threshold step utility tolerates mild overload."""
+        from repro.core.utility import StepUtility, UtilityMeter
+
+        meter = UtilityMeter(10.0, StepUtility(threshold=0.9))
+        meter.accumulate(10.5, 1.0)  # delivered 0.952 >= 0.9: no loss
+        meter.accumulate(12.0, 1.0)  # delivered 0.833 < 0.9: full loss
+        assert meter.mean_utility_loss == pytest.approx(0.5)
+
+
+class TestQualityFull:
+    def test_full_pick(self):
+        from repro.experiments.common import Quality
+
+        assert Quality("full").pick("a", "b", "c") == "c"
+
+
+class TestTraceEmpiricalTimescaleGuard:
+    def test_short_trace_custom_lag(self, rng):
+        from repro.traffic.lrd import starwars_like_source
+
+        source = starwars_like_source(
+            n_segments=128, renegotiation_period=None, rng=rng
+        )
+        tau = source.empirical_correlation_time(max_lag=16)
+        assert tau > 0.0

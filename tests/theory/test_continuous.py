@@ -1,0 +1,127 @@
+"""Tests for the memoryless continuous-load forms (eqns (32)-(35))."""
+
+import math
+
+import pytest
+
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+from repro.theory.continuous import (
+    overflow_in_flow_params,
+    overflow_probability_memoryless,
+    overflow_vs_target,
+    separation_approx,
+)
+from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+
+def model(t_c=1.0, t_h_tilde=100.0, snr=0.3) -> ContinuousLoadModel:
+    return ContinuousLoadModel(
+        correlation_time=t_c, holding_time_scaled=t_h_tilde, snr=snr
+    )
+
+
+class TestEqn32:
+    def test_equals_general_formula_at_tm0(self):
+        m = model()
+        assert overflow_probability_memoryless(m, p_ce=1e-3) == pytest.approx(
+            overflow_probability(m, p_ce=1e-3)
+        )
+
+    def test_strips_memory_if_present(self):
+        with_memory = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=100.0, snr=0.3, memory=50.0
+        )
+        memless = model()
+        assert overflow_probability_memoryless(
+            with_memory, p_ce=1e-3
+        ) == pytest.approx(overflow_probability_memoryless(memless, p_ce=1e-3))
+
+    def test_scales_with_gamma(self):
+        """In the separation regime p_f is ~ linear in gamma (eqn (33))."""
+        p1 = overflow_probability_memoryless(
+            model(t_c=0.02, t_h_tilde=30.0), alpha=7.0
+        )
+        p2 = overflow_probability_memoryless(
+            model(t_c=0.02, t_h_tilde=60.0), alpha=7.0
+        )
+        assert 0.0 < p1 < 1.0
+        assert p2 / p1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestEqn33:
+    def test_closed_form(self):
+        alpha = 3.5
+        gamma = 25.0
+        expected = gamma / (2.0 * math.sqrt(math.pi)) * math.exp(-0.25 * alpha**2)
+        assert separation_approx(gamma, alpha=alpha) == pytest.approx(expected)
+
+    def test_tracks_eqn32_when_separated(self):
+        m = model(t_c=0.1)  # gamma = 300
+        p32 = overflow_probability_memoryless(m, alpha=4.5)
+        p33 = separation_approx(m.gamma, alpha=4.5)
+        assert p33 == pytest.approx(p32, rel=0.1)
+
+    def test_clipped_at_one(self):
+        assert separation_approx(1e9, alpha=0.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            separation_approx(-1.0, alpha=3.0)
+        with pytest.raises(ParameterError):
+            separation_approx(10.0)
+
+
+class TestEqn34And35:
+    def test_eqn34_structure(self):
+        """(34) = (T_h_tilde / 2 T_c) snr alpha Q(alpha/sqrt(2))."""
+        m = model()
+        p_ce = 1e-3
+        alpha = q_inverse(p_ce)
+        expected = (
+            m.holding_time_scaled
+            / (2.0 * m.correlation_time)
+            * m.snr
+            * alpha
+            * q_function(alpha / math.sqrt(2.0))
+        )
+        assert overflow_in_flow_params(m, p_ce) == pytest.approx(expected)
+
+    def test_eqn34_tracks_eqn33(self):
+        m = model()
+        p33 = separation_approx(m.gamma, p_ce=1e-4)
+        p34 = overflow_in_flow_params(m, 1e-4)
+        assert p34 == pytest.approx(p33, rel=0.2)
+
+    def test_eqn35_square_root_law(self):
+        """(35): p_f scales like sqrt(p_ce) for the memoryless scheme."""
+        m = model()
+        p_hi = overflow_vs_target(m, 1e-4)
+        p_lo = overflow_vs_target(m, 1e-6)
+        # 100x tighter target only buys ~10x better p_f (plus the slowly
+        # varying alpha factor).
+        assert p_hi / p_lo == pytest.approx(10.0, rel=0.25)
+
+    def test_eqn35_tracks_eqn33(self):
+        m = model()
+        p33 = separation_approx(m.gamma, p_ce=1e-4)
+        p35 = overflow_vs_target(m, 1e-4)
+        assert p35 == pytest.approx(p33, rel=0.25)
+
+    @pytest.mark.parametrize("fn", [overflow_in_flow_params, overflow_vs_target])
+    def test_reject_targets_above_half(self, fn):
+        with pytest.raises(ParameterError):
+            fn(model(), 0.6)
+
+    def test_comparison_with_impulsive(self):
+        """Eqn (34)'s message: continuous load multiplies the impulsive
+        Q(alpha/sqrt 2) by (T_h_tilde/2T_c) snr alpha >> 1 when time-scales
+        separate."""
+        from repro.theory.impulsive import ce_overflow_probability
+
+        m = model()  # T_h_tilde/T_c = 100
+        p_cont = overflow_in_flow_params(m, 1e-3)
+        p_imp = float(ce_overflow_probability(1e-3))
+        factor = m.holding_time_scaled / (2 * m.correlation_time) * m.snr * q_inverse(1e-3)
+        assert p_cont / p_imp == pytest.approx(factor, rel=1e-6)
+        assert factor > 10.0

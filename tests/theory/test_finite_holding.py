@@ -1,0 +1,128 @@
+"""Tests for the finite-holding-time theory (eqn (21))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+from repro.theory.finite_holding import (
+    exponential_autocorrelation,
+    overflow_probability_at,
+    overflow_probability_curve,
+    peak_overflow,
+)
+
+
+class TestAutocorrelation:
+    def test_at_zero(self):
+        rho = exponential_autocorrelation(2.0)
+        assert rho(0.0) == 1.0
+
+    def test_decay_rate(self):
+        rho = exponential_autocorrelation(2.0)
+        assert rho(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_even(self):
+        rho = exponential_autocorrelation(2.0)
+        assert rho(-3.0) == rho(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            exponential_autocorrelation(0.0)
+
+
+class TestEqn21:
+    KW = dict(p_q=1e-2, snr=0.3, holding_time_scaled=50.0)
+
+    def test_zero_at_t0(self):
+        rho = exponential_autocorrelation(1.0)
+        assert overflow_probability_at(0.0, rho=rho, **self.KW) == 0.0
+
+    def test_matches_formula(self):
+        rho = exponential_autocorrelation(1.0)
+        t = 2.0
+        alpha = q_inverse(self.KW["p_q"])
+        expected = q_function(
+            (t / (self.KW["snr"] * self.KW["holding_time_scaled"]) + alpha)
+            / math.sqrt(2.0 * (1.0 - math.exp(-t)))
+        )
+        assert overflow_probability_at(t, rho=rho, **self.KW) == pytest.approx(expected)
+
+    def test_vanishes_for_large_t(self):
+        rho = exponential_autocorrelation(1.0)
+        assert overflow_probability_at(1e4, rho=rho, **self.KW) < 1e-100
+
+    def test_unimodal_shape(self):
+        """Rises from 0, single peak, then decays."""
+        curve = overflow_probability_curve(
+            np.linspace(0.0, 300.0, 400), correlation_time=1.0, **self.KW
+        )
+        peak_idx = int(np.argmax(curve))
+        assert 0 < peak_idx < len(curve) - 1
+        assert np.all(np.diff(curve[peak_idx:]) <= 1e-15)
+
+    def test_rejects_negative_time(self):
+        rho = exponential_autocorrelation(1.0)
+        with pytest.raises(ParameterError):
+            overflow_probability_at(-1.0, rho=rho, **self.KW)
+
+    def test_array_input(self):
+        rho = exponential_autocorrelation(1.0)
+        out = overflow_probability_at(np.array([0.5, 1.0]), rho=rho, **self.KW)
+        assert out.shape == (2,)
+
+    def test_longer_holding_is_worse(self):
+        """Slower departures repair slower => higher overflow at fixed t."""
+        rho = exponential_autocorrelation(1.0)
+        p_short = overflow_probability_at(
+            5.0, p_q=1e-2, snr=0.3, holding_time_scaled=10.0, rho=rho
+        )
+        p_long = overflow_probability_at(
+            5.0, p_q=1e-2, snr=0.3, holding_time_scaled=1000.0, rho=rho
+        )
+        assert p_long > p_short
+
+    def test_peak_never_exceeds_impulsive_limit(self):
+        """The t-curve is bounded by Q(alpha_q/sqrt(2)) (t -> inf without
+        departures), i.e. Prop 3.3 is the worst case of eqn (21)."""
+        from repro.theory.impulsive import ce_overflow_probability
+
+        _, p_peak = peak_overflow(
+            p_q=1e-2, snr=0.3, holding_time_scaled=1e6, correlation_time=1.0
+        )
+        assert p_peak <= float(ce_overflow_probability(1e-2)) * (1.0 + 1e-9)
+
+
+class TestPeakOverflow:
+    def test_peak_is_on_curve(self):
+        t_peak, p_peak = peak_overflow(
+            p_q=1e-2, snr=0.3, holding_time_scaled=50.0, correlation_time=1.0
+        )
+        rho = exponential_autocorrelation(1.0)
+        assert p_peak == pytest.approx(
+            overflow_probability_at(
+                t_peak, p_q=1e-2, snr=0.3, holding_time_scaled=50.0, rho=rho
+            )
+        )
+
+    def test_peak_dominates_grid(self):
+        t_peak, p_peak = peak_overflow(
+            p_q=1e-2, snr=0.3, holding_time_scaled=50.0, correlation_time=1.0
+        )
+        curve = overflow_probability_curve(
+            np.linspace(0.0, 500.0, 1000),
+            p_q=1e-2,
+            snr=0.3,
+            holding_time_scaled=50.0,
+            correlation_time=1.0,
+        )
+        assert p_peak >= curve.max() - 1e-12
+
+    def test_peak_time_scale(self):
+        """Peak sits near the shorter of T_c and T_h_tilde."""
+        t_peak, _ = peak_overflow(
+            p_q=1e-2, snr=0.3, holding_time_scaled=50.0, correlation_time=1.0
+        )
+        assert 0.1 < t_peak < 50.0

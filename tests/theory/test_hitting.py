@@ -1,0 +1,137 @@
+"""Tests for the generic Braker boundary-crossing machinery (eqn (30))."""
+
+import math
+
+import pytest
+
+from repro.core.gaussian import q_function
+from repro.errors import ParameterError
+from repro.theory.hitting import boundary_crossing_probability, first_passage_density
+
+
+def ou_variance(t_c: float):
+    """Var[Y_{-t} - Y_0] for an OU process: 2(1 - e^{-t/T_c})."""
+
+    def var(t: float) -> float:
+        return 2.0 * (1.0 - math.exp(-t / t_c))
+
+    return var
+
+
+class TestFirstPassageDensity:
+    def test_zero_where_variance_zero(self):
+        var = ou_variance(1.0)
+        assert first_passage_density(
+            0.0, alpha=3.0, beta=0.1, variance_fn=var, v_prime_0=2.0
+        ) == 0.0
+
+    def test_positive_in_bulk(self):
+        var = ou_variance(1.0)
+        assert (
+            first_passage_density(
+                1.0, alpha=3.0, beta=0.1, variance_fn=var, v_prime_0=2.0
+            )
+            > 0.0
+        )
+
+    def test_decays_along_boundary(self):
+        var = ou_variance(1.0)
+        d5 = first_passage_density(5.0, alpha=3.0, beta=0.5, variance_fn=var, v_prime_0=2.0)
+        d50 = first_passage_density(50.0, alpha=3.0, beta=0.5, variance_fn=var, v_prime_0=2.0)
+        assert d50 < d5
+
+    def test_underflow_guard(self):
+        var = ou_variance(1.0)
+        assert (
+            first_passage_density(
+                1e6, alpha=3.0, beta=1.0, variance_fn=var, v_prime_0=2.0
+            )
+            == 0.0
+        )
+
+
+class TestBoundaryCrossing:
+    def test_matches_eqn32_specialization(self):
+        """The generic machinery with OU variance must equal the
+        memoryless overflow formula."""
+        from repro.theory.memoryful import ContinuousLoadModel, overflow_probability
+
+        m = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=100.0, snr=0.3
+        )
+        direct = boundary_crossing_probability(
+            alpha=3.09,
+            beta=m.beta,
+            variance_fn=ou_variance(1.0),
+            v_prime_0=2.0,
+            include_initial_term=False,
+        )
+        assert direct == pytest.approx(overflow_probability(m, alpha=3.09), rel=1e-6)
+
+    def test_numeric_v_prime_estimation(self):
+        var = ou_variance(1.0)
+        explicit = boundary_crossing_probability(
+            alpha=3.0, beta=0.05, variance_fn=var, v_prime_0=2.0
+        )
+        estimated = boundary_crossing_probability(
+            alpha=3.0, beta=0.05, variance_fn=var
+        )
+        assert estimated == pytest.approx(explicit, rel=1e-4)
+
+    def test_initial_term_added(self):
+        """A process with sigma(0) > 0 picks up Q(alpha/sigma(0))."""
+
+        def flat(t: float) -> float:
+            return 1.0  # constant-variance process
+
+        with_term = boundary_crossing_probability(
+            alpha=3.0, beta=10.0, variance_fn=flat, v_prime_0=0.0
+        )
+        without = boundary_crossing_probability(
+            alpha=3.0,
+            beta=10.0,
+            variance_fn=flat,
+            v_prime_0=0.0,
+            include_initial_term=False,
+        )
+        assert without == pytest.approx(0.0, abs=1e-12)
+        assert with_term == pytest.approx(q_function(3.0), rel=1e-9)
+
+    def test_decreasing_in_alpha(self):
+        var = ou_variance(1.0)
+        p3 = boundary_crossing_probability(alpha=3.0, beta=0.05, variance_fn=var)
+        p4 = boundary_crossing_probability(alpha=4.0, beta=0.05, variance_fn=var)
+        assert p4 < p3
+
+    def test_decreasing_in_beta(self):
+        """A steeper boundary (faster repair) is hit less often."""
+        var = ou_variance(1.0)
+        slow = boundary_crossing_probability(alpha=3.0, beta=0.01, variance_fn=var)
+        fast = boundary_crossing_probability(alpha=3.0, beta=1.0, variance_fn=var)
+        assert fast < slow
+
+    def test_clipped_to_unit_interval(self):
+        var = ou_variance(0.001)  # near-white process: huge crossing rate
+        p = boundary_crossing_probability(alpha=0.5, beta=1e-4, variance_fn=var)
+        assert 0.0 <= p <= 1.0
+
+    def test_validation(self):
+        var = ou_variance(1.0)
+        with pytest.raises(ParameterError):
+            boundary_crossing_probability(alpha=-1.0, beta=0.1, variance_fn=var)
+        with pytest.raises(ParameterError):
+            boundary_crossing_probability(alpha=3.0, beta=0.0, variance_fn=var)
+        with pytest.raises(ParameterError):
+            boundary_crossing_probability(
+                alpha=3.0, beta=0.1, variance_fn=lambda t: 1.0 - t, v_prime_0=-1.0
+            )
+
+    def test_non_exponential_covariance(self):
+        """Works for a two-time-scale mixture covariance (no closed form)."""
+
+        def var(t: float) -> float:
+            rho = 0.6 * math.exp(-t / 0.5) + 0.4 * math.exp(-t / 20.0)
+            return 2.0 * (1.0 - rho)
+
+        p = boundary_crossing_probability(alpha=3.0, beta=0.05, variance_fn=var)
+        assert 0.0 < p < 1.0

@@ -1,0 +1,165 @@
+"""Tests for the impulsive-load theory (Section 3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.admission import overflow_probability_for_count
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+from repro.theory.impulsive import (
+    adjusted_target_impulsive,
+    admitted_count_distribution,
+    ce_overflow_probability,
+    mean_sensitivity,
+    mean_sensitivity_relative,
+    perfect_knowledge_count,
+    perfect_knowledge_count_asymptotic,
+    std_sensitivity,
+    utilization_loss_impulsive,
+)
+
+
+class TestPerfectKnowledgeCount:
+    def test_exact_vs_asymptotic(self):
+        exact = perfect_knowledge_count(10000.0, 1.0, 0.3, 1e-3)
+        approx = perfect_knowledge_count_asymptotic(10000.0, 1.0, 0.3, 1e-3)
+        assert exact == pytest.approx(approx, abs=2.0)
+
+    def test_safety_margin_scaling(self):
+        """The margin n - m* must scale like sqrt(n) (eqn (5))."""
+        margins = [
+            n - perfect_knowledge_count(n, 1.0, 0.3, 1e-3) for n in [100.0, 400.0]
+        ]
+        assert margins[1] / margins[0] == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            perfect_knowledge_count(0.0, 1.0, 0.3, 1e-3)
+
+
+class TestSqrt2Law:
+    def test_paper_example(self):
+        """p_q = 1e-5 => p_f ~ 1.3e-3 (the paper's worked number)."""
+        assert ce_overflow_probability(1e-5) == pytest.approx(1.3e-3, rel=0.05)
+
+    def test_definition(self):
+        p_q = 1e-3
+        assert ce_overflow_probability(p_q) == pytest.approx(
+            q_function(q_inverse(p_q) / math.sqrt(2.0))
+        )
+
+    def test_always_worse_than_target(self):
+        for p_q in [1e-2, 1e-4, 1e-8]:
+            assert ce_overflow_probability(p_q) > p_q
+
+    def test_degradation_grows_with_stringency(self):
+        """The more stringent the target, the worse the relative miss."""
+        r1 = ce_overflow_probability(1e-2) / 1e-2
+        r2 = ce_overflow_probability(1e-6) / 1e-6
+        assert r2 > r1
+
+    def test_vectorized(self):
+        out = ce_overflow_probability(np.array([1e-2, 1e-4]))
+        assert out.shape == (2,)
+
+
+class TestAdjustment:
+    def test_eqn15_fixes_the_target(self):
+        """Running CE at p_ce = Q(sqrt2 alpha_q) must achieve p_q."""
+        p_q = 1e-3
+        p_ce = adjusted_target_impulsive(p_q)
+        assert ce_overflow_probability(p_ce) == pytest.approx(p_q, rel=1e-9)
+
+    def test_roughly_square_of_target(self):
+        """p_ce scales as ~p_q^2.  Carrying the paper's own Q(x) ~ phi(x)/x
+        substitution through eqn (15) gives p_ce ~ alpha_q*sqrt(pi)*p_q^2
+        (the memo's printed constant alpha_q/(2 sqrt pi) is a transcription
+        slip off by exactly 2*pi)."""
+        p_q = 1e-3
+        alpha_q = q_inverse(p_q)
+        approx = alpha_q * math.sqrt(math.pi) * p_q**2
+        assert adjusted_target_impulsive(p_q) == pytest.approx(approx, rel=0.25)
+
+    def test_utilization_loss_formula(self):
+        loss = utilization_loss_impulsive(100.0, 0.3, 1e-3)
+        expected = (math.sqrt(2) - 1) * 0.3 * q_inverse(1e-3) * 10.0
+        assert loss == pytest.approx(expected)
+
+    def test_utilization_loss_scales_sqrt_n(self):
+        l1 = utilization_loss_impulsive(100.0, 0.3, 1e-3)
+        l2 = utilization_loss_impulsive(400.0, 0.3, 1e-3)
+        assert l2 / l1 == pytest.approx(2.0)
+
+
+class TestAdmittedCountDistribution:
+    def test_mean_below_n(self):
+        dist = admitted_count_distribution(100.0, 1.0, 0.3, 1e-3)
+        assert dist.mean < 100.0
+
+    def test_std_scaling(self):
+        d1 = admitted_count_distribution(100.0, 1.0, 0.3, 1e-3)
+        d2 = admitted_count_distribution(400.0, 1.0, 0.3, 1e-3)
+        assert d2.std / d1.std == pytest.approx(2.0)
+
+    def test_mean_matches_m_star_asymptotic(self):
+        dist = admitted_count_distribution(100.0, 1.0, 0.3, 1e-3)
+        assert dist.mean == pytest.approx(
+            perfect_knowledge_count_asymptotic(100.0, 1.0, 0.3, 1e-3)
+        )
+
+    def test_quantile(self):
+        dist = admitted_count_distribution(100.0, 1.0, 0.3, 1e-3)
+        assert dist.quantile(0.5) == pytest.approx(dist.mean)
+        assert dist.quantile(0.1) > dist.mean  # upper-tail convention
+
+
+class TestSensitivities:
+    def test_mean_sensitivity_finite_difference(self):
+        """s_mu must match a finite difference on the exact pipeline:
+        measure mu_hat -> admit m(mu_hat) -> evaluate true p_f."""
+        n, mu, sigma, p_q = 400.0, 1.0, 0.3, 1e-3
+        c = n * mu
+        eps = 1e-6
+
+        def p_f_of_measured(mu_hat: float) -> float:
+            from repro.core.admission import admissible_flow_count
+
+            m = admissible_flow_count(mu_hat, sigma, c, p_q)
+            return overflow_probability_for_count(mu, sigma, c, m)
+
+        fd = (p_f_of_measured(mu + eps) - p_f_of_measured(mu - eps)) / (2 * eps)
+        assert mean_sensitivity(n, mu, sigma, p_q) == pytest.approx(fd, rel=1e-2)
+
+    def test_std_sensitivity_finite_difference(self):
+        n, mu, sigma, p_q = 400.0, 1.0, 0.3, 1e-3
+        c = n * mu
+        eps = 1e-6
+
+        def p_f_of_measured(sigma_hat: float) -> float:
+            from repro.core.admission import admissible_flow_count
+
+            m = admissible_flow_count(mu, sigma_hat, c, p_q)
+            return overflow_probability_for_count(mu, sigma, c, m)
+
+        fd = (p_f_of_measured(sigma + eps) - p_f_of_measured(sigma - eps)) / (2 * eps)
+        assert std_sensitivity(sigma, p_q) == pytest.approx(fd, rel=1e-2)
+
+    def test_mean_sensitivity_grows_with_n(self):
+        s1 = abs(mean_sensitivity(100.0, 1.0, 0.3, 1e-3))
+        s2 = abs(mean_sensitivity(400.0, 1.0, 0.3, 1e-3))
+        assert s2 / s1 == pytest.approx(2.0, rel=0.05)
+
+    def test_std_sensitivity_independent_of_n(self):
+        # std_sensitivity takes no n at all -- the paper's point.
+        assert std_sensitivity(0.3, 1e-3) == std_sensitivity(0.3, 1e-3)
+
+    def test_relative_form_carries_mu(self):
+        assert mean_sensitivity_relative(100.0, 2.0, 0.3, 1e-3) == pytest.approx(
+            2.0 * mean_sensitivity(100.0, 2.0, 0.3, 1e-3)
+        )
+
+    def test_both_negative(self):
+        assert mean_sensitivity(100.0, 1.0, 0.3, 1e-3) < 0.0
+        assert std_sensitivity(0.3, 1e-3) < 0.0

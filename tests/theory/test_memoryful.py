@@ -1,0 +1,211 @@
+"""Tests for the memoryful continuous-load theory (eqns (37)-(39), regimes)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.gaussian import q_function, q_inverse
+from repro.errors import ParameterError
+from repro.theory.memoryful import (
+    ContinuousLoadModel,
+    masking_regime_approx,
+    overflow_probability,
+    overflow_probability_flow_params,
+    overflow_probability_separation,
+    repair_regime_approx,
+    variance_function,
+)
+
+
+def model(t_c=1.0, t_h_tilde=100.0, snr=0.3, t_m=0.0) -> ContinuousLoadModel:
+    return ContinuousLoadModel(
+        correlation_time=t_c, holding_time_scaled=t_h_tilde, snr=snr, memory=t_m
+    )
+
+
+class TestModelParams:
+    def test_beta_gamma_definitions(self):
+        m = model()
+        assert m.beta == pytest.approx(1.0 / (0.3 * 100.0))
+        assert m.gamma == pytest.approx(0.3 * 100.0 / 1.0)
+        assert m.gamma == pytest.approx(1.0 / (m.beta * m.correlation_time))
+
+    def test_from_system(self):
+        m = ContinuousLoadModel.from_system(
+            n=100.0, holding_time=1000.0, correlation_time=1.0, snr=0.3
+        )
+        assert m.holding_time_scaled == pytest.approx(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(correlation_time=0.0, holding_time_scaled=1.0, snr=0.3),
+            dict(correlation_time=1.0, holding_time_scaled=0.0, snr=0.3),
+            dict(correlation_time=1.0, holding_time_scaled=1.0, snr=0.0),
+            dict(correlation_time=1.0, holding_time_scaled=1.0, snr=0.3, memory=-1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            ContinuousLoadModel(**kwargs)
+
+
+class TestVarianceFunction:
+    def test_memoryless_form(self):
+        m = model(t_m=0.0)
+        for t in [0.0, 0.5, 3.0]:
+            assert variance_function(t, m) == pytest.approx(
+                2.0 * (1.0 - math.exp(-t))
+            )
+
+    def test_lag_zero_value(self):
+        """sigma_m^2(0) = T_m/(T_c+T_m) -- the stationary Var[Y - Z]."""
+        m = model(t_m=4.0)
+        assert variance_function(0.0, m) == pytest.approx(4.0 / 5.0)
+
+    def test_lag_infinity_value(self):
+        """sigma_m^2(inf) = 1 + Var[Z] = 1 + T_c/(T_c+T_m)."""
+        m = model(t_m=4.0)
+        assert variance_function(1e9, m) == pytest.approx(1.0 + 1.0 / 5.0)
+
+    def test_monotone_increasing(self):
+        m = model(t_m=2.0)
+        values = [variance_function(t, m) for t in [0.0, 0.1, 1.0, 10.0]]
+        assert values == sorted(values)
+
+    def test_lag0_variance_grows_with_memory(self):
+        """Var[Y_0 - Z_0](0) = T_m/(T_c+T_m): more memory means the smoothed
+        estimate tracks the instantaneous bandwidth less tightly, approaching
+        the pure bandwidth-fluctuation variance 1."""
+        assert variance_function(0.0, model(t_m=100.0)) > variance_function(
+            0.0, model(t_m=10.0)
+        )
+        assert variance_function(0.0, model(t_m=1e9)) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestEqn37:
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ParameterError):
+            overflow_probability(model())
+        with pytest.raises(ParameterError):
+            overflow_probability(model(), p_ce=1e-3, alpha=3.0)
+
+    def test_monotone_decreasing_in_memory(self):
+        values = [
+            overflow_probability(model(t_m=t_m), p_ce=1e-3)
+            for t_m in [0.0, 1.0, 10.0, 100.0]
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_memoryless_far_exceeds_target(self):
+        """Continuous load + memoryless is much worse than even the
+        impulsive sqrt(2) law when gamma >> 1 (eqn (34))."""
+        from repro.theory.impulsive import ce_overflow_probability
+
+        p = overflow_probability(model(t_m=0.0), p_ce=1e-3)
+        assert p > 10.0 * float(ce_overflow_probability(1e-3))
+
+    def test_large_memory_floor_is_bandwidth_term(self):
+        """As T_m -> inf only Q(alpha sqrt(1+T_c/T_m)) -> Q(alpha) ~ p_ce
+        remains."""
+        p = overflow_probability(model(t_m=1e6), p_ce=1e-3)
+        assert p == pytest.approx(1e-3, rel=0.15)
+
+    def test_monotone_increasing_in_alpha_conservatism(self):
+        m = model(t_m=10.0)
+        p1 = overflow_probability(m, alpha=3.0)
+        p2 = overflow_probability(m, alpha=4.0)
+        assert p2 < p1
+
+    def test_decreasing_in_holding_time(self):
+        """Longer T_h_tilde => more estimation opportunities => worse."""
+        p_short = overflow_probability(model(t_h_tilde=10.0), p_ce=1e-3)
+        p_long = overflow_probability(model(t_h_tilde=1000.0), p_ce=1e-3)
+        assert p_long > p_short
+
+
+class TestEqn38vs37:
+    @pytest.mark.parametrize("t_m", [0.0, 1.0, 10.0, 100.0, 1000.0])
+    def test_agree_under_separation(self, t_m):
+        """gamma = 30 here: (38) should track (37) closely."""
+        m = model(t_m=t_m)
+        p37 = overflow_probability(m, p_ce=1e-3)
+        p38 = overflow_probability_separation(m, p_ce=1e-3)
+        assert p38 == pytest.approx(p37, rel=0.25)
+
+    def test_eqn38_closed_form_memoryless(self):
+        """(38) with T_m=0 must equal (33): gamma/(2 sqrt(pi)) e^{-a^2/4}."""
+        m = model(t_m=0.0)
+        alpha = q_inverse(1e-3)
+        expected = m.gamma / (2.0 * math.sqrt(math.pi)) * math.exp(-0.25 * alpha**2)
+        assert overflow_probability_separation(m, p_ce=1e-3) == pytest.approx(expected)
+
+    def test_eqn39_tracks_eqn38(self):
+        """The p_ce-explicit rewrite agrees to the Q ~ phi/x accuracy."""
+        for t_m in [0.0, 10.0, 100.0]:
+            m = model(t_m=t_m)
+            p38 = overflow_probability_separation(m, p_ce=1e-3)
+            p39 = overflow_probability_flow_params(m, 1e-3)
+            assert p39 == pytest.approx(p38, rel=0.35)
+
+    def test_exponent_interpolation(self):
+        """(39)'s exponent (T_c+T_m)/(2T_c+T_m) goes 1/2 -> 1 with memory,
+        i.e. p_f goes from ~sqrt(p_ce) to ~p_ce scaling."""
+        p_ce = 1e-4
+        memless = overflow_probability_flow_params(model(t_m=0.0), p_ce)
+        heavy = overflow_probability_flow_params(model(t_m=1e5), p_ce)
+        # The memoryless value scales like sqrt(p_ce) ~ 1e-2 prefactored,
+        # the heavy-memory one like p_ce itself.
+        assert memless > 100.0 * heavy
+
+
+class TestRegimes:
+    def test_masking_approx_value(self):
+        """(41): p_f ~ (snr*alpha_q + 1) p_q."""
+        p_q = 1e-3
+        expected = (0.3 * q_inverse(p_q) + 1.0) * p_q
+        assert masking_regime_approx(p_q, 0.3) == pytest.approx(expected)
+
+    def test_masking_matches_eqn37(self):
+        """With T_m = T_h_tilde >> T_c, (37) must land near (41)."""
+        m = model(t_c=0.05, t_h_tilde=100.0, t_m=100.0)
+        p37 = overflow_probability(m, p_ce=1e-3)
+        p41 = masking_regime_approx(1e-3, 0.3)
+        assert p37 == pytest.approx(p41, rel=0.35)
+
+    def test_repair_matches_eqn37(self):
+        """With T_c >> T_h_tilde, the re-derived repair closed form must
+        track the numerical (37)."""
+        m = model(t_c=3000.0, t_h_tilde=100.0, t_m=100.0)
+        p37 = overflow_probability(m, p_ce=1e-3)
+        approx = repair_regime_approx(m, p_ce=1e-3)
+        assert approx == pytest.approx(p37, rel=0.35)
+
+    def test_repair_regime_meets_target(self):
+        """Long T_c with T_m = T_h_tilde keeps p_f below target."""
+        m = model(t_c=1000.0, t_h_tilde=100.0, t_m=100.0)
+        assert overflow_probability(m, p_ce=1e-3) <= 2e-3
+
+    def test_repair_requires_memory(self):
+        with pytest.raises(ParameterError):
+            repair_regime_approx(model(t_m=0.0), p_ce=1e-3)
+
+    def test_masking_validates_snr(self):
+        with pytest.raises(ParameterError):
+            masking_regime_approx(1e-3, 0.0)
+
+
+class TestPaperFig5Numbers:
+    """Anchor the fig-5 operating point so regressions are caught."""
+
+    def test_memoryless_order_one(self):
+        p = overflow_probability_separation(model(t_m=0.0), p_ce=1e-3)
+        assert 0.3 < p <= 1.0
+
+    def test_knee_behaviour(self):
+        p_at_knee = overflow_probability_separation(model(t_m=100.0), p_ce=1e-3)
+        p_beyond = overflow_probability_separation(model(t_m=1000.0), p_ce=1e-3)
+        assert p_at_knee < 3e-3
+        assert p_beyond < p_at_knee
+        assert p_at_knee / p_beyond < 3.0  # little further gain: the knee

@@ -1,0 +1,65 @@
+"""Tests for the masking/repair regime classification."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory.memoryful import ContinuousLoadModel
+from repro.theory.regimes import Regime, classify_regime, regime_report
+
+
+def model(t_c, t_m=100.0, t_h_tilde=100.0) -> ContinuousLoadModel:
+    return ContinuousLoadModel(
+        correlation_time=t_c, holding_time_scaled=t_h_tilde, snr=0.3, memory=t_m
+    )
+
+
+class TestClassification:
+    def test_masking(self):
+        assert classify_regime(model(t_c=0.5)) is Regime.MASKING
+
+    def test_repair(self):
+        assert classify_regime(model(t_c=5000.0)) is Regime.REPAIR
+
+    def test_crossover(self):
+        assert classify_regime(model(t_c=100.0)) is Regime.CROSSOVER
+
+    def test_boundaries_move_with_separation(self):
+        m = model(t_c=30.0)
+        # 30 * 5 = 150 > min(T_m, T_h_tilde) = 100: not masking at factor 5 ...
+        assert classify_regime(m, separation=5.0) is Regime.CROSSOVER
+        # ... but a looser factor 3 calls the same point masking (90 <= 100).
+        assert classify_regime(m, separation=3.0) is Regime.MASKING
+
+    def test_memoryless_uses_holding_scale(self):
+        m = model(t_c=0.5, t_m=0.0)
+        assert classify_regime(m) is Regime.MASKING
+
+    def test_rejects_bad_separation(self):
+        with pytest.raises(ParameterError):
+            classify_regime(model(t_c=1.0), separation=1.0)
+
+
+class TestRegimeReport:
+    def test_masking_report_has_approx(self):
+        report = regime_report(model(t_c=0.1), p_ce=1e-3)
+        assert report.regime is Regime.MASKING
+        assert report.p_f_regime_approx is not None
+        assert report.p_f_general == pytest.approx(
+            report.p_f_regime_approx, rel=0.5
+        )
+
+    def test_repair_report_has_approx(self):
+        report = regime_report(model(t_c=5000.0), p_ce=1e-3)
+        assert report.regime is Regime.REPAIR
+        assert report.p_f_regime_approx is not None
+        assert report.p_f_general <= 2e-3  # repair regime meets target
+
+    def test_crossover_has_no_approx(self):
+        report = regime_report(model(t_c=100.0), p_ce=1e-3)
+        assert report.regime is Regime.CROSSOVER
+        assert report.p_f_regime_approx is None
+
+    def test_repair_memoryless_has_no_closed_form(self):
+        report = regime_report(model(t_c=5000.0, t_m=0.0), p_ce=1e-3)
+        assert report.regime is Regime.REPAIR
+        assert report.p_f_regime_approx is None

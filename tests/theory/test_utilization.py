@@ -1,0 +1,97 @@
+"""Tests for the utilization formulas (eqn (40))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import q_inverse
+from repro.errors import ParameterError
+from repro.theory.memoryful import ContinuousLoadModel
+from repro.theory.utilization import (
+    expected_utilization_mc,
+    perfect_knowledge_utilization,
+    utilization_difference,
+)
+
+
+class TestEqn40:
+    def test_zero_for_equal_targets(self):
+        assert utilization_difference(100.0, 0.3, 1e-3, 1e-3) == 0.0
+
+    def test_sign_convention(self):
+        """More conservative second target => positive difference."""
+        assert utilization_difference(100.0, 0.3, 1e-3, 1e-6) > 0.0
+
+    def test_value(self):
+        d = utilization_difference(100.0, 0.3, 1e-3, 1e-5)
+        expected = 0.3 * 10.0 * (q_inverse(1e-5) - q_inverse(1e-3))
+        assert d == pytest.approx(expected)
+
+    def test_scales_sqrt_n(self):
+        d1 = utilization_difference(100.0, 0.3, 1e-3, 1e-5)
+        d2 = utilization_difference(400.0, 0.3, 1e-3, 1e-5)
+        assert d2 / d1 == pytest.approx(2.0)
+
+    def test_antisymmetric(self):
+        a = utilization_difference(100.0, 0.3, 1e-3, 1e-5)
+        b = utilization_difference(100.0, 0.3, 1e-5, 1e-3)
+        assert a == pytest.approx(-b)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            utilization_difference(0.0, 0.3, 1e-3, 1e-4)
+
+
+class TestPerfectUtilization:
+    def test_below_capacity(self):
+        u = perfect_knowledge_utilization(100.0, 1.0, 0.3, 1e-3)
+        assert u < 100.0
+
+    def test_formula(self):
+        u = perfect_knowledge_utilization(100.0, 1.0, 0.3, 1e-3)
+        assert u == pytest.approx(100.0 - 0.3 * q_inverse(1e-3) * 10.0)
+
+    def test_looser_target_uses_more(self):
+        tight = perfect_knowledge_utilization(100.0, 1.0, 0.3, 1e-6)
+        loose = perfect_knowledge_utilization(100.0, 1.0, 0.3, 1e-2)
+        assert loose > tight
+
+
+class TestMonteCarloUtilization:
+    def test_differences_match_eqn40(self):
+        """Absolute MC utilizations share the sup-term; their difference
+        across alpha_ce must be exactly eqn (40) (deterministic, since the
+        same seeded paths are reused)."""
+        model = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=20.0, snr=0.3, memory=20.0
+        )
+        n, mu = 100.0, 1.0
+        a1, a2 = 3.0, 4.0
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        u1 = expected_utilization_mc(
+            model, n=n, mu=mu, alpha_ce=a1, n_paths=50, rng=rng1
+        )
+        u2 = expected_utilization_mc(
+            model, n=n, mu=mu, alpha_ce=a2, n_paths=50, rng=rng2
+        )
+        expected_gap = 0.3 * math.sqrt(n) * (a2 - a1)
+        assert u1 - u2 == pytest.approx(expected_gap, rel=1e-9)
+
+    def test_below_capacity_for_conservative_alpha(self):
+        model = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=20.0, snr=0.3, memory=20.0
+        )
+        u = expected_utilization_mc(
+            model, n=100.0, mu=1.0, alpha_ce=4.0, n_paths=100,
+            rng=np.random.default_rng(3),
+        )
+        assert u < 100.0
+
+    def test_validation(self):
+        model = ContinuousLoadModel(
+            correlation_time=1.0, holding_time_scaled=20.0, snr=0.3
+        )
+        with pytest.raises(ParameterError):
+            expected_utilization_mc(model, n=-1.0, mu=1.0, alpha_ce=3.0)

@@ -1,0 +1,97 @@
+"""Tests for heterogeneous flow populations (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic.heterogeneous import HeterogeneousPopulation, mixture_moments
+from repro.traffic.marginals import TruncatedGaussianMarginal
+from repro.traffic.rcbr import RcbrSource
+
+
+def two_class_population() -> HeterogeneousPopulation:
+    small = RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0)
+    large = RcbrSource(TruncatedGaussianMarginal.from_cv(2.0, 0.3), 4.0)
+    return HeterogeneousPopulation([small, large], [0.5, 0.5])
+
+
+class TestMixtureMoments:
+    def test_mean(self):
+        m = mixture_moments([0.5, 0.5], [1.0, 3.0], [0.1, 0.1])
+        assert m.mean == 2.0
+
+    def test_variance_decomposition(self):
+        """Total = within + between (law of total variance)."""
+        m = mixture_moments([0.5, 0.5], [1.0, 3.0], [0.2, 0.4])
+        within = 0.5 * 0.04 + 0.5 * 0.16
+        between = 0.5 * 1.0**2 + 0.5 * 3.0**2 - 2.0**2
+        assert m.within_class_variance == pytest.approx(within)
+        assert m.between_class_variance == pytest.approx(between)
+        assert m.variance == pytest.approx(within + between)
+
+    def test_bias_nonnegative(self):
+        """The homogeneity-assuming estimator never under-estimates."""
+        m = mixture_moments([0.3, 0.7], [1.0, 1.5], [0.3, 0.2])
+        assert m.between_class_variance >= 0.0
+
+    def test_homogeneous_mixture_has_no_bias(self):
+        m = mixture_moments([0.4, 0.6], [1.0, 1.0], [0.3, 0.3])
+        assert m.between_class_variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_weights_normalized(self):
+        a = mixture_moments([1.0, 1.0], [1.0, 3.0], [0.1, 0.1])
+        b = mixture_moments([0.5, 0.5], [1.0, 3.0], [0.1, 0.1])
+        assert a.mean == b.mean
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            mixture_moments([0.5], [1.0, 2.0], [0.1, 0.1])
+        with pytest.raises(ParameterError):
+            mixture_moments([0.0, 0.0], [1.0, 2.0], [0.1, 0.1])
+        with pytest.raises(ParameterError):
+            mixture_moments([0.5, 0.5], [-1.0, 2.0], [0.1, 0.1])
+
+
+class TestPopulation:
+    def test_population_moments_are_mixture(self):
+        pop = two_class_population()
+        assert pop.mean == pytest.approx(pop.moments.mean)
+        assert pop.std == pytest.approx(pop.moments.std)
+        assert pop.std > pop.moments.within_class_std
+
+    def test_class_sampling_frequencies(self, rng):
+        small = RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.1), 1.0)
+        large = RcbrSource(TruncatedGaussianMarginal.from_cv(5.0, 0.1), 1.0)
+        pop = HeterogeneousPopulation([small, large], [0.8, 0.2])
+        rates = [pop.new_flow(rng).rate for _ in range(5000)]
+        frac_large = np.mean(np.asarray(rates) > 2.5)
+        assert frac_large == pytest.approx(0.2, abs=0.02)
+
+    def test_sample_mean_matches_mixture(self, rng):
+        pop = two_class_population()
+        rates = [pop.new_flow(rng).rate for _ in range(20000)]
+        assert np.mean(rates) == pytest.approx(pop.mean, rel=0.02)
+        assert np.std(rates) == pytest.approx(pop.std, rel=0.05)
+
+    def test_correlation_time_weighted(self):
+        pop = two_class_population()
+        assert pop.correlation_time == pytest.approx(0.5 * 1.0 + 0.5 * 4.0)
+
+    def test_correlation_time_none_when_undefined(self, rng):
+        from repro.traffic.lrd import starwars_like_source
+
+        lrd = starwars_like_source(n_segments=128, rng=rng)
+        small = RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0)
+        pop = HeterogeneousPopulation([small, lrd], [0.5, 0.5])
+        assert pop.correlation_time is None
+
+    def test_peak_rate_is_max(self):
+        pop = two_class_population()
+        assert pop.peak_rate == max(s.peak_rate for s in pop.sources)
+
+    def test_validation(self):
+        small = RcbrSource(TruncatedGaussianMarginal.from_cv(0.5, 0.3), 1.0)
+        with pytest.raises(ParameterError):
+            HeterogeneousPopulation([small], [0.5, 0.5])
+        with pytest.raises(ParameterError):
+            HeterogeneousPopulation([], [])

@@ -1,0 +1,99 @@
+"""Tests for the synthetic LRD video traffic (the Starwars substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.processes.autocorr import hurst_aggregated_variance
+from repro.traffic.lrd import starwars_like_source, synthetic_video_trace
+
+
+class TestSyntheticTrace:
+    def test_target_moments(self, rng):
+        # LRD sample means converge only like N^(H-1) ~ N^-0.15, so even at
+        # 16k samples the per-trace mean wanders by >10%; average over
+        # several independent traces to test the ensemble target.
+        means, cvs = [], []
+        for _ in range(8):
+            tr = synthetic_video_trace(
+                n_segments=1 << 14, segment_time=1.0, mean=2.0, cv=0.3, rng=rng
+            )
+            means.append(tr.mean)
+            cvs.append(tr.std / tr.mean)
+        assert np.mean(means) == pytest.approx(2.0, rel=0.1)
+        assert np.mean(cvs) == pytest.approx(0.3, rel=0.25)
+
+    def test_nonnegative(self, rng):
+        tr = synthetic_video_trace(
+            n_segments=4096, segment_time=1.0, cv=0.8, rng=rng
+        )
+        assert np.all(tr.rates > 0.0)
+
+    def test_hurst_recovered(self, rng):
+        """The aggregated-variance estimator must recover the configured
+        Hurst exponent from the synthesized trace."""
+        tr = synthetic_video_trace(
+            n_segments=1 << 15, segment_time=1.0, hurst=0.85, rng=rng
+        )
+        h = hurst_aggregated_variance(tr.rates)
+        assert h == pytest.approx(0.85, abs=0.08)
+
+    def test_white_case_hurst_half(self, rng):
+        tr = synthetic_video_trace(
+            n_segments=1 << 15, segment_time=1.0, hurst=0.5, rng=rng
+        )
+        h = hurst_aggregated_variance(tr.rates)
+        assert h == pytest.approx(0.5, abs=0.08)
+
+    def test_lognormal_marginal(self, rng):
+        tr = synthetic_video_trace(
+            n_segments=1 << 13,
+            segment_time=1.0,
+            cv=0.5,
+            marginal="lognormal",
+            rng=rng,
+        )
+        assert np.all(tr.rates > 0.0)
+        assert tr.mean == pytest.approx(1.0, rel=0.15)
+        # Lognormal is right-skewed.
+        assert np.mean((tr.rates - tr.mean) ** 3) > 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            synthetic_video_trace(n_segments=10, segment_time=1.0, rng=rng)
+        with pytest.raises(ParameterError):
+            synthetic_video_trace(
+                n_segments=128, segment_time=1.0, hurst=0.3, rng=rng
+            )
+        with pytest.raises(ParameterError):
+            synthetic_video_trace(
+                n_segments=128, segment_time=1.0, marginal="cauchy", rng=rng
+            )
+
+    def test_reproducible(self):
+        a = synthetic_video_trace(
+            n_segments=256, segment_time=1.0, rng=np.random.default_rng(5)
+        )
+        b = synthetic_video_trace(
+            n_segments=256, segment_time=1.0, rng=np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(a.rates, b.rates)
+
+
+class TestStarwarsLikeSource:
+    def test_default_build(self, rng):
+        src = starwars_like_source(n_segments=1 << 12, rng=rng)
+        assert src.mean > 0.0
+        assert src.correlation_time is None  # LRD: no single time-scale
+
+    def test_smoothing_coarsens_segments(self, rng):
+        src = starwars_like_source(
+            n_segments=1 << 12, segment_time=0.04, renegotiation_period=1.0, rng=rng
+        )
+        assert src.trace.segment_time == pytest.approx(1.0)
+
+    def test_raw_playback_option(self, rng):
+        src = starwars_like_source(
+            n_segments=1 << 12, segment_time=0.04, renegotiation_period=None, rng=rng
+        )
+        assert src.trace.segment_time == pytest.approx(0.04)

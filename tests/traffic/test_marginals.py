@@ -1,0 +1,117 @@
+"""Tests for the marginal rate distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic.marginals import (
+    DeterministicMarginal,
+    EmpiricalMarginal,
+    LognormalMarginal,
+    TruncatedGaussianMarginal,
+    UniformMarginal,
+)
+
+
+class TestTruncatedGaussian:
+    def test_exact_moments_match_samples(self, rng):
+        m = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        draws = m.sample(rng, 200000)
+        assert draws.mean() == pytest.approx(m.mean, rel=3e-3)
+        assert draws.std() == pytest.approx(m.std, rel=1e-2)
+
+    def test_truncation_correction_is_tiny_at_cv03(self):
+        m = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        assert m.mean == pytest.approx(1.0, abs=2e-3)
+        assert m.std == pytest.approx(0.3, abs=2e-3)
+
+    def test_truncation_correction_grows_with_cv(self):
+        mild = TruncatedGaussianMarginal.from_cv(1.0, 0.3)
+        heavy = TruncatedGaussianMarginal.from_cv(1.0, 0.9)
+        assert (heavy.mean - 1.0) > (mild.mean - 1.0)
+
+    def test_all_samples_positive(self, rng):
+        m = TruncatedGaussianMarginal.from_cv(1.0, 0.9)
+        assert np.all(m.sample(rng, 50000) > 0.0)
+
+    def test_scalar_sample(self, rng):
+        assert isinstance(TruncatedGaussianMarginal.from_cv(1.0, 0.3).sample(rng), float)
+
+    def test_unbounded_peak(self):
+        assert TruncatedGaussianMarginal.from_cv(1.0, 0.3).peak == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TruncatedGaussianMarginal(loc=-1.0, scale=0.3)
+        with pytest.raises(ParameterError):
+            TruncatedGaussianMarginal(loc=1.0, scale=0.0)
+        with pytest.raises(ParameterError):
+            TruncatedGaussianMarginal.from_cv(1.0, 0.0)
+
+
+class TestLognormal:
+    def test_moments(self, rng):
+        m = LognormalMarginal(mean=2.0, cv=0.5)
+        assert m.mean == 2.0
+        assert m.std == 1.0
+        draws = m.sample(rng, 300000)
+        assert draws.mean() == pytest.approx(2.0, rel=5e-3)
+        assert draws.std() == pytest.approx(1.0, rel=3e-2)
+
+    def test_positive_support(self, rng):
+        assert np.all(LognormalMarginal(1.0, 1.0).sample(rng, 10000) > 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LognormalMarginal(0.0, 0.3)
+
+
+class TestUniform:
+    def test_moments(self, rng):
+        m = UniformMarginal(1.0, 3.0)
+        assert m.mean == 2.0
+        assert m.std == pytest.approx(2.0 / math.sqrt(12.0))
+        assert m.peak == 3.0
+        draws = m.sample(rng, 100000)
+        assert draws.min() >= 1.0 and draws.max() <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UniformMarginal(3.0, 1.0)
+        with pytest.raises(ParameterError):
+            UniformMarginal(-1.0, 1.0)
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        m = DeterministicMarginal(2.5)
+        assert m.mean == 2.5 and m.std == 0.0 and m.peak == 2.5
+        assert m.sample(rng) == 2.5
+        assert np.all(m.sample(rng, 10) == 2.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DeterministicMarginal(0.0)
+
+
+class TestEmpirical:
+    def test_resamples_support(self, rng):
+        values = np.array([1.0, 2.0, 5.0])
+        m = EmpiricalMarginal(values)
+        draws = m.sample(rng, 1000)
+        assert set(np.unique(draws)).issubset(set(values))
+
+    def test_moments_match_source(self):
+        values = np.array([1.0, 2.0, 5.0, 2.0])
+        m = EmpiricalMarginal(values)
+        assert m.mean == pytest.approx(values.mean())
+        assert m.std == pytest.approx(values.std())
+        assert m.peak == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            EmpiricalMarginal([])
+        with pytest.raises(ParameterError):
+            EmpiricalMarginal([1.0, -2.0])

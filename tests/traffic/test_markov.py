@@ -1,0 +1,193 @@
+"""Tests for the Markov-modulated fluid sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic.markov import MarkovFluidSource
+
+
+def three_state() -> MarkovFluidSource:
+    generator = np.array(
+        [
+            [-2.0, 1.5, 0.5],
+            [1.0, -2.0, 1.0],
+            [0.25, 0.75, -1.0],
+        ]
+    )
+    return MarkovFluidSource(generator, [0.0, 1.0, 3.0])
+
+
+class TestConstruction:
+    def test_stationary_distribution_solves_balance(self):
+        src = three_state()
+        residual = src.stationary @ src.generator
+        assert np.max(np.abs(residual)) < 1e-9
+        assert src.stationary.sum() == pytest.approx(1.0)
+
+    def test_moments_from_stationary(self):
+        src = three_state()
+        expected_mean = float(src.stationary @ src.rates)
+        assert src.mean == pytest.approx(expected_mean)
+        second = float(src.stationary @ (src.rates**2))
+        assert src.std == pytest.approx(math.sqrt(second - expected_mean**2))
+
+    def test_peak_rate(self):
+        assert three_state().peak_rate == 3.0
+
+    @pytest.mark.parametrize(
+        "generator,rates",
+        [
+            ([[0.0]], [1.0, 2.0]),  # shape mismatch
+            ([[-1.0, 1.0], [1.0, -2.0]], [1.0, 2.0]),  # rows don't sum to 0
+            ([[-1.0, 1.0], [-0.5, 0.5]], [1.0, 2.0]),  # negative off-diagonal
+            ([[-1.0, 1.0], [1.0, -1.0]], [-1.0, 2.0]),  # negative rate
+        ],
+    )
+    def test_validation(self, generator, rates):
+        with pytest.raises(ParameterError):
+            MarkovFluidSource(generator, rates)
+
+
+class TestTwoState:
+    def test_factory(self):
+        src = MarkovFluidSource.two_state(
+            rate_low=0.0, rate_high=2.0, up_rate=1.0, down_rate=3.0
+        )
+        # Stationary on-probability = up/(up+down) = 1/4.
+        assert src.mean == pytest.approx(0.5)
+
+    def test_exponential_autocorrelation(self):
+        """Two-state chains have rho(t) = exp(-(up+down) t) exactly."""
+        src = MarkovFluidSource.two_state(
+            rate_low=0.0, rate_high=1.0, up_rate=0.5, down_rate=1.5
+        )
+        for t in [0.1, 0.5, 2.0]:
+            assert src.autocorrelation(t) == pytest.approx(
+                math.exp(-2.0 * t), rel=1e-6
+            )
+
+    def test_correlation_time_integral(self):
+        """Integral time-scale of exp(-2t) is 1/2."""
+        src = MarkovFluidSource.two_state(
+            rate_low=0.0, rate_high=1.0, up_rate=0.5, down_rate=1.5
+        )
+        assert src.correlation_time == pytest.approx(0.5, rel=1e-6)
+
+
+class TestAutocorrelation:
+    def test_rho_zero_is_one(self):
+        assert three_state().autocorrelation(0.0) == pytest.approx(1.0)
+
+    def test_decays(self):
+        src = three_state()
+        values = [src.autocorrelation(t) for t in [0.0, 0.5, 2.0, 8.0]]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.05
+
+    def test_even_function(self):
+        src = three_state()
+        assert src.autocorrelation(-1.0) == pytest.approx(src.autocorrelation(1.0))
+
+    def test_cbr_rejects(self):
+        src = MarkovFluidSource([[-1.0, 1.0], [1.0, -1.0]], [2.0, 2.0])
+        with pytest.raises(ParameterError):
+            src.autocorrelation(1.0)
+
+    def test_cbr_correlation_time_none(self):
+        src = MarkovFluidSource([[-1.0, 1.0], [1.0, -1.0]], [2.0, 2.0])
+        assert src.correlation_time is None
+
+
+class TestFlowDynamics:
+    def test_stationary_state_occupancy(self, rng):
+        src = three_state()
+        states = [src.new_flow(rng).state for _ in range(20000)]
+        counts = np.bincount(states, minlength=3) / len(states)
+        np.testing.assert_allclose(counts, src.stationary, atol=0.015)
+
+    def test_time_average_rate_converges(self, rng):
+        """Long time-average of one flow must converge to the ensemble mean
+        (ergodicity of the CTMC)."""
+        src = three_state()
+        flow = src.new_flow(rng)
+        total_time = 0.0
+        weighted = 0.0
+        for _ in range(50000):
+            dt = flow.time_to_next_change(rng)
+            weighted += flow.rate * dt
+            total_time += dt
+            flow.apply_change(rng)
+        assert weighted / total_time == pytest.approx(src.mean, rel=0.03)
+
+    def test_jump_probabilities_normalized(self):
+        src = three_state()
+        for i in range(3):
+            assert src.jump_probs[i].sum() == pytest.approx(1.0)
+            assert src.jump_probs[i, i] == 0.0
+
+
+class TestBirthDeath:
+    def test_binomial_moments(self):
+        """Stationary state ~ Binomial(n, p): mean = peak*p,
+        var = peak^2 p(1-p)/n."""
+        src = MarkovFluidSource.birth_death(
+            n_sources=8, peak=2.0, up_rate=1.0, down_rate=3.0
+        )
+        p_on = 0.25
+        assert src.mean == pytest.approx(2.0 * p_on, rel=1e-9)
+        expected_var = 2.0**2 * p_on * (1 - p_on) / 8
+        assert src.std**2 == pytest.approx(expected_var, rel=1e-9)
+
+    def test_relaxation_time(self):
+        """The slowest mode of the birth-death chain relaxes at up+down."""
+        src = MarkovFluidSource.birth_death(
+            n_sources=4, peak=1.0, up_rate=0.5, down_rate=1.5
+        )
+        assert src.correlation_time == pytest.approx(0.5, rel=1e-6)
+        assert src.autocorrelation(1.0) == pytest.approx(
+            math.exp(-2.0), rel=1e-6
+        )
+
+    def test_more_sources_smoother(self):
+        coarse = MarkovFluidSource.birth_death(
+            n_sources=2, peak=1.0, up_rate=1.0, down_rate=1.0
+        )
+        fine = MarkovFluidSource.birth_death(
+            n_sources=32, peak=1.0, up_rate=1.0, down_rate=1.0
+        )
+        assert fine.std < coarse.std
+        assert fine.mean == pytest.approx(coarse.mean)
+
+    def test_single_source_is_on_off(self):
+        bd = MarkovFluidSource.birth_death(
+            n_sources=1, peak=2.0, up_rate=1.0, down_rate=3.0
+        )
+        two_state = MarkovFluidSource.two_state(
+            rate_low=0.0, rate_high=2.0, up_rate=1.0, down_rate=3.0
+        )
+        assert bd.mean == pytest.approx(two_state.mean)
+        assert bd.std == pytest.approx(two_state.std)
+
+    def test_flow_transitions_are_nearest_neighbour(self, rng):
+        src = MarkovFluidSource.birth_death(
+            n_sources=5, peak=1.0, up_rate=1.0, down_rate=1.0
+        )
+        flow = src.new_flow(rng)
+        prev = flow.state
+        for _ in range(200):
+            flow.apply_change(rng)
+            assert abs(flow.state - prev) == 1
+            prev = flow.state
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MarkovFluidSource.birth_death(
+                n_sources=0, peak=1.0, up_rate=1.0, down_rate=1.0
+            )
+        with pytest.raises(ParameterError):
+            MarkovFluidSource.birth_death(
+                n_sources=2, peak=0.0, up_rate=1.0, down_rate=1.0
+            )

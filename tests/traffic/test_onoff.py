@@ -1,0 +1,84 @@
+"""Tests for the on-off source."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic.onoff import OnOffSource, on_off_source
+
+
+class TestMoments:
+    def test_mean(self):
+        src = OnOffSource(peak=2.0, activity=0.25, burst_time=1.0)
+        assert src.mean == pytest.approx(0.5)
+
+    def test_variance(self):
+        src = OnOffSource(peak=2.0, activity=0.25, burst_time=1.0)
+        assert src.std == pytest.approx(2.0 * math.sqrt(0.25 * 0.75))
+
+    def test_peak(self):
+        assert OnOffSource(peak=2.0, activity=0.5, burst_time=1.0).peak_rate == 2.0
+
+
+class TestTimeScales:
+    def test_relaxation_time(self):
+        src = OnOffSource(peak=1.0, activity=0.25, burst_time=2.0)
+        # up = down * 1/3; down = 0.5 => up+down = 2/3 => T = 1.5.
+        assert src.relaxation_time == pytest.approx(1.5)
+
+    def test_autocorrelation_matches_relaxation(self):
+        src = OnOffSource(peak=1.0, activity=0.25, burst_time=2.0)
+        t = 0.7
+        assert src.autocorrelation(t) == pytest.approx(
+            math.exp(-t / src.relaxation_time), rel=1e-6
+        )
+
+    def test_integral_correlation_time(self):
+        src = OnOffSource(peak=1.0, activity=0.25, burst_time=2.0)
+        assert src.correlation_time == pytest.approx(src.relaxation_time, rel=1e-6)
+
+
+class TestFactory:
+    def test_from_mean_peak(self):
+        src = on_off_source(mean=0.5, peak=2.0, burst_time=1.0)
+        assert src.activity == pytest.approx(0.25)
+        assert src.mean == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            on_off_source(mean=2.0, peak=1.0, burst_time=1.0)
+        with pytest.raises(ParameterError):
+            OnOffSource(peak=1.0, activity=1.0, burst_time=1.0)
+        with pytest.raises(ParameterError):
+            OnOffSource(peak=1.0, activity=0.5, burst_time=0.0)
+
+
+class TestDynamics:
+    def test_only_two_rates(self, rng):
+        src = OnOffSource(peak=3.0, activity=0.5, burst_time=1.0)
+        flow = src.new_flow(rng)
+        seen = set()
+        for _ in range(100):
+            seen.add(flow.rate)
+            flow.apply_change(rng)
+        assert seen == {0.0, 3.0}
+
+    def test_alternates_strictly(self, rng):
+        src = OnOffSource(peak=3.0, activity=0.5, burst_time=1.0)
+        flow = src.new_flow(rng)
+        prev = flow.rate
+        for _ in range(50):
+            flow.apply_change(rng)
+            assert flow.rate != prev
+            prev = flow.rate
+
+    def test_mean_on_time(self, rng):
+        src = OnOffSource(peak=1.0, activity=0.5, burst_time=2.0)
+        flow = src.new_flow(rng)
+        on_times = []
+        for _ in range(20000):
+            if flow.rate == 1.0:
+                on_times.append(flow.time_to_next_change(rng))
+            flow.apply_change(rng)
+        assert sum(on_times) / len(on_times) == pytest.approx(2.0, rel=0.05)

@@ -1,0 +1,105 @@
+"""Tests for the RCBR source (the paper's simulation workload)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.traffic.marginals import TruncatedGaussianMarginal, UniformMarginal
+from repro.traffic.rcbr import RcbrSource, paper_rcbr_source
+
+
+class TestSourceProperties:
+    def test_moments_delegate_to_marginal(self, paper_marginal):
+        src = RcbrSource(paper_marginal, correlation_time=2.0)
+        assert src.mean == paper_marginal.mean
+        assert src.std == paper_marginal.std
+        assert src.snr == pytest.approx(paper_marginal.std / paper_marginal.mean)
+
+    def test_correlation_time(self, paper_marginal):
+        src = RcbrSource(paper_marginal, correlation_time=2.0)
+        assert src.correlation_time == 2.0
+        assert src.renegotiation_timescale == 2.0
+
+    def test_analytic_autocorrelation(self, paper_marginal):
+        src = RcbrSource(paper_marginal, correlation_time=2.0)
+        assert src.autocorrelation(0.0) == 1.0
+        assert src.autocorrelation(2.0) == pytest.approx(math.exp(-1.0))
+        assert src.autocorrelation(-2.0) == src.autocorrelation(2.0)
+
+    def test_bounded_marginal_peak(self):
+        src = RcbrSource(UniformMarginal(0.5, 2.0), correlation_time=1.0)
+        assert src.peak_rate == 2.0
+
+    def test_unbounded_marginal_peak_fallback(self, paper_marginal):
+        src = RcbrSource(paper_marginal, correlation_time=1.0)
+        assert src.peak_rate == pytest.approx(src.mean + 3.0 * src.std)
+
+    def test_validation(self, paper_marginal):
+        with pytest.raises(ParameterError):
+            RcbrSource(paper_marginal, correlation_time=0.0)
+
+    def test_factory_defaults(self):
+        src = paper_rcbr_source()
+        assert isinstance(src.marginal, TruncatedGaussianMarginal)
+        assert src.snr == pytest.approx(0.3, abs=5e-3)
+
+
+class TestFlowProcess:
+    def test_initial_rate_stationary(self, paper_marginal, rng):
+        src = RcbrSource(paper_marginal, correlation_time=1.0)
+        rates = [src.new_flow(rng).rate for _ in range(5000)]
+        assert np.mean(rates) == pytest.approx(src.mean, rel=2e-2)
+
+    def test_exponential_intervals(self, paper_marginal, rng):
+        src = RcbrSource(paper_marginal, correlation_time=2.0)
+        flow = src.new_flow(rng)
+        gaps = [flow.time_to_next_change(rng) for _ in range(20000)]
+        assert np.mean(gaps) == pytest.approx(2.0, rel=3e-2)
+        # Exponential: std == mean.
+        assert np.std(gaps) == pytest.approx(2.0, rel=5e-2)
+
+    def test_rate_changes_are_iid(self, paper_marginal, rng):
+        """Successive post-change rates must be uncorrelated."""
+        src = RcbrSource(paper_marginal, correlation_time=1.0)
+        flow = src.new_flow(rng)
+        rates = []
+        for _ in range(20000):
+            flow.apply_change(rng)
+            rates.append(flow.rate)
+        rates = np.asarray(rates)
+        lag1 = np.corrcoef(rates[:-1], rates[1:])[0, 1]
+        assert abs(lag1) < 0.03
+
+    def test_vectorized_sampling(self, paper_marginal, rng):
+        src = RcbrSource(paper_marginal, correlation_time=1.0)
+        rates = src.sample_rates(rng, 1000)
+        assert rates.shape == (1000,)
+        assert np.all(rates > 0.0)
+
+
+class TestEmpiricalAutocorrelation:
+    def test_matches_exponential_model(self, rng):
+        """Simulated RCBR path autocorrelation must be ~exp(-t/T_c): the
+        property that ties the simulator to the OU-based theory."""
+        from repro.processes.autocorr import empirical_autocorrelation
+
+        t_c = 1.0
+        dt = 0.05
+        n_steps = 200000
+        src = paper_rcbr_source(correlation_time=t_c)
+        flow = src.new_flow(rng)
+        # Sample the flow rate on a regular grid by advancing event times.
+        rates = np.empty(n_steps)
+        t_next = flow.time_to_next_change(rng)
+        for k in range(n_steps):
+            t = k * dt
+            while t >= t_next:
+                flow.apply_change(rng)
+                t_next += flow.time_to_next_change(rng)
+            rates[k] = flow.rate
+        rho = empirical_autocorrelation(rates, max_lag=int(2.0 * t_c / dt))
+        lags = np.arange(rho.size) * dt
+        expected = np.exp(-lags / t_c)
+        assert np.max(np.abs(rho - expected)) < 0.05

@@ -1,0 +1,121 @@
+"""Tests for trace-driven traffic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TraceError
+from repro.traffic.trace import Trace, TraceSource, rcbr_smooth
+
+
+def simple_trace() -> Trace:
+    return Trace(rates=np.array([1.0, 2.0, 3.0, 2.0]), segment_time=0.5)
+
+
+class TestTrace:
+    def test_properties(self):
+        tr = simple_trace()
+        assert tr.duration == 2.0
+        assert tr.mean == 2.0
+        assert tr.peak == 3.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            Trace(rates=np.array([1.0]), segment_time=0.5)
+        with pytest.raises(TraceError):
+            Trace(rates=np.array([1.0, -1.0]), segment_time=0.5)
+        with pytest.raises(TraceError):
+            Trace(rates=np.array([1.0, np.inf]), segment_time=0.5)
+        with pytest.raises(TraceError):
+            Trace(rates=np.array([1.0, 2.0]), segment_time=0.0)
+
+
+class TestRcbrSmooth:
+    def test_averages_periods(self):
+        tr = Trace(rates=np.array([1.0, 3.0, 2.0, 4.0]), segment_time=1.0)
+        smoothed = rcbr_smooth(tr, renegotiation_period=2.0)
+        np.testing.assert_allclose(smoothed.rates, [2.0, 3.0])
+        assert smoothed.segment_time == 2.0
+
+    def test_drops_trailing_partial(self):
+        tr = Trace(rates=np.array([1.0, 1.0, 1.0, 1.0, 9.0]), segment_time=1.0)
+        smoothed = rcbr_smooth(tr, renegotiation_period=2.0)
+        assert smoothed.rates.size == 2
+        assert smoothed.mean == 1.0  # the trailing 9.0 was dropped
+
+    def test_preserves_mean(self, rng):
+        rates = rng.uniform(0.5, 2.0, size=128)
+        tr = Trace(rates=rates, segment_time=1.0)
+        smoothed = rcbr_smooth(tr, renegotiation_period=4.0)
+        assert smoothed.mean == pytest.approx(tr.mean, rel=1e-9)
+
+    def test_reduces_variance(self, rng):
+        rates = rng.uniform(0.5, 2.0, size=256)
+        tr = Trace(rates=rates, segment_time=1.0)
+        smoothed = rcbr_smooth(tr, renegotiation_period=8.0)
+        assert smoothed.std < tr.std
+
+    def test_validation(self):
+        tr = simple_trace()
+        with pytest.raises(ParameterError):
+            rcbr_smooth(tr, renegotiation_period=0.1)
+        with pytest.raises(ParameterError):
+            rcbr_smooth(tr, renegotiation_period=100.0)
+
+
+class TestTraceFlow:
+    def test_plays_trace_rates_only(self, rng):
+        src = TraceSource(simple_trace())
+        flow = src.new_flow(rng)
+        for _ in range(20):
+            assert flow.rate in {1.0, 2.0, 3.0}
+            flow.apply_change(rng)
+
+    def test_wraps_in_trace_order(self, rng):
+        tr = Trace(rates=np.array([1.0, 2.0, 3.0]), segment_time=1.0)
+        src = TraceSource(tr)
+        flow = src.new_flow(rng)
+        seq = []
+        for _ in range(6):
+            seq.append(flow.rate)
+            flow.apply_change(rng)
+        # The sequence must be a contiguous (wrapped) run of the trace.
+        start = tr.rates.tolist().index(seq[0])
+        expected = [tr.rates[(start + k) % 3] for k in range(6)]
+        assert seq == expected
+
+    def test_first_change_is_subsegment(self, rng):
+        src = TraceSource(simple_trace())
+        flow = src.new_flow(rng)
+        first = flow.time_to_next_change(rng)
+        assert 0.0 <= first <= 0.5
+        # Subsequent changes are full segments.
+        flow.apply_change(rng)
+        assert flow.time_to_next_change(rng) == 0.5
+
+    def test_random_phases_decorrelate_flows(self, rng):
+        """An ensemble of flows must be stationary: the ensemble-average
+        initial rate is the trace mean, not the first segment's rate."""
+        tr = Trace(rates=np.array([10.0] + [1.0] * 9), segment_time=1.0)
+        src = TraceSource(tr)
+        initial = [src.new_flow(rng).rate for _ in range(4000)]
+        assert np.mean(initial) == pytest.approx(tr.mean, rel=0.1)
+
+
+class TestTraceSource:
+    def test_moments(self):
+        src = TraceSource(simple_trace())
+        assert src.mean == 2.0
+        assert src.peak_rate == 3.0
+        assert src.correlation_time is None
+
+    def test_empirical_correlation_time(self, rng):
+        """For a white (i.i.d.) trace, the integral scale is ~half a segment
+        (only the lag-0 trapezoid term survives)."""
+        rates = rng.uniform(0.5, 2.0, size=4096)
+        src = TraceSource(Trace(rates=rates, segment_time=2.0))
+        tau = src.empirical_correlation_time()
+        assert tau == pytest.approx(1.0, abs=0.5)
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(TraceError):
+            TraceSource(Trace(rates=np.zeros(4), segment_time=1.0))
