@@ -1,0 +1,83 @@
+"""Bench the online runtime: gateway decisions/sec under replay load.
+
+Unlike the figure benches this one has no paper series to regenerate; it
+measures the serving capacity of the new runtime -- the headline number
+(``decisions/sec``) the scaling PRs (async ingest, multi-process sharding)
+will be judged against.
+"""
+
+from repro.runtime import (
+    AdmissionGateway,
+    ManagedLink,
+    MetricsRegistry,
+    SourceFeed,
+    replay,
+)
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def _make_gateway(n_links=4, n=100.0, holding_time=500.0, policy="least-loaded"):
+    registry = MetricsRegistry()
+    links = []
+    for i in range(n_links):
+        source = paper_rcbr_source()
+        links.append(
+            ManagedLink.build(
+                f"link{i}",
+                capacity=n * source.mean,
+                holding_time=holding_time,
+                feed=SourceFeed(source, period=2.0, seed=i),
+                p_q=1e-2,
+                snr=0.3,
+                correlation_time=1.0,
+                registry=registry,
+            )
+        )
+    return AdmissionGateway(links, placement=policy, registry=registry)
+
+
+def test_replay_throughput(benchmark, emit):
+    """Time a 50k-event replay through a 4-link gateway."""
+
+    def kernel():
+        return replay(
+            _make_gateway(),
+            n_events=50_000,
+            arrival_rate=1.3 * 4 * 100.0 / 500.0,
+            holding_time=500.0,
+            tick_period=2.0,
+            seed=0,
+        )
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   runtime replay: {report.decisions_per_sec:,.0f} decisions/s, "
+         f"{report.events_per_sec:,.0f} events/s "
+         f"({report.admitted} admits / {report.rejected} rejects)")
+    assert report.events == 50_000
+    assert report.admitted > 0 and report.rejected >= 0
+
+
+def test_single_decision_latency(benchmark):
+    """Time one warm admit/depart round-trip on a loaded link."""
+    gateway = _make_gateway(n_links=1)
+    # Warm up: fill to the operating point.
+    clock = [0.0]
+    for i in range(200):
+        clock[0] += 0.05
+        gateway.tick(clock[0])
+        if not gateway.admit(("warm", i), clock[0]).admitted:
+            break
+    flow_seq = [100_000]
+
+    def kernel():
+        clock[0] += 0.01
+        flow_id = flow_seq[0]
+        flow_seq[0] += 1
+        decision = gateway.admit(flow_id, clock[0])
+        if decision.admitted:
+            gateway.depart(flow_id, clock[0])
+        return decision
+
+    decision = benchmark(kernel)
+    assert decision.link == "link0"

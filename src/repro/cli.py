@@ -12,11 +12,18 @@ Commands
     Evaluate the overflow-probability formulas at one parameter point.
 ``design``
     The robust-MBAC design recipe: memory rule + inverted target.
+``serve-replay``
+    Drive the online multi-link gateway with a replayed workload and
+    print a metrics snapshot (decisions/sec, per-link admits/rejects/...).
+
+A global ``--verbose``/``-v`` flag (repeatable) configures the root
+logging handler: once for INFO, twice for DEBUG.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 
@@ -24,6 +31,20 @@ from repro.core.gaussian import log_q_function, q_function
 from repro.core.memory import critical_time_scale
 
 __all__ = ["main", "build_parser"]
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Configure the root handler from the ``-v`` count (0/1/2+)."""
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO if verbosity == 1 else logging.DEBUG
+    )
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    logging.getLogger("repro").setLevel(level)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Robust measurement-based admission control "
             "(Grossglauser & Tse, SIGCOMM 1997) -- reproduction toolkit"
         ),
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -96,6 +124,64 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="T_m as a fraction of T_h_tilde",
+    )
+
+    serve = sub.add_parser(
+        "serve-replay",
+        help="drive the online multi-link gateway with a replayed workload",
+    )
+    serve.add_argument("--links", type=int, default=4, help="number of links")
+    serve.add_argument(
+        "--n", type=float, default=100.0, help="per-link system size c/mu"
+    )
+    serve.add_argument("--holding-time", type=float, default=500.0)
+    serve.add_argument("--correlation-time", type=float, default=1.0)
+    serve.add_argument("--snr", type=float, default=0.3, help="per-flow sigma/mu")
+    serve.add_argument("--p-q", type=float, default=1e-2, help="QoS target")
+    serve.add_argument(
+        "--memory",
+        type=float,
+        default=None,
+        help="estimator memory T_m (default: the T_h_tilde rule)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=sorted(("least-loaded", "round-robin", "hash")),
+        default="least-loaded",
+        help="flow placement policy",
+    )
+    serve.add_argument(
+        "--events", type=int, default=100_000, help="events to replay"
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="flow arrivals per unit time (default: ~1.3x aggregate capacity)",
+    )
+    serve.add_argument(
+        "--tick-period",
+        type=float,
+        default=None,
+        help="measurement tick period (default: T_m / 4)",
+    )
+    serve.add_argument(
+        "--stale-fraction",
+        type=float,
+        default=1.0,
+        help="degradation horizon as a fraction of T_h_tilde",
+    )
+    serve.add_argument(
+        "--outage",
+        metavar="LINK:START:DURATION",
+        action="append",
+        default=[],
+        help="pause LINK's measurement feed at START for DURATION "
+        "(repeatable; links are named link0..linkN-1)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--json", action="store_true", help="print the full snapshot as JSON"
     )
     return parser
 
@@ -203,9 +289,126 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_outages(specs: list[str]):
+    from repro.errors import ParameterError
+    from repro.runtime.replay import FeedOutage
+
+    outages = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ParameterError(
+                f"bad --outage {spec!r}; expected LINK:START:DURATION"
+            )
+        outages.append(
+            FeedOutage(link=parts[0], start=float(parts[1]), duration=float(parts[2]))
+        )
+    return outages
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import (
+        AdmissionGateway,
+        ManagedLink,
+        MetricsRegistry,
+        SourceFeed,
+        replay,
+    )
+    from repro.traffic.rcbr import paper_rcbr_source
+
+    registry = MetricsRegistry()
+    t_h_tilde = critical_time_scale(args.holding_time, args.n)
+    memory = args.memory if args.memory is not None else t_h_tilde
+    tick_period = (
+        args.tick_period if args.tick_period is not None else max(memory / 4.0, 1e-3)
+    )
+    links = []
+    for i in range(args.links):
+        source = paper_rcbr_source(
+            mean=1.0, cv=args.snr, correlation_time=args.correlation_time
+        )
+        feed = SourceFeed(source, period=tick_period, seed=args.seed * 1000 + i)
+        links.append(
+            ManagedLink.build(
+                f"link{i}",
+                capacity=args.n * source.mean,
+                holding_time=args.holding_time,
+                feed=feed,
+                p_q=args.p_q,
+                snr=args.snr,
+                correlation_time=args.correlation_time,
+                memory=args.memory,
+                stale_fraction=args.stale_fraction,
+                registry=registry,
+            )
+        )
+    gateway = AdmissionGateway(links, placement=args.policy, registry=registry)
+
+    # Default load: ~1.3x what the links can carry, so rejects are exercised.
+    arrival_rate = args.arrival_rate
+    if arrival_rate is None:
+        arrival_rate = 1.3 * args.links * args.n / args.holding_time
+
+    report = replay(
+        gateway,
+        n_events=args.events,
+        arrival_rate=arrival_rate,
+        holding_time=args.holding_time,
+        tick_period=tick_period,
+        seed=args.seed,
+        outages=_parse_outages(args.outage),
+    )
+
+    if args.json:
+        payload = {
+            "events": report.events,
+            "arrivals": report.arrivals,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "departures": report.departures,
+            "ticks": report.ticks,
+            "simulated_time": report.simulated_time,
+            "wall_seconds": report.wall_seconds,
+            "decisions_per_sec": report.decisions_per_sec,
+            "events_per_sec": report.events_per_sec,
+            "final_flows": report.final_flows,
+            "metrics": json.loads(registry.to_json()),
+            "links": report.metrics["links"],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    counters = report.metrics["counters"]
+    print(f"links                : {args.links} x capacity {args.n:g} "
+          f"(policy: {args.policy})")
+    print(f"memory T_m           : {memory:g} (T_h_tilde {t_h_tilde:g}, "
+          f"tick {tick_period:g})")
+    print(f"events replayed      : {report.events} "
+          f"({report.arrivals} arrivals, {report.departures} departures, "
+          f"{report.ticks} ticks)")
+    print(f"decisions            : {report.admitted} admitted, "
+          f"{report.rejected} rejected "
+          f"({report.admitted / max(1, report.arrivals):.1%} admit rate)")
+    print(f"throughput           : {report.decisions_per_sec:,.0f} decisions/s "
+          f"({report.events_per_sec:,.0f} events/s, "
+          f"wall {report.wall_seconds:.2f}s)")
+    print(f"active flows at end  : {report.final_flows}")
+    for link in gateway.links:
+        name = link.name
+        print(f"  {name:<10s} admits {counters[f'link.{name}.admits']:>8.0f}  "
+              f"rejects {counters[f'link.{name}.rejects']:>8.0f}  "
+              f"util {link.mean_utilization:6.2%}  "
+              f"overflow {link.overflow_fraction:.2e}  "
+              f"degradations {counters[f'link.{name}.degradations']:.0f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -216,6 +419,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_theory(args)
     if args.command == "design":
         return _cmd_design(args)
+    if args.command == "serve-replay":
+        return _cmd_serve_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

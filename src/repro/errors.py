@@ -30,3 +30,7 @@ class EstimatorError(ReproError, RuntimeError):
 
 class TraceError(ReproError, ValueError):
     """A traffic trace is malformed (empty, negative rates, bad framing)."""
+
+
+class RuntimeStateError(ReproError, RuntimeError):
+    """The online runtime (gateway/link) was driven into an invalid state."""

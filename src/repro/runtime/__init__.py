@@ -1,0 +1,55 @@
+"""Online admission-control runtime.
+
+Where :mod:`repro.simulation` reproduces the paper's *offline* experiments
+(discrete-event loops that own the clock and the traffic), this package is
+the *online* half the ROADMAP's production north-star needs: a long-lived
+gateway that serves admission decisions from a request/response API, fed by
+periodic measurement streams, and degrading gracefully -- to the theory's
+conservative adjusted-``p_ce`` target -- when those streams go stale.
+
+Layers (bottom-up):
+
+* :mod:`repro.runtime.metrics` -- counters/gauges/histograms + registry.
+* :mod:`repro.runtime.feed` -- measurement feeds with staleness tracking.
+* :mod:`repro.runtime.link` -- one controller+estimator control loop
+  behind ``admit()``/``depart()``, with stale-feed degradation.
+* :mod:`repro.runtime.gateway` -- flow placement over multiple links.
+* :mod:`repro.runtime.replay` -- batched workload driver for load tests
+  (the engine behind ``repro serve-replay``).
+"""
+
+from repro.runtime.feed import MeasurementFeed, SourceFeed, TraceFeed
+from repro.runtime.gateway import (
+    AdmissionGateway,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PLACEMENT_POLICIES,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.runtime.link import AdmissionDecision, ManagedLink
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.runtime.replay import FeedOutage, ReplayReport, replay
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionGateway",
+    "Counter",
+    "FeedOutage",
+    "Gauge",
+    "HashPlacement",
+    "Histogram",
+    "LeastLoadedPlacement",
+    "ManagedLink",
+    "MeasurementFeed",
+    "MetricsRegistry",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "ReplayReport",
+    "RoundRobinPlacement",
+    "SourceFeed",
+    "TraceFeed",
+    "make_placement",
+    "replay",
+]

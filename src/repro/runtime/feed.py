@@ -1,0 +1,203 @@
+"""Measurement feeds: the runtime's data path from the network to the MBAC.
+
+In the offline simulators the engine *owns* the traffic and can hand the
+estimator a perfect cross-section at every event.  An online gateway is on
+the other side of the measurement plane: statistics arrive periodically
+(an SNMP/OpenFlow-style stats poll, a telemetry stream, a replayed log) and
+can stop arriving altogether.  A :class:`MeasurementFeed` models exactly
+that contract:
+
+* :meth:`measure` is polled with the current time and link occupancy and
+  returns a fresh :class:`~repro.core.estimators.CrossSection` when a new
+  measurement epoch has completed, else ``None``;
+* :meth:`staleness` reports the age of the newest measurement, which the
+  link compares against its degradation horizon (a multiple of the critical
+  time-scale ``T_h_tilde``);
+* :meth:`pause` / :meth:`resume` model a measurement-plane outage (the
+  collector died, the poll channel is down) without tearing the feed down.
+
+Two concrete feeds cover the replay use cases:
+
+* :class:`SourceFeed` synthesizes cross-sections from any
+  :class:`~repro.traffic.base.TrafficSource` marginal -- the runtime
+  analogue of the simulators' measurement step;
+* :class:`TraceFeed` replays a recorded sequence of cross-sections (e.g.
+  captured from a production link or a prior simulation) and goes stale
+  when the recording runs out.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.estimators import CrossSection, cross_section
+from repro.errors import ParameterError
+from repro.traffic.base import TrafficSource
+
+__all__ = ["MeasurementFeed", "SourceFeed", "TraceFeed"]
+
+logger = logging.getLogger(__name__)
+
+
+class MeasurementFeed(ABC):
+    """Periodic measurement stream with staleness tracking.
+
+    Parameters
+    ----------
+    period : float
+        Measurement epoch length: :meth:`measure` emits at most one
+        cross-section per ``period`` of link time.
+    """
+
+    def __init__(self, period: float) -> None:
+        if period <= 0.0:
+            raise ParameterError("measurement period must be positive")
+        self.period = float(period)
+        self._last_emit: float | None = None
+        self._paused = False
+
+    # -- outage control ----------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop emitting measurements (the feed keeps aging)."""
+        if not self._paused:
+            logger.warning("feed %s paused", type(self).__name__)
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume emitting measurements at the next completed epoch."""
+        if self._paused:
+            logger.info("feed %s resumed", type(self).__name__)
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    # -- measurement protocol ----------------------------------------------
+
+    @property
+    def last_measurement_time(self) -> float | None:
+        """Time of the newest emitted measurement (``None`` before any)."""
+        return self._last_emit
+
+    def staleness(self, now: float) -> float:
+        """Age of the newest measurement at time ``now`` (inf before any)."""
+        if self._last_emit is None:
+            return math.inf
+        return max(0.0, float(now) - self._last_emit)
+
+    def measure(self, now: float, n_flows: int) -> CrossSection | None:
+        """Poll the feed at time ``now`` with ``n_flows`` flows on the link.
+
+        Returns a fresh cross-section when a new epoch has completed since
+        the last emission (and the feed is not paused / exhausted), else
+        ``None``.  Polling more often than ``period`` is free.
+        """
+        if self._paused:
+            return None
+        if self._last_emit is not None and now - self._last_emit < self.period:
+            return None
+        section = self._produce(now, n_flows)
+        if section is None:
+            return None
+        self._last_emit = float(now)
+        return section
+
+    @abstractmethod
+    def _produce(self, now: float, n_flows: int) -> CrossSection | None:
+        """Build the cross-section for the epoch ending at ``now``."""
+
+
+class SourceFeed(MeasurementFeed):
+    """Synthesizes measurements from a traffic source's marginal.
+
+    Each epoch samples one stationary rate per active flow from the
+    source's :class:`~repro.traffic.base.FlowProcess` minting path and
+    reports the resulting cross-section -- the same statistic the offline
+    engines hand to the estimator, but produced at feed cadence instead of
+    per event.  With zero flows on the link it reports the empty
+    cross-section (there is nothing to measure).
+
+    Parameters
+    ----------
+    source : TrafficSource
+        Population whose marginal is sampled.
+    period : float
+        Measurement epoch.
+    seed : int, optional
+        Seed for the feed's private RNG (feeds on different links should
+        use different seeds).
+    """
+
+    def __init__(self, source: TrafficSource, period: float, *, seed: int | None = 0):
+        super().__init__(period)
+        self.source = source
+        self._rng = np.random.default_rng(seed)
+        sampler = getattr(source, "sample_rates", None)
+        self._vector_sampler = sampler if callable(sampler) else None
+
+    def _sample_rates(self, n: int) -> np.ndarray:
+        if self._vector_sampler is not None:
+            return np.asarray(self._vector_sampler(self._rng, n), dtype=float)
+        return np.array(
+            [self.source.new_flow(self._rng).rate for _ in range(n)], dtype=float
+        )
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection:
+        if n_flows <= 0:
+            return CrossSection(n=0, mean=0.0, second_moment=0.0, variance=0.0)
+        return cross_section(self._sample_rates(int(n_flows)))
+
+
+class TraceFeed(MeasurementFeed):
+    """Replays a recorded sequence of cross-sections.
+
+    The feed emits the next recorded section at each completed epoch.  When
+    the recording is exhausted it emits nothing further and simply ages --
+    exactly the failure mode the link's degradation policy is built for --
+    unless ``cycle=True``, in which case it wraps around indefinitely.
+
+    Parameters
+    ----------
+    sections : sequence of CrossSection, or sequence of per-flow rate arrays
+        The recording.  Rate arrays are converted with
+        :func:`~repro.core.estimators.cross_section`.
+    period : float
+        Epoch length between consecutive records.
+    cycle : bool
+        Wrap around at the end instead of going stale.
+    """
+
+    def __init__(self, sections: Iterable, period: float, *, cycle: bool = False):
+        super().__init__(period)
+        converted: list[CrossSection] = []
+        for item in sections:
+            if isinstance(item, CrossSection):
+                converted.append(item)
+            else:
+                converted.append(cross_section(item))
+        if not converted:
+            raise ParameterError("TraceFeed needs at least one section")
+        self.sections: Sequence[CrossSection] = tuple(converted)
+        self.cycle = bool(cycle)
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the recording has been fully played (never for cyclic)."""
+        return not self.cycle and self._cursor >= len(self.sections)
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection | None:
+        if self._cursor >= len(self.sections):
+            if not self.cycle:
+                return None
+            self._cursor = 0
+        section = self.sections[self._cursor]
+        self._cursor += 1
+        return section

@@ -1,0 +1,223 @@
+"""Multi-link admission gateway: flow placement over managed links.
+
+:class:`AdmissionGateway` is the runtime's front door.  It owns a set of
+:class:`~repro.runtime.link.ManagedLink` instances (shards of aggregate
+capacity -- parallel trunks, ECMP members, per-pop links), routes each
+arriving flow to one link through a pluggable :class:`PlacementPolicy`,
+and tracks the flow -> link assignment so departures are billed to the
+right link.  The gateway itself is deliberately thin: all admission
+mathematics lives in the links; all statistics live in the shared
+:class:`~repro.runtime.metrics.MetricsRegistry`.
+
+Placement policies
+------------------
+``least-loaded``
+    Route to the link with the smallest nominal load ``N mu / c`` --
+    the classic water-filling heuristic.
+``round-robin``
+    Cycle deterministically through the links.
+``hash``
+    Stable hash of the flow id (CRC-32, independent of
+    ``PYTHONHASHSEED``) -- sticky placement that keeps a flow's link
+    derivable from its id alone.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import zlib
+from abc import ABC, abstractmethod
+from typing import Hashable, Sequence
+
+from repro.errors import ParameterError, RuntimeStateError
+from repro.runtime.link import AdmissionDecision, ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+
+__all__ = [
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "make_placement",
+    "PLACEMENT_POLICIES",
+    "AdmissionGateway",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class PlacementPolicy(ABC):
+    """Chooses the link that will decide an arriving flow's admission."""
+
+    @abstractmethod
+    def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
+        """Pick the deciding link for ``flow_id``."""
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Route to the link with the smallest nominal load fraction."""
+
+    def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
+        return min(links, key=lambda link: link.load_fraction)
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through the links in order."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
+        link = links[self._next % len(links)]
+        self._next += 1
+        return link
+
+
+class HashPlacement(PlacementPolicy):
+    """Stable hash placement: a flow id always maps to the same link."""
+
+    @staticmethod
+    def _digest(flow_id: Hashable) -> int:
+        return zlib.crc32(repr(flow_id).encode("utf-8"))
+
+    def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
+        return links[self._digest(flow_id) % len(links)]
+
+
+#: Registry of placement policy factories, keyed by CLI-friendly names.
+PLACEMENT_POLICIES = {
+    "least-loaded": LeastLoadedPlacement,
+    "round-robin": RoundRobinPlacement,
+    "hash": HashPlacement,
+}
+
+
+def make_placement(policy) -> PlacementPolicy:
+    """Resolve a policy name (or pass through a policy instance)."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return PLACEMENT_POLICIES[policy]()
+    except KeyError:
+        raise ParameterError(
+            f"unknown placement policy {policy!r}; "
+            f"choose from {sorted(PLACEMENT_POLICIES)}"
+        ) from None
+
+
+class AdmissionGateway:
+    """Routes flow arrivals/departures across multiple managed links.
+
+    Parameters
+    ----------
+    links : sequence of ManagedLink
+        The capacity shards (at least one; names must be unique).
+    placement : str or PlacementPolicy
+        Flow placement discipline (default ``"least-loaded"``).
+    registry : MetricsRegistry, optional
+        Registry for gateway-level metrics; defaults to the first link's
+        registry so one snapshot covers the whole system.
+    """
+
+    def __init__(
+        self,
+        links: Sequence[ManagedLink],
+        *,
+        placement="least-loaded",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        links = list(links)
+        if not links:
+            raise ParameterError("gateway needs at least one link")
+        names = [link.name for link in links]
+        if len(set(names)) != len(names):
+            raise ParameterError("link names must be unique")
+        self.links: tuple[ManagedLink, ...] = tuple(links)
+        self._by_name = {link.name: link for link in links}
+        self.placement = make_placement(placement)
+        self.registry = registry if registry is not None else links[0].registry
+        self._flows: dict[Hashable, ManagedLink] = {}
+        self._m_admits = self.registry.counter(
+            "gateway.admits", "flows admitted (all links)"
+        )
+        self._m_rejects = self.registry.counter(
+            "gateway.rejects", "flows rejected (all links)"
+        )
+        self._m_departs = self.registry.counter(
+            "gateway.departures", "flows departed (all links)"
+        )
+        self._m_flows = self.registry.gauge(
+            "gateway.active_flows", "flows currently placed"
+        )
+        self._m_latency = self.registry.histogram(
+            "gateway.decision_latency", "end-to-end admit() wall-clock seconds"
+        )
+        self._m_flows.set(0)
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Flows currently active across all links."""
+        return len(self._flows)
+
+    def link(self, name: str) -> ManagedLink:
+        """Look up a link by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ParameterError(f"no link named {name!r}") from None
+
+    def link_of(self, flow_id: Hashable) -> ManagedLink | None:
+        """The link currently carrying ``flow_id`` (``None`` if not placed)."""
+        return self._flows.get(flow_id)
+
+    # -- request path ------------------------------------------------------
+
+    def admit(self, flow_id: Hashable, now: float) -> AdmissionDecision:
+        """Place and decide one arriving flow."""
+        if flow_id in self._flows:
+            raise RuntimeStateError(f"flow {flow_id!r} is already active")
+        t0 = time.perf_counter()
+        link = self.placement.choose(self.links, flow_id)
+        decision = link.admit(now)
+        if decision.admitted:
+            self._flows[flow_id] = link
+            self._m_admits.inc()
+        else:
+            self._m_rejects.inc()
+        self._m_flows.set(len(self._flows))
+        self._m_latency.observe(time.perf_counter() - t0)
+        return decision
+
+    def depart(self, flow_id: Hashable, now: float) -> ManagedLink:
+        """Record the departure of an active flow; returns its link."""
+        link = self._flows.pop(flow_id, None)
+        if link is None:
+            raise RuntimeStateError(f"flow {flow_id!r} is not active")
+        link.depart(now)
+        self._m_departs.inc()
+        self._m_flows.set(len(self._flows))
+        return link
+
+    def tick(self, now: float) -> int:
+        """Advance every link to ``now``; returns fresh measurements seen."""
+        return sum(1 for link in self.links if link.tick(now))
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Registry snapshot plus per-link operational summaries."""
+        out = self.registry.snapshot()
+        out["links"] = {
+            link.name: {
+                "n_flows": link.n_flows,
+                "degraded": link.degraded,
+                "mean_utilization": link.mean_utilization,
+                "overflow_fraction": link.overflow_fraction,
+                "load_fraction": link.load_fraction,
+            }
+            for link in self.links
+        }
+        return out

@@ -1,0 +1,428 @@
+"""A managed link: one MBAC control loop behind a request/response API.
+
+:class:`ManagedLink` is the online counterpart of one simulated link.  It
+owns a controller/estimator pair from :mod:`repro.core`, ingests periodic
+measurements from a :class:`~repro.runtime.feed.MeasurementFeed` (via
+``Estimator.advance`` + ``Estimator.observe``, exactly like the offline
+engines), and answers ``admit()`` / ``depart()`` requests against the
+eqn-(22) target count -- there is no discrete-event loop; callers own the
+clock and drive the link with monotone timestamps.
+
+Graceful degradation is first-class.  Measurements age; when the feed's
+staleness exceeds a configurable horizon (by default the critical
+time-scale ``T_h_tilde = T_h / sqrt(n)`` -- beyond it the system's natural
+departure "repair" can no longer be assumed to cover estimation error) the
+link switches its admission test to the *conservative* adjusted-``p_ce``
+target obtained by inverting the theory
+(:func:`repro.theory.inversion.adjusted_ce_alpha`), and switches back as
+soon as fresh measurements resume.  A permanently silent feed therefore
+caps the link at the robust target instead of freezing it on a stale
+optimistic estimate.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.controllers import (
+    AdmissionController,
+    CertaintyEquivalentController,
+)
+from repro.core.estimators import BandwidthEstimate, Estimator, make_estimator
+from repro.core.memory import critical_time_scale
+from repro.errors import (
+    ConvergenceError,
+    EstimatorError,
+    ParameterError,
+    RuntimeStateError,
+)
+from repro.runtime.feed import MeasurementFeed
+from repro.runtime.metrics import MetricsRegistry
+
+__all__ = ["AdmissionDecision", "ManagedLink"]
+
+logger = logging.getLogger(__name__)
+
+#: Most conservative representable certainty-equivalent parameter (matches
+#: the upper bracket of the theory inversion).
+_ALPHA_FLOOR = 35.0
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one ``admit()`` request.
+
+    Attributes
+    ----------
+    admitted : bool
+        Whether the flow was accepted onto the link.
+    link : str
+        Name of the deciding link.
+    reason : str
+        ``"target"`` (normal criterion), ``"bootstrap"`` (first flow on an
+        empty, healthy link whose measurement reports an empty system --
+        a zero estimate would otherwise freeze admission forever),
+        ``"conservative-target"`` (degraded-mode criterion) or
+        ``"no-measurement"`` (rejected: no usable estimate; a link whose
+        feed has never emitted is maximally stale, hence degraded).
+    target : float
+        The real-valued admissible count the decision was tested against
+        (NaN when no estimate was available).
+    n_flows : int
+        Link occupancy *after* the decision.
+    degraded : bool
+        Whether the link was in degraded (stale-feed) mode.
+    """
+
+    admitted: bool
+    link: str
+    reason: str
+    target: float
+    n_flows: int
+    degraded: bool
+
+
+class ManagedLink:
+    """One link's online admission-control loop.
+
+    Parameters
+    ----------
+    name : str
+        Identifier used in metrics and logs.
+    capacity : float
+        Link capacity ``c`` (same units as flow rates).
+    holding_time : float
+        Mean flow holding time ``T_h`` (sets the degradation horizon).
+    mean_rate : float
+        Nominal per-flow mean bandwidth ``mu`` (sets ``n = c / mu``).
+    feed : MeasurementFeed
+        Measurement stream for this link.
+    estimator : Estimator
+        Measurement filter fed from the feed's cross-sections.
+    controller : AdmissionController
+        Primary (healthy-mode) admission policy.
+    conservative_controller : AdmissionController
+        Degraded-mode policy (typically the adjusted-``p_ce`` scheme).
+    stale_horizon : float, optional
+        Staleness beyond which the link degrades; defaults to
+        ``T_h_tilde = T_h / sqrt(n)``.
+    registry : MetricsRegistry, optional
+        Shared registry; a private one is created when omitted.
+
+    Prefer :meth:`build` unless wiring custom components.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        capacity: float,
+        holding_time: float,
+        mean_rate: float,
+        feed: MeasurementFeed,
+        estimator: Estimator,
+        controller: AdmissionController,
+        conservative_controller: AdmissionController,
+        stale_horizon: float | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity <= 0.0 or holding_time <= 0.0 or mean_rate <= 0.0:
+            raise ParameterError(
+                "capacity, holding_time and mean_rate must be positive"
+            )
+        self.name = str(name)
+        self.capacity = float(capacity)
+        self.holding_time = float(holding_time)
+        self.mean_rate = float(mean_rate)
+        self.system_size = self.capacity / self.mean_rate
+        self.holding_time_scaled = critical_time_scale(
+            self.holding_time, self.system_size
+        )
+        if stale_horizon is None:
+            stale_horizon = self.holding_time_scaled
+        if stale_horizon <= 0.0:
+            raise ParameterError("stale_horizon must be positive")
+        self.stale_horizon = float(stale_horizon)
+        self.feed = feed
+        self.estimator = estimator
+        self.controller = controller
+        self.conservative_controller = conservative_controller
+
+        self._n = 0
+        self._clock = 0.0
+        self._degraded = False
+        self._last_aggregate: float | None = None
+        self.observed_time = 0.0
+        self.overload_time = 0.0
+        self.utilization_integral = 0.0
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        prefix = f"link.{self.name}"
+        metric = self.registry
+        self._m_admits = metric.counter(f"{prefix}.admits", "flows admitted")
+        self._m_rejects = metric.counter(f"{prefix}.rejects", "flows rejected")
+        self._m_departs = metric.counter(f"{prefix}.departures", "flows departed")
+        self._m_measurements = metric.counter(
+            f"{prefix}.measurements", "fresh cross-sections ingested"
+        )
+        self._m_degradations = metric.counter(
+            f"{prefix}.degradations", "healthy->degraded transitions"
+        )
+        self._m_n = metric.gauge(f"{prefix}.n_flows", "current occupancy")
+        self._m_mu = metric.gauge(f"{prefix}.mu_hat", "estimated per-flow mean")
+        self._m_sigma = metric.gauge(f"{prefix}.sigma_hat", "estimated per-flow std")
+        self._m_target = metric.gauge(f"{prefix}.target", "admissible flow count")
+        self._m_util = metric.gauge(
+            f"{prefix}.utilization", "measured aggregate / capacity"
+        )
+        self._m_overflow = metric.gauge(
+            f"{prefix}.overflow_fraction", "time fraction with aggregate > capacity"
+        )
+        self._m_staleness = metric.gauge(
+            f"{prefix}.staleness", "age of newest measurement"
+        )
+        self._m_latency = metric.histogram(
+            f"{prefix}.decision_latency", "admit() wall-clock seconds"
+        )
+        self._m_n.set(0)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        *,
+        capacity: float,
+        holding_time: float,
+        feed: MeasurementFeed,
+        p_q: float,
+        snr: float,
+        correlation_time: float,
+        mean_rate: float | None = None,
+        memory: float | None = None,
+        min_sigma: float = 0.0,
+        stale_fraction: float = 1.0,
+        registry: MetricsRegistry | None = None,
+    ) -> "ManagedLink":
+        """Assemble a link from design parameters.
+
+        ``memory`` defaults to the paper's rule ``T_m = T_h_tilde``; the
+        conservative degraded-mode controller is built by inverting the
+        general overflow formula at these parameters (falling back to the
+        most conservative representable target when the inversion reports
+        ``p_q`` unreachable).  ``mean_rate`` defaults to the feed source's
+        mean when the feed carries one.
+        """
+        if mean_rate is None:
+            source = getattr(feed, "source", None)
+            if source is None:
+                raise ParameterError(
+                    "mean_rate is required for feeds without a source"
+                )
+            mean_rate = source.mean
+        if stale_fraction <= 0.0:
+            raise ParameterError("stale_fraction must be positive")
+        n = capacity / mean_rate
+        t_h_tilde = critical_time_scale(holding_time, n)
+        if memory is None:
+            memory = t_h_tilde
+        estimator = make_estimator(memory if memory > 0.0 else None)
+        controller = CertaintyEquivalentController(
+            capacity, p_q, min_sigma=min_sigma
+        )
+        try:
+            conservative = CertaintyEquivalentController.with_adjusted_target(
+                capacity,
+                p_q,
+                memory=memory,
+                correlation_time=correlation_time,
+                holding_time_scaled=t_h_tilde,
+                snr=snr,
+                min_sigma=min_sigma,
+            )
+        except ConvergenceError:
+            logger.warning(
+                "link %s: p_q=%g unreachable at T_m=%g; degraded mode uses "
+                "the most conservative representable target",
+                name, p_q, memory,
+            )
+            conservative = CertaintyEquivalentController(
+                capacity, alpha=_ALPHA_FLOOR, min_sigma=min_sigma
+            )
+            conservative.name = "max-conservative"
+        return cls(
+            name,
+            capacity=capacity,
+            holding_time=holding_time,
+            mean_rate=mean_rate,
+            feed=feed,
+            estimator=estimator,
+            controller=controller,
+            conservative_controller=conservative,
+            stale_horizon=stale_fraction * t_h_tilde,
+            registry=registry,
+        )
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Current occupancy."""
+        return self._n
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the link is currently in stale-feed degraded mode."""
+        return self._degraded
+
+    @property
+    def load_fraction(self) -> float:
+        """Nominal load ``N * mu / c`` (used by least-loaded placement)."""
+        return self._n * self.mean_rate / self.capacity
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-averaged measured aggregate over capacity."""
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.utilization_integral / (self.capacity * self.observed_time)
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Fraction of observed time with measured aggregate above capacity."""
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.overload_time / self.observed_time
+
+    def _current_estimate(self) -> BandwidthEstimate | None:
+        try:
+            return self.estimator.estimate()
+        except EstimatorError:
+            return None
+
+    def plain_target(self) -> float | None:
+        """Healthy-mode admissible count at the current estimate."""
+        estimate = self._current_estimate()
+        if estimate is None:
+            return None
+        return self.controller.target_count(estimate, self._n)
+
+    def conservative_target(self) -> float | None:
+        """Degraded-mode admissible count at the current estimate."""
+        estimate = self._current_estimate()
+        if estimate is None:
+            return None
+        return self.conservative_controller.target_count(estimate, self._n)
+
+    # -- clock / measurement ingest ----------------------------------------
+
+    def tick(self, now: float) -> bool:
+        """Advance the link clock to ``now`` and poll the feed.
+
+        Integrates the time-weighted statistics with the measured aggregate
+        held constant since the previous tick, ingests at most one fresh
+        cross-section per call, and re-evaluates the degradation state.
+        Returns ``True`` when a fresh measurement was ingested.
+        """
+        now = float(now)
+        if now < self._clock - 1e-9:
+            raise RuntimeStateError(
+                f"link {self.name}: clock cannot run backwards "
+                f"({now} < {self._clock})"
+            )
+        dt = max(0.0, now - self._clock)
+        if dt > 0.0 and self._last_aggregate is not None:
+            self.observed_time += dt
+            self.utilization_integral += self._last_aggregate * dt
+            if self._last_aggregate > self.capacity:
+                self.overload_time += dt
+            self._m_overflow.set(self.overflow_fraction)
+        self._clock = now
+
+        self.estimator.advance(now)
+        section = self.feed.measure(now, self._n)
+        fresh = section is not None
+        if fresh:
+            self.estimator.observe(section)
+            self._m_measurements.inc()
+            aggregate = section.mean * section.n
+            self._last_aggregate = aggregate
+            self._m_util.set(aggregate / self.capacity)
+            estimate = self._current_estimate()
+            if estimate is not None:
+                self._m_mu.set(estimate.mu)
+                self._m_sigma.set(estimate.sigma)
+
+        staleness = self.feed.staleness(now)
+        self._m_staleness.set(staleness)
+        stale = staleness > self.stale_horizon
+        if stale and not self._degraded:
+            self._degraded = True
+            self._m_degradations.inc()
+            logger.warning(
+                "link %s degraded: measurement %.3g old exceeds horizon %.3g",
+                self.name, staleness, self.stale_horizon,
+            )
+        elif not stale and self._degraded:
+            self._degraded = False
+            logger.info("link %s recovered: fresh measurements resumed", self.name)
+        return fresh
+
+    # -- request path ------------------------------------------------------
+
+    def admit(self, now: float) -> AdmissionDecision:
+        """Decide one flow-arrival request at time ``now``."""
+        t0 = time.perf_counter()
+        self.tick(now)
+        degraded = self._degraded
+        controller = self.conservative_controller if degraded else self.controller
+        estimate = self._current_estimate()
+
+        if estimate is None or (estimate.mu <= 0.0 and self._n == 0):
+            # Nothing measurable yet.  A healthy empty link bootstraps (the
+            # offline engines do the same: a zero estimate would freeze
+            # admission forever); a degraded link refuses blind admission.
+            if not degraded and self._n == 0:
+                admitted, reason, target = True, "bootstrap", math.nan
+            else:
+                admitted, reason, target = False, "no-measurement", math.nan
+        else:
+            target = controller.target_count(estimate, self._n)
+            admitted = self._n + 1 <= math.floor(target)
+            reason = "conservative-target" if degraded else "target"
+
+        if admitted:
+            self._n += 1
+            self._m_admits.inc()
+        else:
+            self._m_rejects.inc()
+        self._m_n.set(self._n)
+        if not math.isnan(target):
+            self._m_target.set(target)
+        self._m_latency.observe(time.perf_counter() - t0)
+        logger.debug(
+            "link %s admit(t=%.6g): %s (%s, target=%.6g, n=%d, degraded=%s)",
+            self.name, now, "accept" if admitted else "reject",
+            reason, target, self._n, degraded,
+        )
+        return AdmissionDecision(
+            admitted=admitted,
+            link=self.name,
+            reason=reason,
+            target=float(target),
+            n_flows=self._n,
+            degraded=degraded,
+        )
+
+    def depart(self, now: float) -> None:
+        """Record one flow departure at time ``now``."""
+        if self._n <= 0:
+            raise RuntimeStateError(f"link {self.name}: departure from empty link")
+        self.tick(now)
+        self._n -= 1
+        self._m_departs.inc()
+        self._m_n.set(self._n)

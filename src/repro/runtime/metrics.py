@@ -1,0 +1,237 @@
+"""Lightweight metrics registry for the online runtime.
+
+The gateway and its links are long-lived; operators need live visibility
+into admits, rejects, utilization, estimator state and decision latency
+without dragging in an external metrics stack.  This module provides the
+three classic instrument types -- :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` (fixed cumulative buckets, Prometheus-style) -- behind a
+:class:`MetricsRegistry` that hands out get-or-create instruments by name
+and exports a point-in-time snapshot as a plain dict (or JSON).
+
+Design constraints:
+
+* zero dependencies beyond the standard library (``bisect``, ``json``);
+* instruments are cheap enough to update on every admission decision
+  (a counter increment is one float add; a histogram observation is one
+  binary search plus three float ops);
+* snapshots are *values*, decoupled from the live instruments, so they can
+  be serialized, diffed or shipped without locking the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Geometric latency buckets (seconds): 1 us .. ~1 s, suitable for
+#: per-decision wall-clock timing.
+DEFAULT_LATENCY_BUCKETS = tuple(1e-6 * (10.0 ** (k / 3.0)) for k in range(19))
+
+
+class Counter:
+    """Monotonically increasing value (admits, rejects, degradations...)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0.0:
+            raise ParameterError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value (occupancy, mu_hat, staleness...)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = math.nan
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram with running summary statistics.
+
+    ``buckets`` are the *upper bounds* of each bucket, strictly increasing;
+    an implicit ``+inf`` bucket catches the tail.  Quantiles are estimated
+    by linear interpolation inside the owning bucket, which is exact enough
+    for latency reporting (the error is bounded by the bucket width).
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, help: str = "", buckets=DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ParameterError("buckets must be non-empty and increasing")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = overflow (+inf)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``), NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError("quantile must lie in [0, 1]")
+        if self._count == 0:
+            return math.nan
+        rank = q * self._count
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                lo = self.bounds[i - 1] if i > 0 else min(self._min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                lo = max(lo, self._min)
+                hi = min(hi, self._max)
+                if hi <= lo:
+                    return lo
+                return lo + (hi - lo) * (rank - previous) / count
+        return self._max  # pragma: no cover - defensive
+
+    def summary(self) -> dict:
+        """Summary statistics as a plain dict (used by snapshots)."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments plus snapshot export.
+
+    Names are free-form; the runtime uses dotted paths such as
+    ``"link.uplink0.admits"`` so snapshots group naturally.  Re-requesting
+    an existing name returns the same instrument; requesting it as a
+    different type raises :class:`~repro.errors.ParameterError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ParameterError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered instruments."""
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The live instrument registered under ``name`` (KeyError if none)."""
+        return self._instruments[name]
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every instrument, grouped by type."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.summary()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON rendering of :meth:`snapshot` (NaN-safe: NaN -> null)."""
+
+        def clean(obj):
+            if isinstance(obj, dict):
+                return {k: clean(v) for k, v in obj.items()}
+            if isinstance(obj, float) and not math.isfinite(obj):
+                return None
+            return obj
+
+        return json.dumps(clean(self.snapshot()), indent=indent, sort_keys=True)

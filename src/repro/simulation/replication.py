@@ -8,6 +8,9 @@ and pools.  This module provides that layer on top of
 
 * replication seeds come from one ``SeedSequence`` spawn, so streams are
   independent by construction;
+* replications run sequentially or on a ``ProcessPoolExecutor``
+  (``workers > 1``) with identical results either way -- the seeds are
+  fixed before any work is dispatched;
 * the paper-style point samples are pooled across replications
   (:meth:`OverflowRecorder.merge` semantics);
 * the replication-level spread of the per-run estimates yields a
@@ -16,30 +19,37 @@ and pools.  This module provides that layer on top of
 
 from __future__ import annotations
 
+import logging
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 import numpy as np
+from scipy import stats
 
 from repro.errors import ParameterError
 from repro.simulation.runner import SimulationConfig, SimulationResult, simulate
 
-__all__ = ["ReplicatedResult", "replicated_simulate"]
+__all__ = ["ReplicatedResult", "replicated_simulate", "t_quantile_95"]
 
-_T_95 = {  # two-sided 95% Student-t quantiles by degrees of freedom
-    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
-    30: 2.042, 60: 2.000,
-}
+logger = logging.getLogger(__name__)
 
 
-def _t_quantile(dof: int) -> float:
+def t_quantile_95(dof: float) -> float:
+    """Two-sided 95% Student-t quantile ``t_{0.975, dof}`` for any dof.
+
+    Smooth in ``dof`` (fractional degrees of freedom are fine), exact to
+    double precision via the regularized incomplete-beta inverse, and
+    converging to the Gaussian 1.96 asymptote as ``dof -> inf``.  Replaces
+    the coarse hardcoded table this module used to interpolate.
+    """
     if dof <= 0:
         return math.inf
-    for key in sorted(_T_95):
-        if dof <= key:
-            return _T_95[key]
-    return 1.96
+    return float(stats.t.ppf(0.975, dof))
+
+
+def _t_quantile(dof: float) -> float:
+    return t_quantile_95(dof)
 
 
 @dataclass(frozen=True)
@@ -77,7 +87,11 @@ class ReplicatedResult:
 
 
 def replicated_simulate(
-    config: SimulationConfig, n_replications: int, *, base_seed: int | None = None
+    config: SimulationConfig,
+    n_replications: int,
+    *,
+    base_seed: int | None = None,
+    workers: int = 1,
 ) -> ReplicatedResult:
     """Run ``n_replications`` independent copies of ``config`` and pool.
 
@@ -90,6 +104,12 @@ def replicated_simulate(
         Independent runs (>= 2 for a finite confidence interval).
     base_seed : int, optional
         Seed for the spawning ``SeedSequence`` (defaults to ``config.seed``).
+    workers : int
+        Process-pool width.  ``1`` (the default) runs in-process;
+        ``workers > 1`` fans the replications out over a
+        ``ProcessPoolExecutor``.  Results are bit-identical across worker
+        counts because every replication's seed is fixed up front and
+        results are collected in submission order.
 
     Notes
     -----
@@ -99,12 +119,24 @@ def replicated_simulate(
     """
     if n_replications < 1:
         raise ParameterError("n_replications must be at least 1")
+    if workers < 1:
+        raise ParameterError("workers must be at least 1")
     seq = np.random.SeedSequence(base_seed if base_seed is not None else config.seed)
     children = seq.spawn(n_replications)
-    results: list[SimulationResult] = []
-    for child in children:
-        seed = int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
-        results.append(simulate(replace(config, seed=seed)))
+    configs = [
+        replace(config, seed=int(child.generate_state(1, dtype=np.uint64)[0] >> 1))
+        for child in children
+    ]
+    workers = min(workers, n_replications)
+    if workers > 1:
+        logger.info(
+            "replicated_simulate: %d replications on %d workers",
+            n_replications, workers,
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results: list[SimulationResult] = list(pool.map(simulate, configs))
+    else:
+        results = [simulate(c) for c in configs]
 
     estimates = np.array([r.overflow_probability for r in results])
     mean = float(estimates.mean())

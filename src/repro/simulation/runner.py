@@ -10,6 +10,7 @@ exact time-weighted one.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
@@ -24,6 +25,8 @@ from repro.simulation.stats import TerminationRule
 from repro.traffic.base import TrafficSource
 
 __all__ = ["SimulationConfig", "SimulationResult", "simulate"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -215,8 +218,15 @@ def simulate(config: SimulationConfig) -> SimulationResult:
     warmup = (
         config.warmup if config.warmup is not None else 10.0 * sample_period
     )
+    logger.info(
+        "simulate: engine=%s n=%.3g T_h=%.3g T_m=%.3g sample_period=%.3g "
+        "warmup=%.3g max_time=%.3g seed=%s",
+        config.engine, config.system_size, config.holding_time, config.memory,
+        sample_period, warmup, config.max_time, config.seed,
+    )
     engine.run_until(warmup)
     engine.reset_statistics()
+    logger.debug("simulate: warm-up complete at t=%.6g", engine.time)
 
     p_q = config.p_q
     if p_q is None:
@@ -228,6 +238,11 @@ def simulate(config: SimulationConfig) -> SimulationResult:
     while engine.time < t_end:
         engine.run_until(min(engine.time + chunk, t_end))
         decision = rule.evaluate(engine.recorder)
+        logger.debug(
+            "simulate: t=%.6g samples=%d mean=%.3e stop=%s",
+            engine.time, engine.recorder.n_samples, engine.recorder.mean,
+            decision.stop,
+        )
         if decision.stop:
             break
 
@@ -245,6 +260,13 @@ def simulate(config: SimulationConfig) -> SimulationResult:
 
     gaussian_tail = (
         recorder.gaussian_tail_estimate() if recorder.n_samples >= 2 else None
+    )
+    logger.info(
+        "simulate: stop=%s p_f=%.4e samples=%d simulated=%.6g",
+        stop_reason,
+        float(estimate),
+        recorder.n_samples,
+        engine.link.observed_time,
     )
     link = engine.link
     elapsed = link.observed_time

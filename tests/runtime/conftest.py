@@ -1,0 +1,63 @@
+"""Shared helpers for the runtime test suite.
+
+The deterministic backbone: links built on memoryless estimators over a
+:class:`TraceFeed` of known cross-sections, so every admission target is a
+closed-form number (eqn (42)) the tests can compute independently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import CrossSection, MemorylessEstimator
+from repro.runtime.feed import TraceFeed
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+
+CAPACITY = 20.0
+HOLDING_TIME = 100.0
+P_PLAIN = 0.05
+ALPHA_CONSERVATIVE = 3.0
+STALE_HORIZON = 5.0
+
+
+def make_section(n=6, mean=1.0, var=0.09) -> CrossSection:
+    """A cross-section with exact moments (second moment made consistent)."""
+    m2 = mean * mean + var * (n - 1) / n if n else 0.0
+    return CrossSection(n=n, mean=mean, second_moment=m2, variance=var)
+
+
+def make_link(
+    name="test",
+    *,
+    sections=None,
+    cycle=True,
+    period=1.0,
+    capacity=CAPACITY,
+    stale_horizon=STALE_HORIZON,
+    registry=None,
+) -> ManagedLink:
+    """A link with closed-form targets: plain ~17.91, conservative ~16.36."""
+    if sections is None:
+        sections = [make_section()]
+    feed = TraceFeed(sections, period=period, cycle=cycle)
+    return ManagedLink(
+        name,
+        capacity=capacity,
+        holding_time=HOLDING_TIME,
+        mean_rate=1.0,
+        feed=feed,
+        estimator=MemorylessEstimator(),
+        controller=CertaintyEquivalentController(capacity, P_PLAIN),
+        conservative_controller=CertaintyEquivalentController(
+            capacity, alpha=ALPHA_CONSERVATIVE
+        ),
+        stale_horizon=stale_horizon,
+        registry=registry if registry is not None else MetricsRegistry(),
+    )
+
+
+@pytest.fixture
+def link() -> ManagedLink:
+    return make_link()

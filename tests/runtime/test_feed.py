@@ -1,0 +1,93 @@
+"""Tests for the measurement feeds."""
+
+import math
+
+import pytest
+
+from repro.core.estimators import CrossSection
+from repro.errors import ParameterError
+from repro.runtime.feed import SourceFeed, TraceFeed
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def section(n=4, mean=1.0, var=0.09) -> CrossSection:
+    m2 = mean * mean + var * (n - 1) / n if n else 0.0
+    return CrossSection(n=n, mean=mean, second_moment=m2, variance=var)
+
+
+class TestSourceFeed:
+    def test_emits_once_per_period(self):
+        feed = SourceFeed(paper_rcbr_source(), period=2.0, seed=1)
+        assert feed.measure(0.0, 5) is not None
+        assert feed.measure(1.0, 5) is None  # mid-epoch
+        assert feed.measure(2.0, 5) is not None
+        assert feed.last_measurement_time == 2.0
+
+    def test_cross_section_matches_occupancy(self):
+        feed = SourceFeed(paper_rcbr_source(), period=1.0, seed=2)
+        out = feed.measure(0.0, 7)
+        assert out.n == 7
+        assert out.mean > 0.0
+        assert out.variance >= 0.0
+
+    def test_empty_link_measures_empty_section(self):
+        feed = SourceFeed(paper_rcbr_source(), period=1.0, seed=3)
+        out = feed.measure(0.0, 0)
+        assert out.n == 0 and out.mean == 0.0
+
+    def test_staleness_tracks_age(self):
+        feed = SourceFeed(paper_rcbr_source(), period=1.0, seed=4)
+        assert math.isinf(feed.staleness(10.0))
+        feed.measure(0.0, 3)
+        assert feed.staleness(2.5) == pytest.approx(2.5)
+        feed.measure(3.0, 3)
+        assert feed.staleness(3.0) == 0.0
+
+    def test_pause_suppresses_and_ages(self):
+        feed = SourceFeed(paper_rcbr_source(), period=1.0, seed=5)
+        feed.measure(0.0, 3)
+        feed.pause()
+        assert feed.paused
+        assert feed.measure(5.0, 3) is None
+        assert feed.staleness(5.0) == pytest.approx(5.0)
+        feed.resume()
+        assert feed.measure(5.0, 3) is not None
+        assert feed.staleness(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SourceFeed(paper_rcbr_source(), period=0.0)
+
+
+class TestTraceFeed:
+    def test_replays_in_order(self):
+        sections = [section(mean=m) for m in (1.0, 2.0, 3.0)]
+        feed = TraceFeed(sections, period=1.0)
+        assert feed.measure(0.0, 9).mean == 1.0
+        assert feed.measure(1.0, 9).mean == 2.0
+        assert feed.measure(2.0, 9).mean == 3.0
+
+    def test_exhaustion_goes_stale(self):
+        feed = TraceFeed([section()], period=1.0)
+        assert feed.measure(0.0, 1) is not None
+        assert not feed.exhausted or feed.measure(1.0, 1) is None
+        assert feed.measure(1.0, 1) is None
+        assert feed.exhausted
+        assert feed.staleness(4.0) == pytest.approx(4.0)
+
+    def test_cycle_wraps_forever(self):
+        feed = TraceFeed([section(mean=1.0), section(mean=2.0)], period=1.0,
+                         cycle=True)
+        means = [feed.measure(float(t), 1).mean for t in range(5)]
+        assert means == [1.0, 2.0, 1.0, 2.0, 1.0]
+        assert not feed.exhausted
+
+    def test_accepts_rate_arrays(self):
+        feed = TraceFeed([[1.0, 2.0, 3.0]], period=1.0)
+        out = feed.measure(0.0, 3)
+        assert out.n == 3
+        assert out.mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TraceFeed([], period=1.0)

@@ -1,0 +1,120 @@
+"""Tests for the multi-link gateway and placement policies."""
+
+import pytest
+
+from repro.errors import ParameterError, RuntimeStateError
+from repro.runtime.gateway import (
+    AdmissionGateway,
+    HashPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+from .conftest import make_link
+
+
+def make_gateway(n_links=3, placement="least-loaded"):
+    registry = MetricsRegistry()
+    links = [
+        make_link(f"l{i}", registry=registry) for i in range(n_links)
+    ]
+    return AdmissionGateway(links, placement=placement, registry=registry)
+
+
+class TestPlacementPolicies:
+    def test_round_robin_cycles(self):
+        gateway = make_gateway(placement="round-robin")
+        decided = [gateway.admit(i, 1e-3 * (i + 1)).link for i in range(6)]
+        assert decided == ["l0", "l1", "l2", "l0", "l1", "l2"]
+
+    def test_hash_is_sticky_and_seed_independent(self):
+        policy = HashPlacement()
+        gateway = make_gateway(placement="hash")
+        first = policy.choose(gateway.links, "flow-42").name
+        assert all(
+            policy.choose(gateway.links, "flow-42").name == first
+            for _ in range(5)
+        )
+
+    def test_least_loaded_picks_emptiest(self):
+        gateway = make_gateway(placement="least-loaded")
+        # Load l0 and l1 by hand, leaving l2 empty.
+        gateway.link("l0").admit(1e-3)
+        gateway.link("l1").admit(2e-3)
+        decision = gateway.admit("new", 3e-3)
+        assert decision.link == "l2"
+
+    def test_make_placement(self):
+        assert isinstance(make_placement("round-robin"), RoundRobinPlacement)
+        policy = LeastLoadedPlacement()
+        assert make_placement(policy) is policy
+        with pytest.raises(ParameterError):
+            make_placement("nope")
+
+
+class TestGateway:
+    def test_tracks_flow_assignments(self):
+        gateway = make_gateway()
+        gateway.admit("a", 1e-3)
+        link = gateway.link_of("a")
+        assert link is not None
+        assert gateway.n_flows == 1
+        departed = gateway.depart("a", 2e-3)
+        assert departed is link
+        assert gateway.n_flows == 0
+        assert gateway.link_of("a") is None
+
+    def test_duplicate_admit_raises(self):
+        gateway = make_gateway()
+        gateway.admit("a", 1e-3)
+        with pytest.raises(RuntimeStateError):
+            gateway.admit("a", 2e-3)
+
+    def test_depart_unknown_flow_raises(self):
+        gateway = make_gateway()
+        with pytest.raises(RuntimeStateError):
+            gateway.depart("ghost", 1.0)
+
+    def test_rejected_flow_is_not_tracked(self):
+        gateway = make_gateway(n_links=1)
+        accepted = 0
+        for i in range(30):
+            if gateway.admit(i, 1e-3 * (i + 1)).admitted:
+                accepted += 1
+        assert gateway.n_flows == accepted == 17
+        snap = gateway.registry.snapshot()
+        assert snap["counters"]["gateway.admits"] == 17.0
+        assert snap["counters"]["gateway.rejects"] == 13.0
+
+    def test_tick_polls_every_link(self):
+        gateway = make_gateway()
+        assert gateway.tick(0.0) == 3  # all cyclic feeds emit at t=0
+        assert gateway.tick(0.5) == 0  # mid-epoch
+        assert gateway.tick(1.0) == 3
+
+    def test_snapshot_includes_per_link_summaries(self):
+        gateway = make_gateway()
+        gateway.tick(0.0)
+        snap = gateway.snapshot()
+        assert set(snap["links"]) == {"l0", "l1", "l2"}
+        for info in snap["links"].values():
+            assert {"n_flows", "degraded", "mean_utilization",
+                    "overflow_fraction", "load_fraction"} <= set(info)
+
+    def test_link_lookup(self):
+        gateway = make_gateway()
+        assert gateway.link("l1").name == "l1"
+        with pytest.raises(ParameterError):
+            gateway.link("missing")
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AdmissionGateway([])
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            AdmissionGateway(
+                [make_link("dup", registry=registry),
+                 make_link("dup", registry=MetricsRegistry())]
+            )

@@ -1,0 +1,214 @@
+"""Tests for ManagedLink: admission, degradation, recovery, accounting."""
+
+import math
+
+import pytest
+
+from repro.core.admission import admissible_flow_count, admissible_flow_count_alpha
+from repro.errors import ParameterError, RuntimeStateError
+from repro.runtime.feed import SourceFeed, TraceFeed
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+from repro.traffic.rcbr import paper_rcbr_source
+
+from .conftest import (
+    ALPHA_CONSERVATIVE,
+    CAPACITY,
+    P_PLAIN,
+    STALE_HORIZON,
+    make_link,
+    make_section,
+)
+
+PLAIN_TARGET = admissible_flow_count(1.0, 0.3, CAPACITY, P_PLAIN)  # ~17.91
+CONSERVATIVE_TARGET = admissible_flow_count_alpha(
+    1.0, 0.3, CAPACITY, ALPHA_CONSERVATIVE
+)  # ~16.36
+
+
+def fill(link, start=0.0, step=1e-3, attempts=50):
+    """Admit until the link refuses; returns accepted count and end time."""
+    t = start
+    accepted = 0
+    for _ in range(attempts):
+        t += step
+        if link.admit(t).admitted:
+            accepted += 1
+        else:
+            break
+    return accepted, t
+
+
+class TestHealthyAdmission:
+    def test_fills_to_plain_target(self, link):
+        accepted, _ = fill(link)
+        assert accepted == math.floor(PLAIN_TARGET) == 17
+        assert link.n_flows == 17
+
+    def test_reject_reports_target(self, link):
+        fill(link)
+        decision = link.admit(0.1)
+        assert not decision.admitted
+        assert decision.reason == "target"
+        assert decision.target == pytest.approx(PLAIN_TARGET, rel=1e-6)
+        assert not decision.degraded
+
+    def test_departure_frees_capacity(self, link):
+        fill(link)
+        link.depart(0.2)
+        assert link.n_flows == 16
+        assert link.admit(0.3).admitted
+
+    def test_depart_from_empty_raises(self, link):
+        with pytest.raises(RuntimeStateError):
+            link.depart(0.0)
+
+    def test_clock_cannot_run_backwards(self, link):
+        link.tick(5.0)
+        with pytest.raises(RuntimeStateError):
+            link.tick(1.0)
+
+    def test_bootstrap_on_measured_empty_system(self):
+        # First recorded measurement reports an empty system (mu = 0); a
+        # healthy empty link must still accept its first flow.
+        link = make_link(
+            sections=[make_section(n=0, mean=0.0, var=0.0), make_section()],
+            cycle=False,
+        )
+        first = link.admit(0.0)
+        assert first.admitted and first.reason == "bootstrap"
+        # Until a non-empty measurement arrives the zero estimate blocks.
+        assert not link.admit(0.5).admitted
+        # Next epoch measures the real section and admission resumes.
+        assert link.admit(1.0).admitted
+
+
+class TestDegradation:
+    def test_exhausted_feed_degrades_past_horizon(self):
+        link = make_link(cycle=False)  # single section, then silence
+        link.tick(0.0)
+        assert not link.degraded
+        link.tick(STALE_HORIZON + 0.5)
+        assert link.degraded
+
+    def test_degraded_admission_uses_conservative_target(self):
+        link = make_link(cycle=False)
+        accepted, t = fill(link)  # healthy fill to 17
+        assert accepted == 17
+        decision = link.admit(t + STALE_HORIZON + 1.0)
+        assert decision.degraded
+        assert decision.reason == "conservative-target"
+        assert decision.target == pytest.approx(CONSERVATIVE_TARGET, rel=1e-6)
+        assert not decision.admitted  # 17 >= floor(16.36)
+
+    def test_degraded_admits_below_conservative_target(self):
+        link = make_link(cycle=False)
+        link.tick(0.0)  # ingest the only measurement
+        now = STALE_HORIZON + 1.0
+        accepted = sum(
+            link.admit(now + 1e-3 * i).admitted for i in range(40)
+        )
+        assert accepted == math.floor(CONSERVATIVE_TARGET) == 16
+
+    def test_recovers_when_measurements_resume(self):
+        link = make_link()  # cyclic feed
+        link.tick(0.0)
+        link.feed.pause()
+        link.tick(STALE_HORIZON + 1.0)
+        assert link.degraded
+        registry_count = link.registry.snapshot()["counters"]
+        assert registry_count["link.test.degradations"] == 1.0
+        link.feed.resume()
+        link.tick(STALE_HORIZON + 2.0)
+        assert not link.degraded
+        decision = link.admit(STALE_HORIZON + 2.1)
+        assert decision.admitted and decision.reason == "target"
+
+    def test_never_measured_link_rejects(self):
+        link = make_link()
+        link.feed.pause()  # nothing ever emitted
+        decision = link.admit(0.5)
+        assert not decision.admitted
+        assert decision.reason == "no-measurement"
+        assert decision.degraded
+        assert math.isnan(decision.target)
+
+    def test_targets_ordered(self, link):
+        link.tick(0.0)
+        assert link.conservative_target() < link.plain_target()
+
+
+class TestAccounting:
+    def test_utilization_and_overflow_fractions(self):
+        # Aggregate 30 > capacity 20: permanently overloaded measurements.
+        link = make_link(sections=[make_section(n=30, mean=1.0)], cycle=True)
+        link.tick(0.0)
+        link.tick(10.0)
+        assert link.observed_time == pytest.approx(10.0)
+        assert link.mean_utilization == pytest.approx(30.0 / CAPACITY)
+        assert link.overflow_fraction == pytest.approx(1.0)
+
+    def test_metrics_recorded(self, link):
+        registry = link.registry
+        fill(link)  # 17 admits + the terminating reject = 18 decisions
+        link.depart(0.3)
+        snap = registry.snapshot()
+        assert snap["counters"]["link.test.admits"] == 17.0
+        assert snap["counters"]["link.test.rejects"] == 1.0
+        assert snap["counters"]["link.test.departures"] == 1.0
+        assert snap["gauges"]["link.test.n_flows"] == 16.0
+        assert snap["gauges"]["link.test.mu_hat"] == pytest.approx(1.0)
+        assert snap["histograms"]["link.test.decision_latency"]["count"] == 18
+
+    def test_load_fraction(self, link):
+        fill(link)
+        assert link.load_fraction == pytest.approx(17.0 / CAPACITY)
+
+
+class TestBuild:
+    def test_build_from_design_parameters(self):
+        source = paper_rcbr_source()
+        feed = SourceFeed(source, period=1.0, seed=0)
+        link = ManagedLink.build(
+            "built",
+            capacity=100.0,
+            holding_time=500.0,
+            feed=feed,
+            p_q=1e-2,
+            snr=0.3,
+            correlation_time=1.0,
+        )
+        t_h_tilde = 500.0 / math.sqrt(100.0 / source.mean)
+        assert link.holding_time_scaled == pytest.approx(t_h_tilde)
+        assert link.stale_horizon == pytest.approx(t_h_tilde)
+        # The degraded-mode target must be strictly more conservative.
+        assert link.conservative_controller.p_ce < link.controller.p_ce
+
+    def test_build_requires_mean_rate_for_trace_feeds(self):
+        feed = TraceFeed([make_section()], period=1.0)
+        with pytest.raises(ParameterError):
+            ManagedLink.build(
+                "t", capacity=10.0, holding_time=10.0, feed=feed,
+                p_q=1e-2, snr=0.3, correlation_time=1.0,
+            )
+
+    def test_build_shares_registry(self):
+        registry = MetricsRegistry()
+        feed = SourceFeed(paper_rcbr_source(), period=1.0)
+        link = ManagedLink.build(
+            "shared", capacity=50.0, holding_time=100.0, feed=feed,
+            p_q=1e-2, snr=0.3, correlation_time=1.0, registry=registry,
+        )
+        assert link.registry is registry
+        assert "link.shared.admits" in registry.names()
+
+    def test_validation(self):
+        feed = TraceFeed([make_section()], period=1.0)
+        with pytest.raises(ParameterError):
+            make_link(stale_horizon=0.0)
+        with pytest.raises(ParameterError):
+            ManagedLink.build(
+                "bad", capacity=10.0, holding_time=10.0, feed=feed,
+                p_q=1e-2, snr=0.3, correlation_time=1.0, mean_rate=1.0,
+                stale_fraction=-1.0,
+            )

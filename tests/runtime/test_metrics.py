@@ -1,0 +1,121 @@
+"""Tests for the runtime metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        assert math.isnan(gauge.value)
+        gauge.set(4.0)
+        gauge.set(-2.0)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(13.0)
+        assert histogram.mean == pytest.approx(3.25)
+        assert histogram.min == 0.5
+        assert histogram.max == 8.0
+
+    def test_quantiles_bounded_by_observations(self):
+        histogram = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.002, 0.003, 0.02, 0.05, 0.3):
+            histogram.observe(value)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            estimate = histogram.quantile(q)
+            assert 0.002 <= estimate <= 0.3
+
+    def test_quantile_monotone_in_q(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 2.5, 3.0, 5.0, 7.0, 9.0):
+            histogram.observe(value)
+        values = [histogram.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=())
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ParameterError):
+            Histogram("h", buckets=(1.0,)).quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x.admits")
+        b = registry.counter("x.admits")
+        assert a is b
+        a.inc()
+        assert registry.counter("x.admits").value == 1.0
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ParameterError):
+            registry.gauge("name")
+
+    def test_snapshot_groups_by_type(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(0.5)
+        registry.histogram("c", buckets=(1.0,)).observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2.0}
+        assert snap["gauges"] == {"b": 0.5}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_snapshot_is_decoupled_from_live_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        snap = registry.snapshot()
+        counter.inc()
+        assert snap["counters"]["a"] == 0.0
+
+    def test_json_roundtrip_nan_safe(self):
+        registry = MetricsRegistry()
+        registry.gauge("unset")  # NaN
+        registry.counter("hits").inc()
+        payload = json.loads(registry.to_json())
+        assert payload["gauges"]["unset"] is None
+        assert payload["counters"]["hits"] == 1.0
+
+    def test_names_and_get(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert isinstance(registry.get("a"), Gauge)
+        with pytest.raises(KeyError):
+            registry.get("missing")

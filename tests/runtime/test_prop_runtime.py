@@ -1,0 +1,89 @@
+"""Property test for the runtime's degradation safety invariant.
+
+The contract the stale-feed degradation exists to honour: once a gateway's
+measurement plane goes silent for good, **no link ever admits above the
+conservative adjusted-``p_ce`` target** -- whatever the arrival/departure
+sequence does.  Flows admitted before the feed died may leave occupancy
+above the conservative count; the invariant is about *new* admissions.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import admissible_flow_count_alpha
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.metrics import MetricsRegistry
+
+from .conftest import ALPHA_CONSERVATIVE, CAPACITY, STALE_HORIZON, make_link
+
+#: The degraded-mode admissible count for the frozen (memoryless) estimate
+#: every link in this suite ends up holding: mu=1, sigma=0.3.
+CONSERVATIVE_FLOOR = math.floor(
+    admissible_flow_count_alpha(1.0, 0.3, CAPACITY, ALPHA_CONSERVATIVE)
+)
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=20.0),  # time increment
+        st.booleans(),  # True -> try a departure first
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=steps, warm_arrivals=st.integers(min_value=0, max_value=40))
+def test_stale_gateway_never_admits_above_conservative_target(
+    steps, warm_arrivals
+):
+    registry = MetricsRegistry()
+    links = [
+        make_link(f"l{i}", cycle=False, registry=registry) for i in range(2)
+    ]
+    gateway = AdmissionGateway(links, placement="least-loaded",
+                               registry=registry)
+
+    # Healthy phase: the single recorded measurement arrives, then an
+    # arbitrary number of flows race in while it is still fresh.
+    gateway.tick(0.0)
+    flow_id = 0
+    active = []
+    t = 0.0
+    for _ in range(warm_arrivals):
+        t += 1e-3
+        if gateway.admit(flow_id, t).admitted:
+            active.append(flow_id)
+        flow_id += 1
+
+    # The feeds are exhausted: from here staleness only grows.  Jump past
+    # the horizon and replay an arbitrary arrival/departure schedule.
+    occupancy_at_stale = {link.name: link.n_flows for link in gateway.links}
+    t = STALE_HORIZON + 1.0
+    for dt, depart_first in steps:
+        t += dt
+        if depart_first and active:
+            gateway.depart(active.pop(0), t)
+        decision = gateway.admit(flow_id, t)
+        flow_id += 1
+
+        assert decision.degraded, "past the horizon every decision is degraded"
+        if decision.admitted:
+            active.append(flow_id - 1)
+            assert decision.reason == "conservative-target"
+            assert decision.n_flows <= CONSERVATIVE_FLOOR
+        # Whether admitted or not, no link may ever be pushed above the
+        # conservative count by a degraded-mode admission; occupancy above
+        # it can only be a leftover from the healthy phase, draining down.
+        for link in gateway.links:
+            assert link.n_flows <= max(
+                CONSERVATIVE_FLOOR, occupancy_at_stale[link.name]
+            )
+
+    # The degradation was observed and recorded at least once per used link.
+    counters = registry.snapshot()["counters"]
+    assert (
+        counters["link.l0.degradations"] + counters["link.l1.degradations"] > 0
+    )

@@ -1,0 +1,106 @@
+"""Tests for the replay workload driver."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.feed import SourceFeed
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.replay import FeedOutage, replay
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+def make_gateway(n_links=2, n=30.0, holding_time=100.0, stale_fraction=1.0):
+    registry = MetricsRegistry()
+    links = []
+    for i in range(n_links):
+        source = paper_rcbr_source()
+        feed = SourceFeed(source, period=1.0, seed=10 + i)
+        links.append(
+            ManagedLink.build(
+                f"link{i}",
+                capacity=n * source.mean,
+                holding_time=holding_time,
+                feed=feed,
+                p_q=1e-2,
+                snr=0.3,
+                correlation_time=1.0,
+                stale_fraction=stale_fraction,
+                registry=registry,
+            )
+        )
+    return AdmissionGateway(links, registry=registry)
+
+
+class TestReplay:
+    def test_event_accounting(self):
+        gateway = make_gateway()
+        report = replay(
+            gateway,
+            n_events=3000,
+            arrival_rate=1.0,
+            holding_time=100.0,
+            tick_period=1.0,
+            seed=4,
+        )
+        assert report.events == 3000
+        assert report.events == report.arrivals + report.departures + report.ticks
+        assert report.arrivals == report.admitted + report.rejected
+        assert report.final_flows == report.admitted - report.departures
+        assert report.final_flows == gateway.n_flows
+        assert report.decisions_per_sec > 0.0
+        assert report.simulated_time > 0.0
+
+    def test_reproducible_workload(self):
+        a = replay(make_gateway(), n_events=1500, arrival_rate=1.0,
+                   holding_time=100.0, tick_period=1.0, seed=7)
+        b = replay(make_gateway(), n_events=1500, arrival_rate=1.0,
+                   holding_time=100.0, tick_period=1.0, seed=7)
+        assert (a.admitted, a.rejected, a.departures) == (
+            b.admitted, b.rejected, b.departures
+        )
+
+    def test_snapshot_covers_all_links(self):
+        report = replay(make_gateway(), n_events=800, arrival_rate=1.0,
+                        holding_time=100.0, tick_period=1.0, seed=0)
+        assert set(report.metrics["links"]) == {"link0", "link1"}
+        counters = report.metrics["counters"]
+        total_admits = (
+            counters["link.link0.admits"] + counters["link.link1.admits"]
+        )
+        assert total_admits == report.admitted
+
+    def test_outage_triggers_degradation(self):
+        # Small stale fraction so the outage comfortably exceeds the horizon.
+        gateway = make_gateway(stale_fraction=0.2)
+        horizon = gateway.link("link0").stale_horizon
+        report = replay(
+            gateway,
+            n_events=6000,
+            arrival_rate=1.0,
+            holding_time=100.0,
+            tick_period=1.0,
+            seed=2,
+            outages=[FeedOutage("link0", start=50.0, duration=4.0 * horizon)],
+        )
+        counters = report.metrics["counters"]
+        assert counters["link.link0.degradations"] >= 1.0
+        assert counters["link.link1.degradations"] == 0.0
+        # The run outlives the outage, so the link must have recovered.
+        assert not gateway.link("link0").degraded
+
+    def test_validation(self):
+        gateway = make_gateway()
+        with pytest.raises(ParameterError):
+            replay(gateway, n_events=0, arrival_rate=1.0, holding_time=1.0,
+                   tick_period=1.0)
+        with pytest.raises(ParameterError):
+            replay(gateway, n_events=10, arrival_rate=0.0, holding_time=1.0,
+                   tick_period=1.0)
+        with pytest.raises(ParameterError):
+            replay(gateway, n_events=10, arrival_rate=1.0, holding_time=1.0,
+                   tick_period=1.0,
+                   outages=[FeedOutage("missing", start=1.0, duration=1.0)])
+        with pytest.raises(ParameterError):
+            FeedOutage("link0", start=-1.0, duration=1.0)

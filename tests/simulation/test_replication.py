@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import ParameterError
-from repro.simulation.replication import replicated_simulate
+from repro.simulation.replication import replicated_simulate, t_quantile_95
 from repro.simulation.runner import SimulationConfig
 from repro.traffic.rcbr import paper_rcbr_source
 
@@ -71,5 +71,50 @@ class TestReplicatedSimulate:
         estimates = np.array(
             [r.overflow_probability for r in result.replications]
         )
-        expected = 4.303 * estimates.std(ddof=1) / math.sqrt(3)
+        expected = t_quantile_95(2) * estimates.std(ddof=1) / math.sqrt(3)
         assert result.ci_halfwidth == pytest.approx(expected, rel=1e-9)
+
+    def test_workers_match_sequential(self):
+        """Process-pool fan-out must be bit-identical to in-process runs."""
+        sequential = replicated_simulate(config(), n_replications=2, base_seed=9)
+        parallel = replicated_simulate(
+            config(), n_replications=2, base_seed=9, workers=2
+        )
+        assert parallel.overflow_probability == sequential.overflow_probability
+        assert parallel.ci_halfwidth == sequential.ci_halfwidth
+        assert [r.n_samples for r in parallel.replications] == [
+            r.n_samples for r in sequential.replications
+        ]
+
+    def test_workers_validation(self):
+        with pytest.raises(ParameterError):
+            replicated_simulate(config(), n_replications=2, workers=0)
+
+
+class TestTQuantile:
+    #: Two-sided 95% Student-t table values (rounded to 3 decimals).
+    TABLE = {
+        1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+        30: 2.042, 60: 2.000,
+    }
+
+    @pytest.mark.parametrize("dof,expected", sorted(TABLE.items()))
+    def test_matches_table(self, dof, expected):
+        assert t_quantile_95(dof) == pytest.approx(expected, abs=5e-4)
+
+    def test_gaussian_asymptote(self):
+        assert t_quantile_95(1e9) == pytest.approx(1.959964, abs=1e-4)
+
+    def test_smooth_in_dof(self):
+        """Strictly decreasing and continuous across fractional dof."""
+        grid = [1.0, 1.5, 2.0, 2.5, 3.0, 4.5, 10.0, 33.3, 100.0]
+        values = [t_quantile_95(d) for d in grid]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert t_quantile_95(2.5) == pytest.approx(
+            (t_quantile_95(2.499) + t_quantile_95(2.501)) / 2.0, rel=1e-4
+        )
+
+    def test_degenerate_dof(self):
+        assert math.isinf(t_quantile_95(0))
+        assert math.isinf(t_quantile_95(-3))

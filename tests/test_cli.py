@@ -25,6 +25,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["design"])
 
+    def test_serve_replay_defaults(self):
+        args = build_parser().parse_args(["serve-replay"])
+        assert args.links == 4
+        assert args.events == 100_000
+        assert args.policy == "least-loaded"
+        assert args.memory is None  # the rule is applied downstream
+        assert args.outage == []
+
+    def test_verbose_is_global_and_repeatable(self):
+        args = build_parser().parse_args(["-vv", "serve-replay"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["list"])
+        assert args.verbose == 0
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -68,6 +82,52 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "p_ce" in out
+
+    def test_serve_replay_smoke(self, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--links", "2",
+                "--n", "30",
+                "--holding-time", "100",
+                "--events", "4000",
+                "--seed", "1",
+                "--outage", "link0:50:200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decisions/s" in out
+        assert "link0" in out and "link1" in out
+        assert "admits" in out and "rejects" in out and "util" in out
+        assert "degradations 1" in out  # the outage must have fired
+
+    def test_serve_replay_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "serve-replay",
+                "--links", "2",
+                "--n", "20",
+                "--holding-time", "50",
+                "--events", "1000",
+                "--policy", "hash",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 1000
+        assert payload["admitted"] + payload["rejected"] == payload["arrivals"]
+        assert set(payload["links"]) == {"link0", "link1"}
+        assert "gateway.admits" in payload["metrics"]["counters"]
+
+    def test_serve_replay_bad_outage(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["serve-replay", "--events", "10", "--outage", "nope"])
 
     @pytest.mark.slow
     def test_simulate_smoke(self, capsys):
