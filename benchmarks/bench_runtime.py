@@ -1,10 +1,36 @@
 """Bench the online runtime: gateway decisions/sec under replay load.
 
 Unlike the figure benches this one has no paper series to regenerate; it
-measures the serving capacity of the new runtime -- the headline number
-(``decisions/sec``) the scaling PRs (async ingest, multi-process sharding)
-will be judged against.
+measures the serving capacity of the runtime -- the headline numbers
+(sequential and batched ``decisions/sec``, single- and batched-decision
+latency) the scaling PRs are judged against.
+
+Two entry points:
+
+* **pytest** (``pytest benchmarks/bench_runtime.py``): the usual
+  pytest-benchmark kernels.
+* **script** (``python benchmarks/bench_runtime.py --json``): runs the
+  same workloads once, prints a JSON report, and -- with ``--check`` --
+  diffs the throughputs against the committed baseline
+  ``BENCH_runtime.json`` at the repo root, exiting non-zero only on a
+  >2x regression.  ``--write-baseline`` regenerates the baseline file
+  (see docs/runtime.md for the workflow).
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # script execution without an installed package / PYTHONPATH
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - environment-dependent
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.runtime import (
     AdmissionGateway,
@@ -15,8 +41,22 @@ from repro.runtime import (
 )
 from repro.traffic.rcbr import paper_rcbr_source
 
+BASELINE_PATH = _REPO_ROOT / "BENCH_runtime.json"
 
-def _make_gateway(n_links=4, n=100.0, holding_time=500.0, policy="least-loaded"):
+#: Burst size the batched-vs-sequential comparison is quoted at.
+BURST = 64
+#: Arrival intensity chosen so one batch window of ``BURST/ARRIVAL_RATE``
+#: time units carries ``BURST`` arrivals on average.
+ARRIVAL_RATE = 32.0
+TICK_PERIOD = 2.0
+HOLDING_TIME = 500.0
+REPLAY_EVENTS = 40_000
+#: A throughput below ``baseline / REGRESSION_FACTOR`` fails the gate.
+REGRESSION_FACTOR = 2.0
+
+
+def _make_gateway(n_links=4, n=100.0, holding_time=HOLDING_TIME,
+                  policy="least-loaded", seed=0):
     registry = MetricsRegistry()
     links = []
     for i in range(n_links):
@@ -26,7 +66,7 @@ def _make_gateway(n_links=4, n=100.0, holding_time=500.0, policy="least-loaded")
                 f"link{i}",
                 capacity=n * source.mean,
                 holding_time=holding_time,
-                feed=SourceFeed(source, period=2.0, seed=i),
+                feed=SourceFeed(source, period=TICK_PERIOD, seed=seed * 1000 + i),
                 p_q=1e-2,
                 snr=0.3,
                 correlation_time=1.0,
@@ -36,38 +76,229 @@ def _make_gateway(n_links=4, n=100.0, holding_time=500.0, policy="least-loaded")
     return AdmissionGateway(links, placement=policy, registry=registry)
 
 
+def _replay_kwargs(batch_window=None):
+    return dict(
+        n_events=REPLAY_EVENTS,
+        arrival_rate=ARRIVAL_RATE,
+        holding_time=HOLDING_TIME,
+        tick_period=TICK_PERIOD,
+        seed=0,
+        batch_window=batch_window,
+    )
+
+
+def _quantiles_us(samples):
+    ordered = sorted(samples)
+
+    def q(frac):
+        rank = max(1, math.ceil(frac * len(ordered)))
+        return ordered[rank - 1] * 1e6
+
+    return {"p50_us": q(0.50), "p99_us": q(0.99)}
+
+
+def _warm_gateway():
+    """A single-link gateway driven to its operating point."""
+    gateway = _make_gateway(n_links=1)
+    clock = 0.0
+    for i in range(200):
+        clock += 0.05
+        gateway.tick(clock)
+        if not gateway.admit(("warm", i), clock).admitted:
+            break
+    return gateway, clock
+
+
+def measure_single_latency(rounds=3000):
+    """Per-decision admit() wall-clock samples on a warm link."""
+    gateway, clock = _warm_gateway()
+    samples = []
+    flow_id = 1_000_000
+    for _ in range(rounds):
+        clock += 0.01
+        t0 = time.perf_counter()
+        decision = gateway.admit(flow_id, clock)
+        samples.append(time.perf_counter() - t0)
+        if decision.admitted:
+            gateway.depart(flow_id, clock)
+        flow_id += 1
+    return samples
+
+
+def measure_batched_latency(rounds=300, burst=BURST):
+    """Per-decision admit_many() wall-clock samples (burst cost / burst)."""
+    gateway, clock = _warm_gateway()
+    samples = []
+    next_id = 2_000_000
+    for _ in range(rounds):
+        clock += 0.01
+        flow_ids = list(range(next_id, next_id + burst))
+        next_id += burst
+        t0 = time.perf_counter()
+        decisions = gateway.admit_many(flow_ids, clock)
+        samples.append((time.perf_counter() - t0) / burst)
+        admitted = [f for f, d in zip(flow_ids, decisions) if d.admitted]
+        if admitted:
+            gateway.depart_many(admitted, clock)
+    return samples
+
+
+def run_benchmarks(burst=BURST):
+    """Run the full suite once and return the report dict."""
+    sequential = replay(_make_gateway(seed=0), **_replay_kwargs())
+    window = burst / ARRIVAL_RATE
+    batched = replay(
+        _make_gateway(seed=0), **_replay_kwargs(batch_window=window)
+    )
+    speedup = (
+        batched.decisions_per_sec / sequential.decisions_per_sec
+        if sequential.decisions_per_sec > 0
+        else float("inf")
+    )
+    return {
+        "schema": "bench-runtime/v1",
+        "config": {
+            "events": REPLAY_EVENTS,
+            "burst": burst,
+            "batch_window": window,
+            "arrival_rate": ARRIVAL_RATE,
+            "tick_period": TICK_PERIOD,
+            "holding_time": HOLDING_TIME,
+            "links": 4,
+            "seed": 0,
+        },
+        "replay": {
+            "sequential": {
+                "decisions_per_sec": sequential.decisions_per_sec,
+                "events_per_sec": sequential.events_per_sec,
+                "admitted": sequential.admitted,
+                "rejected": sequential.rejected,
+            },
+            "batched": {
+                "decisions_per_sec": batched.decisions_per_sec,
+                "events_per_sec": batched.events_per_sec,
+                "admitted": batched.admitted,
+                "rejected": batched.rejected,
+                "batches": batched.batches,
+                "mean_burst": batched.arrivals / max(1, batched.batches),
+            },
+            "batched_speedup": speedup,
+        },
+        "latency": {
+            "single": _quantiles_us(measure_single_latency()),
+            "batched_per_decision": _quantiles_us(measure_batched_latency()),
+        },
+    }
+
+
+def check_against_baseline(report, baseline):
+    """Return a list of regression messages (empty = gate passes)."""
+    problems = []
+    for mode in ("sequential", "batched"):
+        ref = baseline.get("replay", {}).get(mode, {}).get("decisions_per_sec")
+        if not ref:
+            problems.append(f"baseline has no {mode} throughput; regenerate it")
+            continue
+        current = report["replay"][mode]["decisions_per_sec"]
+        if current < ref / REGRESSION_FACTOR:
+            problems.append(
+                f"{mode} replay throughput regressed >{REGRESSION_FACTOR:g}x: "
+                f"{current:,.0f} decisions/s vs baseline {ref:,.0f}"
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"diff against {BASELINE_PATH.name}; exit 1 on a "
+        f">{REGRESSION_FACTOR:g}x throughput regression",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the report to {BASELINE_PATH.name}",
+    )
+    parser.add_argument("--burst", type=int, default=BURST)
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(burst=args.burst)
+    if args.json or not (args.check or args.write_baseline):
+        print(json.dumps(report, indent=2, sort_keys=True))
+    if args.write_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline written: {BASELINE_PATH}", file=sys.stderr)
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no baseline at {BASELINE_PATH}; run --write-baseline",
+                  file=sys.stderr)
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())
+        problems = check_against_baseline(report, baseline)
+        seq = report["replay"]["sequential"]["decisions_per_sec"]
+        bat = report["replay"]["batched"]["decisions_per_sec"]
+        print(
+            f"bench gate: sequential {seq:,.0f} dec/s, batched {bat:,.0f} "
+            f"dec/s (speedup {report['replay']['batched_speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("bench gate: OK (within the "
+              f"{REGRESSION_FACTOR:g}x envelope)", file=sys.stderr)
+    return 0
+
+
+# -- pytest-benchmark kernels -------------------------------------------------
+
+
 def test_replay_throughput(benchmark, emit):
-    """Time a 50k-event replay through a 4-link gateway."""
+    """Time a 40k-event sequential replay through a 4-link gateway."""
+
+    def kernel():
+        return replay(_make_gateway(seed=0), **_replay_kwargs())
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   sequential replay: {report.decisions_per_sec:,.0f} decisions/s, "
+         f"{report.events_per_sec:,.0f} events/s "
+         f"({report.admitted} admits / {report.rejected} rejects)")
+    assert report.events >= REPLAY_EVENTS
+    assert report.admitted > 0 and report.rejected >= 0
+
+
+def test_batched_replay_throughput(benchmark, emit):
+    """Time the same workload drained through admit_many bursts of ~64."""
+    window = BURST / ARRIVAL_RATE
 
     def kernel():
         return replay(
-            _make_gateway(),
-            n_events=50_000,
-            arrival_rate=1.3 * 4 * 100.0 / 500.0,
-            holding_time=500.0,
-            tick_period=2.0,
-            seed=0,
+            _make_gateway(seed=0), **_replay_kwargs(batch_window=window)
         )
 
     report = benchmark.pedantic(kernel, rounds=3, iterations=1)
     emit("")
-    emit(f"   runtime replay: {report.decisions_per_sec:,.0f} decisions/s, "
-         f"{report.events_per_sec:,.0f} events/s "
-         f"({report.admitted} admits / {report.rejected} rejects)")
-    assert report.events == 50_000
-    assert report.admitted > 0 and report.rejected >= 0
+    emit(f"   batched replay:    {report.decisions_per_sec:,.0f} decisions/s "
+         f"({report.batches} bursts, mean "
+         f"{report.arrivals / max(1, report.batches):.1f} arrivals/burst)")
+    assert report.events >= REPLAY_EVENTS
+    assert report.batches > 0
+    assert report.admitted > 0
 
 
 def test_single_decision_latency(benchmark):
     """Time one warm admit/depart round-trip on a loaded link."""
-    gateway = _make_gateway(n_links=1)
-    # Warm up: fill to the operating point.
-    clock = [0.0]
-    for i in range(200):
-        clock[0] += 0.05
-        gateway.tick(clock[0])
-        if not gateway.admit(("warm", i), clock[0]).admitted:
-            break
+    gateway, clock_start = _warm_gateway()
+    clock = [clock_start]
     flow_seq = [100_000]
 
     def kernel():
@@ -81,3 +312,27 @@ def test_single_decision_latency(benchmark):
 
     decision = benchmark(kernel)
     assert decision.link == "link0"
+
+
+def test_batched_decision_latency(benchmark):
+    """Time one warm admit_many/depart_many burst of 64 requests."""
+    gateway, clock_start = _warm_gateway()
+    clock = [clock_start]
+    flow_seq = [500_000]
+
+    def kernel():
+        clock[0] += 0.01
+        flow_ids = list(range(flow_seq[0], flow_seq[0] + BURST))
+        flow_seq[0] += BURST
+        decisions = gateway.admit_many(flow_ids, clock[0])
+        admitted = [f for f, d in zip(flow_ids, decisions) if d.admitted]
+        if admitted:
+            gateway.depart_many(admitted, clock[0])
+        return decisions
+
+    decisions = benchmark(kernel)
+    assert len(decisions) == BURST
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -27,6 +27,23 @@ BENCH_QUALITY = os.environ.get("REPRO_BENCH_QUALITY", "standard")
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+@pytest.fixture(autouse=True)
+def _pin_global_seeds():
+    """Pin the global RNGs before every benchmark.
+
+    The runtime itself only uses explicitly seeded generators, but the
+    bench-regression gate compares decisions/sec across runs, so any
+    library code that falls back to the global ``random`` / legacy numpy
+    state must see the same stream every time.
+    """
+    import random
+
+    import numpy as np
+
+    random.seed(BENCH_SEED)
+    np.random.seed(BENCH_SEED)
+
+
 @pytest.fixture(scope="session")
 def emit(request):
     """Write a line to the real stdout, bypassing output capture.

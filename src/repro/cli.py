@@ -179,6 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="pause LINK's measurement feed at START for DURATION "
         "(repeatable; links are named link0..linkN-1)",
     )
+    serve.add_argument(
+        "--batch",
+        action="store_true",
+        help="batched arrival mode: quantize requests onto a window grid "
+        "and resolve each instant with one admit_many burst",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="W",
+        help="batching window for --batch (default: the tick period); "
+        "implies --batch when given",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--json", action="store_true", help="print the full snapshot as JSON"
@@ -351,6 +365,10 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     if arrival_rate is None:
         arrival_rate = 1.3 * args.links * args.n / args.holding_time
 
+    batch_window = args.batch_window
+    if batch_window is None and args.batch:
+        batch_window = tick_period
+
     report = replay(
         gateway,
         n_events=args.events,
@@ -359,6 +377,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         tick_period=tick_period,
         seed=args.seed,
         outages=_parse_outages(args.outage),
+        batch_window=batch_window,
     )
 
     if args.json:
@@ -374,6 +393,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             "decisions_per_sec": report.decisions_per_sec,
             "events_per_sec": report.events_per_sec,
             "final_flows": report.final_flows,
+            "batches": report.batches,
             "metrics": json.loads(registry.to_json()),
             "links": report.metrics["links"],
         }
@@ -388,6 +408,10 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     print(f"events replayed      : {report.events} "
           f"({report.arrivals} arrivals, {report.departures} departures, "
           f"{report.ticks} ticks)")
+    if batch_window is not None:
+        mean_burst = report.arrivals / max(1, report.batches)
+        print(f"batched arrivals     : {report.batches} bursts "
+              f"(window {batch_window:g}, mean burst {mean_burst:.1f})")
     print(f"decisions            : {report.admitted} admitted, "
           f"{report.rejected} rejected "
           f"({report.admitted / max(1, report.arrivals):.1%} admit rate)")

@@ -80,11 +80,26 @@ class CrossSection:
 
 
 def cross_section(rates) -> CrossSection:
-    """Compute a :class:`CrossSection` from an array of per-flow rates."""
+    """Compute a :class:`CrossSection` from an array of per-flow rates.
+
+    Raises
+    ------
+    EstimatorError
+        If any rate is NaN, infinite or negative.  A cross-section is a
+        physical measurement of flow bandwidths; non-finite or negative
+        samples can only come from an upstream defect (a corrupted trace,
+        an un-truncated marginal, a unit bug) and would otherwise
+        propagate silently into ``mu_hat``/``sigma_hat`` and from there
+        into every admission decision.
+    """
     arr = np.asarray(rates, dtype=float)
     n = int(arr.size)
     if n == 0:
         return CrossSection(n=0, mean=0.0, second_moment=0.0, variance=0.0)
+    if not np.all(np.isfinite(arr)):
+        raise EstimatorError("per-flow rates must be finite (got NaN or inf)")
+    if np.any(arr < 0.0):
+        raise EstimatorError("per-flow rates must be non-negative")
     mean = float(arr.mean())
     m2 = float(np.mean(arr * arr))
     if n >= 2:
@@ -169,6 +184,18 @@ class Estimator(ABC):
         """
         if self._signal is None:
             raise EstimatorError("estimator has observed no data yet")
+        return self._estimate(self._signal)
+
+    def estimate_or_none(self) -> BandwidthEstimate | None:
+        """Like :meth:`estimate`, but ``None`` before any observation.
+
+        The online hot paths (single and batched admission) read the
+        estimate on every decision; this avoids paying exception dispatch
+        for the common "no data yet" probe and lets a burst of decisions
+        reuse one read.
+        """
+        if self._signal is None:
+            return None
         return self._estimate(self._signal)
 
     # -- subclass hooks ----------------------------------------------------

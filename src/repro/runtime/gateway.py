@@ -24,6 +24,7 @@ Placement policies
 
 from __future__ import annotations
 
+import heapq
 import logging
 import time
 import zlib
@@ -32,7 +33,7 @@ from typing import Hashable, Sequence
 
 from repro.errors import ParameterError, RuntimeStateError
 from repro.runtime.link import AdmissionDecision, ManagedLink
-from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 
 __all__ = [
     "PlacementPolicy",
@@ -54,12 +55,50 @@ class PlacementPolicy(ABC):
     def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
         """Pick the deciding link for ``flow_id``."""
 
+    def choose_batch(
+        self, links: Sequence[ManagedLink], flow_ids: Sequence[Hashable]
+    ) -> list[ManagedLink]:
+        """Pick the deciding link for every flow in a simultaneous burst.
+
+        The default delegates to :meth:`choose` per flow, which is exact
+        for occupancy-independent policies (hash, round-robin).  Policies
+        whose choice depends on link state that the burst itself changes
+        (least-loaded) override this to spread the burst.
+        """
+        return [self.choose(links, flow_id) for flow_id in flow_ids]
+
 
 class LeastLoadedPlacement(PlacementPolicy):
     """Route to the link with the smallest nominal load fraction."""
 
     def choose(self, links: Sequence[ManagedLink], flow_id: Hashable) -> ManagedLink:
         return min(links, key=lambda link: link.load_fraction)
+
+    def choose_batch(
+        self, links: Sequence[ManagedLink], flow_ids: Sequence[Hashable]
+    ) -> list[ManagedLink]:
+        """Water-fill the burst over predicted loads.
+
+        Each placement assumes its flow is admitted (load grows by
+        ``mu / c``), so a burst spreads across links instead of piling on
+        whichever link was least loaded when the burst arrived.  This is
+        the one batched path that is heuristic rather than identical to
+        sequential calls: sequential placement sees each decision's real
+        outcome, the batch predicts optimistically.
+        """
+        heap = [
+            (link.load_fraction, index) for index, link in enumerate(links)
+        ]
+        heapq.heapify(heap)
+        out: list[ManagedLink] = []
+        for _ in flow_ids:
+            load, index = heapq.heappop(heap)
+            link = links[index]
+            out.append(link)
+            heapq.heappush(
+                heap, (load + link.mean_rate / link.capacity, index)
+            )
+        return out
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -153,6 +192,15 @@ class AdmissionGateway:
         self._m_latency = self.registry.histogram(
             "gateway.decision_latency", "end-to-end admit() wall-clock seconds"
         )
+        self._m_batch_latency = self.registry.histogram(
+            "gateway.batch_latency",
+            "end-to-end admit_many() wall-clock seconds per burst",
+        )
+        self._m_batch_size = self.registry.histogram(
+            "gateway.batch_size",
+            "requests per admit_many() burst",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
         self._m_flows.set(0)
 
     # -- read side ---------------------------------------------------------
@@ -191,6 +239,56 @@ class AdmissionGateway:
         self._m_latency.observe(time.perf_counter() - t0)
         return decision
 
+    def admit_many(
+        self, flow_ids: Sequence[Hashable], now: float
+    ) -> list[AdmissionDecision]:
+        """Place and decide a burst of simultaneous flow arrivals.
+
+        Flows are placed with one batched placement pass
+        (:meth:`PlacementPolicy.choose_batch`), then each link resolves
+        its share of the burst with a single
+        :meth:`~repro.runtime.link.ManagedLink.admit_many` call.  Returns
+        one decision per flow, in input order; admitted flows are entered
+        into the flow table exactly as :meth:`admit` would.
+        """
+        ids = list(flow_ids)
+        if not ids:
+            return []
+        seen: set = set()
+        for flow_id in ids:
+            if flow_id in self._flows:
+                raise RuntimeStateError(f"flow {flow_id!r} is already active")
+            if flow_id in seen:
+                raise RuntimeStateError(
+                    f"flow {flow_id!r} appears twice in one burst"
+                )
+            seen.add(flow_id)
+        t0 = time.perf_counter()
+        placements = self.placement.choose_batch(self.links, ids)
+        by_link: dict[str, list[int]] = {}
+        for index, link in enumerate(placements):
+            by_link.setdefault(link.name, []).append(index)
+
+        decisions: list[AdmissionDecision | None] = [None] * len(ids)
+        admitted_total = 0
+        for name, indices in by_link.items():
+            link = self._by_name[name]
+            for index, decision in zip(
+                indices, link.admit_many(len(indices), now)
+            ):
+                decisions[index] = decision
+                if decision.admitted:
+                    self._flows[ids[index]] = link
+                    admitted_total += 1
+        if admitted_total:
+            self._m_admits.inc(admitted_total)
+        if len(ids) - admitted_total:
+            self._m_rejects.inc(len(ids) - admitted_total)
+        self._m_flows.set(len(self._flows))
+        self._m_batch_size.observe(len(ids))
+        self._m_batch_latency.observe(time.perf_counter() - t0)
+        return decisions
+
     def depart(self, flow_id: Hashable, now: float) -> ManagedLink:
         """Record the departure of an active flow; returns its link."""
         link = self._flows.pop(flow_id, None)
@@ -200,6 +298,26 @@ class AdmissionGateway:
         self._m_departs.inc()
         self._m_flows.set(len(self._flows))
         return link
+
+    def depart_many(self, flow_ids: Sequence[Hashable], now: float) -> None:
+        """Record a burst of simultaneous departures (one tick per link)."""
+        ids = list(flow_ids)
+        if not ids:
+            return
+        counts: dict[str, int] = {}
+        seen: set = set()
+        for flow_id in ids:  # validate before mutating anything
+            link = self._flows.get(flow_id)
+            if link is None or flow_id in seen:
+                raise RuntimeStateError(f"flow {flow_id!r} is not active")
+            seen.add(flow_id)
+            counts[link.name] = counts.get(link.name, 0) + 1
+        for flow_id in ids:
+            del self._flows[flow_id]
+        for name, count in counts.items():
+            self._by_name[name].depart_many(count, now)
+        self._m_departs.inc(len(ids))
+        self._m_flows.set(len(self._flows))
 
     def tick(self, now: float) -> int:
         """Advance every link to ``now``; returns fresh measurements seen."""

@@ -27,6 +27,8 @@ import math
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.controllers import (
     AdmissionController,
     CertaintyEquivalentController,
@@ -40,7 +42,7 @@ from repro.errors import (
     RuntimeStateError,
 )
 from repro.runtime.feed import MeasurementFeed
-from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 
 __all__ = ["AdmissionDecision", "ManagedLink"]
 
@@ -187,6 +189,14 @@ class ManagedLink:
         self._m_latency = metric.histogram(
             f"{prefix}.decision_latency", "admit() wall-clock seconds"
         )
+        self._m_batch_latency = metric.histogram(
+            f"{prefix}.batch_latency", "admit_many() wall-clock seconds per burst"
+        )
+        self._m_batch_size = metric.histogram(
+            f"{prefix}.batch_size",
+            "requests per admit_many() burst",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
         self._m_n.set(0)
 
     # -- construction ------------------------------------------------------
@@ -210,13 +220,24 @@ class ManagedLink:
     ) -> "ManagedLink":
         """Assemble a link from design parameters.
 
-        ``memory`` defaults to the paper's rule ``T_m = T_h_tilde``; the
-        conservative degraded-mode controller is built by inverting the
-        general overflow formula at these parameters (falling back to the
-        most conservative representable target when the inversion reports
+        ``memory`` defaults to the paper's rule ``T_m = T_h_tilde``.
+        ``memory=0`` means *memoryless everywhere*: the estimator is the
+        instantaneous cross-section (:class:`MemorylessEstimator`) and the
+        degraded-mode inversion is evaluated at ``T_m = 0`` (the
+        memoryless overflow theory), so the two halves of the link always
+        agree on the memory discipline.  Negative values are rejected with
+        :class:`~repro.errors.ParameterError`.  The conservative
+        degraded-mode controller is built by inverting the general
+        overflow formula at these parameters (falling back to the most
+        conservative representable target when the inversion reports
         ``p_q`` unreachable).  ``mean_rate`` defaults to the feed source's
         mean when the feed carries one.
         """
+        if memory is not None and memory < 0.0:
+            raise ParameterError(
+                "memory must be non-negative (0 selects the memoryless "
+                "estimator and the memoryless degraded-mode theory)"
+            )
         if mean_rate is None:
             source = getattr(feed, "source", None)
             if source is None:
@@ -230,7 +251,9 @@ class ManagedLink:
         t_h_tilde = critical_time_scale(holding_time, n)
         if memory is None:
             memory = t_h_tilde
-        estimator = make_estimator(memory if memory > 0.0 else None)
+        # make_estimator treats 0 as memoryless, matching the T_m = 0 passed
+        # to the adjusted-target inversion below.
+        estimator = make_estimator(memory)
         controller = CertaintyEquivalentController(
             capacity, p_q, min_sigma=min_sigma
         )
@@ -299,7 +322,10 @@ class ManagedLink:
         return self.overload_time / self.observed_time
 
     def _current_estimate(self) -> BandwidthEstimate | None:
-        try:
+        helper = getattr(self.estimator, "estimate_or_none", None)
+        if helper is not None:
+            return helper()
+        try:  # estimators from outside repro.core may lack the fast probe
             return self.estimator.estimate()
         except EstimatorError:
             return None
@@ -418,6 +444,116 @@ class ManagedLink:
             degraded=degraded,
         )
 
+    def admit_many(self, k: int, now: float) -> list[AdmissionDecision]:
+        """Decide a burst of ``k`` simultaneous flow-arrival requests.
+
+        Semantically identical to ``k`` sequential :meth:`admit` calls at
+        the same timestamp (same decisions, same counter increments, same
+        final occupancy -- enforced by a differential test), but the burst
+        pays for one clock tick, one estimator read, one vectorized
+        controller evaluation (:meth:`AdmissionController.target_count_batch`)
+        and one metrics flush instead of ``k`` of each.
+
+        Returns the per-request decisions in request order.  Because the
+        estimate is frozen for the burst and targets are non-increasing in
+        nothing the burst changes, the decision sequence is always an
+        accept-prefix followed by rejects, exactly as sequential calls at
+        one instant would produce.
+        """
+        k = int(k)
+        if k < 0:
+            raise ParameterError("burst size k must be non-negative")
+        if k == 0:
+            return []
+        t0 = time.perf_counter()
+        self.tick(now)
+        degraded = self._degraded
+        controller = self.conservative_controller if degraded else self.controller
+        estimate = self._current_estimate()
+
+        decisions: list[AdmissionDecision] = []
+        name = self.name
+        n = self._n
+        remaining = k
+
+        # Peel the no-measurement / bootstrap prefix exactly as admit() would:
+        # a healthy empty link bootstraps its first flow; a degraded (or
+        # already-bootstrapped) link without a usable estimate rejects.
+        while remaining > 0 and (
+            estimate is None or (estimate.mu <= 0.0 and n == 0)
+        ):
+            if not degraded and n == 0:
+                admitted, reason = True, "bootstrap"
+                n += 1
+            else:
+                admitted, reason = False, "no-measurement"
+            decisions.append(
+                AdmissionDecision(
+                    admitted=admitted,
+                    link=name,
+                    reason=reason,
+                    target=math.nan,
+                    n_flows=n,
+                    degraded=degraded,
+                )
+            )
+            remaining -= 1
+
+        last_target = math.nan
+        if remaining > 0:
+            reason = "conservative-target" if degraded else "target"
+            # Occupancies along the all-accepted path; once one request is
+            # rejected the occupancy (and hence the target) freezes, so every
+            # later request is rejected at the same target.
+            occupancies = n + np.arange(remaining)
+            targets = controller.target_count_batch(
+                estimate.mu, estimate.sigma, occupancies
+            )
+            ok = occupancies + 1 <= np.floor(targets)
+            accepted = int(ok.argmin()) if not ok.all() else remaining
+            for i in range(accepted):
+                n += 1
+                decisions.append(
+                    AdmissionDecision(
+                        admitted=True,
+                        link=name,
+                        reason=reason,
+                        target=float(targets[i]),
+                        n_flows=n,
+                        degraded=degraded,
+                    )
+                )
+            if accepted < remaining:
+                reject_target = float(targets[accepted])
+                reject = AdmissionDecision(
+                    admitted=False,
+                    link=name,
+                    reason=reason,
+                    target=reject_target,
+                    n_flows=n,
+                    degraded=degraded,
+                )
+                decisions.extend([reject] * (remaining - accepted))
+            last_target = float(targets[min(accepted, remaining - 1)])
+
+        admitted_total = n - self._n
+        self._n = n
+        if admitted_total:
+            self._m_admits.inc(admitted_total)
+        if k - admitted_total:
+            self._m_rejects.inc(k - admitted_total)
+        self._m_n.set(n)
+        if not math.isnan(last_target):
+            self._m_target.set(last_target)
+        self._m_batch_size.observe(k)
+        self._m_batch_latency.observe(time.perf_counter() - t0)
+        logger.debug(
+            "link %s admit_many(t=%.6g, k=%d): %d accepted, %d rejected "
+            "(n=%d, degraded=%s)",
+            name, now, k, admitted_total, k - admitted_total, n, degraded,
+        )
+        return decisions
+
     def depart(self, now: float) -> None:
         """Record one flow departure at time ``now``."""
         if self._n <= 0:
@@ -425,4 +561,24 @@ class ManagedLink:
         self.tick(now)
         self._n -= 1
         self._m_departs.inc()
+        self._m_n.set(self._n)
+
+    def depart_many(self, k: int, now: float) -> None:
+        """Record ``k`` simultaneous flow departures at time ``now``.
+
+        Equivalent to ``k`` sequential :meth:`depart` calls at the same
+        timestamp, with one tick and one metrics flush.
+        """
+        k = int(k)
+        if k < 0:
+            raise ParameterError("burst size k must be non-negative")
+        if k == 0:
+            return
+        if k > self._n:
+            raise RuntimeStateError(
+                f"link {self.name}: {k} departures from {self._n} flows"
+            )
+        self.tick(now)
+        self._n -= k
+        self._m_departs.inc(k)
         self._m_n.set(self._n)

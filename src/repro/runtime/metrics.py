@@ -32,11 +32,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
 ]
 
 #: Geometric latency buckets (seconds): 1 us .. ~1 s, suitable for
 #: per-decision wall-clock timing.
 DEFAULT_LATENCY_BUCKETS = tuple(1e-6 * (10.0 ** (k / 3.0)) for k in range(19))
+
+#: Power-of-two buckets for burst sizes (1 .. 4096 requests per batch).
+BATCH_SIZE_BUCKETS = tuple(float(2**k) for k in range(13))
 
 
 class Counter:
@@ -105,6 +109,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            # NaN would corrupt the bucket search (unordered comparisons)
+            # and silently skew min/max; refuse it at the door.
+            raise ParameterError("histogram observations must be finite")
         self._counts[bisect_left(self.bounds, value)] += 1
         self._count += 1
         self._sum += value
@@ -134,7 +142,26 @@ class Histogram:
         return self._max if self._count else math.nan
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (``0 <= q <= 1``), NaN when empty."""
+        """Estimated ``q``-quantile (``0 <= q <= 1``), NaN when empty.
+
+        Guarantees (audited; enforced by a Hypothesis property test in
+        ``tests/runtime/test_metrics.py``):
+
+        * the estimate always lies inside ``[min, max]`` of the observed
+          samples -- bucket edges are clamped to the running extrema, so
+          ``q=0.0`` returns the exact minimum and ``q=1.0`` the exact
+          maximum, even for single-bucket histograms or observations
+          sitting exactly on a bucket bound (bounds are upper-inclusive:
+          a value equal to ``bounds[i]`` lands in bucket ``i``);
+        * the estimate is within one (clamped) bucket width of the exact
+          sample quantile ``x_{(max(1, ceil(q*count)))}`` (the
+          inverted-CDF order statistic): the owning bucket is the first
+          with cumulative count ``>= q*count``, and that order statistic
+          provably lies in the same bucket, so both are inside the same
+          ``[lo, hi]`` interval.  (No bucket histogram can bound the
+          error against *interpolated* quantile definitions, whose value
+          may fall in an empty bucket gap the histogram cannot see.)
+        """
         if not 0.0 <= q <= 1.0:
             raise ParameterError("quantile must lie in [0, 1]")
         if self._count == 0:
@@ -151,7 +178,9 @@ class Histogram:
                 hi = min(hi, self._max)
                 if hi <= lo:
                     return lo
-                return lo + (hi - lo) * (rank - previous) / count
+                # min() guards the q=1 edge: lo + (hi - lo) can overshoot
+                # hi by an ulp in floating point, escaping [min, max].
+                return min(hi, lo + (hi - lo) * (rank - previous) / count)
         return self._max  # pragma: no cover - defensive
 
     def summary(self) -> dict:

@@ -8,6 +8,17 @@ metrics snapshot.  Arrival times are pre-generated in numpy batches so the
 Python-level event loop is dominated by the decisions under test, not by
 random-variate generation.
 
+Two arrival modes:
+
+* **sequential** (default): every arrival is resolved with one
+  ``gateway.admit(flow_id, t)`` round-trip at its exact Poisson timestamp.
+* **batched** (``batch_window=w``): arrival and departure timestamps are
+  quantized up to the next multiple of ``w``, and all requests landing on
+  the same instant are drained with a single ``gateway.admit_many`` /
+  ``depart_many`` call -- the burst-of-simultaneous-requests regime the
+  batched decision path exists for.  Quantization delays each request by
+  at most ``w``; choose ``w`` well below the holding time.
+
 This is the engine behind ``repro serve-replay`` and
 ``benchmarks/bench_runtime.py``; the replication/scaling PRs build on the
 same driver.
@@ -17,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -81,6 +93,8 @@ class ReplayReport:
     events_per_sec: float
     final_flows: int
     metrics: dict = field(repr=False)
+    #: Number of ``admit_many`` bursts issued (0 in sequential mode).
+    batches: int = 0
 
 
 def replay(
@@ -92,6 +106,7 @@ def replay(
     tick_period: float,
     seed: int | None = 0,
     outages: Sequence[FeedOutage] = (),
+    batch_window: float | None = None,
 ) -> ReplayReport:
     """Drive ``gateway`` with a synthetic workload until ``n_events``.
 
@@ -113,6 +128,10 @@ def replay(
         Workload RNG seed (arrivals and holding times).
     outages : sequence of FeedOutage
         Measurement outages to inject.
+    batch_window : float, optional
+        Enable batched arrival mode: quantize request timestamps up to
+        multiples of this window and resolve each instant's requests with
+        one ``admit_many``/``depart_many`` burst (must be positive).
 
     Returns
     -------
@@ -124,6 +143,8 @@ def replay(
         raise ParameterError(
             "arrival_rate, holding_time and tick_period must be positive"
         )
+    if batch_window is not None and batch_window <= 0.0:
+        raise ParameterError("batch_window must be positive")
     rng = np.random.default_rng(seed)
     for outage in outages:
         gateway.link(outage.link)  # validate names up front
@@ -139,13 +160,49 @@ def replay(
 
     arrival_times = rng.exponential(1.0 / arrival_rate, size=_ARRIVAL_BATCH).cumsum()
     arrival_cursor = 0
-    push(float(arrival_times[0]), _ARRIVE)
+
+    def next_arrival_time() -> float:
+        """Consume one raw Poisson arrival time (batched mode only)."""
+        nonlocal arrival_times, arrival_cursor
+        t = float(arrival_times[arrival_cursor])
+        arrival_cursor += 1
+        if arrival_cursor >= arrival_times.size:
+            arrival_times = t + rng.exponential(
+                1.0 / arrival_rate, size=_ARRIVAL_BATCH
+            ).cumsum()
+            arrival_cursor = 0
+        return t
+
+    if batch_window is None:
+        push(float(arrival_times[0]), _ARRIVE)
+    else:
+
+        def quantize(t: float) -> float:
+            return math.ceil(t / batch_window) * batch_window
+
+        pending_raw = next_arrival_time()
+
+        def schedule_burst() -> None:
+            """Coalesce raw arrivals sharing a window into one event."""
+            nonlocal pending_raw
+            when = quantize(pending_raw)
+            count = 1
+            while True:
+                raw = next_arrival_time()
+                if quantize(raw) == when:
+                    count += 1
+                else:
+                    pending_raw = raw
+                    break
+            push(when, _ARRIVE, count)
+
+        schedule_burst()
     push(tick_period, _TICK)
     for outage in outages:
         push(outage.start, _OUTAGE_START, outage.link)
         push(outage.start + outage.duration, _OUTAGE_END, outage.link)
 
-    events = arrivals = admitted = rejected = departures = ticks = 0
+    events = arrivals = admitted = rejected = departures = ticks = batches = 0
     next_flow_id = 0
     now = 0.0
     t0 = time.perf_counter()
@@ -158,10 +215,18 @@ def replay(
             events += 1
             push(now + tick_period, _TICK)
         elif kind == _DEPART:
-            gateway.depart(payload, now)
-            departures += 1
-            events += 1
-        elif kind == _ARRIVE:
+            if batch_window is None:
+                gateway.depart(payload, now)
+                departures += 1
+                events += 1
+            else:
+                flow_ids = [payload]
+                while heap and heap[0][0] == now and heap[0][1] == _DEPART:
+                    flow_ids.append(heapq.heappop(heap)[3])
+                gateway.depart_many(flow_ids, now)
+                departures += len(flow_ids)
+                events += len(flow_ids)
+        elif kind == _ARRIVE and batch_window is None:
             arrivals += 1
             events += 1
             flow_id = next_flow_id
@@ -179,6 +244,28 @@ def replay(
                 ).cumsum()
                 arrival_cursor = 0
             push(float(arrival_times[arrival_cursor]), _ARRIVE)
+        elif kind == _ARRIVE:
+            count = payload
+            flow_ids = list(range(next_flow_id, next_flow_id + count))
+            next_flow_id += count
+            decisions = gateway.admit_many(flow_ids, now)
+            batches += 1
+            arrivals += count
+            events += count
+            admitted_ids = [
+                flow_id
+                for flow_id, decision in zip(flow_ids, decisions)
+                if decision.admitted
+            ]
+            admitted += len(admitted_ids)
+            rejected += count - len(admitted_ids)
+            if admitted_ids:
+                for flow_id, hold in zip(
+                    admitted_ids,
+                    rng.exponential(holding_time, size=len(admitted_ids)),
+                ):
+                    push(quantize(now + hold), _DEPART, flow_id)
+            schedule_burst()
         elif kind == _OUTAGE_START:
             gateway.link(payload).feed.pause()
             logger.info("outage: paused feed of link %s at t=%.6g", payload, now)
@@ -207,4 +294,5 @@ def replay(
         events_per_sec=events / wall if wall > 0.0 else float("inf"),
         final_flows=gateway.n_flows,
         metrics=gateway.snapshot(),
+        batches=batches,
     )

@@ -43,6 +43,27 @@ class TestCrossSection:
         assert cs.mean == pytest.approx(np.mean(rates))
         assert cs.variance == pytest.approx(np.var(rates, ddof=1))
 
+    def test_rejects_nan_rate(self):
+        with pytest.raises(EstimatorError, match="finite"):
+            section([1.0, math.nan, 2.0])
+
+    def test_rejects_positive_infinity(self):
+        with pytest.raises(EstimatorError, match="finite"):
+            section([1.0, math.inf])
+
+    def test_rejects_negative_infinity(self):
+        with pytest.raises(EstimatorError, match="finite"):
+            section([-math.inf, 1.0])
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(EstimatorError, match="non-negative"):
+            section([1.0, -0.25])
+
+    def test_zero_rate_is_valid(self):
+        cs = section([0.0, 2.0])  # silent flows are legitimate
+        assert cs.n == 2
+        assert cs.mean == pytest.approx(1.0)
+
 
 class TestMemoryless:
     def test_estimate_is_current_section(self):
@@ -56,6 +77,14 @@ class TestMemoryless:
     def test_raises_before_data(self):
         with pytest.raises(EstimatorError):
             MemorylessEstimator().estimate()
+
+    def test_estimate_or_none_probe(self):
+        est = MemorylessEstimator()
+        assert est.estimate_or_none() is None  # no exception on empty
+        est.observe(section([1.0, 3.0]))
+        probed = est.estimate_or_none()
+        assert probed is not None
+        assert probed.mu == pytest.approx(2.0)
 
     def test_time_does_not_matter(self):
         est = MemorylessEstimator()

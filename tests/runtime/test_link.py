@@ -212,3 +212,37 @@ class TestBuild:
                 p_q=1e-2, snr=0.3, correlation_time=1.0, mean_rate=1.0,
                 stale_fraction=-1.0,
             )
+
+    def test_build_memory_zero_is_memoryless_everywhere(self):
+        """Regression: memory=0 used to silently alias the default
+        (paper-rule) memory for the estimator while the degraded-mode
+        inversion saw T_m=0; both halves must agree on memoryless."""
+        from repro.core.estimators import MemorylessEstimator
+
+        link = ManagedLink.build(
+            "memzero",
+            capacity=50.0,
+            holding_time=100.0,
+            feed=SourceFeed(paper_rcbr_source(), period=1.0, seed=0),
+            p_q=1e-2,
+            snr=0.3,
+            correlation_time=1.0,
+            memory=0.0,
+        )
+        assert isinstance(link.estimator, MemorylessEstimator)
+        # Degraded mode still ends up strictly more conservative.
+        assert (link.conservative_controller.criterion.alpha
+                > link.controller.criterion.alpha)
+
+    def test_build_rejects_negative_memory(self):
+        with pytest.raises(ParameterError, match="memory"):
+            ManagedLink.build(
+                "memneg",
+                capacity=50.0,
+                holding_time=100.0,
+                feed=SourceFeed(paper_rcbr_source(), period=1.0, seed=0),
+                p_q=1e-2,
+                snr=0.3,
+                correlation_time=1.0,
+                memory=-1.0,
+            )

@@ -2,8 +2,11 @@
 
 import json
 import math
+from bisect import bisect_left
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -69,6 +72,77 @@ class TestHistogram:
             Histogram("h", buckets=(2.0, 1.0))
         with pytest.raises(ParameterError):
             Histogram("h", buckets=(1.0,)).quantile(1.5)
+
+
+class TestHistogramBoundaries:
+    """The audited quantile() contract (see Histogram.quantile docstring)."""
+
+    def test_rejects_non_finite_observations(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ParameterError):
+                histogram.observe(bad)
+        assert histogram.count == 0  # refused at the door, state untouched
+
+    def test_extreme_quantiles_are_exact(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.25, 1.5, 3.75, 9.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.25
+        assert histogram.quantile(1.0) == 9.0
+
+    def test_observation_on_bucket_bound_is_upper_inclusive(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # exactly on the first bound
+        # The single sample owns bucket 0, so every quantile returns it.
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == 1.0
+
+    def test_single_bucket_histogram(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 2.0
+        assert histogram.quantile(1.0) == 6.0
+        assert 2.0 <= histogram.quantile(0.5) <= 6.0
+
+    def test_all_samples_in_overflow_bucket(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for value in (5.0, 7.0, 11.0):
+            histogram.observe(value)
+        for q in (0.0, 0.5, 1.0):
+            assert 5.0 <= histogram.quantile(q) <= 11.0
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=40.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_within_one_bucket_of_exact(self, samples, q):
+        """Estimate is in [min, max] and within one clamped bucket width
+        of the inverted-CDF sample quantile x_(max(1, ceil(q*count)))."""
+        bounds = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+        histogram = Histogram("h", buckets=bounds)
+        for value in samples:
+            histogram.observe(value)
+
+        estimate = histogram.quantile(q)
+        ordered = sorted(samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        exact = ordered[rank - 1]
+
+        assert min(samples) <= estimate <= max(samples)
+
+        index = bisect_left(bounds, exact)  # bucket owning the exact quantile
+        lo = bounds[index - 1] if index > 0 else min(samples)
+        hi = bounds[index] if index < len(bounds) else max(samples)
+        width = max(0.0, min(hi, max(samples)) - max(lo, min(samples)))
+        assert abs(estimate - exact) <= width + 1e-12
 
 
 class TestRegistry:
