@@ -37,6 +37,7 @@ from repro.runtime import (
     ManagedLink,
     MetricsRegistry,
     SourceFeed,
+    default_chaos_plan,
     replay,
 )
 from repro.traffic.rcbr import paper_rcbr_source
@@ -155,6 +156,13 @@ def run_benchmarks(burst=BURST):
         if sequential.decisions_per_sec > 0
         else float("inf")
     )
+    # Informational only: the health/fault layer under the default chaos
+    # scenario.  Not gated by check_against_baseline, which reads just the
+    # sequential/batched throughputs above.
+    plan = default_chaos_plan(
+        [f"link{i}" for i in range(4)], period=TICK_PERIOD, seed=0
+    )
+    chaos = replay(_make_gateway(seed=0), fault_plan=plan, **_replay_kwargs())
     return {
         "schema": "bench-runtime/v1",
         "config": {
@@ -183,6 +191,13 @@ def run_benchmarks(burst=BURST):
                 "mean_burst": batched.arrivals / max(1, batched.batches),
             },
             "batched_speedup": speedup,
+            "chaos": {
+                "decisions_per_sec": chaos.decisions_per_sec,
+                "overflow_fraction": chaos.overflow_fraction,
+                "admitted": chaos.admitted,
+                "rejected": chaos.rejected,
+                "fault_summary": chaos.fault_summary,
+            },
         },
         "latency": {
             "single": _quantiles_us(measure_single_latency()),
@@ -293,6 +308,25 @@ def test_batched_replay_throughput(benchmark, emit):
     assert report.events >= REPLAY_EVENTS
     assert report.batches > 0
     assert report.admitted > 0
+
+
+def test_chaos_replay_throughput(benchmark, emit):
+    """Time the sequential replay with the default fault plan injected."""
+
+    def kernel():
+        plan = default_chaos_plan(
+            [f"link{i}" for i in range(4)], period=TICK_PERIOD, seed=0
+        )
+        return replay(_make_gateway(seed=0), fault_plan=plan, **_replay_kwargs())
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   chaos replay:      {report.decisions_per_sec:,.0f} decisions/s "
+         f"(overflow {report.overflow_fraction:.2e}, "
+         f"faults {sum(sum(c.values()) for c in report.fault_summary.values())})")
+    assert report.events >= REPLAY_EVENTS
+    assert report.fault_summary is not None
+    assert any(sum(c.values()) > 0 for c in report.fault_summary.values())
 
 
 def test_single_decision_latency(benchmark):

@@ -15,6 +15,12 @@ Commands
 ``serve-replay``
     Drive the online multi-link gateway with a replayed workload and
     print a metrics snapshot (decisions/sec, per-link admits/rejects/...).
+``chaos-replay``
+    Soak the gateway under an injected fault plan (outages, corrupt
+    bursts, quarantines) and gate on two robustness invariants: the
+    faulted overflow fraction stays within a factor of the fault-free
+    run's, and the same seed + plan reproduces identical decisions
+    byte-for-byte.
 
 A global ``--verbose``/``-v`` flag (repeatable) configures the root
 logging handler: once for INFO, twice for DEBUG.
@@ -130,46 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-replay",
         help="drive the online multi-link gateway with a replayed workload",
     )
-    serve.add_argument("--links", type=int, default=4, help="number of links")
-    serve.add_argument(
-        "--n", type=float, default=100.0, help="per-link system size c/mu"
-    )
-    serve.add_argument("--holding-time", type=float, default=500.0)
-    serve.add_argument("--correlation-time", type=float, default=1.0)
-    serve.add_argument("--snr", type=float, default=0.3, help="per-flow sigma/mu")
-    serve.add_argument("--p-q", type=float, default=1e-2, help="QoS target")
-    serve.add_argument(
-        "--memory",
-        type=float,
-        default=None,
-        help="estimator memory T_m (default: the T_h_tilde rule)",
-    )
-    serve.add_argument(
-        "--policy",
-        choices=sorted(("least-loaded", "round-robin", "hash")),
-        default="least-loaded",
-        help="flow placement policy",
-    )
+    _add_gateway_args(serve)
     serve.add_argument(
         "--events", type=int, default=100_000, help="events to replay"
-    )
-    serve.add_argument(
-        "--arrival-rate",
-        type=float,
-        default=None,
-        help="flow arrivals per unit time (default: ~1.3x aggregate capacity)",
-    )
-    serve.add_argument(
-        "--tick-period",
-        type=float,
-        default=None,
-        help="measurement tick period (default: T_m / 4)",
-    )
-    serve.add_argument(
-        "--stale-fraction",
-        type=float,
-        default=1.0,
-        help="degradation horizon as a fraction of T_h_tilde",
     )
     serve.add_argument(
         "--outage",
@@ -178,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="pause LINK's measurement feed at START for DURATION "
         "(repeatable; links are named link0..linkN-1)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON/YAML fault plan: wrap the named links' feeds in seeded "
+        "fault injectors (outages, drops, corruption, stuck-at, latency)",
     )
     serve.add_argument(
         "--batch",
@@ -193,11 +169,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="batching window for --batch (default: the tick period); "
         "implies --batch when given",
     )
-    serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--json", action="store_true", help="print the full snapshot as JSON"
     )
+
+    chaos = sub.add_parser(
+        "chaos-replay",
+        help="soak the gateway under injected faults and gate on bounded "
+        "overflow + byte-for-byte decision reproducibility",
+    )
+    _add_gateway_args(chaos)
+    chaos.add_argument(
+        "--events", type=int, default=20_000, help="events per replay run"
+    )
+    chaos.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON/YAML fault plan (default: a built-in scenario with a feed "
+        "outage, a corrupt-sample burst and a quarantined link)",
+    )
+    chaos.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=0.0,
+        help="keep re-running with fresh seeds until this much wall-clock "
+        "time has elapsed (0: exactly one iteration)",
+    )
+    chaos.add_argument(
+        "--overflow-factor",
+        type=float,
+        default=2.0,
+        help="fail if the faulted overflow fraction exceeds this factor "
+        "times the fault-free run's",
+    )
+    chaos.add_argument(
+        "--overflow-floor",
+        type=float,
+        default=0.02,
+        help="treat the fault-free overflow fraction as at least this much "
+        "when applying --overflow-factor (guards near-zero baselines)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the soak report as JSON"
+    )
     return parser
+
+
+def _add_gateway_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the gateway-driving commands (serve/chaos)."""
+    parser.add_argument("--links", type=int, default=4, help="number of links")
+    parser.add_argument(
+        "--n", type=float, default=100.0, help="per-link system size c/mu"
+    )
+    parser.add_argument("--holding-time", type=float, default=500.0)
+    parser.add_argument("--correlation-time", type=float, default=1.0)
+    parser.add_argument("--snr", type=float, default=0.3, help="per-flow sigma/mu")
+    parser.add_argument("--p-q", type=float, default=1e-2, help="QoS target")
+    parser.add_argument(
+        "--memory",
+        type=float,
+        default=None,
+        help="estimator memory T_m (default: the T_h_tilde rule)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=sorted(("least-loaded", "round-robin", "hash")),
+        default="least-loaded",
+        help="flow placement policy",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="flow arrivals per unit time (default: ~1.3x aggregate capacity)",
+    )
+    parser.add_argument(
+        "--tick-period",
+        type=float,
+        default=None,
+        help="measurement tick period (default: T_m / 4)",
+    )
+    parser.add_argument(
+        "--stale-fraction",
+        type=float,
+        default=1.0,
+        help="degradation horizon as a fraction of T_h_tilde",
+    )
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _cmd_list() -> int:
@@ -320,18 +379,22 @@ def _parse_outages(specs: list[str]):
     return outages
 
 
-def _cmd_serve_replay(args: argparse.Namespace) -> int:
-    import json
+def _build_gateway(args: argparse.Namespace, *, seed: int | None = None):
+    """Build a fresh gateway (+ registry and derived timing) from CLI args.
 
+    Shared by ``serve-replay`` and ``chaos-replay``; ``seed`` overrides
+    ``args.seed`` so chaos soak iterations can rebuild with fresh seeds.
+    """
     from repro.runtime import (
         AdmissionGateway,
         ManagedLink,
         MetricsRegistry,
         SourceFeed,
-        replay,
     )
     from repro.traffic.rcbr import paper_rcbr_source
 
+    if seed is None:
+        seed = args.seed
     registry = MetricsRegistry()
     t_h_tilde = critical_time_scale(args.holding_time, args.n)
     memory = args.memory if args.memory is not None else t_h_tilde
@@ -343,7 +406,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         source = paper_rcbr_source(
             mean=1.0, cv=args.snr, correlation_time=args.correlation_time
         )
-        feed = SourceFeed(source, period=tick_period, seed=args.seed * 1000 + i)
+        feed = SourceFeed(source, period=tick_period, seed=seed * 1000 + i)
         links.append(
             ManagedLink.build(
                 f"link{i}",
@@ -364,20 +427,42 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     arrival_rate = args.arrival_rate
     if arrival_rate is None:
         arrival_rate = 1.3 * args.links * args.n / args.holding_time
+    derived = {
+        "t_h_tilde": t_h_tilde,
+        "memory": memory,
+        "tick_period": tick_period,
+        "arrival_rate": arrival_rate,
+    }
+    return gateway, registry, derived
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import FaultPlan, replay
+
+    gateway, registry, derived = _build_gateway(args)
+    t_h_tilde = derived["t_h_tilde"]
+    memory = derived["memory"]
+    tick_period = derived["tick_period"]
 
     batch_window = args.batch_window
     if batch_window is None and args.batch:
         batch_window = tick_period
 
+    fault_plan = (
+        FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    )
     report = replay(
         gateway,
         n_events=args.events,
-        arrival_rate=arrival_rate,
+        arrival_rate=derived["arrival_rate"],
         holding_time=args.holding_time,
         tick_period=tick_period,
         seed=args.seed,
         outages=_parse_outages(args.outage),
         batch_window=batch_window,
+        fault_plan=fault_plan,
     )
 
     if args.json:
@@ -394,6 +479,8 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             "events_per_sec": report.events_per_sec,
             "final_flows": report.final_flows,
             "batches": report.batches,
+            "overflow_fraction": report.overflow_fraction,
+            "fault_summary": report.fault_summary,
             "metrics": json.loads(registry.to_json()),
             "links": report.metrics["links"],
         }
@@ -425,7 +512,139 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
               f"rejects {counters[f'link.{name}.rejects']:>8.0f}  "
               f"util {link.mean_utilization:6.2%}  "
               f"overflow {link.overflow_fraction:.2e}  "
-              f"degradations {counters[f'link.{name}.degradations']:.0f}")
+              f"degradations {counters[f'link.{name}.degradations']:.0f}  "
+              f"quarantines {counters[f'link.{name}.quarantines']:.0f}  "
+              f"health {link.health.value}")
+    if report.fault_summary is not None:
+        for name, injected in sorted(report.fault_summary.items()):
+            busy = {k: v for k, v in injected.items() if v}
+            print(f"  faults[{name}]: {busy if busy else 'none triggered'}")
+    return 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.runtime import FaultPlan, default_chaos_plan, replay
+
+    def run(seed: int, plan, collect_digest: bool = False):
+        gateway, _, derived = _build_gateway(args, seed=seed)
+        report = replay(
+            gateway,
+            n_events=args.events,
+            arrival_rate=derived["arrival_rate"],
+            holding_time=args.holding_time,
+            tick_period=derived["tick_period"],
+            seed=seed,
+            fault_plan=plan,
+            collect_digest=collect_digest,
+        )
+        return report, derived
+
+    t_h_tilde = critical_time_scale(args.holding_time, args.n)
+    memory = args.memory if args.memory is not None else t_h_tilde
+    tick_period = (
+        args.tick_period if args.tick_period is not None else max(memory / 4.0, 1e-3)
+    )
+
+    def make_plan(seed: int):
+        if args.fault_plan:
+            return FaultPlan.from_file(args.fault_plan)
+        names = [f"link{i}" for i in range(args.links)]
+        return default_chaos_plan(
+            names,
+            period=tick_period,
+            start=4.0 * tick_period,
+            seed=seed,
+        )
+
+    iterations = []
+    failures = []
+    started = time.monotonic()
+    iteration = 0
+    while True:
+        seed = args.seed + iteration
+        plan = make_plan(seed)
+
+        baseline, _ = run(seed, None)
+        faulted, _ = run(seed, plan, collect_digest=True)
+        repeated, _ = run(seed, plan, collect_digest=True)
+
+        bound = args.overflow_factor * max(
+            baseline.overflow_fraction, args.overflow_floor
+        )
+        overflow_ok = faulted.overflow_fraction <= bound
+        digest_ok = (
+            faulted.decision_digest is not None
+            and faulted.decision_digest == repeated.decision_digest
+        )
+        counters = faulted.metrics["counters"]
+        quarantines = sum(
+            value
+            for key, value in counters.items()
+            if key.endswith(".quarantines")
+        )
+        # The built-in plan includes a guaranteed corrupt burst, so a run
+        # that never quarantined anything means the fault path is broken.
+        quarantine_ok = args.fault_plan is not None or quarantines > 0
+        entry = {
+            "seed": seed,
+            "baseline_overflow": baseline.overflow_fraction,
+            "faulted_overflow": faulted.overflow_fraction,
+            "overflow_bound": bound,
+            "overflow_ok": overflow_ok,
+            "digest": faulted.decision_digest,
+            "digest_ok": digest_ok,
+            "quarantines": quarantines,
+            "quarantine_ok": quarantine_ok,
+            "failovers": counters.get("gateway.failovers", 0.0),
+            "fault_summary": faulted.fault_summary,
+        }
+        iterations.append(entry)
+        if not (overflow_ok and digest_ok and quarantine_ok):
+            failures.append(entry)
+        iteration += 1
+        if time.monotonic() - started >= args.soak_seconds:
+            break
+
+    wall = time.monotonic() - started
+    if args.json:
+        print(json.dumps(
+            {
+                "iterations": iterations,
+                "failures": len(failures),
+                "wall_seconds": wall,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for entry in iterations:
+            status = "ok" if entry not in failures else "FAIL"
+            print(f"seed {entry['seed']:<6d} [{status}] "
+                  f"overflow {entry['faulted_overflow']:.3e} "
+                  f"(baseline {entry['baseline_overflow']:.3e}, "
+                  f"bound {entry['overflow_bound']:.3e})  "
+                  f"quarantines {entry['quarantines']:.0f}  "
+                  f"failovers {entry['failovers']:.0f}  "
+                  f"digest {'stable' if entry['digest_ok'] else 'UNSTABLE'}")
+        print(f"chaos soak: {len(iterations)} iteration(s), "
+              f"{len(failures)} failure(s), wall {wall:.1f}s")
+    if failures:
+        for entry in failures:
+            if not entry["overflow_ok"]:
+                print(f"FAIL seed {entry['seed']}: faulted overflow "
+                      f"{entry['faulted_overflow']:.3e} exceeds bound "
+                      f"{entry['overflow_bound']:.3e}", file=sys.stderr)
+            if not entry["digest_ok"]:
+                print(f"FAIL seed {entry['seed']}: decision digest not "
+                      f"reproducible under identical seed + plan",
+                      file=sys.stderr)
+            if not entry["quarantine_ok"]:
+                print(f"FAIL seed {entry['seed']}: built-in corrupt burst "
+                      f"never quarantined a link", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -445,6 +664,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_design(args)
     if args.command == "serve-replay":
         return _cmd_serve_replay(args)
+    if args.command == "chaos-replay":
+        return _cmd_chaos_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -34,3 +34,23 @@ class TraceError(ReproError, ValueError):
 
 class RuntimeStateError(ReproError, RuntimeError):
     """The online runtime (gateway/link) was driven into an invalid state."""
+
+
+class UnknownFlowError(RuntimeStateError):
+    """A gateway was asked about flow ids it is not carrying.
+
+    Carries every unknown id from the offending request (``flow_ids``)
+    and the gateway's link roster (``links``), both also rendered into
+    the message so operators can see at a glance what was asked of whom.
+    """
+
+    def __init__(self, flow_ids, links) -> None:
+        self.flow_ids = tuple(flow_ids)
+        self.links = tuple(links)
+        ids = ", ".join(repr(f) for f in self.flow_ids)
+        roster = ", ".join(str(name) for name in self.links) or "<no links>"
+        plural = "s" if len(self.flow_ids) != 1 else ""
+        super().__init__(
+            f"unknown flow id{plural} {ids}: not active on any link "
+            f"(links: {roster})"
+        )

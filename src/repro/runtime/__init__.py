@@ -4,20 +4,37 @@ Where :mod:`repro.simulation` reproduces the paper's *offline* experiments
 (discrete-event loops that own the clock and the traffic), this package is
 the *online* half the ROADMAP's production north-star needs: a long-lived
 gateway that serves admission decisions from a request/response API, fed by
-periodic measurement streams, and degrading gracefully -- to the theory's
-conservative adjusted-``p_ce`` target -- when those streams go stale.
+periodic measurement streams, and surviving measurement-plane failures --
+degrading to the theory's conservative adjusted-``p_ce`` target when a
+feed goes silent, and failing closed (quarantine + gateway failover) when
+a feed produces data it cannot trust.
 
 Layers (bottom-up):
 
 * :mod:`repro.runtime.metrics` -- counters/gauges/histograms + registry.
 * :mod:`repro.runtime.feed` -- measurement feeds with staleness tracking.
+* :mod:`repro.runtime.health` -- per-feed circuit breakers and the
+  HEALTHY/DEGRADED/QUARANTINED link health model.
+* :mod:`repro.runtime.faults` -- scripted, seeded fault injection
+  (outages, drops, corruption, stuck-at, skew, latency) behind a
+  declarative :class:`FaultPlan`.
 * :mod:`repro.runtime.link` -- one controller+estimator control loop
-  behind ``admit()``/``depart()``, with stale-feed degradation.
-* :mod:`repro.runtime.gateway` -- flow placement over multiple links.
+  behind ``admit()``/``depart()``, with the full health state machine.
+* :mod:`repro.runtime.gateway` -- flow placement over multiple links,
+  with failover away from quarantined links.
 * :mod:`repro.runtime.replay` -- batched workload driver for load tests
-  (the engine behind ``repro serve-replay``).
+  and chaos runs (the engine behind ``repro serve-replay`` and
+  ``repro chaos-replay``).
 """
 
+from repro.runtime.faults import (
+    CorruptSpec,
+    FaultPlan,
+    FaultyFeed,
+    FeedFaults,
+    Window,
+    default_chaos_plan,
+)
 from repro.runtime.feed import MeasurementFeed, SourceFeed, TraceFeed
 from repro.runtime.gateway import (
     AdmissionGateway,
@@ -28,6 +45,13 @@ from repro.runtime.gateway import (
     RoundRobinPlacement,
     make_placement,
 )
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    LinkHealth,
+    section_problem,
+)
 from repro.runtime.link import AdmissionDecision, ManagedLink
 from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.runtime.replay import FeedOutage, ReplayReport, replay
@@ -35,12 +59,20 @@ from repro.runtime.replay import FeedOutage, ReplayReport, replay
 __all__ = [
     "AdmissionDecision",
     "AdmissionGateway",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "CorruptSpec",
     "Counter",
+    "FaultPlan",
+    "FaultyFeed",
+    "FeedFaults",
     "FeedOutage",
     "Gauge",
     "HashPlacement",
     "Histogram",
     "LeastLoadedPlacement",
+    "LinkHealth",
     "ManagedLink",
     "MeasurementFeed",
     "MetricsRegistry",
@@ -50,6 +82,9 @@ __all__ = [
     "RoundRobinPlacement",
     "SourceFeed",
     "TraceFeed",
+    "Window",
+    "default_chaos_plan",
     "make_placement",
     "replay",
+    "section_problem",
 ]

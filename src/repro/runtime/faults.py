@@ -1,0 +1,445 @@
+"""Fault injection for measurement feeds: break the measurement plane on purpose.
+
+The paper's thesis is that MBAC must stay safe when its measurements are
+wrong or missing; this module exists to *provoke* exactly those
+conditions, reproducibly.  :class:`FaultyFeed` is a decorator around any
+:class:`~repro.runtime.feed.MeasurementFeed` that injects a scripted,
+seeded mix of the fault models a real measurement plane exhibits:
+
+``outages``
+    Windows during which the feed emits nothing (collector down) -- the
+    link's staleness grows and degradation kicks in.
+``drop_probability``
+    Each produced sample is lost with this probability (lossy telemetry
+    channel) -- the feed ages between the survivors.
+``corrupt``
+    Emitted samples are replaced with garbage: ``nan`` (non-finite
+    statistics), ``negative`` (impossible rates) -- both tripping the
+    link's sample validation and its circuit breaker -- or ``spike``
+    (rates scaled by ``factor``: *plausible but wrong*, the insidious
+    kind that sails past validation and poisons the estimate).
+``stuck``
+    Windows during which the feed re-emits its last value at full cadence
+    (a wedged exporter): the link sees "fresh" measurements that never
+    change, masking the real traffic.
+``clock_skew``
+    Constant offset applied to the time the inner feed sees (a collector
+    with a bad clock).
+``latency``
+    Samples are delivered this much later than they were measured.
+
+Faults are described declaratively by a :class:`FaultPlan` -- a mapping of
+link name to :class:`FeedFaults`, loadable from JSON or YAML -- so a chaos
+scenario is a reviewable artifact and a seeded replay under it is
+byte-for-byte reproducible (each wrapped feed derives its private RNG
+from the plan seed and the link name).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.estimators import CrossSection
+from repro.errors import ParameterError
+from repro.runtime.feed import MeasurementFeed
+
+__all__ = [
+    "CORRUPT_MODES",
+    "CorruptSpec",
+    "FaultPlan",
+    "FaultyFeed",
+    "FeedFaults",
+    "Window",
+    "default_chaos_plan",
+]
+
+CORRUPT_MODES = ("nan", "negative", "spike")
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open time window ``[start, start + duration)``."""
+
+    start: float
+    duration: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not (self.start >= 0.0):
+            raise ParameterError("window start must be >= 0")
+        if not (self.duration > 0.0):
+            raise ParameterError("window duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def _parse_window(obj) -> Window:
+    if isinstance(obj, Window):
+        return obj
+    if isinstance(obj, Mapping):
+        unknown = set(obj) - {"start", "duration"}
+        if unknown:
+            raise ParameterError(f"unknown window keys {sorted(unknown)}")
+        duration = obj.get("duration")
+        return Window(
+            start=float(obj["start"]),
+            duration=math.inf if duration is None else float(duration),
+        )
+    try:
+        start, duration = obj
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"bad window {obj!r}; expected [start, duration] or "
+            "{'start': ..., 'duration': ...}"
+        ) from None
+    return Window(start=float(start), duration=float(duration))
+
+
+def _parse_windows(obj) -> tuple[Window, ...]:
+    if obj is None:
+        return ()
+    return tuple(_parse_window(item) for item in obj)
+
+
+@dataclass(frozen=True)
+class CorruptSpec:
+    """How (and when) to corrupt emitted samples.
+
+    With no ``windows`` the corruption applies for the whole run; with
+    windows it applies only inside them (a "corrupt burst").
+    """
+
+    mode: str = "nan"
+    probability: float = 1.0
+    factor: float = 10.0
+    windows: tuple[Window, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in CORRUPT_MODES:
+            raise ParameterError(
+                f"unknown corrupt mode {self.mode!r}; "
+                f"choose from {CORRUPT_MODES}"
+            )
+        if not (0.0 <= self.probability <= 1.0):
+            raise ParameterError("corrupt probability must lie in [0, 1]")
+        if self.mode == "spike" and not (self.factor > 0.0):
+            raise ParameterError("spike factor must be positive")
+
+    def applies(self, t: float) -> bool:
+        if not self.windows:
+            return True
+        return any(w.contains(t) for w in self.windows)
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "CorruptSpec":
+        allowed = {"mode", "probability", "factor", "windows", "start",
+                   "duration"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ParameterError(f"unknown corrupt keys {sorted(unknown)}")
+        windows = _parse_windows(obj.get("windows"))
+        if "start" in obj:  # shorthand for a single burst window
+            windows += (_parse_window(
+                {"start": obj["start"], "duration": obj.get("duration")}
+            ),)
+        return cls(
+            mode=obj.get("mode", "nan"),
+            probability=float(obj.get("probability", 1.0)),
+            factor=float(obj.get("factor", 10.0)),
+            windows=windows,
+        )
+
+
+@dataclass(frozen=True)
+class FeedFaults:
+    """The fault mix injected into one link's feed."""
+
+    outages: tuple[Window, ...] = ()
+    drop_probability: float = 0.0
+    corrupt: CorruptSpec | None = None
+    stuck: tuple[Window, ...] = ()
+    clock_skew: float = 0.0
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Accept the same shapes as from_dict so direct construction
+        # (FeedFaults(corrupt={...}, outages=[[0, 1]])) cannot smuggle in
+        # unvalidated values that only blow up at poll time.
+        object.__setattr__(self, "outages", _parse_windows(self.outages))
+        object.__setattr__(self, "stuck", _parse_windows(self.stuck))
+        if isinstance(self.corrupt, Mapping):
+            object.__setattr__(
+                self, "corrupt", CorruptSpec.from_dict(self.corrupt)
+            )
+        elif self.corrupt is not None and not isinstance(self.corrupt, CorruptSpec):
+            raise ParameterError(
+                "corrupt must be a CorruptSpec or a mapping, got "
+                f"{type(self.corrupt).__name__}"
+            )
+        if not (0.0 <= self.drop_probability <= 1.0):
+            raise ParameterError("drop_probability must lie in [0, 1]")
+        if not math.isfinite(self.clock_skew):
+            raise ParameterError("clock_skew must be finite")
+        if self.latency < 0.0 or not math.isfinite(self.latency):
+            raise ParameterError("latency must be finite and >= 0")
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "FeedFaults":
+        allowed = {"outages", "drop_probability", "corrupt", "stuck",
+                   "clock_skew", "latency"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ParameterError(
+                f"unknown fault keys {sorted(unknown)}; allowed: "
+                f"{sorted(allowed)}"
+            )
+        corrupt = obj.get("corrupt")
+        return cls(
+            outages=_parse_windows(obj.get("outages")),
+            drop_probability=float(obj.get("drop_probability", 0.0)),
+            corrupt=None if corrupt is None else CorruptSpec.from_dict(corrupt),
+            stuck=_parse_windows(obj.get("stuck")),
+            clock_skew=float(obj.get("clock_skew", 0.0)),
+            latency=float(obj.get("latency", 0.0)),
+        )
+
+
+def _corrupt_section(section: CrossSection, mode: str, factor: float) -> CrossSection:
+    if mode == "nan":
+        return CrossSection(
+            n=section.n, mean=math.nan, second_moment=math.nan,
+            variance=math.nan,
+        )
+    if mode == "negative":
+        return CrossSection(
+            n=section.n,
+            mean=-(abs(section.mean) + 1.0),
+            second_moment=section.second_moment,
+            variance=section.variance,
+        )
+    # spike: scale every rate by `factor` (moments scale by factor^2)
+    return CrossSection(
+        n=section.n,
+        mean=section.mean * factor,
+        second_moment=section.second_moment * factor * factor,
+        variance=section.variance * factor * factor,
+    )
+
+
+class FaultyFeed(MeasurementFeed):
+    """Decorator injecting a :class:`FeedFaults` mix into any feed.
+
+    The wrapper owns its own emission clock/staleness (what the link
+    *actually receives*); the inner feed is only consulted when the fault
+    schedule allows.  ``injected`` counts each fault kind actually fired,
+    for reports and tests.
+    """
+
+    def __init__(
+        self,
+        inner: MeasurementFeed,
+        faults: FeedFaults,
+        *,
+        seed=0,
+    ) -> None:
+        super().__init__(inner.period)
+        self.inner = inner
+        self.faults = faults
+        self._rng = np.random.default_rng(seed)
+        self._pending: deque[tuple[float, CrossSection]] = deque()
+        self._last_section: CrossSection | None = None
+        self.injected = {
+            "outage_polls": 0,
+            "dropped": 0,
+            "corrupted": 0,
+            "stuck": 0,
+            "delayed": 0,
+        }
+
+    @property
+    def exhausted(self) -> bool:
+        """Inner exhaustion, once the latency queue has drained too."""
+        return bool(getattr(self.inner, "exhausted", False)) and not self._pending
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection | None:
+        faults = self.faults
+        if any(w.contains(now) for w in faults.outages):
+            self.injected["outage_polls"] += 1
+            return None
+        if self._last_section is not None and any(
+            w.contains(now) for w in faults.stuck
+        ):
+            # Wedged exporter: re-emit the last value, consume nothing.
+            self.injected["stuck"] += 1
+            return self._maybe_corrupt(self._last_section, now)
+
+        section = self.inner.measure(now + faults.clock_skew, n_flows)
+        if (
+            section is not None
+            and faults.drop_probability > 0.0
+            and self._rng.random() < faults.drop_probability
+        ):
+            self.injected["dropped"] += 1
+            section = None
+        if faults.latency > 0.0:
+            if section is not None:
+                self._pending.append((now + faults.latency, section))
+                self.injected["delayed"] += 1
+            section = None
+            if self._pending and self._pending[0][0] <= now:
+                section = self._pending.popleft()[1]
+        if section is None:
+            return None
+        self._last_section = section  # pre-corruption: stuck replays truth
+        return self._maybe_corrupt(section, now)
+
+    def _maybe_corrupt(self, section: CrossSection, now: float) -> CrossSection:
+        corrupt = self.faults.corrupt
+        if (
+            corrupt is not None
+            and corrupt.applies(now)
+            and self._rng.random() < corrupt.probability
+        ):
+            self.injected["corrupted"] += 1
+            return _corrupt_section(section, corrupt.mode, corrupt.factor)
+        return section
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seedable chaos scenario: link name -> fault mix.
+
+    ``seed`` drives every wrapped feed's private RNG (combined with a
+    stable hash of the link name), so the same plan + seed reproduces the
+    same fault realization regardless of link order.
+    """
+
+    links: Mapping[str, FeedFaults] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, faults in self.links.items():
+            if not isinstance(faults, FeedFaults):
+                raise ParameterError(
+                    f"fault plan entry for {name!r} must be a FeedFaults"
+                )
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "FaultPlan":
+        unknown = set(obj) - {"seed", "links"}
+        if unknown:
+            raise ParameterError(f"unknown fault-plan keys {sorted(unknown)}")
+        links_obj = obj.get("links", {})
+        if not isinstance(links_obj, Mapping):
+            raise ParameterError("fault-plan 'links' must be a mapping")
+        return cls(
+            links={
+                str(name): FeedFaults.from_dict(spec)
+                for name, spec in links_obj.items()
+            },
+            seed=int(obj.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        """Load a plan from a JSON (default) or YAML (``.yaml``/``.yml``) file."""
+        text = open(path, "r", encoding="utf-8").read()
+        if str(path).endswith((".yaml", ".yml")):
+            try:
+                import yaml
+            except ImportError:  # pragma: no cover - environment-dependent
+                raise ParameterError(
+                    "YAML fault plans need PyYAML; install it or use JSON"
+                ) from None
+            obj = yaml.safe_load(text)
+        else:
+            obj = json.loads(text)
+        if not isinstance(obj, Mapping):
+            raise ParameterError("fault plan file must hold a mapping")
+        return cls.from_dict(obj)
+
+    def feed_seed(self, name: str) -> tuple[int, int]:
+        """Deterministic RNG seed for the feed wrapping link ``name``."""
+        return (self.seed, zlib.crc32(str(name).encode("utf-8")))
+
+    def wrap(self, gateway) -> dict[str, FaultyFeed]:
+        """Wrap every targeted link's feed in ``gateway``; returns the wrappers.
+
+        Unknown link names raise
+        :class:`~repro.errors.ParameterError` (via ``gateway.link``).
+        """
+        wrapped: dict[str, FaultyFeed] = {}
+        for name, faults in self.links.items():
+            link = gateway.link(name)
+            faulty = FaultyFeed(link.feed, faults, seed=self.feed_seed(name))
+            link.feed = faulty
+            wrapped[name] = faulty
+        return wrapped
+
+
+def default_chaos_plan(
+    link_names: Iterable[str],
+    *,
+    period: float,
+    start: float = 50.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """The built-in chaos scenario used by ``repro chaos-replay``.
+
+    Combines the three failure classes the acceptance scenario calls for,
+    spread over the first links (wrapping around for small gateways):
+
+    * a measurement-plane **outage** long enough to degrade its link
+      (40 feed periods starting at ``start``);
+    * a **corrupt-sample burst** (NaN statistics, 8 periods) -- enough
+      consecutive invalid samples to open the breaker and quarantine its
+      link until the half-open probe finds clean data again;
+    * a lossy, laggy feed (30% **drop**, one period of **latency**) plus a
+      late **stuck-at** window, exercising the masking fault.
+    """
+    names = list(link_names)
+    if not names:
+        raise ParameterError("default_chaos_plan needs at least one link name")
+    if period <= 0.0:
+        raise ParameterError("period must be positive")
+    links: dict[str, FeedFaults] = {}
+
+    def merge(name: str, **kwargs) -> None:
+        current = links.get(name)
+        base = {} if current is None else {
+            "outages": current.outages,
+            "drop_probability": current.drop_probability,
+            "corrupt": current.corrupt,
+            "stuck": current.stuck,
+            "clock_skew": current.clock_skew,
+            "latency": current.latency,
+        }
+        base.update(kwargs)
+        links[name] = FeedFaults(**base)
+
+    merge(names[0], outages=(Window(start, 40.0 * period),))
+    merge(
+        names[1 % len(names)],
+        corrupt=CorruptSpec(
+            mode="nan", probability=1.0,
+            windows=(Window(start, 8.0 * period),),
+        ),
+    )
+    merge(
+        names[2 % len(names)],
+        drop_probability=0.3,
+        latency=period,
+        stuck=(Window(start + 60.0 * period, 20.0 * period),),
+    )
+    return FaultPlan(links=links, seed=seed)

@@ -9,6 +9,16 @@ right link.  The gateway itself is deliberately thin: all admission
 mathematics lives in the links; all statistics live in the shared
 :class:`~repro.runtime.metrics.MetricsRegistry`.
 
+Failover
+--------
+Quarantined links (feed circuit breaker open -- see
+:mod:`repro.runtime.health`) are skipped by placement, and when the
+chosen link turns out to be quarantined at decision time (`admit` ticks
+the link, which may flip its breaker), the request **fails over** to the
+next-best non-quarantined link instead of being rejected outright.  Only
+when every link is quarantined does the gateway return the fail-closed
+rejection.  Failovers are counted in ``gateway.failovers``.
+
 Placement policies
 ------------------
 ``least-loaded``
@@ -31,7 +41,7 @@ import zlib
 from abc import ABC, abstractmethod
 from typing import Hashable, Sequence
 
-from repro.errors import ParameterError, RuntimeStateError
+from repro.errors import ParameterError, RuntimeStateError, UnknownFlowError
 from repro.runtime.link import AdmissionDecision, ManagedLink
 from repro.runtime.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 
@@ -201,6 +211,10 @@ class AdmissionGateway:
             "requests per admit_many() burst",
             buckets=BATCH_SIZE_BUCKETS,
         )
+        self._m_failovers = self.registry.counter(
+            "gateway.failovers",
+            "requests retried on another link after a quarantine rejection",
+        )
         self._m_flows.set(0)
 
     # -- read side ---------------------------------------------------------
@@ -221,15 +235,42 @@ class AdmissionGateway:
         """The link currently carrying ``flow_id`` (``None`` if not placed)."""
         return self._flows.get(flow_id)
 
+    def _placement_candidates(self) -> list[ManagedLink]:
+        """Links eligible for new placements (all, if all are quarantined)."""
+        eligible = [link for link in self.links if not link.quarantined]
+        return eligible if eligible else list(self.links)
+
     # -- request path ------------------------------------------------------
 
     def admit(self, flow_id: Hashable, now: float) -> AdmissionDecision:
-        """Place and decide one arriving flow."""
+        """Place and decide one arriving flow.
+
+        Quarantined links are skipped at placement; if the chosen link
+        still rejects with ``reason="quarantined"`` (its breaker flipped
+        at decision time), the request fails over to the next-best
+        non-quarantined link until one decides it or none remain.
+        """
         if flow_id in self._flows:
             raise RuntimeStateError(f"flow {flow_id!r} is already active")
         t0 = time.perf_counter()
-        link = self.placement.choose(self.links, flow_id)
-        decision = link.admit(now)
+        candidates = self._placement_candidates()
+        while True:
+            link = self.placement.choose(candidates, flow_id)
+            decision = link.admit(now)
+            if decision.reason != "quarantined":
+                break
+            remaining = [
+                other for other in candidates
+                if other is not link and not other.quarantined
+            ]
+            if not remaining:
+                break
+            self._m_failovers.inc()
+            logger.debug(
+                "gateway: flow %r failing over from quarantined link %s",
+                flow_id, link.name,
+            )
+            candidates = remaining
         if decision.admitted:
             self._flows[flow_id] = link
             self._m_admits.inc()
@@ -247,9 +288,12 @@ class AdmissionGateway:
         Flows are placed with one batched placement pass
         (:meth:`PlacementPolicy.choose_batch`), then each link resolves
         its share of the burst with a single
-        :meth:`~repro.runtime.link.ManagedLink.admit_many` call.  Returns
-        one decision per flow, in input order; admitted flows are entered
-        into the flow table exactly as :meth:`admit` would.
+        :meth:`~repro.runtime.link.ManagedLink.admit_many` call.  Requests
+        rejected with ``reason="quarantined"`` are re-placed over the
+        remaining non-quarantined links (each round excludes the links
+        that failed closed, so the loop terminates).  Returns one decision
+        per flow, in input order; admitted flows are entered into the flow
+        table exactly as :meth:`admit` would.
         """
         ids = list(flow_ids)
         if not ids:
@@ -264,22 +308,45 @@ class AdmissionGateway:
                 )
             seen.add(flow_id)
         t0 = time.perf_counter()
-        placements = self.placement.choose_batch(self.links, ids)
-        by_link: dict[str, list[int]] = {}
-        for index, link in enumerate(placements):
-            by_link.setdefault(link.name, []).append(index)
-
         decisions: list[AdmissionDecision | None] = [None] * len(ids)
-        admitted_total = 0
-        for name, indices in by_link.items():
-            link = self._by_name[name]
-            for index, decision in zip(
-                indices, link.admit_many(len(indices), now)
-            ):
-                decisions[index] = decision
-                if decision.admitted:
-                    self._flows[ids[index]] = link
-                    admitted_total += 1
+        pending = list(range(len(ids)))
+        candidates = self._placement_candidates()
+        retried = 0
+        while pending:
+            placements = self.placement.choose_batch(
+                candidates, [ids[i] for i in pending]
+            )
+            by_link: dict[str, list[int]] = {}
+            for position, link in zip(pending, placements):
+                by_link.setdefault(link.name, []).append(position)
+
+            next_pending: list[int] = []
+            quarantined_names: set[str] = set()
+            for name, indices in by_link.items():
+                link = self._by_name[name]
+                for index, decision in zip(
+                    indices, link.admit_many(len(indices), now)
+                ):
+                    decisions[index] = decision
+                    if decision.reason == "quarantined":
+                        next_pending.append(index)
+                        quarantined_names.add(name)
+                    elif decision.admitted:
+                        self._flows[ids[index]] = link
+            if not next_pending:
+                break
+            candidates = [
+                link for link in candidates
+                if link.name not in quarantined_names and not link.quarantined
+            ]
+            if not candidates:
+                break  # every link failed closed; keep the rejections
+            retried += len(next_pending)
+            pending = sorted(next_pending)
+        if retried:
+            self._m_failovers.inc(retried)
+
+        admitted_total = sum(1 for d in decisions if d is not None and d.admitted)
         if admitted_total:
             self._m_admits.inc(admitted_total)
         if len(ids) - admitted_total:
@@ -290,28 +357,49 @@ class AdmissionGateway:
         return decisions
 
     def depart(self, flow_id: Hashable, now: float) -> ManagedLink:
-        """Record the departure of an active flow; returns its link."""
+        """Record the departure of an active flow; returns its link.
+
+        Raises
+        ------
+        UnknownFlowError
+            If ``flow_id`` is not active on any link (the message carries
+            the id and the link roster).
+        """
         link = self._flows.pop(flow_id, None)
         if link is None:
-            raise RuntimeStateError(f"flow {flow_id!r} is not active")
+            raise UnknownFlowError([flow_id], self._by_name)
         link.depart(now)
         self._m_departs.inc()
         self._m_flows.set(len(self._flows))
         return link
 
     def depart_many(self, flow_ids: Sequence[Hashable], now: float) -> None:
-        """Record a burst of simultaneous departures (one tick per link)."""
+        """Record a burst of simultaneous departures (one tick per link).
+
+        Validates the whole burst before mutating anything: duplicates
+        raise :class:`~repro.errors.RuntimeStateError`, and unknown flow
+        ids raise a single :class:`~repro.errors.UnknownFlowError`
+        reporting *every* unknown id in the burst, not just the first.
+        """
         ids = list(flow_ids)
         if not ids:
             return
         counts: dict[str, int] = {}
         seen: set = set()
+        unknown: list = []
         for flow_id in ids:  # validate before mutating anything
-            link = self._flows.get(flow_id)
-            if link is None or flow_id in seen:
-                raise RuntimeStateError(f"flow {flow_id!r} is not active")
+            if flow_id in seen:
+                raise RuntimeStateError(
+                    f"flow {flow_id!r} appears twice in one departure burst"
+                )
             seen.add(flow_id)
-            counts[link.name] = counts.get(link.name, 0) + 1
+            link = self._flows.get(flow_id)
+            if link is None:
+                unknown.append(flow_id)
+            else:
+                counts[link.name] = counts.get(link.name, 0) + 1
+        if unknown:
+            raise UnknownFlowError(unknown, self._by_name)
         for flow_id in ids:
             del self._flows[flow_id]
         for name, count in counts.items():
@@ -332,6 +420,8 @@ class AdmissionGateway:
             link.name: {
                 "n_flows": link.n_flows,
                 "degraded": link.degraded,
+                "health": link.health.value,
+                "breaker": link.breaker.snapshot(),
                 "mean_utilization": link.mean_utilization,
                 "overflow_fraction": link.overflow_fraction,
                 "load_fraction": link.load_fraction,

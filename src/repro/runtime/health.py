@@ -1,0 +1,263 @@
+"""Feed circuit breakers and the link health state machine.
+
+The stale-feed degradation in :mod:`repro.runtime.link` handles *silence*
+(a feed that stops emitting).  This module adds the second failure class a
+measurement plane exhibits in practice: *bad data* -- corrupt samples
+(NaN/negative/absurd rates), an estimator that refuses an observation, or
+a recording that has run out and will never refresh again.  Silence and
+corruption need different responses:
+
+* **silence** is often transient (a collector restart); while it lasts the
+  theory still offers a safe fallback -- the conservative adjusted-``p_ce``
+  target -- so the link *degrades* but keeps admitting;
+* **corruption** means the feed cannot be trusted at all; admitting on a
+  poisoned estimate violates the paper's premise that estimation error is
+  bounded by the measurement process, so the link *fails closed*: it
+  quarantines, admits nothing new, and keeps serving/departing the flows
+  it already carries.
+
+:class:`CircuitBreaker` implements the classic three-state breaker over a
+feed: ``CLOSED`` (trusting) opens after ``failure_threshold`` *consecutive*
+invalid samples; ``OPEN`` stops polling the feed entirely until an
+exponentially backed-off probe window elapses; ``HALF_OPEN`` admits exactly
+one probe poll -- a valid sample closes the breaker, an invalid one reopens
+it with doubled backoff (capped at ``backoff_cap``, so a quarantined link
+always re-probes within a bounded interval).
+
+:class:`LinkHealth` is the derived per-link state the gateway routes on:
+
+```
+                staleness > horizon            breaker opens
+    HEALTHY ──────────────────────▶ DEGRADED ───────────────▶ QUARANTINED
+       ▲ ◀──── fresh valid sample ─────┘                           │
+       └───────────────── half-open probe succeeds ◀───────────────┘
+```
+
+The breaker itself is clock-agnostic: callers pass ``now`` (the link's
+logical clock) into every method, so replays remain deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.estimators import CrossSection
+from repro.errors import ParameterError
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "LinkHealth",
+    "section_problem",
+]
+
+
+class BreakerState(enum.Enum):
+    """Trust state of one measurement feed."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Numeric codes for gauges (ascending severity).
+BREAKER_STATE_CODES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class LinkHealth(enum.Enum):
+    """Operational state of a managed link, derived each tick."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+
+#: Numeric codes for gauges (ascending severity).
+HEALTH_CODES = {
+    LinkHealth.HEALTHY: 0,
+    LinkHealth.DEGRADED: 1,
+    LinkHealth.QUARANTINED: 2,
+}
+
+
+def section_problem(section: CrossSection) -> str | None:
+    """Why ``section`` is unusable as a measurement, or ``None`` if valid.
+
+    The checks mirror :func:`repro.core.estimators.cross_section` (which
+    validates raw rate arrays); feeds that synthesize or replay
+    :class:`CrossSection` objects directly -- or a fault injector
+    corrupting them in flight -- bypass that constructor, so the link
+    re-validates at ingest before the estimator ever sees the sample.
+    """
+    if section.n < 0:
+        return f"negative flow count n={section.n}"
+    for label, value in (
+        ("mean", section.mean),
+        ("second_moment", section.second_moment),
+        ("variance", section.variance),
+    ):
+        if not math.isfinite(value):
+            return f"non-finite {label} ({value!r})"
+        if value < 0.0:
+            return f"negative {label} ({value!r})"
+    return None
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for a :class:`CircuitBreaker`.
+
+    Parameters
+    ----------
+    failure_threshold : int
+        Consecutive invalid samples that open a closed breaker.
+    backoff_initial : float
+        Wait before the first half-open probe after opening.
+    backoff_factor : float
+        Backoff multiplier applied on every failed probe (>= 1).
+    backoff_cap : float
+        Upper bound on the backoff -- the longest a quarantined link can
+        go between probes, whatever the failure history.
+    """
+
+    failure_threshold: int = 3
+    backoff_initial: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ParameterError("failure_threshold must be at least 1")
+        if self.backoff_initial <= 0.0:
+            raise ParameterError("backoff_initial must be positive")
+        if self.backoff_factor < 1.0:
+            raise ParameterError("backoff_factor must be >= 1")
+        if self.backoff_cap < self.backoff_initial:
+            raise ParameterError("backoff_cap must be >= backoff_initial")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with exponential half-open backoff.
+
+    All methods take ``now`` explicitly (the caller owns the clock).
+    Transitions notify registered listeners with
+    ``(old_state, new_state, now)`` -- the link uses this to keep metrics
+    and logs in sync without the breaker knowing about either.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._backoff = self.config.backoff_initial
+        self._opened_at = math.nan
+        self._listeners: list[Callable] = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    @property
+    def backoff(self) -> float:
+        """Current probe backoff (always <= ``config.backoff_cap``)."""
+        return self._backoff
+
+    @property
+    def opened_at(self) -> float:
+        """Time the breaker last opened (NaN while it never has)."""
+        return self._opened_at
+
+    @property
+    def next_probe_time(self) -> float | None:
+        """When the next half-open probe becomes due (None when closed)."""
+        if self._state is BreakerState.CLOSED:
+            return None
+        if self._state is BreakerState.HALF_OPEN:
+            return self._opened_at  # probe already allowed
+        return self._opened_at + self._backoff
+
+    def add_listener(self, listener: Callable) -> None:
+        """Register a ``(old, new, now)`` transition callback."""
+        self._listeners.append(listener)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for gateway snapshots."""
+        return {
+            "state": self._state.value,
+            "consecutive_failures": self._failures,
+            "backoff": self._backoff,
+            "next_probe_time": self.next_probe_time,
+        }
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, new: BreakerState, now: float) -> None:
+        old = self._state
+        if new is old:
+            return
+        self._state = new
+        for listener in self._listeners:
+            listener(old, new, now)
+
+    def should_attempt(self, now: float) -> bool:
+        """Whether the feed may be polled at ``now``.
+
+        Closed breakers always poll.  Open breakers refuse until the
+        backoff has elapsed, then transition to half-open and allow the
+        probe.  Half-open breakers keep allowing polls until one is
+        conclusive (an epoch boundary may not have been reached yet).
+        """
+        if self._state is BreakerState.OPEN:
+            if now - self._opened_at + 1e-12 >= self._backoff:
+                self._transition(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A valid sample was ingested: reset failures, close the breaker."""
+        self._failures = 0
+        if self._state is not BreakerState.CLOSED:
+            self._backoff = self.config.backoff_initial
+            self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """An invalid sample (or failed probe) was seen."""
+        self._failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            # Failed probe: reopen with doubled (capped) backoff.
+            self._backoff = min(
+                self.config.backoff_cap,
+                self._backoff * self.config.backoff_factor,
+            )
+            self._opened_at = float(now)
+            self._transition(BreakerState.OPEN, now)
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._failures >= self.config.failure_threshold
+        ):
+            self._open(now)
+
+    def trip(self, now: float) -> None:
+        """Force the breaker open (e.g. the feed reported itself dead)."""
+        if self._state is not BreakerState.OPEN:
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self._backoff = min(self.config.backoff_cap, self._backoff)
+        self._opened_at = float(now)
+        self._transition(BreakerState.OPEN, now)

@@ -8,16 +8,26 @@ engines), and answers ``admit()`` / ``depart()`` requests against the
 eqn-(22) target count -- there is no discrete-event loop; callers own the
 clock and drive the link with monotone timestamps.
 
-Graceful degradation is first-class.  Measurements age; when the feed's
-staleness exceeds a configurable horizon (by default the critical
-time-scale ``T_h_tilde = T_h / sqrt(n)`` -- beyond it the system's natural
-departure "repair" can no longer be assumed to cover estimation error) the
-link switches its admission test to the *conservative* adjusted-``p_ce``
-target obtained by inverting the theory
-(:func:`repro.theory.inversion.adjusted_ce_alpha`), and switches back as
-soon as fresh measurements resume.  A permanently silent feed therefore
-caps the link at the robust target instead of freezing it on a stale
-optimistic estimate.
+Failure handling is first-class, through one coherent health model
+(:mod:`repro.runtime.health`).  Every tick re-derives the link's
+:class:`~repro.runtime.health.LinkHealth`:
+
+* **HEALTHY** -- fresh, valid measurements: decisions use the plain
+  certainty-equivalent target.
+* **DEGRADED** -- the feed has gone *silent* past the stale horizon (by
+  default the critical time-scale ``T_h_tilde = T_h / sqrt(n)``, beyond
+  which departures can no longer be assumed to repair estimation error):
+  decisions switch to the *conservative* adjusted-``p_ce`` target obtained
+  by inverting the theory
+  (:func:`repro.theory.inversion.adjusted_ce_alpha`), and switch back as
+  soon as fresh measurements resume.
+* **QUARANTINED** -- the feed is producing *bad data* (corrupt samples,
+  estimator rejections) or has reported itself exhausted: the per-feed
+  circuit breaker opens and the link **fails closed** -- it admits nothing
+  new while continuing to serve and depart the flows it already carries.
+  The breaker re-probes the feed on an exponential backoff (bounded by
+  ``backoff_cap``) and the link returns to service on the first valid
+  sample.
 """
 
 from __future__ import annotations
@@ -42,6 +52,15 @@ from repro.errors import (
     RuntimeStateError,
 )
 from repro.runtime.feed import MeasurementFeed
+from repro.runtime.health import (
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HEALTH_CODES,
+    LinkHealth,
+    section_problem,
+)
 from repro.runtime.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 
 __all__ = ["AdmissionDecision", "ManagedLink"]
@@ -67,16 +86,22 @@ class AdmissionDecision:
         ``"target"`` (normal criterion), ``"bootstrap"`` (first flow on an
         empty, healthy link whose measurement reports an empty system --
         a zero estimate would otherwise freeze admission forever),
-        ``"conservative-target"`` (degraded-mode criterion) or
+        ``"conservative-target"`` (degraded-mode criterion),
         ``"no-measurement"`` (rejected: no usable estimate; a link whose
-        feed has never emitted is maximally stale, hence degraded).
+        feed has never emitted is maximally stale, hence degraded) or
+        ``"quarantined"`` (rejected: the feed's circuit breaker is open
+        and the link fails closed).
     target : float
         The real-valued admissible count the decision was tested against
         (NaN when no estimate was available).
     n_flows : int
         Link occupancy *after* the decision.
     degraded : bool
-        Whether the link was in degraded (stale-feed) mode.
+        Whether the link was in any non-healthy state (degraded or
+        quarantined).
+    health : str
+        The deciding link's health state (``"healthy"``, ``"degraded"``,
+        ``"quarantined"``).
     """
 
     admitted: bool
@@ -85,6 +110,7 @@ class AdmissionDecision:
     target: float
     n_flows: int
     degraded: bool
+    health: str = LinkHealth.HEALTHY.value
 
 
 class ManagedLink:
@@ -111,6 +137,10 @@ class ManagedLink:
     stale_horizon : float, optional
         Staleness beyond which the link degrades; defaults to
         ``T_h_tilde = T_h / sqrt(n)``.
+    breaker : CircuitBreaker, optional
+        Per-feed circuit breaker; a default one is built with a probe
+        backoff starting at one feed period and capped at
+        ``max(8 periods, stale horizon)``.
     registry : MetricsRegistry, optional
         Shared registry; a private one is created when omitted.
 
@@ -129,6 +159,7 @@ class ManagedLink:
         controller: AdmissionController,
         conservative_controller: AdmissionController,
         stale_horizon: float | None = None,
+        breaker: CircuitBreaker | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if capacity <= 0.0 or holding_time <= 0.0 or mean_rate <= 0.0:
@@ -152,10 +183,19 @@ class ManagedLink:
         self.estimator = estimator
         self.controller = controller
         self.conservative_controller = conservative_controller
+        if breaker is None:
+            breaker = CircuitBreaker(
+                BreakerConfig(
+                    backoff_initial=feed.period,
+                    backoff_cap=max(8.0 * feed.period, self.stale_horizon),
+                )
+            )
+        self.breaker = breaker
 
         self._n = 0
         self._clock = 0.0
-        self._degraded = False
+        self._health = LinkHealth.HEALTHY
+        self._exhaustion_logged = False
         self._last_aggregate: float | None = None
         self.observed_time = 0.0
         self.overload_time = 0.0
@@ -171,7 +211,25 @@ class ManagedLink:
             f"{prefix}.measurements", "fresh cross-sections ingested"
         )
         self._m_degradations = metric.counter(
-            f"{prefix}.degradations", "healthy->degraded transitions"
+            f"{prefix}.degradations", "healthy->non-healthy transitions"
+        )
+        self._m_quarantines = metric.counter(
+            f"{prefix}.quarantines", "transitions into quarantine"
+        )
+        self._m_invalid = metric.counter(
+            f"{prefix}.invalid_samples", "measurements rejected at ingest"
+        )
+        self._m_breaker_transitions = metric.counter(
+            f"{prefix}.breaker_transitions", "feed breaker state changes"
+        )
+        self._m_breaker_opens = metric.counter(
+            f"{prefix}.breaker_opens", "feed breaker open events"
+        )
+        self._m_breaker_closes = metric.counter(
+            f"{prefix}.breaker_closes", "feed breaker close (recovery) events"
+        )
+        self._m_breaker_probes = metric.counter(
+            f"{prefix}.breaker_probes", "half-open probe polls"
         )
         self._m_n = metric.gauge(f"{prefix}.n_flows", "current occupancy")
         self._m_mu = metric.gauge(f"{prefix}.mu_hat", "estimated per-flow mean")
@@ -186,6 +244,13 @@ class ManagedLink:
         self._m_staleness = metric.gauge(
             f"{prefix}.staleness", "age of newest measurement"
         )
+        self._m_health = metric.gauge(
+            f"{prefix}.health_state",
+            "0 healthy / 1 degraded / 2 quarantined",
+        )
+        self._m_breaker_state = metric.gauge(
+            f"{prefix}.breaker_state", "0 closed / 1 half-open / 2 open"
+        )
         self._m_latency = metric.histogram(
             f"{prefix}.decision_latency", "admit() wall-clock seconds"
         )
@@ -198,6 +263,9 @@ class ManagedLink:
             buckets=BATCH_SIZE_BUCKETS,
         )
         self._m_n.set(0)
+        self._m_health.set(HEALTH_CODES[self._health])
+        self._m_breaker_state.set(BREAKER_STATE_CODES[self.breaker.state])
+        self.breaker.add_listener(self._on_breaker_transition)
 
     # -- construction ------------------------------------------------------
 
@@ -216,6 +284,7 @@ class ManagedLink:
         memory: float | None = None,
         min_sigma: float = 0.0,
         stale_fraction: float = 1.0,
+        breaker_config: BreakerConfig | None = None,
         registry: MetricsRegistry | None = None,
     ) -> "ManagedLink":
         """Assemble a link from design parameters.
@@ -231,7 +300,8 @@ class ManagedLink:
         overflow formula at these parameters (falling back to the most
         conservative representable target when the inversion reports
         ``p_q`` unreachable).  ``mean_rate`` defaults to the feed source's
-        mean when the feed carries one.
+        mean when the feed carries one.  ``breaker_config`` tunes the
+        feed circuit breaker (defaults as in :class:`ManagedLink`).
         """
         if memory is not None and memory < 0.0:
             raise ParameterError(
@@ -287,6 +357,9 @@ class ManagedLink:
             controller=controller,
             conservative_controller=conservative,
             stale_horizon=stale_fraction * t_h_tilde,
+            breaker=(
+                None if breaker_config is None else CircuitBreaker(breaker_config)
+            ),
             registry=registry,
         )
 
@@ -298,9 +371,19 @@ class ManagedLink:
         return self._n
 
     @property
+    def health(self) -> LinkHealth:
+        """Current health state (as of the last tick)."""
+        return self._health
+
+    @property
     def degraded(self) -> bool:
-        """Whether the link is currently in stale-feed degraded mode."""
-        return self._degraded
+        """Whether the link is in any non-healthy state."""
+        return self._health is not LinkHealth.HEALTHY
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the link is failing closed (breaker open/probing)."""
+        return self._health is LinkHealth.QUARANTINED
 
     @property
     def load_fraction(self) -> float:
@@ -344,6 +427,62 @@ class ManagedLink:
             return None
         return self.conservative_controller.target_count(estimate, self._n)
 
+    # -- health bookkeeping ------------------------------------------------
+
+    def _on_breaker_transition(
+        self, old: BreakerState, new: BreakerState, now: float
+    ) -> None:
+        self._m_breaker_transitions.inc()
+        self._m_breaker_state.set(BREAKER_STATE_CODES[new])
+        if new is BreakerState.OPEN:
+            self._m_breaker_opens.inc()
+            logger.warning(
+                "link %s: feed breaker opened at t=%.6g "
+                "(failures=%d, next probe in %.3g)",
+                self.name, now, self.breaker.consecutive_failures,
+                self.breaker.backoff,
+            )
+        elif new is BreakerState.CLOSED:
+            self._m_breaker_closes.inc()
+            logger.info(
+                "link %s: feed breaker closed at t=%.6g (feed trusted again)",
+                self.name, now,
+            )
+        else:
+            logger.info(
+                "link %s: feed breaker half-open at t=%.6g (probing feed)",
+                self.name, now,
+            )
+
+    def _set_health(self, health: LinkHealth, now: float, staleness: float) -> None:
+        old = self._health
+        if health is old:
+            return
+        self._health = health
+        self._m_health.set(HEALTH_CODES[health])
+        if old is LinkHealth.HEALTHY:
+            self._m_degradations.inc()
+        if health is LinkHealth.QUARANTINED:
+            self._m_quarantines.inc()
+            logger.warning(
+                "link %s quarantined at t=%.6g: feed untrusted, failing "
+                "closed (existing flows keep draining)",
+                self.name, now,
+            )
+        elif health is LinkHealth.DEGRADED:
+            logger.warning(
+                "link %s degraded: measurement %.3g old exceeds horizon %.3g",
+                self.name, staleness, self.stale_horizon,
+            )
+        else:
+            logger.info(
+                "link %s recovered at t=%.6g: fresh valid measurements resumed",
+                self.name, now,
+            )
+
+    def _feed_exhausted(self) -> bool:
+        return bool(getattr(self.feed, "exhausted", False))
+
     # -- clock / measurement ingest ----------------------------------------
 
     def tick(self, now: float) -> bool:
@@ -351,8 +490,9 @@ class ManagedLink:
 
         Integrates the time-weighted statistics with the measured aggregate
         held constant since the previous tick, ingests at most one fresh
-        cross-section per call, and re-evaluates the degradation state.
-        Returns ``True`` when a fresh measurement was ingested.
+        *valid* cross-section per call (invalid samples are discarded and
+        charged to the feed's circuit breaker), and re-derives the health
+        state.  Returns ``True`` when a fresh measurement was ingested.
         """
         now = float(now)
         if now < self._clock - 1e-9:
@@ -370,32 +510,68 @@ class ManagedLink:
         self._clock = now
 
         self.estimator.advance(now)
-        section = self.feed.measure(now, self._n)
-        fresh = section is not None
-        if fresh:
-            self.estimator.observe(section)
-            self._m_measurements.inc()
-            aggregate = section.mean * section.n
-            self._last_aggregate = aggregate
-            self._m_util.set(aggregate / self.capacity)
-            estimate = self._current_estimate()
-            if estimate is not None:
-                self._m_mu.set(estimate.mu)
-                self._m_sigma.set(estimate.sigma)
+        breaker = self.breaker
+        fresh = False
+        if breaker.should_attempt(now):
+            probing = breaker.state is BreakerState.HALF_OPEN
+            if probing:
+                self._m_breaker_probes.inc()
+            section = self.feed.measure(now, self._n)
+            if section is not None:
+                problem = section_problem(section)
+                if problem is None:
+                    try:
+                        self.estimator.observe(section)
+                    except EstimatorError as exc:
+                        problem = str(exc)
+                if problem is None:
+                    fresh = True
+                    breaker.record_success(now)
+                    self._m_measurements.inc()
+                    aggregate = section.mean * section.n
+                    self._last_aggregate = aggregate
+                    self._m_util.set(aggregate / self.capacity)
+                    estimate = self._current_estimate()
+                    if estimate is not None:
+                        self._m_mu.set(estimate.mu)
+                        self._m_sigma.set(estimate.sigma)
+                else:
+                    self._m_invalid.inc()
+                    breaker.record_failure(now)
+                    logger.warning(
+                        "link %s: discarded invalid measurement at t=%.6g (%s)",
+                        self.name, now, problem,
+                    )
+            elif probing and self._feed_exhausted():
+                # The probe conclusively failed: the recording is over and
+                # nothing will ever come back.  Reopen with longer backoff.
+                breaker.record_failure(now)
+        # else: breaker open and backoff pending -- the feed is not polled.
+
+        exhausted = self._feed_exhausted()
+        if exhausted and not self._exhaustion_logged:
+            self._exhaustion_logged = True
+            logger.warning(
+                "link %s: measurement feed exhausted "
+                "(event=feed-exhausted link=%s t=%.6g stale_horizon=%.6g); "
+                "the link will quarantine once the last measurement goes stale",
+                self.name, self.name, now, self.stale_horizon,
+            )
 
         staleness = self.feed.staleness(now)
         self._m_staleness.set(staleness)
         stale = staleness > self.stale_horizon
-        if stale and not self._degraded:
-            self._degraded = True
-            self._m_degradations.inc()
-            logger.warning(
-                "link %s degraded: measurement %.3g old exceeds horizon %.3g",
-                self.name, staleness, self.stale_horizon,
-            )
-        elif not stale and self._degraded:
-            self._degraded = False
-            logger.info("link %s recovered: fresh measurements resumed", self.name)
+        if stale and exhausted and breaker.state is BreakerState.CLOSED:
+            # An exhausted feed past the horizon can never refresh its
+            # estimate: fail closed instead of admitting forever on it.
+            breaker.trip(now)
+        if breaker.state is not BreakerState.CLOSED:
+            health = LinkHealth.QUARANTINED
+        elif stale:
+            health = LinkHealth.DEGRADED
+        else:
+            health = LinkHealth.HEALTHY
+        self._set_health(health, now, staleness)
         return fresh
 
     # -- request path ------------------------------------------------------
@@ -404,11 +580,14 @@ class ManagedLink:
         """Decide one flow-arrival request at time ``now``."""
         t0 = time.perf_counter()
         self.tick(now)
-        degraded = self._degraded
-        controller = self.conservative_controller if degraded else self.controller
+        health = self._health
+        degraded = health is not LinkHealth.HEALTHY
         estimate = self._current_estimate()
 
-        if estimate is None or (estimate.mu <= 0.0 and self._n == 0):
+        if health is LinkHealth.QUARANTINED:
+            # Fail closed: no new admissions on an untrusted feed.
+            admitted, reason, target = False, "quarantined", math.nan
+        elif estimate is None or (estimate.mu <= 0.0 and self._n == 0):
             # Nothing measurable yet.  A healthy empty link bootstraps (the
             # offline engines do the same: a zero estimate would freeze
             # admission forever); a degraded link refuses blind admission.
@@ -417,6 +596,9 @@ class ManagedLink:
             else:
                 admitted, reason, target = False, "no-measurement", math.nan
         else:
+            controller = (
+                self.conservative_controller if degraded else self.controller
+            )
             target = controller.target_count(estimate, self._n)
             admitted = self._n + 1 <= math.floor(target)
             reason = "conservative-target" if degraded else "target"
@@ -431,9 +613,9 @@ class ManagedLink:
             self._m_target.set(target)
         self._m_latency.observe(time.perf_counter() - t0)
         logger.debug(
-            "link %s admit(t=%.6g): %s (%s, target=%.6g, n=%d, degraded=%s)",
+            "link %s admit(t=%.6g): %s (%s, target=%.6g, n=%d, health=%s)",
             self.name, now, "accept" if admitted else "reject",
-            reason, target, self._n, degraded,
+            reason, target, self._n, health.value,
         )
         return AdmissionDecision(
             admitted=admitted,
@@ -442,6 +624,7 @@ class ManagedLink:
             target=float(target),
             n_flows=self._n,
             degraded=degraded,
+            health=health.value,
         )
 
     def admit_many(self, k: int, now: float) -> list[AdmissionDecision]:
@@ -467,14 +650,28 @@ class ManagedLink:
             return []
         t0 = time.perf_counter()
         self.tick(now)
-        degraded = self._degraded
-        controller = self.conservative_controller if degraded else self.controller
+        health = self._health
+        degraded = health is not LinkHealth.HEALTHY
         estimate = self._current_estimate()
 
         decisions: list[AdmissionDecision] = []
         name = self.name
         n = self._n
         remaining = k
+
+        if health is LinkHealth.QUARANTINED:
+            # The whole burst fails closed, exactly as k sequential calls.
+            reject = AdmissionDecision(
+                admitted=False,
+                link=name,
+                reason="quarantined",
+                target=math.nan,
+                n_flows=n,
+                degraded=degraded,
+                health=health.value,
+            )
+            decisions.extend([reject] * remaining)
+            remaining = 0
 
         # Peel the no-measurement / bootstrap prefix exactly as admit() would:
         # a healthy empty link bootstraps its first flow; a degraded (or
@@ -495,12 +692,16 @@ class ManagedLink:
                     target=math.nan,
                     n_flows=n,
                     degraded=degraded,
+                    health=health.value,
                 )
             )
             remaining -= 1
 
         last_target = math.nan
         if remaining > 0:
+            controller = (
+                self.conservative_controller if degraded else self.controller
+            )
             reason = "conservative-target" if degraded else "target"
             # Occupancies along the all-accepted path; once one request is
             # rejected the occupancy (and hence the target) freezes, so every
@@ -521,6 +722,7 @@ class ManagedLink:
                         target=float(targets[i]),
                         n_flows=n,
                         degraded=degraded,
+                        health=health.value,
                     )
                 )
             if accepted < remaining:
@@ -532,6 +734,7 @@ class ManagedLink:
                     target=reject_target,
                     n_flows=n,
                     degraded=degraded,
+                    health=health.value,
                 )
                 decisions.extend([reject] * (remaining - accepted))
             last_target = float(targets[min(accepted, remaining - 1)])
@@ -549,13 +752,18 @@ class ManagedLink:
         self._m_batch_latency.observe(time.perf_counter() - t0)
         logger.debug(
             "link %s admit_many(t=%.6g, k=%d): %d accepted, %d rejected "
-            "(n=%d, degraded=%s)",
-            name, now, k, admitted_total, k - admitted_total, n, degraded,
+            "(n=%d, health=%s)",
+            name, now, k, admitted_total, k - admitted_total, n, health.value,
         )
         return decisions
 
     def depart(self, now: float) -> None:
-        """Record one flow departure at time ``now``."""
+        """Record one flow departure at time ``now``.
+
+        Departures are always served -- including on degraded or
+        quarantined links (failing closed stops *admissions*, not the
+        draining of existing flows).
+        """
         if self._n <= 0:
             raise RuntimeStateError(f"link {self.name}: departure from empty link")
         self.tick(now)

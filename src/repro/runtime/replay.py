@@ -26,6 +26,7 @@ same driver.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import logging
 import math
@@ -36,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.runtime.faults import FaultPlan
 from repro.runtime.gateway import AdmissionGateway
 
 __all__ = ["FeedOutage", "ReplayReport", "replay"]
@@ -95,6 +97,14 @@ class ReplayReport:
     metrics: dict = field(repr=False)
     #: Number of ``admit_many`` bursts issued (0 in sequential mode).
     batches: int = 0
+    #: Gateway-wide overflow fraction: total link time with measured
+    #: aggregate above capacity, over total observed link time.
+    overflow_fraction: float = 0.0
+    #: SHA-256 over the ordered decision stream (``collect_digest=True``);
+    #: two runs with identical decisions have identical digests.
+    decision_digest: str | None = None
+    #: Per-link injected-fault counters (when a fault plan was applied).
+    fault_summary: dict | None = None
 
 
 def replay(
@@ -107,6 +117,8 @@ def replay(
     seed: int | None = 0,
     outages: Sequence[FeedOutage] = (),
     batch_window: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    collect_digest: bool = False,
 ) -> ReplayReport:
     """Drive ``gateway`` with a synthetic workload until ``n_events``.
 
@@ -132,6 +144,15 @@ def replay(
         Enable batched arrival mode: quantize request timestamps up to
         multiples of this window and resolve each instant's requests with
         one ``admit_many``/``depart_many`` burst (must be positive).
+    fault_plan : FaultPlan, optional
+        Chaos scenario: every targeted link's feed is wrapped in a seeded
+        :class:`~repro.runtime.faults.FaultyFeed` before the run, and the
+        per-link injected-fault counters are returned in
+        ``ReplayReport.fault_summary``.
+    collect_digest : bool
+        Stream every admission decision into a SHA-256; the hex digest is
+        returned in ``ReplayReport.decision_digest`` (used by
+        ``chaos-replay`` to assert byte-for-byte reproducibility).
 
     Returns
     -------
@@ -148,6 +169,17 @@ def replay(
     rng = np.random.default_rng(seed)
     for outage in outages:
         gateway.link(outage.link)  # validate names up front
+    faulty_feeds = None
+    if fault_plan is not None:
+        faulty_feeds = fault_plan.wrap(gateway)
+    digest = hashlib.sha256() if collect_digest else None
+
+    def record(flow_id, decision) -> None:
+        digest.update(
+            f"{flow_id}|{int(decision.admitted)}|{decision.reason}|"
+            f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
+            .encode("ascii")
+        )
 
     # (time, kind, seq, payload) -- seq breaks ties deterministically.
     heap: list[tuple[float, int, int, object]] = []
@@ -232,6 +264,8 @@ def replay(
             flow_id = next_flow_id
             next_flow_id += 1
             decision = gateway.admit(flow_id, now)
+            if digest is not None:
+                record(flow_id, decision)
             if decision.admitted:
                 admitted += 1
                 push(now + rng.exponential(holding_time), _DEPART, flow_id)
@@ -249,6 +283,9 @@ def replay(
             flow_ids = list(range(next_flow_id, next_flow_id + count))
             next_flow_id += count
             decisions = gateway.admit_many(flow_ids, now)
+            if digest is not None:
+                for flow_id, decision in zip(flow_ids, decisions):
+                    record(flow_id, decision)
             batches += 1
             arrivals += count
             events += count
@@ -275,6 +312,8 @@ def replay(
 
     wall = time.perf_counter() - t0
     decisions = admitted + rejected
+    observed = sum(link.observed_time for link in gateway.links)
+    overload = sum(link.overload_time for link in gateway.links)
     logger.info(
         "replay: %d events (%d arrivals, %d admits, %d rejects, %d departures, "
         "%d ticks) in %.3fs -- %.0f decisions/s",
@@ -295,4 +334,11 @@ def replay(
         final_flows=gateway.n_flows,
         metrics=gateway.snapshot(),
         batches=batches,
+        overflow_fraction=overload / observed if observed > 0.0 else 0.0,
+        decision_digest=digest.hexdigest() if digest is not None else None,
+        fault_summary=(
+            {name: dict(feed.injected) for name, feed in faulty_feeds.items()}
+            if faulty_feeds is not None
+            else None
+        ),
     )

@@ -88,15 +88,31 @@ class TestLinkDifferential:
         assert sum(d.admitted for d in decisions) == 7  # 10 + 7 = 17
 
     def test_degraded_burst_uses_conservative_target(self):
+        # Silence (paused feed) past the horizon degrades without tripping
+        # the breaker; the burst runs against the conservative target.
         def prepare(link):
             link.tick(0.0)
+            link.feed.pause()
 
         decisions = assert_batch_matches_sequential(
-            prepare, k=40, now=STALE_HORIZON + 1.0, cycle=False
+            prepare, k=40, now=STALE_HORIZON + 1.0
         )
         assert sum(d.admitted for d in decisions) == 16  # conservative ~16.36
         assert all(d.degraded for d in decisions)
         assert all(d.reason == "conservative-target" for d in decisions)
+
+    def test_quarantined_burst_fails_closed(self):
+        # An exhausted feed past the horizon trips the breaker: the whole
+        # burst is rejected, identically to sequential calls.
+        def prepare(link):
+            link.tick(0.0)
+
+        decisions = assert_batch_matches_sequential(
+            prepare, k=7, now=STALE_HORIZON + 1.0, cycle=False
+        )
+        assert not any(d.admitted for d in decisions)
+        assert all(d.reason == "quarantined" for d in decisions)
+        assert all(d.health == "quarantined" for d in decisions)
 
     def test_bootstrap_prefix_on_measured_empty_system(self):
         sections = [make_section(n=0, mean=0.0, var=0.0)]

@@ -1,0 +1,286 @@
+"""Tests for the fault-injection layer (FaultPlan / FaultyFeed)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.faults import (
+    CorruptSpec,
+    FaultPlan,
+    FaultyFeed,
+    FeedFaults,
+    Window,
+    default_chaos_plan,
+)
+from repro.runtime.feed import TraceFeed
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.metrics import MetricsRegistry
+
+from .conftest import make_link, make_section
+
+
+def trace(sections=None, *, period=1.0, cycle=True):
+    if sections is None:
+        sections = [make_section(n=5 + i, mean=1.0 + 0.1 * i) for i in range(4)]
+    return TraceFeed(sections, period=period, cycle=cycle)
+
+
+def drain(feed, times, n_flows=5):
+    """Poll the feed at each time; returns the emitted (t, section) pairs."""
+    out = []
+    for t in times:
+        section = feed.measure(t, n_flows)
+        if section is not None:
+            out.append((t, section))
+    return out
+
+
+class TestWindow:
+    def test_half_open_containment(self):
+        w = Window(2.0, 3.0)
+        assert not w.contains(1.999)
+        assert w.contains(2.0)
+        assert w.contains(4.999)
+        assert not w.contains(5.0)
+
+    def test_open_ended_by_default(self):
+        assert Window(1.0).contains(1e12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Window(-1.0, 1.0)
+        with pytest.raises(ParameterError):
+            Window(0.0, 0.0)
+
+
+class TestParsing:
+    def test_windows_accept_pairs_and_dicts(self):
+        faults = FeedFaults.from_dict(
+            {"outages": [[1.0, 2.0], {"start": 5.0}]}
+        )
+        assert faults.outages[0] == Window(1.0, 2.0)
+        assert faults.outages[1].start == 5.0
+        assert math.isinf(faults.outages[1].duration)
+
+    def test_bad_window_shape(self):
+        with pytest.raises(ParameterError, match="bad window"):
+            FeedFaults.from_dict({"outages": [3.0]})
+        with pytest.raises(ParameterError, match="unknown window keys"):
+            FeedFaults.from_dict({"outages": [{"start": 0.0, "stop": 1.0}]})
+
+    def test_unknown_fault_keys_rejected(self):
+        with pytest.raises(ParameterError, match="unknown fault keys"):
+            FeedFaults.from_dict({"drop_probablity": 0.5})  # typo'd key
+
+    def test_corrupt_shorthand_burst(self):
+        spec = CorruptSpec.from_dict(
+            {"mode": "spike", "factor": 3.0, "start": 10.0, "duration": 5.0}
+        )
+        assert spec.applies(12.0)
+        assert not spec.applies(20.0)
+
+    def test_corrupt_validation(self):
+        with pytest.raises(ParameterError, match="unknown corrupt mode"):
+            CorruptSpec(mode="garbage")
+        with pytest.raises(ParameterError, match="probability"):
+            CorruptSpec(probability=1.5)
+        with pytest.raises(ParameterError, match="spike factor"):
+            CorruptSpec(mode="spike", factor=0.0)
+        with pytest.raises(ParameterError, match="unknown corrupt keys"):
+            CorruptSpec.from_dict({"mode": "nan", "when": 3})
+
+    def test_feed_faults_validation(self):
+        with pytest.raises(ParameterError, match="drop_probability"):
+            FeedFaults(drop_probability=2.0)
+        with pytest.raises(ParameterError, match="latency"):
+            FeedFaults(latency=-1.0)
+        with pytest.raises(ParameterError, match="clock_skew"):
+            FeedFaults(clock_skew=math.inf)
+
+    def test_constructor_coerces_from_dict_shapes(self):
+        faults = FeedFaults(
+            outages=[[1.0, 2.0]],
+            corrupt={"mode": "nan", "start": 5.0},
+            stuck=[{"start": 9.0}],
+        )
+        assert faults.outages == (Window(1.0, 2.0),)
+        assert isinstance(faults.corrupt, CorruptSpec)
+        assert faults.corrupt.applies(6.0)
+        assert faults.stuck[0].start == 9.0
+        with pytest.raises(ParameterError, match="corrupt must be"):
+            FeedFaults(corrupt="nan")
+
+    def test_plan_from_dict_and_unknown_keys(self):
+        plan = FaultPlan.from_dict(
+            {"seed": 9, "links": {"a": {"drop_probability": 0.5}}}
+        )
+        assert plan.seed == 9
+        assert plan.links["a"].drop_probability == 0.5
+        with pytest.raises(ParameterError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"link": {}})
+        with pytest.raises(ParameterError, match="must be a mapping"):
+            FaultPlan.from_dict({"links": ["a"]})
+        with pytest.raises(ParameterError, match="must be a FeedFaults"):
+            FaultPlan(links={"a": {"drop_probability": 0.5}})
+
+    def test_plan_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 3, "links": {"x": {"outages": [[0.0, 1.0]]}}}
+        ))
+        plan = FaultPlan.from_file(path)
+        assert plan.seed == 3
+        assert plan.links["x"].outages == (Window(0.0, 1.0),)
+
+    def test_plan_from_yaml_file(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "plan.yaml"
+        path.write_text(
+            "seed: 4\nlinks:\n  x:\n    drop_probability: 0.25\n"
+        )
+        plan = FaultPlan.from_file(path)
+        assert plan.seed == 4
+        assert plan.links["x"].drop_probability == 0.25
+
+    def test_plan_file_must_hold_mapping(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ParameterError, match="mapping"):
+            FaultPlan.from_file(path)
+
+    def test_feed_seed_is_stable_and_name_dependent(self):
+        plan = FaultPlan(seed=5)
+        assert plan.feed_seed("a") == plan.feed_seed("a")
+        assert plan.feed_seed("a") != plan.feed_seed("b")
+
+
+class TestFaultyFeed:
+    def test_outage_window_silences_feed(self):
+        feed = FaultyFeed(trace(), FeedFaults(outages=(Window(1.5, 2.0),)))
+        emitted = drain(feed, [0.0, 1.0, 2.0, 3.0])
+        assert [t for t, _ in emitted] == [0.0, 1.0]
+        assert feed.injected["outage_polls"] == 2
+        assert feed.staleness(3.0) == pytest.approx(2.0)  # aging through it
+        assert drain(feed, [4.0])  # past the window the feed resumes
+
+    def test_drop_probability_one_loses_everything(self):
+        feed = FaultyFeed(trace(), FeedFaults(drop_probability=1.0), seed=1)
+        assert drain(feed, [0.0, 1.0, 2.0]) == []
+        assert feed.injected["dropped"] == 3
+
+    def test_corrupt_nan_and_negative_and_spike(self):
+        for mode, check in (
+            ("nan", lambda s: math.isnan(s.mean)),
+            ("negative", lambda s: s.mean < 0.0),
+            ("spike", lambda s: s.mean == pytest.approx(10.0)),
+        ):
+            feed = FaultyFeed(
+                trace([make_section(n=5, mean=1.0)]),
+                FeedFaults(corrupt=CorruptSpec(mode=mode, probability=1.0)),
+            )
+            [(_, section)] = drain(feed, [0.0])
+            assert check(section), mode
+            assert feed.injected["corrupted"] == 1
+
+    def test_corrupt_burst_window_only(self):
+        feed = FaultyFeed(
+            trace(),
+            FeedFaults(corrupt=CorruptSpec(
+                mode="nan", probability=1.0, windows=(Window(1.0, 1.5),)
+            )),
+        )
+        emitted = dict(drain(feed, [0.0, 1.0, 2.0, 3.0]))
+        assert not math.isnan(emitted[0.0].mean)
+        assert math.isnan(emitted[1.0].mean)
+        assert math.isnan(emitted[2.0].mean)
+        assert not math.isnan(emitted[3.0].mean)
+
+    def test_stuck_window_replays_last_value_without_consuming(self):
+        inner = trace(period=1.0)
+        feed = FaultyFeed(inner, FeedFaults(stuck=(Window(0.5, 2.0),)))
+        emitted = drain(feed, [0.0, 1.0, 2.0, 3.0])
+        sections = [s for _, s in emitted]
+        # The t=0 section is replayed at t=1 and t=2; the trace resumes at 3.
+        assert sections[1].n == sections[0].n == sections[2].n
+        assert sections[3].n == sections[0].n + 1
+        assert feed.injected["stuck"] == 2
+        assert inner._cursor == 2  # only two real sections consumed
+
+    def test_latency_delays_delivery(self):
+        feed = FaultyFeed(trace(period=1.0), FeedFaults(latency=1.0))
+        assert feed.measure(0.0, 5) is None  # measured, queued
+        section = feed.measure(1.0, 5)
+        assert section is not None and section.n == 5  # the t=0 sample
+        assert feed.injected["delayed"] >= 1
+
+    def test_exhausted_waits_for_latency_queue(self):
+        inner = trace([make_section()], cycle=False)
+        feed = FaultyFeed(inner, FeedFaults(latency=1.0))
+        assert feed.measure(0.0, 5) is None
+        assert not feed.exhausted  # inner is done but one sample is in flight
+        assert feed.measure(1.0, 5) is not None
+        assert feed.exhausted
+
+    def test_same_seed_same_fault_realization(self):
+        faults = FeedFaults(
+            drop_probability=0.5,
+            corrupt=CorruptSpec(mode="nan", probability=0.5),
+        )
+        times = [float(t) for t in range(50)]
+
+        def run(seed):
+            feed = FaultyFeed(trace(), faults, seed=seed)
+            emitted = drain(feed, times)
+            # repr keeps NaN-corrupted means comparable (nan != nan).
+            return [(t, s.n, repr(s.mean)) for t, s in emitted]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestPlanWrap:
+    def test_wrap_replaces_targeted_feeds(self):
+        registry = MetricsRegistry()
+        links = [make_link(f"l{i}", registry=registry) for i in range(2)]
+        gateway = AdmissionGateway(links, registry=registry)
+        plan = FaultPlan(links={"l1": FeedFaults(drop_probability=1.0)})
+        wrapped = plan.wrap(gateway)
+        assert set(wrapped) == {"l1"}
+        assert gateway.link("l1").feed is wrapped["l1"]
+        assert isinstance(gateway.link("l1").feed, FaultyFeed)
+        assert not isinstance(gateway.link("l0").feed, FaultyFeed)
+
+    def test_wrap_unknown_link_raises(self):
+        registry = MetricsRegistry()
+        gateway = AdmissionGateway(
+            [make_link("only", registry=registry)], registry=registry
+        )
+        plan = FaultPlan(links={"nope": FeedFaults()})
+        with pytest.raises(ParameterError, match="no link named"):
+            plan.wrap(gateway)
+
+
+class TestDefaultPlan:
+    def test_covers_the_three_failure_classes(self):
+        plan = default_chaos_plan(["a", "b", "c", "d"], period=2.0, seed=1)
+        assert plan.seed == 1
+        assert plan.links["a"].outages and not plan.links["a"].corrupt
+        assert plan.links["b"].corrupt.mode == "nan"
+        assert plan.links["c"].drop_probability == pytest.approx(0.3)
+        assert plan.links["c"].latency == pytest.approx(2.0)
+        assert plan.links["c"].stuck
+        assert "d" not in plan.links
+
+    def test_single_link_merges_everything(self):
+        plan = default_chaos_plan(["solo"], period=1.0)
+        faults = plan.links["solo"]
+        assert faults.outages and faults.corrupt and faults.stuck
+        assert faults.drop_probability > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            default_chaos_plan([], period=1.0)
+        with pytest.raises(ParameterError):
+            default_chaos_plan(["a"], period=0.0)

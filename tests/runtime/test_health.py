@@ -1,0 +1,379 @@
+"""Tests for circuit breakers, link quarantine, and gateway failover."""
+
+import logging
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, RuntimeStateError, UnknownFlowError
+from repro.runtime.faults import CorruptSpec, FaultyFeed, FeedFaults, Window
+from repro.runtime.feed import TraceFeed
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    LinkHealth,
+    section_problem,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+from .conftest import STALE_HORIZON, make_link, make_section
+
+
+class TestSectionProblem:
+    def test_valid_section_passes(self):
+        assert section_problem(make_section()) is None
+
+    def test_bad_sections_named(self):
+        bad = [
+            (make_section(n=-1), "negative flow count"),
+            (make_section(mean=math.nan), "non-finite mean"),
+            (make_section(mean=-2.0), "negative mean"),
+        ]
+        for section, fragment in bad:
+            assert fragment in section_problem(section)
+
+    def test_negative_variance_flagged(self):
+        from repro.core.estimators import CrossSection
+
+        section = CrossSection(n=3, mean=1.0, second_moment=1.0, variance=-0.1)
+        assert "negative variance" in section_problem(section)
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ParameterError):
+            BreakerConfig(backoff_initial=0.0)
+        with pytest.raises(ParameterError):
+            BreakerConfig(backoff_factor=0.5)
+        with pytest.raises(ParameterError):
+            BreakerConfig(backoff_initial=10.0, backoff_cap=5.0)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        defaults = dict(failure_threshold=3, backoff_initial=1.0,
+                        backoff_factor=2.0, backoff_cap=4.0)
+        defaults.update(kwargs)
+        return CircuitBreaker(BreakerConfig(**defaults))
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = self.make()
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 2.0
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_backoff_gates_probes_then_half_opens(self):
+        breaker = self.make()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert not breaker.should_attempt(0.5)
+        assert breaker.should_attempt(1.2)  # backoff 1.0 elapsed
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.should_attempt(1.3)  # half-open keeps allowing polls
+
+    def test_failed_probe_doubles_backoff_up_to_cap(self):
+        breaker = self.make()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        expected = [2.0, 4.0, 4.0, 4.0]  # doubling, capped at 4
+        t = 0.2
+        for backoff in expected:
+            t = breaker.next_probe_time + 1e-6
+            assert breaker.should_attempt(t)
+            breaker.record_failure(t)
+            assert breaker.state is BreakerState.OPEN
+            assert breaker.backoff == pytest.approx(backoff)
+
+    def test_successful_probe_closes_and_resets_backoff(self):
+        breaker = self.make()
+        for t in (0.0, 0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.should_attempt(2.0)
+        breaker.record_success(2.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.backoff == pytest.approx(1.0)
+        assert breaker.consecutive_failures == 0
+        assert breaker.next_probe_time is None
+
+    def test_trip_forces_open(self):
+        breaker = self.make()
+        breaker.trip(5.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 5.0
+
+    def test_listener_sees_transitions(self):
+        breaker = self.make(failure_threshold=1)
+        events = []
+        breaker.add_listener(lambda old, new, now: events.append((old, new, now)))
+        breaker.record_failure(1.0)
+        breaker.should_attempt(3.0)
+        breaker.record_success(3.0)
+        assert events == [
+            (BreakerState.CLOSED, BreakerState.OPEN, 1.0),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN, 3.0),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED, 3.0),
+        ]
+
+    def test_snapshot_shape(self):
+        snap = self.make().snapshot()
+        assert snap == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "backoff": 1.0,
+            "next_probe_time": None,
+        }
+
+
+def corrupt_link(name="sick", *, registry=None, probability=1.0,
+                 windows=(), seed=0):
+    """A cyclic link whose feed NaN-corrupts (optionally only in windows)."""
+    link = make_link(name, registry=registry)
+    link.feed = FaultyFeed(
+        link.feed,
+        FeedFaults(corrupt=CorruptSpec(
+            mode="nan", probability=probability, windows=tuple(windows)
+        )),
+        seed=seed,
+    )
+    return link
+
+
+class TestLinkQuarantine:
+    def test_corrupt_burst_quarantines_then_probe_recovers(self):
+        link = corrupt_link(windows=[Window(1.0, 3.0)])
+        link.tick(0.0)  # clean measurement
+        assert link.health is LinkHealth.HEALTHY
+        for t in (1.0, 2.0, 3.0):  # three corrupt samples: breaker opens
+            link.tick(t)
+        assert link.quarantined
+        assert link.breaker.state is BreakerState.OPEN
+        decision = link.admit(3.5)
+        assert not decision.admitted and decision.reason == "quarantined"
+        # Past the backoff the probe finds clean data again (window over).
+        link.tick(4.0 + link.breaker.backoff)
+        assert link.breaker.state is BreakerState.CLOSED
+        assert link.health is LinkHealth.HEALTHY
+        assert link.admit(4.1 + link.breaker.backoff).admitted
+
+    def test_invalid_samples_counted_and_estimate_unpoisoned(self):
+        registry = MetricsRegistry()
+        link = corrupt_link(registry=registry, windows=[Window(1.0, 2.0)])
+        link.tick(0.0)
+        link.tick(1.0)
+        link.tick(2.0)
+        counters = registry.snapshot()["counters"]
+        assert counters["link.sick.invalid_samples"] == 2.0
+        assert counters["link.sick.breaker_opens"] == 0.0  # threshold is 3
+        # The memoryless estimate still holds the last *valid* section.
+        estimate = link.estimator.estimate()
+        assert math.isfinite(estimate.mu) and estimate.mu > 0.0
+
+    def test_exhaustion_warns_once_and_trips_when_stale(self, caplog):
+        link = make_link(cycle=False)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.link"):
+            link.tick(0.0)
+            link.tick(1.0)  # exhausted now, but the estimate is still fresh
+            assert link.health is LinkHealth.HEALTHY
+            link.tick(2.0)
+            link.tick(STALE_HORIZON + 1.0)
+        exhaustion_logs = [
+            rec for rec in caplog.records if "feed-exhausted" in rec.message
+        ]
+        assert len(exhaustion_logs) == 1
+        assert "link=test" in exhaustion_logs[0].message
+        assert link.quarantined  # stale + exhausted fails closed
+
+    def test_quarantine_counted_once_per_episode(self):
+        registry = MetricsRegistry()
+        link = corrupt_link(registry=registry)  # every sample corrupt
+        for t in range(5):
+            link.tick(float(t))
+        counters = registry.snapshot()["counters"]
+        # One quarantine episode, even though the breaker re-opened after
+        # its failed half-open probe (opens: t=2 threshold + t=3 probe).
+        assert counters["link.sick.quarantines"] == 1.0
+        assert counters["link.sick.breaker_opens"] == 2.0
+        assert counters["link.sick.breaker_probes"] == 1.0
+
+
+def two_link_gateway(registry=None, **sick_kwargs):
+    """A gateway with one poisoned link ('sick') and one clean ('ok')."""
+    registry = registry if registry is not None else MetricsRegistry()
+    sick = corrupt_link(registry=registry, **sick_kwargs)
+    ok = make_link("ok", registry=registry)
+    gateway = AdmissionGateway(
+        [sick, ok], placement="least-loaded", registry=registry
+    )
+    return gateway, registry
+
+
+class TestGatewayFailover:
+    def test_placement_skips_quarantined_links(self):
+        gateway, _ = two_link_gateway()
+        gateway.tick(0.0)
+        for t in (1.0, 2.0, 3.0):
+            gateway.tick(t)
+        assert gateway.link("sick").quarantined
+        for i in range(5):
+            decision = gateway.admit(i, 3.1 + 1e-3 * i)
+            assert decision.admitted and decision.link == "ok"
+
+    def test_failover_when_link_quarantines_at_decision_time(self):
+        # The sick link trips *inside* the admit tick: placement saw it as
+        # eligible, the quarantine rejection must fail over to 'ok'.
+        gateway, registry = two_link_gateway(windows=[Window(1.0, 10.0)])
+        gateway.tick(0.0)  # clean measurements on both links
+        # Least-loaded ties break on list order: 'a'/'c' land on sick.
+        assert gateway.admit("a", 0.1).link == "sick"
+        assert gateway.admit("b", 0.2).link == "ok"
+        assert gateway.admit("c", 0.3).link == "sick"
+        gateway.tick(1.0)
+        gateway.tick(2.0)  # two corrupt samples seen; one more trips
+        assert not gateway.link("sick").quarantined
+        gateway.depart("a", 2.1)
+        gateway.depart("c", 2.2)  # sick now least-loaded (0 vs 1 flows)
+        decision = gateway.admit("d", 3.0)  # sick's tick ingests corrupt #3
+        assert gateway.link("sick").quarantined
+        assert decision.admitted and decision.link == "ok"
+        counters = registry.snapshot()["counters"]
+        assert counters["gateway.failovers"] >= 1.0
+
+    def test_all_quarantined_fails_closed(self):
+        registry = MetricsRegistry()
+        links = [
+            corrupt_link(f"s{i}", registry=registry, seed=i) for i in range(2)
+        ]
+        gateway = AdmissionGateway(links, registry=registry)
+        for t in range(4):
+            gateway.tick(float(t))
+        assert all(link.quarantined for link in gateway.links)
+        decision = gateway.admit("x", 4.5)
+        assert not decision.admitted
+        assert decision.reason == "quarantined"
+        assert gateway.n_flows == 0
+
+    def test_batched_failover_matches_flow_table(self):
+        gateway, _ = two_link_gateway()
+        for t in range(4):
+            gateway.tick(float(t))
+        assert gateway.link("sick").quarantined
+        decisions = gateway.admit_many(list(range(30)), 4.5)
+        admitted = [d for d in decisions if d.admitted]
+        assert admitted and all(d.link == "ok" for d in admitted)
+        assert not any(d.admitted for d in decisions if d.reason == "quarantined")
+        assert gateway.n_flows == len(admitted)
+        assert gateway.link("ok").n_flows == len(admitted)
+
+    def test_snapshot_exposes_health_and_breaker(self):
+        gateway, _ = two_link_gateway()
+        for t in range(4):
+            gateway.tick(float(t))
+        snap = gateway.snapshot()
+        assert snap["links"]["sick"]["health"] == "quarantined"
+        assert snap["links"]["sick"]["breaker"]["state"] == "open"
+        assert snap["links"]["ok"]["health"] == "healthy"
+        assert snap["links"]["ok"]["breaker"]["consecutive_failures"] == 0
+
+
+class TestUnknownFlows:
+    def test_depart_unknown_flow_raises_typed_error(self):
+        gateway, _ = two_link_gateway()
+        with pytest.raises(UnknownFlowError) as excinfo:
+            gateway.depart("ghost", 1.0)
+        err = excinfo.value
+        assert err.flow_ids == ("ghost",)
+        assert set(err.links) == {"sick", "ok"}
+        assert "ghost" in str(err) and "ok" in str(err)
+        assert isinstance(err, RuntimeStateError)
+
+    def test_depart_many_reports_every_unknown_id(self):
+        gateway, _ = two_link_gateway()
+        gateway.tick(0.0)
+        assert gateway.admit("real", 0.1).admitted
+        with pytest.raises(UnknownFlowError) as excinfo:
+            gateway.depart_many(["real", "g1", "g2"], 0.2)
+        assert excinfo.value.flow_ids == ("g1", "g2")
+        # Validation happens before any mutation: 'real' is still active.
+        assert gateway.n_flows == 1
+        gateway.depart("real", 0.3)
+
+    def test_depart_many_rejects_duplicates(self):
+        gateway, _ = two_link_gateway()
+        gateway.tick(0.0)
+        assert gateway.admit("dup", 0.1).admitted
+        with pytest.raises(RuntimeStateError, match="appears twice"):
+            gateway.depart_many(["dup", "dup"], 0.2)
+        assert gateway.n_flows == 1
+
+
+# -- property: random fault schedules ----------------------------------------
+
+fault_schedules = st.fixed_dictionaries(
+    {
+        "corrupt_start": st.floats(min_value=0.0, max_value=15.0),
+        "corrupt_len": st.floats(min_value=1.0, max_value=20.0),
+        "outage_start": st.floats(min_value=0.0, max_value=15.0),
+        "outage_len": st.floats(min_value=1.0, max_value=20.0),
+        "drop": st.floats(min_value=0.0, max_value=0.8),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=fault_schedules)
+def test_random_faults_never_admit_quarantined_and_probe_within_cap(schedule):
+    """Under any fault schedule: a quarantined link never admits, and the
+    breaker's probe backoff never exceeds its configured cap."""
+    link = make_link("fuzz")
+    link.feed = FaultyFeed(
+        link.feed,
+        FeedFaults(
+            outages=(Window(schedule["outage_start"], schedule["outage_len"]),),
+            drop_probability=schedule["drop"],
+            corrupt=CorruptSpec(
+                mode="nan",
+                probability=1.0,
+                windows=(
+                    Window(schedule["corrupt_start"], schedule["corrupt_len"]),
+                ),
+            ),
+        ),
+        seed=schedule["seed"],
+    )
+    cap = link.breaker.config.backoff_cap
+
+    t = 0.0
+    for step in range(80):
+        t += 0.5
+        decision = link.admit(t)
+        if decision.health == "quarantined":
+            assert not decision.admitted
+        if decision.admitted:
+            assert link.health is not LinkHealth.QUARANTINED
+            if link.n_flows > 3:  # keep occupancy from saturating
+                link.depart(t)
+        # Bounded re-probe: however many probes have failed, the next one
+        # is always due within the cap of the (re)open time.
+        assert link.breaker.backoff <= cap + 1e-9
+        if link.breaker.state is BreakerState.OPEN:
+            assert link.breaker.next_probe_time <= link.breaker.opened_at + cap
+            assert link.breaker.next_probe_time <= t + cap

@@ -7,6 +7,7 @@ import pytest
 from repro.core.admission import admissible_flow_count, admissible_flow_count_alpha
 from repro.errors import ParameterError, RuntimeStateError
 from repro.runtime.feed import SourceFeed, TraceFeed
+from repro.runtime.health import LinkHealth
 from repro.runtime.link import ManagedLink
 from repro.runtime.metrics import MetricsRegistry
 from repro.traffic.rcbr import paper_rcbr_source
@@ -84,17 +85,36 @@ class TestHealthyAdmission:
 
 
 class TestDegradation:
-    def test_exhausted_feed_degrades_past_horizon(self):
-        link = make_link(cycle=False)  # single section, then silence
+    def test_silent_feed_degrades_past_horizon(self):
+        link = make_link()  # cyclic feed, paused after one measurement
         link.tick(0.0)
+        link.feed.pause()
         assert not link.degraded
         link.tick(STALE_HORIZON + 0.5)
         assert link.degraded
+        assert link.health is LinkHealth.DEGRADED
+        assert not link.quarantined  # silence degrades, it does not trip
+
+    def test_exhausted_feed_quarantines_past_horizon(self):
+        # An exhausted feed can never refresh its estimate: past the
+        # horizon the link trips its breaker and fails closed instead of
+        # admitting forever on a stale estimate.
+        link = make_link(cycle=False)  # single section, then exhaustion
+        link.tick(0.0)
+        assert not link.degraded
+        link.tick(STALE_HORIZON + 0.5)
+        assert link.quarantined
+        decision = link.admit(STALE_HORIZON + 0.6)
+        assert not decision.admitted
+        assert decision.reason == "quarantined"
+        assert decision.health == "quarantined"
+        assert math.isnan(decision.target)
 
     def test_degraded_admission_uses_conservative_target(self):
-        link = make_link(cycle=False)
+        link = make_link()
         accepted, t = fill(link)  # healthy fill to 17
         assert accepted == 17
+        link.feed.pause()
         decision = link.admit(t + STALE_HORIZON + 1.0)
         assert decision.degraded
         assert decision.reason == "conservative-target"
@@ -102,8 +122,9 @@ class TestDegradation:
         assert not decision.admitted  # 17 >= floor(16.36)
 
     def test_degraded_admits_below_conservative_target(self):
-        link = make_link(cycle=False)
-        link.tick(0.0)  # ingest the only measurement
+        link = make_link()
+        link.tick(0.0)  # ingest one measurement
+        link.feed.pause()
         now = STALE_HORIZON + 1.0
         accepted = sum(
             link.admit(now + 1e-3 * i).admitted for i in range(40)

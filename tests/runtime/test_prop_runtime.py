@@ -40,14 +40,12 @@ def test_stale_gateway_never_admits_above_conservative_target(
     steps, warm_arrivals
 ):
     registry = MetricsRegistry()
-    links = [
-        make_link(f"l{i}", cycle=False, registry=registry) for i in range(2)
-    ]
+    links = [make_link(f"l{i}", registry=registry) for i in range(2)]
     gateway = AdmissionGateway(links, placement="least-loaded",
                                registry=registry)
 
-    # Healthy phase: the single recorded measurement arrives, then an
-    # arbitrary number of flows race in while it is still fresh.
+    # Healthy phase: one recorded measurement arrives, then an arbitrary
+    # number of flows race in while it is still fresh.
     gateway.tick(0.0)
     flow_id = 0
     active = []
@@ -58,8 +56,12 @@ def test_stale_gateway_never_admits_above_conservative_target(
             active.append(flow_id)
         flow_id += 1
 
-    # The feeds are exhausted: from here staleness only grows.  Jump past
-    # the horizon and replay an arbitrary arrival/departure schedule.
+    # The measurement plane goes silent for good (paused, not exhausted:
+    # silence degrades, it does not trip the breakers): from here staleness
+    # only grows.  Jump past the horizon and replay an arbitrary
+    # arrival/departure schedule.
+    for link in gateway.links:
+        link.feed.pause()
     occupancy_at_stale = {link.name: link.n_flows for link in gateway.links}
     t = STALE_HORIZON + 1.0
     for dt, depart_first in steps:
