@@ -34,8 +34,10 @@ except ImportError:  # pragma: no cover - environment-dependent
 
 from repro.runtime import (
     AdmissionGateway,
+    DecisionTracer,
     ManagedLink,
     MetricsRegistry,
+    Profiler,
     SourceFeed,
     default_chaos_plan,
     replay,
@@ -57,7 +59,7 @@ REGRESSION_FACTOR = 2.0
 
 
 def _make_gateway(n_links=4, n=100.0, holding_time=HOLDING_TIME,
-                  policy="least-loaded", seed=0):
+                  policy="least-loaded", seed=0, tracer=None, profiler=None):
     registry = MetricsRegistry()
     links = []
     for i in range(n_links):
@@ -72,6 +74,8 @@ def _make_gateway(n_links=4, n=100.0, holding_time=HOLDING_TIME,
                 snr=0.3,
                 correlation_time=1.0,
                 registry=registry,
+                tracer=tracer,
+                profiler=profiler,
             )
         )
     return AdmissionGateway(links, placement=policy, registry=registry)
@@ -163,6 +167,20 @@ def run_benchmarks(burst=BURST):
         [f"link{i}" for i in range(4)], period=TICK_PERIOD, seed=0
     )
     chaos = replay(_make_gateway(seed=0), fault_plan=plan, **_replay_kwargs())
+    # Informational only: the same sequential workload with the full
+    # observability stack attached (tracer + profiler), quantifying the
+    # enabled-path overhead.  The gate compares the *untraced* runs above
+    # against the baseline; this ratio is reported, not enforced.
+    tracer = DecisionTracer()
+    traced = replay(
+        _make_gateway(seed=0, tracer=tracer, profiler=Profiler()),
+        **_replay_kwargs(),
+    )
+    traced_overhead = (
+        sequential.decisions_per_sec / traced.decisions_per_sec
+        if traced.decisions_per_sec > 0
+        else float("inf")
+    )
     return {
         "schema": "bench-runtime/v1",
         "config": {
@@ -197,6 +215,11 @@ def run_benchmarks(burst=BURST):
                 "admitted": chaos.admitted,
                 "rejected": chaos.rejected,
                 "fault_summary": chaos.fault_summary,
+            },
+            "observability": {
+                "decisions_per_sec": traced.decisions_per_sec,
+                "overhead_vs_sequential": traced_overhead,
+                "trace_events": tracer.total_events,
             },
         },
         "latency": {
@@ -262,6 +285,13 @@ def main(argv=None):
         print(
             f"bench gate: sequential {seq:,.0f} dec/s, batched {bat:,.0f} "
             f"dec/s (speedup {report['replay']['batched_speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        obs = report["replay"]["observability"]
+        print(
+            f"bench info: traced+profiled {obs['decisions_per_sec']:,.0f} "
+            f"dec/s ({obs['overhead_vs_sequential']:.2f}x overhead, "
+            f"{obs['trace_events']} trace events) -- informational",
             file=sys.stderr,
         )
         for problem in problems:

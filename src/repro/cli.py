@@ -170,6 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --batch when given",
     )
     serve.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="attach a decision tracer and write the event trace as JSONL "
+        "(one admit/reject/failover/health/breaker/fault event per line)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write periodic JSONL metrics snapshots (one per "
+        "--metrics-interval of simulated time, plus a closing snapshot)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="T",
+        help="simulated time between --metrics-out snapshots "
+        "(default: 10x the tick period)",
+    )
+    serve.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics registry in Prometheus text "
+        "exposition format ('-' for stdout)",
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach perf_counter_ns timers to the admit/admit_many/"
+        "estimator-read/placement hot paths and print their summary",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="print the full snapshot as JSON"
     )
 
@@ -379,11 +414,19 @@ def _parse_outages(specs: list[str]):
     return outages
 
 
-def _build_gateway(args: argparse.Namespace, *, seed: int | None = None):
+def _build_gateway(
+    args: argparse.Namespace,
+    *,
+    seed: int | None = None,
+    tracer=None,
+    profiler=None,
+):
     """Build a fresh gateway (+ registry and derived timing) from CLI args.
 
     Shared by ``serve-replay`` and ``chaos-replay``; ``seed`` overrides
     ``args.seed`` so chaos soak iterations can rebuild with fresh seeds.
+    ``tracer``/``profiler`` (see :mod:`repro.runtime.observability`) are
+    attached to every link and the gateway when given.
     """
     from repro.runtime import (
         AdmissionGateway,
@@ -419,6 +462,8 @@ def _build_gateway(args: argparse.Namespace, *, seed: int | None = None):
                 memory=args.memory,
                 stale_fraction=args.stale_fraction,
                 registry=registry,
+                tracer=tracer,
+                profiler=profiler,
             )
         )
     gateway = AdmissionGateway(links, placement=args.policy, registry=registry)
@@ -439,9 +484,22 @@ def _build_gateway(args: argparse.Namespace, *, seed: int | None = None):
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
     import json
 
-    from repro.runtime import FaultPlan, replay
+    from repro.runtime import (
+        DecisionTracer,
+        FaultPlan,
+        MetricsJsonlWriter,
+        Profiler,
+        render_prometheus,
+        replay,
+    )
 
-    gateway, registry, derived = _build_gateway(args)
+    tracer = DecisionTracer() if args.trace_out else None
+    gateway, registry, derived = _build_gateway(args, tracer=tracer)
+    profiler = Profiler(registry) if args.profile else None
+    if profiler is not None:
+        for link in gateway.links:
+            link.profiler = profiler
+        gateway.profiler = profiler
     t_h_tilde = derived["t_h_tilde"]
     memory = derived["memory"]
     tick_period = derived["tick_period"]
@@ -453,17 +511,42 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     fault_plan = (
         FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
     )
-    report = replay(
-        gateway,
-        n_events=args.events,
-        arrival_rate=derived["arrival_rate"],
-        holding_time=args.holding_time,
-        tick_period=tick_period,
-        seed=args.seed,
-        outages=_parse_outages(args.outage),
-        batch_window=batch_window,
-        fault_plan=fault_plan,
-    )
+    metrics_writer = None
+    if args.metrics_out:
+        interval = (
+            args.metrics_interval
+            if args.metrics_interval is not None
+            else 10.0 * tick_period
+        )
+        metrics_writer = MetricsJsonlWriter(
+            registry, args.metrics_out, interval=interval
+        )
+    try:
+        report = replay(
+            gateway,
+            n_events=args.events,
+            arrival_rate=derived["arrival_rate"],
+            holding_time=args.holding_time,
+            tick_period=tick_period,
+            seed=args.seed,
+            outages=_parse_outages(args.outage),
+            batch_window=batch_window,
+            fault_plan=fault_plan,
+            collect_digest=tracer is not None,
+            metrics_writer=metrics_writer,
+        )
+    finally:
+        if metrics_writer is not None:
+            metrics_writer.close()
+    if tracer is not None:
+        tracer.to_jsonl(args.trace_out)
+    if args.prom_out:
+        text = render_prometheus(registry)
+        if args.prom_out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.prom_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
 
     if args.json:
         payload = {
@@ -480,10 +563,20 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             "final_flows": report.final_flows,
             "batches": report.batches,
             "overflow_fraction": report.overflow_fraction,
+            "decision_digest": report.decision_digest,
             "fault_summary": report.fault_summary,
             "metrics": json.loads(registry.to_json()),
             "links": report.metrics["links"],
         }
+        if tracer is not None:
+            payload["trace"] = {
+                "events": tracer.total_events,
+                "retained": len(tracer),
+                "counts": tracer.counts,
+                "decision_digest": tracer.digest(),
+            }
+        if profiler is not None:
+            payload["profile"] = profiler.summary()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -519,6 +612,27 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         for name, injected in sorted(report.fault_summary.items()):
             busy = {k: v for k, v in injected.items() if v}
             print(f"  faults[{name}]: {busy if busy else 'none triggered'}")
+    if tracer is not None:
+        busy_counts = {k: v for k, v in tracer.counts.items() if v}
+        print(f"trace                : {tracer.total_events} events "
+              f"({len(tracer)} retained) -> {args.trace_out}")
+        print(f"  event counts       : {busy_counts}")
+        print(f"  decision digest    : {tracer.digest()}")
+        if report.decision_digest is not None:
+            match = tracer.digest() == report.decision_digest
+            print(f"  digest vs replay   : "
+                  f"{'match' if match else 'MISMATCH'}")
+    if metrics_writer is not None:
+        print(f"metrics snapshots    : {metrics_writer.snapshots} "
+              f"-> {args.metrics_out}")
+    if profiler is not None:
+        print("profile (ns)         :")
+        for site, summary in profiler.summary().items():
+            if summary["count"]:
+                print(f"  {site:<15s} count {summary['count']:>8d}  "
+                      f"mean {summary['mean']:>10.0f}  "
+                      f"p50 {summary['p50']:>10.0f}  "
+                      f"p99 {summary['p99']:>10.0f}")
     return 0
 
 

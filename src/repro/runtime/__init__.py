@@ -25,6 +25,9 @@ Layers (bottom-up):
 * :mod:`repro.runtime.replay` -- batched workload driver for load tests
   and chaos runs (the engine behind ``repro serve-replay`` and
   ``repro chaos-replay``).
+* :mod:`repro.runtime.observability` -- decision tracing (bounded ring
+  buffer + JSONL export + replay-compatible digest), Prometheus/JSONL
+  metrics export, and opt-in hot-path profiling.
 """
 
 from repro.runtime.faults import (
@@ -53,7 +56,21 @@ from repro.runtime.health import (
     section_problem,
 )
 from repro.runtime.link import AdmissionDecision, ManagedLink
-from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    json_safe,
+)
+from repro.runtime.observability import (
+    DecisionTracer,
+    MetricsJsonlWriter,
+    Profiler,
+    TraceEvent,
+    escape_label_value,
+    render_prometheus,
+)
 from repro.runtime.replay import FeedOutage, ReplayReport, replay
 
 __all__ = [
@@ -64,6 +81,7 @@ __all__ = [
     "CircuitBreaker",
     "CorruptSpec",
     "Counter",
+    "DecisionTracer",
     "FaultPlan",
     "FaultyFeed",
     "FeedFaults",
@@ -75,16 +93,22 @@ __all__ = [
     "LinkHealth",
     "ManagedLink",
     "MeasurementFeed",
+    "MetricsJsonlWriter",
     "MetricsRegistry",
     "PLACEMENT_POLICIES",
     "PlacementPolicy",
+    "Profiler",
     "ReplayReport",
     "RoundRobinPlacement",
     "SourceFeed",
+    "TraceEvent",
     "TraceFeed",
     "Window",
     "default_chaos_plan",
+    "escape_label_value",
+    "json_safe",
     "make_placement",
+    "render_prometheus",
     "replay",
     "section_problem",
 ]

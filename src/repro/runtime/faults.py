@@ -252,10 +252,14 @@ class FaultyFeed(MeasurementFeed):
         faults: FeedFaults,
         *,
         seed=0,
+        name: str | None = None,
+        tracer=None,
     ) -> None:
         super().__init__(inner.period)
         self.inner = inner
         self.faults = faults
+        self.name = name
+        self.tracer = tracer
         self._rng = np.random.default_rng(seed)
         self._pending: deque[tuple[float, CrossSection]] = deque()
         self._last_section: CrossSection | None = None
@@ -267,6 +271,12 @@ class FaultyFeed(MeasurementFeed):
             "delayed": 0,
         }
 
+    def _inject(self, kind: str, now: float) -> None:
+        """Count one fired fault and mirror it into the tracer (if any)."""
+        self.injected[kind] += 1
+        if self.tracer is not None:
+            self.tracer.record_fault(self.name, kind, now)
+
     @property
     def exhausted(self) -> bool:
         """Inner exhaustion, once the latency queue has drained too."""
@@ -275,13 +285,13 @@ class FaultyFeed(MeasurementFeed):
     def _produce(self, now: float, n_flows: int) -> CrossSection | None:
         faults = self.faults
         if any(w.contains(now) for w in faults.outages):
-            self.injected["outage_polls"] += 1
+            self._inject("outage_polls", now)
             return None
         if self._last_section is not None and any(
             w.contains(now) for w in faults.stuck
         ):
             # Wedged exporter: re-emit the last value, consume nothing.
-            self.injected["stuck"] += 1
+            self._inject("stuck", now)
             return self._maybe_corrupt(self._last_section, now)
 
         section = self.inner.measure(now + faults.clock_skew, n_flows)
@@ -290,12 +300,12 @@ class FaultyFeed(MeasurementFeed):
             and faults.drop_probability > 0.0
             and self._rng.random() < faults.drop_probability
         ):
-            self.injected["dropped"] += 1
+            self._inject("dropped", now)
             section = None
         if faults.latency > 0.0:
             if section is not None:
                 self._pending.append((now + faults.latency, section))
-                self.injected["delayed"] += 1
+                self._inject("delayed", now)
             section = None
             if self._pending and self._pending[0][0] <= now:
                 section = self._pending.popleft()[1]
@@ -311,7 +321,7 @@ class FaultyFeed(MeasurementFeed):
             and corrupt.applies(now)
             and self._rng.random() < corrupt.probability
         ):
-            self.injected["corrupted"] += 1
+            self._inject("corrupted", now)
             return _corrupt_section(section, corrupt.mode, corrupt.factor)
         return section
 
@@ -380,9 +390,13 @@ class FaultPlan:
         :class:`~repro.errors.ParameterError` (via ``gateway.link``).
         """
         wrapped: dict[str, FaultyFeed] = {}
+        tracer = getattr(gateway, "tracer", None)
         for name, faults in self.links.items():
             link = gateway.link(name)
-            faulty = FaultyFeed(link.feed, faults, seed=self.feed_seed(name))
+            faulty = FaultyFeed(
+                link.feed, faults, seed=self.feed_seed(name),
+                name=name, tracer=tracer,
+            )
             link.feed = faulty
             wrapped[name] = faulty
         return wrapped

@@ -167,6 +167,15 @@ class AdmissionGateway:
     registry : MetricsRegistry, optional
         Registry for gateway-level metrics; defaults to the first link's
         registry so one snapshot covers the whole system.
+    tracer : DecisionTracer, optional
+        Observability tracer; when attached, the gateway records one
+        event per admission decision (carrying the flow id, the deciding
+        link's measured ``mu_hat``/``sigma_hat``, target, occupancy and
+        decision latency) and one per failover.  Defaults to the first
+        link's tracer so one tracer covers the whole system.
+    profiler : Profiler, optional
+        Hot-path timers; the gateway brackets placement choices.
+        Defaults to the first link's profiler.
     """
 
     def __init__(
@@ -175,6 +184,8 @@ class AdmissionGateway:
         *,
         placement="least-loaded",
         registry: MetricsRegistry | None = None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         links = list(links)
         if not links:
@@ -186,6 +197,8 @@ class AdmissionGateway:
         self._by_name = {link.name: link for link in links}
         self.placement = make_placement(placement)
         self.registry = registry if registry is not None else links[0].registry
+        self.tracer = tracer if tracer is not None else links[0].tracer
+        self.profiler = profiler if profiler is not None else links[0].profiler
         self._flows: dict[Hashable, ManagedLink] = {}
         self._m_admits = self.registry.counter(
             "gateway.admits", "flows admitted (all links)"
@@ -215,6 +228,13 @@ class AdmissionGateway:
             "gateway.failovers",
             "requests retried on another link after a quarantine rejection",
         )
+        self._m_link_failovers = {
+            link.name: self.registry.counter(
+                f"link.{link.name}.failovers",
+                "requests bounced off this link while it was quarantined",
+            )
+            for link in links
+        }
         self._m_flows.set(0)
 
     # -- read side ---------------------------------------------------------
@@ -253,9 +273,15 @@ class AdmissionGateway:
         if flow_id in self._flows:
             raise RuntimeStateError(f"flow {flow_id!r} is already active")
         t0 = time.perf_counter()
+        profiler = self.profiler
         candidates = self._placement_candidates()
         while True:
-            link = self.placement.choose(candidates, flow_id)
+            if profiler is not None:
+                p0 = time.perf_counter_ns()
+                link = self.placement.choose(candidates, flow_id)
+                profiler.placement.observe(time.perf_counter_ns() - p0)
+            else:
+                link = self.placement.choose(candidates, flow_id)
             decision = link.admit(now)
             if decision.reason != "quarantined":
                 break
@@ -266,6 +292,9 @@ class AdmissionGateway:
             if not remaining:
                 break
             self._m_failovers.inc()
+            self._m_link_failovers[link.name].inc()
+            if self.tracer is not None:
+                self.tracer.record_failover(flow_id, link.name, now)
             logger.debug(
                 "gateway: flow %r failing over from quarantined link %s",
                 flow_id, link.name,
@@ -277,7 +306,10 @@ class AdmissionGateway:
         else:
             self._m_rejects.inc()
         self._m_flows.set(len(self._flows))
-        self._m_latency.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self._m_latency.observe(elapsed)
+        if self.tracer is not None:
+            self.tracer.record_decision(flow_id, decision, now, latency=elapsed)
         return decision
 
     def admit_many(
@@ -308,14 +340,22 @@ class AdmissionGateway:
                 )
             seen.add(flow_id)
         t0 = time.perf_counter()
+        profiler = self.profiler
         decisions: list[AdmissionDecision | None] = [None] * len(ids)
         pending = list(range(len(ids)))
         candidates = self._placement_candidates()
         retried = 0
         while pending:
-            placements = self.placement.choose_batch(
-                candidates, [ids[i] for i in pending]
-            )
+            if profiler is not None:
+                p0 = time.perf_counter_ns()
+                placements = self.placement.choose_batch(
+                    candidates, [ids[i] for i in pending]
+                )
+                profiler.placement.observe(time.perf_counter_ns() - p0)
+            else:
+                placements = self.placement.choose_batch(
+                    candidates, [ids[i] for i in pending]
+                )
             by_link: dict[str, list[int]] = {}
             for position, link in zip(pending, placements):
                 by_link.setdefault(link.name, []).append(position)
@@ -342,6 +382,13 @@ class AdmissionGateway:
             if not candidates:
                 break  # every link failed closed; keep the rejections
             retried += len(next_pending)
+            for index in next_pending:
+                bounced = decisions[index]
+                name = bounced.link if bounced is not None else None
+                if name is not None and name in self._m_link_failovers:
+                    self._m_link_failovers[name].inc()
+                if self.tracer is not None:
+                    self.tracer.record_failover(ids[index], name, now)
             pending = sorted(next_pending)
         if retried:
             self._m_failovers.inc(retried)
@@ -353,7 +400,13 @@ class AdmissionGateway:
             self._m_rejects.inc(len(ids) - admitted_total)
         self._m_flows.set(len(self._flows))
         self._m_batch_size.observe(len(ids))
-        self._m_batch_latency.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self._m_batch_latency.observe(elapsed)
+        if self.tracer is not None:
+            # Input order, matching the returned decision list, so the
+            # tracer digest stays identical to sequential admit() calls.
+            for flow_id, decision in zip(ids, decisions):
+                self.tracer.record_decision(flow_id, decision, now, latency=elapsed)
         return decisions
 
     def depart(self, flow_id: Hashable, now: float) -> ManagedLink:

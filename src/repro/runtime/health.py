@@ -200,6 +200,7 @@ class CircuitBreaker:
             "state": self._state.value,
             "consecutive_failures": self._failures,
             "backoff": self._backoff,
+            "opened_at": self._opened_at,
             "next_probe_time": self.next_probe_time,
         }
 

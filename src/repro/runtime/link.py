@@ -102,6 +102,11 @@ class AdmissionDecision:
     health : str
         The deciding link's health state (``"healthy"``, ``"degraded"``,
         ``"quarantined"``).
+    mu_hat : float
+        Estimated per-flow mean the decision was made on (NaN when no
+        usable estimate was available).
+    sigma_hat : float
+        Estimated per-flow standard deviation (NaN as above).
     """
 
     admitted: bool
@@ -111,6 +116,8 @@ class AdmissionDecision:
     n_flows: int
     degraded: bool
     health: str = LinkHealth.HEALTHY.value
+    mu_hat: float = math.nan
+    sigma_hat: float = math.nan
 
 
 class ManagedLink:
@@ -143,6 +150,13 @@ class ManagedLink:
         ``max(8 periods, stale horizon)``.
     registry : MetricsRegistry, optional
         Shared registry; a private one is created when omitted.
+    tracer : DecisionTracer, optional
+        Shared observability tracer; when attached, the link emits
+        health and breaker transition events into it (the gateway emits
+        the per-decision events, which carry the flow id).
+    profiler : Profiler, optional
+        Hot-path timers (see :class:`repro.runtime.observability.Profiler`);
+        when omitted the decision paths pay one ``is not None`` check.
 
     Prefer :meth:`build` unless wiring custom components.
     """
@@ -161,6 +175,8 @@ class ManagedLink:
         stale_horizon: float | None = None,
         breaker: CircuitBreaker | None = None,
         registry: MetricsRegistry | None = None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         if capacity <= 0.0 or holding_time <= 0.0 or mean_rate <= 0.0:
             raise ParameterError(
@@ -191,6 +207,8 @@ class ManagedLink:
                 )
             )
         self.breaker = breaker
+        self.tracer = tracer
+        self.profiler = profiler
 
         self._n = 0
         self._clock = 0.0
@@ -286,6 +304,8 @@ class ManagedLink:
         stale_fraction: float = 1.0,
         breaker_config: BreakerConfig | None = None,
         registry: MetricsRegistry | None = None,
+        tracer=None,
+        profiler=None,
     ) -> "ManagedLink":
         """Assemble a link from design parameters.
 
@@ -361,6 +381,8 @@ class ManagedLink:
                 None if breaker_config is None else CircuitBreaker(breaker_config)
             ),
             registry=registry,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     # -- read side ---------------------------------------------------------
@@ -434,6 +456,8 @@ class ManagedLink:
     ) -> None:
         self._m_breaker_transitions.inc()
         self._m_breaker_state.set(BREAKER_STATE_CODES[new])
+        if self.tracer is not None:
+            self.tracer.record_breaker(self.name, old, new, now)
         if new is BreakerState.OPEN:
             self._m_breaker_opens.inc()
             logger.warning(
@@ -460,6 +484,8 @@ class ManagedLink:
             return
         self._health = health
         self._m_health.set(HEALTH_CODES[health])
+        if self.tracer is not None:
+            self.tracer.record_health(self.name, old, health, now, staleness)
         if old is LinkHealth.HEALTHY:
             self._m_degradations.inc()
         if health is LinkHealth.QUARANTINED:
@@ -579,10 +605,19 @@ class ManagedLink:
     def admit(self, now: float) -> AdmissionDecision:
         """Decide one flow-arrival request at time ``now``."""
         t0 = time.perf_counter()
+        profiler = self.profiler
+        if profiler is not None:
+            p0 = time.perf_counter_ns()
         self.tick(now)
         health = self._health
         degraded = health is not LinkHealth.HEALTHY
+        if profiler is not None:
+            e0 = time.perf_counter_ns()
         estimate = self._current_estimate()
+        if profiler is not None:
+            profiler.estimator_read.observe(time.perf_counter_ns() - e0)
+        mu_hat = estimate.mu if estimate is not None else math.nan
+        sigma_hat = estimate.sigma if estimate is not None else math.nan
 
         if health is LinkHealth.QUARANTINED:
             # Fail closed: no new admissions on an untrusted feed.
@@ -612,6 +647,8 @@ class ManagedLink:
         if not math.isnan(target):
             self._m_target.set(target)
         self._m_latency.observe(time.perf_counter() - t0)
+        if profiler is not None:
+            profiler.admit.observe(time.perf_counter_ns() - p0)
         logger.debug(
             "link %s admit(t=%.6g): %s (%s, target=%.6g, n=%d, health=%s)",
             self.name, now, "accept" if admitted else "reject",
@@ -625,6 +662,8 @@ class ManagedLink:
             n_flows=self._n,
             degraded=degraded,
             health=health.value,
+            mu_hat=mu_hat,
+            sigma_hat=sigma_hat,
         )
 
     def admit_many(self, k: int, now: float) -> list[AdmissionDecision]:
@@ -649,10 +688,19 @@ class ManagedLink:
         if k == 0:
             return []
         t0 = time.perf_counter()
+        profiler = self.profiler
+        if profiler is not None:
+            p0 = time.perf_counter_ns()
         self.tick(now)
         health = self._health
         degraded = health is not LinkHealth.HEALTHY
+        if profiler is not None:
+            e0 = time.perf_counter_ns()
         estimate = self._current_estimate()
+        if profiler is not None:
+            profiler.estimator_read.observe(time.perf_counter_ns() - e0)
+        mu_hat = estimate.mu if estimate is not None else math.nan
+        sigma_hat = estimate.sigma if estimate is not None else math.nan
 
         decisions: list[AdmissionDecision] = []
         name = self.name
@@ -669,6 +717,8 @@ class ManagedLink:
                 n_flows=n,
                 degraded=degraded,
                 health=health.value,
+                mu_hat=mu_hat,
+                sigma_hat=sigma_hat,
             )
             decisions.extend([reject] * remaining)
             remaining = 0
@@ -693,6 +743,8 @@ class ManagedLink:
                     n_flows=n,
                     degraded=degraded,
                     health=health.value,
+                    mu_hat=mu_hat,
+                    sigma_hat=sigma_hat,
                 )
             )
             remaining -= 1
@@ -723,6 +775,8 @@ class ManagedLink:
                         n_flows=n,
                         degraded=degraded,
                         health=health.value,
+                        mu_hat=mu_hat,
+                        sigma_hat=sigma_hat,
                     )
                 )
             if accepted < remaining:
@@ -735,6 +789,8 @@ class ManagedLink:
                     n_flows=n,
                     degraded=degraded,
                     health=health.value,
+                    mu_hat=mu_hat,
+                    sigma_hat=sigma_hat,
                 )
                 decisions.extend([reject] * (remaining - accepted))
             last_target = float(targets[min(accepted, remaining - 1)])
@@ -750,6 +806,8 @@ class ManagedLink:
             self._m_target.set(last_target)
         self._m_batch_size.observe(k)
         self._m_batch_latency.observe(time.perf_counter() - t0)
+        if profiler is not None:
+            profiler.admit_many.observe(time.perf_counter_ns() - p0)
         logger.debug(
             "link %s admit_many(t=%.6g, k=%d): %d accepted, %d rejected "
             "(n=%d, health=%s)",

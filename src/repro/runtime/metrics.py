@@ -33,7 +33,24 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "BATCH_SIZE_BUCKETS",
+    "json_safe",
 ]
+
+
+def json_safe(obj):
+    """Recursively replace non-finite floats with ``None``.
+
+    Strict-JSON consumers (and most log pipelines) reject bare ``NaN`` /
+    ``Infinity`` tokens; snapshots and trace events pass through this
+    before serialization.
+    """
+    if isinstance(obj, dict):
+        return {k: json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_safe(v) for v in obj]
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    return obj
 
 #: Geometric latency buckets (seconds): 1 us .. ~1 s, suitable for
 #: per-decision wall-clock timing.
@@ -183,6 +200,21 @@ class Histogram:
                 return min(hi, lo + (hi - lo) * (rank - previous) / count)
         return self._max  # pragma: no cover - defensive
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count_le_bound)`` pairs.
+
+        The Prometheus histogram shape: one pair per configured bound
+        plus the terminal ``(inf, total_count)`` pair.  Well-defined for
+        a never-observed histogram (all counts zero).
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((math.inf, self._count))
+        return out
+
     def summary(self) -> dict:
         """Summary statistics as a plain dict (used by snapshots)."""
         return {
@@ -255,12 +287,6 @@ class MetricsRegistry:
 
     def to_json(self, indent: int | None = 2) -> str:
         """JSON rendering of :meth:`snapshot` (NaN-safe: NaN -> null)."""
-
-        def clean(obj):
-            if isinstance(obj, dict):
-                return {k: clean(v) for k, v in obj.items()}
-            if isinstance(obj, float) and not math.isfinite(obj):
-                return None
-            return obj
-
-        return json.dumps(clean(self.snapshot()), indent=indent, sort_keys=True)
+        return json.dumps(
+            json_safe(self.snapshot()), indent=indent, sort_keys=True
+        )

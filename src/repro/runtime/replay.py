@@ -119,6 +119,7 @@ def replay(
     batch_window: float | None = None,
     fault_plan: FaultPlan | None = None,
     collect_digest: bool = False,
+    metrics_writer=None,
 ) -> ReplayReport:
     """Drive ``gateway`` with a synthetic workload until ``n_events``.
 
@@ -153,6 +154,11 @@ def replay(
         Stream every admission decision into a SHA-256; the hex digest is
         returned in ``ReplayReport.decision_digest`` (used by
         ``chaos-replay`` to assert byte-for-byte reproducibility).
+    metrics_writer : MetricsJsonlWriter, optional
+        Periodic snapshot sink (see
+        :class:`~repro.runtime.observability.MetricsJsonlWriter`): polled
+        on every measurement tick and flushed once at the end of the run,
+        so the output covers the full simulated horizon.
 
     Returns
     -------
@@ -243,6 +249,8 @@ def replay(
         now, kind, _, payload = heapq.heappop(heap)
         if kind == _TICK:
             gateway.tick(now)
+            if metrics_writer is not None:
+                metrics_writer.poll(now)
             ticks += 1
             events += 1
             push(now + tick_period, _TICK)
@@ -311,6 +319,8 @@ def replay(
             logger.info("outage: resumed feed of link %s at t=%.6g", payload, now)
 
     wall = time.perf_counter() - t0
+    if metrics_writer is not None:
+        metrics_writer.write(now)  # closing snapshot at the final clock
     decisions = admitted + rejected
     observed = sum(link.observed_time for link in gateway.links)
     overload = sum(link.overload_time for link in gateway.links)

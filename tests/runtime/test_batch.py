@@ -35,15 +35,17 @@ def link_counters(link):
 
 
 def assert_same_decision(batched, sequential):
-    """Field-wise equality, NaN-aware for the target."""
+    """Field-wise equality, NaN-aware for the estimator-derived floats."""
     assert batched.admitted == sequential.admitted
     assert batched.reason == sequential.reason
     assert batched.n_flows == sequential.n_flows
     assert batched.degraded == sequential.degraded
-    if math.isnan(sequential.target):
-        assert math.isnan(batched.target)
-    else:
-        assert batched.target == pytest.approx(sequential.target)
+    for field in ("target", "mu_hat", "sigma_hat"):
+        b, s = getattr(batched, field), getattr(sequential, field)
+        if math.isnan(s):
+            assert math.isnan(b)
+        else:
+            assert b == pytest.approx(s)
 
 
 def assert_batch_matches_sequential(prepare, k, now, **link_kwargs):
@@ -152,12 +154,14 @@ class TestLinkDifferential:
         assert link.n_flows == 3  # untouched
 
 
-def make_gateway(n_links=2, policy="hash", **link_kwargs):
+def make_gateway(n_links=2, policy="hash", tracer=None, **link_kwargs):
     registry = MetricsRegistry()
     links = [
         make_link(f"link{i}", registry=registry, **link_kwargs)
         for i in range(n_links)
     ]
+    for link in links:
+        link.tracer = tracer
     return AdmissionGateway(links, placement=policy, registry=registry)
 
 
@@ -247,6 +251,51 @@ class TestGatewayBatch:
         gateway.depart_many(["a"], 0.3)  # still departable afterwards
         with pytest.raises(RuntimeStateError):
             gateway.depart_many(["b", "b"], 0.4)  # duplicate in one burst
+
+
+class TestTracedDifferential:
+    """Tracing must not perturb the batched == sequential equivalence,
+    and both paths must produce the identical decision stream + digest."""
+
+    @pytest.mark.parametrize("policy", ["hash", "round-robin"])
+    def test_traced_batch_digest_equals_traced_sequential(self, policy):
+        from repro.runtime.observability import DecisionTracer
+
+        batch_tracer = DecisionTracer()
+        seq_tracer = DecisionTracer()
+        batch_gw = make_gateway(policy=policy, tracer=batch_tracer)
+        seq_gw = make_gateway(policy=policy, tracer=seq_tracer)
+        for gw in (batch_gw, seq_gw):
+            gw.tick(0.0)
+        flow_ids = [f"flow-{i}" for i in range(30)]
+
+        batched = batch_gw.admit_many(flow_ids, 0.1)
+        sequential = [seq_gw.admit(fid, 0.1) for fid in flow_ids]
+        for b, s in zip(batched, sequential):
+            assert b.link == s.link
+            assert_same_decision(b, s)
+
+        assert batch_tracer.decisions == seq_tracer.decisions == 30
+        assert batch_tracer.digest() == seq_tracer.digest()
+        # The deterministic event streams are identical too (latency, the
+        # one wall-clock field, is excluded by deterministic mode).
+        batch_lines = list(batch_tracer.event_lines(deterministic=True))
+        seq_lines = list(seq_tracer.event_lines(deterministic=True))
+        assert batch_lines == seq_lines
+
+    def test_traced_decisions_match_returned_order(self):
+        from repro.runtime.observability import DecisionTracer
+
+        tracer = DecisionTracer()
+        gateway = make_gateway(policy="round-robin", tracer=tracer)
+        gateway.tick(0.0)
+        flow_ids = [f"b-{i}" for i in range(25)]
+        decisions = gateway.admit_many(flow_ids, 0.1)
+        events = [e for e in tracer.events if e.kind in ("admit", "reject")]
+        assert [e.flow_id for e in events] == flow_ids
+        assert [e.kind == "admit" for e in events] == [
+            d.admitted for d in decisions
+        ]
 
 
 class TestReplayBatchMode:

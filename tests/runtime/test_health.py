@@ -134,12 +134,18 @@ class TestCircuitBreaker:
 
     def test_snapshot_shape(self):
         snap = self.make().snapshot()
+        assert math.isnan(snap.pop("opened_at"))  # never opened yet
         assert snap == {
             "state": "closed",
             "consecutive_failures": 0,
             "backoff": 1.0,
             "next_probe_time": None,
         }
+
+    def test_snapshot_reports_opened_at(self):
+        breaker = self.make(failure_threshold=1)
+        breaker.record_failure(5.0)
+        assert breaker.snapshot()["opened_at"] == 5.0
 
 
 def corrupt_link(name="sick", *, registry=None, probability=1.0,

@@ -193,3 +193,69 @@ class TestRegistry:
         assert isinstance(registry.get("a"), Gauge)
         with pytest.raises(KeyError):
             registry.get("missing")
+
+
+class TestCumulativeBuckets:
+    """The exporter-facing cumulative view (Prometheus histogram shape)."""
+
+    def test_counts_are_cumulative_with_inf_terminal(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0, 9.0):
+            histogram.observe(value)
+        assert histogram.cumulative_buckets() == [
+            (1.0, 1), (2.0, 2), (4.0, 3), (math.inf, 5),
+        ]
+
+    def test_empty_histogram_is_well_defined(self):
+        # The exporter edge case: a never-observed histogram must render
+        # all-zero series, not divide by zero or drop the metric.
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        assert histogram.cumulative_buckets() == [
+            (1.0, 0), (2.0, 0), (math.inf, 0),
+        ]
+        assert histogram.sum == 0.0
+        assert math.isnan(histogram.quantile(0.5))
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert all(
+            math.isnan(summary[k]) for k in ("min", "max", "mean", "p50")
+        )
+
+    def test_bound_inclusive_matches_observe(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # exactly on a bound: upper-inclusive
+        assert histogram.cumulative_buckets()[0] == (1.0, 1)
+
+
+class TestPrometheusExportEdgeCases:
+    """Label escaping + empty-instrument rendering via the exporter."""
+
+    def test_label_values_escaped_in_text_output(self):
+        from repro.runtime.observability import (
+            escape_label_value,
+            render_prometheus,
+        )
+
+        assert escape_label_value('x"\\'+ "\n") == 'x\\"\\\\\\n'
+        registry = MetricsRegistry()
+        registry.counter('link.we"ird\\name.admits', "admits").inc(2)
+        text = render_prometheus(registry)
+        assert 'repro_link_admits{link="we\\"ird\\\\name"} 2' in text
+
+    def test_never_observed_histogram_exports_zeros(self):
+        from repro.runtime.observability import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.histogram("latency", "help", buckets=(0.5, 1.0))
+        text = render_prometheus(registry)
+        assert 'repro_latency_bucket{le="0.5"} 0' in text
+        assert 'repro_latency_bucket{le="+Inf"} 0' in text
+        assert "repro_latency_sum 0" in text
+        assert "repro_latency_count 0" in text
+
+    def test_unset_gauge_exports_nan_not_crash(self):
+        from repro.runtime.observability import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.gauge("mu_hat", "estimate")
+        assert "repro_mu_hat NaN" in render_prometheus(registry)

@@ -1,0 +1,388 @@
+"""Tests for the observability layer: tracer, exporters, profiler."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.faults import CorruptSpec, FaultPlan, FeedFaults, Window
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.metrics import Histogram, MetricsRegistry, json_safe
+from repro.runtime.observability import (
+    DecisionTracer,
+    EVENT_KINDS,
+    MetricsJsonlWriter,
+    Profiler,
+    TraceEvent,
+    escape_label_value,
+    render_prometheus,
+)
+from repro.runtime.replay import replay
+
+from .conftest import make_link
+
+
+def make_traced_gateway(n_links=2, tracer=None, profiler=None, **kwargs):
+    registry = MetricsRegistry()
+    links = [
+        make_link(f"link{i}", registry=registry, **kwargs)
+        for i in range(n_links)
+    ]
+    for link in links:
+        link.tracer = tracer
+        link.profiler = profiler
+    return AdmissionGateway(
+        links, placement="round-robin", registry=registry
+    )
+
+
+class TestTraceEvent:
+    def test_to_dict_drops_unset_fields(self):
+        event = TraceEvent(seq=0, t=1.0, kind="health", link="a",
+                           health="degraded", detail="healthy->degraded")
+        out = event.to_dict()
+        assert out == {
+            "seq": 0, "t": 1.0, "kind": "health", "link": "a",
+            "health": "degraded", "detail": "healthy->degraded",
+        }
+        assert "mu_hat" not in out and "latency" not in out
+
+    def test_deterministic_mode_omits_latency(self):
+        event = TraceEvent(seq=3, t=2.0, kind="admit", link="a",
+                           flow_id=7, reason="target", mu_hat=1.0,
+                           sigma_hat=0.3, target=17.5, n_flows=4,
+                           health="healthy", latency=1.25e-5)
+        assert "latency" in event.to_dict()
+        assert "latency" not in event.to_dict(deterministic=True)
+        # JSON is stable-key-ordered and parseable.
+        parsed = json.loads(event.to_json(deterministic=True))
+        assert parsed["flow_id"] == 7
+        assert parsed["target"] == 17.5
+
+
+class TestDecisionTracer:
+    def test_capacity_validation(self):
+        with pytest.raises(ParameterError):
+            DecisionTracer(capacity=0)
+
+    def test_ring_bound_preserves_seq_and_counts(self):
+        tracer = DecisionTracer(capacity=4)
+        for i in range(10):
+            tracer.record_fault("a", "dropped", float(i))
+        assert len(tracer) == 4
+        assert tracer.total_events == 10
+        assert [e.seq for e in tracer.events] == [6, 7, 8, 9]
+        assert tracer.counts["fault"] == 10
+
+    def test_decisions_feed_digest_in_replay_format(self):
+        import hashlib
+
+        tracer = DecisionTracer()
+        gateway = make_traced_gateway(tracer=tracer)
+        gateway.tick(1.0)
+        reference = hashlib.sha256()
+        for i in range(5):
+            decision = gateway.admit(i, 1.0)
+            reference.update(
+                f"{i}|{int(decision.admitted)}|{decision.reason}|"
+                f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
+                .encode("ascii")
+            )
+        assert tracer.decisions == 5
+        assert tracer.digest() == reference.hexdigest()
+
+    def test_decision_events_carry_estimator_state(self):
+        tracer = DecisionTracer()
+        gateway = make_traced_gateway(tracer=tracer)
+        gateway.tick(1.0)
+        gateway.admit("f", 1.0)
+        (event,) = tracer.events
+        assert event.kind == "admit"
+        assert event.flow_id == "f"
+        assert event.mu_hat == pytest.approx(1.0)
+        assert event.sigma_hat == pytest.approx(math.sqrt(0.09))
+        assert math.isfinite(event.target)
+        assert event.latency is not None and event.latency >= 0.0
+
+    def test_health_and_breaker_events(self):
+        tracer = DecisionTracer()
+        link = make_link(cycle=False)  # one section, then the feed exhausts
+        link.tracer = tracer
+        link.tick(0.0)
+        link.tick(100.0)  # exhausted + stale -> breaker trips, quarantine
+        kinds = [e.kind for e in tracer.events]
+        assert "health" in kinds and "breaker" in kinds
+        health = next(e for e in tracer.events if e.kind == "health")
+        assert health.link == link.name
+        assert health.detail == "healthy->quarantined"
+        assert health.health == "quarantined"
+        breaker = next(e for e in tracer.events if e.kind == "breaker")
+        assert breaker.detail == "closed->open"
+
+    def test_fault_events_via_fault_plan(self):
+        tracer = DecisionTracer()
+        gateway = make_traced_gateway(tracer=tracer)
+        plan = FaultPlan(links={
+            "link0": FeedFaults(
+                corrupt=CorruptSpec(mode="nan", probability=1.0,
+                                    windows=(Window(0.0, 100.0),))
+            ),
+        })
+        plan.wrap(gateway)
+        gateway.tick(1.0)
+        faults = [e for e in tracer.events if e.kind == "fault"]
+        assert faults and faults[0].link == "link0"
+        assert faults[0].detail == "corrupted"
+
+    def test_clear_resets_everything(self):
+        tracer = DecisionTracer()
+        tracer.record_fault("a", "stuck", 0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.total_events == 0
+        assert tracer.counts == {kind: 0 for kind in EVENT_KINDS}
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        tracer = DecisionTracer()
+        gateway = make_traced_gateway(tracer=tracer)
+        gateway.tick(1.0)
+        for i in range(3):
+            gateway.admit(i, 1.0)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.to_jsonl(path) == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["flow_id"] for line in lines] == [0, 1, 2]
+        # Borrowed-handle variant writes the same lines.
+        buffer = io.StringIO()
+        tracer.to_jsonl(buffer, deterministic=True)
+        for line in buffer.getvalue().splitlines():
+            assert "latency" not in json.loads(line)
+
+    def test_traced_replay_digest_matches_replay_digest(self):
+        tracer = DecisionTracer()
+        gateway = make_traced_gateway(tracer=tracer)
+        report = replay(
+            gateway,
+            n_events=500,
+            arrival_rate=1.0,
+            holding_time=20.0,
+            tick_period=1.0,
+            seed=7,
+            collect_digest=True,
+        )
+        assert report.decision_digest == tracer.digest()
+        assert tracer.decisions == report.admitted + report.rejected
+
+
+class TestPrometheusRendering:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert escape_label_value("plain") == "plain"
+
+    def test_link_metrics_get_link_label(self):
+        registry = MetricsRegistry()
+        registry.counter("link.up0.admits", "admits").inc(3)
+        registry.counter("link.up1.admits", "admits").inc(4)
+        text = render_prometheus(registry)
+        assert '# TYPE repro_link_admits counter' in text
+        assert 'repro_link_admits{link="up0"} 3' in text
+        assert 'repro_link_admits{link="up1"} 4' in text
+        # One shared HELP header for the grouped series.
+        assert text.count("# HELP repro_link_admits") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter('link.evil"link\\.admits', "admits").inc()
+        text = render_prometheus(registry)
+        assert 'link="evil\\"link\\\\"' in text
+
+    def test_gauge_and_nan_rendering(self):
+        registry = MetricsRegistry()
+        registry.gauge("gateway.active_flows", "flows")  # never set -> NaN
+        text = render_prometheus(registry)
+        assert "repro_gateway_active_flows NaN" in text
+
+    def test_histogram_cumulative_shape(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "help", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        text = render_prometheus(registry)
+        assert 'repro_h_bucket{le="1.0"} 1' in text
+        assert 'repro_h_bucket{le="2.0"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_sum 11" in text
+        assert "repro_h_count 3" in text
+
+    def test_never_observed_histogram_renders_zeros(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty", "help", buckets=(1.0,))
+        text = render_prometheus(registry)
+        assert 'repro_empty_bucket{le="1.0"} 0' in text
+        assert 'repro_empty_bucket{le="+Inf"} 0' in text
+        assert "repro_empty_sum 0" in text
+        assert "repro_empty_count 0" in text
+
+    def test_link_histogram_labels_merge_with_le(self):
+        registry = MetricsRegistry()
+        registry.histogram("link.a.latency", "h", buckets=(1.0,)).observe(0.5)
+        text = render_prometheus(registry)
+        assert 'repro_link_latency_bucket{link="a",le="1.0"} 1' in text
+
+    def test_namespace_sanitized_and_required(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help").inc()
+        assert "my_ns_c 1" in render_prometheus(registry, namespace="my.ns")
+
+    def test_full_runtime_registry_renders(self):
+        gateway = make_traced_gateway()
+        gateway.tick(1.0)
+        gateway.admit("x", 1.0)
+        text = render_prometheus(gateway.registry)
+        assert "# TYPE repro_gateway_admits counter" in text
+        assert "# TYPE repro_gateway_decision_latency histogram" in text
+        assert 'repro_link_failovers{link="link0"} 0' in text
+
+
+class TestMetricsJsonlWriter:
+    def test_interval_validation(self):
+        with pytest.raises(ParameterError):
+            MetricsJsonlWriter(MetricsRegistry(), io.StringIO(), interval=0.0)
+
+    def test_poll_respects_interval(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help")
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=10.0)
+        assert writer.poll(0.0) is True      # first poll always writes
+        assert writer.poll(5.0) is False     # within the interval
+        assert writer.poll(10.0) is True
+        assert writer.snapshots == 2
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [line["t"] for line in lines] == [0.0, 10.0]
+        assert lines[0]["counters"]["c"] == 0.0
+
+    def test_nan_serializes_as_null(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "help")  # NaN until set
+        buffer = io.StringIO()
+        MetricsJsonlWriter(registry, buffer, interval=1.0).write(0.0)
+        assert json.loads(buffer.getvalue())["gauges"]["g"] is None
+
+    def test_owns_path_and_closes(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "metrics.jsonl"
+        with MetricsJsonlWriter(registry, path, interval=1.0) as writer:
+            writer.write(0.0)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_replay_polls_on_ticks(self):
+        gateway = make_traced_gateway()
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(gateway.registry, buffer, interval=5.0)
+        replay(
+            gateway,
+            n_events=300,
+            arrival_rate=1.0,
+            holding_time=20.0,
+            tick_period=1.0,
+            seed=0,
+            metrics_writer=writer,
+        )
+        lines = buffer.getvalue().splitlines()
+        assert writer.snapshots == len(lines) >= 2
+        times = [json.loads(line)["t"] for line in lines]
+        assert times == sorted(times)
+
+
+class TestProfiler:
+    def test_sites_registered_as_ns_histograms(self):
+        profiler = Profiler()
+        for site in Profiler.SITES:
+            histogram = getattr(profiler, site)
+            assert isinstance(histogram, Histogram)
+            assert histogram.name == f"profile.{site}_ns"
+
+    def test_hot_paths_observe_when_attached(self):
+        profiler = Profiler()
+        gateway = make_traced_gateway(profiler=profiler)
+        gateway.profiler = profiler
+        gateway.tick(1.0)
+        gateway.admit("a", 1.0)
+        gateway.admit_many(["b", "c"], 1.0)
+        summary = profiler.summary()
+        assert summary["admit"]["count"] == 1
+        assert summary["admit_many"]["count"] >= 1
+        assert summary["estimator_read"]["count"] >= 2
+        assert summary["placement"]["count"] >= 2
+        assert summary["admit"]["mean"] > 0.0
+
+    def test_shared_registry_exposes_profile_series(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry)
+        profiler.admit.observe(123.0)
+        assert "profile.admit_ns" in registry.names()
+        assert "repro_profile_admit_ns_count 1" in render_prometheus(registry)
+
+    def test_detached_profiler_means_no_observations(self):
+        gateway = make_traced_gateway()  # no profiler anywhere
+        gateway.tick(1.0)
+        gateway.admit("a", 1.0)
+        assert gateway.profiler is None
+        assert all(link.profiler is None for link in gateway.links)
+
+
+class TestJsonSafe:
+    def test_recurses_and_nulls_non_finite(self):
+        payload = {
+            "a": math.nan,
+            "b": [1.0, math.inf, {"c": -math.inf}],
+            "d": ("x", 2),
+        }
+        assert json_safe(payload) == {
+            "a": None, "b": [1.0, None, {"c": None}], "d": ["x", 2],
+        }
+
+
+class TestServeReplayCli:
+    def test_observability_flags_write_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main([
+            "serve-replay", "--events", "400", "--links", "2",
+            "--holding-time", "50",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+            "--prom-out", str(prom),
+            "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digest vs replay   : match" in out
+        assert "profile (ns)" in out
+        trace_lines = trace.read_text().splitlines()
+        assert trace_lines and all(json.loads(line) for line in trace_lines)
+        assert metrics.read_text().splitlines()
+        assert "# TYPE repro_gateway_admits counter" in prom.read_text()
+
+    def test_json_payload_includes_trace_and_profile(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve-replay", "--events", "300", "--links", "2",
+            "--holding-time", "50",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+            "--profile", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["events"] > 0
+        assert len(payload["trace"]["decision_digest"]) == 64
+        assert payload["profile"]["admit"]["count"] > 0
