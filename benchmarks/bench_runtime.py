@@ -20,6 +20,7 @@ Two entry points:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
 import sys
@@ -42,6 +43,7 @@ from repro.runtime import (
     default_chaos_plan,
     replay,
 )
+from repro.service.loadgen import self_host_run
 from repro.traffic.rcbr import paper_rcbr_source
 
 BASELINE_PATH = _REPO_ROOT / "BENCH_runtime.json"
@@ -54,6 +56,8 @@ ARRIVAL_RATE = 32.0
 TICK_PERIOD = 2.0
 HOLDING_TIME = 500.0
 REPLAY_EVENTS = 40_000
+#: Flow population for the networked service round-trip workload.
+SERVICE_FLOWS = 10_000
 #: A throughput below ``baseline / REGRESSION_FACTOR`` fails the gate.
 REGRESSION_FACTOR = 2.0
 
@@ -148,6 +152,30 @@ def measure_batched_latency(rounds=300, burst=BURST):
     return samples
 
 
+def measure_service_roundtrip(n_flows=SERVICE_FLOWS, burst=BURST):
+    """Drive a batched loadgen workload through a loopback TCP server.
+
+    Unlike the in-process replay kernels this pays the full service
+    stack per burst -- JSON framing, the socket round-trip, and the
+    single-writer dispatch queue -- so it is the number the serving
+    story is quoted at.
+    """
+
+    async def scenario():
+        report, _servers = await self_host_run(
+            lambda i: _make_gateway(seed=0),
+            rate=ARRIVAL_RATE,
+            holding_time=HOLDING_TIME,
+            n_flows=n_flows,
+            batch_window=burst / ARRIVAL_RATE,
+            seed=0,
+            fetch_digests=False,
+        )
+        return report
+
+    return asyncio.run(scenario())
+
+
 def run_benchmarks(burst=BURST):
     """Run the full suite once and return the report dict."""
     sequential = replay(_make_gateway(seed=0), **_replay_kwargs())
@@ -181,6 +209,7 @@ def run_benchmarks(burst=BURST):
         if traced.decisions_per_sec > 0
         else float("inf")
     )
+    service = measure_service_roundtrip(burst=burst)
     return {
         "schema": "bench-runtime/v1",
         "config": {
@@ -222,6 +251,16 @@ def run_benchmarks(burst=BURST):
                 "trace_events": tracer.total_events,
             },
         },
+        "service": {
+            "roundtrip": {
+                "decisions_per_sec": service.decisions_per_sec,
+                "requests": service.requests,
+                "shed": service.shed,
+                "errors": service.errors,
+                "latency_p50_us": service.latency["p50"] * 1e6,
+                "latency_p99_us": service.latency["p99"] * 1e6,
+            },
+        },
         "latency": {
             "single": _quantiles_us(measure_single_latency()),
             "batched_per_decision": _quantiles_us(measure_batched_latency()),
@@ -242,6 +281,19 @@ def check_against_baseline(report, baseline):
             problems.append(
                 f"{mode} replay throughput regressed >{REGRESSION_FACTOR:g}x: "
                 f"{current:,.0f} decisions/s vs baseline {ref:,.0f}"
+            )
+    # Informational on a baseline predating the service layer; gated at
+    # the same factor once --write-baseline records it.
+    ref = (
+        baseline.get("service", {}).get("roundtrip", {}).get("decisions_per_sec")
+    )
+    if ref:
+        current = report["service"]["roundtrip"]["decisions_per_sec"]
+        if current < ref / REGRESSION_FACTOR:
+            problems.append(
+                f"service roundtrip throughput regressed "
+                f">{REGRESSION_FACTOR:g}x: {current:,.0f} decisions/s vs "
+                f"baseline {ref:,.0f}"
             )
     return problems
 
@@ -292,6 +344,13 @@ def main(argv=None):
             f"bench info: traced+profiled {obs['decisions_per_sec']:,.0f} "
             f"dec/s ({obs['overhead_vs_sequential']:.2f}x overhead, "
             f"{obs['trace_events']} trace events) -- informational",
+            file=sys.stderr,
+        )
+        svc = report["service"]["roundtrip"]
+        print(
+            f"bench gate: service roundtrip {svc['decisions_per_sec']:,.0f} "
+            f"dec/s over TCP (p99 {svc['latency_p99_us']:,.0f} us, "
+            f"{svc['shed']} shed / {svc['errors']} errors)",
             file=sys.stderr,
         )
         for problem in problems:
@@ -357,6 +416,22 @@ def test_chaos_replay_throughput(benchmark, emit):
     assert report.events >= REPLAY_EVENTS
     assert report.fault_summary is not None
     assert any(sum(c.values()) > 0 for c in report.fault_summary.values())
+
+
+def test_service_roundtrip_throughput(benchmark, emit):
+    """Time the batched loadgen workload through a loopback TCP server."""
+
+    def kernel():
+        return measure_service_roundtrip()
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   service roundtrip: {report.decisions_per_sec:,.0f} decisions/s "
+         f"over TCP ({report.requests} requests, p99 "
+         f"{report.latency['p99'] * 1e6:,.0f} us)")
+    assert report.arrivals == SERVICE_FLOWS
+    assert report.errors == 0
+    assert report.decisions > 0
 
 
 def test_single_decision_latency(benchmark):

@@ -21,9 +21,22 @@ Commands
     faulted overflow fraction stays within a factor of the fault-free
     run's, and the same seed + plan reproduces identical decisions
     byte-for-byte.
+``serve``
+    Run one admission server: a gateway behind the TCP wire protocol
+    (see :mod:`repro.service`), until interrupted or ``--max-seconds``.
+``admit-client``
+    One client request (ping/admit/depart/snapshot/health) against a
+    running server.
+``loadgen``
+    Open-loop load generation against running servers (``--addr``) or
+    self-hosted loopback shards (``--self-host``), with optional digest
+    stability and throughput gates.
 
 A global ``--verbose``/``-v`` flag (repeatable) configures the root
 logging handler: once for INFO, twice for DEBUG.
+
+Exit codes: 0 on success, 1 on any runtime failure (library errors, I/O
+errors, failed gates), 2 on command-line usage errors.
 """
 
 from __future__ import annotations
@@ -247,6 +260,144 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", action="store_true", help="print the soak report as JSON"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one admission server (gateway behind the TCP protocol)",
+    )
+    _add_gateway_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0: ephemeral)"
+    )
+    serve.add_argument("--name", default="shard0", help="shard name")
+    serve.add_argument("--max-connections", type=int, default=256)
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        help="dispatch-queue bound; requests above it are shed",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=5.0,
+        help="seconds a queued request may wait before a timeout error",
+    )
+    serve.add_argument(
+        "--digest",
+        action="store_true",
+        help="stream decisions into a SHA-256 (reported via snapshot)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="periodic JSONL metrics snapshots on the server's clock",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="T",
+        help="simulated time between --metrics-out snapshots "
+        "(default: 10x the tick period)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop after this much wall-clock time (0: serve until ctrl-c)",
+    )
+
+    client = sub.add_parser(
+        "admit-client", help="one request against a running admission server"
+    )
+    client.add_argument("addr", help="server address, HOST:PORT")
+    client.add_argument(
+        "action", choices=("ping", "admit", "depart", "snapshot", "health")
+    )
+    client.add_argument(
+        "flow", nargs="?", default=None, help="flow id (admit/depart)"
+    )
+    client.add_argument(
+        "--t", type=float, default=None, help="logical request time"
+    )
+    client.add_argument("--timeout", type=float, default=5.0)
+    client.add_argument(
+        "--retries", type=int, default=3, help="transient-failure retries"
+    )
+    client.add_argument(
+        "--json", action="store_true", help="print the raw result as JSON"
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generation against admission servers",
+    )
+    _add_gateway_args(loadgen)
+    loadgen.add_argument(
+        "--addr",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="target a running server (repeatable; sharded by flow id)",
+    )
+    loadgen.add_argument(
+        "--self-host",
+        action="store_true",
+        help="spin up loopback shards from the gateway args instead",
+    )
+    loadgen.add_argument(
+        "--shards", type=int, default=1, help="shards for --self-host"
+    )
+    loadgen.add_argument(
+        "--flows", type=int, default=10_000, help="total flow arrivals"
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrivals per unit simulated time "
+        "(default: --arrival-rate or ~1.3x aggregate capacity)",
+    )
+    loadgen.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="W",
+        help="batched mode: one admit_many/depart_many per W-grid instant",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="independent workers (1 keeps the submission order, and "
+        "hence the decision digest, deterministic)",
+    )
+    loadgen.add_argument("--timeout", type=float, default=5.0)
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="client retries (default 0 so sheds stay visible)",
+    )
+    loadgen.add_argument(
+        "--check-digest",
+        action="store_true",
+        help="run the same seeded workload twice and require identical "
+        "decision digests (--self-host with --concurrency 1 only)",
+    )
+    loadgen.add_argument(
+        "--min-decisions-per-sec",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="fail unless throughput reaches X decisions/s",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
     )
     return parser
 
@@ -762,25 +913,264 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _usage_error(message: str) -> int:
+    """Report a usage error the parser could not catch; exit code 2."""
+    print(f"usage error: {message}", file=sys.stderr)
+    return 2
+
+
+def _server_config_from_args(args: argparse.Namespace):
+    from repro.service import ServerConfig
+
+    return ServerConfig(
+        max_connections=args.max_connections,
+        max_queue_depth=args.max_queue_depth,
+        request_timeout=args.request_timeout,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.runtime import MetricsJsonlWriter
+    from repro.service import AdmissionServer
+
+    gateway, registry, derived = _build_gateway(args)
+    metrics_writer = None
+    if args.metrics_out:
+        interval = (
+            args.metrics_interval
+            if args.metrics_interval is not None
+            else 10.0 * derived["tick_period"]
+        )
+        metrics_writer = MetricsJsonlWriter(
+            registry, args.metrics_out, interval=interval
+        )
+    server = AdmissionServer(
+        gateway,
+        name=args.name,
+        config=_server_config_from_args(args),
+        collect_digest=args.digest,
+        metrics_writer=metrics_writer,
+    )
+
+    async def run() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(f"server {args.name} listening on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await asyncio.wait_for(
+                stop.wait(), args.max_seconds if args.max_seconds > 0 else None
+            )
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    counters = registry.snapshot()["counters"]
+    prefix = f"service.{args.name}"
+    print(f"requests applied     : {counters.get(f'{prefix}.requests', 0):.0f}")
+    print(f"error frames         : {counters.get(f'{prefix}.errors', 0):.0f}")
+    print(f"shed                 : {counters.get(f'{prefix}.shed', 0):.0f}")
+    if args.digest:
+        print(f"decision digest      : {server.digest()}")
+    if metrics_writer is not None:
+        print(f"metrics snapshots    : {metrics_writer.snapshots} "
+              f"-> {args.metrics_out}")
+    return 0
+
+
+def _cmd_admit_client(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.service import SyncAdmissionClient, parse_address
+
+    if args.action in ("admit", "depart") and args.flow is None:
+        return _usage_error(f"admit-client {args.action} requires a FLOW id")
+    host, port = parse_address(args.addr)
+    with SyncAdmissionClient(
+        host, port, timeout=args.timeout, retries=args.retries
+    ) as client:
+        if args.action == "ping":
+            result = client.ping()
+        elif args.action == "admit":
+            decision = client.admit(args.flow, t=args.t)
+            result = dataclasses.asdict(decision)
+            if not args.json:
+                verdict = "admitted" if decision.admitted else "rejected"
+                print(f"{args.flow}: {verdict} by {decision.link} "
+                      f"({decision.reason}; {decision.n_flows} flows, "
+                      f"health {decision.health})")
+                return 0 if decision.admitted else 1
+        elif args.action == "depart":
+            result = {"flow": args.flow, "link": client.depart(args.flow, t=args.t)}
+        elif args.action == "snapshot":
+            result = client.snapshot()
+        else:
+            result = client.health()
+    print(json.dumps(result, indent=None if args.action == "ping" else 2,
+                     sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import run_loadgen, self_host_run
+
+    if bool(args.addr) == args.self_host:
+        return _usage_error("loadgen needs exactly one of --addr or --self-host")
+    if args.check_digest and not args.self_host:
+        return _usage_error("--check-digest needs --self-host (it reruns the "
+                            "workload against fresh servers)")
+    if args.check_digest and args.concurrency != 1:
+        return _usage_error("--check-digest needs --concurrency 1 (more "
+                            "workers make the submission order racy)")
+
+    rate = args.rate
+    if rate is None:
+        rate = (
+            args.arrival_rate
+            if args.arrival_rate is not None
+            else 1.3 * args.links * args.n / args.holding_time
+        )
+    workload = dict(
+        rate=rate,
+        holding_time=args.holding_time,
+        n_flows=args.flows,
+        batch_window=args.batch_window,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+
+    async def one_run():
+        if args.self_host:
+            report, _servers = await self_host_run(
+                lambda i: _build_gateway(args, seed=args.seed + i)[0],
+                shards=args.shards,
+                collect_digest=True,
+                **workload,
+            )
+            return report
+        return await run_loadgen(args.addr, **workload)
+
+    report = asyncio.run(one_run())
+    failures: list[str] = []
+    digest_stable = None
+    if args.check_digest:
+        repeat = asyncio.run(one_run())
+        digest_stable = sorted(report.digests.values()) == sorted(
+            repeat.digests.values()
+        ) and None not in report.digests.values()
+        if not digest_stable:
+            failures.append(
+                f"decision digest unstable across identical runs "
+                f"({report.digests} vs {repeat.digests})"
+            )
+    if report.errors:
+        failures.append(f"{report.errors} requests answered with hard errors")
+    if (
+        args.min_decisions_per_sec > 0.0
+        and report.decisions_per_sec < args.min_decisions_per_sec
+    ):
+        failures.append(
+            f"throughput {report.decisions_per_sec:,.0f} decisions/s below "
+            f"the {args.min_decisions_per_sec:,.0f} floor"
+        )
+
+    if args.json:
+        payload = {
+            "arrivals": report.arrivals,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "departures": report.departures,
+            "shed": report.shed,
+            "errors": report.errors,
+            "retried": report.retried,
+            "requests": report.requests,
+            "simulated_time": report.simulated_time,
+            "wall_seconds": report.wall_seconds,
+            "decisions_per_sec": report.decisions_per_sec,
+            "latency": report.latency,
+            "digests": report.digests,
+            "digest_stable": digest_stable,
+            "failures": failures,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        admit_rate = report.admitted / max(1, report.arrivals)
+        print(f"arrivals             : {report.arrivals} "
+              f"({report.admitted} admitted / {report.rejected} rejected, "
+              f"{admit_rate:.1%} admit rate)")
+        print(f"departures           : {report.departures}")
+        print(f"shed / errors        : {report.shed} / {report.errors} "
+              f"({report.retried} retried)")
+        print(f"throughput           : {report.decisions_per_sec:,.0f} "
+              f"decisions/s ({report.requests} requests, "
+              f"wall {report.wall_seconds:.2f}s)")
+        latency = report.latency
+        print(f"latency              : p50 {latency['p50'] * 1e3:.2f}ms  "
+              f"p90 {latency['p90'] * 1e3:.2f}ms  "
+              f"p99 {latency['p99'] * 1e3:.2f}ms")
+        for addr, digest in sorted(report.digests.items()):
+            print(f"digest[{addr}]: {digest}")
+        if digest_stable is not None:
+            print(f"digest stability     : "
+                  f"{'stable' if digest_stable else 'UNSTABLE'}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "list": lambda args: _cmd_list(),
+    "run": _cmd_run,
+    "simulate": _cmd_simulate,
+    "theory": _cmd_theory,
+    "design": _cmd_design,
+    "serve-replay": _cmd_serve_replay,
+    "chaos-replay": _cmd_chaos_replay,
+    "serve": _cmd_serve,
+    "admit-client": _cmd_admit_client,
+    "loadgen": _cmd_loadgen,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes are normalized: 0 success, 1 runtime failure (any library
+    :class:`~repro.errors.ReproError` or OS-level I/O error is printed to
+    stderr rather than tracebacked), 2 usage error (argparse's own
+    convention, shared by the post-parse checks).
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     _configure_logging(args.verbose)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "theory":
-        return _cmd_theory(args)
-    if args.command == "design":
-        return _cmd_design(args)
-    if args.command == "serve-replay":
-        return _cmd_serve_replay(args)
-    if args.command == "chaos-replay":
-        return _cmd_chaos_replay(args)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse rejects unknown commands
+        raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        return command(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,33 @@ class RuntimeStateError(ReproError, RuntimeError):
     """The online runtime (gateway/link) was driven into an invalid state."""
 
 
+class ProtocolError(ReproError, ValueError):
+    """A service wire frame or request violates the protocol.
+
+    Carries a machine-readable ``code`` (one of the error codes in
+    :mod:`repro.service.protocol`) so servers can answer with a typed
+    error frame instead of tearing the connection down.
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class RemoteError(ReproError, RuntimeError):
+    """The admission service answered a request with an error frame.
+
+    ``code`` is the wire error code, ``retryable`` whether the protocol
+    marks it as transient (overload, timeout) -- the client's retry loop
+    keys off this flag.
+    """
+
+    def __init__(self, code: str, message: str, *, retryable: bool = False) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retryable = retryable
+
+
 class UnknownFlowError(RuntimeStateError):
     """A gateway was asked about flow ids it is not carrying.
 

@@ -48,7 +48,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, TextIO
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, RuntimeStateError
 from repro.runtime.metrics import (
     Counter,
     Gauge,
@@ -443,6 +443,14 @@ class MetricsJsonlWriter:
     "gauges": ..., "histograms": ...}`` line when it has.  NaN/inf values
     are serialized as ``null`` (JSONL consumers choke on bare NaN).
 
+    A run almost never ends exactly on an interval boundary, so whatever
+    accumulated after the last periodic snapshot would be lost without a
+    final flush.  :meth:`close` writes that final partial interval -- at
+    the explicit ``now`` when given, else at the last polled clock -- and
+    skips it when nothing advanced since the last write, so the tail is
+    flushed exactly once.  ``close`` is idempotent; both ``replay()`` and
+    ``AdmissionServer.stop()`` call it, as does the CLI's ``finally``.
+
     Parameters
     ----------
     registry : MetricsRegistry
@@ -462,6 +470,9 @@ class MetricsJsonlWriter:
         self.registry = registry
         self.interval = float(interval)
         self._next_due: float | None = None
+        self._last_seen: float | None = None
+        self._last_write: float | None = None
+        self._closed = False
         self.snapshots = 0
         if hasattr(destination, "write"):
             self._fh: TextIO = destination
@@ -470,8 +481,18 @@ class MetricsJsonlWriter:
             self._fh = open(destination, "w", encoding="utf-8")
             self._owns_fh = True
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (further writes are rejected)."""
+        return self._closed
+
     def poll(self, now: float) -> bool:
-        """Write a snapshot if ``interval`` has elapsed; returns whether."""
+        """Write a snapshot if ``interval`` has elapsed; returns whether.
+
+        Always remembers ``now`` as the clock's latest position, so a
+        later ``close()`` can flush the partial interval it falls in.
+        """
+        self._last_seen = float(now)
         if self._next_due is not None and now < self._next_due:
             return False
         self.write(now)
@@ -479,16 +500,29 @@ class MetricsJsonlWriter:
 
     def write(self, now: float) -> None:
         """Unconditionally append one snapshot line at time ``now``."""
+        if self._closed:
+            raise RuntimeStateError("metrics writer is closed")
         payload = {"t": float(now)}
         payload.update(self.registry.snapshot())
         self._fh.write(json.dumps(json_safe(payload), sort_keys=True) + "\n")
         self.snapshots += 1
+        self._last_seen = float(now)
+        self._last_write = float(now)
         self._next_due = float(now) + self.interval
 
     def close(self, now: float | None = None) -> None:
-        """Write a final snapshot (when ``now`` given) and release the file."""
-        if now is not None:
-            self.write(now)
+        """Flush the final partial interval and release the file.
+
+        The closing snapshot lands at ``now`` when given, else at the
+        last polled clock; it is skipped when that instant was already
+        written (no duplicate lines).  Idempotent: later calls no-op.
+        """
+        if self._closed:
+            return
+        final = float(now) if now is not None else self._last_seen
+        if final is not None and final != self._last_write:
+            self.write(final)
+        self._closed = True
         if self._owns_fh:
             self._fh.close()
 

@@ -320,7 +320,9 @@ def replay(
 
     wall = time.perf_counter() - t0
     if metrics_writer is not None:
-        metrics_writer.write(now)  # closing snapshot at the final clock
+        # Flush the final partial interval at the final clock (no-op if a
+        # periodic snapshot already landed exactly there).
+        metrics_writer.close(now)
     decisions = admitted + rejected
     observed = sum(link.observed_time for link in gateway.links)
     overload = sum(link.overload_time for link in gateway.links)

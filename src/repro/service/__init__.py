@@ -1,0 +1,39 @@
+"""Networked admission service.
+
+Serves :class:`~repro.runtime.gateway.AdmissionGateway` decisions over a
+length-prefixed JSON TCP protocol, with a single-writer dispatch queue
+(decisions stay serialized and digest-compatible with sequential
+replay), retrying clients, consistent-hash sharding across servers, and
+an open-loop asyncio load generator.  See ``docs/service.md``.
+"""
+
+from repro.service.client import (
+    AsyncAdmissionClient,
+    SyncAdmissionClient,
+    parse_address,
+)
+from repro.service.cluster import HashRing, ShardedCluster
+from repro.service.loadgen import LoadGenReport, run_loadgen, self_host_run
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import (
+    AdmissionServer,
+    ServerConfig,
+    replay_journal,
+    shard_health,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionServer",
+    "ServerConfig",
+    "shard_health",
+    "replay_journal",
+    "AsyncAdmissionClient",
+    "SyncAdmissionClient",
+    "parse_address",
+    "HashRing",
+    "ShardedCluster",
+    "LoadGenReport",
+    "run_loadgen",
+    "self_host_run",
+]

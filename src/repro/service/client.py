@@ -1,0 +1,271 @@
+"""Clients for the admission service.
+
+:class:`AsyncAdmissionClient` speaks the wire protocol over one TCP
+connection with sequential request/response calls, retrying *transient*
+failures -- connection establishment errors and typed retryable error
+frames (``overloaded``, ``timeout``, ``too-many-connections``,
+``shutting-down``) -- with capped exponential backoff.  Hard protocol
+errors surface as :class:`~repro.errors.RemoteError` carrying the wire
+code.
+
+Retry semantics are at-least-once: a connection that drops *after* a
+mutating request was written may have been applied server-side, and the
+retry can then answer ``state-error`` (duplicate admit) or
+``unknown-flow`` (duplicate depart).  Callers that need exactly-once
+must use idempotent flow ids and treat those answers accordingly; the
+load generator and the tests drive each flow id once, where
+at-least-once is indistinguishable from exactly-once.
+
+:class:`SyncAdmissionClient` wraps the async client behind a private
+event loop for scripts and the ``admit-client`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Sequence
+
+from repro.errors import ParameterError, RemoteError
+from repro.runtime.link import AdmissionDecision
+from repro.service.protocol import (
+    decision_from_wire,
+    make_request,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["AsyncAdmissionClient", "SyncAdmissionClient", "parse_address"]
+
+logger = logging.getLogger(__name__)
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """Parse ``host:port`` (the CLI's ``--addr`` format)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ParameterError(f"bad address {spec!r}; expected HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ParameterError(f"bad port in address {spec!r}") from None
+
+
+class AsyncAdmissionClient:
+    """One connection to one :class:`~repro.service.server.AdmissionServer`.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Server address.
+    timeout : float
+        Per-call deadline (connect + round-trip), seconds.
+    retries : int
+        Transient-failure retries per call (0 disables retrying).
+    backoff : float
+        Initial retry delay, doubled per attempt up to ``backoff_cap``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+    ) -> None:
+        if timeout <= 0.0:
+            raise ParameterError("timeout must be positive")
+        if retries < 0:
+            raise ParameterError("retries must be non-negative")
+        if backoff <= 0.0 or backoff_cap < backoff:
+            raise ParameterError("need 0 < backoff <= backoff_cap")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+        #: Transient failures retried across the client's lifetime.
+        self.retried = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> None:
+        """Open the connection (idempotent)."""
+        if self.connected:
+            return
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def __aenter__(self) -> "AsyncAdmissionClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- request machinery -------------------------------------------------
+
+    async def _roundtrip(self, op: str, **fields) -> dict:
+        request_id = self._next_id
+        self._next_id += 1
+        request = make_request(op, request_id, **fields)
+        await self.connect()
+        await write_frame(self._writer, request)
+        response = await asyncio.wait_for(read_frame(self._reader), self.timeout)
+        if response is None:
+            raise ConnectionResetError("server closed the connection mid-call")
+        if response.get("id") != request_id:
+            raise RemoteError(
+                "bad-frame",
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}",
+            )
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error", {})
+        raise RemoteError(
+            error.get("code", "internal"),
+            error.get("message", "no message"),
+            retryable=bool(error.get("retryable", False)),
+        )
+
+    async def _call(self, op: str, **fields) -> dict:
+        fields = {k: v for k, v in fields.items() if v is not None}
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            try:
+                return await self._roundtrip(op, **fields)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                await self.close()
+                if attempt >= self.retries:
+                    raise
+                logger.debug(
+                    "client %s:%d: %s failed (%s); retry %d/%d in %.3gs",
+                    self.host, self.port, op, exc, attempt + 1,
+                    self.retries, delay,
+                )
+            except RemoteError as exc:
+                if not exc.retryable or attempt >= self.retries:
+                    raise
+                logger.debug(
+                    "client %s:%d: %s answered %s; retry %d/%d in %.3gs",
+                    self.host, self.port, op, exc.code, attempt + 1,
+                    self.retries, delay,
+                )
+            self.retried += 1
+            await asyncio.sleep(delay)
+            delay = min(2.0 * delay, self.backoff_cap)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- operations --------------------------------------------------------
+
+    async def ping(self) -> dict:
+        """Round-trip liveness/version probe."""
+        return await self._call("ping")
+
+    async def admit(self, flow, t: float | None = None) -> AdmissionDecision:
+        """Request admission for one flow; returns the decision."""
+        result = await self._call("admit", flow=flow, t=t)
+        return decision_from_wire(result["decision"])
+
+    async def admit_many(
+        self, flows: Sequence, t: float | None = None
+    ) -> list[AdmissionDecision]:
+        """Request admission for a burst; returns decisions in order."""
+        result = await self._call("admit_many", flows=list(flows), t=t)
+        return [decision_from_wire(d) for d in result["decisions"]]
+
+    async def depart(self, flow, t: float | None = None) -> str:
+        """Record one departure; returns the carrying link's name."""
+        result = await self._call("depart", flow=flow, t=t)
+        return result["link"]
+
+    async def depart_many(self, flows: Sequence, t: float | None = None) -> int:
+        """Record a burst of departures; returns the count departed."""
+        result = await self._call("depart_many", flows=list(flows), t=t)
+        return result["departed"]
+
+    async def snapshot(self) -> dict:
+        """Full gateway + service snapshot."""
+        return await self._call("snapshot")
+
+    async def health(self) -> dict:
+        """Shard health summary (cheap; no full metrics walk)."""
+        return await self._call("health")
+
+
+class SyncAdmissionClient:
+    """Blocking convenience wrapper around :class:`AsyncAdmissionClient`.
+
+    Owns a private event loop; every method is a synchronous round-trip.
+    Use as a context manager::
+
+        with SyncAdmissionClient("127.0.0.1", 7750) as client:
+            decision = client.admit("flow-1", t=0.5)
+    """
+
+    def __init__(self, host: str, port: int, **kwargs) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._client = AsyncAdmissionClient(host, port, **kwargs)
+
+    def _run(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    def connect(self) -> None:
+        self._run(self._client.connect())
+
+    def close(self) -> None:
+        try:
+            self._run(self._client.close())
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "SyncAdmissionClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def ping(self) -> dict:
+        return self._run(self._client.ping())
+
+    def admit(self, flow, t: float | None = None) -> AdmissionDecision:
+        return self._run(self._client.admit(flow, t))
+
+    def admit_many(
+        self, flows: Sequence, t: float | None = None
+    ) -> list[AdmissionDecision]:
+        return self._run(self._client.admit_many(flows, t))
+
+    def depart(self, flow, t: float | None = None) -> str:
+        return self._run(self._client.depart(flow, t))
+
+    def depart_many(self, flows: Sequence, t: float | None = None) -> int:
+        return self._run(self._client.depart_many(flows, t))
+
+    def snapshot(self) -> dict:
+        return self._run(self._client.snapshot())
+
+    def health(self) -> dict:
+        return self._run(self._client.health())

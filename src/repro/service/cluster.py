@@ -1,0 +1,337 @@
+"""Sharded cluster: consistent-hash routing over admission servers.
+
+One :class:`~repro.service.server.AdmissionServer` serializes every
+decision through a single dispatch queue -- correct, but one queue.  The
+cluster layer scales *out*: N shards (each its own server + gateway +
+registry), with flows routed by a consistent-hash ring so a flow's home
+shard is derivable from its id alone, and only ~1/N of flows re-route
+when a shard joins or leaves (the property the Hypothesis suite pins).
+
+Routing is health-aware, reusing the :mod:`repro.runtime.health` states
+aggregated per shard by :func:`~repro.service.server.shard_health`:
+
+* **HEALTHY** shards take their ring traffic normally;
+* **DEGRADED** shards (some link degraded/quarantined) are skipped for
+  *new* arrivals when a healthy shard exists further along the ring --
+  they still serve the flows they carry;
+* **QUARANTINED** shards (every link failing closed) never receive new
+  arrivals while any alternative exists; if the whole cluster is
+  quarantined the primary owner answers and fails closed, so the caller
+  gets an explicit rejection rather than silence.
+
+Departures always go to the shard actually carrying the flow (the
+cluster keeps the flow -> shard table), so rebalanced arrivals do not
+orphan their departures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import logging
+from typing import Hashable, Iterator, Sequence
+
+from repro.errors import ParameterError, RemoteError, UnknownFlowError
+from repro.runtime.health import LinkHealth
+from repro.service.protocol import decision_from_wire, make_request
+from repro.service.server import AdmissionServer, shard_health
+
+__all__ = ["HashRing", "ShardedCluster"]
+
+logger = logging.getLogger(__name__)
+
+#: Virtual nodes per shard; enough that one shard's share of the ring is
+#: within a few percent of 1/N without making ring updates expensive.
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to named nodes.
+
+    Each node owns ``vnodes`` points on a 160-bit ring (SHA-1 of
+    ``"node#i"``); a key belongs to the first point clockwise from
+    SHA-1 of its ``repr``.  Pure function of the node set: the same
+    nodes always produce the same ring, independent of insertion order
+    and ``PYTHONHASHSEED``.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ParameterError("vnodes must be at least 1")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(hashlib.sha1(value.encode("utf-8")).digest(), "big")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add a node's virtual points to the ring."""
+        node = str(node)
+        if node in self._nodes:
+            raise ParameterError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = self._hash(f"{node}#{i}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove a node's virtual points from the ring."""
+        if node not in self._nodes:
+            raise ParameterError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def node_for(self, key: Hashable) -> str:
+        """The key's home node (its primary owner)."""
+        return next(self.iter_nodes(key))
+
+    def iter_nodes(self, key: Hashable) -> Iterator[str]:
+        """Distinct nodes in ring order starting at the key's home.
+
+        The failover walk: the first yielded node is the primary owner,
+        subsequent ones are the preference order for rebalancing.
+        """
+        if not self._points:
+            raise ParameterError("hash ring is empty")
+        index = bisect.bisect(self._points, self._hash(repr(key)))
+        seen: set[str] = set()
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(index + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+
+class ShardedCluster:
+    """Route flows across N admission-server shards.
+
+    Parameters
+    ----------
+    servers : sequence of AdmissionServer
+        The shards (names must be unique).  The cluster drives them
+        in-process through :meth:`AdmissionServer.submit`, so their
+        dispatchers must be running (``await cluster.start()`` starts
+        them; TCP listeners are optional and out of scope here).
+    vnodes : int
+        Virtual nodes per shard on the hash ring.
+    """
+
+    def __init__(
+        self, servers: Sequence[AdmissionServer], *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        servers = list(servers)
+        if not servers:
+            raise ParameterError("cluster needs at least one shard")
+        names = [server.name for server in servers]
+        if len(set(names)) != len(names):
+            raise ParameterError("shard names must be unique")
+        self.shards: dict[str, AdmissionServer] = {
+            server.name: server for server in servers
+        }
+        self.ring = HashRing(names, vnodes=vnodes)
+        self._flows: dict[Hashable, str] = {}
+        self._next_id = 0
+        #: Arrivals routed somewhere other than their primary owner.
+        self.rebalanced = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every shard's dispatcher (no TCP listeners)."""
+        for server in self.shards.values():
+            await server.start_dispatcher()
+
+    async def stop(self) -> None:
+        """Stop every shard."""
+        for server in self.shards.values():
+            await server.stop()
+
+    async def __aenter__(self) -> "ShardedCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        """Flows currently tracked across all shards."""
+        return len(self._flows)
+
+    def shard_of(self, flow_id: Hashable) -> str | None:
+        """The shard currently carrying ``flow_id`` (None if not placed)."""
+        return self._flows.get(flow_id)
+
+    def route(self, flow_id: Hashable) -> AdmissionServer:
+        """Choose the shard for a *new* arrival.
+
+        Walks the ring from the flow's home shard: first HEALTHY shard
+        wins; failing that, the first non-quarantined (DEGRADED) shard;
+        failing that, the primary owner (which will fail closed and
+        reject explicitly).
+        """
+        first = None
+        degraded_fallback = None
+        for name in self.ring.iter_nodes(flow_id):
+            server = self.shards[name]
+            if first is None:
+                first = server
+            health = shard_health(server.gateway)
+            if health is LinkHealth.HEALTHY:
+                if server is not first:
+                    self.rebalanced += 1
+                    logger.debug(
+                        "cluster: flow %r rebalanced %s -> %s",
+                        flow_id, first.name, name,
+                    )
+                return server
+            if health is LinkHealth.DEGRADED and degraded_fallback is None:
+                degraded_fallback = server
+        if degraded_fallback is not None:
+            if degraded_fallback is not first:
+                self.rebalanced += 1
+            return degraded_fallback
+        return first  # whole cluster quarantined: fail closed at the owner
+
+    def _request(self, op: str, **fields) -> dict:
+        request = make_request(op, self._next_id, **fields)
+        self._next_id += 1
+        return request
+
+    @staticmethod
+    def _unwrap(response: dict) -> dict:
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error", {})
+        raise RemoteError(
+            error.get("code", "internal"),
+            error.get("message", "no message"),
+            retryable=bool(error.get("retryable", False)),
+        )
+
+    # -- request path ------------------------------------------------------
+
+    async def admit(self, flow_id, t: float | None = None):
+        """Route and decide one arrival; returns the decision."""
+        server = self.route(flow_id)
+        result = self._unwrap(
+            await server.submit(self._request("admit", flow=flow_id, t=t))
+        )
+        decision = decision_from_wire(result["decision"])
+        if decision.admitted:
+            self._flows[flow_id] = server.name
+        return decision
+
+    async def admit_many(self, flow_ids: Sequence, t: float | None = None):
+        """Route and decide a burst; returns decisions in input order.
+
+        The burst is partitioned by shard (one ``admit_many`` submission
+        per shard), so each shard still sees one batched op.
+        """
+        ids = list(flow_ids)
+        by_shard: dict[str, list[int]] = {}
+        for index, flow_id in enumerate(ids):
+            by_shard.setdefault(self.route(flow_id).name, []).append(index)
+        decisions = [None] * len(ids)
+        for name, indices in by_shard.items():
+            server = self.shards[name]
+            flows = [ids[i] for i in indices]
+            result = self._unwrap(
+                await server.submit(
+                    self._request("admit_many", flows=flows, t=t)
+                )
+            )
+            for index, wire in zip(indices, result["decisions"]):
+                decision = decision_from_wire(wire)
+                decisions[index] = decision
+                if decision.admitted:
+                    self._flows[ids[index]] = name
+        return decisions
+
+    async def depart(self, flow_id, t: float | None = None) -> str:
+        """Record a departure on the shard carrying the flow."""
+        name = self._flows.pop(flow_id, None)
+        if name is None:
+            raise UnknownFlowError([flow_id], self.shards)
+        result = self._unwrap(
+            await self.shards[name].submit(
+                self._request("depart", flow=flow_id, t=t)
+            )
+        )
+        return result["link"]
+
+    async def depart_many(self, flow_ids: Sequence, t: float | None = None) -> int:
+        """Record a burst of departures, partitioned by carrying shard."""
+        ids = list(flow_ids)
+        unknown = [f for f in ids if f not in self._flows]
+        if unknown:
+            raise UnknownFlowError(unknown, self.shards)
+        by_shard: dict[str, list] = {}
+        for flow_id in ids:
+            by_shard.setdefault(self._flows.pop(flow_id), []).append(flow_id)
+        for name, flows in by_shard.items():
+            self._unwrap(
+                await self.shards[name].submit(
+                    self._request("depart_many", flows=flows, t=t)
+                )
+            )
+        return len(ids)
+
+    # -- aggregation -------------------------------------------------------
+
+    async def snapshot(self) -> dict:
+        """Per-shard snapshots plus cluster-level totals."""
+        shards = {}
+        for name, server in self.shards.items():
+            shards[name] = self._unwrap(
+                await server.submit(self._request("snapshot"))
+            )
+        totals: dict[str, float] = {}
+        for snap in shards.values():
+            for key, value in snap.get("counters", {}).items():
+                totals[key] = totals.get(key, 0.0) + value
+        return {
+            "shards": shards,
+            "totals": totals,
+            "n_flows": self.n_flows,
+            "rebalanced": self.rebalanced,
+        }
+
+    def prometheus(self) -> str:
+        """Concatenated Prometheus exposition, one namespace per shard.
+
+        Each shard keeps its own registry (endpoint-ready: serve each
+        shard's text at its own ``/metrics``); this helper renders them
+        all for single-process deployments, namespacing by shard name.
+        """
+        from repro.runtime.observability import render_prometheus
+
+        blocks = []
+        for name in sorted(self.shards):
+            server = self.shards[name]
+            blocks.append(
+                render_prometheus(server.registry, namespace=f"repro_{name}")
+            )
+        return "".join(blocks)

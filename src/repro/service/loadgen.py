@@ -1,0 +1,429 @@
+"""Open-loop asyncio load generator for the admission service.
+
+Drives one or more :class:`~repro.service.server.AdmissionServer`
+addresses with a synthetic workload -- Poisson flow arrivals, exponential
+holding times -- generated on a *simulated* clock, exactly like
+``replay()`` but over the wire.  Arrivals are open-loop: the arrival
+process is drawn up front from the seed, independent of how fast the
+server answers, so a slow server accumulates backlog (and, past its
+queue bound, sheds) instead of silently slowing the offered load.
+
+Two drive modes, mirroring the replay driver:
+
+* **single** (default): one ``admit`` round-trip per arrival;
+* **batched** (``batch_window=w``): arrivals and departures are
+  quantized onto a ``w``-grid and each instant is drained with one
+  ``admit_many`` / ``depart_many`` frame -- the mode that pushes a
+  loopback server well past 10k decisions/s.
+
+Multiple addresses are sharded client-side with the same
+:class:`~repro.service.cluster.HashRing` the cluster router uses, so a
+flow's shard is derivable from its id alone.  ``concurrency`` spawns
+independent workers (each with its own connections, RNG substream and
+flow-id namespace); with one worker the submission order is fully
+deterministic, which is what makes the server-side decision digest
+reproducible run to run (the CI smoke job's check).
+
+Latency is measured per wire call into a
+:class:`repro.runtime.metrics.Histogram` and reported as percentiles;
+throughput is decisions (admits + rejects) per wall-clock second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import logging
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError, RemoteError
+from repro.runtime.metrics import Histogram
+from repro.service.client import AsyncAdmissionClient, parse_address
+from repro.service.cluster import HashRing
+from repro.service.server import AdmissionServer
+
+__all__ = ["LoadGenReport", "run_loadgen", "self_host_run"]
+
+logger = logging.getLogger(__name__)
+
+_DEPART = 0
+_ARRIVE = 1
+
+#: Wire-call latency buckets: 10 us .. ~10 s.
+_LATENCY_BUCKETS = tuple(1e-5 * (10.0 ** (k / 3.0)) for k in range(19))
+
+
+@dataclass(frozen=True)
+class LoadGenReport:
+    """Outcome of one load-generation run.
+
+    ``shed`` counts arrivals answered with a retryable ``overloaded``
+    frame (no decision was made for them); ``errors`` counts every other
+    error frame -- a clean run has both at zero.  ``decisions_per_sec``
+    is (admitted + rejected) over wall-clock time.
+    """
+
+    arrivals: int
+    admitted: int
+    rejected: int
+    departures: int
+    shed: int
+    errors: int
+    retried: int
+    requests: int
+    simulated_time: float
+    wall_seconds: float
+    decisions_per_sec: float
+    latency: dict = field(repr=False)
+    #: Server-side decision digest per address (None when the server was
+    #: not collecting digests), fetched via ``snapshot`` after the run.
+    digests: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def decisions(self) -> int:
+        """Admission decisions actually made (admits + rejects)."""
+        return self.admitted + self.rejected
+
+
+class _Worker:
+    """One independent open-loop driver (own RNG, clients, flow ids)."""
+
+    def __init__(
+        self,
+        index: int,
+        addrs: list[str],
+        ring: HashRing,
+        *,
+        rate: float,
+        holding_time: float,
+        n_flows: int,
+        batch_window: float | None,
+        seed: int,
+        timeout: float,
+        retries: int,
+        latency: Histogram,
+    ) -> None:
+        self.index = index
+        self.ring = ring
+        self.rate = rate
+        self.holding_time = holding_time
+        self.n_flows = n_flows
+        self.batch_window = batch_window
+        self.rng = np.random.default_rng((seed, index))
+        self.latency = latency
+        self.clients = {
+            addr: AsyncAdmissionClient(
+                *parse_address(addr), timeout=timeout, retries=retries
+            )
+            for addr in addrs
+        }
+        self.arrivals = self.admitted = self.rejected = 0
+        self.departures = self.shed = self.errors = self.requests = 0
+        self.simulated_time = 0.0
+        self._flow_addr: dict[str, str] = {}
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    @property
+    def retried(self) -> int:
+        return sum(client.retried for client in self.clients.values())
+
+    async def close(self) -> None:
+        for client in self.clients.values():
+            await client.close()
+
+    def _quantize(self, t: float) -> float:
+        window = self.batch_window
+        return t if window is None else math.ceil(t / window) * window
+
+    def _push(self, when: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._heap, (when, kind, self._seq, payload))
+        self._seq += 1
+
+    async def _timed(self, coro):
+        t0 = time.perf_counter()
+        try:
+            return await coro
+        finally:
+            self.latency.observe(time.perf_counter() - t0)
+            self.requests += 1
+
+    # -- the drive loop ----------------------------------------------------
+
+    async def run(self) -> None:
+        if self.n_flows < 1:
+            return
+        arrival_iter = iter(
+            np.cumsum(self.rng.exponential(1.0 / self.rate, size=self.n_flows))
+        )
+        next_flow = 0
+        pending_raw = float(next(arrival_iter))
+
+        def schedule_arrivals() -> None:
+            """Queue the next arrival instant (coalesced under batching)."""
+            nonlocal pending_raw, next_flow
+            if next_flow >= self.n_flows:
+                return
+            when = self._quantize(pending_raw)
+            count = 1
+            while (
+                self.batch_window is not None
+                and next_flow + count < self.n_flows
+            ):
+                raw = float(next(arrival_iter))
+                if self._quantize(raw) == when:
+                    count += 1
+                else:
+                    pending_raw = raw
+                    break
+            if self.batch_window is None and next_flow + count < self.n_flows:
+                pending_raw = float(next(arrival_iter))
+            flows = [f"w{self.index}-{next_flow + i}" for i in range(count)]
+            next_flow += count
+            self._push(when, _ARRIVE, flows)
+
+        schedule_arrivals()
+        while self._heap:
+            now, kind, _, payload = heapq.heappop(self._heap)
+            self.simulated_time = now
+            if kind == _DEPART:
+                flows = [payload]
+                while (
+                    self._heap
+                    and self._heap[0][0] == now
+                    and self._heap[0][1] == _DEPART
+                ):
+                    flows.append(heapq.heappop(self._heap)[3])
+                await self._depart(flows, now)
+            else:
+                await self._admit(payload, now)
+                schedule_arrivals()
+
+    async def _admit(self, flows: list[str], now: float) -> None:
+        self.arrivals += len(flows)
+        by_addr: dict[str, list[str]] = {}
+        for flow in flows:
+            by_addr.setdefault(self.ring.node_for(flow), []).append(flow)
+        admitted: list[str] = []
+        for addr, group in by_addr.items():
+            client = self.clients[addr]
+            try:
+                if self.batch_window is None and len(group) == 1:
+                    decisions = [await self._timed(client.admit(group[0], t=now))]
+                else:
+                    decisions = await self._timed(client.admit_many(group, t=now))
+            except RemoteError as exc:
+                if exc.code == "overloaded":
+                    self.shed += len(group)
+                else:
+                    self.errors += len(group)
+                    logger.warning("loadgen: admit burst failed: %s", exc)
+                continue
+            for flow, decision in zip(group, decisions):
+                if decision.admitted:
+                    self.admitted += 1
+                    self._flow_addr[flow] = addr
+                    admitted.append(flow)
+                else:
+                    self.rejected += 1
+        if admitted:
+            holds = self.rng.exponential(self.holding_time, size=len(admitted))
+            for flow, hold in zip(admitted, holds):
+                self._push(self._quantize(now + float(hold)), _DEPART, flow)
+
+    async def _depart(self, flows: list[str], now: float) -> None:
+        by_addr: dict[str, list[str]] = {}
+        for flow in flows:
+            by_addr.setdefault(self._flow_addr.pop(flow), []).append(flow)
+        for addr, group in by_addr.items():
+            client = self.clients[addr]
+            try:
+                if self.batch_window is None and len(group) == 1:
+                    await self._timed(client.depart(group[0], t=now))
+                else:
+                    await self._timed(client.depart_many(group, t=now))
+            except RemoteError as exc:
+                if exc.code == "overloaded":
+                    self.shed += len(group)
+                else:
+                    self.errors += len(group)
+                    logger.warning("loadgen: depart burst failed: %s", exc)
+                continue
+            self.departures += len(group)
+
+
+async def run_loadgen(
+    addrs,
+    *,
+    rate: float,
+    holding_time: float,
+    n_flows: int,
+    batch_window: float | None = None,
+    concurrency: int = 1,
+    seed: int = 0,
+    timeout: float = 5.0,
+    retries: int = 0,
+    fetch_digests: bool = True,
+) -> LoadGenReport:
+    """Drive the servers at ``addrs`` with ``n_flows`` Poisson arrivals.
+
+    Parameters
+    ----------
+    addrs : str or sequence of str
+        ``host:port`` server addresses; several addresses are sharded
+        client-side by consistent hash of the flow id.
+    rate : float
+        Poisson arrival intensity per worker (flows per simulated time
+        unit, > 0).
+    holding_time : float
+        Mean exponential holding time (> 0).
+    n_flows : int
+        Total arrivals, split evenly across workers (>= 1).
+    batch_window : float, optional
+        Enable batched mode: quantize events onto this grid and drain
+        each instant with one ``admit_many``/``depart_many`` frame.
+    concurrency : int
+        Independent workers (>= 1).  One worker submits in a fully
+        deterministic order; more trade determinism for parallelism.
+    seed : int
+        Workload RNG seed (each worker derives substream ``(seed, k)``).
+    timeout, retries : float, int
+        Per-call client deadline and transient-retry budget.  The
+        default ``retries=0`` keeps shed requests visible in the report
+        instead of silently retrying them.
+    fetch_digests : bool
+        Fetch each server's decision digest via ``snapshot`` after the
+        run (disable against servers without snapshot access).
+
+    Returns
+    -------
+    LoadGenReport
+    """
+    if isinstance(addrs, str):
+        addrs = [addrs]
+    addrs = list(addrs)
+    if not addrs:
+        raise ParameterError("loadgen needs at least one server address")
+    if rate <= 0.0 or holding_time <= 0.0:
+        raise ParameterError("rate and holding_time must be positive")
+    if n_flows < 1:
+        raise ParameterError("n_flows must be at least 1")
+    if concurrency < 1:
+        raise ParameterError("concurrency must be at least 1")
+    if batch_window is not None and batch_window <= 0.0:
+        raise ParameterError("batch_window must be positive")
+    for addr in addrs:
+        parse_address(addr)  # validate up front
+
+    ring = HashRing(addrs) if len(addrs) > 1 else None
+    if ring is None:
+        # Single address: skip the ring walk on the hot path.
+        class _Direct:
+            @staticmethod
+            def node_for(key):
+                return addrs[0]
+        ring = _Direct()
+
+    share = n_flows // concurrency
+    remainder = n_flows % concurrency
+    latency = Histogram(
+        "loadgen.request_latency",
+        "wire-call round-trip seconds",
+        buckets=_LATENCY_BUCKETS,
+    )
+    workers = [
+        _Worker(
+            k,
+            addrs,
+            ring,
+            rate=rate,
+            holding_time=holding_time,
+            n_flows=share + (1 if k < remainder else 0),
+            batch_window=batch_window,
+            seed=seed,
+            timeout=timeout,
+            retries=retries,
+            latency=latency,
+        )
+        for k in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(*(worker.run() for worker in workers))
+    finally:
+        wall = time.perf_counter() - t0
+        for worker in workers:
+            await worker.close()
+
+    digests: dict[str, str | None] = {}
+    if fetch_digests:
+        for addr in addrs:
+            client = AsyncAdmissionClient(*parse_address(addr), timeout=timeout)
+            try:
+                snapshot = await client.snapshot()
+                digests[addr] = snapshot.get("service", {}).get("decision_digest")
+            finally:
+                await client.close()
+
+    totals = {
+        name: sum(getattr(w, name) for w in workers)
+        for name in (
+            "arrivals", "admitted", "rejected", "departures",
+            "shed", "errors", "retried", "requests",
+        )
+    }
+    decisions = totals["admitted"] + totals["rejected"]
+    return LoadGenReport(
+        simulated_time=max(w.simulated_time for w in workers),
+        wall_seconds=wall,
+        decisions_per_sec=decisions / wall if wall > 0.0 else float("inf"),
+        latency=latency.summary(),
+        digests=digests,
+        **totals,
+    )
+
+
+async def self_host_run(
+    gateway_factory,
+    *,
+    shards: int = 1,
+    server_config=None,
+    collect_digest: bool = True,
+    keep_journal: bool = False,
+    host: str = "127.0.0.1",
+    **loadgen_kwargs,
+) -> tuple[LoadGenReport, list[AdmissionServer]]:
+    """Start servers on loopback, drive them, stop them.
+
+    ``gateway_factory(shard_index)`` builds one gateway per shard; each
+    gets its own :class:`AdmissionServer` on an ephemeral loopback port,
+    the loadgen drives all of them (client-side sharding), and the
+    servers are stopped before returning.  Returns the report and the
+    (stopped) servers, whose digests and journals remain readable --
+    this is the engine behind ``repro loadgen --self-host``, the service
+    smoke job and the ``service_roundtrip`` bench kernel.
+    """
+    servers = [
+        AdmissionServer(
+            gateway_factory(i),
+            name=f"shard{i}",
+            config=server_config,
+            collect_digest=collect_digest,
+            keep_journal=keep_journal,
+        )
+        for i in range(shards)
+    ]
+    addrs = []
+    try:
+        for server in servers:
+            bound_host, port = await server.start(host, 0)
+            addrs.append(f"{bound_host}:{port}")
+        report = await run_loadgen(addrs, **loadgen_kwargs)
+    finally:
+        for server in servers:
+            await server.stop()
+    return report, servers

@@ -1,0 +1,292 @@
+"""Length-prefixed JSON wire protocol for the admission service.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"v": 1, "id": 7, "op": "admit", "flow": "user-123", "t": 42.5}
+
+Success response::
+
+    {"v": 1, "id": 7, "ok": true, "result": {...}}
+
+Error response::
+
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "overloaded", "message": "...", "retryable": true}}
+
+Operations (``op``): ``admit``, ``admit_many``, ``depart``,
+``depart_many``, ``snapshot``, ``health``, ``ping``.  Timestamps (``t``)
+are the caller's logical clock; the server clamps them monotone.  Flow
+ids must be JSON strings or integers (they travel verbatim into the
+gateway's flow table and the decision digest).
+
+Versioning: every frame carries ``"v"``; a server receiving an
+unsupported version answers a typed ``bad-version`` error naming the
+version it speaks, so old clients fail loudly instead of misparsing.
+
+Error frames are *typed*: ``code`` is machine-readable (see
+:data:`ERROR_CODES`) and ``retryable`` marks transient conditions
+(:data:`RETRYABLE_CODES` -- shedding, timeouts, connection caps) that a
+client may retry with backoff; everything else is a hard failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.runtime.link import AdmissionDecision
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "make_request",
+    "ok_response",
+    "error_response",
+    "validate_request",
+    "decision_to_wire",
+    "decision_from_wire",
+]
+
+#: Wire protocol version spoken by this build.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON body (guards the reader against a
+#: corrupt or hostile length prefix allocating unbounded memory).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+#: Request operations the server understands.
+OPS = (
+    "admit",
+    "admit_many",
+    "depart",
+    "depart_many",
+    "snapshot",
+    "health",
+    "ping",
+)
+
+#: Machine-readable error codes carried by error frames.
+ERROR_CODES = (
+    "bad-frame",          # unparseable body / oversized frame
+    "bad-version",        # protocol version mismatch
+    "bad-request",        # malformed request object / parameters
+    "unknown-op",         # op not in OPS
+    "unknown-flow",       # depart for a flow no link is carrying
+    "state-error",        # runtime invariant violated (duplicate admit...)
+    "overloaded",         # load shed: dispatch queue over its bound
+    "timeout",            # request exceeded the per-request deadline
+    "too-many-connections",  # connection cap reached
+    "shutting-down",      # server is draining
+    "internal",           # unexpected server-side failure
+)
+
+#: Transient error codes a client may retry (with backoff).
+RETRYABLE_CODES = frozenset(
+    {"overloaded", "timeout", "too-many-connections", "shutting-down"}
+)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame (length prefix + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit",
+            code="bad-frame",
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Parse one frame body; the result must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame body: {exc}", code="bad-frame")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}",
+            code="bad-frame",
+        )
+    return payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.ProtocolError` on a corrupt length
+    prefix (oversized frame) or a truncated body.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:  # clean close between frames
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/4 bytes)",
+            code="bad-frame",
+        )
+    (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit",
+            code="bad-frame",
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)",
+            code="bad-frame",
+        )
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Serialize and send one frame, draining the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- request / response builders ----------------------------------------------
+
+
+def make_request(op: str, request_id: int, **fields: Any) -> dict:
+    """Build a request frame payload."""
+    payload = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+    payload.update(fields)
+    return payload
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    """Build a success response payload."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict:
+    """Build a typed error response payload."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": code in RETRYABLE_CODES,
+        },
+    }
+
+
+def _check_flow_id(flow: Any) -> Any:
+    if not isinstance(flow, (str, int)) or isinstance(flow, bool):
+        raise ProtocolError(
+            f"flow ids must be strings or integers, got {flow!r}",
+            code="bad-request",
+        )
+    return flow
+
+
+def validate_request(payload: dict) -> dict:
+    """Validate a decoded request frame; returns it on success.
+
+    Checks version, op, and the per-op required fields.  Raises
+    :class:`~repro.errors.ProtocolError` with the matching error code.
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; "
+            f"this server speaks v{PROTOCOL_VERSION}",
+            code="bad-version",
+        )
+    if "id" not in payload:
+        raise ProtocolError("request is missing 'id'", code="bad-request")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}",
+            code="unknown-op",
+        )
+    t = payload.get("t")
+    if t is not None and not isinstance(t, (int, float)):
+        raise ProtocolError(f"'t' must be a number, got {t!r}", code="bad-request")
+    if t is not None and not math.isfinite(t):
+        raise ProtocolError(f"'t' must be finite, got {t!r}", code="bad-request")
+    if op in ("admit", "depart"):
+        if "flow" not in payload:
+            raise ProtocolError(f"{op} requires 'flow'", code="bad-request")
+        _check_flow_id(payload["flow"])
+    elif op in ("admit_many", "depart_many"):
+        flows = payload.get("flows")
+        if not isinstance(flows, list) or not flows:
+            raise ProtocolError(
+                f"{op} requires a non-empty 'flows' list", code="bad-request"
+            )
+        for flow in flows:
+            _check_flow_id(flow)
+    return payload
+
+
+# -- decision serialization ---------------------------------------------------
+
+
+def decision_to_wire(decision: AdmissionDecision) -> dict:
+    """Serialize an :class:`AdmissionDecision` for a response frame.
+
+    NaN fields (target/mu_hat/sigma_hat when no estimate was available)
+    become ``null`` -- strict JSON has no NaN token.
+    """
+    return {
+        "admitted": decision.admitted,
+        "link": decision.link,
+        "reason": decision.reason,
+        "target": None if math.isnan(decision.target) else decision.target,
+        "n_flows": decision.n_flows,
+        "degraded": decision.degraded,
+        "health": decision.health,
+        "mu_hat": None if math.isnan(decision.mu_hat) else decision.mu_hat,
+        "sigma_hat": None if math.isnan(decision.sigma_hat) else decision.sigma_hat,
+    }
+
+
+def decision_from_wire(payload: dict) -> AdmissionDecision:
+    """Rebuild an :class:`AdmissionDecision` from a response frame."""
+
+    def _nan(value):
+        return math.nan if value is None else float(value)
+
+    return AdmissionDecision(
+        admitted=bool(payload["admitted"]),
+        link=payload["link"],
+        reason=payload["reason"],
+        target=_nan(payload.get("target")),
+        n_flows=int(payload["n_flows"]),
+        degraded=bool(payload.get("degraded", False)),
+        health=payload.get("health", "healthy"),
+        mu_hat=_nan(payload.get("mu_hat")),
+        sigma_hat=_nan(payload.get("sigma_hat")),
+    )

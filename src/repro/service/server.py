@@ -1,0 +1,622 @@
+"""Networked admission server: an :class:`AdmissionGateway` behind TCP.
+
+:class:`AdmissionServer` exposes the in-process gateway over the wire
+protocol of :mod:`repro.service.protocol`.  The design constraint is the
+one the whole runtime is built on: **admission decisions are serialized**.
+Every connection handler funnels its requests into a single dispatch
+queue consumed by one writer task, so the gateway sees exactly the same
+kind of ordered, single-threaded op stream that ``replay()`` drives -- and
+the server's decision digest is byte-for-byte what a sequential
+``replay(collect_digest=True)`` of the same op order would produce
+(``replay_journal`` re-executes a recorded journal to prove it).
+
+Overload never blocks the caller:
+
+* **connection cap** -- a connection beyond ``max_connections`` receives
+  one typed ``too-many-connections`` error frame and is closed;
+* **load shedding** -- a request arriving while the dispatch queue holds
+  ``max_queue_depth`` entries is answered immediately with a retryable
+  ``overloaded`` error (fail closed: reject, never hang);
+* **per-request timeout** -- a request stuck in the queue past
+  ``request_timeout`` is abandoned (the dispatcher skips it, so the
+  gateway never applies a decision nobody is waiting for) and answered
+  with a ``timeout`` error.
+
+Clock discipline: requests carry the caller's logical time ``t``; the
+server clamps it monotone (``effective_t = max(server_clock, t)``) because
+links reject clocks that run backwards.  The journal records effective
+times, so re-execution is exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    RuntimeStateError,
+    UnknownFlowError,
+)
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.health import LinkHealth
+from repro.runtime.metrics import json_safe
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decision_to_wire,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+
+__all__ = [
+    "ServerConfig",
+    "AdmissionServer",
+    "shard_health",
+    "replay_journal",
+    "digest_record",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def digest_record(flow_id, decision) -> bytes:
+    """One decision's digest line -- the exact format ``replay()`` hashes."""
+    return (
+        f"{flow_id}|{int(decision.admitted)}|{decision.reason}|"
+        f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
+    ).encode("ascii")
+
+
+def shard_health(gateway: AdmissionGateway) -> LinkHealth:
+    """Aggregate link healths into one shard-level state.
+
+    QUARANTINED when *every* link fails closed (the shard cannot admit at
+    all), DEGRADED when any link is non-healthy (the shard still admits,
+    conservatively), HEALTHY otherwise.  This is the state the cluster
+    router rebalances on.
+    """
+    links = gateway.links
+    if all(link.quarantined for link in links):
+        return LinkHealth.QUARANTINED
+    if any(link.degraded for link in links):
+        return LinkHealth.DEGRADED
+    return LinkHealth.HEALTHY
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational limits for one :class:`AdmissionServer`.
+
+    Parameters
+    ----------
+    max_connections : int
+        Concurrent client connections accepted; excess connections get a
+        typed error frame and are closed.
+    max_queue_depth : int
+        Dispatch-queue bound; requests arriving above it are shed with a
+        retryable ``overloaded`` error instead of waiting.
+    request_timeout : float
+        Seconds a request may wait for its decision before being
+        abandoned with a ``timeout`` error.
+    max_frame_bytes : int
+        Per-frame body ceiling handed to the frame reader.
+    """
+
+    max_connections: int = 256
+    max_queue_depth: int = 1024
+    request_timeout: float = 5.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ParameterError("max_connections must be at least 1")
+        if self.max_queue_depth < 1:
+            raise ParameterError("max_queue_depth must be at least 1")
+        if self.request_timeout <= 0.0:
+            raise ParameterError("request_timeout must be positive")
+        if self.max_frame_bytes < 1:
+            raise ParameterError("max_frame_bytes must be positive")
+
+
+class AdmissionServer:
+    """Serve one gateway's admission decisions over the wire protocol.
+
+    Parameters
+    ----------
+    gateway : AdmissionGateway
+        The decision engine (owns the links, the metrics registry and any
+        attached tracer).
+    name : str
+        Shard name, used in logs, cluster routing and snapshots.
+    config : ServerConfig, optional
+        Connection/queue/timeout limits.
+    collect_digest : bool
+        Stream every decision into a SHA-256 (same line format as
+        ``replay(collect_digest=True)``); exposed via ``snapshot``.
+    keep_journal : bool
+        Record every applied mutating op as ``(op, flows, t)`` so tests
+        (and :func:`replay_journal`) can re-execute the exact sequence
+        sequentially.  Off by default -- the journal grows unboundedly.
+    metrics_writer : MetricsJsonlWriter, optional
+        Periodic snapshot sink, polled on the server's logical clock
+        after every applied request and closed (final partial interval
+        flushed) on shutdown.
+
+    Use ``async with server.serving(host, port):`` or ``await
+    server.start(...)`` / ``await server.stop()``.  In-process callers
+    (the cluster router, tests) can bypass TCP entirely via
+    :meth:`submit`, which still runs through the dispatch queue, so
+    serialization holds no matter how requests arrive.
+    """
+
+    def __init__(
+        self,
+        gateway: AdmissionGateway,
+        *,
+        name: str = "shard0",
+        config: ServerConfig | None = None,
+        collect_digest: bool = False,
+        keep_journal: bool = False,
+        metrics_writer=None,
+    ) -> None:
+        self.gateway = gateway
+        self.name = str(name)
+        self.config = config if config is not None else ServerConfig()
+        self.registry = gateway.registry
+        self.metrics_writer = metrics_writer
+        self._sha = hashlib.sha256() if collect_digest else None
+        self._decisions = 0
+        self.journal: list[tuple[str, object, float]] | None = (
+            [] if keep_journal else None
+        )
+        self._clock = 0.0
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._connections = 0
+        self._stopping = False
+        self.on_shutdown: list[Callable[[], None]] = []
+
+        metric = self.registry
+        prefix = f"service.{self.name}"
+        self._m_requests = metric.counter(
+            f"{prefix}.requests", "wire requests applied"
+        )
+        self._m_errors = metric.counter(
+            f"{prefix}.errors", "requests answered with an error frame"
+        )
+        self._m_shed = metric.counter(
+            f"{prefix}.shed", "requests rejected by load shedding"
+        )
+        self._m_timeouts = metric.counter(
+            f"{prefix}.timeouts", "requests abandoned past the deadline"
+        )
+        self._m_conn_refused = metric.counter(
+            f"{prefix}.connections_refused",
+            "connections closed at the connection cap",
+        )
+        self._m_connections = metric.gauge(
+            f"{prefix}.connections", "currently open client connections"
+        )
+        self._m_queue_depth = metric.gauge(
+            f"{prefix}.queue_depth", "dispatch queue depth at last enqueue"
+        )
+        self._m_latency = metric.histogram(
+            f"{prefix}.request_latency",
+            "enqueue-to-response wall-clock seconds",
+        )
+        self._m_connections.set(0)
+        self._m_queue_depth.set(0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """The server's logical clock (max effective request time seen)."""
+        return self._clock
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """``(host, port)`` actually bound, or ``None`` when not listening."""
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        host, port = self._tcp_server.sockets[0].getsockname()[:2]
+        return host, port
+
+    def digest(self) -> str | None:
+        """Decision digest so far (``None`` unless ``collect_digest``)."""
+        return self._sha.hexdigest() if self._sha is not None else None
+
+    async def start_dispatcher(self) -> None:
+        """Start the single-writer dispatch loop (idempotent).
+
+        TCP-less entry point for in-process callers (the cluster router
+        drives shards through :meth:`submit` without ever binding a
+        port).
+        """
+        if self._dispatcher is None:
+            self._stopping = False
+            self._queue = asyncio.Queue()
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name=f"admission-dispatch-{self.name}"
+            )
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start dispatching and listen on ``host:port`` (0 = ephemeral)."""
+        if self._tcp_server is not None:
+            raise RuntimeStateError(f"server {self.name} is already listening")
+        await self.start_dispatcher()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        bound = self.address
+        logger.info("server %s listening on %s:%d", self.name, *bound)
+        return bound
+
+    async def stop(self) -> None:
+        """Drain the queue, stop listening and run shutdown hooks."""
+        self._stopping = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        if self._conn_tasks:
+            # Give open connections a moment to drain, then cancel.
+            done, pending = await asyncio.wait(self._conn_tasks, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+            self._conn_tasks.clear()
+        if self._dispatcher is not None:
+            if self._queue is not None:
+                await self._queue.join()
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+            self._queue = None
+        if self.metrics_writer is not None:
+            # The new-subsystem shutdown path the writer's close() fix
+            # exists for: flush the final partial interval exactly once.
+            self.metrics_writer.close(self._clock)
+        for hook in self.on_shutdown:
+            hook()
+        logger.info(
+            "server %s stopped (%d decisions, clock %.6g)",
+            self.name, self._decisions, self._clock,
+        )
+
+    def serving(self, host: str = "127.0.0.1", port: int = 0):
+        """``async with server.serving() as (host, port):`` convenience."""
+        return _ServingContext(self, host, port)
+
+    # -- request intake ----------------------------------------------------
+
+    async def submit(self, request: dict) -> dict:
+        """Run one request through the dispatch queue; returns a response.
+
+        This is the single entry point for every request, whether it
+        arrived over TCP or from an in-process caller: validation, load
+        shedding, the queue, the per-request timeout and the metrics all
+        live here.  Never raises for request-level failures -- those come
+        back as typed error frames.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            validate_request(request)
+        except ProtocolError as exc:
+            self._m_errors.inc()
+            return error_response(request_id, exc.code, str(exc))
+        if self._stopping or self._queue is None:
+            self._m_errors.inc()
+            return error_response(
+                request_id, "shutting-down", f"server {self.name} is draining"
+            )
+        depth = self._queue.qsize()
+        self._m_queue_depth.set(depth)
+        if depth >= self.config.max_queue_depth:
+            # Fail closed: answer now rather than queueing unboundedly.
+            self._m_shed.inc()
+            self._m_errors.inc()
+            return error_response(
+                request_id,
+                "overloaded",
+                f"dispatch queue at its bound "
+                f"({depth} >= {self.config.max_queue_depth})",
+            )
+        t0 = time.perf_counter()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((request, future))
+        try:
+            response = await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            future.cancel()  # the dispatcher will skip it, never decide it
+            self._m_timeouts.inc()
+            self._m_errors.inc()
+            return error_response(
+                request_id,
+                "timeout",
+                f"request not dispatched within "
+                f"{self.config.request_timeout:g}s",
+            )
+        self._m_latency.observe(time.perf_counter() - t0)
+        if not response.get("ok", False):
+            self._m_errors.inc()
+        return response
+
+    async def _dispatch_loop(self) -> None:
+        """The single writer: applies queued requests to the gateway."""
+        assert self._queue is not None
+        while True:
+            request, future = await self._queue.get()
+            try:
+                if future.cancelled():
+                    continue  # abandoned by its timeout; do not decide it
+                response = self._apply(request)
+                if not future.cancelled():
+                    future.set_result(response)
+            finally:
+                self._queue.task_done()
+
+    # -- op application (runs only on the dispatcher task) ------------------
+
+    def _effective_time(self, request: dict) -> float:
+        t = request.get("t")
+        if t is not None:
+            self._clock = max(self._clock, float(t))
+        return self._clock
+
+    def _record(self, flow_id, decision) -> None:
+        self._decisions += 1
+        if self._sha is not None:
+            self._sha.update(digest_record(flow_id, decision))
+
+    def _apply(self, request: dict) -> dict:
+        request_id = request.get("id")
+        op = request["op"]
+        try:
+            result = getattr(self, f"_op_{op}")(request)
+        except UnknownFlowError as exc:
+            return error_response(request_id, "unknown-flow", str(exc))
+        except RuntimeStateError as exc:
+            return error_response(request_id, "state-error", str(exc))
+        except (ParameterError, ProtocolError) as exc:
+            return error_response(request_id, "bad-request", str(exc))
+        except ReproError as exc:  # pragma: no cover - defensive
+            logger.exception("server %s: %s failed", self.name, op)
+            return error_response(request_id, "internal", str(exc))
+        self._m_requests.inc()
+        if self.metrics_writer is not None:
+            self.metrics_writer.poll(self._clock)
+        return ok_response(request_id, result)
+
+    def _journal_append(self, op: str, flows, t: float) -> None:
+        if self.journal is not None:
+            self.journal.append((op, flows, t))
+
+    def _op_admit(self, request: dict) -> dict:
+        flow = request["flow"]
+        t = self._effective_time(request)
+        decision = self.gateway.admit(flow, t)
+        self._record(flow, decision)
+        self._journal_append("admit", flow, t)
+        return {"t": t, "decision": decision_to_wire(decision)}
+
+    def _op_admit_many(self, request: dict) -> dict:
+        flows = list(request["flows"])
+        t = self._effective_time(request)
+        decisions = self.gateway.admit_many(flows, t)
+        for flow, decision in zip(flows, decisions):
+            self._record(flow, decision)
+        self._journal_append("admit_many", flows, t)
+        return {
+            "t": t,
+            "decisions": [decision_to_wire(d) for d in decisions],
+        }
+
+    def _op_depart(self, request: dict) -> dict:
+        flow = request["flow"]
+        t = self._effective_time(request)
+        link = self.gateway.depart(flow, t)
+        self._journal_append("depart", flow, t)
+        return {"t": t, "link": link.name}
+
+    def _op_depart_many(self, request: dict) -> dict:
+        flows = list(request["flows"])
+        t = self._effective_time(request)
+        self.gateway.depart_many(flows, t)
+        self._journal_append("depart_many", flows, t)
+        return {"t": t, "departed": len(flows)}
+
+    def _op_snapshot(self, request: dict) -> dict:
+        snapshot = json_safe(self.gateway.snapshot())
+        snapshot["service"] = {
+            "name": self.name,
+            "clock": self._clock,
+            "decisions": self._decisions,
+            "decision_digest": self.digest(),
+            "health": shard_health(self.gateway).value,
+        }
+        return snapshot
+
+    def _op_health(self, request: dict) -> dict:
+        return {
+            "name": self.name,
+            "health": shard_health(self.gateway).value,
+            "clock": self._clock,
+            "n_flows": self.gateway.n_flows,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "connections": self._connections,
+            "links": {
+                link.name: {
+                    "health": link.health.value,
+                    "n_flows": link.n_flows,
+                    "load_fraction": link.load_fraction,
+                }
+                for link in self.gateway.links
+            },
+        }
+
+    def _op_ping(self, request: dict) -> dict:
+        return {
+            "pong": True,
+            "name": self.name,
+            "version": PROTOCOL_VERSION,
+            "clock": self._clock,
+        }
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._connections >= self.config.max_connections:
+            self._m_conn_refused.inc()
+            try:
+                await write_frame(
+                    writer,
+                    error_response(
+                        None,
+                        "too-many-connections",
+                        f"server {self.name} at its "
+                        f"{self.config.max_connections}-connection cap",
+                    ),
+                )
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            writer.close()
+            return
+        self._connections += 1
+        self._m_connections.set(self._connections)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        logger.debug("server %s: connection from %s", self.name, peer)
+        # Pipelining with in-order responses: each frame becomes a submit()
+        # task immediately (so the dispatch queue, not the connection, is
+        # the concurrency bound) and a writeback task sends the responses
+        # in arrival order.
+        pending: asyncio.Queue = asyncio.Queue()
+
+        async def writeback() -> None:
+            while True:
+                item = await pending.get()
+                if item is None:
+                    return
+                await write_frame(writer, await item)
+
+        wb = asyncio.get_running_loop().create_task(writeback())
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, max_bytes=self.config.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    self._m_errors.inc()
+                    pending.put_nowait(
+                        _completed(error_response(None, exc.code, str(exc)))
+                    )
+                    break  # framing is lost; close after responding
+                if frame is None:
+                    break
+                pending.put_nowait(
+                    asyncio.get_running_loop().create_task(self.submit(frame))
+                )
+        except asyncio.CancelledError:
+            # Server shutdown reaped this connection; end quietly (a task
+            # left in the cancelled state trips asyncio.streams' done
+            # callback, which re-raises CancelledError into the loop).
+            logger.debug("server %s: connection %s reaped at shutdown",
+                         self.name, peer)
+        except (ConnectionError, OSError) as exc:
+            logger.debug("server %s: connection %s dropped: %s",
+                         self.name, peer, exc)
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            pending.put_nowait(None)
+            try:
+                await wb
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except asyncio.CancelledError:
+                wb.cancel()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            self._connections -= 1
+            self._m_connections.set(self._connections)
+
+
+def _completed(value: dict) -> asyncio.Future:
+    future: asyncio.Future = asyncio.get_running_loop().create_future()
+    future.set_result(value)
+    return future
+
+
+class _ServingContext:
+    def __init__(self, server: AdmissionServer, host: str, port: int) -> None:
+        self._server = server
+        self._host = host
+        self._port = port
+
+    async def __aenter__(self) -> tuple[str, int]:
+        return await self._server.start(self._host, self._port)
+
+    async def __aexit__(self, *exc) -> None:
+        await self._server.stop()
+
+
+# -- sequential re-execution --------------------------------------------------
+
+
+def replay_journal(
+    gateway: AdmissionGateway,
+    journal: Sequence[tuple[str, object, float]],
+) -> str:
+    """Re-execute a server journal sequentially; returns the digest.
+
+    Applies the recorded ``(op, flows, effective_t)`` sequence to a fresh,
+    identically-built gateway with plain synchronous calls -- the
+    equivalent sequential replay of the same arrival order -- and hashes
+    the decisions in ``replay()``'s digest format.  A correct server
+    yields exactly this digest for the run that produced the journal:
+    the single-writer queue makes concurrent serving and sequential
+    re-execution indistinguishable.
+    """
+    sha = hashlib.sha256()
+    for op, flows, t in journal:
+        if op == "admit":
+            sha.update(digest_record(flows, gateway.admit(flows, t)))
+        elif op == "admit_many":
+            for flow, decision in zip(flows, gateway.admit_many(flows, t)):
+                sha.update(digest_record(flow, decision))
+        elif op == "depart":
+            gateway.depart(flows, t)
+        elif op == "depart_many":
+            gateway.depart_many(flows, t)
+        else:  # pragma: no cover - journals only hold the four ops
+            raise ParameterError(f"unknown journal op {op!r}")
+    return sha.hexdigest()

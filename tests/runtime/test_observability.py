@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, RuntimeStateError
 from repro.runtime.faults import CorruptSpec, FaultPlan, FeedFaults, Window
 from repro.runtime.gateway import AdmissionGateway
 from repro.runtime.metrics import Histogram, MetricsRegistry, json_safe
@@ -297,6 +297,61 @@ class TestMetricsJsonlWriter:
         assert writer.snapshots == len(lines) >= 2
         times = [json.loads(line)["t"] for line in lines]
         assert times == sorted(times)
+        # replay() closes the writer, flushing the final partial interval.
+        assert writer.closed
+
+    def test_close_flushes_the_final_partial_interval(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "help")
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=10.0)
+        writer.poll(0.0)          # periodic snapshot
+        counter.inc(7.0)
+        assert writer.poll(4.0) is False  # mid-interval: nothing written yet
+        writer.close()            # ...but close() must not lose the 7
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [line["t"] for line in lines] == [0.0, 4.0]
+        assert lines[-1]["counters"]["c"] == 7.0
+        assert writer.snapshots == 2
+
+    def test_close_at_explicit_time(self):
+        registry = MetricsRegistry()
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=10.0)
+        writer.poll(0.0)
+        writer.close(3.5)
+        times = [
+            json.loads(line)["t"] for line in buffer.getvalue().splitlines()
+        ]
+        assert times == [0.0, 3.5]
+
+    def test_close_skips_duplicate_final_snapshot(self):
+        registry = MetricsRegistry()
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=10.0)
+        writer.poll(0.0)
+        writer.close(0.0)  # the final clock was already snapshotted
+        assert writer.snapshots == 1
+        assert len(buffer.getvalue().splitlines()) == 1
+
+    def test_close_is_idempotent_and_seals_the_writer(self):
+        registry = MetricsRegistry()
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=1.0)
+        writer.poll(0.0)
+        writer.close(2.0)
+        writer.close(5.0)  # no-op: no third line
+        assert writer.snapshots == 2
+        assert writer.closed
+        with pytest.raises(RuntimeStateError):
+            writer.write(9.0)
+
+    def test_close_without_any_poll_writes_nothing(self):
+        registry = MetricsRegistry()
+        buffer = io.StringIO()
+        writer = MetricsJsonlWriter(registry, buffer, interval=1.0)
+        writer.close()
+        assert writer.snapshots == 0 and buffer.getvalue() == ""
 
 
 class TestProfiler:

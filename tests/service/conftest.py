@@ -1,0 +1,60 @@
+"""Shared helpers for the service test suite.
+
+Gateways here are fully deterministic (memoryless estimators over a
+cycling :class:`TraceFeed` of one known cross-section), so two gateways
+built by :func:`make_gateway` decide identically -- the property every
+digest-equality test in this package leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import CrossSection, MemorylessEstimator
+from repro.runtime.feed import TraceFeed
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+
+CAPACITY = 20.0
+HOLDING_TIME = 100.0
+STALE_HORIZON = 5.0
+
+
+def run(coro):
+    """Run one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_section(n=6, mean=1.0, var=0.09) -> CrossSection:
+    """A cross-section with exact moments (second moment made consistent)."""
+    m2 = mean * mean + var * (n - 1) / n if n else 0.0
+    return CrossSection(n=n, mean=mean, second_moment=m2, variance=var)
+
+
+def make_link(name: str, registry: MetricsRegistry, *, capacity=CAPACITY) -> ManagedLink:
+    """A deterministic link (plain target ~17.91 at the test section)."""
+    feed = TraceFeed([make_section()], period=1.0, cycle=True)
+    return ManagedLink(
+        name,
+        capacity=capacity,
+        holding_time=HOLDING_TIME,
+        mean_rate=1.0,
+        feed=feed,
+        estimator=MemorylessEstimator(),
+        controller=CertaintyEquivalentController(capacity, 0.05),
+        conservative_controller=CertaintyEquivalentController(capacity, alpha=3.0),
+        stale_horizon=STALE_HORIZON,
+        registry=registry,
+    )
+
+
+def make_gateway(n_links: int = 2, *, capacity=CAPACITY) -> AdmissionGateway:
+    """A deterministic gateway; identical calls build identical twins."""
+    registry = MetricsRegistry()
+    links = [
+        make_link(f"link{i}", registry, capacity=capacity)
+        for i in range(n_links)
+    ]
+    return AdmissionGateway(links, placement="least-loaded", registry=registry)

@@ -1,0 +1,220 @@
+"""Client tests: retry/backoff semantics, sync wrapper, address parsing."""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.errors import ParameterError, RemoteError
+from repro.service.client import (
+    AsyncAdmissionClient,
+    SyncAdmissionClient,
+    parse_address,
+)
+from repro.service.protocol import (
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import AdmissionServer
+
+from .conftest import make_gateway, run
+
+
+class TestParseAddress:
+    def test_good(self):
+        assert parse_address("127.0.0.1:7750") == ("127.0.0.1", 7750)
+        assert parse_address("example.test:1") == ("example.test", 1)
+
+    def test_bad(self):
+        for spec in ("nope", ":7750", "host:", "host:seven"):
+            with pytest.raises(ParameterError):
+                parse_address(spec)
+
+
+class TestClientValidation:
+    def test_constructor_rejects_bad_knobs(self):
+        for kwargs in (
+            {"timeout": 0.0},
+            {"retries": -1},
+            {"backoff": 0.0},
+            {"backoff": 2.0, "backoff_cap": 1.0},
+        ):
+            with pytest.raises(ParameterError):
+                AsyncAdmissionClient("h", 1, **kwargs)
+
+
+async def scripted_server(responses):
+    """A raw TCP server answering each request from a canned list."""
+    remaining = list(responses)
+
+    async def handle(reader, writer):
+        while remaining:
+            frame = await read_frame(reader)
+            if frame is None:
+                break
+            reply = remaining.pop(0)
+            if reply == "drop":
+                break  # close mid-call without answering
+            if callable(reply):
+                reply = reply(frame)
+            await write_frame(writer, reply)
+        writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestRetries:
+    def test_connection_refused_exhausts_retries(self):
+        async def scenario():
+            # Bind-then-close guarantees a dead port.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            client = AsyncAdmissionClient(
+                "127.0.0.1", port, retries=2, backoff=0.001
+            )
+            with pytest.raises(OSError):
+                await client.ping()
+            return client.retried
+
+        assert run(scenario()) == 2
+
+    def test_retryable_error_frame_is_retried(self):
+        async def scenario():
+            server, host, port = await scripted_server([
+                lambda f: error_response(f["id"], "overloaded", "busy"),
+                lambda f: ok_response(f["id"], {"pong": True}),
+            ])
+            client = AsyncAdmissionClient(host, port, retries=3, backoff=0.001)
+            try:
+                result = await client.ping()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return result, client.retried
+
+        result, retried = run(scenario())
+        assert result == {"pong": True}
+        assert retried == 1
+
+    def test_hard_error_frame_is_not_retried(self):
+        async def scenario():
+            server, host, port = await scripted_server([
+                lambda f: error_response(f["id"], "state-error", "duplicate"),
+            ])
+            client = AsyncAdmissionClient(host, port, retries=3, backoff=0.001)
+            try:
+                with pytest.raises(RemoteError) as exc:
+                    await client.admit("f1", t=1.0)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return exc.value, client.retried
+
+        error, retried = run(scenario())
+        assert error.code == "state-error" and not error.retryable
+        assert retried == 0
+
+    def test_mid_call_disconnect_reconnects_and_retries(self):
+        async def scenario():
+            server, host, port = await scripted_server([
+                "drop",
+                lambda f: ok_response(f["id"], {"pong": True}),
+            ])
+            client = AsyncAdmissionClient(host, port, retries=2, backoff=0.001)
+            try:
+                result = await client.ping()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return result, client.retried
+
+        result, retried = run(scenario())
+        assert result == {"pong": True}
+        assert retried == 1
+
+    def test_mismatched_response_id_is_a_hard_error(self):
+        async def scenario():
+            server, host, port = await scripted_server([
+                lambda f: ok_response(f["id"] + 1, {}),
+            ])
+            client = AsyncAdmissionClient(host, port, retries=0)
+            try:
+                with pytest.raises(RemoteError) as exc:
+                    await client.ping()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return exc.value.code
+
+        assert run(scenario()) == "bad-frame"
+
+
+class TestAgainstRealServer:
+    def test_full_surface(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway(), collect_digest=True)
+            async with server.serving() as (host, port):
+                async with AsyncAdmissionClient(host, port) as client:
+                    assert (await client.ping())["pong"]
+                    decision = await client.admit("f1", t=1.0)
+                    assert decision.admitted
+                    decisions = await client.admit_many(["f2", "f3"], t=2.0)
+                    assert len(decisions) == 2
+                    assert await client.depart("f1", t=3.0)
+                    assert await client.depart_many(["f2", "f3"], t=4.0) == 2
+                    snapshot = await client.snapshot()
+                    health = await client.health()
+            assert snapshot["service"]["decisions"] == 3
+            assert health["n_flows"] == 0
+
+        run(scenario())
+
+
+class TestSyncClient:
+    def test_round_trip_from_a_plain_thread(self):
+        ready: queue.Queue = queue.Queue()
+        stop = threading.Event()
+
+        def serve():
+            async def main():
+                server = AdmissionServer(make_gateway())
+                host, port = await server.start()
+                ready.put((host, port))
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = ready.get(timeout=5.0)
+        try:
+            with SyncAdmissionClient(host, port, timeout=5.0) as client:
+                assert client.ping()["pong"]
+                decision = client.admit("f1", t=1.0)
+                assert decision.admitted
+                assert len(client.admit_many(["f2"], t=1.5)) == 1
+                assert client.depart("f1", t=2.0).startswith("link")
+                assert client.depart_many(["f2"], t=2.5) == 1
+                assert client.health()["n_flows"] == 0
+                assert client.snapshot()["service"]["decisions"] == 2
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert not thread.is_alive()

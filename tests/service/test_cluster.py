@@ -1,0 +1,268 @@
+"""Cluster tests: consistent hashing, health-aware routing, aggregation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import ParameterError, RemoteError, UnknownFlowError
+from repro.service.cluster import HashRing, ShardedCluster
+from repro.service.server import AdmissionServer
+
+from .conftest import make_gateway, run
+
+KEYS = [f"flow-{i}" for i in range(400)]
+
+node_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestHashRing:
+    def test_pure_function_of_the_node_set(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order must not matter
+        assert all(a.node_for(k) == b.node_for(k) for k in KEYS)
+
+    def test_membership_and_len(self):
+        ring = HashRing(["s0", "s1"])
+        assert len(ring) == 2 and "s0" in ring and "s2" not in ring
+        assert ring.nodes == frozenset({"s0", "s1"})
+
+    def test_add_duplicate_and_remove_unknown_raise(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ParameterError):
+            ring.add("s0")
+        with pytest.raises(ParameterError):
+            ring.remove("ghost")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ParameterError):
+            HashRing([]).node_for("k")
+        with pytest.raises(ParameterError):
+            HashRing(vnodes=0)
+
+    def test_iter_nodes_walks_every_node_once(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        walk = list(ring.iter_nodes("some-key"))
+        assert sorted(walk) == ["s0", "s1", "s2", "s3"]
+        assert walk[0] == ring.node_for("some-key")
+
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=node_names)
+    def test_removal_only_remaps_the_removed_nodes_keys(self, nodes):
+        """The consistent-hashing contract, exactly: keys not owned by the
+        removed node keep their owner."""
+        ring = HashRing(nodes)
+        before = {key: ring.node_for(key) for key in KEYS}
+        victim = nodes[0]
+        ring.remove(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert ring.node_for(key) == owner
+
+    @settings(max_examples=50, deadline=None)
+    @given(nodes=node_names, fresh=st.integers(min_value=0, max_value=10 ** 9))
+    def test_addition_only_steals_keys_for_the_new_node(self, nodes, fresh):
+        new_node = f"new-{fresh}"
+        if new_node in nodes:
+            return
+        ring = HashRing(nodes)
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add(new_node)
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            assert after in (owner, new_node)
+
+    def test_rebalance_fraction_is_about_one_over_n(self):
+        """Statistical shape check: adding the (N+1)-th shard re-routes
+        roughly 1/(N+1) of keys (generously bounded to stay stable)."""
+        many_keys = [f"k{i}" for i in range(4000)]
+        for n in (2, 4, 8):
+            nodes = [f"s{i}" for i in range(n)]
+            ring = HashRing(nodes)
+            before = {key: ring.node_for(key) for key in many_keys}
+            ring.add("extra")
+            moved = sum(
+                1 for key in many_keys if ring.node_for(key) != before[key]
+            )
+            expected = len(many_keys) / (n + 1)
+            assert 0.4 * expected <= moved <= 2.0 * expected
+
+
+def make_cluster(n_shards=3):
+    servers = [
+        AdmissionServer(make_gateway(), name=f"s{i}", collect_digest=True)
+        for i in range(n_shards)
+    ]
+    return ShardedCluster(servers)
+
+
+def quarantine(server: AdmissionServer, now: float) -> None:
+    for link in server.gateway.links:
+        link.breaker.trip(now)
+    server.gateway.tick(now)
+
+
+class TestShardedCluster:
+    def test_needs_shards_with_unique_names(self):
+        with pytest.raises(ParameterError):
+            ShardedCluster([])
+        twins = [
+            AdmissionServer(make_gateway(), name="dup") for _ in range(2)
+        ]
+        with pytest.raises(ParameterError):
+            ShardedCluster(twins)
+
+    def test_admit_routes_to_the_ring_owner(self):
+        async def scenario():
+            cluster = make_cluster()
+            async with cluster:
+                decision = await cluster.admit("flow-1", t=1.0)
+                owner = cluster.ring.node_for("flow-1")
+                assert decision.admitted
+                assert cluster.shard_of("flow-1") == owner
+                assert cluster.rebalanced == 0
+                # Departure goes to the carrying shard and clears the table.
+                assert await cluster.depart("flow-1", t=2.0)
+                assert cluster.shard_of("flow-1") is None
+                assert cluster.n_flows == 0
+
+        run(scenario())
+
+    def test_admit_many_partitions_and_preserves_order(self):
+        async def scenario():
+            cluster = make_cluster()
+            flows = [f"flow-{i}" for i in range(24)]
+            async with cluster:
+                decisions = await cluster.admit_many(flows, t=1.0)
+                assert len(decisions) == len(flows)
+                admitted = [
+                    f for f, d in zip(flows, decisions) if d.admitted
+                ]
+                for flow in admitted:
+                    assert cluster.shard_of(flow) == cluster.ring.node_for(flow)
+                assert await cluster.depart_many(admitted, t=2.0) == len(admitted)
+                assert cluster.n_flows == 0
+                # Per-shard submissions stayed batched: at most one
+                # admit_many request per shard.
+                snapshot = await cluster.snapshot()
+                return snapshot
+
+        snapshot = run(scenario())
+        assert snapshot["n_flows"] == 0
+        assert snapshot["totals"]["gateway.admits"] > 0
+
+    def test_depart_unknown_flow_raises(self):
+        async def scenario():
+            cluster = make_cluster()
+            async with cluster:
+                with pytest.raises(UnknownFlowError):
+                    await cluster.depart("ghost")
+                with pytest.raises(UnknownFlowError):
+                    await cluster.depart_many(["ghost1", "ghost2"])
+
+        run(scenario())
+
+    def test_rebalances_away_from_quarantined_shard(self):
+        async def scenario():
+            cluster = make_cluster()
+            async with cluster:
+                # Find a flow homed on s1, then quarantine s1.
+                flow = next(
+                    f for f in (f"probe-{i}" for i in range(10_000))
+                    if cluster.ring.node_for(f) == "s1"
+                )
+                quarantine(cluster.shards["s1"], 1.0)
+                decision = await cluster.admit(flow, t=2.0)
+                assert decision.admitted
+                assert cluster.shard_of(flow) != "s1"
+                assert cluster.rebalanced == 1
+
+        run(scenario())
+
+    def test_degraded_shard_used_only_without_healthy_alternative(self):
+        async def scenario():
+            cluster = make_cluster(n_shards=2)
+            async with cluster:
+                flow = next(
+                    f for f in (f"probe-{i}" for i in range(10_000))
+                    if cluster.ring.node_for(f) == "s0"
+                )
+                # s0 degraded (stale feed), s1 healthy: arrival avoids s0.
+                for link in cluster.shards["s0"].gateway.links:
+                    link.feed.pause()
+                cluster.shards["s0"].gateway.tick(8.0)
+                decision = await cluster.admit(flow, t=9.0)
+                assert decision.admitted
+                assert cluster.shard_of(flow) == "s1"
+                # Now s1 quarantined too: the degraded shard is the only
+                # shard still deciding, so it takes the arrival.
+                quarantine(cluster.shards["s1"], 10.0)
+                other = next(
+                    f for f in (f"probe2-{i}" for i in range(10_000))
+                    if cluster.ring.node_for(f) == "s1"
+                )
+                fallback = await cluster.admit(other, t=11.0)
+                assert cluster.shard_of(other) in (None, "s0")
+                return fallback
+
+        run(scenario())
+
+    def test_whole_cluster_quarantined_fails_closed(self):
+        async def scenario():
+            cluster = make_cluster(n_shards=2)
+            async with cluster:
+                for server in cluster.shards.values():
+                    quarantine(server, 1.0)
+                # Before the breaker's next half-open probe (t=2), every
+                # shard is still failing closed.
+                decision = await cluster.admit("flow-x", t=1.5)
+                assert not decision.admitted
+                assert decision.reason == "quarantined"
+                assert cluster.shard_of("flow-x") is None
+
+        run(scenario())
+
+    def test_snapshot_and_prometheus_aggregate_all_shards(self):
+        async def scenario():
+            cluster = make_cluster()
+            async with cluster:
+                await cluster.admit_many(
+                    [f"flow-{i}" for i in range(12)], t=1.0
+                )
+                snapshot = await cluster.snapshot()
+                text = cluster.prometheus()
+            return snapshot, text
+
+        snapshot, text = run(scenario())
+        assert set(snapshot["shards"]) == {"s0", "s1", "s2"}
+        per_shard = sum(
+            snap["counters"]["gateway.admits"]
+            for snap in snapshot["shards"].values()
+        )
+        assert snapshot["totals"]["gateway.admits"] == per_shard
+        for name in ("s0", "s1", "s2"):
+            assert f"repro_{name}_gateway_admits" in text
+
+    def test_unwrap_surfaces_error_frames(self):
+        async def scenario():
+            cluster = make_cluster(n_shards=1)
+            async with cluster:
+                await cluster.admit("flow-1", t=1.0)
+                cluster._flows.pop("flow-1")  # lose the table entry
+                cluster._flows["flow-1"] = "s0"  # re-add; depart twice below
+                await cluster.depart("flow-1", t=2.0)
+                cluster._flows["flow-1"] = "s0"  # stale entry -> remote error
+                with pytest.raises(RemoteError) as exc:
+                    await cluster.depart("flow-1", t=3.0)
+                return exc.value.code
+
+        assert run(scenario()) == "unknown-flow"

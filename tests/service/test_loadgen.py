@@ -1,0 +1,115 @@
+"""Load-generator tests: determinism, accounting, parameter validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.service.loadgen import run_loadgen, self_host_run
+from repro.service.server import ServerConfig, replay_journal
+
+from .conftest import make_gateway, run
+
+WORKLOAD = dict(rate=5.0, holding_time=2.0, n_flows=300, seed=11)
+
+
+def self_host(**overrides):
+    kwargs = dict(WORKLOAD)
+    kwargs.update(overrides)
+    return run(
+        self_host_run(
+            lambda i: make_gateway(),
+            collect_digest=True,
+            **kwargs,
+        )
+    )
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        async def call(**kwargs):
+            defaults = dict(
+                rate=1.0, holding_time=1.0, n_flows=10, fetch_digests=False
+            )
+            defaults.update(kwargs)
+            await run_loadgen("127.0.0.1:1", **defaults)
+
+        for kwargs in (
+            {"rate": 0.0},
+            {"holding_time": -1.0},
+            {"n_flows": 0},
+            {"concurrency": 0},
+            {"batch_window": 0.0},
+        ):
+            with pytest.raises(ParameterError):
+                run(call(**kwargs))
+        with pytest.raises(ParameterError):
+            run(run_loadgen([], rate=1.0, holding_time=1.0, n_flows=1))
+        with pytest.raises(ParameterError):
+            run(run_loadgen("not-an-address", rate=1.0, holding_time=1.0,
+                            n_flows=1))
+
+
+class TestAccounting:
+    def test_counts_are_consistent(self):
+        report, _servers = self_host()
+        assert report.arrivals == WORKLOAD["n_flows"]
+        assert (
+            report.admitted + report.rejected + report.shed + report.errors
+            == report.arrivals
+        )
+        assert report.decisions == report.admitted + report.rejected
+        assert report.departures <= report.admitted
+        assert report.errors == 0 and report.shed == 0
+        assert report.requests == report.latency["count"]
+        assert report.wall_seconds > 0.0
+        assert report.decisions_per_sec > 0.0
+        assert report.simulated_time > 0.0
+
+    def test_batched_mode_coalesces_requests(self):
+        single, _ = self_host()
+        batched, _ = self_host(batch_window=0.5)
+        assert batched.arrivals == single.arrivals
+        # One frame per grid instant instead of one per event.
+        assert batched.requests < single.requests
+
+    def test_digest_deterministic_with_one_worker(self):
+        first, _ = self_host(batch_window=0.25)
+        second, _ = self_host(batch_window=0.25)
+        assert list(first.digests.values()) == list(second.digests.values())
+        assert None not in first.digests.values()
+
+    def test_journal_replays_to_the_served_digest(self):
+        report, servers = self_host(keep_journal=True)
+        (server,) = servers
+        fresh = make_gateway()
+        assert replay_journal(fresh, server.journal) == server.digest()
+        assert list(report.digests.values()) == [server.digest()]
+
+    def test_multiple_shards_split_the_flows(self):
+        report, servers = self_host(shards=3, n_flows=400)
+        assert len(servers) == 3
+        assert len(report.digests) == 3
+        total = sum(server._decisions for server in servers)
+        assert total == report.decisions
+        # Consistent hashing spreads a 400-flow namespace over all shards.
+        assert all(server._decisions > 0 for server in servers)
+
+    def test_concurrent_workers_complete_the_workload(self):
+        report, _servers = self_host(concurrency=4, n_flows=400)
+        assert report.arrivals == 400
+        assert report.errors == 0
+
+    def test_shedding_is_reported_not_raised(self):
+        report, _servers = self_host(
+            server_config=ServerConfig(max_queue_depth=1),
+            concurrency=8,
+            n_flows=400,
+            retries=0,
+        )
+        # With a one-deep queue and 8 workers, overload answers become
+        # shed counts (admits *and* departs), never hard errors.
+        assert report.errors == 0
+        assert report.arrivals == 400
+        assert report.admitted + report.rejected <= 400
+        assert report.admitted + report.rejected + report.shed >= 400

@@ -1,0 +1,320 @@
+"""AdmissionServer tests: dispatch, shedding, timeouts, TCP handling."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.health import LinkHealth
+from repro.runtime.observability import MetricsJsonlWriter
+from repro.service.protocol import (
+    encode_frame,
+    make_request,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import (
+    AdmissionServer,
+    ServerConfig,
+    digest_record,
+    replay_journal,
+    shard_health,
+)
+
+from .conftest import make_gateway, run
+
+
+def request(op, request_id, **fields):
+    return make_request(op, request_id, **fields)
+
+
+class TestServerConfig:
+    def test_validation(self):
+        for kwargs in (
+            {"max_connections": 0},
+            {"max_queue_depth": 0},
+            {"request_timeout": 0.0},
+            {"max_frame_bytes": 0},
+        ):
+            with pytest.raises(ParameterError):
+                ServerConfig(**kwargs)
+
+
+class TestDispatch:
+    def test_admit_depart_round_trip(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            await server.start_dispatcher()
+            try:
+                admit = await server.submit(request("admit", 0, flow="f1", t=1.0))
+                assert admit["ok"]
+                assert admit["result"]["decision"]["admitted"]
+                depart = await server.submit(request("depart", 1, flow="f1", t=2.0))
+                assert depart["ok"]
+                assert depart["result"]["link"].startswith("link")
+                return server.gateway.n_flows
+            finally:
+                await server.stop()
+
+        assert run(scenario()) == 0
+
+    def test_clock_clamped_monotone(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            await server.start_dispatcher()
+            try:
+                first = await server.submit(request("admit", 0, flow="a", t=5.0))
+                # A client clock running behind is clamped, not rejected.
+                second = await server.submit(request("admit", 1, flow="b", t=3.0))
+                return first["result"]["t"], second["result"]["t"], server.clock
+            finally:
+                await server.stop()
+
+        t_first, t_second, clock = run(scenario())
+        assert t_first == 5.0 and t_second == 5.0 and clock == 5.0
+
+    def test_error_mapping(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            await server.start_dispatcher()
+            try:
+                await server.submit(request("admit", 0, flow="f1", t=1.0))
+                duplicate = await server.submit(request("admit", 1, flow="f1"))
+                unknown = await server.submit(request("depart", 2, flow="ghost"))
+                bad = await server.submit({"v": 1, "id": 3, "op": "explode"})
+                stale_version = await server.submit(
+                    {"v": 99, "id": 4, "op": "ping"}
+                )
+                return duplicate, unknown, bad, stale_version
+            finally:
+                await server.stop()
+
+        duplicate, unknown, bad, stale_version = run(scenario())
+        assert duplicate["error"]["code"] == "state-error"
+        assert unknown["error"]["code"] == "unknown-flow"
+        assert bad["error"]["code"] == "unknown-op"
+        assert stale_version["error"]["code"] == "bad-version"
+        for response in (duplicate, unknown, bad, stale_version):
+            assert not response["error"]["retryable"]
+
+    def test_snapshot_health_ping(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), name="s1", collect_digest=True
+            )
+            await server.start_dispatcher()
+            try:
+                await server.submit(request("admit", 0, flow="f1", t=1.0))
+                snapshot = await server.submit(request("snapshot", 1))
+                health = await server.submit(request("health", 2))
+                ping = await server.submit(request("ping", 3))
+                return snapshot["result"], health["result"], ping["result"]
+            finally:
+                await server.stop()
+
+        snapshot, health, ping = run(scenario())
+        assert snapshot["service"]["name"] == "s1"
+        assert snapshot["service"]["decisions"] == 1
+        assert snapshot["service"]["decision_digest"] is not None
+        assert health["health"] == "healthy" and health["n_flows"] == 1
+        assert ping["pong"] and ping["version"] == 1
+
+    def test_shed_when_queue_full_fails_closed(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(),
+                config=ServerConfig(max_queue_depth=1, request_timeout=0.05),
+            )
+            await server.start_dispatcher()
+            # Pause the single writer so the queue can only fill up.
+            server._dispatcher.cancel()
+            try:
+                await server._dispatcher
+            except asyncio.CancelledError:
+                pass
+            waiting = asyncio.ensure_future(
+                server.submit(request("admit", 0, flow="a", t=1.0))
+            )
+            await asyncio.sleep(0)  # let it enqueue
+            shed = await server.submit(request("admit", 1, flow="b", t=1.0))
+            timed_out = await waiting
+            # Nothing was ever applied: the abandoned request must not be
+            # decided by a later dispatcher either.
+            drain = asyncio.ensure_future(server._dispatch_loop())
+            await server._queue.join()
+            drain.cancel()
+            server._dispatcher = None  # stopped above; skip double-join
+            server._queue = None
+            await server.stop()
+            return shed, timed_out, server.gateway.n_flows
+
+        shed, timed_out, n_flows = run(scenario())
+        assert shed["error"]["code"] == "overloaded"
+        assert shed["error"]["retryable"]
+        assert timed_out["error"]["code"] == "timeout"
+        assert timed_out["error"]["retryable"]
+        assert n_flows == 0
+
+    def test_submit_after_stop_answers_shutting_down(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            await server.start_dispatcher()
+            await server.stop()
+            return await server.submit(request("ping", 0))
+
+        response = run(scenario())
+        assert response["error"]["code"] == "shutting-down"
+        assert response["error"]["retryable"]
+
+
+class TestDigestAndJournal:
+    def test_digest_matches_sequential_replay_of_the_journal(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                t = 0.0
+                for i in range(40):
+                    t += 0.25
+                    await server.submit(
+                        request("admit", i, flow=f"f{i}", t=t)
+                    )
+                    if i >= 10:
+                        await server.submit(
+                            request("depart", 100 + i, flow=f"f{i - 10}", t=t)
+                        )
+                await server.submit(
+                    request("admit_many", 500,
+                            flows=[f"burst{j}" for j in range(8)], t=t + 1.0)
+                )
+            finally:
+                await server.stop()
+            return server
+
+        server = run(scenario())
+        assert len(server.journal) > 0
+        fresh = make_gateway()
+        assert replay_journal(fresh, server.journal) == server.digest()
+
+    def test_digest_record_matches_replay_format(self):
+        gateway = make_gateway()
+        decision = gateway.admit("f1", 1.0)
+        line = digest_record("f1", decision).decode("ascii")
+        assert line == (
+            f"f1|{int(decision.admitted)}|{decision.reason}|"
+            f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
+        )
+
+
+class TestShardHealth:
+    def test_aggregation(self):
+        gateway = make_gateway(n_links=2)
+        gateway.tick(1.0)
+        assert shard_health(gateway) is LinkHealth.HEALTHY
+
+        # One stale feed degrades the shard without quarantining it.
+        gateway.links[0].feed.pause()
+        gateway.tick(8.0)  # past STALE_HORIZON for the paused feed
+        assert gateway.links[0].health is LinkHealth.DEGRADED
+        assert shard_health(gateway) is LinkHealth.DEGRADED
+
+        # Every breaker open: the shard can only fail closed.
+        for link in gateway.links:
+            link.breaker.trip(9.0)
+        gateway.tick(9.0)
+        assert shard_health(gateway) is LinkHealth.QUARANTINED
+
+
+class TestMetricsWriterIntegration:
+    def test_stop_flushes_the_final_partial_interval(self):
+        async def scenario():
+            gateway = make_gateway()
+            sink = io.StringIO()
+            writer = MetricsJsonlWriter(
+                gateway.registry, sink, interval=100.0
+            )
+            server = AdmissionServer(gateway, metrics_writer=writer)
+            await server.start_dispatcher()
+            await server.submit(request("admit", 0, flow="f1", t=1.0))
+            await server.submit(request("admit", 1, flow="f2", t=2.5))
+            await server.stop()
+            return writer, sink.getvalue()
+
+        writer, payload = run(scenario())
+        lines = [line for line in payload.splitlines() if line]
+        # One periodic snapshot at t=1 plus the close() flush at t=2.5.
+        assert writer.snapshots == len(lines) == 2
+        assert writer.closed
+        assert '"t": 2.5' in lines[-1]
+
+
+class TestTcp:
+    def test_pipelined_requests_answered_in_order(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving() as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                for i in range(5):
+                    writer.write(encode_frame(
+                        request("admit", i, flow=f"f{i}", t=float(i + 1))
+                    ))
+                await writer.drain()
+                responses = [await read_frame(reader) for _ in range(5)]
+                writer.close()
+                await writer.wait_closed()
+            return responses
+
+        responses = run(scenario())
+        assert [r["id"] for r in responses] == list(range(5))
+        assert all(r["ok"] for r in responses)
+
+    def test_connection_cap_answers_typed_error(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), config=ServerConfig(max_connections=1)
+            )
+            async with server.serving() as (host, port):
+                r1, w1 = await asyncio.open_connection(host, port)
+                await write_frame(w1, request("ping", 0))
+                assert (await read_frame(r1))["ok"]  # holds the one slot
+                r2, w2 = await asyncio.open_connection(host, port)
+                refused = await read_frame(r2)
+                at_eof = await read_frame(r2)
+                w1.close()
+                w2.close()
+            return refused, at_eof
+
+        refused, at_eof = run(scenario())
+        assert refused["error"]["code"] == "too-many-connections"
+        assert refused["error"]["retryable"]
+        assert at_eof is None  # server closed after the error frame
+
+    def test_corrupt_frame_gets_error_then_close(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving() as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"\xff\xff\xff\xff")  # absurd length prefix
+                await writer.drain()
+                response = await read_frame(reader)
+                at_eof = await read_frame(reader)
+                writer.close()
+            return response, at_eof
+
+        response, at_eof = run(scenario())
+        assert response["error"]["code"] == "bad-frame"
+        assert at_eof is None
+
+    def test_double_start_raises(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving():
+                with pytest.raises(Exception, match="already listening"):
+                    await server.start()
+
+        run(scenario())

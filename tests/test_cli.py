@@ -39,6 +39,62 @@ class TestParser:
         args = build_parser().parse_args(["list"])
         assert args.verbose == 0
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.host == "127.0.0.1"
+        assert args.max_queue_depth == 1024
+        assert not args.digest
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--self-host"])
+        assert args.addr == [] and args.self_host
+        assert args.concurrency == 1 and args.retries == 0
+
+
+class TestExitCodes:
+    """The CLI contract: 0 success, 1 runtime failure, 2 usage error."""
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["no-such-command"])
+        assert exc.value.code == 2
+
+    def test_missing_required_argument_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["design"])  # --n/--holding-time/--p-q are required
+        assert exc.value.code == 2
+
+    def test_post_parse_usage_error_exits_2(self, capsys):
+        # loadgen needs exactly one of --addr / --self-host.
+        assert main(["loadgen"]) == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_check_digest_needs_self_host(self, capsys):
+        code = main(["loadgen", "--addr", "127.0.0.1:1", "--check-digest"])
+        assert code == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_admit_without_flow_exits_2(self, capsys):
+        assert main(["admit-client", "127.0.0.1:1", "admit"]) == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_runtime_error_exits_1(self, capsys):
+        # Nothing listens on this address: connection failure -> 1.
+        code = main(
+            ["admit-client", "127.0.0.1:9", "ping",
+             "--retries", "0", "--timeout", "0.2"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_library_error_exits_1(self, capsys):
+        assert main(["admit-client", "not-an-address", "ping"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_success_exits_0(self, capsys):
+        assert main(["list"]) == 0
+        assert capsys.readouterr().err == ""
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -123,11 +179,11 @@ class TestCommands:
         assert set(payload["links"]) == {"link0", "link1"}
         assert "gateway.admits" in payload["metrics"]["counters"]
 
-    def test_serve_replay_bad_outage(self):
-        from repro.errors import ParameterError
-
-        with pytest.raises(ParameterError):
-            main(["serve-replay", "--events", "10", "--outage", "nope"])
+    def test_serve_replay_bad_outage_exits_1(self, capsys):
+        # Runtime failures print to stderr and exit 1, never traceback.
+        assert main(["serve-replay", "--events", "10", "--outage", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "nope" in err
 
     @pytest.mark.slow
     def test_simulate_smoke(self, capsys):

@@ -60,11 +60,12 @@ class TestRunnerConfigEdges:
 
 
 class TestCliErrorPaths:
-    def test_unknown_experiment_id(self):
+    def test_unknown_experiment_id(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(ParameterError):
-            main(["run", "fig99", "--quality", "smoke"])
+        # Runtime failures exit 1 with a diagnostic (not a traceback).
+        assert main(["run", "fig99", "--quality", "smoke"]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestGaussianArrayPaths:
