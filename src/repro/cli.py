@@ -992,10 +992,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_admit_client(args: argparse.Namespace) -> int:
-    import dataclasses
     import json
 
     from repro.service import SyncAdmissionClient, parse_address
+    from repro.service.protocol import decision_to_wire
 
     if args.action in ("admit", "depart") and args.flow is None:
         return _usage_error(f"admit-client {args.action} requires a FLOW id")
@@ -1007,7 +1007,9 @@ def _cmd_admit_client(args: argparse.Namespace) -> int:
             result = client.ping()
         elif args.action == "admit":
             decision = client.admit(args.flow, t=args.t)
-            result = dataclasses.asdict(decision)
+            # Wire convention: NaN estimate fields serialize as null, so
+            # --json output stays strict JSON (asdict would emit bare NaN).
+            result = decision_to_wire(decision)
             if not args.json:
                 verdict = "admitted" if decision.admitted else "rejected"
                 print(f"{args.flow}: {verdict} by {decision.link} "

@@ -226,11 +226,12 @@ class DecisionTracer:
             health=decision.health,
             latency=latency,
         )
-        # Must stay byte-for-byte identical to replay()'s record() format.
+        # Must stay byte-for-byte identical to replay()'s record() format
+        # (UTF-8 so non-ASCII flow ids digest instead of raising).
         self._sha.update(
             f"{flow_id}|{int(decision.admitted)}|{decision.reason}|"
             f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
-            .encode("ascii")
+            .encode("utf-8")
         )
         self._decisions += 1
 

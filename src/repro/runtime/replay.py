@@ -181,10 +181,12 @@ def replay(
     digest = hashlib.sha256() if collect_digest else None
 
     def record(flow_id, decision) -> None:
+        # UTF-8 so non-ASCII flow ids digest instead of raising; must stay
+        # byte-for-byte identical to service.server.digest_record.
         digest.update(
             f"{flow_id}|{int(decision.admitted)}|{decision.reason}|"
             f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
-            .encode("ascii")
+            .encode("utf-8")
         )
 
     # (time, kind, seq, payload) -- seq breaks ties deterministically.

@@ -233,8 +233,35 @@ class ShardedCluster:
 
     # -- request path ------------------------------------------------------
 
+    def _check_new_flows(self, flow_ids: Sequence) -> None:
+        """Reject duplicate admits *before* routing.
+
+        Per-shard gateways cannot see each other's flow tables, so a
+        re-admitted flow that routes to a different shard (health changed
+        in between) would be double-admitted and the original shard's
+        capacity would leak -- its departure could never be routed there.
+        Matches single-server semantics: the whole burst is validated
+        before anything is submitted, and duplicates answer a
+        ``state-error``.
+        """
+        seen: set = set()
+        for flow_id in flow_ids:
+            if flow_id in self._flows:
+                raise RemoteError(
+                    "state-error",
+                    f"flow {flow_id!r} is already active on shard "
+                    f"{self._flows[flow_id]}",
+                )
+            if flow_id in seen:
+                raise RemoteError(
+                    "state-error",
+                    f"flow {flow_id!r} appears twice in one burst",
+                )
+            seen.add(flow_id)
+
     async def admit(self, flow_id, t: float | None = None):
         """Route and decide one arrival; returns the decision."""
+        self._check_new_flows([flow_id])
         server = self.route(flow_id)
         result = self._unwrap(
             await server.submit(self._request("admit", flow=flow_id, t=t))
@@ -251,6 +278,7 @@ class ShardedCluster:
         per shard), so each shard still sees one batched op.
         """
         ids = list(flow_ids)
+        self._check_new_flows(ids)
         by_shard: dict[str, list[int]] = {}
         for index, flow_id in enumerate(ids):
             by_shard.setdefault(self.route(flow_id).name, []).append(index)

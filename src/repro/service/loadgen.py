@@ -223,6 +223,12 @@ class _Worker:
                     self.errors += len(group)
                     logger.warning("loadgen: admit burst failed: %s", exc)
                 continue
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                # Retries exhausted at the connection level: count it and
+                # keep driving -- a flaky server must not abort the run.
+                self.errors += len(group)
+                logger.warning("loadgen: admit burst dropped: %s", exc)
+                continue
             for flow, decision in zip(group, decisions):
                 if decision.admitted:
                     self.admitted += 1
@@ -252,6 +258,10 @@ class _Worker:
                 else:
                     self.errors += len(group)
                     logger.warning("loadgen: depart burst failed: %s", exc)
+                continue
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                self.errors += len(group)
+                logger.warning("loadgen: depart burst dropped: %s", exc)
                 continue
             self.departures += len(group)
 

@@ -40,7 +40,6 @@ from typing import Callable, Sequence
 from repro.errors import (
     ParameterError,
     ProtocolError,
-    ReproError,
     RuntimeStateError,
     UnknownFlowError,
 )
@@ -70,11 +69,15 @@ logger = logging.getLogger(__name__)
 
 
 def digest_record(flow_id, decision) -> bytes:
-    """One decision's digest line -- the exact format ``replay()`` hashes."""
+    """One decision's digest line -- the exact format ``replay()`` hashes.
+
+    UTF-8, not ASCII: the protocol accepts any Unicode flow id, and a
+    digest helper must never be the thing that raises on one.
+    """
     return (
         f"{flow_id}|{int(decision.admitted)}|{decision.reason}|"
         f"{decision.link}|{decision.n_flows}|{decision.target!r}\n"
-    ).encode("ascii")
+    ).encode("utf-8")
 
 
 def shard_health(gateway: AdmissionGateway) -> LinkHealth:
@@ -368,7 +371,17 @@ class AdmissionServer:
             try:
                 if future.cancelled():
                     continue  # abandoned by its timeout; do not decide it
-                response = self._apply(request)
+                try:
+                    response = self._apply(request)
+                except Exception:  # the loop must survive any one request
+                    logger.exception(
+                        "server %s: unexpected dispatch failure", self.name
+                    )
+                    response = error_response(
+                        request.get("id") if isinstance(request, dict) else None,
+                        "internal",
+                        "unexpected server-side failure",
+                    )
                 if not future.cancelled():
                     future.set_result(response)
             finally:
@@ -398,7 +411,9 @@ class AdmissionServer:
             return error_response(request_id, "state-error", str(exc))
         except (ParameterError, ProtocolError) as exc:
             return error_response(request_id, "bad-request", str(exc))
-        except ReproError as exc:  # pragma: no cover - defensive
+        except Exception as exc:  # catch-all: one bad request must never
+            # kill the dispatcher (every later request would time out and
+            # stop() would hang on queue.join()).
             logger.exception("server %s: %s failed", self.name, op)
             return error_response(request_id, "internal", str(exc))
         self._m_requests.inc()

@@ -185,6 +185,59 @@ class TestAgainstRealServer:
         run(scenario())
 
 
+class TestAdmitClientJson:
+    def test_json_output_is_strict_even_with_nan_fields(self, capsys):
+        # Regression: `admit-client admit --json` serialized the decision
+        # with dataclasses.asdict + json.dumps (allow_nan=True), so a NaN
+        # target (every quarantined rejection has one) printed as a bare
+        # NaN token -- invalid strict JSON, unlike the wire protocol's
+        # NaN -> null convention.
+        import json
+
+        from repro.cli import main
+
+        ready: queue.Queue = queue.Queue()
+        stop = threading.Event()
+
+        def serve():
+            async def serve_main():
+                gateway = make_gateway()
+                for link in gateway.links:
+                    link.breaker.trip(1.0)  # quarantined: NaN target
+                gateway.tick(1.0)
+                server = AdmissionServer(gateway)
+                host, port = await server.start()
+                ready.put((host, port))
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(serve_main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = ready.get(timeout=5.0)
+        try:
+            code = main(
+                ["admit-client", f"{host}:{port}", "admit", "flow-x",
+                 "--t", "1.5", "--json"]
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert code == 0
+
+        def reject_constant(token):
+            raise AssertionError(f"non-strict JSON token {token!r} in output")
+
+        payload = json.loads(
+            capsys.readouterr().out, parse_constant=reject_constant
+        )
+        assert payload["admitted"] is False
+        assert payload["reason"] == "quarantined"
+        assert payload["target"] is None
+
+
 class TestSyncClient:
     def test_round_trip_from_a_plain_thread(self):
         ready: queue.Queue = queue.Queue()

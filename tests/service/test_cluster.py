@@ -160,6 +160,35 @@ class TestShardedCluster:
         assert snapshot["n_flows"] == 0
         assert snapshot["totals"]["gateway.admits"] > 0
 
+    def test_duplicate_admit_is_refused_even_after_health_change(self):
+        # Regression: without a cluster-level guard, a re-admitted flow
+        # whose home shard's health changed routes to a *different* shard
+        # (per-shard gateways cannot see the duplicate), double-admits,
+        # and leaks the original shard's capacity forever.
+        async def scenario():
+            cluster = make_cluster()
+            async with cluster:
+                assert (await cluster.admit("flow-1", t=1.0)).admitted
+                home = cluster.shard_of("flow-1")
+                quarantine(cluster.shards[home], 1.2)
+                with pytest.raises(RemoteError) as exc:
+                    await cluster.admit("flow-1", t=1.5)
+                assert exc.value.code == "state-error"
+                assert not exc.value.retryable
+                # Whole-burst validation: nothing is submitted when any
+                # flow in the burst duplicates an active or sibling one.
+                with pytest.raises(RemoteError):
+                    await cluster.admit_many(["fresh", "flow-1"], t=1.5)
+                with pytest.raises(RemoteError):
+                    await cluster.admit_many(["twin", "twin"], t=1.5)
+                assert cluster.shard_of("flow-1") == home
+                assert cluster.shard_of("fresh") is None
+                assert cluster.n_flows == 1
+                # The original placement still accepts the departure.
+                assert await cluster.depart("flow-1", t=1.6)
+
+        run(scenario())
+
     def test_depart_unknown_flow_raises(self):
         async def scenario():
             cluster = make_cluster()

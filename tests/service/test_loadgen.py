@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
 
 from repro.errors import ParameterError
@@ -99,6 +101,33 @@ class TestAccounting:
         report, _servers = self_host(concurrency=4, n_flows=400)
         assert report.arrivals == 400
         assert report.errors == 0
+
+    def test_connection_failures_are_reported_not_raised(self):
+        # Regression: exhausted connection-level failures used to escape
+        # the worker loop and abort the whole run with a traceback
+        # instead of landing in the report's error count.
+        async def scenario():
+            # Bind-then-close guarantees a dead port.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            return await run_loadgen(
+                f"127.0.0.1:{port}",
+                rate=5.0,
+                holding_time=2.0,
+                n_flows=10,
+                retries=0,
+                timeout=0.5,
+                fetch_digests=False,
+            )
+
+        report = run(scenario())
+        assert report.arrivals == 10
+        assert report.errors == 10
+        assert report.admitted == report.rejected == report.departures == 0
 
     def test_shedding_is_reported_not_raised(self):
         report, _servers = self_host(

@@ -158,6 +158,49 @@ class TestDispatch:
         assert timed_out["error"]["retryable"]
         assert n_flows == 0
 
+    def test_non_ascii_flow_id_does_not_kill_the_dispatcher(self):
+        # Regression: digest_record encoded ASCII while the protocol
+        # accepts any Unicode flow id, so one exotic id raised
+        # UnicodeEncodeError inside the dispatcher, killed it, and made
+        # every later request time out (and stop() hang on queue.join()).
+        async def scenario():
+            server = AdmissionServer(make_gateway(), collect_digest=True)
+            await server.start_dispatcher()
+            try:
+                exotic = await server.submit(
+                    request("admit", 0, flow="flöw-π", t=1.0)
+                )
+                after = await server.submit(request("ping", 1))
+                return exotic, after, server.digest()
+            finally:
+                await server.stop()
+
+        exotic, after, digest = run(scenario())
+        assert exotic["ok"] and exotic["result"]["decision"]["admitted"]
+        assert after["ok"]  # the dispatcher survived and kept serving
+        assert digest is not None
+
+    def test_unexpected_exception_answers_internal_and_loop_survives(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            await server.start_dispatcher()
+
+            def boom(flow, t):
+                raise ValueError("boom")
+
+            server.gateway.admit = boom
+            try:
+                failed = await server.submit(request("admit", 0, flow="f1", t=1.0))
+                alive = await server.submit(request("ping", 1))
+                return failed, alive
+            finally:
+                await server.stop()
+
+        failed, alive = run(scenario())
+        assert failed["error"]["code"] == "internal"
+        assert not failed["error"]["retryable"]
+        assert alive["ok"]
+
     def test_submit_after_stop_answers_shutting_down(self):
         async def scenario():
             server = AdmissionServer(make_gateway())
