@@ -44,6 +44,7 @@ from repro.runtime import (
     replay,
 )
 from repro.service.loadgen import self_host_run
+from repro.telemetry import CounterPollerFeed, SyntheticCounterSource
 from repro.traffic.rcbr import paper_rcbr_source
 
 BASELINE_PATH = _REPO_ROOT / "BENCH_runtime.json"
@@ -83,6 +84,43 @@ def _make_gateway(n_links=4, n=100.0, holding_time=HOLDING_TIME,
             )
         )
     return AdmissionGateway(links, placement=policy, registry=registry)
+
+
+def _make_counter_gateway(n_links=4, n=100.0, holding_time=HOLDING_TIME,
+                          seed=0, width=64, bytes_per_unit=1e6):
+    """Like :func:`_make_gateway`, but measured through polled counters.
+
+    Every link's cross-sections pass through the telemetry bottleneck:
+    a :class:`SyntheticCounterSource` exposes cumulative byte counters
+    and a :class:`CounterPollerFeed` runs one rate estimator per flow --
+    the per-decision cost the ``telemetry_poll`` kernel quantifies.
+    """
+    registry = MetricsRegistry()
+    links = []
+    for i in range(n_links):
+        source = paper_rcbr_source()
+        counter_source = SyntheticCounterSource(
+            source, seed=seed * 1000 + i, width=width,
+            bytes_per_unit=bytes_per_unit,
+        )
+        feed = CounterPollerFeed(
+            counter_source, TICK_PERIOD, width=width,
+            max_rate=50.0 * bytes_per_unit, rate_scale=bytes_per_unit,
+        )
+        links.append(
+            ManagedLink.build(
+                f"link{i}",
+                capacity=n * source.mean,
+                holding_time=holding_time,
+                mean_rate=source.mean,
+                feed=feed,
+                p_q=1e-2,
+                snr=0.3,
+                correlation_time=1.0,
+                registry=registry,
+            )
+        )
+    return AdmissionGateway(links, placement="least-loaded", registry=registry)
 
 
 def _replay_kwargs(batch_window=None):
@@ -209,6 +247,16 @@ def run_benchmarks(burst=BURST):
         if traced.decisions_per_sec > 0
         else float("inf")
     )
+    # Informational only: the same sequential workload measured through
+    # the polled-counter telemetry plane (one RateEstimator per flow on
+    # every tick).  The ratio against the oracle-fed sequential run is
+    # the telemetry bottleneck's price; it is reported, not gated.
+    telemetry = replay(_make_counter_gateway(seed=0), **_replay_kwargs())
+    telemetry_overhead = (
+        sequential.decisions_per_sec / telemetry.decisions_per_sec
+        if telemetry.decisions_per_sec > 0
+        else float("inf")
+    )
     service = measure_service_roundtrip(burst=burst)
     return {
         "schema": "bench-runtime/v1",
@@ -249,6 +297,12 @@ def run_benchmarks(burst=BURST):
                 "decisions_per_sec": traced.decisions_per_sec,
                 "overhead_vs_sequential": traced_overhead,
                 "trace_events": tracer.total_events,
+            },
+            "telemetry_poll": {
+                "decisions_per_sec": telemetry.decisions_per_sec,
+                "overhead_vs_sequential": telemetry_overhead,
+                "admitted": telemetry.admitted,
+                "rejected": telemetry.rejected,
             },
         },
         "service": {
@@ -346,6 +400,13 @@ def main(argv=None):
             f"{obs['trace_events']} trace events) -- informational",
             file=sys.stderr,
         )
+        tel = report["replay"]["telemetry_poll"]
+        print(
+            f"bench info: telemetry poll {tel['decisions_per_sec']:,.0f} "
+            f"dec/s ({tel['overhead_vs_sequential']:.2f}x overhead vs "
+            f"oracle feeds) -- informational",
+            file=sys.stderr,
+        )
         svc = report["service"]["roundtrip"]
         print(
             f"bench gate: service roundtrip {svc['decisions_per_sec']:,.0f} "
@@ -416,6 +477,26 @@ def test_chaos_replay_throughput(benchmark, emit):
     assert report.events >= REPLAY_EVENTS
     assert report.fault_summary is not None
     assert any(sum(c.values()) > 0 for c in report.fault_summary.values())
+
+
+def test_telemetry_poll_throughput(benchmark, emit):
+    """Time the sequential replay measured through polled counters.
+
+    Informational: quantifies the telemetry bottleneck (cumulative
+    counters + per-flow rate estimation) against the oracle-fed
+    sequential kernel; not part of the baseline gate.
+    """
+
+    def kernel():
+        return replay(_make_counter_gateway(seed=0), **_replay_kwargs())
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   telemetry poll:    {report.decisions_per_sec:,.0f} decisions/s "
+         f"({report.admitted} admits / {report.rejected} rejects) "
+         f"-- informational")
+    assert report.events >= REPLAY_EVENTS
+    assert report.admitted > 0
 
 
 def test_service_roundtrip_throughput(benchmark, emit):

@@ -24,6 +24,11 @@ Commands
 ``serve``
     Run one admission server: a gateway behind the TCP wire protocol
     (see :mod:`repro.service`), until interrupted or ``--max-seconds``.
+    With ``--telemetry-ingest`` the links' measurements come exclusively
+    from pushed ``telemetry`` frames.
+``telemetry-push``
+    Push one cumulative counter sample (``--link --t --bytes``) to a
+    running server's ingest feed.
 ``admit-client``
     One client request (ping/admit/depart/snapshot/health) against a
     running server.
@@ -291,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream decisions into a SHA-256 (reported via snapshot)",
     )
     serve.add_argument(
+        "--telemetry-ingest",
+        action="store_true",
+        help="replace every link's feed with a push-ingestion buffer: "
+        "measurements come only from 'telemetry' wire frames "
+        "(see `repro telemetry-push`)",
+    )
+    serve.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -309,6 +321,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="stop after this much wall-clock time (0: serve until ctrl-c)",
+    )
+
+    push = sub.add_parser(
+        "telemetry-push",
+        help="push one cumulative counter sample to a running server",
+    )
+    push.add_argument("addr", help="server address, HOST:PORT")
+    push.add_argument("--link", required=True, help="target link name")
+    push.add_argument(
+        "--t", type=float, required=True, help="sample measurement time"
+    )
+    push.add_argument(
+        "--bytes", type=int, required=True, dest="nbytes",
+        help="cumulative byte counter at time t",
+    )
+    push.add_argument(
+        "--packets", type=int, default=0,
+        help="cumulative packet counter at time t",
+    )
+    push.add_argument(
+        "--flow", default=None,
+        help="per-flow counter stream (default: the link aggregate)",
+    )
+    push.add_argument("--timeout", type=float, default=5.0)
+    push.add_argument(
+        "--retries", type=int, default=3, help="transient-failure retries"
+    )
+    push.add_argument(
+        "--json", action="store_true", help="print the raw ack as JSON"
     )
 
     client = sub.add_parser(
@@ -442,6 +483,21 @@ def _add_gateway_args(parser: argparse.ArgumentParser) -> None:
         default=1.0,
         help="degradation horizon as a fraction of T_h_tilde",
     )
+    parser.add_argument(
+        "--feed",
+        choices=("oracle", "counters"),
+        default="oracle",
+        help="measurement plane: 'oracle' samples the source marginal "
+        "directly; 'counters' derives rates from polled cumulative "
+        "byte counters (wrap/reset-robust telemetry path)",
+    )
+    parser.add_argument(
+        "--counter-width",
+        type=int,
+        choices=(32, 64),
+        default=64,
+        help="counter width in bits for --feed counters / telemetry ingest",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -565,6 +621,35 @@ def _parse_outages(specs: list[str]):
     return outages
 
 
+#: Byte scale for the counter-backed measurement planes: a flow at the
+#: nominal unit rate moves this many counter bytes per unit time.  Shared
+#: by ``--feed counters`` and ``serve --telemetry-ingest`` so external
+#: monitors know the wire contract (see docs/telemetry.md).
+COUNTER_BYTES_PER_UNIT = 1e6
+
+#: Plausibility ceiling on one stream's rate, in nominal per-flow units.
+#: Generous (the RCBR marginal at cv 0.3 essentially never reaches 10x
+#: its mean) but finite, so garbage counter values poison the stream
+#: instead of inflating the admission estimate.
+COUNTER_MAX_RATE_UNITS = 50.0
+
+
+def _counter_feed(source, *, period: float, seed: int, width: int):
+    """Build the polled-counter measurement plane for one link."""
+    from repro.telemetry import CounterPollerFeed, SyntheticCounterSource
+
+    counter_source = SyntheticCounterSource(
+        source, seed=seed, width=width, bytes_per_unit=COUNTER_BYTES_PER_UNIT
+    )
+    return CounterPollerFeed(
+        counter_source,
+        period,
+        width=width,
+        max_rate=COUNTER_MAX_RATE_UNITS * COUNTER_BYTES_PER_UNIT,
+        rate_scale=COUNTER_BYTES_PER_UNIT,
+    )
+
+
 def _build_gateway(
     args: argparse.Namespace,
     *,
@@ -595,17 +680,27 @@ def _build_gateway(
     tick_period = (
         args.tick_period if args.tick_period is not None else max(memory / 4.0, 1e-3)
     )
+    feed_kind = getattr(args, "feed", "oracle")
     links = []
     for i in range(args.links):
         source = paper_rcbr_source(
             mean=1.0, cv=args.snr, correlation_time=args.correlation_time
         )
-        feed = SourceFeed(source, period=tick_period, seed=seed * 1000 + i)
+        if feed_kind == "counters":
+            feed = _counter_feed(
+                source,
+                period=tick_period,
+                seed=seed * 1000 + i,
+                width=args.counter_width,
+            )
+        else:
+            feed = SourceFeed(source, period=tick_period, seed=seed * 1000 + i)
         links.append(
             ManagedLink.build(
                 f"link{i}",
                 capacity=args.n * source.mean,
                 holding_time=args.holding_time,
+                mean_rate=source.mean,
                 feed=feed,
                 p_q=args.p_q,
                 snr=args.snr,
@@ -822,6 +917,7 @@ def _cmd_chaos_replay(args: argparse.Namespace) -> int:
             period=tick_period,
             start=4.0 * tick_period,
             seed=seed,
+            counters=getattr(args, "feed", "oracle") == "counters",
         )
 
     iterations = []
@@ -937,6 +1033,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AdmissionServer
 
     gateway, registry, derived = _build_gateway(args)
+    if args.telemetry_ingest:
+        from repro.telemetry import IngestFeed
+
+        for link in gateway.links:
+            link.feed = IngestFeed(
+                derived["tick_period"],
+                width=args.counter_width,
+                max_rate=COUNTER_MAX_RATE_UNITS * COUNTER_BYTES_PER_UNIT,
+                rate_scale=COUNTER_BYTES_PER_UNIT,
+            )
     metrics_writer = None
     if args.metrics_out:
         interval = (
@@ -988,6 +1094,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if metrics_writer is not None:
         print(f"metrics snapshots    : {metrics_writer.snapshots} "
               f"-> {args.metrics_out}")
+    return 0
+
+
+def _cmd_telemetry_push(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import SyncAdmissionClient, parse_address
+
+    host, port = parse_address(args.addr)
+    with SyncAdmissionClient(
+        host, port, timeout=args.timeout, retries=args.retries
+    ) as client:
+        result = client.telemetry(
+            args.link, args.t, args.nbytes, packets=args.packets,
+            flow=args.flow,
+        )
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        stream = args.flow if args.flow is not None else "<aggregate>"
+        print(f"{args.link}/{stream}: sample at t={result['t']:g} buffered "
+              f"({result['buffered']} pending)")
     return 0
 
 
@@ -1148,6 +1276,7 @@ _COMMANDS = {
     "serve-replay": _cmd_serve_replay,
     "chaos-replay": _cmd_chaos_replay,
     "serve": _cmd_serve,
+    "telemetry-push": _cmd_telemetry_push,
     "admit-client": _cmd_admit_client,
     "loadgen": _cmd_loadgen,
 }

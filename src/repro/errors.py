@@ -36,6 +36,17 @@ class RuntimeStateError(ReproError, RuntimeError):
     """The online runtime (gateway/link) was driven into an invalid state."""
 
 
+class TelemetryError(ReproError, ValueError):
+    """A telemetry counter sample or stream is invalid.
+
+    Raised for malformed samples (non-integer counters, values outside the
+    counter width, non-finite timestamps) and for streams whose deltas are
+    physically implausible against a declared line rate.  The poller and
+    ingest feeds convert this into a poisoned cross-section so the link's
+    circuit breaker -- not the caller -- absorbs the failure.
+    """
+
+
 class ProtocolError(ReproError, ValueError):
     """A service wire frame or request violates the protocol.
 

@@ -16,8 +16,8 @@ Layers (bottom-up):
 * :mod:`repro.runtime.health` -- per-feed circuit breakers and the
   HEALTHY/DEGRADED/QUARANTINED link health model.
 * :mod:`repro.runtime.faults` -- scripted, seeded fault injection
-  (outages, drops, corruption, stuck-at, skew, latency) behind a
-  declarative :class:`FaultPlan`.
+  (outages, drops, corruption, stuck-at, skew, latency, counter resets
+  and wrap-forcing offsets) behind a declarative :class:`FaultPlan`.
 * :mod:`repro.runtime.link` -- one controller+estimator control loop
   behind ``admit()``/``depart()``, with the full health state machine.
 * :mod:`repro.runtime.gateway` -- flow placement over multiple links,
@@ -31,6 +31,7 @@ Layers (bottom-up):
 """
 
 from repro.runtime.faults import (
+    FAULT_KINDS,
     CorruptSpec,
     FaultPlan,
     FaultyFeed,
@@ -82,6 +83,7 @@ __all__ = [
     "CorruptSpec",
     "Counter",
     "DecisionTracer",
+    "FAULT_KINDS",
     "FaultPlan",
     "FaultyFeed",
     "FeedFaults",

@@ -27,6 +27,15 @@ seeded mix of the fault models a real measurement plane exhibits:
     with a bad clock).
 ``latency``
     Samples are delivered this much later than they were measured.
+``counter_resets``
+    Windows at whose onset the inner feed's cumulative counters are
+    zeroed (device reboot / flow-entry reinstall) -- exercises the
+    telemetry layer's reset detection.  Requires a counter-backed feed
+    (one exposing ``reset_counters``).
+``counter_offset``
+    Park the inner feed's counters this many bytes below their wrap
+    point at plan application, forcing a natural roll-over early in the
+    run.  Requires a feed exposing ``jump_near_wrap``.
 
 Faults are described declaratively by a :class:`FaultPlan` -- a mapping of
 link name to :class:`FeedFaults`, loadable from JSON or YAML -- so a chaos
@@ -52,6 +61,7 @@ from repro.runtime.feed import MeasurementFeed
 
 __all__ = [
     "CORRUPT_MODES",
+    "FAULT_KINDS",
     "CorruptSpec",
     "FaultPlan",
     "FaultyFeed",
@@ -61,6 +71,18 @@ __all__ = [
 ]
 
 CORRUPT_MODES = ("nan", "negative", "spike")
+
+#: Every fault kind a :class:`FeedFaults` spec may name.
+FAULT_KINDS = (
+    "outages",
+    "drop_probability",
+    "corrupt",
+    "stuck",
+    "clock_skew",
+    "latency",
+    "counter_resets",
+    "counter_offset",
+)
 
 
 @dataclass(frozen=True)
@@ -171,6 +193,8 @@ class FeedFaults:
     stuck: tuple[Window, ...] = ()
     clock_skew: float = 0.0
     latency: float = 0.0
+    counter_resets: tuple[Window, ...] = ()
+    counter_offset: int = 0
 
     def __post_init__(self) -> None:
         # Accept the same shapes as from_dict so direct construction
@@ -178,6 +202,18 @@ class FeedFaults:
         # unvalidated values that only blow up at poll time.
         object.__setattr__(self, "outages", _parse_windows(self.outages))
         object.__setattr__(self, "stuck", _parse_windows(self.stuck))
+        object.__setattr__(
+            self, "counter_resets", _parse_windows(self.counter_resets)
+        )
+        if (
+            isinstance(self.counter_offset, bool)
+            or not isinstance(self.counter_offset, int)
+            or self.counter_offset < 0
+        ):
+            raise ParameterError(
+                "counter_offset must be a non-negative integer (bytes below "
+                f"the wrap point; 0 disables it), got {self.counter_offset!r}"
+            )
         if isinstance(self.corrupt, Mapping):
             object.__setattr__(
                 self, "corrupt", CorruptSpec.from_dict(self.corrupt)
@@ -196,13 +232,17 @@ class FeedFaults:
 
     @classmethod
     def from_dict(cls, obj: Mapping) -> "FeedFaults":
-        allowed = {"outages", "drop_probability", "corrupt", "stuck",
-                   "clock_skew", "latency"}
-        unknown = set(obj) - allowed
-        if unknown:
+        if not isinstance(obj, Mapping):
             raise ParameterError(
-                f"unknown fault keys {sorted(unknown)}; allowed: "
-                f"{sorted(allowed)}"
+                "a fault spec must be a mapping of fault kind to value, got "
+                f"{type(obj).__name__}"
+            )
+        unknown = set(obj) - set(FAULT_KINDS)
+        if unknown:
+            kinds = ", ".join(sorted(unknown))
+            raise ParameterError(
+                f"unknown fault kind(s): {kinds}; valid kinds: "
+                f"{', '.join(FAULT_KINDS)}"
             )
         corrupt = obj.get("corrupt")
         return cls(
@@ -212,6 +252,8 @@ class FeedFaults:
             stuck=_parse_windows(obj.get("stuck")),
             clock_skew=float(obj.get("clock_skew", 0.0)),
             latency=float(obj.get("latency", 0.0)),
+            counter_resets=_parse_windows(obj.get("counter_resets")),
+            counter_offset=obj.get("counter_offset", 0),
         )
 
 
@@ -263,13 +305,40 @@ class FaultyFeed(MeasurementFeed):
         self._rng = np.random.default_rng(seed)
         self._pending: deque[tuple[float, CrossSection]] = deque()
         self._last_section: CrossSection | None = None
+        self._resets_fired: set[int] = set()
         self.injected = {
             "outage_polls": 0,
             "dropped": 0,
             "corrupted": 0,
             "stuck": 0,
             "delayed": 0,
+            "counter_resets": 0,
+            "counter_offset": 0,
         }
+        # Counter faults act on the inner feed's counter plane, so they
+        # only make sense on a counter-backed feed.  Reject the mismatch
+        # at plan application (a typo'd target would otherwise silently
+        # no-op for the whole run).
+        if faults.counter_resets and not callable(
+            getattr(inner, "reset_counters", None)
+        ):
+            raise ParameterError(
+                f"counter_resets targets feed {type(inner).__name__}"
+                f"{f' on link {name}' if name else ''}, which has no "
+                "cumulative counters (no reset_counters hook); use a "
+                "counter-backed feed such as CounterPollerFeed"
+            )
+        if faults.counter_offset:
+            jump = getattr(inner, "jump_near_wrap", None)
+            if not callable(jump):
+                raise ParameterError(
+                    f"counter_offset targets feed {type(inner).__name__}"
+                    f"{f' on link {name}' if name else ''}, which has no "
+                    "cumulative counters (no jump_near_wrap hook); use a "
+                    "counter-backed feed such as CounterPollerFeed"
+                )
+            jump(faults.counter_offset)
+            self._inject("counter_offset", 0.0)
 
     def _inject(self, kind: str, now: float) -> None:
         """Count one fired fault and mirror it into the tracer (if any)."""
@@ -284,6 +353,14 @@ class FaultyFeed(MeasurementFeed):
 
     def _produce(self, now: float, n_flows: int) -> CrossSection | None:
         faults = self.faults
+        for index, window in enumerate(faults.counter_resets):
+            # Fire once at each window's onset: a reboot is an event, not
+            # a state, and the telemetry layer must ride out exactly one
+            # lost interval per reset.
+            if index not in self._resets_fired and window.contains(now):
+                self._resets_fired.add(index)
+                self.inner.reset_counters()
+                self._inject("counter_resets", now)
         if any(w.contains(now) for w in faults.outages):
             self._inject("outage_polls", now)
             return None
@@ -408,6 +485,7 @@ def default_chaos_plan(
     period: float,
     start: float = 50.0,
     seed: int = 0,
+    counters: bool = False,
 ) -> FaultPlan:
     """The built-in chaos scenario used by ``repro chaos-replay``.
 
@@ -421,6 +499,13 @@ def default_chaos_plan(
       link until the half-open probe finds clean data again;
     * a lossy, laggy feed (30% **drop**, one period of **latency**) plus a
       late **stuck-at** window, exercising the masking fault.
+
+    With ``counters=True`` (all links carry counter-backed feeds, e.g.
+    ``chaos-replay --feed counters``) the plan additionally zeroes the
+    first link's counters mid-run (``counter_resets``) and parks the
+    second link's counters just below the wrap point (``counter_offset``),
+    so reset detection and wrap-around both fire under the same seeded,
+    byte-reproducible schedule.
     """
     names = list(link_names)
     if not names:
@@ -456,4 +541,12 @@ def default_chaos_plan(
         latency=period,
         stuck=(Window(start + 60.0 * period, 20.0 * period),),
     )
+    if counters:
+        merge(
+            names[0],
+            counter_resets=(Window(start + 100.0 * period, 10.0 * period),),
+        )
+        # ~50 MB below the roll-over: a handful of unit-rate flows at the
+        # default 1e6 bytes/unit scale cross it within tens of periods.
+        merge(names[1 % len(names)], counter_offset=50_000_000)
     return FaultPlan(links=links, seed=seed)

@@ -172,6 +172,16 @@ class TraceFeed(MeasurementFeed):
         Epoch length between consecutive records.
     cycle : bool
         Wrap around at the end instead of going stale.
+
+    Notes
+    -----
+    Once exhausted, :meth:`staleness` is measured against the recording's
+    own timeline -- the epoch of the final section, anchored at the first
+    emission -- not against the wall time the final section happened to be
+    *delivered* at.  Delayed polls stretch delivery times but add no new
+    information, so without this anchor a lazily polled recording would
+    look fresher than the data it carries and exhaustion would degrade on
+    a later horizon than an outage.
     """
 
     def __init__(self, sections: Iterable, period: float, *, cycle: bool = False):
@@ -187,17 +197,26 @@ class TraceFeed(MeasurementFeed):
         self.sections: Sequence[CrossSection] = tuple(converted)
         self.cycle = bool(cycle)
         self._cursor = 0
+        self._first_emit: float | None = None
 
     @property
     def exhausted(self) -> bool:
         """Whether the recording has been fully played (never for cyclic)."""
         return not self.cycle and self._cursor >= len(self.sections)
 
+    def staleness(self, now: float) -> float:
+        if self.exhausted and self._first_emit is not None:
+            last_epoch = self._first_emit + (len(self.sections) - 1) * self.period
+            return max(super().staleness(now), float(now) - last_epoch)
+        return super().staleness(now)
+
     def _produce(self, now: float, n_flows: int) -> CrossSection | None:
         if self._cursor >= len(self.sections):
             if not self.cycle:
                 return None
             self._cursor = 0
+        if self._first_emit is None:
+            self._first_emit = float(now)
         section = self.sections[self._cursor]
         self._cursor += 1
         return section

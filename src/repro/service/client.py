@@ -205,6 +205,27 @@ class AsyncAdmissionClient:
         result = await self._call("depart_many", flows=list(flows), t=t)
         return result["departed"]
 
+    async def telemetry(
+        self,
+        link: str,
+        t: float,
+        nbytes: int,
+        *,
+        packets: int = 0,
+        flow=None,
+    ) -> dict:
+        """Push one cumulative counter sample into ``link``'s ingest feed.
+
+        ``nbytes``/``packets`` are running totals at sample time ``t``
+        (the wire field for ``nbytes`` is ``bytes``); ``flow`` selects a
+        per-flow counter stream, ``None`` the link aggregate.  Returns the
+        server's ``{"t", "link", "buffered"}`` acknowledgement.
+        """
+        return await self._call(
+            "telemetry", link=link, t=t, bytes=nbytes, packets=packets,
+            flow=flow,
+        )
+
     async def snapshot(self) -> dict:
         """Full gateway + service snapshot."""
         return await self._call("snapshot")
@@ -263,6 +284,13 @@ class SyncAdmissionClient:
 
     def depart_many(self, flows: Sequence, t: float | None = None) -> int:
         return self._run(self._client.depart_many(flows, t))
+
+    def telemetry(
+        self, link: str, t: float, nbytes: int, *, packets: int = 0, flow=None
+    ) -> dict:
+        return self._run(
+            self._client.telemetry(link, t, nbytes, packets=packets, flow=flow)
+        )
 
     def snapshot(self) -> dict:
         return self._run(self._client.snapshot())

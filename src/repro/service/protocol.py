@@ -17,10 +17,22 @@ Error response::
      "error": {"code": "overloaded", "message": "...", "retryable": true}}
 
 Operations (``op``): ``admit``, ``admit_many``, ``depart``,
-``depart_many``, ``snapshot``, ``health``, ``ping``.  Timestamps (``t``)
-are the caller's logical clock; the server clamps them monotone.  Flow
-ids must be JSON strings or integers (they travel verbatim into the
-gateway's flow table and the decision digest).
+``depart_many``, ``telemetry``, ``snapshot``, ``health``, ``ping``.
+Timestamps (``t``) are the caller's logical clock; the server clamps them
+monotone.  Flow ids must be JSON strings or integers (they travel
+verbatim into the gateway's flow table and the decision digest).
+
+The ``telemetry`` op pushes one cumulative counter sample into a link's
+ingest feed (see :mod:`repro.telemetry.ingest`)::
+
+    {"v": 1, "id": 9, "op": "telemetry", "link": "l0",
+     "t": 42.5, "bytes": 123456789, "packets": 84213, "flow": "user-123"}
+
+``bytes``/``packets`` are the monitor's running totals (non-negative
+integers; width and monotonicity are judged by the feed's rate
+estimators, so a corrupted stream quarantines the link instead of being
+rejected at the wire).  ``flow`` is optional: present, the sample belongs
+to that flow's counter stream; absent, to the link-aggregate stream.
 
 Versioning: every frame carries ``"v"``; a server receiving an
 unsupported version answers a typed ``bad-version`` error naming the
@@ -76,6 +88,7 @@ OPS = (
     "admit_many",
     "depart",
     "depart_many",
+    "telemetry",
     "snapshot",
     "health",
     "ping",
@@ -248,6 +261,31 @@ def validate_request(payload: dict) -> dict:
             )
         for flow in flows:
             _check_flow_id(flow)
+    elif op == "telemetry":
+        link = payload.get("link")
+        if not isinstance(link, str) or not link:
+            raise ProtocolError(
+                "telemetry requires a non-empty 'link' name", code="bad-request"
+            )
+        if t is None:
+            raise ProtocolError(
+                "telemetry requires 't' (the sample's measurement time)",
+                code="bad-request",
+            )
+        for counter in ("bytes", "packets"):
+            value = payload.get(counter, 0 if counter == "packets" else None)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                raise ProtocolError(
+                    f"telemetry {counter!r} must be a non-negative integer, "
+                    f"got {value!r}",
+                    code="bad-request",
+                )
+        if "flow" in payload and payload["flow"] is not None:
+            _check_flow_id(payload["flow"])
     return payload
 
 

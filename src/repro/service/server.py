@@ -41,6 +41,7 @@ from repro.errors import (
     ParameterError,
     ProtocolError,
     RuntimeStateError,
+    TelemetryError,
     UnknownFlowError,
 )
 from repro.runtime.gateway import AdmissionGateway
@@ -409,7 +410,7 @@ class AdmissionServer:
             return error_response(request_id, "unknown-flow", str(exc))
         except RuntimeStateError as exc:
             return error_response(request_id, "state-error", str(exc))
-        except (ParameterError, ProtocolError) as exc:
+        except (ParameterError, ProtocolError, TelemetryError) as exc:
             return error_response(request_id, "bad-request", str(exc))
         except Exception as exc:  # catch-all: one bad request must never
             # kill the dispatcher (every later request would time out and
@@ -458,6 +459,15 @@ class AdmissionServer:
         self.gateway.depart_many(flows, t)
         self._journal_append("depart_many", flows, t)
         return {"t": t, "departed": len(flows)}
+
+    def _op_telemetry(self, request: dict) -> dict:
+        link_name = request["link"]
+        t = self._effective_time(request)
+        sample = (link_name, request["t"], request["bytes"],
+                  request.get("packets", 0), request.get("flow"))
+        buffered = _push_telemetry(self.gateway, sample)
+        self._journal_append("telemetry", sample, t)
+        return {"t": t, "link": link_name, "buffered": buffered}
 
     def _op_snapshot(self, request: dict) -> dict:
         snapshot = json_safe(self.gateway.snapshot())
@@ -604,6 +614,40 @@ class _ServingContext:
         await self._server.stop()
 
 
+# -- telemetry ingestion -------------------------------------------------------
+
+
+def _push_telemetry(
+    gateway: AdmissionGateway,
+    sample: tuple[str, float, int, int, object],
+) -> int:
+    """Push one wire telemetry sample into its link's ingest feed.
+
+    ``sample`` is the journal tuple ``(link, t, bytes, packets, flow)``.
+    Shared by the live op and :func:`replay_journal` so both paths hit
+    the exact same feed state transitions.  Raises
+    :class:`~repro.errors.ProtocolError` when the link's feed cannot
+    accept pushes (not an :class:`~repro.telemetry.ingest.IngestFeed`).
+    """
+    from repro.telemetry.counters import CounterSample
+
+    link_name, t, nbytes, packets, flow = sample
+    feed = gateway.link(link_name).feed
+    push = getattr(feed, "push", None)
+    if push is None:
+        # A fault plan may have wrapped the ingest feed; push through it.
+        push = getattr(getattr(feed, "inner", None), "push", None)
+    if not callable(push):
+        raise ProtocolError(
+            f"link {link_name!r} does not accept pushed telemetry (its feed "
+            f"is {type(feed).__name__}; serve with --telemetry-ingest)",
+            code="bad-request",
+        )
+    return push(
+        CounterSample(t=float(t), bytes=nbytes, packets=packets), stream=flow
+    )
+
+
 # -- sequential re-execution --------------------------------------------------
 
 
@@ -632,6 +676,8 @@ def replay_journal(
             gateway.depart(flows, t)
         elif op == "depart_many":
             gateway.depart_many(flows, t)
-        else:  # pragma: no cover - journals only hold the four ops
+        elif op == "telemetry":
+            _push_telemetry(gateway, flows)
+        else:  # pragma: no cover - journals only hold the five ops
             raise ParameterError(f"unknown journal op {op!r}")
     return sha.hexdigest()

@@ -1,0 +1,37 @@
+"""Telemetry layer: real measurement-plane front-ends for the runtime.
+
+The runtime's :class:`~repro.runtime.feed.MeasurementFeed` contract was
+designed so the admission path never cares *where* cross-sections come
+from.  This package supplies the production-shaped producers:
+
+* :mod:`repro.telemetry.counters` -- cumulative byte/packet counter
+  samples and the wrap/reset/jitter-robust :class:`RateEstimator`;
+* :mod:`repro.telemetry.poller` -- :class:`CounterPollerFeed`, an
+  SNMP/OpenFlow-style pull loop over a :class:`CounterSource`;
+* :mod:`repro.telemetry.ingest` -- :class:`IngestFeed`, the buffer behind
+  the admission service's ``telemetry`` push op.
+
+See ``docs/telemetry.md`` for counter semantics and the wire format.
+"""
+
+from repro.telemetry.counters import (
+    COUNTER_WIDTHS,
+    CounterSample,
+    CounterSource,
+    RateEstimator,
+    SyntheticCounterSource,
+)
+from repro.telemetry.ingest import AGGREGATE_STREAM, IngestFeed
+from repro.telemetry.poller import CounterPollerFeed, poison_section
+
+__all__ = [
+    "COUNTER_WIDTHS",
+    "CounterSample",
+    "CounterSource",
+    "RateEstimator",
+    "SyntheticCounterSource",
+    "AGGREGATE_STREAM",
+    "IngestFeed",
+    "CounterPollerFeed",
+    "poison_section",
+]

@@ -1,0 +1,369 @@
+"""Cumulative-counter telemetry: samples, rate estimation, sources.
+
+Real measurement planes do not report rates.  An SNMP interface MIB, an
+OpenFlow flow-stats reply, or a host's ``/proc`` counters expose
+*cumulative* byte/packet totals that a monitor polls on a (jittered)
+schedule; the rate over an interval is the counter delta divided by the
+*actual* elapsed time.  Three failure modes make the naive delta wrong:
+
+* **wrap-around** -- counters are fixed-width (32- or 64-bit) and roll
+  over to zero at ``2**width``; a poll straddling the roll-over sees a
+  negative delta that really means ``delta + 2**width``;
+* **counter reset** -- the device rebooted or the flow entry was
+  reinstalled; the counter restarts near zero and the delta is negative
+  *without* a wrap.  A reset yields no rate for that interval (the bytes
+  moved during it are unknowable), never a negative one;
+* **poll pathologies** -- duplicated responses (same timestamp), late
+  reordered responses, and lost polls (the next delta simply spans a
+  longer interval and is still exact).
+
+:class:`RateEstimator` encodes those rules for one counter stream;
+:class:`CounterPollerFeed` (see :mod:`repro.telemetry.poller`) keeps one
+estimator per flow and assembles the per-flow rates into the
+cross-sections the MBAC estimators consume.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ParameterError, TelemetryError
+from repro.traffic.base import TrafficSource
+
+__all__ = [
+    "COUNTER_WIDTHS",
+    "CounterSample",
+    "RateEstimator",
+    "CounterSource",
+    "SyntheticCounterSource",
+]
+
+#: Counter widths the telemetry layer understands (bits).
+COUNTER_WIDTHS = (32, 64)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One poll of a cumulative counter pair.
+
+    ``bytes`` and ``packets`` are the device's running totals at time
+    ``t`` -- monotone except for wrap-around and resets, which the
+    :class:`RateEstimator` disentangles downstream.  Values are only
+    required to be non-negative integers here; the *width* check (value
+    below ``2**width``) belongs to the estimator, which knows the stream's
+    declared width.
+    """
+
+    t: float
+    bytes: int
+    packets: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.t, (int, float)) or isinstance(self.t, bool):
+            raise TelemetryError(f"sample time must be a number, got {self.t!r}")
+        if not math.isfinite(self.t):
+            raise TelemetryError(f"sample time must be finite, got {self.t!r}")
+        object.__setattr__(self, "t", float(self.t))
+        for name in ("bytes", "packets"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise TelemetryError(
+                    f"counter {name!r} must be an integer, got {value!r}"
+                )
+            if value < 0:
+                raise TelemetryError(
+                    f"counter {name!r} must be non-negative, got {value}"
+                )
+            object.__setattr__(self, name, int(value))
+
+
+class RateEstimator:
+    """Turns one cumulative-counter stream into interval rates.
+
+    :meth:`update` consumes ``(t, value)`` observations and returns the
+    byte rate over the interval since the previous usable observation, or
+    ``None`` when no rate can be derived (first sample, duplicate or
+    reordered poll, reset interval).
+
+    Parameters
+    ----------
+    width : int
+        Counter width in bits (32 or 64); values wrap at ``2**width``.
+    max_rate : float, optional
+        Declared ceiling on the plausible rate (e.g. the line rate, in
+        counter units per unit time).  When given it sharpens wrap/reset
+        discrimination -- a negative delta is a wrap iff the wrapped rate
+        is plausible -- and any derived rate above it raises
+        :class:`~repro.errors.TelemetryError` (garbage counter values
+        must poison the stream, not inflate the admission estimate).
+
+    Notes
+    -----
+    Without ``max_rate`` the wrap/reset call falls back to a positional
+    heuristic: the previous value must sit in the top quarter of the
+    counter range and the wrapped delta within half the range.  That is
+    the standard RFC 2819-style interpretation -- a reset can land
+    anywhere, but a genuine wrap always departs from near the top.
+    """
+
+    def __init__(self, *, width: int = 64, max_rate: float | None = None) -> None:
+        if width not in COUNTER_WIDTHS:
+            raise ParameterError(
+                f"counter width must be one of {COUNTER_WIDTHS}, got {width!r}"
+            )
+        if max_rate is not None and (not math.isfinite(max_rate) or max_rate <= 0.0):
+            raise ParameterError("max_rate must be positive and finite")
+        self.width = int(width)
+        self.modulus = 1 << self.width
+        self.max_rate = None if max_rate is None else float(max_rate)
+        self._t: float | None = None
+        self._value: int | None = None
+        self.updates = 0
+        self.wraps = 0
+        self.resets = 0
+        self.duplicates = 0
+        self.out_of_order = 0
+        self.invalid = 0
+
+    @property
+    def anchored(self) -> bool:
+        """Whether the estimator has a baseline observation."""
+        return self._t is not None
+
+    def _check_value(self, value: object) -> int:
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise TelemetryError(f"counter value must be an integer, got {value!r}")
+        if not 0 <= value < self.modulus:
+            raise TelemetryError(
+                f"counter value {value} outside [0, 2**{self.width}) for a "
+                f"{self.width}-bit counter"
+            )
+        return int(value)
+
+    def _is_wrap(self, wrapped_delta: int, dt: float) -> bool:
+        if self.max_rate is not None:
+            return wrapped_delta <= self.max_rate * dt
+        return (
+            self._value >= self.modulus - (self.modulus >> 2)
+            and wrapped_delta <= self.modulus >> 1
+        )
+
+    def update(self, t: float, value: int) -> float | None:
+        """Observe the counter at time ``t``; return the interval rate.
+
+        Returns ``None`` when the observation anchors or re-anchors the
+        stream without yielding a rate.  Raises
+        :class:`~repro.errors.TelemetryError` on malformed values or
+        implausible rates; the offending sample still re-anchors the
+        stream so one poisoned poll costs one interval, not the stream.
+        """
+        if not isinstance(t, (int, float)) or not math.isfinite(t):
+            self.invalid += 1
+            raise TelemetryError(f"sample time must be finite, got {t!r}")
+        t = float(t)
+        try:
+            value = self._check_value(value)
+        except TelemetryError:
+            self.invalid += 1
+            raise
+        self.updates += 1
+        if self._t is None:
+            self._t, self._value = t, value
+            return None
+        dt = t - self._t
+        if dt <= 0.0:
+            if dt == 0.0 and value == self._value:
+                self.duplicates += 1
+            else:
+                self.out_of_order += 1
+            return None
+        delta = value - self._value
+        if delta < 0:
+            wrapped = delta + self.modulus
+            if self._is_wrap(wrapped, dt):
+                self.wraps += 1
+                delta = wrapped
+            else:
+                # Reset: the interval's true byte count is unknowable.
+                self.resets += 1
+                self._t, self._value = t, value
+                return None
+        rate = delta / dt
+        self._t, self._value = t, value
+        if self.max_rate is not None and rate > self.max_rate:
+            self.invalid += 1
+            raise TelemetryError(
+                f"derived rate {rate:.6g}/s exceeds the declared max_rate "
+                f"{self.max_rate:.6g}/s (delta {delta} over {dt:.6g})"
+            )
+        return rate
+
+    def update_sample(self, sample: CounterSample) -> float | None:
+        """:meth:`update` on a :class:`CounterSample`'s byte counter."""
+        return self.update(sample.t, sample.bytes)
+
+    def snapshot(self) -> dict:
+        """Event counters for observability (wraps, resets, ...)."""
+        return {
+            "updates": self.updates,
+            "wraps": self.wraps,
+            "resets": self.resets,
+            "duplicates": self.duplicates,
+            "out_of_order": self.out_of_order,
+            "invalid": self.invalid,
+        }
+
+
+class CounterSource(ABC):
+    """Something pollable for per-flow cumulative counters.
+
+    The poller calls :meth:`poll` once per measurement epoch; the result
+    maps an opaque stream key (flow id, port, queue, ...) to that stream's
+    :class:`CounterSample` at the poll instant.  Streams may appear
+    (new flows) and disappear (departed flows) between polls.
+    """
+
+    @abstractmethod
+    def poll(self, now: float, n_flows: int) -> Mapping[object, CounterSample]:
+        """Read all current counters at time ``now``."""
+
+
+class SyntheticCounterSource(CounterSource):
+    """Synthesizes per-flow cumulative counters from a traffic source.
+
+    Each active flow slot holds a byte level and a current rate drawn from
+    the source's marginal; between polls the level integrates the held
+    rate, and at each poll the rate is re-drawn -- so counter deltas over
+    any interval reproduce the marginal rate distribution, one epoch
+    lagged, exactly like :class:`~repro.runtime.feed.SourceFeed` but
+    through the cumulative-counter bottleneck.  Counters are exposed
+    modulo ``2**width`` (natural wrap-around) and each flow keeps its slot
+    key for life, so shrink/grow cycles never alias two flows onto one
+    estimator.
+
+    ``reset_counters`` and ``jump_near_wrap`` are the chaos hooks
+    :mod:`repro.runtime.faults` drives for the ``counter_resets`` /
+    ``counter_offset`` fault kinds.
+
+    Parameters
+    ----------
+    source : TrafficSource
+        Population whose marginal sets the per-flow rates.
+    seed : int, optional
+        Private RNG seed.
+    width : int
+        Exposed counter width in bits.
+    bytes_per_unit : float
+        Scale from the source's abstract rate units to counter bytes per
+        unit time (e.g. ``1e6`` for "rate 1.0 == 1 MB/s").
+    initial : int
+        Starting byte level for every new slot (use a value near
+        ``2**width`` to exercise wrap-around quickly).
+    """
+
+    def __init__(
+        self,
+        source: TrafficSource,
+        *,
+        seed: int | None = 0,
+        width: int = 64,
+        bytes_per_unit: float = 1e6,
+        mean_packet_bytes: float = 1500.0,
+        initial: int = 0,
+    ) -> None:
+        if width not in COUNTER_WIDTHS:
+            raise ParameterError(
+                f"counter width must be one of {COUNTER_WIDTHS}, got {width!r}"
+            )
+        if bytes_per_unit <= 0.0 or mean_packet_bytes <= 0.0:
+            raise ParameterError(
+                "bytes_per_unit and mean_packet_bytes must be positive"
+            )
+        if initial < 0:
+            raise ParameterError("initial counter level must be non-negative")
+        self.source = source
+        self.width = int(width)
+        self.modulus = 1 << self.width
+        self.bytes_per_unit = float(bytes_per_unit)
+        self.mean_packet_bytes = float(mean_packet_bytes)
+        self.initial = int(initial)
+        self._rng = np.random.default_rng(seed)
+        sampler = getattr(source, "sample_rates", None)
+        self._vector_sampler = sampler if callable(sampler) else None
+        # Slot state: parallel lists of (key, absolute byte level, held rate).
+        self._keys: list[str] = []
+        self._levels: list[float] = []
+        self._rates: list[float] = []
+        self._minted = 0
+        self._last_poll: float | None = None
+
+    def _draw_rates(self, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=float)
+        if self._vector_sampler is not None:
+            return np.asarray(self._vector_sampler(self._rng, n), dtype=float)
+        return np.array(
+            [self.source.new_flow(self._rng).rate for _ in range(n)], dtype=float
+        )
+
+    def poll(self, now: float, n_flows: int) -> dict[str, CounterSample]:
+        now = float(now)
+        n_flows = max(0, int(n_flows))
+        dt = 0.0 if self._last_poll is None else max(0.0, now - self._last_poll)
+        self._last_poll = now
+        # Integrate the held rates over the elapsed interval.
+        if dt > 0.0:
+            for i, rate in enumerate(self._rates):
+                self._levels[i] += rate * self.bytes_per_unit * dt
+        # Departed flows release their slots from the tail; arrivals mint
+        # fresh keys so a reused position never aliases an old estimator.
+        del self._keys[n_flows:], self._levels[n_flows:], self._rates[n_flows:]
+        grow = n_flows - len(self._keys)
+        if grow > 0:
+            for rate in self._draw_rates(grow):
+                self._keys.append(f"f{self._minted}")
+                self._minted += 1
+                self._levels.append(float(self.initial))
+                self._rates.append(float(rate))
+        out = {
+            key: CounterSample(
+                t=now,
+                bytes=int(level) % self.modulus,
+                packets=int(level / self.mean_packet_bytes) % self.modulus,
+            )
+            for key, level in zip(self._keys, self._levels)
+        }
+        # Re-draw the rates each surviving flow holds until the next poll.
+        for i, rate in enumerate(self._draw_rates(len(self._keys))):
+            self._rates[i] = float(rate)
+        return out
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def reset_counters(self) -> int:
+        """Zero every counter (device reboot); returns slots affected."""
+        for i in range(len(self._levels)):
+            self._levels[i] = 0.0
+        return len(self._levels)
+
+    def jump_near_wrap(self, margin: int) -> int:
+        """Park every counter ``margin`` bytes below the wrap point.
+
+        Forces each stream through a natural roll-over within roughly
+        ``margin`` transferred bytes; returns slots affected.
+        """
+        if not 0 < margin < self.modulus:
+            raise ParameterError(
+                f"wrap margin must be in (0, 2**{self.width}), got {margin}"
+            )
+        for i in range(len(self._levels)):
+            self._levels[i] = float(self.modulus - margin)
+        # Future slots start near the wrap too, so the fault bites even
+        # when it is applied before any flow has been admitted.
+        self.initial = self.modulus - margin
+        return len(self._levels)

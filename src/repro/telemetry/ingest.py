@@ -1,0 +1,184 @@
+"""Push-ingestion feed: external monitors drive the gateway's measurements.
+
+The poller pulls counters; :class:`IngestFeed` accepts them *pushed* --
+the shape of a streaming-telemetry deployment where switch agents or host
+monitors emit ``{link, t, bytes, packets}`` reports into the admission
+service's new ``telemetry`` wire op (see :mod:`repro.service.protocol`).
+Pushed samples are buffered here and drained into per-stream
+:class:`~repro.telemetry.counters.RateEstimator` instances at the link's
+measurement cadence, so the admission path stays synchronous and
+single-writer: pushes only append to a buffer, and all estimation happens
+inside the link's own ``tick``.
+
+Health semantics compose unchanged:
+
+* monitors that stop pushing -> no fresh rates -> the feed ages toward
+  DEGRADED on the same horizon as a poller outage;
+* a corrupted stream (counter values outside the declared width,
+  implausible deltas) -> a poisoned cross-section -> the circuit breaker
+  drives the link to QUARANTINED.
+
+Samples may arrive for the link as a whole (no ``flow``) or per flow.
+When any per-flow streams are fresh in an epoch their rates form a true
+cross-section; otherwise the aggregate stream's rate is spread evenly
+over the current occupancy (mean ``R/n``, zero variance) -- a
+deliberately optimistic-variance fallback, which is why per-flow streams
+take precedence the moment they exist.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from collections import deque
+
+from repro.core.estimators import CrossSection, cross_section
+from repro.errors import ParameterError, TelemetryError
+from repro.runtime.feed import MeasurementFeed
+from repro.telemetry.counters import CounterSample, RateEstimator
+from repro.telemetry.poller import poison_section
+
+__all__ = ["AGGREGATE_STREAM", "IngestFeed"]
+
+logger = logging.getLogger(__name__)
+
+#: Stream key used for samples pushed without a ``flow`` field.
+AGGREGATE_STREAM = "__aggregate__"
+
+
+class IngestFeed(MeasurementFeed):
+    """Buffers pushed counter samples and emits rate cross-sections.
+
+    Parameters
+    ----------
+    period : float
+        Measurement epoch (drain cadence).
+    width : int
+        Counter width in bits for every pushed stream.
+    max_rate : float, optional
+        Plausibility ceiling per stream, in counter units per unit time.
+    rate_scale : float
+        Division from counter byte rates to the runtime's rate units.
+    max_buffer : int
+        Cap on buffered samples; beyond it the oldest are dropped (and
+        counted in ``dropped``) so a runaway monitor cannot grow memory
+        without bound.
+    expire_after : float, optional
+        Forget a stream's estimator after this long without a sample;
+        defaults to four periods.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        *,
+        width: int = 64,
+        max_rate: float | None = None,
+        rate_scale: float = 1.0,
+        max_buffer: int = 65536,
+        expire_after: float | None = None,
+    ) -> None:
+        super().__init__(period)
+        if rate_scale <= 0.0 or not math.isfinite(rate_scale):
+            raise ParameterError("rate_scale must be positive and finite")
+        if max_buffer < 1:
+            raise ParameterError("max_buffer must be at least 1")
+        if expire_after is not None and expire_after <= 0.0:
+            raise ParameterError("expire_after must be positive")
+        self.width = int(width)
+        self.max_rate = max_rate
+        self.rate_scale = float(rate_scale)
+        self.max_buffer = int(max_buffer)
+        self.expire_after = (
+            float(expire_after) if expire_after is not None else 4.0 * self.period
+        )
+        self._buffer: deque[tuple[object, CounterSample]] = deque()
+        self._estimators: dict[object, RateEstimator] = {}
+        self._last_seen: dict[object, float] = {}
+        self.pushed = 0
+        self.dropped = 0
+        self.poisoned_sections = 0
+        RateEstimator(width=width, max_rate=max_rate)  # eager width check
+
+    def push(self, sample: CounterSample, *, stream: object = None) -> int:
+        """Buffer one pushed sample; returns the buffer depth after it.
+
+        ``stream`` distinguishes concurrent counter streams on the link
+        (per-flow telemetry); ``None`` means the link-aggregate stream.
+        Cheap and allocation-only -- safe to call from the service's
+        dispatch path.
+        """
+        key = AGGREGATE_STREAM if stream is None else stream
+        self._buffer.append((key, sample))
+        self.pushed += 1
+        while len(self._buffer) > self.max_buffer:
+            self._buffer.popleft()
+            self.dropped += 1
+        return len(self._buffer)
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection | None:
+        fresh: dict[object, float] = {}
+        poisoned: TelemetryError | None = None
+        held: list[tuple[object, CounterSample]] = []
+        while self._buffer:
+            key, sample = self._buffer.popleft()
+            if sample.t > now:
+                held.append((key, sample))  # future-dated: next epoch's
+                continue
+            estimator = self._estimators.get(key)
+            if estimator is None:
+                estimator = RateEstimator(width=self.width, max_rate=self.max_rate)
+                self._estimators[key] = estimator
+            self._last_seen[key] = now
+            try:
+                rate = estimator.update_sample(sample)
+            except TelemetryError as exc:
+                poisoned = exc
+                continue
+            if rate is not None:
+                fresh[key] = rate / self.rate_scale
+        self._buffer.extend(held)
+        for key in [
+            k for k, seen in self._last_seen.items()
+            if now - seen > self.expire_after
+        ]:
+            del self._estimators[key], self._last_seen[key]
+        if poisoned is not None:
+            self.poisoned_sections += 1
+            logger.warning(
+                "pushed counter stream invalid at t=%.6g: %s -- emitting "
+                "poisoned section", now, poisoned,
+            )
+            return poison_section(n_flows)
+        flow_rates = [
+            rate for key, rate in fresh.items() if key != AGGREGATE_STREAM
+        ]
+        if flow_rates:
+            return cross_section(flow_rates)
+        if AGGREGATE_STREAM in fresh:
+            n = max(1, int(n_flows))
+            mean = fresh[AGGREGATE_STREAM] / n
+            return CrossSection(
+                n=n, mean=mean, second_moment=mean * mean, variance=0.0
+            )
+        return None  # nothing fresh: age toward DEGRADED
+
+    def telemetry_snapshot(self) -> dict:
+        """Ingest and estimator event counters for observability."""
+        totals = {
+            "streams": len(self._estimators),
+            "buffered": len(self._buffer),
+            "pushed": self.pushed,
+            "dropped": self.dropped,
+            "poisoned_sections": self.poisoned_sections,
+            "updates": 0,
+            "wraps": 0,
+            "resets": 0,
+            "duplicates": 0,
+            "out_of_order": 0,
+            "invalid": 0,
+        }
+        for estimator in self._estimators.values():
+            for key, value in estimator.snapshot().items():
+                totals[key] += value
+        return totals

@@ -1,0 +1,173 @@
+"""Counter-poller measurement feed: rates from polled cumulative counters.
+
+:class:`CounterPollerFeed` closes the loop between the telemetry layer and
+the admission runtime: it polls a :class:`~repro.telemetry.counters
+.CounterSource` on the feed schedule, runs one
+:class:`~repro.telemetry.counters.RateEstimator` per counter stream, and
+assembles the per-flow interval rates into the cross-sections the MBAC
+estimators consume.  It is a drop-in :class:`~repro.runtime.feed
+.MeasurementFeed`, so every existing health semantic composes unchanged:
+
+* nothing derivable this epoch (first poll baselines, a reset interval)
+  -> the feed emits ``None`` and simply ages toward DEGRADED;
+* an invalid stream (malformed counter values, implausible deltas) -> the
+  feed emits a *poisoned* cross-section whose NaN moments fail
+  :func:`~repro.runtime.health.section_problem`, charging the link's
+  circuit breaker toward QUARANTINED exactly like a corrupted oracle feed.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+
+from repro.core.estimators import CrossSection, cross_section
+from repro.errors import ParameterError, TelemetryError
+from repro.runtime.feed import MeasurementFeed
+from repro.telemetry.counters import CounterSource, RateEstimator
+
+__all__ = ["CounterPollerFeed", "poison_section"]
+
+logger = logging.getLogger(__name__)
+
+
+def poison_section(n_flows: int) -> CrossSection:
+    """A cross-section that deliberately fails section validation.
+
+    Emitted in place of a measurement when the counter stream is invalid,
+    so the failure reaches the link's circuit breaker instead of being
+    silently dropped (a dropped poll looks like an outage and only
+    degrades; garbage must quarantine).
+    """
+    return CrossSection(
+        n=max(0, int(n_flows)),
+        mean=math.nan,
+        second_moment=math.nan,
+        variance=math.nan,
+    )
+
+
+class CounterPollerFeed(MeasurementFeed):
+    """Polls cumulative counters and emits per-flow rate cross-sections.
+
+    Parameters
+    ----------
+    source : CounterSource
+        The counter plane to poll (synthetic, or an adapter over a real
+        stats channel).
+    period : float
+        Poll schedule; rates are computed over the *actual* elapsed time
+        between the samples' timestamps, so scheduling jitter and lost
+        polls do not bias them.
+    width : int
+        Counter width in bits for every stream (32 or 64).
+    max_rate : float, optional
+        Per-stream plausibility ceiling, in *counter* units per unit time
+        (i.e. already scaled by ``rate_scale``); forwarded to each
+        :class:`~repro.telemetry.counters.RateEstimator`.
+    rate_scale : float
+        Division applied to byte rates to recover the runtime's abstract
+        rate units (the inverse of the source's ``bytes_per_unit``).
+    expire_after : float, optional
+        Drop a stream's estimator after this long without a sample
+        (departed flows); defaults to four periods.  Kept estimators span
+        lost polls exactly -- the next delta just covers a longer
+        interval.
+    """
+
+    def __init__(
+        self,
+        source: CounterSource,
+        period: float,
+        *,
+        width: int = 64,
+        max_rate: float | None = None,
+        rate_scale: float = 1.0,
+        expire_after: float | None = None,
+    ) -> None:
+        super().__init__(period)
+        if rate_scale <= 0.0 or not math.isfinite(rate_scale):
+            raise ParameterError("rate_scale must be positive and finite")
+        if expire_after is not None and expire_after <= 0.0:
+            raise ParameterError("expire_after must be positive")
+        self.source = source
+        self.width = int(width)
+        self.max_rate = max_rate
+        self.rate_scale = float(rate_scale)
+        self.expire_after = (
+            float(expire_after) if expire_after is not None else 4.0 * self.period
+        )
+        self._estimators: dict[object, RateEstimator] = {}
+        self._last_seen: dict[object, float] = {}
+        self._retired = {
+            "updates": 0, "wraps": 0, "resets": 0,
+            "duplicates": 0, "out_of_order": 0, "invalid": 0,
+        }
+        self.poisoned_sections = 0
+        # Validate the width eagerly (RateEstimator would, but only on the
+        # first stream, after the feed is already wired into a link).
+        RateEstimator(width=width, max_rate=max_rate)
+
+    # -- chaos hooks (delegated to the source when it has them) --------------
+
+    def reset_counters(self) -> int:
+        return self.source.reset_counters()
+
+    def jump_near_wrap(self, margin: int) -> int:
+        return self.source.jump_near_wrap(margin)
+
+    # -- measurement ---------------------------------------------------------
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection | None:
+        samples = self.source.poll(now, n_flows)
+        rates: list[float] = []
+        poisoned: TelemetryError | None = None
+        for key in samples:
+            sample = samples[key]
+            estimator = self._estimators.get(key)
+            if estimator is None:
+                estimator = RateEstimator(width=self.width, max_rate=self.max_rate)
+                self._estimators[key] = estimator
+            self._last_seen[key] = now
+            try:
+                rate = estimator.update_sample(sample)
+            except TelemetryError as exc:
+                poisoned = exc
+                continue
+            if rate is not None:
+                rates.append(rate / self.rate_scale)
+        expired = [
+            key
+            for key, seen in self._last_seen.items()
+            if now - seen > self.expire_after
+        ]
+        for key in expired:
+            for stat, value in self._estimators[key].snapshot().items():
+                self._retired[stat] += value
+            del self._estimators[key], self._last_seen[key]
+        if poisoned is not None:
+            self.poisoned_sections += 1
+            logger.warning(
+                "counter stream invalid at t=%.6g: %s -- emitting poisoned "
+                "section", now, poisoned,
+            )
+            return poison_section(n_flows)
+        if not rates:
+            if n_flows <= 0 and not samples:
+                # The counter plane answered and reports an idle link; that
+                # is a real (empty) measurement, not an outage.
+                return CrossSection(n=0, mean=0.0, second_moment=0.0, variance=0.0)
+            return None  # baselines / reset intervals only: age, don't lie
+        return cross_section(rates)
+
+    def telemetry_snapshot(self) -> dict:
+        """Aggregated estimator event counters across live streams."""
+        totals = {
+            "streams": len(self._estimators),
+            "poisoned_sections": self.poisoned_sections,
+            **self._retired,
+        }
+        for estimator in self._estimators.values():
+            for key, value in estimator.snapshot().items():
+                totals[key] += value
+        return totals

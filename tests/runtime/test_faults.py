@@ -7,6 +7,7 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.runtime.faults import (
+    FAULT_KINDS,
     CorruptSpec,
     FaultPlan,
     FaultyFeed,
@@ -71,8 +72,19 @@ class TestParsing:
             FeedFaults.from_dict({"outages": [{"start": 0.0, "stop": 1.0}]})
 
     def test_unknown_fault_keys_rejected(self):
-        with pytest.raises(ParameterError, match="unknown fault keys"):
+        # The error must name both the offending key and every valid kind,
+        # so a typo'd plan is a one-glance fix.
+        with pytest.raises(
+            ParameterError,
+            match=r"unknown fault kind\(s\): drop_probablity; valid kinds: ",
+        ) as excinfo:
             FeedFaults.from_dict({"drop_probablity": 0.5})  # typo'd key
+        for kind in FAULT_KINDS:
+            assert kind in str(excinfo.value)
+
+    def test_non_mapping_fault_spec_rejected(self):
+        with pytest.raises(ParameterError, match="must be a mapping"):
+            FeedFaults.from_dict(["outages"])
 
     def test_corrupt_shorthand_burst(self):
         spec = CorruptSpec.from_dict(
@@ -262,6 +274,59 @@ class TestPlanWrap:
             plan.wrap(gateway)
 
 
+def counter_feed(period=1.0, seed=3, width=32):
+    from repro.telemetry import CounterPollerFeed, SyntheticCounterSource
+    from repro.traffic.rcbr import paper_rcbr_source
+
+    source = SyntheticCounterSource(
+        paper_rcbr_source(), seed=seed, width=width, bytes_per_unit=1e6
+    )
+    return CounterPollerFeed(source, period, width=width, rate_scale=1e6)
+
+
+class TestCounterFaults:
+    def test_counter_reset_fires_once_per_window(self):
+        inner = counter_feed()
+        feed = FaultyFeed(
+            inner, FeedFaults(counter_resets=(Window(2.5, 2.0),))
+        )
+        drain(feed, [0.0, 1.0, 2.0])  # baseline + two clean epochs
+        before = inner.telemetry_snapshot()["resets"]
+        drain(feed, [3.0, 4.0, 5.0, 6.0])
+        assert feed.injected["counter_resets"] == 1  # once, not per poll
+        snap = inner.telemetry_snapshot()
+        assert snap["resets"] > before  # estimators saw the zeroed counters
+        # Past the reset interval the feed derives rates again.
+        assert feed.measure(7.0, 4) is not None
+
+    def test_counter_offset_forces_wrap(self):
+        inner = counter_feed(width=32)
+        feed = FaultyFeed(inner, FeedFaults(counter_offset=2_000_000))
+        assert feed.injected["counter_offset"] == 1
+        drain(feed, [float(t) for t in range(8)])
+        assert inner.telemetry_snapshot()["wraps"] > 0
+
+    def test_counter_faults_need_a_counter_backed_feed(self):
+        with pytest.raises(ParameterError, match="no cumulative counters"):
+            FaultyFeed(
+                trace(), FeedFaults(counter_resets=(Window(0.0, 1.0),)),
+                name="l0",
+            )
+        with pytest.raises(ParameterError, match="no cumulative counters"):
+            FaultyFeed(trace(), FeedFaults(counter_offset=1_000))
+
+    def test_counter_fault_parsing(self):
+        faults = FeedFaults.from_dict(
+            {"counter_resets": [[5.0, 2.0]], "counter_offset": 1024}
+        )
+        assert faults.counter_resets[0] == Window(5.0, 2.0)
+        assert faults.counter_offset == 1024
+        with pytest.raises(ParameterError, match="counter_offset"):
+            FeedFaults(counter_offset=-1)
+        with pytest.raises(ParameterError, match="counter_offset"):
+            FeedFaults(counter_offset=1.5)
+
+
 class TestDefaultPlan:
     def test_covers_the_three_failure_classes(self):
         plan = default_chaos_plan(["a", "b", "c", "d"], period=2.0, seed=1)
@@ -278,6 +343,12 @@ class TestDefaultPlan:
         faults = plan.links["solo"]
         assert faults.outages and faults.corrupt and faults.stuck
         assert faults.drop_probability > 0.0
+        assert not faults.counter_resets and faults.counter_offset == 0
+
+    def test_counter_variant_adds_reset_and_wrap(self):
+        plan = default_chaos_plan(["a", "b"], period=1.0, counters=True)
+        assert plan.links["a"].counter_resets
+        assert plan.links["b"].counter_offset > 0
 
     def test_validation(self):
         with pytest.raises(ParameterError):

@@ -75,6 +75,30 @@ class TestTraceFeed:
         assert feed.exhausted
         assert feed.staleness(4.0) == pytest.approx(4.0)
 
+    def test_exhaustion_staleness_uses_recording_epoch(self):
+        # Two sections at period 1.0, but the second is *delivered* late
+        # (lazy polling at t=10).  Once exhausted, staleness must age from
+        # the recording's own final epoch (t=1), not from the delivery
+        # time -- otherwise delayed polls make stale data look fresh.
+        feed = TraceFeed([section(mean=1.0), section(mean=2.0)], period=1.0)
+        assert feed.measure(0.0, 1) is not None
+        assert feed.measure(10.0, 1) is not None
+        assert feed.exhausted
+        assert feed.staleness(12.0) == pytest.approx(11.0)  # not 2.0
+        # Before exhaustion the usual delivery-time staleness applies.
+        fresh = TraceFeed([section(), section(), section()], period=1.0)
+        fresh.measure(0.0, 1)
+        assert not fresh.exhausted
+        assert fresh.staleness(5.0) == pytest.approx(5.0)
+
+    def test_exhaustion_staleness_on_time_delivery_unchanged(self):
+        feed = TraceFeed([section(), section()], period=1.0)
+        feed.measure(0.0, 1)
+        feed.measure(1.0, 1)
+        assert feed.exhausted
+        # On-schedule delivery: epoch timeline and wall timeline agree.
+        assert feed.staleness(4.0) == pytest.approx(3.0)
+
     def test_cycle_wraps_forever(self):
         feed = TraceFeed([section(mean=1.0), section(mean=2.0)], period=1.0,
                          cycle=True)

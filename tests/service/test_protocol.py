@@ -124,6 +124,8 @@ class TestValidation:
                 payload["flow"] = "f1"
             elif op in ("admit_many", "depart_many"):
                 payload["flows"] = ["f1", 2]
+            elif op == "telemetry":
+                payload.update(link="l0", t=1.0, bytes=1000)
             assert validate_request(payload) is payload
 
     def test_rejects_wrong_version(self):

@@ -1,0 +1,215 @@
+"""Unit tests for counter samples, rate estimation, and the synthetic source."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TelemetryError
+from repro.telemetry import (
+    COUNTER_WIDTHS,
+    CounterSample,
+    RateEstimator,
+    SyntheticCounterSource,
+)
+from repro.traffic.rcbr import paper_rcbr_source
+
+
+class TestCounterSample:
+    def test_valid_sample_coerces_types(self):
+        sample = CounterSample(t=1, bytes=np.int64(100), packets=2)
+        assert sample.t == 1.0 and isinstance(sample.t, float)
+        assert sample.bytes == 100 and isinstance(sample.bytes, int)
+        assert sample.packets == 2
+
+    def test_packets_default_to_zero(self):
+        assert CounterSample(t=0.0, bytes=5).packets == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"t": math.nan, "bytes": 0},
+            {"t": math.inf, "bytes": 0},
+            {"t": "now", "bytes": 0},
+            {"t": True, "bytes": 0},
+            {"t": 0.0, "bytes": -1},
+            {"t": 0.0, "bytes": 1.5},
+            {"t": 0.0, "bytes": True},
+            {"t": 0.0, "bytes": 0, "packets": -2},
+            {"t": 0.0, "bytes": 0, "packets": "many"},
+        ],
+    )
+    def test_rejects_malformed_fields(self, kwargs):
+        with pytest.raises(TelemetryError):
+            CounterSample(**kwargs)
+
+
+class TestRateEstimator:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ParameterError):
+            RateEstimator(width=48)
+        with pytest.raises(ParameterError):
+            RateEstimator(max_rate=0.0)
+        with pytest.raises(ParameterError):
+            RateEstimator(max_rate=math.inf)
+
+    def test_first_sample_anchors_without_a_rate(self):
+        estimator = RateEstimator()
+        assert not estimator.anchored
+        assert estimator.update(0.0, 100) is None
+        assert estimator.anchored
+        assert estimator.updates == 1
+
+    def test_clean_deltas_divide_by_actual_elapsed_time(self):
+        estimator = RateEstimator()
+        estimator.update(0.0, 0)
+        assert estimator.update(1.0, 500) == pytest.approx(500.0)
+        # A lost poll just widens the interval; the rate stays exact.
+        assert estimator.update(3.5, 1750) == pytest.approx(500.0)
+
+    @pytest.mark.parametrize("width", COUNTER_WIDTHS)
+    def test_wrap_around_recovers_the_true_delta(self, width):
+        modulus = 1 << width
+        estimator = RateEstimator(width=width)
+        estimator.update(0.0, modulus - 100)
+        rate = estimator.update(1.0, 400)  # true delta: 500 through the wrap
+        assert rate == pytest.approx(500.0)
+        assert estimator.snapshot()["wraps"] == 1
+
+    def test_reset_yields_no_rate_and_reanchors(self):
+        estimator = RateEstimator(width=32)
+        estimator.update(0.0, 10_000)
+        estimator.update(1.0, 20_000)
+        # Reboot: counter restarts near zero, far from the wrap point.
+        assert estimator.update(2.0, 50) is None
+        assert estimator.snapshot()["resets"] == 1
+        # The reset re-anchored; the next delta is a clean rate again.
+        assert estimator.update(3.0, 1_050) == pytest.approx(1_000.0)
+
+    def test_max_rate_sharpens_wrap_vs_reset(self):
+        # Positionally this negative delta looks like a reset (previous
+        # value nowhere near the top), but with a declared line rate the
+        # wrapped delta is the only plausible reading.
+        modulus = 1 << 32
+        wrap = RateEstimator(width=32, max_rate=1e6)
+        wrap.update(0.0, 100)
+        assert wrap.update(1.0, 50) is None  # wrapped delta ~2**32: reset
+        assert wrap.snapshot()["resets"] == 1
+        near_top = RateEstimator(width=32, max_rate=1e6)
+        near_top.update(0.0, modulus - 1000)
+        assert near_top.update(1.0, 0) == pytest.approx(1000.0)
+        assert near_top.snapshot()["wraps"] == 1
+
+    def test_positional_heuristic_without_max_rate(self):
+        modulus = 1 << 32
+        estimator = RateEstimator(width=32)
+        # Previous value in the top quarter + small wrapped delta: a wrap.
+        estimator.update(0.0, modulus - 10)
+        assert estimator.update(1.0, 90) == pytest.approx(100.0)
+        # Previous value mid-range: a negative delta must be a reset.
+        estimator.update(2.0, modulus // 2)
+        assert estimator.update(3.0, 100) is None
+        assert estimator.snapshot() == {
+            "updates": 4, "wraps": 1, "resets": 1,
+            "duplicates": 0, "out_of_order": 0, "invalid": 0,
+        }
+
+    def test_duplicate_and_out_of_order_polls_are_absorbed(self):
+        estimator = RateEstimator()
+        estimator.update(5.0, 1000)
+        assert estimator.update(5.0, 1000) is None  # duplicated response
+        assert estimator.update(4.0, 900) is None   # late reordered response
+        assert estimator.update(6.0, 1500) == pytest.approx(500.0)
+        snapshot = estimator.snapshot()
+        assert snapshot["duplicates"] == 1 and snapshot["out_of_order"] == 1
+
+    def test_implausible_rate_poisons_one_interval_not_the_stream(self):
+        estimator = RateEstimator(max_rate=100.0)
+        estimator.update(0.0, 0)
+        with pytest.raises(TelemetryError):
+            estimator.update(1.0, 10_000)  # 100x the declared line rate
+        assert estimator.snapshot()["invalid"] == 1
+        # The poisoned sample still re-anchored the stream.
+        assert estimator.update(2.0, 10_050) == pytest.approx(50.0)
+
+    def test_value_outside_width_rejected(self):
+        estimator = RateEstimator(width=32)
+        with pytest.raises(TelemetryError):
+            estimator.update(0.0, 1 << 32)
+        with pytest.raises(TelemetryError):
+            estimator.update(0.0, -1)
+        with pytest.raises(TelemetryError):
+            estimator.update(0.0, 1.5)
+        with pytest.raises(TelemetryError):
+            estimator.update(math.nan, 0)
+        assert estimator.snapshot()["invalid"] == 4
+
+    def test_update_sample_uses_the_byte_counter(self):
+        estimator = RateEstimator()
+        estimator.update_sample(CounterSample(t=0.0, bytes=0, packets=0))
+        rate = estimator.update_sample(CounterSample(t=2.0, bytes=800, packets=9))
+        assert rate == pytest.approx(400.0)
+
+
+class TestSyntheticCounterSource:
+    def make(self, **kwargs):
+        kwargs.setdefault("seed", 7)
+        kwargs.setdefault("bytes_per_unit", 1e6)
+        return SyntheticCounterSource(paper_rcbr_source(), **kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            self.make(width=16)
+        with pytest.raises(ParameterError):
+            self.make(bytes_per_unit=0.0)
+        with pytest.raises(ParameterError):
+            self.make(initial=-1)
+
+    def test_counters_are_cumulative_and_deltas_match_held_rates(self):
+        source = self.make()
+        first = source.poll(0.0, 3)
+        assert len(first) == 3
+        second = source.poll(1.0, 3)
+        assert set(second) == set(first)
+        for key in first:
+            delta = second[key].bytes - first[key].bytes
+            assert delta >= 0
+            # Rates come from the paper's RCBR marginal (units of 1e6 B/s).
+            assert delta <= 50 * 1e6
+
+    def test_departures_release_slots_and_arrivals_mint_fresh_keys(self):
+        source = self.make()
+        keys3 = set(source.poll(0.0, 3))
+        keys1 = set(source.poll(1.0, 1))
+        assert len(keys1) == 1 and keys1 < keys3
+        keys2 = set(source.poll(2.0, 2))
+        # The new slot gets a never-before-seen key: no estimator aliasing.
+        assert len(keys2 - keys3) == 1
+
+    def test_same_seed_same_counters(self):
+        a, b = self.make(), self.make()
+        for t in (0.0, 1.0, 2.5):
+            assert a.poll(t, 4) == b.poll(t, 4)
+
+    def test_reset_counters_zeroes_levels(self):
+        source = self.make()
+        source.poll(0.0, 2)
+        source.poll(5.0, 2)
+        assert source.reset_counters() == 2
+        after = source.poll(6.0, 2)
+        # One epoch's worth of bytes at most, counted from zero.
+        assert all(s.bytes <= 50 * 1e6 for s in after.values())
+
+    def test_jump_near_wrap_forces_rollover(self):
+        source = self.make(width=32)
+        source.poll(0.0, 2)
+        assert source.jump_near_wrap(1000) == 2
+        with pytest.raises(ParameterError):
+            source.jump_near_wrap(0)
+        wrapped = source.poll(10.0, 2)  # plenty of bytes to cross the wrap
+        assert all(s.bytes < (1 << 32) for s in wrapped.values())
+        # New slots minted after the jump also start near the wrap point.
+        grown = source.poll(10.5, 3)
+        assert len(grown) == 3

@@ -1,0 +1,114 @@
+"""IngestFeed: pushed counter samples drained at the measurement cadence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.health import section_problem
+from repro.telemetry import AGGREGATE_STREAM, CounterSample, IngestFeed
+
+
+def push_pair(feed, stream, t0, b0, t1, b1):
+    feed.push(CounterSample(t=t0, bytes=b0), stream=stream)
+    feed.push(CounterSample(t=t1, bytes=b1), stream=stream)
+
+
+class TestIngestFeed:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            IngestFeed(1.0, width=48)
+        with pytest.raises(ParameterError):
+            IngestFeed(1.0, rate_scale=-1.0)
+        with pytest.raises(ParameterError):
+            IngestFeed(1.0, max_buffer=0)
+        with pytest.raises(ParameterError):
+            IngestFeed(1.0, expire_after=0.0)
+
+    def test_per_flow_streams_form_a_cross_section(self):
+        feed = IngestFeed(1.0)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 300)
+        push_pair(feed, "f2", 0.0, 1000, 1.0, 1500)
+        section = feed.measure(1.0, 2)
+        assert section.n == 2
+        assert section.mean == pytest.approx((300.0 + 500.0) / 2.0)
+
+    def test_aggregate_stream_spreads_over_occupancy(self):
+        feed = IngestFeed(1.0)
+        push_pair(feed, None, 0.0, 0, 1.0, 900)
+        section = feed.measure(1.0, 3)
+        assert section.n == 3
+        assert section.mean == pytest.approx(300.0)
+        assert section.variance == 0.0
+
+    def test_per_flow_streams_take_precedence_over_aggregate(self):
+        feed = IngestFeed(1.0)
+        push_pair(feed, None, 0.0, 0, 1.0, 9000)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 250)
+        section = feed.measure(1.0, 1)
+        assert section.n == 1
+        assert section.mean == pytest.approx(250.0)
+
+    def test_no_fresh_samples_means_no_section(self):
+        feed = IngestFeed(1.0)
+        assert feed.measure(1.0, 2) is None          # nothing pushed
+        feed.push(CounterSample(t=2.0, bytes=0), stream="f1")
+        assert feed.measure(2.0, 2) is None          # baseline only
+
+    def test_future_dated_samples_wait_for_their_epoch(self):
+        feed = IngestFeed(1.0)
+        push_pair(feed, "f1", 0.0, 0, 5.0, 500)
+        assert feed.measure(1.0, 1) is None  # the t=5 sample is held
+        section = feed.measure(5.0, 1)
+        assert section.mean == pytest.approx(100.0)
+
+    def test_rate_scale_recovers_abstract_units(self):
+        feed = IngestFeed(1.0, rate_scale=1e6)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 2_000_000)
+        assert feed.measure(1.0, 1).mean == pytest.approx(2.0)
+
+    def test_buffer_cap_drops_oldest(self):
+        feed = IngestFeed(1.0, max_buffer=2)
+        for i in range(4):
+            feed.push(CounterSample(t=float(i), bytes=100 * i), stream="f1")
+        assert feed.dropped == 2 and feed.pushed == 4
+        section = feed.measure(4.0, 1)  # only the t=2,3 samples survived
+        assert section.mean == pytest.approx(100.0)
+
+    def test_corrupted_stream_emits_poisoned_section(self):
+        feed = IngestFeed(1.0, width=32)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 1 << 40)
+        poisoned = feed.measure(1.0, 1)
+        assert section_problem(poisoned) is not None
+        assert feed.poisoned_sections == 1
+
+    def test_implausible_rate_poisons_with_max_rate(self):
+        feed = IngestFeed(1.0, max_rate=100.0)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 10_000)
+        assert section_problem(feed.measure(1.0, 1)) is not None
+
+    def test_stale_streams_expire(self):
+        feed = IngestFeed(1.0, expire_after=2.0)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 100)
+        feed.measure(1.0, 1)
+        for t in (2.0, 3.0, 4.0):
+            feed.measure(t, 1)
+        assert feed.telemetry_snapshot()["streams"] == 0
+
+    def test_snapshot_counts_events(self):
+        feed = IngestFeed(1.0)
+        push_pair(feed, "f1", 0.0, 0, 1.0, 100)
+        feed.push(CounterSample(t=1.0, bytes=100), stream="f1")  # duplicate
+        feed.measure(1.0, 1)
+        snapshot = feed.telemetry_snapshot()
+        assert snapshot["pushed"] == 3
+        assert snapshot["updates"] == 3
+        assert snapshot["duplicates"] == 1
+        assert snapshot["buffered"] == 0
+
+    def test_aggregate_key_is_reserved(self):
+        feed = IngestFeed(1.0)
+        feed.push(CounterSample(t=0.0, bytes=0), stream=AGGREGATE_STREAM)
+        feed.push(CounterSample(t=1.0, bytes=600), stream=None)
+        section = feed.measure(1.0, 2)  # both pushes hit the same stream
+        assert section.mean == pytest.approx(300.0)

@@ -1,0 +1,198 @@
+"""CounterPollerFeed: rates from polled counters + health composition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import MemorylessEstimator
+from repro.errors import ParameterError
+from repro.runtime.health import LinkHealth, section_problem
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+from repro.telemetry import (
+    CounterPollerFeed,
+    CounterSample,
+    CounterSource,
+    SyntheticCounterSource,
+    poison_section,
+)
+from repro.traffic.rcbr import paper_rcbr_source
+
+BYTES_PER_UNIT = 1e6
+
+
+class ScriptedSource(CounterSource):
+    """Replays a fixed script of poll results (a list per call)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.polls = 0
+
+    def poll(self, now, n_flows):
+        self.polls += 1
+        if not self.script:
+            return {}
+        return self.script.pop(0)
+
+
+def synthetic_feed(period=1.0, seed=11, width=64, **kwargs):
+    source = SyntheticCounterSource(
+        paper_rcbr_source(), seed=seed, width=width,
+        bytes_per_unit=BYTES_PER_UNIT,
+    )
+    return CounterPollerFeed(
+        source, period, width=width, rate_scale=BYTES_PER_UNIT, **kwargs
+    )
+
+
+class TestPoisonSection:
+    def test_fails_section_validation(self):
+        section = poison_section(5)
+        assert section.n == 5
+        assert section_problem(section) is not None
+        assert poison_section(-3).n == 0
+
+
+class TestCounterPollerFeed:
+    def test_validation(self):
+        source = ScriptedSource([])
+        with pytest.raises(ParameterError):
+            CounterPollerFeed(source, 1.0, width=12)
+        with pytest.raises(ParameterError):
+            CounterPollerFeed(source, 1.0, rate_scale=0.0)
+        with pytest.raises(ParameterError):
+            CounterPollerFeed(source, 1.0, expire_after=-1.0)
+
+    def test_first_epoch_baselines_then_rates_flow(self):
+        feed = synthetic_feed()
+        assert feed.measure(0.0, 4) is None  # baselines only: age, don't lie
+        section = feed.measure(1.0, 4)
+        assert section is not None and section.n == 4
+        assert math.isfinite(section.mean) and section.mean > 0.0
+        # Rates are scaled back into the source's abstract units.
+        assert section.mean < 50.0
+
+    def test_rates_match_scripted_deltas(self):
+        script = [
+            {"a": CounterSample(t=0.0, bytes=0),
+             "b": CounterSample(t=0.0, bytes=1000)},
+            {"a": CounterSample(t=2.0, bytes=600),
+             "b": CounterSample(t=2.0, bytes=1800)},
+        ]
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0)
+        assert feed.measure(0.0, 2) is None
+        section = feed.measure(2.0, 2)
+        assert section.n == 2
+        assert section.mean == pytest.approx((300.0 + 400.0) / 2.0)
+
+    def test_idle_link_is_a_real_empty_measurement(self):
+        feed = CounterPollerFeed(ScriptedSource([{}, {}]), 1.0)
+        section = feed.measure(0.0, 0)
+        assert section is not None and section.n == 0
+        assert section_problem(section) is None
+
+    def test_reset_interval_ages_instead_of_lying(self):
+        script = [
+            {"a": CounterSample(t=0.0, bytes=5000)},
+            {"a": CounterSample(t=1.0, bytes=100)},   # reset: no rate
+            {"a": CounterSample(t=2.0, bytes=700)},   # clean again
+        ]
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0)
+        assert feed.measure(0.0, 1) is None
+        assert feed.measure(1.0, 1) is None
+        section = feed.measure(2.0, 1)
+        assert section.mean == pytest.approx(600.0)
+        assert feed.telemetry_snapshot()["resets"] == 1
+
+    def test_invalid_stream_emits_poisoned_section(self):
+        script = [
+            {"a": CounterSample(t=0.0, bytes=0)},
+            {"a": CounterSample(t=1.0, bytes=1 << 40)},  # beyond 32-bit width
+        ]
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0, width=32)
+        assert feed.measure(0.0, 1) is None
+        poisoned = feed.measure(1.0, 1)
+        assert poisoned is not None and section_problem(poisoned) is not None
+        assert feed.poisoned_sections == 1
+
+    def test_departed_streams_expire_and_keep_their_stats(self):
+        script = [
+            {"a": CounterSample(t=0.0, bytes=0)},
+            {"a": CounterSample(t=1.0, bytes=100)},
+        ] + [{} for _ in range(6)]
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0, expire_after=2.0)
+        feed.measure(0.0, 1)
+        feed.measure(1.0, 1)
+        for t in (2.0, 3.0, 4.0):
+            feed.measure(t, 0)
+        snapshot = feed.telemetry_snapshot()
+        assert snapshot["streams"] == 0
+        assert snapshot["updates"] == 2  # retired stats are not lost
+
+    def test_chaos_hooks_delegate_to_the_source(self):
+        feed = synthetic_feed(width=32)
+        feed.measure(0.0, 2)
+        assert feed.reset_counters() == 2
+        assert feed.jump_near_wrap(1 << 10) == 2
+
+
+class TestHealthComposition:
+    """The poller is a real MeasurementFeed: DEGRADED/QUARANTINED compose."""
+
+    def make_link(self, feed, capacity=20.0, stale_horizon=5.0):
+        return ManagedLink(
+            "tlink",
+            capacity=capacity,
+            holding_time=100.0,
+            mean_rate=1.0,
+            feed=feed,
+            estimator=MemorylessEstimator(),
+            controller=CertaintyEquivalentController(capacity, 0.05),
+            conservative_controller=CertaintyEquivalentController(
+                capacity, alpha=3.0
+            ),
+            stale_horizon=stale_horizon,
+            registry=MetricsRegistry(),
+        )
+
+    def test_healthy_on_fresh_counters(self):
+        link = self.make_link(synthetic_feed())
+        link.tick(0.0)
+        assert link.admit(0.5).admitted
+        link.tick(1.0)
+        link.tick(2.0)
+        assert link.health is LinkHealth.HEALTHY
+
+    def test_silent_counter_plane_degrades(self):
+        # After the baseline epoch the source never answers again: no
+        # sections, staleness grows, the link degrades (not quarantines).
+        script = [{"a": CounterSample(t=0.0, bytes=0)},
+                  {"a": CounterSample(t=1.0, bytes=500)}]
+        # rate_scale recovers unit rates, so the admission target is roomy.
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0, rate_scale=500.0)
+        link = self.make_link(feed)
+        link.tick(0.0)
+        link.tick(1.0)
+        assert link.admit(1.5).admitted  # occupancy > 0: silence is an outage
+        assert link.health is LinkHealth.HEALTHY
+        for t in (2.0, 3.0, 4.0, 5.0, 6.0, 7.0):
+            link.tick(float(t))
+        assert link.health is LinkHealth.DEGRADED
+        assert not link.quarantined
+
+    def test_corrupted_counter_stream_quarantines(self):
+        script = [{"a": CounterSample(t=0.0, bytes=0)}] + [
+            {"a": CounterSample(t=float(t), bytes=1 << 40)}
+            for t in range(1, 10)
+        ]
+        feed = CounterPollerFeed(ScriptedSource(script), 1.0, width=32)
+        link = self.make_link(feed)
+        for t in range(8):
+            link.tick(float(t))
+        assert link.quarantined
+        decision = link.admit(8.0)
+        assert not decision.admitted and decision.reason == "quarantined"
+        assert feed.poisoned_sections >= 3
