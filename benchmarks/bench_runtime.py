@@ -190,13 +190,27 @@ def measure_batched_latency(rounds=300, burst=BURST):
     return samples
 
 
-def measure_service_roundtrip(n_flows=SERVICE_FLOWS, burst=BURST):
+#: Pipelining depth the v2 service kernel is quoted at.
+SERVICE_PIPELINE = 16
+#: Burst size and flow count for the v2 kernel: bigger bursts amortize
+#: the per-roundtrip cost the binary framing is built to shrink, and
+#: twice the flows keeps the measured window long enough to be stable.
+SERVICE_BURST_V2 = 512
+SERVICE_FLOWS_V2 = 2 * SERVICE_FLOWS
+
+
+def measure_service_roundtrip(
+    n_flows=SERVICE_FLOWS, burst=BURST, pipeline=1, wire_version=1
+):
     """Drive a batched loadgen workload through a loopback TCP server.
 
     Unlike the in-process replay kernels this pays the full service
-    stack per burst -- JSON framing, the socket round-trip, and the
+    stack per burst -- wire framing, the socket round-trip, and the
     single-writer dispatch queue -- so it is the number the serving
-    story is quoted at.
+    story is quoted at.  The default arguments pin JSON v1 with strict
+    request/response (comparable across baselines); the ``_v2`` kernel
+    runs the same workload with binary v2 frames and ``pipeline``
+    requests in flight per worker.
     """
 
     async def scenario():
@@ -206,6 +220,8 @@ def measure_service_roundtrip(n_flows=SERVICE_FLOWS, burst=BURST):
             holding_time=HOLDING_TIME,
             n_flows=n_flows,
             batch_window=burst / ARRIVAL_RATE,
+            pipeline=pipeline,
+            wire_version=wire_version,
             seed=0,
             fetch_digests=False,
         )
@@ -258,6 +274,12 @@ def run_benchmarks(burst=BURST):
         else float("inf")
     )
     service = measure_service_roundtrip(burst=burst)
+    service_v2 = measure_service_roundtrip(
+        n_flows=SERVICE_FLOWS_V2,
+        burst=SERVICE_BURST_V2,
+        pipeline=SERVICE_PIPELINE,
+        wire_version=2,
+    )
     return {
         "schema": "bench-runtime/v1",
         "config": {
@@ -314,6 +336,15 @@ def run_benchmarks(burst=BURST):
                 "latency_p50_us": service.latency["p50"] * 1e6,
                 "latency_p99_us": service.latency["p99"] * 1e6,
             },
+            "roundtrip_v2": {
+                "decisions_per_sec": service_v2.decisions_per_sec,
+                "requests": service_v2.requests,
+                "shed": service_v2.shed,
+                "errors": service_v2.errors,
+                "pipeline": SERVICE_PIPELINE,
+                "latency_p50_us": service_v2.latency["p50"] * 1e6,
+                "latency_p99_us": service_v2.latency["p99"] * 1e6,
+            },
         },
         "latency": {
             "single": _quantiles_us(measure_single_latency()),
@@ -336,16 +367,18 @@ def check_against_baseline(report, baseline):
                 f"{mode} replay throughput regressed >{REGRESSION_FACTOR:g}x: "
                 f"{current:,.0f} decisions/s vs baseline {ref:,.0f}"
             )
-    # Informational on a baseline predating the service layer; gated at
-    # the same factor once --write-baseline records it.
-    ref = (
-        baseline.get("service", {}).get("roundtrip", {}).get("decisions_per_sec")
-    )
-    if ref:
-        current = report["service"]["roundtrip"]["decisions_per_sec"]
+    # Informational on a baseline predating the service layer (or the v2
+    # kernel); gated at the same factor once --write-baseline records it.
+    for kernel in ("roundtrip", "roundtrip_v2"):
+        ref = (
+            baseline.get("service", {}).get(kernel, {}).get("decisions_per_sec")
+        )
+        if not ref:
+            continue
+        current = report["service"][kernel]["decisions_per_sec"]
         if current < ref / REGRESSION_FACTOR:
             problems.append(
-                f"service roundtrip throughput regressed "
+                f"service {kernel} throughput regressed "
                 f">{REGRESSION_FACTOR:g}x: {current:,.0f} decisions/s vs "
                 f"baseline {ref:,.0f}"
             )
@@ -412,6 +445,15 @@ def main(argv=None):
             f"bench gate: service roundtrip {svc['decisions_per_sec']:,.0f} "
             f"dec/s over TCP (p99 {svc['latency_p99_us']:,.0f} us, "
             f"{svc['shed']} shed / {svc['errors']} errors)",
+            file=sys.stderr,
+        )
+        svc2 = report["service"]["roundtrip_v2"]
+        print(
+            f"bench gate: service roundtrip v2 "
+            f"{svc2['decisions_per_sec']:,.0f} dec/s over TCP "
+            f"(pipeline {svc2['pipeline']}, p99 "
+            f"{svc2['latency_p99_us']:,.0f} us, "
+            f"{svc2['shed']} shed / {svc2['errors']} errors)",
             file=sys.stderr,
         )
         for problem in problems:
@@ -511,6 +553,28 @@ def test_service_roundtrip_throughput(benchmark, emit):
          f"over TCP ({report.requests} requests, p99 "
          f"{report.latency['p99'] * 1e6:,.0f} us)")
     assert report.arrivals == SERVICE_FLOWS
+    assert report.errors == 0
+    assert report.decisions > 0
+
+
+def test_service_roundtrip_v2_throughput(benchmark, emit):
+    """Time the same served workload on binary v2 frames with pipelining."""
+
+    def kernel():
+        return measure_service_roundtrip(
+            n_flows=SERVICE_FLOWS_V2,
+            burst=SERVICE_BURST_V2,
+            pipeline=SERVICE_PIPELINE,
+            wire_version=2,
+        )
+
+    report = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    emit("")
+    emit(f"   service roundtrip v2: {report.decisions_per_sec:,.0f} "
+         f"decisions/s over TCP (pipeline {SERVICE_PIPELINE}, "
+         f"{report.requests} requests, p99 "
+         f"{report.latency['p99'] * 1e6:,.0f} us)")
+    assert report.arrivals == SERVICE_FLOWS_V2
     assert report.errors == 0
     assert report.decisions > 0
 

@@ -34,8 +34,9 @@ Commands
     running server.
 ``loadgen``
     Open-loop load generation against running servers (``--addr``) or
-    self-hosted loopback shards (``--self-host``), with optional digest
-    stability and throughput gates.
+    self-hosted loopback shards (``--self-host``), optionally with v2
+    pipelining (``--pipeline``), journal-replay digest verification
+    (``--check-digest``) and throughput gates.
 
 A global ``--verbose``/``-v`` flag (repeatable) configures the root
 logging handler: once for INFO, twice for DEBUG.
@@ -417,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent workers (1 keeps the submission order, and "
         "hence the decision digest, deterministic)",
     )
+    loadgen.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        metavar="N",
+        help="requests in flight per worker connection (v2 pipelining; "
+        "1 = strict request/response)",
+    )
+    loadgen.add_argument(
+        "--wire-version",
+        type=int,
+        default=2,
+        choices=(1, 2),
+        help="highest wire protocol version the clients negotiate "
+        "(1 pins legacy JSON framing)",
+    )
     loadgen.add_argument("--timeout", type=float, default=5.0)
     loadgen.add_argument(
         "--retries",
@@ -427,8 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--check-digest",
         action="store_true",
-        help="run the same seeded workload twice and require identical "
-        "decision digests (--self-host with --concurrency 1 only)",
+        help="require each shard's journal to replay to its served "
+        "digest on a fresh gateway (--self-host only); with "
+        "--concurrency 1 --pipeline 1 additionally rerun the workload "
+        "and require identical digests",
     )
     loadgen.add_argument(
         "--min-decisions-per-sec",
@@ -1159,16 +1178,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.service import run_loadgen, self_host_run
+    from repro.service import replay_journal, run_loadgen, self_host_run
 
     if bool(args.addr) == args.self_host:
         return _usage_error("loadgen needs exactly one of --addr or --self-host")
     if args.check_digest and not args.self_host:
-        return _usage_error("--check-digest needs --self-host (it reruns the "
-                            "workload against fresh servers)")
-    if args.check_digest and args.concurrency != 1:
-        return _usage_error("--check-digest needs --concurrency 1 (more "
-                            "workers make the submission order racy)")
+        return _usage_error("--check-digest needs --self-host (it replays "
+                            "the servers' journals on fresh gateways)")
 
     rate = args.rate
     if rate is None:
@@ -1183,6 +1199,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         n_flows=args.flows,
         batch_window=args.batch_window,
         concurrency=args.concurrency,
+        pipeline=args.pipeline,
+        wire_version=args.wire_version,
         seed=args.seed,
         timeout=args.timeout,
         retries=args.retries,
@@ -1190,28 +1208,45 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     async def one_run():
         if args.self_host:
-            report, _servers = await self_host_run(
+            return await self_host_run(
                 lambda i: _build_gateway(args, seed=args.seed + i)[0],
                 shards=args.shards,
                 collect_digest=True,
+                keep_journal=args.check_digest,
                 **workload,
             )
-            return report
-        return await run_loadgen(args.addr, **workload)
+        return await run_loadgen(args.addr, **workload), []
 
-    report = asyncio.run(one_run())
+    report, servers = asyncio.run(one_run())
     failures: list[str] = []
+    digest_replayed = None
     digest_stable = None
     if args.check_digest:
-        repeat = asyncio.run(one_run())
-        digest_stable = sorted(report.digests.values()) == sorted(
-            repeat.digests.values()
-        ) and None not in report.digests.values()
-        if not digest_stable:
-            failures.append(
-                f"decision digest unstable across identical runs "
-                f"({report.digests} vs {repeat.digests})"
-            )
+        # The serialized-decisions invariant: whatever order pipelined
+        # clients raced their requests in, a sequential replay of each
+        # shard's journal on a fresh identical gateway reproduces the
+        # served digest byte for byte.
+        digest_replayed = True
+        for i, server in enumerate(servers):
+            fresh = _build_gateway(args, seed=args.seed + i)[0]
+            if replay_journal(fresh, server.journal) != server.digest():
+                digest_replayed = False
+                failures.append(
+                    f"shard{i}: journal replay on a fresh gateway diverged "
+                    f"from the served decision digest"
+                )
+        if args.concurrency == 1 and args.pipeline == 1:
+            # Submission order is deterministic, so a rerun must land on
+            # the exact same digests too.
+            repeat, _repeat_servers = asyncio.run(one_run())
+            digest_stable = sorted(report.digests.values()) == sorted(
+                repeat.digests.values()
+            ) and None not in report.digests.values()
+            if not digest_stable:
+                failures.append(
+                    f"decision digest unstable across identical runs "
+                    f"({report.digests} vs {repeat.digests})"
+                )
     if report.errors:
         failures.append(f"{report.errors} requests answered with hard errors")
     if (
@@ -1238,6 +1273,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "decisions_per_sec": report.decisions_per_sec,
             "latency": report.latency,
             "digests": report.digests,
+            "digest_replayed": digest_replayed,
             "digest_stable": digest_stable,
             "failures": failures,
         }
@@ -1259,6 +1295,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               f"p99 {latency['p99'] * 1e3:.2f}ms")
         for addr, digest in sorted(report.digests.items()):
             print(f"digest[{addr}]: {digest}")
+        if digest_replayed is not None:
+            print(f"journal replay       : "
+                  f"{'digest reproduced' if digest_replayed else 'DIVERGED'}")
         if digest_stable is not None:
             print(f"digest stability     : "
                   f"{'stable' if digest_stable else 'UNSTABLE'}")

@@ -65,9 +65,24 @@ def admissible_flow_count_alpha(mu, sigma, capacity, alpha):
         raise ParameterError("sigma must be non-negative")
     if np.any(capacity <= 0.0):
         raise ParameterError("capacity must be positive")
+    # x = sqrt(m) is the positive root of mu x^2 + s_alpha x - c = 0.
+    # The textbook form (root - s_alpha)/(2 mu) cancels catastrophically
+    # once s_alpha^2 dominates 4 c mu; the conjugate form
+    # 2c / (root + s_alpha) is exact there.  Switch only deep in that
+    # regime (both forms agree to ~1e-10 relative at the boundary) so
+    # results stay bit-identical to the historical form everywhere
+    # else -- committed golden decision digests depend on that.
     s_alpha = sigma * alpha
-    root = np.sqrt(s_alpha * s_alpha + 4.0 * capacity * mu)
-    m = ((root - s_alpha) / (2.0 * mu)) ** 2
+    four_c_mu = 4.0 * capacity * mu
+    root = np.sqrt(s_alpha * s_alpha + four_c_mu)
+    cancels = (s_alpha > 0.0) & (four_c_mu < 1e-6 * s_alpha * s_alpha)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = np.where(
+            cancels,
+            2.0 * capacity / (root + s_alpha),
+            (root - s_alpha) / (2.0 * mu),
+        )
+    m = x * x
     return m if m.ndim else float(m)
 
 

@@ -1,12 +1,34 @@
 """Clients for the admission service.
 
 :class:`AsyncAdmissionClient` speaks the wire protocol over one TCP
-connection with sequential request/response calls, retrying *transient*
-failures -- connection establishment errors and typed retryable error
-frames (``overloaded``, ``timeout``, ``too-many-connections``,
-``shutting-down``) -- with capped exponential backoff.  Hard protocol
-errors surface as :class:`~repro.errors.RemoteError` carrying the wire
-code.
+connection with **pipelined** request/response calls: every request gets
+a correlation id, a background reader task matches responses back to
+their callers, and up to ``max_inflight`` requests ride the connection
+concurrently.  Transient failures -- connection establishment errors and
+typed retryable error frames (``overloaded``, ``timeout``,
+``too-many-connections``, ``shutting-down``) -- are retried with capped
+exponential backoff.  Hard protocol errors surface as
+:class:`~repro.errors.RemoteError` carrying the wire code.
+
+Wire version negotiation is per connection and costs no extra
+round-trip: the first frames go out as JSON v1 (advertising ``max_v``),
+and as soon as any response advertises ``max_v >= 2`` the client
+upgrades its hot ops to the binary v2 encoding (see
+:mod:`repro.service.protocol`).  A server that never advertises is
+spoken to in v1 forever; pass ``wire_version=1`` to pin v1 explicitly.
+
+Failure semantics under pipelining:
+
+* a **response-id mismatch** means the stream is desynchronized -- the
+  connection is torn down and *every* in-flight request fails with a
+  ``bad-frame`` :class:`RemoteError` (a desynced connection must never
+  be reused);
+* a **per-request timeout** covers the whole round-trip (connect +
+  write + read).  The timed-out id is remembered as abandoned so its
+  late response is discarded instead of tripping the desync check, and
+  the shared connection stays up for the other in-flight requests;
+* **connection loss** (EOF, reset, reader failure) fails every in-flight
+  request with the underlying error; the retry loop reconnects.
 
 Retry semantics are at-least-once: a connection that drops *after* a
 mutating request was written may have been applied server-side, and the
@@ -17,7 +39,9 @@ load generator and the tests drive each flow id once, where
 at-least-once is indistinguishable from exactly-once.
 
 :class:`SyncAdmissionClient` wraps the async client behind a private
-event loop for scripts and the ``admit-client`` CLI.
+event loop for scripts and the ``admit-client`` CLI.  Its ``close()`` is
+idempotent; calls after close raise a typed
+:class:`~repro.errors.RuntimeStateError`.
 """
 
 from __future__ import annotations
@@ -26,18 +50,31 @@ import asyncio
 import logging
 from typing import Sequence
 
-from repro.errors import ParameterError, RemoteError
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    RemoteError,
+    RuntimeStateError,
+)
 from repro.runtime.link import AdmissionDecision
 from repro.service.protocol import (
+    MAX_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    SUPPORTED_VERSIONS,
     decision_from_wire,
+    encode_request,
     make_request,
     read_frame,
-    write_frame,
 )
 
 __all__ = ["AsyncAdmissionClient", "SyncAdmissionClient", "parse_address"]
 
 logger = logging.getLogger(__name__)
+
+# Python >= 3.11: asyncio.timeout() bounds a call without spawning the
+# extra task asyncio.wait_for() costs -- that matters at 100k calls/s.
+_timeout_ctx = getattr(asyncio, "timeout", None)
 
 
 def parse_address(spec: str) -> tuple[str, int]:
@@ -59,11 +96,19 @@ class AsyncAdmissionClient:
     host, port : str, int
         Server address.
     timeout : float
-        Per-call deadline (connect + round-trip), seconds.
+        Per-call deadline (connect + write + read), seconds.
     retries : int
         Transient-failure retries per call (0 disables retrying).
     backoff : float
         Initial retry delay, doubled per attempt up to ``backoff_cap``.
+    wire_version : int
+        Highest wire version this client will negotiate up to.  The
+        default negotiates the binary v2 hot path when the server
+        advertises it; ``1`` pins JSON v1.
+    max_inflight : int
+        Pipelining bound: how many requests may be awaiting responses on
+        the connection at once.  ``1`` degenerates to strict
+        request/response.
     """
 
     def __init__(
@@ -75,6 +120,8 @@ class AsyncAdmissionClient:
         retries: int = 3,
         backoff: float = 0.05,
         backoff_cap: float = 1.0,
+        wire_version: int = MAX_PROTOCOL_VERSION,
+        max_inflight: int = 64,
     ) -> None:
         if timeout <= 0.0:
             raise ParameterError("timeout must be positive")
@@ -82,14 +129,29 @@ class AsyncAdmissionClient:
             raise ParameterError("retries must be non-negative")
         if backoff <= 0.0 or backoff_cap < backoff:
             raise ParameterError("need 0 < backoff <= backoff_cap")
+        if wire_version not in SUPPORTED_VERSIONS:
+            raise ParameterError(
+                f"wire_version must be one of {SUPPORTED_VERSIONS}, "
+                f"got {wire_version!r}"
+            )
+        if max_inflight < 1:
+            raise ParameterError("max_inflight must be at least 1")
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.backoff_cap = float(backoff_cap)
+        self.wire_version = int(wire_version)
+        self.max_inflight = int(max_inflight)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._conn_lock = asyncio.Lock()
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._inflight: dict[int, asyncio.Future] = {}
+        self._abandoned: set[int] = set()
+        self._version = PROTOCOL_VERSION
         self._next_id = 0
         #: Transient failures retried across the client's lifetime.
         self.retried = 0
@@ -98,17 +160,43 @@ class AsyncAdmissionClient:
     def connected(self) -> bool:
         return self._writer is not None and not self._writer.is_closing()
 
+    @property
+    def negotiated_version(self) -> int:
+        """Wire version currently in use (1 until a server advertises 2)."""
+        return self._version
+
     async def connect(self) -> None:
-        """Open the connection (idempotent)."""
-        if self.connected:
-            return
-        self._reader, self._writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout
-        )
+        """Open the connection and start the reader task (idempotent)."""
+        async with self._conn_lock:
+            if self.connected:
+                return
+            self._version = PROTOCOL_VERSION
+            self._abandoned.clear()
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+            self._reader, self._writer = reader, writer
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(reader, writer),
+                name=f"admission-client-reader-{self.host}:{self.port}",
+            )
 
     async def close(self) -> None:
-        """Close the connection (idempotent)."""
-        writer, self._reader, self._writer = self._writer, None, None
+        """Close the connection, failing any in-flight requests (idempotent)."""
+        writer = self._writer
+        task = self._reader_task
+        self._reader = None
+        self._writer = None
+        self._reader_task = None
+        self._version = PROTOCOL_VERSION
+        self._abandoned.clear()
+        self._fail_inflight(ConnectionResetError("client connection closed"))
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         if writer is not None:
             writer.close()
             try:
@@ -123,23 +211,127 @@ class AsyncAdmissionClient:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
+    # -- connection machinery ----------------------------------------------
+
+    def _fail_inflight(self, exc: BaseException) -> None:
+        inflight, self._inflight = self._inflight, {}
+        for future in inflight.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    def _abort(self, writer: asyncio.StreamWriter, exc: BaseException) -> None:
+        """Tear the connection down from inside the reader task."""
+        if self._writer is writer:
+            self._reader = None
+            self._writer = None
+            self._reader_task = None
+            self._version = PROTOCOL_VERSION
+            self._abandoned.clear()
+            self._fail_inflight(exc)
+        writer.close()
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Match responses to in-flight requests until the stream dies.
+
+        Any unrecoverable condition -- EOF, a connection-level error
+        frame (``id: null``), an unparseable frame, or a response id
+        matching no in-flight request (stream desync) -- fails every
+        in-flight request and closes the connection.
+        """
+        try:
+            while True:
+                response = await read_frame(reader)
+                if response is None:
+                    raise ConnectionResetError("server closed the connection")
+                max_v = response.get("max_v")
+                if (
+                    self._writer is writer
+                    and isinstance(max_v, int)
+                    and max_v >= PROTOCOL_VERSION_2
+                    and self.wire_version >= PROTOCOL_VERSION_2
+                    and self._version < PROTOCOL_VERSION_2
+                ):
+                    logger.debug(
+                        "client %s:%d: negotiated wire v%d",
+                        self.host, self.port, PROTOCOL_VERSION_2,
+                    )
+                    self._version = PROTOCOL_VERSION_2
+                request_id = response.get("id")
+                if request_id is None:
+                    # Connection-level error frame (connection cap,
+                    # framing lost server-side): poisons the connection.
+                    error = response.get("error", {})
+                    raise RemoteError(
+                        error.get("code", "internal"),
+                        error.get("message", "connection-level error frame"),
+                        retryable=bool(error.get("retryable", False)),
+                    )
+                if request_id in self._abandoned:
+                    # Late answer to a timed-out request: drop it.
+                    self._abandoned.discard(request_id)
+                    continue
+                future = self._inflight.pop(request_id, None)
+                if future is None:
+                    raise RemoteError(
+                        "bad-frame",
+                        f"response id {request_id!r} matches no in-flight "
+                        f"request; the stream is desynchronized",
+                    )
+                if not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except RemoteError as exc:
+            self._abort(writer, exc)
+        except ProtocolError as exc:
+            self._abort(writer, RemoteError(exc.code, str(exc)))
+        except (ConnectionError, OSError) as exc:
+            self._abort(writer, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception(
+                "client %s:%d: reader failed", self.host, self.port
+            )
+            self._abort(
+                writer, RemoteError("internal", f"client reader failed: {exc}")
+            )
+
     # -- request machinery -------------------------------------------------
 
-    async def _roundtrip(self, op: str, **fields) -> dict:
+    async def _send_and_wait(self, op: str, fields: dict) -> dict:
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            await self.connect()
+            writer = self._writer
+        if writer is None:  # pragma: no cover - connect() raises instead
+            raise ConnectionResetError("not connected")
         request_id = self._next_id
         self._next_id += 1
         request = make_request(op, request_id, **fields)
-        await self.connect()
-        await write_frame(self._writer, request)
-        response = await asyncio.wait_for(read_frame(self._reader), self.timeout)
-        if response is None:
-            raise ConnectionResetError("server closed the connection mid-call")
-        if response.get("id") != request_id:
-            raise RemoteError(
-                "bad-frame",
-                f"response id {response.get('id')!r} does not match "
-                f"request id {request_id}",
-            )
+        if (
+            self.wire_version >= PROTOCOL_VERSION_2
+            and self._version < PROTOCOL_VERSION_2
+        ):
+            # Not yet negotiated: advertise on the (JSON) frame.
+            request["max_v"] = self.wire_version
+        frame = encode_request(request, self._version)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[request_id] = future
+        try:
+            writer.write(frame)
+            await writer.drain()
+            response = await future
+        except asyncio.CancelledError:
+            # The per-request deadline (or the caller) cancelled us; the
+            # request may already be on the wire, so remember the id and
+            # let the reader discard its late response.
+            if self._inflight.pop(request_id, None) is not None:
+                self._abandoned.add(request_id)
+            raise
+        except BaseException:
+            self._inflight.pop(request_id, None)
+            raise
         if response.get("ok"):
             return response.get("result", {})
         error = response.get("error", {})
@@ -149,13 +341,34 @@ class AsyncAdmissionClient:
             retryable=bool(error.get("retryable", False)),
         )
 
+    async def _roundtrip(self, op: str, **fields) -> dict:
+        async with self._sem:
+            if _timeout_ctx is not None:
+                async with _timeout_ctx(self.timeout):
+                    return await self._send_and_wait(op, fields)
+            return await asyncio.wait_for(  # pragma: no cover - py<3.11
+                self._send_and_wait(op, fields), self.timeout
+            )
+
     async def _call(self, op: str, **fields) -> dict:
         fields = {k: v for k, v in fields.items() if v is not None}
         delay = self.backoff
         for attempt in range(self.retries + 1):
             try:
                 return await self._roundtrip(op, **fields)
-            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            except asyncio.TimeoutError:
+                # Checked before OSError: TimeoutError subclasses it on
+                # py>=3.10.  The connection may still be serving other
+                # in-flight requests; do not tear it down for one slow
+                # call -- the reader discards the late answer by id.
+                if attempt >= self.retries:
+                    raise
+                logger.debug(
+                    "client %s:%d: %s timed out; retry %d/%d in %.3gs",
+                    self.host, self.port, op, attempt + 1,
+                    self.retries, delay,
+                )
+            except (ConnectionError, OSError) as exc:
                 await self.close()
                 if attempt >= self.retries:
                     raise
@@ -239,7 +452,10 @@ class SyncAdmissionClient:
     """Blocking convenience wrapper around :class:`AsyncAdmissionClient`.
 
     Owns a private event loop; every method is a synchronous round-trip.
-    Use as a context manager::
+    ``close()`` is idempotent (nested context managers and belt-and-
+    braces ``finally`` blocks are fine); any call after close raises
+    :class:`~repro.errors.RuntimeStateError`.  Use as a context
+    manager::
 
         with SyncAdmissionClient("127.0.0.1", 7750) as client:
             decision = client.admit("flow-1", t=0.5)
@@ -248,16 +464,23 @@ class SyncAdmissionClient:
     def __init__(self, host: str, port: int, **kwargs) -> None:
         self._loop = asyncio.new_event_loop()
         self._client = AsyncAdmissionClient(host, port, **kwargs)
+        self._closed = False
 
     def _run(self, coro):
+        if self._closed:
+            coro.close()  # a never-started coroutine would warn at GC
+            raise RuntimeStateError("SyncAdmissionClient is closed")
         return self._loop.run_until_complete(coro)
 
     def connect(self) -> None:
         self._run(self._client.connect())
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         try:
-            self._run(self._client.close())
+            self._loop.run_until_complete(self._client.close())
         finally:
             self._loop.close()
 

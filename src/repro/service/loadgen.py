@@ -43,6 +43,7 @@ import numpy as np
 from repro.errors import ParameterError, RemoteError
 from repro.runtime.metrics import Histogram
 from repro.service.client import AsyncAdmissionClient, parse_address
+from repro.service.protocol import MAX_PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.service.cluster import HashRing
 from repro.service.server import AdmissionServer
 
@@ -106,6 +107,8 @@ class _Worker:
         timeout: float,
         retries: int,
         latency: Histogram,
+        pipeline: int = 1,
+        wire_version: int = MAX_PROTOCOL_VERSION,
     ) -> None:
         self.index = index
         self.ring = ring
@@ -113,11 +116,16 @@ class _Worker:
         self.holding_time = holding_time
         self.n_flows = n_flows
         self.batch_window = batch_window
+        self.pipeline = pipeline
         self.rng = np.random.default_rng((seed, index))
         self.latency = latency
         self.clients = {
             addr: AsyncAdmissionClient(
-                *parse_address(addr), timeout=timeout, retries=retries
+                *parse_address(addr),
+                timeout=timeout,
+                retries=retries,
+                wire_version=wire_version,
+                max_inflight=max(64, pipeline),
             )
             for addr in addrs
         }
@@ -187,9 +195,29 @@ class _Worker:
             self._push(when, _ARRIVE, flows)
 
         schedule_arrivals()
-        while self._heap:
+        # Pipelined mode: wire calls become tasks bounded by a semaphore,
+        # so up to `pipeline` requests ride the connection concurrently.
+        # Departures are only scheduled once their admit response lands
+        # (inside _admit), so when the heap runs dry with calls still in
+        # flight we wait for one to finish and re-check.
+        sem = asyncio.Semaphore(self.pipeline) if self.pipeline > 1 else None
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+
+        async def bounded(call) -> None:
+            try:
+                await call
+            finally:
+                sem.release()
+
+        while self._heap or tasks:
+            if not self._heap:
+                await asyncio.wait(
+                    set(tasks), return_when=asyncio.FIRST_COMPLETED
+                )
+                continue
             now, kind, _, payload = heapq.heappop(self._heap)
-            self.simulated_time = now
+            self.simulated_time = max(self.simulated_time, now)
             if kind == _DEPART:
                 flows = [payload]
                 while (
@@ -198,10 +226,20 @@ class _Worker:
                     and self._heap[0][1] == _DEPART
                 ):
                     flows.append(heapq.heappop(self._heap)[3])
-                await self._depart(flows, now)
+                call = self._depart(flows, now)
             else:
-                await self._admit(payload, now)
+                call = self._admit(payload, now)
+            if sem is None:
+                await call
+            else:
+                await sem.acquire()
+                task = loop.create_task(bounded(call))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if kind == _ARRIVE:
                 schedule_arrivals()
+        if tasks:  # pragma: no cover - loop exits only when both are empty
+            await asyncio.gather(*tasks)
 
     async def _admit(self, flows: list[str], now: float) -> None:
         self.arrivals += len(flows)
@@ -274,9 +312,11 @@ async def run_loadgen(
     n_flows: int,
     batch_window: float | None = None,
     concurrency: int = 1,
+    pipeline: int = 1,
     seed: int = 0,
     timeout: float = 5.0,
     retries: int = 0,
+    wire_version: int = MAX_PROTOCOL_VERSION,
     fetch_digests: bool = True,
 ) -> LoadGenReport:
     """Drive the servers at ``addrs`` with ``n_flows`` Poisson arrivals.
@@ -299,12 +339,22 @@ async def run_loadgen(
     concurrency : int
         Independent workers (>= 1).  One worker submits in a fully
         deterministic order; more trade determinism for parallelism.
+    pipeline : int
+        In-flight wire calls per worker (>= 1).  Above 1, each event's
+        request is issued as a task and up to ``pipeline`` ride the
+        connection concurrently (the client's correlation-id table keeps
+        them straight); submission *order* stays deterministic but wire
+        interleaving does not -- run-to-run digest equality needs
+        ``pipeline=1``, journal-replay equality holds regardless.
     seed : int
         Workload RNG seed (each worker derives substream ``(seed, k)``).
     timeout, retries : float, int
         Per-call client deadline and transient-retry budget.  The
         default ``retries=0`` keeps shed requests visible in the report
         instead of silently retrying them.
+    wire_version : int
+        Highest wire version the clients negotiate up to (default: the
+        binary v2 hot path; ``1`` pins JSON).
     fetch_digests : bool
         Fetch each server's decision digest via ``snapshot`` after the
         run (disable against servers without snapshot access).
@@ -324,6 +374,13 @@ async def run_loadgen(
         raise ParameterError("n_flows must be at least 1")
     if concurrency < 1:
         raise ParameterError("concurrency must be at least 1")
+    if pipeline < 1:
+        raise ParameterError("pipeline must be at least 1")
+    if wire_version not in SUPPORTED_VERSIONS:
+        raise ParameterError(
+            f"wire_version must be one of {SUPPORTED_VERSIONS}, "
+            f"got {wire_version!r}"
+        )
     if batch_window is not None and batch_window <= 0.0:
         raise ParameterError("batch_window must be positive")
     for addr in addrs:
@@ -358,6 +415,8 @@ async def run_loadgen(
             timeout=timeout,
             retries=retries,
             latency=latency,
+            pipeline=pipeline,
+            wire_version=wire_version,
         )
         for k in range(concurrency)
     ]

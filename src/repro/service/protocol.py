@@ -36,12 +36,41 @@ to that flow's counter stream; absent, to the link-aggregate stream.
 
 Versioning: every frame carries ``"v"``; a server receiving an
 unsupported version answers a typed ``bad-version`` error naming the
-version it speaks, so old clients fail loudly instead of misparsing.
+versions it speaks, so old clients fail loudly instead of misparsing.
 
 Error frames are *typed*: ``code`` is machine-readable (see
 :data:`ERROR_CODES`) and ``retryable`` marks transient conditions
 (:data:`RETRYABLE_CODES` -- shedding, timeouts, connection caps) that a
 client may retry with backoff; everything else is a hard failure.
+
+Protocol v2 (binary hot path)
+-----------------------------
+The hot operations (``admit``/``admit_many``/``depart``/``depart_many``/
+``telemetry`` and their responses) additionally speak a struct-packed
+**binary encoding** under the same 4-byte length prefix.  A v2 body is
+recognized by its first byte, the magic :data:`V2_MAGIC` (``0xB2`` --
+a byte no JSON document can start with), followed by a version byte and
+a frame-kind byte, so v1 JSON and v2 binary frames coexist on one
+connection and are told apart per frame::
+
+    +--------+---------+--------+--------+----------+-- op fields --+
+    | 0xB2   | version | kind   | flags  | id (u64) | t (f64, opt.) |
+    +--------+---------+--------+--------+----------+---------------+
+
+Negotiation rides the *first frame*: a v2-capable client opens with a
+plain v1 JSON request carrying ``"max_v": 2``; every response from a
+v2-capable server carries ``"max_v": 2`` back (binary responses
+implicitly), and the client upgrades its hot ops to binary from the
+first response on.  A peer that never advertises ``max_v`` is spoken to
+in JSON v1 forever -- transparent fallback in both directions.  A frame
+whose version byte (or JSON ``"v"``) names a version outside
+:data:`SUPPORTED_VERSIONS` is answered with a loud typed ``bad-version``
+error, never silently downgraded.
+
+Anything the binary encoding cannot represent (flow-id strings over
+64 KiB, counters past 2^64, non-hot ops like ``snapshot``) transparently
+falls back to the JSON encoding for that frame -- the codecs return
+``None`` and the caller encodes v1.
 """
 
 from __future__ import annotations
@@ -57,12 +86,22 @@ from repro.runtime.link import AdmissionDecision
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_2",
+    "MAX_PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "V2_MAGIC",
+    "V2_OPS",
     "MAX_FRAME_BYTES",
     "OPS",
     "ERROR_CODES",
     "RETRYABLE_CODES",
     "encode_frame",
     "decode_frame",
+    "decode_frame_body",
+    "encode_request",
+    "encode_request_v2",
+    "encode_response",
+    "encode_response_v2",
     "read_frame",
     "write_frame",
     "make_request",
@@ -73,8 +112,17 @@ __all__ = [
     "decision_from_wire",
 ]
 
-#: Wire protocol version spoken by this build.
+#: Baseline (JSON) wire protocol version spoken by this build.
 PROTOCOL_VERSION = 1
+
+#: Binary wire protocol version for the hot ops.
+PROTOCOL_VERSION_2 = 2
+
+#: Highest protocol version this build speaks (advertised as ``max_v``).
+MAX_PROTOCOL_VERSION = PROTOCOL_VERSION_2
+
+#: Versions a server accepts; anything else answers ``bad-version``.
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION, PROTOCOL_VERSION_2)
 
 #: Hard ceiling on one frame's JSON body (guards the reader against a
 #: corrupt or hostile length prefix allocating unbounded memory).
@@ -146,10 +194,23 @@ def decode_frame(body: bytes) -> dict:
     return payload
 
 
+def decode_frame_body(body: bytes) -> dict:
+    """Decode one frame body, v1 JSON or v2 binary, into a payload dict.
+
+    Dispatch is on the first byte: :data:`V2_MAGIC` selects the binary
+    decoder, anything else is parsed as JSON.  Both paths return the
+    same dict shapes, so everything above the framing layer is
+    encoding-agnostic.
+    """
+    if body[:1] == _V2_MAGIC_BYTE:
+        return _decode_v2(body)
+    return decode_frame(body)
+
+
 async def read_frame(
     reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
 ) -> dict | None:
-    """Read one frame; ``None`` on clean EOF at a frame boundary.
+    """Read one frame (v1 or v2); ``None`` on clean EOF at a frame boundary.
 
     Raises :class:`~repro.errors.ProtocolError` on a corrupt length
     prefix (oversized frame) or a truncated body.
@@ -176,13 +237,438 @@ async def read_frame(
             f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)",
             code="bad-frame",
         )
-    return decode_frame(body)
+    return decode_frame_body(body)
 
 
 async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
     """Serialize and send one frame, draining the transport."""
     writer.write(encode_frame(payload))
     await writer.drain()
+
+
+# -- protocol v2: struct-packed binary hot path --------------------------------
+
+#: First byte of every v2 binary frame body (no JSON text starts with it).
+V2_MAGIC = 0xB2
+_V2_MAGIC_BYTE = bytes([V2_MAGIC])
+
+#: Operations with a binary encoding; everything else stays JSON.
+V2_OPS = ("admit", "admit_many", "depart", "depart_many", "telemetry")
+
+# Frame kinds.  Requests are the op itself; responses are typed by the
+# result shape they carry (plus one error kind).
+_K_ADMIT, _K_ADMIT_MANY, _K_DEPART, _K_DEPART_MANY, _K_TELEMETRY = range(1, 6)
+_K_OK_DECISION = 0x81       # {"t", "decision"}
+_K_OK_DECISIONS = 0x82      # {"t", "decisions"}
+_K_OK_DEPART = 0x83         # {"t", "link"}
+_K_OK_DEPARTED = 0x84       # {"t", "departed"}
+_K_OK_TELEMETRY = 0x85      # {"t", "link", "buffered"}
+_K_ERROR = 0xEE
+
+_REQUEST_KINDS = {
+    "admit": _K_ADMIT,
+    "admit_many": _K_ADMIT_MANY,
+    "depart": _K_DEPART,
+    "depart_many": _K_DEPART_MANY,
+    "telemetry": _K_TELEMETRY,
+}
+_KIND_OPS = {kind: op for op, kind in _REQUEST_KINDS.items()}
+
+# Flags (bit field).
+_F_HAS_T = 0x01    # requests: the optional logical clock is present
+_F_HAS_ID = 0x02   # responses: the correlation id is present
+_F_HAS_FLOW = 0x04  # telemetry: a per-flow stream id is present
+
+_V2_HEADER = struct.Struct("!BBBB")   # magic, version, kind, flags
+_V2_ID = struct.Struct("!Q")
+_V2_F64 = struct.Struct("!d")
+_V2_U32 = struct.Struct("!I")
+_V2_U64 = struct.Struct("!Q")
+_V2_I64 = struct.Struct("!q")
+_V2_LEN = struct.Struct("!H")
+_V2_DECISION = struct.Struct("!BBIddd")  # admitted, degraded, n_flows,
+#                                          target, mu_hat, sigma_hat
+
+_U64_MAX = 2**64 - 1
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+_STR_NONE = 0xFFFF  # length sentinel for an absent optional string
+_STR_NONE_BYTES = _V2_LEN.pack(_STR_NONE)
+_isnan = math.isnan
+
+
+class _NotEncodable(Exception):
+    """Internal: this payload needs the JSON fallback."""
+
+
+def _pack_str(value, out: bytearray) -> None:
+    if value is None:
+        out += _STR_NONE_BYTES
+        return
+    raw = str(value).encode("utf-8")
+    if len(raw) >= _STR_NONE:
+        raise _NotEncodable
+    out += _V2_LEN.pack(len(raw))
+    out += raw
+
+
+def _pack_flow(flow, out: bytearray) -> None:
+    if isinstance(flow, bool) or not isinstance(flow, (str, int)):
+        raise _NotEncodable
+    if isinstance(flow, int):
+        if not _I64_MIN <= flow <= _I64_MAX:
+            raise _NotEncodable
+        out += b"\x01"
+        out += _V2_I64.pack(flow)
+    else:
+        out += b"\x00"
+        _pack_str(flow, out)
+
+
+class _V2Reader:
+    """Bounds-checked cursor over a v2 frame body."""
+
+    __slots__ = ("body", "pos")
+
+    def __init__(self, body: bytes, pos: int) -> None:
+        self.body = body
+        self.pos = pos
+
+    def take(self, spec: struct.Struct):
+        end = self.pos + spec.size
+        if end > len(self.body):
+            raise ProtocolError(
+                f"truncated v2 frame ({len(self.body)} bytes)", code="bad-frame"
+            )
+        values = spec.unpack_from(self.body, self.pos)
+        self.pos = end
+        return values if len(values) > 1 else values[0]
+
+    def take_bytes(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.body):
+            raise ProtocolError(
+                f"truncated v2 frame ({len(self.body)} bytes)", code="bad-frame"
+            )
+        raw = self.body[self.pos:end]
+        self.pos = end
+        return raw
+
+    def take_str(self):
+        # Hot path (flow ids, decision strings): inline the length read
+        # and slice instead of going through take()/take_bytes().
+        body = self.body
+        pos = self.pos
+        end = pos + 2
+        if end > len(body):
+            raise ProtocolError(
+                f"truncated v2 frame ({len(body)} bytes)", code="bad-frame"
+            )
+        length = (body[pos] << 8) | body[pos + 1]
+        if length == _STR_NONE:
+            self.pos = end
+            return None
+        tail = end + length
+        if tail > len(body):
+            raise ProtocolError(
+                f"truncated v2 frame ({len(body)} bytes)", code="bad-frame"
+            )
+        self.pos = tail
+        try:
+            return body[end:tail].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"bad utf-8 in v2 frame: {exc}", code="bad-frame"
+            )
+
+    def take_flow(self):
+        body = self.body
+        pos = self.pos
+        if pos >= len(body):
+            raise ProtocolError(
+                f"truncated v2 frame ({len(body)} bytes)", code="bad-frame"
+            )
+        tag = body[pos]
+        self.pos = pos + 1
+        if tag == 0x01:
+            return self.take(_V2_I64)
+        if tag == 0x00:
+            flow = self.take_str()
+            if flow is None:
+                raise ProtocolError(
+                    "v2 flow id must not be the absent-string sentinel",
+                    code="bad-frame",
+                )
+            return flow
+        raise ProtocolError(
+            f"unknown v2 flow-id tag {bytes((tag,))!r}", code="bad-frame"
+        )
+
+
+def encode_request_v2(payload: dict) -> bytes | None:
+    """Binary-encode a request payload; ``None`` when it needs JSON.
+
+    Accepts the same dicts :func:`make_request` builds.  Returns the
+    frame *body* (the caller adds the length prefix), or ``None`` when
+    the op has no binary encoding or a field is out of the binary
+    domain (oversized string, counter past 2^64, ...).
+    """
+    kind = _REQUEST_KINDS.get(payload.get("op"))
+    request_id = payload.get("id")
+    t = payload.get("t")
+    if (
+        kind is None
+        or isinstance(request_id, bool)
+        or not isinstance(request_id, int)
+        or not 0 <= request_id <= _U64_MAX
+    ):
+        return None
+    if t is not None and not isinstance(t, (int, float)):
+        return None
+    out = bytearray()
+    flags = _F_HAS_T if t is not None else 0
+    if kind == _K_TELEMETRY and payload.get("flow") is not None:
+        flags |= _F_HAS_FLOW
+    out += _V2_HEADER.pack(V2_MAGIC, PROTOCOL_VERSION_2, kind, flags)
+    out += _V2_ID.pack(request_id)
+    if t is not None:
+        out += _V2_F64.pack(float(t))
+    try:
+        if kind in (_K_ADMIT, _K_DEPART):
+            _pack_flow(payload["flow"], out)
+        elif kind in (_K_ADMIT_MANY, _K_DEPART_MANY):
+            flows = payload["flows"]
+            if not isinstance(flows, list) or len(flows) > _U64_MAX:
+                return None
+            out += _V2_U32.pack(len(flows))
+            for flow in flows:
+                _pack_flow(flow, out)
+        else:  # telemetry
+            if t is None:
+                return None
+            _pack_str(payload["link"], out)
+            for counter in ("bytes", "packets"):
+                value = payload.get(counter, 0)
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or not 0 <= value <= _U64_MAX
+                ):
+                    return None
+                out += _V2_U64.pack(value)
+            if flags & _F_HAS_FLOW:
+                _pack_flow(payload["flow"], out)
+    except (_NotEncodable, KeyError, struct.error):
+        return None
+    return bytes(out)
+
+
+def _pack_decision(decision: dict, out: bytearray) -> None:
+    get = decision.get
+    target = get("target")
+    mu_hat = get("mu_hat")
+    sigma_hat = get("sigma_hat")
+    out += _V2_DECISION.pack(
+        1 if get("admitted") else 0,
+        1 if get("degraded") else 0,
+        int(get("n_flows", 0)),
+        math.nan if target is None else float(target),
+        math.nan if mu_hat is None else float(mu_hat),
+        math.nan if sigma_hat is None else float(sigma_hat),
+    )
+    _pack_str(get("link"), out)
+    _pack_str(get("reason"), out)
+    _pack_str(get("health"), out)
+
+
+def _unpack_decision(reader: _V2Reader) -> dict:
+    admitted, degraded, n_flows, target, mu_hat, sigma_hat = reader.take(
+        _V2_DECISION
+    )
+    take_str = reader.take_str
+    return {
+        "admitted": bool(admitted),
+        "link": take_str(),
+        "reason": take_str(),
+        "target": None if _isnan(target) else target,
+        "n_flows": n_flows,
+        "degraded": bool(degraded),
+        "health": take_str(),
+        "mu_hat": None if _isnan(mu_hat) else mu_hat,
+        "sigma_hat": None if _isnan(sigma_hat) else sigma_hat,
+    }
+
+
+def encode_response_v2(payload: dict) -> bytes | None:
+    """Binary-encode a response payload; ``None`` when it needs JSON.
+
+    The response kind is inferred from the result shape (the five hot-op
+    results are structurally distinct); snapshot/health/ping results have
+    no binary form and fall back.
+    """
+    request_id = payload.get("id")
+    if request_id is not None and (
+        isinstance(request_id, bool)
+        or not isinstance(request_id, int)
+        or not 0 <= request_id <= _U64_MAX
+    ):
+        return None
+    out = bytearray()
+    flags = _F_HAS_ID if request_id is not None else 0
+    try:
+        if payload.get("ok"):
+            result = payload.get("result", {})
+            t = result.get("t")
+            if not isinstance(t, (int, float)) or isinstance(t, bool):
+                return None
+            if "decision" in result:
+                kind, body = _K_OK_DECISION, bytearray()
+                _pack_decision(result["decision"], body)
+            elif "decisions" in result:
+                kind, body = _K_OK_DECISIONS, bytearray()
+                decisions = result["decisions"]
+                body += _V2_U32.pack(len(decisions))
+                for decision in decisions:
+                    _pack_decision(decision, body)
+            elif "departed" in result:
+                kind, body = _K_OK_DEPARTED, bytearray()
+                body += _V2_U32.pack(int(result["departed"]))
+            elif "buffered" in result:
+                kind, body = _K_OK_TELEMETRY, bytearray()
+                _pack_str(result["link"], body)
+                body += _V2_U32.pack(int(result["buffered"]))
+            elif "link" in result:
+                kind, body = _K_OK_DEPART, bytearray()
+                _pack_str(result["link"], body)
+            else:
+                return None
+            out += _V2_HEADER.pack(V2_MAGIC, PROTOCOL_VERSION_2, kind, flags)
+            if request_id is not None:
+                out += _V2_ID.pack(request_id)
+            out += _V2_F64.pack(float(t))
+            out += body
+        else:
+            error = payload.get("error", {})
+            out += _V2_HEADER.pack(
+                V2_MAGIC, PROTOCOL_VERSION_2, _K_ERROR, flags
+            )
+            if request_id is not None:
+                out += _V2_ID.pack(request_id)
+            _pack_str(error.get("code", "internal"), out)
+            message = str(error.get("message", ""))
+            if len(message.encode("utf-8")) >= _STR_NONE:
+                message = message[: _STR_NONE // 4]
+            _pack_str(message, out)
+            out += b"\x01" if error.get("retryable") else b"\x00"
+    except (_NotEncodable, KeyError, ValueError, TypeError, struct.error):
+        return None
+    return bytes(out)
+
+
+def _decode_v2(body: bytes) -> dict:
+    reader = _V2Reader(body, 0)
+    magic, version, kind, flags = reader.take(_V2_HEADER)
+    if version != PROTOCOL_VERSION_2:
+        raise ProtocolError(
+            f"unsupported binary protocol version {version}; this build "
+            f"speaks v{', v'.join(str(v) for v in SUPPORTED_VERSIONS)}",
+            code="bad-version",
+        )
+    if kind in _KIND_OPS:
+        op = _KIND_OPS[kind]
+        payload: dict = {
+            "v": PROTOCOL_VERSION_2,
+            "id": reader.take(_V2_ID),
+            "op": op,
+        }
+        if flags & _F_HAS_T:
+            payload["t"] = reader.take(_V2_F64)
+        if kind in (_K_ADMIT, _K_DEPART):
+            payload["flow"] = reader.take_flow()
+        elif kind in (_K_ADMIT_MANY, _K_DEPART_MANY):
+            count = reader.take(_V2_U32)
+            payload["flows"] = [reader.take_flow() for _ in range(count)]
+        else:  # telemetry
+            payload["link"] = reader.take_str()
+            payload["bytes"] = reader.take(_V2_U64)
+            payload["packets"] = reader.take(_V2_U64)
+            if flags & _F_HAS_FLOW:
+                payload["flow"] = reader.take_flow()
+        return payload
+    # Responses carry max_v implicitly: a binary frame proves v2.
+    request_id = reader.take(_V2_ID) if flags & _F_HAS_ID else None
+    base = {
+        "v": PROTOCOL_VERSION_2,
+        "id": request_id,
+        "max_v": MAX_PROTOCOL_VERSION,
+    }
+    if kind == _K_ERROR:
+        code = reader.take_str()
+        message = reader.take_str()
+        retryable = reader.take_bytes(1) == b"\x01"
+        base["ok"] = False
+        base["error"] = {
+            "code": code,
+            "message": message,
+            "retryable": retryable,
+        }
+        return base
+    t = reader.take(_V2_F64)
+    if kind == _K_OK_DECISION:
+        result: dict = {"t": t, "decision": _unpack_decision(reader)}
+    elif kind == _K_OK_DECISIONS:
+        count = reader.take(_V2_U32)
+        result = {
+            "t": t,
+            "decisions": [_unpack_decision(reader) for _ in range(count)],
+        }
+    elif kind == _K_OK_DEPART:
+        result = {"t": t, "link": reader.take_str()}
+    elif kind == _K_OK_DEPARTED:
+        result = {"t": t, "departed": reader.take(_V2_U32)}
+    elif kind == _K_OK_TELEMETRY:
+        result = {
+            "t": t,
+            "link": reader.take_str(),
+            "buffered": reader.take(_V2_U32),
+        }
+    else:
+        raise ProtocolError(
+            f"unknown v2 frame kind 0x{kind:02x}", code="bad-frame"
+        )
+    base["ok"] = True
+    base["result"] = result
+    return base
+
+
+def encode_request(payload: dict, version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode one request frame (length prefix included) at ``version``.
+
+    At v2, hot ops go binary with a transparent per-frame JSON fallback;
+    everything else (and all of v1) is JSON.  The ``"v"`` field of the
+    emitted frame always matches the encoding actually used, so the
+    receiver answers in kind.
+    """
+    if version >= PROTOCOL_VERSION_2:
+        body = encode_request_v2(payload)
+        if body is not None:
+            return _LENGTH.pack(len(body)) + body
+    if payload.get("v") != PROTOCOL_VERSION:
+        payload = {**payload, "v": PROTOCOL_VERSION}
+    return encode_frame(payload)
+
+
+def encode_response(payload: dict, version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode one response frame (length prefix included) at ``version``.
+
+    ``version`` is the version of the *request* being answered: v2
+    requests get binary responses (JSON fallback for shapes with no
+    binary form), v1 requests always get JSON.
+    """
+    if version >= PROTOCOL_VERSION_2:
+        body = encode_response_v2(payload)
+        if body is not None:
+            return _LENGTH.pack(len(body)) + body
+    return encode_frame(payload)
 
 
 # -- request / response builders ----------------------------------------------
@@ -196,16 +682,28 @@ def make_request(op: str, request_id: int, **fields: Any) -> dict:
 
 
 def ok_response(request_id: Any, result: dict) -> dict:
-    """Build a success response payload."""
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+    """Build a success response payload.
+
+    Every response advertises ``max_v``, the highest protocol version
+    this build speaks -- that is the entire server side of the version
+    negotiation (clients upgrade after the first response carrying it).
+    """
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "max_v": MAX_PROTOCOL_VERSION,
+        "result": result,
+    }
 
 
 def error_response(request_id: Any, code: str, message: str) -> dict:
-    """Build a typed error response payload."""
+    """Build a typed error response payload (advertises ``max_v`` too)."""
     return {
         "v": PROTOCOL_VERSION,
         "id": request_id,
         "ok": False,
+        "max_v": MAX_PROTOCOL_VERSION,
         "error": {
             "code": code,
             "message": message,
@@ -230,10 +728,10 @@ def validate_request(payload: dict) -> dict:
     :class:`~repro.errors.ProtocolError` with the matching error code.
     """
     version = payload.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
-            f"unsupported protocol version {version!r}; "
-            f"this server speaks v{PROTOCOL_VERSION}",
+            f"unsupported protocol version {version!r}; this server "
+            f"speaks v{', v'.join(str(v) for v in SUPPORTED_VERSIONS)}",
             code="bad-version",
         )
     if "id" not in payload:
@@ -313,18 +811,18 @@ def decision_to_wire(decision: AdmissionDecision) -> dict:
 
 def decision_from_wire(payload: dict) -> AdmissionDecision:
     """Rebuild an :class:`AdmissionDecision` from a response frame."""
-
-    def _nan(value):
-        return math.nan if value is None else float(value)
-
+    get = payload.get
+    target = get("target")
+    mu_hat = get("mu_hat")
+    sigma_hat = get("sigma_hat")
     return AdmissionDecision(
         admitted=bool(payload["admitted"]),
         link=payload["link"],
         reason=payload["reason"],
-        target=_nan(payload.get("target")),
+        target=math.nan if target is None else float(target),
         n_flows=int(payload["n_flows"]),
-        degraded=bool(payload.get("degraded", False)),
-        health=payload.get("health", "healthy"),
-        mu_hat=_nan(payload.get("mu_hat")),
-        sigma_hat=_nan(payload.get("sigma_hat")),
+        degraded=bool(get("degraded", False)),
+        health=get("health", "healthy"),
+        mu_hat=math.nan if mu_hat is None else float(mu_hat),
+        sigma_hat=math.nan if sigma_hat is None else float(sigma_hat),
     )

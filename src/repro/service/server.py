@@ -49,8 +49,11 @@ from repro.runtime.health import LinkHealth
 from repro.runtime.metrics import json_safe
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
+    MAX_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
     decision_to_wire,
+    encode_response,
     error_response,
     ok_response,
     read_frame,
@@ -114,12 +117,19 @@ class ServerConfig:
         abandoned with a ``timeout`` error.
     max_frame_bytes : int
         Per-frame body ceiling handed to the frame reader.
+    max_coalesce : int
+        How many queued requests the dispatcher may drain in one wakeup.
+        Runs of consecutive single ``admit``/``depart`` requests inside a
+        drained burst are applied through the gateway's
+        ``admit_many``/``depart_many`` batch path (one estimator read per
+        run instead of one per frame).  ``1`` disables coalescing.
     """
 
     max_connections: int = 256
     max_queue_depth: int = 1024
     request_timeout: float = 5.0
     max_frame_bytes: int = MAX_FRAME_BYTES
+    max_coalesce: int = 512
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -130,6 +140,8 @@ class ServerConfig:
             raise ParameterError("request_timeout must be positive")
         if self.max_frame_bytes < 1:
             raise ParameterError("max_frame_bytes must be positive")
+        if self.max_coalesce < 1:
+            raise ParameterError("max_coalesce must be at least 1")
 
 
 class AdmissionServer:
@@ -205,6 +217,10 @@ class AdmissionServer:
         )
         self._m_timeouts = metric.counter(
             f"{prefix}.timeouts", "requests abandoned past the deadline"
+        )
+        self._m_coalesced = metric.counter(
+            f"{prefix}.coalesced",
+            "requests answered through coalesced batch dispatch",
         )
         self._m_conn_refused = metric.counter(
             f"{prefix}.connections_refused",
@@ -319,74 +335,232 @@ class AdmissionServer:
         live here.  Never raises for request-level failures -- those come
         back as typed error frames.
         """
+        return await self._submit_start(request)
+
+    def _submit_start(self, request: dict) -> asyncio.Future:
+        """Validate, shed-check and enqueue one request synchronously.
+
+        Returns a future resolving to the response frame.  This is the
+        hot intake path: no task is spawned per request, and the
+        per-request timeout is a cheap ``call_later`` timer that cancels
+        the queue entry (the dispatcher skips it, so a timed-out request
+        is never decided) and answers a ``timeout`` frame itself.
+        """
+        loop = asyncio.get_running_loop()
+        response: asyncio.Future = loop.create_future()
         request_id = request.get("id") if isinstance(request, dict) else None
         try:
             validate_request(request)
         except ProtocolError as exc:
             self._m_errors.inc()
-            return error_response(request_id, exc.code, str(exc))
+            response.set_result(error_response(request_id, exc.code, str(exc)))
+            return response
         if self._stopping or self._queue is None:
             self._m_errors.inc()
-            return error_response(
+            response.set_result(error_response(
                 request_id, "shutting-down", f"server {self.name} is draining"
-            )
+            ))
+            return response
         depth = self._queue.qsize()
         self._m_queue_depth.set(depth)
         if depth >= self.config.max_queue_depth:
             # Fail closed: answer now rather than queueing unboundedly.
             self._m_shed.inc()
             self._m_errors.inc()
-            return error_response(
+            response.set_result(error_response(
                 request_id,
                 "overloaded",
                 f"dispatch queue at its bound "
                 f"({depth} >= {self.config.max_queue_depth})",
-            )
+            ))
+            return response
         t0 = time.perf_counter()
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((request, future))
-        try:
-            response = await asyncio.wait_for(
-                asyncio.shield(future), self.config.request_timeout
-            )
-        except asyncio.TimeoutError:
-            future.cancel()  # the dispatcher will skip it, never decide it
+        dispatch: asyncio.Future = loop.create_future()
+        self._queue.put_nowait((request, dispatch))
+
+        def expire() -> None:
+            if dispatch.done():
+                return
+            dispatch.cancel()  # the dispatcher will skip it, never decide it
             self._m_timeouts.inc()
             self._m_errors.inc()
-            return error_response(
-                request_id,
-                "timeout",
-                f"request not dispatched within "
-                f"{self.config.request_timeout:g}s",
-            )
-        self._m_latency.observe(time.perf_counter() - t0)
-        if not response.get("ok", False):
-            self._m_errors.inc()
+            if not response.done():
+                response.set_result(error_response(
+                    request_id,
+                    "timeout",
+                    f"request not dispatched within "
+                    f"{self.config.request_timeout:g}s",
+                ))
+
+        timer = loop.call_later(self.config.request_timeout, expire)
+
+        def finish(fut: asyncio.Future) -> None:
+            timer.cancel()
+            if fut.cancelled():
+                return  # expire() already answered
+            frame = fut.result()
+            self._m_latency.observe(time.perf_counter() - t0)
+            if not frame.get("ok", False):
+                self._m_errors.inc()
+            if not response.done():
+                response.set_result(frame)
+
+        dispatch.add_done_callback(finish)
         return response
 
     async def _dispatch_loop(self) -> None:
-        """The single writer: applies queued requests to the gateway."""
+        """The single writer: applies queued requests to the gateway.
+
+        Each wakeup drains up to ``max_coalesce`` queued entries in one
+        synchronous burst (:meth:`_dispatch_batch`); nothing else touches
+        the gateway, so the burst is atomic with respect to the event
+        loop and the op order is exactly queue order.
+        """
         assert self._queue is not None
         while True:
-            request, future = await self._queue.get()
-            try:
-                if future.cancelled():
-                    continue  # abandoned by its timeout; do not decide it
+            batch = [await self._queue.get()]
+            while len(batch) < self.config.max_coalesce:
                 try:
-                    response = self._apply(request)
-                except Exception:  # the loop must survive any one request
-                    logger.exception(
-                        "server %s: unexpected dispatch failure", self.name
-                    )
-                    response = error_response(
-                        request.get("id") if isinstance(request, dict) else None,
-                        "internal",
-                        "unexpected server-side failure",
-                    )
-                if not future.cancelled():
-                    future.set_result(response)
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                self._dispatch_batch(batch)
+            except Exception:  # the loop must survive any one burst
+                logger.exception(
+                    "server %s: unexpected dispatch failure", self.name
+                )
+                for request, future in batch:
+                    if not future.done() and not future.cancelled():
+                        future.set_result(error_response(
+                            request.get("id") if isinstance(request, dict)
+                            else None,
+                            "internal",
+                            "unexpected server-side failure",
+                        ))
             finally:
-                self._queue.task_done()
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _dispatch_batch(
+        self, batch: list[tuple[dict, asyncio.Future]]
+    ) -> None:
+        """Apply one drained burst in queue order, coalescing same-op runs.
+
+        Consecutive single ``admit`` (resp. ``depart``) requests become
+        one ``admit_many`` (``depart_many``) gateway call -- the journal
+        records the batched op actually executed, so ``replay_journal``
+        reproduces the served digest byte-for-byte.  Entries whose future
+        was cancelled (request timed out) are skipped, never decided.
+        This method is fully synchronous: no await point can interleave
+        a timeout cancellation mid-burst.
+        """
+        live = [
+            (request, future)
+            for request, future in batch
+            if not future.cancelled()
+        ]
+        i = 0
+        while i < len(live):
+            request, future = live[i]
+            op = request.get("op") if isinstance(request, dict) else None
+            j = i + 1
+            if op in ("admit", "depart"):
+                while j < len(live):
+                    nxt = live[j][0]
+                    if not (isinstance(nxt, dict) and nxt.get("op") == op):
+                        break
+                    j += 1
+            if j - i > 1:
+                self._apply_run(op, live[i:j])
+            else:
+                self._answer(request, future)
+            i = j
+
+    def _answer(self, request: dict, future: asyncio.Future) -> None:
+        """Apply one request and resolve its future (never raises)."""
+        try:
+            response = self._apply(request)
+        except Exception:
+            logger.exception(
+                "server %s: unexpected dispatch failure", self.name
+            )
+            response = error_response(
+                request.get("id") if isinstance(request, dict) else None,
+                "internal",
+                "unexpected server-side failure",
+            )
+        if not future.cancelled():
+            future.set_result(response)
+
+    def _apply_run(
+        self, op: str, run: list[tuple[dict, asyncio.Future]]
+    ) -> None:
+        """Apply a coalesced run of single ``admit``/``depart`` requests.
+
+        The run is pre-checked against the conditions that would make the
+        gateway's batch call raise (duplicate flows in the run, admits of
+        already-active flows, departs of unknown flows); any hit falls
+        back to per-request :meth:`_answer` so the caller gets the exact
+        same typed blame a sequential server would give.  The gateway's
+        batch ops validate before mutating, so the defensive fallback
+        after an unexpected validation error is also safe.
+        """
+        flows = [request["flow"] for request, _ in run]
+        clean = len(set(flows)) == len(flows)
+        if clean:
+            if op == "admit":
+                clean = all(
+                    self.gateway.link_of(flow) is None for flow in flows
+                )
+            else:
+                clean = all(
+                    self.gateway.link_of(flow) is not None for flow in flows
+                )
+        if not clean:
+            for request, future in run:
+                self._answer(request, future)
+            return
+        ts = [
+            float(request["t"])
+            for request, _ in run
+            if request.get("t") is not None
+        ]
+        if ts:
+            self._clock = max(self._clock, max(ts))
+        t = self._clock
+        try:
+            if op == "admit":
+                decisions = self.gateway.admit_many(flows, t)
+                responses = []
+                for (request, _), flow, decision in zip(run, flows, decisions):
+                    self._record(flow, decision)
+                    responses.append(ok_response(
+                        request.get("id"),
+                        {"t": t, "decision": decision_to_wire(decision)},
+                    ))
+                self._journal_append("admit_many", flows, t)
+            else:
+                links = [self.gateway.link_of(flow).name for flow in flows]
+                self.gateway.depart_many(flows, t)
+                responses = [
+                    ok_response(request.get("id"), {"t": t, "link": link})
+                    for (request, _), link in zip(run, links)
+                ]
+                self._journal_append("depart_many", flows, t)
+        except (RuntimeStateError, UnknownFlowError, ParameterError):
+            # Validation refused the batch before any mutation; re-apply
+            # sequentially for exact per-request blame.
+            for request, future in run:
+                self._answer(request, future)
+            return
+        self._m_requests.inc(len(run))
+        self._m_coalesced.inc(len(run))
+        if self.metrics_writer is not None:
+            self.metrics_writer.poll(self._clock)
+        for (request, future), response in zip(run, responses):
+            if not future.cancelled():
+                future.set_result(response)
 
     # -- op application (runs only on the dispatcher task) ------------------
 
@@ -503,6 +677,7 @@ class AdmissionServer:
             "pong": True,
             "name": self.name,
             "version": PROTOCOL_VERSION,
+            "max_version": MAX_PROTOCOL_VERSION,
             "clock": self._clock,
         }
 
@@ -537,15 +712,27 @@ class AdmissionServer:
         # Pipelining with in-order responses: each frame becomes a submit()
         # task immediately (so the dispatch queue, not the connection, is
         # the concurrency bound) and a writeback task sends the responses
-        # in arrival order.
+        # in arrival order.  Each response is encoded at its own request's
+        # wire version -- v2 binary requests get binary answers, v1 JSON
+        # requests get JSON -- so mixed-version pipelines never confuse a
+        # v1-only peer.  Writes are buffered and drained once per ready
+        # run instead of once per frame.
         pending: asyncio.Queue = asyncio.Queue()
 
         async def writeback() -> None:
-            while True:
+            done = False
+            while not done:
                 item = await pending.get()
-                if item is None:
-                    return
-                await write_frame(writer, await item)
+                while True:
+                    if item is None:
+                        done = True
+                        break
+                    version, response = item
+                    writer.write(encode_response(await response, version))
+                    if pending.empty():
+                        break
+                    item = pending.get_nowait()
+                await writer.drain()
 
         wb = asyncio.get_running_loop().create_task(writeback())
         try:
@@ -556,15 +743,19 @@ class AdmissionServer:
                     )
                 except ProtocolError as exc:
                     self._m_errors.inc()
-                    pending.put_nowait(
-                        _completed(error_response(None, exc.code, str(exc)))
-                    )
+                    pending.put_nowait((
+                        PROTOCOL_VERSION,
+                        _completed(error_response(None, exc.code, str(exc))),
+                    ))
                     break  # framing is lost; close after responding
                 if frame is None:
                     break
-                pending.put_nowait(
-                    asyncio.get_running_loop().create_task(self.submit(frame))
+                version = (
+                    PROTOCOL_VERSION_2
+                    if frame.get("v") == PROTOCOL_VERSION_2
+                    else PROTOCOL_VERSION
                 )
+                pending.put_nowait((version, self._submit_start(frame)))
         except asyncio.CancelledError:
             # Server shutdown reaped this connection; end quietly (a task
             # left in the cancelled state trips asyncio.streams' done

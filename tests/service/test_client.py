@@ -8,7 +8,7 @@ import threading
 
 import pytest
 
-from repro.errors import ParameterError, RemoteError
+from repro.errors import ParameterError, RemoteError, RuntimeStateError
 from repro.service.client import (
     AsyncAdmissionClient,
     SyncAdmissionClient,
@@ -155,13 +155,127 @@ class TestRetries:
             try:
                 with pytest.raises(RemoteError) as exc:
                     await client.ping()
+                # Regression: the stream is desynchronized, so the
+                # connection must be torn down *before* the error
+                # surfaces -- a later call gets a fresh connection
+                # instead of reading some other request's answer.
+                torn_down = not client.connected
             finally:
                 await client.close()
                 server.close()
                 await server.wait_closed()
-            return exc.value.code
+            return exc.value.code, torn_down
 
-        assert run(scenario()) == "bad-frame"
+        code, torn_down = run(scenario())
+        assert code == "bad-frame"
+        assert torn_down
+
+    def test_out_of_order_answers_to_pipelined_requests_are_matched(self):
+        """Two in-flight requests answered in reverse order: legal under
+        pipelining -- the correlation table routes each to its caller."""
+
+        async def scenario():
+            held: list = []
+
+            async def handle(reader, writer):
+                frames = [await read_frame(reader), await read_frame(reader)]
+                for frame in reversed(frames):
+                    await write_frame(
+                        writer,
+                        ok_response(
+                            frame["id"],
+                            {"t": 1.0, "link": f"answer-{frame['flow']}"},
+                        ),
+                    )
+                held.append(writer)  # keep open until the test ends
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncAdmissionClient(host, port, retries=0)
+            try:
+                links = await asyncio.gather(
+                    client.depart("a", t=1.0), client.depart("b", t=1.0)
+                )
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return links
+
+        # Each caller got the answer carrying its own request id.
+        assert run(scenario()) == ["answer-a", "answer-b"]
+
+
+class TestDeadlines:
+    def test_deadline_covers_the_whole_roundtrip(self):
+        """Regression: the per-request timeout used to start only at the
+        read, so a peer that accepted but never answered could stall a
+        call for connect+write on top of the deadline.  Now one deadline
+        covers connect, write and read together."""
+
+        async def scenario():
+            stall = asyncio.Event()
+
+            async def handle(reader, writer):
+                await stall.wait()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncAdmissionClient(
+                host, port, timeout=0.2, retries=0
+            )
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.ping()
+                elapsed = loop.time() - t0
+            finally:
+                stall.set()
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return elapsed
+
+        # Bounded by the 0.2s deadline, with generous slack for CI.
+        assert run(scenario()) < 2.0
+
+    def test_late_answer_after_timeout_does_not_desync(self):
+        """A response landing after its request timed out must be
+        discarded, not mistaken for the next request's answer."""
+
+        async def scenario():
+            async def handle(reader, writer):
+                first = await read_frame(reader)
+                await asyncio.sleep(0.3)  # well past the client deadline
+                await write_frame(writer, ok_response(first["id"], {"n": 1}))
+                second = await read_frame(reader)
+                await write_frame(writer, ok_response(second["id"], {"n": 2}))
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncAdmissionClient(
+                host, port, timeout=0.1, retries=0
+            )
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.ping()
+                # A timeout alone must not tear down the connection ...
+                still_connected = client.connected
+                # ... and once the stale answer drains, the stream is
+                # still in sync for the next call.
+                await asyncio.sleep(0.4)
+                result = await client.ping()
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return still_connected, result
+
+        still_connected, result = run(scenario())
+        assert still_connected
+        assert result == {"n": 2}
 
 
 class TestAgainstRealServer:
@@ -236,6 +350,47 @@ class TestAdmitClientJson:
         assert payload["admitted"] is False
         assert payload["reason"] == "quarantined"
         assert payload["target"] is None
+
+
+class TestSyncClose:
+    def test_close_is_idempotent_and_post_close_calls_raise(self):
+        client = SyncAdmissionClient("127.0.0.1", 1)
+        client.close()
+        client.close()  # second close is a no-op, not an error
+        for call in (client.ping, client.health, client.snapshot):
+            with pytest.raises(RuntimeStateError):
+                call()
+        with pytest.raises(RuntimeStateError):
+            client.admit("f1", t=1.0)
+
+    def test_nested_context_managers_and_belt_and_braces_close(self):
+        ready: queue.Queue = queue.Queue()
+        stop = threading.Event()
+
+        def serve():
+            async def main():
+                server = AdmissionServer(make_gateway())
+                host, port = await server.start()
+                ready.put((host, port))
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = ready.get(timeout=5.0)
+        try:
+            with SyncAdmissionClient(host, port, timeout=5.0) as client:
+                with client:  # nested use closes twice on the way out
+                    assert client.ping()["pong"]
+            client.close()  # belt-and-braces close after both exits
+            with pytest.raises(RuntimeStateError):
+                client.ping()
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
 
 
 class TestSyncClient:

@@ -42,6 +42,8 @@ class TestValidation:
             {"n_flows": 0},
             {"concurrency": 0},
             {"batch_window": 0.0},
+            {"pipeline": 0},
+            {"wire_version": 3},
         ):
             with pytest.raises(ParameterError):
                 run(call(**kwargs))
@@ -101,6 +103,27 @@ class TestAccounting:
         report, _servers = self_host(concurrency=4, n_flows=400)
         assert report.arrivals == 400
         assert report.errors == 0
+
+    def test_pipelined_run_replays_to_the_served_digest(self):
+        """Pipelining reorders wire-level completion, but the journal
+        of whatever order the server actually served still replays to
+        the served digest on a fresh twin."""
+        report, servers = self_host(
+            pipeline=16, keep_journal=True, n_flows=400
+        )
+        (server,) = servers
+        assert report.errors == 0
+        assert report.arrivals == 400
+        fresh = make_gateway()
+        assert replay_journal(fresh, server.journal) == server.digest()
+
+    def test_pipelined_v1_pin_still_serves(self):
+        report, servers = self_host(
+            pipeline=8, wire_version=1, keep_journal=True
+        )
+        (server,) = servers
+        assert report.errors == 0
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
 
     def test_connection_failures_are_reported_not_raised(self):
         # Regression: exhausted connection-level failures used to escape

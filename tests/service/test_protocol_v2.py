@@ -1,0 +1,253 @@
+"""Unit tests for the v2 binary codec.
+
+Everything here goes through the public entry points --
+``encode_request``/``encode_response`` (which pick binary vs JSON) and
+``decode_frame_body`` (which dispatches on the magic byte) -- so the
+round trips exercise exactly the bytes that cross the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    V2_MAGIC,
+    V2_OPS,
+    decode_frame_body,
+    encode_request,
+    encode_request_v2,
+    encode_response,
+    encode_response_v2,
+    error_response,
+    make_request,
+    ok_response,
+)
+
+_LENGTH = struct.Struct("!I")
+
+
+def strip_prefix(frame: bytes) -> bytes:
+    (length,) = _LENGTH.unpack(frame[:4])
+    body = frame[4:]
+    assert len(body) == length
+    return body
+
+
+def roundtrip_request(payload: dict) -> tuple[bytes, dict]:
+    body = strip_prefix(encode_request(payload, PROTOCOL_VERSION_2))
+    return body, decode_frame_body(body)
+
+
+class TestRequestRoundTrip:
+    def test_admit_str_flow(self):
+        body, decoded = roundtrip_request(make_request("admit", 7, flow="f-1", t=1.5))
+        assert body[0] == V2_MAGIC
+        assert decoded == {"v": 2, "id": 7, "op": "admit", "t": 1.5, "flow": "f-1"}
+
+    def test_admit_int_flow_and_no_t(self):
+        _, decoded = roundtrip_request(make_request("admit", 1, flow=-42))
+        assert decoded == {"v": 2, "id": 1, "op": "admit", "flow": -42}
+
+    def test_admit_many_mixed_flows(self):
+        flows = ["a", 5, "b" * 100, -(2**62)]
+        _, decoded = roundtrip_request(
+            make_request("admit_many", 2**63, flows=flows, t=0.25)
+        )
+        assert decoded["op"] == "admit_many"
+        assert decoded["flows"] == flows
+        assert decoded["id"] == 2**63
+
+    def test_depart_and_depart_many(self):
+        _, one = roundtrip_request(make_request("depart", 3, flow="f", t=9.0))
+        _, many = roundtrip_request(make_request("depart_many", 4, flows=["f"]))
+        assert one["op"] == "depart" and one["flow"] == "f"
+        assert many["op"] == "depart_many" and many["flows"] == ["f"]
+
+    def test_telemetry_with_and_without_flow(self):
+        base = make_request(
+            "telemetry", 5, link="link0", t=2.0, bytes=2**63, packets=12
+        )
+        _, decoded = roundtrip_request(base)
+        assert decoded == {
+            "v": 2, "id": 5, "op": "telemetry", "t": 2.0,
+            "link": "link0", "bytes": 2**63, "packets": 12,
+        }
+        _, with_flow = roundtrip_request({**base, "flow": "stream-1"})
+        assert with_flow["flow"] == "stream-1"
+
+    def test_unicode_flow_ids_survive(self):
+        _, decoded = roundtrip_request(
+            make_request("admit", 6, flow="флоу-θ☃", t=1.0)
+        )
+        assert decoded["flow"] == "флоу-θ☃"
+
+
+class TestRequestJsonFallback:
+    def fallback(self, payload):
+        body = strip_prefix(encode_request(payload, PROTOCOL_VERSION_2))
+        assert body[:1] != bytes([V2_MAGIC])
+        return json.loads(body.decode("utf-8"))
+
+    def test_cold_ops_stay_json(self):
+        for op in ("ping", "snapshot", "health"):
+            assert op not in V2_OPS
+            decoded = self.fallback(make_request(op, 1))
+            assert decoded["op"] == op and decoded["v"] == PROTOCOL_VERSION
+
+    def test_out_of_domain_fields_fall_back(self):
+        for payload in (
+            make_request("admit", 1, flow="x" * 0xFFFF, t=1.0),  # huge str
+            make_request("admit", 1, flow=2**63, t=1.0),  # flow past i64
+            make_request("admit", 2**64, flow="f", t=1.0),  # id past u64
+            make_request("admit", -1, flow="f", t=1.0),  # negative id
+            make_request("telemetry", 1, link="l", t=1.0, bytes=2**64),
+            make_request("admit", 1, flow=1.5, t=1.0),  # float flow
+        ):
+            assert encode_request_v2(payload) is None
+            decoded = self.fallback(payload)
+            # The emitted "v" matches the JSON encoding actually used.
+            assert decoded["v"] == PROTOCOL_VERSION
+
+    def test_version_1_never_emits_binary(self):
+        body = strip_prefix(
+            encode_request(make_request("admit", 1, flow="f", t=1.0), 1)
+        )
+        assert body[:1] != bytes([V2_MAGIC])
+
+
+class TestResponseRoundTrip:
+    def roundtrip(self, payload: dict) -> dict:
+        body = strip_prefix(encode_response(payload, PROTOCOL_VERSION_2))
+        assert body[0] == V2_MAGIC
+        return decode_frame_body(body)
+
+    def decision(self, **overrides):
+        decision = {
+            "admitted": True, "link": "link1", "reason": None,
+            "target": 12.5, "n_flows": 3, "degraded": False,
+            "health": "healthy", "mu_hat": 1.25, "sigma_hat": 0.5,
+        }
+        decision.update(overrides)
+        return decision
+
+    def test_single_decision(self):
+        frame = ok_response(9, {"t": 1.0, "decision": self.decision()})
+        decoded = self.roundtrip(frame)
+        assert decoded["ok"] and decoded["id"] == 9
+        assert decoded["max_v"] == MAX_PROTOCOL_VERSION
+        assert decoded["result"]["decision"] == self.decision()
+
+    def test_none_fields_travel_as_nan_and_back(self):
+        decision = self.decision(
+            admitted=False, reason="quarantined", target=None,
+            mu_hat=None, sigma_hat=None, health="quarantined",
+        )
+        frame = ok_response(1, {"t": 2.0, "decision": decision})
+        assert self.roundtrip(frame)["result"]["decision"] == decision
+
+    def test_decision_list(self):
+        decisions = [self.decision(), self.decision(admitted=False, reason="full")]
+        frame = ok_response(2, {"t": 3.0, "decisions": decisions})
+        assert self.roundtrip(frame)["result"]["decisions"] == decisions
+
+    def test_depart_and_departed_and_telemetry(self):
+        assert self.roundtrip(ok_response(3, {"t": 1.0, "link": "l0"}))[
+            "result"] == {"t": 1.0, "link": "l0"}
+        assert self.roundtrip(ok_response(4, {"t": 1.0, "departed": 7}))[
+            "result"] == {"t": 1.0, "departed": 7}
+        assert self.roundtrip(
+            ok_response(5, {"t": 1.0, "link": "l0", "buffered": 2})
+        )["result"] == {"t": 1.0, "link": "l0", "buffered": 2}
+
+    def test_error_frame_keeps_code_and_retryable(self):
+        decoded = self.roundtrip(error_response(6, "overloaded", "queue full"))
+        assert not decoded["ok"]
+        assert decoded["error"]["code"] == "overloaded"
+        assert decoded["error"]["retryable"] is True
+        hard = self.roundtrip(error_response(None, "state-error", "dup"))
+        assert hard["id"] is None and hard["error"]["retryable"] is False
+
+    def test_shapes_without_binary_form_fall_back_to_json(self):
+        # A snapshot result has no v2 kind; a non-numeric t can't pack.
+        for frame in (
+            ok_response(1, {"service": {"decisions": 3}}),
+            ok_response(1, {"t": "one", "departed": 1}),
+        ):
+            assert encode_response_v2(frame) is None
+            body = strip_prefix(encode_response(frame, PROTOCOL_VERSION_2))
+            assert body[:1] != bytes([V2_MAGIC])
+            assert decode_frame_body(body)["ok"]
+
+    def test_version_1_request_always_answered_in_json(self):
+        frame = ok_response(1, {"t": 1.0, "departed": 1})
+        body = strip_prefix(encode_response(frame, 1))
+        assert body[:1] != bytes([V2_MAGIC])
+
+
+class TestMalformedFrames:
+    def good_body(self) -> bytes:
+        return strip_prefix(
+            encode_request(
+                make_request("admit_many", 1, flows=["ab", 3], t=1.0),
+                PROTOCOL_VERSION_2,
+            )
+        )
+
+    def test_unknown_version_byte_is_bad_version(self):
+        body = bytearray(self.good_body())
+        body[1] = 3  # claims binary v3
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame_body(bytes(body))
+        assert exc.value.code == "bad-version"
+
+    def test_unknown_kind_is_bad_frame(self):
+        body = bytearray(self.good_body())
+        body[2] = 0x7F
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame_body(bytes(body))
+        assert exc.value.code == "bad-frame"
+
+    def test_every_truncation_point_is_a_typed_error(self):
+        body = self.good_body()
+        for cut in range(len(body)):
+            if cut == 0:
+                continue  # empty body dispatches to the JSON decoder
+            with pytest.raises(ProtocolError) as exc:
+                decode_frame_body(body[:cut])
+            assert exc.value.code == "bad-frame"
+
+    def test_decision_response_truncations(self):
+        frame = ok_response(1, {"t": 1.0, "decision": {
+            "admitted": True, "link": "link0", "reason": None,
+            "target": 1.0, "n_flows": 1, "degraded": False,
+            "health": "healthy", "mu_hat": math.pi, "sigma_hat": 0.1,
+        }})
+        body = strip_prefix(encode_response(frame, PROTOCOL_VERSION_2))
+        for cut in range(1, len(body)):
+            with pytest.raises(ProtocolError):
+                decode_frame_body(body[:cut])
+
+    def test_bad_flow_tag_and_bad_utf8(self):
+        body = self.good_body()
+        # The first flow tag byte sits right after header+id+t+count.
+        tag_at = 4 + 8 + 8 + 4
+        assert body[tag_at] == 0x00
+        mutated = body[:tag_at] + b"\x07" + body[tag_at + 1:]
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame_body(mutated)
+        assert exc.value.code == "bad-frame"
+        # Corrupt the "ab" flow id payload into invalid utf-8.
+        str_at = tag_at + 1 + 2
+        assert body[str_at:str_at + 2] == b"ab"
+        mutated = body[:str_at] + b"\xff\xfe" + body[str_at + 2:]
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame_body(mutated)
+        assert exc.value.code == "bad-frame"

@@ -38,6 +38,7 @@ class TestServerConfig:
             {"max_queue_depth": 0},
             {"request_timeout": 0.0},
             {"max_frame_bytes": 0},
+            {"max_coalesce": 0},
         ):
             with pytest.raises(ParameterError):
                 ServerConfig(**kwargs)
@@ -211,6 +212,162 @@ class TestDispatch:
         response = run(scenario())
         assert response["error"]["code"] == "shutting-down"
         assert response["error"]["retryable"]
+
+
+class TestCoalescing:
+    """Deterministic batching: ``_submit_start`` is synchronous, so every
+    request enqueued before the test yields lands in the dispatcher's
+    next drain as one batch."""
+
+    def enqueue(self, server, *requests):
+        return [server._submit_start(r) for r in requests]
+
+    def coalesced(self, server) -> float:
+        return server.registry.snapshot()["counters"].get(
+            "service.shard0.coalesced", 0.0
+        )
+
+    def test_run_of_single_admits_becomes_one_admit_many(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                futures = self.enqueue(server, *(
+                    request("admit", i, flow=f"f{i}", t=1.0 + i * 0.1)
+                    for i in range(6)
+                ))
+                responses = await asyncio.gather(*futures)
+            finally:
+                await server.stop()
+            return server, responses
+
+        server, responses = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert [r["result"]["decision"]["admitted"] for r in responses]
+        # One batched gateway call, journalled as the admit_many that
+        # actually executed, stamped with the run's folded clock ...
+        assert [op for op, _, _ in server.journal] == ["admit_many"]
+        assert server.journal[0][1] == [f"f{i}" for i in range(6)]
+        assert server.journal[0][2] == pytest.approx(1.5)
+        assert self.coalesced(server) == 6.0
+        # ... and the replay invariant holds on the batched journal.
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
+
+    def test_mixed_ops_split_at_run_boundaries(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                admits = self.enqueue(server, *(
+                    request("admit", i, flow=f"f{i}", t=1.0)
+                    for i in range(3)
+                ))
+                pings = self.enqueue(server, request("ping", 90))
+                departs = self.enqueue(server, *(
+                    request("depart", 10 + i, flow=f"f{i}", t=2.0)
+                    for i in range(3)
+                ))
+                responses = await asyncio.gather(*admits, *pings, *departs)
+            finally:
+                await server.stop()
+            return server, responses
+
+        server, responses = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert [op for op, _, _ in server.journal] == [
+            "admit_many", "depart_many"
+        ]
+        assert server.gateway.n_flows == 0
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
+
+    def test_duplicate_in_a_run_gets_exact_blame(self):
+        """A duplicate admit inside one batch must fail alone with the
+        same typed error sequential dispatch gives, while its innocent
+        batch-mates still succeed."""
+
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                futures = self.enqueue(
+                    server,
+                    request("admit", 0, flow="f1", t=1.0),
+                    request("admit", 1, flow="f1", t=1.1),  # duplicate
+                    request("admit", 2, flow="f2", t=1.2),
+                )
+                responses = await asyncio.gather(*futures)
+            finally:
+                await server.stop()
+            return server, responses
+
+        server, responses = run(scenario())
+        assert responses[0]["ok"] and responses[2]["ok"]
+        assert not responses[1]["ok"]
+        assert responses[1]["error"]["code"] == "state-error"
+        # The batch fell back to per-request dispatch: plain admits in
+        # the journal, which still replays to the digest.
+        assert [op for op, _, _ in server.journal] == ["admit", "admit"]
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
+
+    def test_unknown_flow_in_a_depart_run_gets_exact_blame(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                admits = self.enqueue(server, *(
+                    request("admit", i, flow=f"f{i}", t=1.0)
+                    for i in range(2)
+                ))
+                await asyncio.gather(*admits)
+                departs = self.enqueue(
+                    server,
+                    request("depart", 10, flow="f0", t=2.0),
+                    request("depart", 11, flow="ghost", t=2.0),
+                    request("depart", 12, flow="f1", t=2.0),
+                )
+                responses = await asyncio.gather(*departs)
+            finally:
+                await server.stop()
+            return server, responses
+
+        server, responses = run(scenario())
+        assert responses[0]["ok"] and responses[2]["ok"]
+        assert responses[1]["error"]["code"] == "unknown-flow"
+        assert server.gateway.n_flows == 0
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
+
+    def test_max_coalesce_1_disables_batching(self):
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(),
+                config=ServerConfig(max_coalesce=1),
+                collect_digest=True,
+                keep_journal=True,
+            )
+            await server.start_dispatcher()
+            try:
+                futures = self.enqueue(server, *(
+                    request("admit", i, flow=f"f{i}", t=1.0)
+                    for i in range(4)
+                ))
+                responses = await asyncio.gather(*futures)
+            finally:
+                await server.stop()
+            return server, responses
+
+        server, responses = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert [op for op, _, _ in server.journal] == ["admit"] * 4
+        assert self.coalesced(server) == 0.0
+        assert replay_journal(make_gateway(), server.journal) == server.digest()
 
 
 class TestDigestAndJournal:

@@ -1,0 +1,319 @@
+"""v1/v2 interop: negotiation, fallback, garbage peers, pipelining.
+
+The matrix the tentpole promises: a v2 server serves pinned v1 clients,
+a v2 client downgrades transparently against a legacy v1 server, a peer
+that speaks garbage gets a typed answer (never a hang) in both
+directions, and a mixed fleet of v1/v2 clients racing pipelined requests
+still yields a served digest that a sequential replay of the journal
+reproduces byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import MemorylessEstimator
+from repro.errors import ProtocolError, RemoteError
+from repro.runtime.gateway import AdmissionGateway
+from repro.runtime.link import ManagedLink
+from repro.runtime.metrics import MetricsRegistry
+from repro.service.client import AsyncAdmissionClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    V2_MAGIC,
+    encode_frame,
+    read_frame,
+)
+from repro.service.server import AdmissionServer, ServerConfig, replay_journal
+from repro.telemetry import IngestFeed
+
+from .conftest import make_gateway, run
+
+_LENGTH = struct.Struct("!I")
+
+
+async def raw_server(reply_for):
+    """A byte-level peer: ``reply_for(body_bytes) -> raw reply or None``.
+
+    Records every request body it reads so tests can assert which
+    encoding the client actually put on the wire.
+    """
+    bodies: list[bytes] = []
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                (length,) = _LENGTH.unpack(header)
+                body = await reader.readexactly(length)
+                bodies.append(body)
+                reply = reply_for(body)
+                if reply is None:
+                    break
+                writer.write(reply)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port, bodies
+
+
+def json_reply(payload: dict) -> bytes:
+    return encode_frame(payload)
+
+
+def frame_of(body: bytes) -> dict:
+    """Decode a request body the way a server would (v1 or v2)."""
+    from repro.service.protocol import decode_frame_body
+
+    return decode_frame_body(body)
+
+
+class TestNegotiationMatrix:
+    def test_v2_server_serves_pinned_v1_client(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway(), collect_digest=True)
+            async with server.serving() as (host, port):
+                async with AsyncAdmissionClient(
+                    host, port, wire_version=1
+                ) as client:
+                    decision = await client.admit("f1", t=1.0)
+                    assert decision.admitted
+                    assert await client.depart("f1", t=2.0)
+                    # The server advertised max_v=2, but the pin wins.
+                    assert client.negotiated_version == PROTOCOL_VERSION
+
+        run(scenario())
+
+    def test_v2_client_downgrades_against_legacy_v1_server(self):
+        """A pre-v2 server never advertises max_v; the client must keep
+        speaking JSON v1 for the whole connection and still work."""
+
+        def legacy_reply(body: bytes) -> bytes:
+            frame = frame_of(body)
+            # What a legacy build would say: ok, no max_v field at all.
+            return json_reply({
+                "v": 1, "id": frame["id"], "ok": True,
+                "result": {"t": frame.get("t", 0.0), "departed": 1},
+            })
+
+        async def scenario():
+            server, host, port, bodies = await raw_server(legacy_reply)
+            client = AsyncAdmissionClient(host, port, retries=0)
+            try:
+                for t in (1.0, 2.0, 3.0):
+                    assert await client.depart_many(["f"], t=t) == 1
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return client, bodies
+
+        client, bodies = run(scenario())
+        assert client.negotiated_version == PROTOCOL_VERSION
+        assert len(bodies) == 3
+        assert all(body[:1] != bytes([V2_MAGIC]) for body in bodies)
+
+    def test_v2_client_upgrades_after_first_response(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving() as (host, port):
+                async with AsyncAdmissionClient(host, port) as client:
+                    assert client.negotiated_version == PROTOCOL_VERSION
+                    await client.admit("f1", t=1.0)
+                    assert client.negotiated_version == PROTOCOL_VERSION_2
+                    await client.depart("f1", t=2.0)
+
+        run(scenario())
+
+
+class TestGarbagePeers:
+    def timed(self, coro, limit=5.0):
+        """Run with a hard cap: a hang here fails fast, not forever."""
+
+        async def capped():
+            return await asyncio.wait_for(coro(), timeout=limit)
+
+        return run(capped())
+
+    def test_garbage_first_frame_from_server_is_a_typed_error(self):
+        for garbage_body in (
+            bytes([V2_MAGIC, 99, 0x81, 0x02]) + b"\x00" * 16,  # binary "v99"
+            b"\x00\x01\x02\x03 definitely not json",
+        ):
+            garbage = _LENGTH.pack(len(garbage_body)) + garbage_body
+
+            async def scenario():
+                server, host, port, _ = await raw_server(lambda body: garbage)
+                client = AsyncAdmissionClient(host, port, retries=0)
+                try:
+                    with pytest.raises(RemoteError) as exc:
+                        await client.ping()
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+                return exc.value.code
+
+            assert self.timed(scenario) in ("bad-version", "bad-frame")
+
+    def test_garbage_first_frame_from_client_is_answered_and_closed(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving() as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                body = bytes([V2_MAGIC, 3, 1, 0]) + b"\x00" * 8  # binary "v3"
+                writer.write(_LENGTH.pack(len(body)) + body)
+                await writer.drain()
+                answer = await read_frame(reader)
+                # ... and the connection is closed behind the answer.
+                assert await reader.read(1) == b""
+                writer.close()
+            return answer
+
+        answer = run(asyncio.wait_for(scenario(), timeout=5.0))
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "bad-version"
+
+    def test_non_json_garbage_from_client_is_bad_frame(self):
+        async def scenario():
+            server = AdmissionServer(make_gateway())
+            async with server.serving() as (host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                body = b"\x01\x02 not a frame"
+                writer.write(_LENGTH.pack(len(body)) + body)
+                await writer.drain()
+                answer = await read_frame(reader)
+                writer.close()
+            return answer
+
+        answer = run(asyncio.wait_for(scenario(), timeout=5.0))
+        assert answer["ok"] is False
+        assert answer["error"]["code"] == "bad-frame"
+
+
+def make_ingest_gateway(n_links: int = 2) -> AdmissionGateway:
+    """Deterministic gateway whose links accept pushed telemetry."""
+    registry = MetricsRegistry()
+    links = []
+    for i in range(n_links):
+        links.append(
+            ManagedLink(
+                f"link{i}",
+                capacity=20.0,
+                holding_time=100.0,
+                mean_rate=1.0,
+                feed=IngestFeed(1.0, width=32),
+                estimator=MemorylessEstimator(),
+                controller=CertaintyEquivalentController(20.0, 0.05),
+                conservative_controller=CertaintyEquivalentController(
+                    20.0, alpha=3.0
+                ),
+                stale_horizon=5.0,
+                registry=registry,
+            )
+        )
+    return AdmissionGateway(links, placement="least-loaded", registry=registry)
+
+
+class TestMixedFleetDigest:
+    def test_mixed_v1_v2_clients_with_interleaved_telemetry(self):
+        """Two v2 clients and one pinned-v1 client race admits, departs
+        and telemetry pushes; the journal still replays to the digest."""
+
+        async def client_session(host, port, index, wire_version):
+            async with AsyncAdmissionClient(
+                host, port, wire_version=wire_version,
+                timeout=30.0, retries=0, max_inflight=32,
+            ) as client:
+                admitted = []
+                for i in range(10):
+                    flow = f"c{index}-{i}"
+                    t = 1.0 + index * 0.01 + i * 0.001
+                    if i % 3 == 0:
+                        await client.telemetry(
+                            f"link{index % 2}", t, 100 + i, flow=f"s{index}"
+                        )
+                    decision = await client.admit(flow, t=t)
+                    if decision.admitted:
+                        admitted.append((flow, t))
+                for flow, t in admitted:
+                    await client.depart(flow, t=t + 0.5)
+
+        async def scenario():
+            server = AdmissionServer(
+                make_ingest_gateway(),
+                config=ServerConfig(request_timeout=30.0),
+                collect_digest=True,
+                keep_journal=True,
+            )
+            async with server.serving() as (host, port):
+                await asyncio.gather(
+                    *(
+                        client_session(host, port, k, 1 if k == 0 else 2)
+                        for k in range(3)
+                    )
+                )
+            return server
+
+        server = run(scenario())
+        ops = {op for op, _, _ in server.journal}
+        assert "telemetry" in ops
+        fresh = make_ingest_gateway()
+        assert replay_journal(fresh, server.journal) == server.digest()
+
+
+class TestPipelinedStress:
+    def test_200_in_flight_replays_to_the_served_digest(self):
+        """One connection, 200 concurrent requests; the coalescing
+        dispatcher may batch them arbitrarily, yet the sequential replay
+        of the journal reproduces the served digest byte for byte."""
+
+        N = 200
+
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(),
+                config=ServerConfig(
+                    request_timeout=30.0, max_queue_depth=4 * N
+                ),
+                collect_digest=True,
+                keep_journal=True,
+            )
+            async with server.serving() as (host, port):
+                async with AsyncAdmissionClient(
+                    host, port, timeout=30.0, retries=0, max_inflight=N
+                ) as client:
+                    decisions = await asyncio.gather(
+                        *(
+                            client.admit(f"f{i}", t=1.0 + i * 1e-4)
+                            for i in range(N)
+                        )
+                    )
+                    admitted = [
+                        f"f{i}" for i, d in enumerate(decisions) if d.admitted
+                    ]
+                    departed = await asyncio.gather(
+                        *(
+                            client.depart(flow, t=2.0 + i * 1e-4)
+                            for i, flow in enumerate(admitted)
+                        )
+                    )
+                    assert client.negotiated_version == PROTOCOL_VERSION_2
+            return server, decisions, departed
+
+        server, decisions, departed = run(scenario())
+        assert len(decisions) == N
+        assert all(link for link in departed)
+        assert server.gateway.n_flows == 0
+        fresh = make_gateway()
+        assert replay_journal(fresh, server.journal) == server.digest()
