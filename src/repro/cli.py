@@ -459,6 +459,80 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="multi-process replicated cluster under load, with "
+        "failover and ring-resize chaos hooks",
+    )
+    _add_gateway_args(cluster)
+    cluster.add_argument(
+        "--shards", type=int, default=3, help="leader shard processes"
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        choices=(0, 1),
+        help="journal-shipped standby followers per shard",
+    )
+    cluster.add_argument(
+        "--gateway",
+        choices=("rcbr", "trace"),
+        default="rcbr",
+        help="per-shard gateway recipe ('trace' is the deterministic "
+        "test gateway)",
+    )
+    cluster.add_argument(
+        "--flows", type=int, default=2_000, help="total flow arrivals"
+    )
+    cluster.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrivals per unit simulated time "
+        "(default: --arrival-rate or ~1.3x aggregate capacity)",
+    )
+    cluster.add_argument(
+        "--journal-max-entries",
+        type=int,
+        default=4096,
+        help="per-leader journal bound (checkpoint truncation)",
+    )
+    cluster.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="SHARD:T",
+        help="SIGKILL SHARD's leader at simulated time T (repeatable)",
+    )
+    cluster.add_argument(
+        "--restart",
+        action="append",
+        default=[],
+        metavar="SHARD:T",
+        help="rolling-restart SHARD at simulated time T (repeatable)",
+    )
+    cluster.add_argument(
+        "--add",
+        dest="add_shards",
+        action="append",
+        default=[],
+        metavar="NAME:T",
+        help="grow the ring with shard NAME at simulated time T",
+    )
+    cluster.add_argument(
+        "--remove",
+        dest="remove_shards",
+        action="append",
+        default=[],
+        metavar="NAME:T",
+        help="shrink the ring by shard NAME at simulated time T",
+    )
+    cluster.add_argument("--timeout", type=float, default=10.0)
+    cluster.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     return parser
 
 
@@ -1306,6 +1380,160 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_shard_times(specs: list[str], flag: str) -> list[tuple[str, float]]:
+    """Parse repeated ``NAME:T`` hook specs; raises ParameterError."""
+    from repro.errors import ParameterError
+
+    parsed = []
+    for spec in specs:
+        name, sep, raw = spec.rpartition(":")
+        try:
+            if not sep or not name:
+                raise ValueError
+            t = float(raw)
+        except ValueError:
+            raise ParameterError(
+                f"bad {flag} spec {spec!r}; expected NAME:T "
+                "(e.g. s0:12.5)"
+            ) from None
+        if t < 0.0:
+            raise ParameterError(f"{flag} time must be >= 0, got {spec!r}")
+        parsed.append((name, t))
+    return parsed
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+    import json
+
+    from repro.service import (
+        GatewaySpec,
+        ProcessCluster,
+        run_cluster_loadgen,
+    )
+
+    kills = _parse_shard_times(args.kill, "--kill")
+    restarts = _parse_shard_times(args.restart, "--restart")
+    adds = _parse_shard_times(args.add_shards, "--add")
+    removes = _parse_shard_times(args.remove_shards, "--remove")
+    if kills and not args.replicas:
+        return _usage_error("--kill needs --replicas 1 (a killed shard "
+                            "without a follower cannot fail over)")
+
+    rate = args.rate
+    if rate is None:
+        rate = (
+            args.arrival_rate
+            if args.arrival_rate is not None
+            else 1.3 * args.links * args.n / args.holding_time
+        )
+    spec = GatewaySpec(
+        kind=args.gateway,
+        links=args.links,
+        capacity=args.n,
+        placement=args.policy,
+        n=args.n,
+        holding_time=args.holding_time,
+        correlation_time=args.correlation_time,
+        snr=args.snr,
+        p_q=args.p_q,
+        stale_fraction=args.stale_fraction,
+        seed=args.seed,
+    )
+
+    async def run():
+        async with ProcessCluster(
+            spec,
+            shards=args.shards,
+            replicas=args.replicas,
+            journal_max_entries=args.journal_max_entries,
+            timeout=args.timeout,
+        ) as cluster:
+            hooks = []
+            for name, t in kills:
+                hooks.append((t, lambda name=name: cluster.kill_shard(name)))
+            for name, t in restarts:
+                hooks.append((t, lambda name=name: cluster.restart_shard(name)))
+            for name, t in adds:
+                hooks.append((t, lambda name=name: cluster.add_shard(name)))
+            for name, t in removes:
+                hooks.append((t, lambda name=name: cluster.remove_shard(name)))
+            report = await run_cluster_loadgen(
+                cluster,
+                rate=rate,
+                holding_time=args.holding_time,
+                n_flows=args.flows,
+                seed=args.seed,
+                hooks=hooks,
+            )
+            # A killed shard that took no traffic afterwards may still be
+            # unpromoted; reconcile over the full membership needs every
+            # shard answering.
+            await cluster.heal()
+            reconcile = await cluster.reconcile()
+            return report, reconcile, list(cluster.events)
+
+    report, reconcile, events = asyncio.run(run())
+
+    failures: list[str] = []
+    if not reconcile["ok"]:
+        failures.append(
+            f"reconciliation failed: {len(reconcile['lost'])} lost, "
+            f"{len(reconcile['double_admitted'])} double-admitted, "
+            f"{reconcile['shard_flows']} on shards vs "
+            f"{reconcile['flows']} tracked"
+        )
+    promotions = [e for e in events if e.get("event") == "promoted"]
+    unverified = [e for e in promotions if not e.get("verified")]
+    if len(promotions) < len(kills):
+        failures.append(
+            f"{len(kills)} shard(s) killed but only {len(promotions)} "
+            "follower(s) promoted"
+        )
+    if unverified:
+        failures.append(
+            f"{len(unverified)} promotion(s) without a verified "
+            "replay digest"
+        )
+    if report.errors:
+        failures.append(f"{report.errors} request(s) failed outright")
+
+    if args.json:
+        print(json.dumps({
+            "report": dataclasses.asdict(report),
+            "reconcile": reconcile,
+            "events": events,
+            "failures": failures,
+        }, indent=2, default=repr))
+    else:
+        print(f"cluster              : {args.shards} shard(s) x "
+              f"{1 + args.replicas} process(es), "
+              f"{args.gateway} gateway, {args.links} link(s) each")
+        print(f"workload             : {report.arrivals} arrivals -> "
+              f"{report.admitted} admitted, {report.rejected} rejected, "
+              f"{report.departures} departed "
+              f"({report.shed} shed, {report.errors} errors, "
+              f"{report.retried} retried)")
+        print(f"throughput           : {report.decisions_per_sec:,.0f} "
+              f"decisions/s (wall {report.wall_seconds:.2f}s)")
+        for event in events:
+            print(f"event                : {event}")
+        print(f"reconcile            : "
+              f"{'OK' if reconcile['ok'] else 'FAILED'} -- "
+              f"{reconcile['flows']} tracked, "
+              f"{reconcile['shard_flows']} on shards, "
+              f"{len(reconcile['lost'])} lost, "
+              f"{len(reconcile['double_admitted'])} double-admitted, "
+              f"{reconcile['failovers']} failover(s), "
+              f"{reconcile['migrated']} migrated")
+        for name, shard in sorted(reconcile["shards"].items()):
+            print(f"digest[{name}]: {shard['digest']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "list": lambda args: _cmd_list(),
     "run": _cmd_run,
@@ -1318,6 +1546,7 @@ _COMMANDS = {
     "telemetry-push": _cmd_telemetry_push,
     "admit-client": _cmd_admit_client,
     "loadgen": _cmd_loadgen,
+    "serve-cluster": _cmd_serve_cluster,
 }
 
 

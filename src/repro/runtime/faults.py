@@ -82,6 +82,8 @@ FAULT_KINDS = (
     "latency",
     "counter_resets",
     "counter_offset",
+    "shard_crash",
+    "shard_restart",
 )
 
 
@@ -195,6 +197,11 @@ class FeedFaults:
     latency: float = 0.0
     counter_resets: tuple[Window, ...] = ()
     counter_offset: int = 0
+    # Process-level faults: consumed by the cluster supervisor (the
+    # window start is when the shard's leader is crashed / restarted),
+    # never by a feed wrapper.
+    shard_crash: tuple[Window, ...] = ()
+    shard_restart: tuple[Window, ...] = ()
 
     def __post_init__(self) -> None:
         # Accept the same shapes as from_dict so direct construction
@@ -204,6 +211,10 @@ class FeedFaults:
         object.__setattr__(self, "stuck", _parse_windows(self.stuck))
         object.__setattr__(
             self, "counter_resets", _parse_windows(self.counter_resets)
+        )
+        object.__setattr__(self, "shard_crash", _parse_windows(self.shard_crash))
+        object.__setattr__(
+            self, "shard_restart", _parse_windows(self.shard_restart)
         )
         if (
             isinstance(self.counter_offset, bool)
@@ -254,6 +265,8 @@ class FeedFaults:
             latency=float(obj.get("latency", 0.0)),
             counter_resets=_parse_windows(obj.get("counter_resets")),
             counter_offset=obj.get("counter_offset", 0),
+            shard_crash=_parse_windows(obj.get("shard_crash")),
+            shard_restart=_parse_windows(obj.get("shard_restart")),
         )
 
 
@@ -319,6 +332,18 @@ class FaultyFeed(MeasurementFeed):
         # only make sense on a counter-backed feed.  Reject the mismatch
         # at plan application (a typo'd target would otherwise silently
         # no-op for the whole run).
+        if faults.shard_crash or faults.shard_restart:
+            kinds = [
+                kind for kind in ("shard_crash", "shard_restart")
+                if getattr(faults, kind)
+            ]
+            raise ParameterError(
+                f"{' and '.join(kinds)} are process-level faults: they "
+                f"kill or restart a shard's OS process, not its feed"
+                f"{f' (target {name})' if name else ''}; run them through "
+                "a cluster supervisor (ProcessCluster / "
+                "process_fault_schedule), not a FaultyFeed"
+            )
         if faults.counter_resets and not callable(
             getattr(inner, "reset_counters", None)
         ):

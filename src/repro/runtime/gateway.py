@@ -255,6 +255,10 @@ class AdmissionGateway:
         """The link currently carrying ``flow_id`` (``None`` if not placed)."""
         return self._flows.get(flow_id)
 
+    def active_flows(self) -> list[Hashable]:
+        """Ids of all currently placed flows (insertion order)."""
+        return list(self._flows)
+
     def _placement_candidates(self) -> list[ManagedLink]:
         """Links eligible for new placements (all, if all are quarantined)."""
         eligible = [link for link in self.links if not link.quarantined]
@@ -408,6 +412,31 @@ class AdmissionGateway:
             for flow_id, decision in zip(ids, decisions):
                 self.tracer.record_decision(flow_id, decision, now, latency=elapsed)
         return decisions
+
+    def install(self, flow_id: Hashable, now: float) -> ManagedLink:
+        """Place an already-admitted flow unconditionally; returns its link.
+
+        Migration / journal-repair path: the admission decision for this
+        flow was made elsewhere (on the shard it is migrating away from),
+        so no decision is produced, no admit/reject counter moves and no
+        digest record is emitted -- the flow simply starts occupying a
+        link here so capacity accounting and the departure path bill it.
+        Placement follows the gateway's normal policy over non-quarantined
+        links.
+
+        Raises
+        ------
+        RuntimeStateError
+            If ``flow_id`` is already active on some link.
+        """
+        if flow_id in self._flows:
+            raise RuntimeStateError(f"flow {flow_id!r} is already active")
+        candidates = self._placement_candidates()
+        link = self.placement.choose(candidates, flow_id)
+        link.install(now)
+        self._flows[flow_id] = link
+        self._m_flows.set(len(self._flows))
+        return link
 
     def depart(self, flow_id: Hashable, now: float) -> ManagedLink:
         """Record the departure of an active flow; returns its link.

@@ -225,6 +225,9 @@ class ManagedLink:
         self._m_admits = metric.counter(f"{prefix}.admits", "flows admitted")
         self._m_rejects = metric.counter(f"{prefix}.rejects", "flows rejected")
         self._m_departs = metric.counter(f"{prefix}.departures", "flows departed")
+        self._m_installs = metric.counter(
+            f"{prefix}.installs", "flows placed without a decision (migration)"
+        )
         self._m_measurements = metric.counter(
             f"{prefix}.measurements", "fresh cross-sections ingested"
         )
@@ -814,6 +817,20 @@ class ManagedLink:
             name, now, k, admitted_total, k - admitted_total, n, health.value,
         )
         return decisions
+
+    def install(self, now: float) -> None:
+        """Place one flow unconditionally (live migration / journal repair).
+
+        The admission decision for this flow already happened elsewhere
+        (on the shard it is migrating away from), so no admit/reject is
+        counted, no target is evaluated and no decision is produced --
+        occupancy simply grows so capacity accounting and the departure
+        path bill this link.  Installs are tracked in their own counter.
+        """
+        self.tick(now)
+        self._n += 1
+        self._m_installs.inc()
+        self._m_n.set(self._n)
 
     def depart(self, now: float) -> None:
         """Record one flow departure at time ``now``.

@@ -3,8 +3,10 @@
 Serves :class:`~repro.runtime.gateway.AdmissionGateway` decisions over a
 length-prefixed JSON TCP protocol, with a single-writer dispatch queue
 (decisions stay serialized and digest-compatible with sequential
-replay), retrying clients, consistent-hash sharding across servers, and
-an open-loop asyncio load generator.  See ``docs/service.md``.
+replay), retrying clients, consistent-hash sharding across servers,
+journal-shipped replication with failover promotion
+(:mod:`repro.service.replication`), and an open-loop asyncio load
+generator.  See ``docs/service.md``.
 """
 
 from repro.service.client import (
@@ -13,8 +15,19 @@ from repro.service.client import (
     parse_address,
 )
 from repro.service.cluster import HashRing, ShardedCluster
-from repro.service.loadgen import LoadGenReport, run_loadgen, self_host_run
-from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.loadgen import (
+    LoadGenReport,
+    run_cluster_loadgen,
+    run_loadgen,
+    self_host_run,
+)
+from repro.service.protocol import JOURNAL_OPS, PROTOCOL_VERSION
+from repro.service.replication import (
+    GatewaySpec,
+    ProcessCluster,
+    ShardProcess,
+    process_fault_schedule,
+)
 from repro.service.server import (
     AdmissionServer,
     ServerConfig,
@@ -23,6 +36,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "JOURNAL_OPS",
     "PROTOCOL_VERSION",
     "AdmissionServer",
     "ServerConfig",
@@ -33,7 +47,12 @@ __all__ = [
     "parse_address",
     "HashRing",
     "ShardedCluster",
+    "GatewaySpec",
+    "ProcessCluster",
+    "ShardProcess",
+    "process_fault_schedule",
     "LoadGenReport",
+    "run_cluster_loadgen",
     "run_loadgen",
     "self_host_run",
 ]

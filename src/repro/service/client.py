@@ -109,6 +109,14 @@ class AsyncAdmissionClient:
         Pipelining bound: how many requests may be awaiting responses on
         the connection at once.  ``1`` degenerates to strict
         request/response.
+    address_provider : callable, optional
+        Zero-argument callable returning the current ``(host, port)``,
+        consulted on every (re)connect.  Replication-aware routing: a
+        cluster supervisor hands each shard client a provider that
+        tracks the shard's *current* leader, so when a leader dies and
+        its follower is promoted, the client's normal
+        retry-and-reconnect path transparently lands on the promoted
+        follower instead of hammering the dead address.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class AsyncAdmissionClient:
         backoff_cap: float = 1.0,
         wire_version: int = MAX_PROTOCOL_VERSION,
         max_inflight: int = 64,
+        address_provider=None,
     ) -> None:
         if timeout <= 0.0:
             raise ParameterError("timeout must be positive")
@@ -144,6 +153,7 @@ class AsyncAdmissionClient:
         self.backoff_cap = float(backoff_cap)
         self.wire_version = int(wire_version)
         self.max_inflight = int(max_inflight)
+        self.address_provider = address_provider
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
@@ -170,6 +180,11 @@ class AsyncAdmissionClient:
         async with self._conn_lock:
             if self.connected:
                 return
+            if self.address_provider is not None:
+                # Promotion-aware: the supervisor may have moved this
+                # shard's leadership since we last connected.
+                self.host, self.port = self.address_provider()
+                self.port = int(self.port)
             self._version = PROTOCOL_VERSION
             self._abandoned.clear()
             reader, writer = await asyncio.wait_for(
@@ -392,6 +407,14 @@ class AsyncAdmissionClient:
 
     # -- operations --------------------------------------------------------
 
+    async def call(self, op: str, **fields) -> dict:
+        """Issue one raw operation (retries/backoff apply); returns result.
+
+        Escape hatch for ops without a dedicated helper; ``None`` fields
+        are dropped from the frame.
+        """
+        return await self._call(op, **fields)
+
     async def ping(self) -> dict:
         """Round-trip liveness/version probe."""
         return await self._call("ping")
@@ -439,9 +462,78 @@ class AsyncAdmissionClient:
             flow=flow,
         )
 
-    async def snapshot(self) -> dict:
-        """Full gateway + service snapshot."""
-        return await self._call("snapshot")
+    async def journal_sync(
+        self,
+        *,
+        shard: str,
+        seq: int,
+        start: int,
+        entries: Sequence,
+        digest: str | None = None,
+        t: float | None = None,
+    ) -> dict:
+        """Ship one journal segment to a standby follower.
+
+        ``start`` is the absolute offset of ``entries[0]`` in the
+        leader's journal; ``digest`` is the leader's decision digest as
+        of the end of the segment (the per-segment checkpoint the
+        follower verifies against its own running digest).  Returns the
+        follower's ``{"applied", "total", "digest", "digest_ok"}``.
+        """
+        return await self._call(
+            "journal-sync", shard=shard, seq=seq, start=start,
+            entries=[list(entry) for entry in entries], digest=digest, t=t,
+        )
+
+    async def migrate_out(self, flows: Sequence, t: float | None = None) -> int:
+        """Phase one of a two-phase handoff; returns the count departed."""
+        result = await self._call("migrate-out", flows=list(flows), t=t)
+        return result["departed"]
+
+    async def migrate_in(
+        self, pairs: Sequence, t: float | None = None
+    ) -> int:
+        """Phase two of a two-phase handoff.
+
+        ``pairs`` is ``[(flow, original_effective_t), ...]``; returns the
+        count installed.
+        """
+        result = await self._call(
+            "migrate-in", flows=[list(pair) for pair in pairs], t=t
+        )
+        return result["installed"]
+
+    async def promote(
+        self,
+        *,
+        flows: Sequence | None = None,
+        digest: str | None = None,
+        verify: bool = True,
+        t: float | None = None,
+    ) -> dict:
+        """Promote a standby follower to active leadership.
+
+        ``flows`` is the supervisor's authoritative
+        ``[(flow, t_admitted), ...]`` table (the follower reconciles to
+        it exactly); ``digest`` optionally pins the digest the follower
+        must have reconstructed.  Returns the promote result (``digest``,
+        ``verified``, repair counts).
+        """
+        return await self._call(
+            "promote",
+            flows=None if flows is None else [list(p) for p in flows],
+            digest=digest,
+            verify=verify,
+            t=t,
+        )
+
+    async def snapshot(self, *, flows: bool = False) -> dict:
+        """Full gateway + service snapshot.
+
+        ``flows=True`` additionally returns the shard's active flow ids
+        under ``snapshot["service"]["flows"]`` (reconciliation support).
+        """
+        return await self._call("snapshot", flows=True if flows else None)
 
     async def health(self) -> dict:
         """Shard health summary (cheap; no full metrics walk)."""

@@ -31,7 +31,12 @@ import hashlib
 import logging
 from typing import Hashable, Iterator, Sequence
 
-from repro.errors import ParameterError, RemoteError, UnknownFlowError
+from repro.errors import (
+    ParameterError,
+    RemoteError,
+    RuntimeStateError,
+    UnknownFlowError,
+)
 from repro.runtime.health import LinkHealth
 from repro.service.protocol import decision_from_wire, make_request
 from repro.service.server import AdmissionServer, shard_health
@@ -330,14 +335,28 @@ class ShardedCluster:
     # -- aggregation -------------------------------------------------------
 
     async def snapshot(self) -> dict:
-        """Per-shard snapshots plus cluster-level totals."""
+        """Per-shard snapshots plus cluster-level totals.
+
+        A shard that cannot answer (stopped, draining, crashed) is
+        reported as ``{"unreachable": "<reason>"}`` and excluded from
+        the totals instead of poisoning the whole scrape -- a monitoring
+        read must never fail because one shard did.
+        """
         shards = {}
         for name, server in self.shards.items():
-            shards[name] = self._unwrap(
-                await server.submit(self._request("snapshot"))
-            )
+            try:
+                shards[name] = self._unwrap(
+                    await server.submit(self._request("snapshot"))
+                )
+            except (RemoteError, RuntimeStateError,
+                    ConnectionError, OSError) as exc:
+                shards[name] = {"unreachable": f"{type(exc).__name__}: {exc}"}
         totals: dict[str, float] = {}
+        reachable = 0
         for snap in shards.values():
+            if "unreachable" in snap:
+                continue
+            reachable += 1
             for key, value in snap.get("counters", {}).items():
                 totals[key] = totals.get(key, 0.0) + value
         return {
@@ -345,6 +364,7 @@ class ShardedCluster:
             "totals": totals,
             "n_flows": self.n_flows,
             "rebalanced": self.rebalanced,
+            "unreachable": len(shards) - reachable,
         }
 
     def prometheus(self) -> str:
@@ -353,13 +373,23 @@ class ShardedCluster:
         Each shard keeps its own registry (endpoint-ready: serve each
         shard's text at its own ``/metrics``); this helper renders them
         all for single-process deployments, namespacing by shard name.
+        A shard whose registry cannot be rendered degrades to a comment
+        line rather than failing the whole exposition.
         """
         from repro.runtime.observability import render_prometheus
 
         blocks = []
         for name in sorted(self.shards):
             server = self.shards[name]
-            blocks.append(
-                render_prometheus(server.registry, namespace=f"repro_{name}")
-            )
+            try:
+                blocks.append(
+                    render_prometheus(
+                        server.registry, namespace=f"repro_{name}"
+                    )
+                )
+            except (RuntimeStateError, ValueError) as exc:
+                blocks.append(
+                    f"# shard {name} unreachable: "
+                    f"{type(exc).__name__}: {exc}\n"
+                )
         return "".join(blocks)

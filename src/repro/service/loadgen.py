@@ -47,7 +47,12 @@ from repro.service.protocol import MAX_PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.service.cluster import HashRing
 from repro.service.server import AdmissionServer
 
-__all__ = ["LoadGenReport", "run_loadgen", "self_host_run"]
+__all__ = [
+    "LoadGenReport",
+    "run_cluster_loadgen",
+    "run_loadgen",
+    "self_host_run",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -453,6 +458,134 @@ async def run_loadgen(
         latency=latency.summary(),
         digests=digests,
         **totals,
+    )
+
+
+async def run_cluster_loadgen(
+    cluster,
+    *,
+    rate: float,
+    holding_time: float,
+    n_flows: int,
+    seed: int = 0,
+    hooks=(),
+) -> LoadGenReport:
+    """Drive a supervised cluster with the loadgen workload, plus chaos hooks.
+
+    Same Poisson-arrival / exponential-holding workload as
+    :func:`run_loadgen`, but routed through a cluster supervisor's
+    ``admit`` / ``depart`` (e.g. a
+    :class:`~repro.service.replication.ProcessCluster`) -- so routing,
+    failover promotion and retry-on-promotion all sit *under* the
+    workload, which is the point: a shard killed mid-run must not fail
+    the run.
+
+    ``hooks`` is an iterable of ``(sim_t, fn)`` pairs; each ``fn`` fires
+    (awaited if it returns an awaitable) when simulated time reaches
+    ``sim_t``, interleaved deterministically with the workload events.
+    This is how a test SIGKILLs a shard or resizes the ring at an exact
+    point in the arrival sequence.
+
+    The driver is single-sequence and sequential, so the event order --
+    and therefore every shard's journal -- is a pure function of
+    ``seed`` and the hook schedule.
+    """
+    import inspect
+
+    if rate <= 0.0 or holding_time <= 0.0:
+        raise ParameterError("rate and holding_time must be positive")
+    if n_flows < 1:
+        raise ParameterError("n_flows must be at least 1")
+    from repro.errors import RuntimeStateError
+
+    _HOOK = 2
+    rng = np.random.default_rng(seed)
+    heap: list[tuple[float, int, int, object]] = []
+    seq = 0
+
+    def push(when: float, kind: int, payload: object) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (when, kind, seq, payload))
+        seq += 1
+
+    for when, raw in zip(
+        np.cumsum(rng.exponential(1.0 / rate, size=n_flows)),
+        range(n_flows),
+    ):
+        push(float(when), _ARRIVE, f"c{raw}")
+    for when, fn in hooks:
+        push(float(when), _HOOK, fn)
+
+    latency = Histogram(
+        "loadgen.request_latency",
+        "cluster-call round-trip seconds",
+        buckets=_LATENCY_BUCKETS,
+    )
+    arrivals = admitted = rejected = departures = shed = errors = requests = 0
+    simulated = 0.0
+    t0 = time.perf_counter()
+    while heap:
+        now, kind, _, payload = heapq.heappop(heap)
+        simulated = max(simulated, now)
+        if kind == _HOOK:
+            result = payload()
+            if inspect.isawaitable(result):
+                await result
+            continue
+        call_t0 = time.perf_counter()
+        try:
+            if kind == _ARRIVE:
+                arrivals += 1
+                decision = await cluster.admit(payload, now)
+                if decision.admitted:
+                    admitted += 1
+                    hold = float(rng.exponential(holding_time))
+                    push(now + hold, _DEPART, payload)
+                else:
+                    rejected += 1
+            else:
+                await cluster.depart(payload, now)
+                departures += 1
+        except RemoteError as exc:
+            if exc.code == "overloaded":
+                shed += 1
+            else:
+                errors += 1
+                logger.warning("cluster loadgen: %s failed: %s",
+                               "admit" if kind == _ARRIVE else "depart", exc)
+        except (RuntimeStateError, ConnectionError, OSError,
+                asyncio.TimeoutError) as exc:
+            errors += 1
+            logger.warning("cluster loadgen: %s dropped: %s",
+                           "admit" if kind == _ARRIVE else "depart", exc)
+        finally:
+            latency.observe(time.perf_counter() - call_t0)
+            requests += 1
+    wall = time.perf_counter() - t0
+
+    digests: dict[str, str | None] = {}
+    snap = await cluster.snapshot()
+    for name, shard in snap.get("shards", {}).items():
+        if "unreachable" in shard:
+            digests[name] = None
+        else:
+            digests[name] = shard.get("service", {}).get("decision_digest")
+
+    decisions = admitted + rejected
+    return LoadGenReport(
+        arrivals=arrivals,
+        admitted=admitted,
+        rejected=rejected,
+        departures=departures,
+        shed=shed,
+        errors=errors,
+        retried=getattr(cluster, "retried", 0),
+        requests=requests,
+        simulated_time=simulated,
+        wall_seconds=wall,
+        decisions_per_sec=decisions / wall if wall > 0.0 else float("inf"),
+        latency=latency.summary(),
+        digests=digests,
     )
 
 

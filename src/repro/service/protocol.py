@@ -17,7 +17,11 @@ Error response::
      "error": {"code": "overloaded", "message": "...", "retryable": true}}
 
 Operations (``op``): ``admit``, ``admit_many``, ``depart``,
-``depart_many``, ``telemetry``, ``snapshot``, ``health``, ``ping``.
+``depart_many``, ``telemetry``, ``snapshot``, ``health``, ``ping``,
+plus the replication plane: ``journal-sync`` (leader ships a journal
+segment to its follower), ``migrate-out`` / ``migrate-in`` (two-phase
+flow handoff between shards) and ``promote`` (flip a standby follower
+to active).
 Timestamps (``t``) are the caller's logical clock; the server clamps them
 monotone.  Flow ids must be JSON strings or integers (they travel
 verbatim into the gateway's flow table and the decision digest).
@@ -93,6 +97,7 @@ __all__ = [
     "V2_OPS",
     "MAX_FRAME_BYTES",
     "OPS",
+    "JOURNAL_OPS",
     "ERROR_CODES",
     "RETRYABLE_CODES",
     "encode_frame",
@@ -140,6 +145,22 @@ OPS = (
     "snapshot",
     "health",
     "ping",
+    "journal-sync",
+    "migrate-out",
+    "migrate-in",
+    "promote",
+)
+
+#: Journal entry op names a ``journal-sync`` segment may carry (the ops
+#: :func:`repro.service.server.replay_journal` understands).
+JOURNAL_OPS = (
+    "admit",
+    "admit_many",
+    "depart",
+    "depart_many",
+    "telemetry",
+    "migrate_out",
+    "migrate_in",
 )
 
 #: Machine-readable error codes carried by error frames.
@@ -253,16 +274,23 @@ V2_MAGIC = 0xB2
 _V2_MAGIC_BYTE = bytes([V2_MAGIC])
 
 #: Operations with a binary encoding; everything else stays JSON.
-V2_OPS = ("admit", "admit_many", "depart", "depart_many", "telemetry")
+V2_OPS = (
+    "admit", "admit_many", "depart", "depart_many", "telemetry",
+    "journal-sync",
+)
 
 # Frame kinds.  Requests are the op itself; responses are typed by the
 # result shape they carry (plus one error kind).
-_K_ADMIT, _K_ADMIT_MANY, _K_DEPART, _K_DEPART_MANY, _K_TELEMETRY = range(1, 6)
+(
+    _K_ADMIT, _K_ADMIT_MANY, _K_DEPART, _K_DEPART_MANY, _K_TELEMETRY,
+    _K_JOURNAL_SYNC,
+) = range(1, 7)
 _K_OK_DECISION = 0x81       # {"t", "decision"}
 _K_OK_DECISIONS = 0x82      # {"t", "decisions"}
 _K_OK_DEPART = 0x83         # {"t", "link"}
 _K_OK_DEPARTED = 0x84       # {"t", "departed"}
 _K_OK_TELEMETRY = 0x85      # {"t", "link", "buffered"}
+_K_OK_JOURNAL_SYNC = 0x86   # {"t", "applied", "total", "digest", "digest_ok"}
 _K_ERROR = 0xEE
 
 _REQUEST_KINDS = {
@@ -271,8 +299,13 @@ _REQUEST_KINDS = {
     "depart": _K_DEPART,
     "depart_many": _K_DEPART_MANY,
     "telemetry": _K_TELEMETRY,
+    "journal-sync": _K_JOURNAL_SYNC,
 }
 _KIND_OPS = {kind: op for op, kind in _REQUEST_KINDS.items()}
+
+# Journal entry op codes inside a binary journal-sync segment.
+_JOURNAL_CODES = {op: code for code, op in enumerate(JOURNAL_OPS, start=1)}
+_CODE_JOURNAL_OPS = {code: op for op, code in _JOURNAL_CODES.items()}
 
 # Flags (bit field).
 _F_HAS_T = 0x01    # requests: the optional logical clock is present
@@ -404,6 +437,91 @@ class _V2Reader:
         )
 
 
+def _pack_journal_entry(entry, out: bytearray) -> None:
+    """Binary-encode one ``(op, flows, t)`` journal entry."""
+    if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+        raise _NotEncodable
+    op, flows, t = entry
+    code = _JOURNAL_CODES.get(op)
+    if code is None or isinstance(t, bool) or not isinstance(t, (int, float)):
+        raise _NotEncodable
+    out += bytes((code,))
+    out += _V2_F64.pack(float(t))
+    if op in ("admit", "depart"):
+        _pack_flow(flows, out)
+    elif op in ("admit_many", "depart_many", "migrate_out"):
+        if not isinstance(flows, (list, tuple)):
+            raise _NotEncodable
+        out += _V2_U32.pack(len(flows))
+        for flow in flows:
+            _pack_flow(flow, out)
+    elif op == "telemetry":
+        # One counter sample: (link, t_sample, bytes, packets, flow|None).
+        if not isinstance(flows, (list, tuple)) or len(flows) != 5:
+            raise _NotEncodable
+        link, t_sample, nbytes, packets, flow = flows
+        if not isinstance(link, str) or isinstance(t_sample, bool) or (
+            not isinstance(t_sample, (int, float))
+        ):
+            raise _NotEncodable
+        _pack_str(link, out)
+        out += _V2_F64.pack(float(t_sample))
+        for counter in (nbytes, packets):
+            if (
+                isinstance(counter, bool)
+                or not isinstance(counter, int)
+                or not 0 <= counter <= _U64_MAX
+            ):
+                raise _NotEncodable
+            out += _V2_U64.pack(counter)
+        if flow is None:
+            out += b"\x00"
+        else:
+            out += b"\x01"
+            _pack_flow(flow, out)
+    else:  # migrate_in: [(flow, original effective_t), ...]
+        if not isinstance(flows, (list, tuple)):
+            raise _NotEncodable
+        out += _V2_U32.pack(len(flows))
+        for pair in flows:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise _NotEncodable
+            flow, t0 = pair
+            if isinstance(t0, bool) or not isinstance(t0, (int, float)):
+                raise _NotEncodable
+            _pack_flow(flow, out)
+            out += _V2_F64.pack(float(t0))
+
+
+def _take_journal_entry(reader: _V2Reader) -> list:
+    code = reader.take_bytes(1)[0]
+    op = _CODE_JOURNAL_OPS.get(code)
+    if op is None:
+        raise ProtocolError(
+            f"unknown v2 journal op code 0x{code:02x}", code="bad-frame"
+        )
+    t = reader.take(_V2_F64)
+    if op in ("admit", "depart"):
+        flows: Any = reader.take_flow()
+    elif op in ("admit_many", "depart_many", "migrate_out"):
+        count = reader.take(_V2_U32)
+        flows = [reader.take_flow() for _ in range(count)]
+    elif op == "telemetry":
+        link = reader.take_str()
+        t_sample = reader.take(_V2_F64)
+        nbytes = reader.take(_V2_U64)
+        packets = reader.take(_V2_U64)
+        has_flow = reader.take_bytes(1) == b"\x01"
+        flows = [link, t_sample, nbytes, packets,
+                 reader.take_flow() if has_flow else None]
+    else:  # migrate_in
+        count = reader.take(_V2_U32)
+        flows = [
+            [reader.take_flow(), reader.take(_V2_F64)] for _ in range(count)
+        ]
+    return [op, flows, t]
+
+
 def encode_request_v2(payload: dict) -> bytes | None:
     """Binary-encode a request payload; ``None`` when it needs JSON.
 
@@ -442,7 +560,7 @@ def encode_request_v2(payload: dict) -> bytes | None:
             out += _V2_U32.pack(len(flows))
             for flow in flows:
                 _pack_flow(flow, out)
-        else:  # telemetry
+        elif kind == _K_TELEMETRY:
             if t is None:
                 return None
             _pack_str(payload["link"], out)
@@ -457,6 +575,30 @@ def encode_request_v2(payload: dict) -> bytes | None:
                 out += _V2_U64.pack(value)
             if flags & _F_HAS_FLOW:
                 _pack_flow(payload["flow"], out)
+        else:  # journal-sync
+            shard = payload.get("shard")
+            if not isinstance(shard, str):
+                return None
+            _pack_str(shard, out)
+            for field in ("seq", "start"):
+                value = payload[field]
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or not 0 <= value <= _U64_MAX
+                ):
+                    return None
+                out += _V2_U64.pack(value)
+            digest = payload.get("digest")
+            if digest is not None and not isinstance(digest, str):
+                return None
+            _pack_str(digest, out)
+            entries = payload["entries"]
+            if not isinstance(entries, (list, tuple)):
+                return None
+            out += _V2_U32.pack(len(entries))
+            for entry in entries:
+                _pack_journal_entry(entry, out)
     except (_NotEncodable, KeyError, struct.error):
         return None
     return bytes(out)
@@ -529,6 +671,19 @@ def encode_response_v2(payload: dict) -> bytes | None:
                 body += _V2_U32.pack(len(decisions))
                 for decision in decisions:
                     _pack_decision(decision, body)
+            elif "applied" in result:
+                kind, body = _K_OK_JOURNAL_SYNC, bytearray()
+                body += _V2_U32.pack(int(result["applied"]))
+                body += _V2_U64.pack(int(result["total"]))
+                digest = result.get("digest")
+                if digest is not None and not isinstance(digest, str):
+                    return None
+                _pack_str(digest, body)
+                digest_ok = result.get("digest_ok")
+                body += (
+                    b"\x02" if digest_ok is None
+                    else (b"\x01" if digest_ok else b"\x00")
+                )
             elif "departed" in result:
                 kind, body = _K_OK_DEPARTED, bytearray()
                 body += _V2_U32.pack(int(result["departed"]))
@@ -587,12 +742,21 @@ def _decode_v2(body: bytes) -> dict:
         elif kind in (_K_ADMIT_MANY, _K_DEPART_MANY):
             count = reader.take(_V2_U32)
             payload["flows"] = [reader.take_flow() for _ in range(count)]
-        else:  # telemetry
+        elif kind == _K_TELEMETRY:
             payload["link"] = reader.take_str()
             payload["bytes"] = reader.take(_V2_U64)
             payload["packets"] = reader.take(_V2_U64)
             if flags & _F_HAS_FLOW:
                 payload["flow"] = reader.take_flow()
+        else:  # journal-sync
+            payload["shard"] = reader.take_str()
+            payload["seq"] = reader.take(_V2_U64)
+            payload["start"] = reader.take(_V2_U64)
+            payload["digest"] = reader.take_str()
+            count = reader.take(_V2_U32)
+            payload["entries"] = [
+                _take_journal_entry(reader) for _ in range(count)
+            ]
         return payload
     # Responses carry max_v implicitly: a binary frame proves v2.
     request_id = reader.take(_V2_ID) if flags & _F_HAS_ID else None
@@ -631,6 +795,15 @@ def _decode_v2(body: bytes) -> dict:
             "link": reader.take_str(),
             "buffered": reader.take(_V2_U32),
         }
+    elif kind == _K_OK_JOURNAL_SYNC:
+        result = {
+            "t": t,
+            "applied": reader.take(_V2_U32),
+            "total": reader.take(_V2_U64),
+            "digest": reader.take_str(),
+        }
+        flag = reader.take_bytes(1)
+        result["digest_ok"] = None if flag == b"\x02" else flag == b"\x01"
     else:
         raise ProtocolError(
             f"unknown v2 frame kind 0x{kind:02x}", code="bad-frame"
@@ -721,6 +894,32 @@ def _check_flow_id(flow: Any) -> Any:
     return flow
 
 
+def _check_flow_pairs(flows: Any, op: str, *, allow_empty: bool) -> None:
+    """Validate a ``[[flow, t], ...]`` list (migrate-in / promote tables)."""
+    if not isinstance(flows, list) or (not flows and not allow_empty):
+        raise ProtocolError(
+            f"{op} requires a non-empty 'flows' list of [flow, t] pairs",
+            code="bad-request",
+        )
+    for pair in flows:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ProtocolError(
+                f"{op} 'flows' entries must be [flow, t] pairs, got {pair!r}",
+                code="bad-request",
+            )
+        _check_flow_id(pair[0])
+        t0 = pair[1]
+        if (
+            isinstance(t0, bool)
+            or not isinstance(t0, (int, float))
+            or not math.isfinite(t0)
+        ):
+            raise ProtocolError(
+                f"{op} pair time must be a finite number, got {t0!r}",
+                code="bad-request",
+            )
+
+
 def validate_request(payload: dict) -> dict:
     """Validate a decoded request frame; returns it on success.
 
@@ -784,6 +983,82 @@ def validate_request(payload: dict) -> dict:
                 )
         if "flow" in payload and payload["flow"] is not None:
             _check_flow_id(payload["flow"])
+    elif op == "journal-sync":
+        shard = payload.get("shard")
+        if not isinstance(shard, str) or not shard:
+            raise ProtocolError(
+                "journal-sync requires a non-empty 'shard' name",
+                code="bad-request",
+            )
+        for field in ("seq", "start"):
+            value = payload.get(field)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                raise ProtocolError(
+                    f"journal-sync {field!r} must be a non-negative integer, "
+                    f"got {value!r}",
+                    code="bad-request",
+                )
+        digest = payload.get("digest")
+        if digest is not None and not isinstance(digest, str):
+            raise ProtocolError(
+                f"journal-sync 'digest' must be a hex string or null, "
+                f"got {digest!r}",
+                code="bad-request",
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ProtocolError(
+                "journal-sync requires an 'entries' list (may be empty)",
+                code="bad-request",
+            )
+        for entry in entries:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ProtocolError(
+                    f"journal-sync entries must be (op, flows, t) triples, "
+                    f"got {entry!r}",
+                    code="bad-request",
+                )
+            if entry[0] not in JOURNAL_OPS:
+                raise ProtocolError(
+                    f"unknown journal op {entry[0]!r}; expected one of "
+                    f"{', '.join(JOURNAL_OPS)}",
+                    code="bad-request",
+                )
+            entry_t = entry[2]
+            if (
+                isinstance(entry_t, bool)
+                or not isinstance(entry_t, (int, float))
+                or not math.isfinite(entry_t)
+            ):
+                raise ProtocolError(
+                    f"journal entry time must be a finite number, "
+                    f"got {entry_t!r}",
+                    code="bad-request",
+                )
+    elif op == "migrate-out":
+        flows = payload.get("flows")
+        if not isinstance(flows, list) or not flows:
+            raise ProtocolError(
+                f"{op} requires a non-empty 'flows' list", code="bad-request"
+            )
+        for flow in flows:
+            _check_flow_id(flow)
+    elif op == "migrate-in":
+        _check_flow_pairs(payload.get("flows"), op, allow_empty=False)
+    elif op == "promote":
+        if "flows" in payload and payload["flows"] is not None:
+            _check_flow_pairs(payload["flows"], op, allow_empty=True)
+        digest = payload.get("digest")
+        if digest is not None and not isinstance(digest, str):
+            raise ProtocolError(
+                f"promote 'digest' must be a hex string or null, "
+                f"got {digest!r}",
+                code="bad-request",
+            )
     return payload
 
 

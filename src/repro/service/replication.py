@@ -1,0 +1,949 @@
+"""Journal-shipped shard replication: a multi-process admission cluster.
+
+This is the step from "sharded in one event loop" to a real cluster:
+each shard is an :class:`~repro.service.server.AdmissionServer` running
+in its **own OS process** (``multiprocessing`` spawn -- every shard gets
+its own interpreter, its own core), paired with a standby follower in a
+second process.  The leader ships its ``(op, flows, effective_t)``
+journal to the follower incrementally over the ``journal-sync`` wire op
+(binary v2 framing); each segment that reaches the journal tip carries
+the leader's decision digest at that point, so the follower proves --
+byte for byte -- that it reconstructed the leader's exact decision
+history as it goes.
+
+Failure model
+-------------
+* **Shard loss** (crash, SIGKILL, health-driven quarantine of the whole
+  process): the supervisor promotes the follower.  Promotion replays the
+  follower's journal on a fresh twin gateway via the existing
+  :func:`~repro.service.server.replay_journal` and requires the replayed
+  digest to equal the running digest; the supervisor's authoritative
+  flow table rides in the promote request, so decisions the dead leader
+  applied but never shipped are repaired (journaled ``migrate_in`` /
+  ``migrate_out``), leaving zero lost and zero double-admitted flows.
+* **Ring resize** (add/remove shards under load): the ~1/N remapped
+  flows move with an explicit two-phase handoff -- ``migrate-out``
+  journals the departure on the source, ``migrate-in`` journals the
+  placement (with the original admission time) on the target -- so
+  cluster-wide reconciliation (:meth:`ProcessCluster.reconcile`)
+  proves every decision is accounted for exactly once.
+
+Determinism: a :class:`GatewaySpec` is a picklable recipe that builds
+*identical twin* gateways in any process, which is what makes the
+follower's replayed digest comparable to the leader's in the first
+place.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import (
+    ParameterError,
+    RemoteError,
+    RuntimeStateError,
+    UnknownFlowError,
+)
+from repro.service.client import AsyncAdmissionClient
+from repro.service.cluster import DEFAULT_VNODES, HashRing
+from repro.service.protocol import decision_from_wire
+from repro.service.server import AdmissionServer, ServerConfig
+
+__all__ = [
+    "GatewaySpec",
+    "ProcessCluster",
+    "ShardProcess",
+    "process_fault_schedule",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Transient failures the supervisor treats as "this shard may be dead".
+_SHARD_DOWN_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError)
+
+
+@dataclass(frozen=True)
+class GatewaySpec:
+    """Picklable recipe for building deterministic twin gateways.
+
+    Two ``build()`` calls (in any process) construct gateways that decide
+    identically for identical op sequences -- the property every digest
+    comparison in the replication plane rests on.
+
+    Kinds
+    -----
+    ``trace``
+        Memoryless estimators over a cycling one-section trace feed
+        (the service test-suite gateway): fully deterministic, fast,
+        ideal for failover tests and the CI smoke.
+    ``rcbr``
+        The CLI's paper-workload gateway: ``links`` RCBR-source links
+        built via ``ManagedLink.build`` with a seeded
+        :class:`~repro.runtime.feed.SourceFeed` per link, so twins see
+        identical sample streams.
+    """
+
+    kind: str = "trace"
+    links: int = 2
+    capacity: float = 20.0
+    placement: str = "least-loaded"
+    # rcbr-only knobs (mirroring the CLI's gateway builder)
+    n: float = 20.0
+    holding_time: float = 100.0
+    correlation_time: float = 10.0
+    snr: float = 0.3
+    p_q: float = 0.01
+    stale_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("trace", "rcbr"):
+            raise ParameterError(
+                f"unknown gateway spec kind {self.kind!r}; "
+                "choose 'trace' or 'rcbr'"
+            )
+        if self.links < 1:
+            raise ParameterError("a gateway spec needs at least one link")
+        if self.capacity <= 0.0:
+            raise ParameterError("capacity must be positive")
+
+    def with_seed(self, seed: int) -> "GatewaySpec":
+        """A copy with a different seed (per-shard feed decorrelation)."""
+        return dataclasses.replace(self, seed=int(seed))
+
+    def build(self):
+        """Build a fresh gateway from this recipe."""
+        if self.kind == "trace":
+            return self._build_trace()
+        return self._build_rcbr()
+
+    def _build_trace(self):
+        from repro.core.controllers import CertaintyEquivalentController
+        from repro.core.estimators import CrossSection, MemorylessEstimator
+        from repro.runtime.feed import TraceFeed
+        from repro.runtime.gateway import AdmissionGateway
+        from repro.runtime.link import ManagedLink
+        from repro.runtime.metrics import MetricsRegistry
+
+        n, mean, var = 6, 1.0, 0.09
+        m2 = mean * mean + var * (n - 1) / n
+        registry = MetricsRegistry()
+        links = []
+        for i in range(self.links):
+            section = CrossSection(
+                n=n, mean=mean, second_moment=m2, variance=var
+            )
+            links.append(ManagedLink(
+                f"link{i}",
+                capacity=self.capacity,
+                holding_time=100.0,
+                mean_rate=1.0,
+                feed=TraceFeed([section], period=1.0, cycle=True),
+                estimator=MemorylessEstimator(),
+                controller=CertaintyEquivalentController(self.capacity, 0.05),
+                conservative_controller=CertaintyEquivalentController(
+                    self.capacity, alpha=3.0
+                ),
+                stale_horizon=5.0,
+                registry=registry,
+            ))
+        return AdmissionGateway(
+            links, placement=self.placement, registry=registry
+        )
+
+    def _build_rcbr(self):
+        from repro.core.memory import critical_time_scale
+        from repro.runtime import (
+            AdmissionGateway,
+            ManagedLink,
+            MetricsRegistry,
+            SourceFeed,
+        )
+        from repro.traffic.rcbr import paper_rcbr_source
+
+        registry = MetricsRegistry()
+        memory = critical_time_scale(self.holding_time, self.n)
+        tick_period = max(memory / 4.0, 1e-3)
+        links = []
+        for i in range(self.links):
+            source = paper_rcbr_source(
+                mean=1.0, cv=self.snr, correlation_time=self.correlation_time
+            )
+            links.append(ManagedLink.build(
+                f"link{i}",
+                capacity=self.n * source.mean,
+                holding_time=self.holding_time,
+                mean_rate=source.mean,
+                feed=SourceFeed(
+                    source, period=tick_period, seed=self.seed * 1000 + i
+                ),
+                p_q=self.p_q,
+                snr=self.snr,
+                correlation_time=self.correlation_time,
+                stale_fraction=self.stale_fraction,
+                registry=registry,
+            ))
+        return AdmissionGateway(
+            links, placement=self.placement, registry=registry
+        )
+
+
+# -- shard child process -------------------------------------------------------
+
+
+async def _replication_pump(
+    server: AdmissionServer,
+    follower_addr: tuple[str, int],
+    *,
+    interval: float,
+    batch: int,
+) -> None:
+    """Ship the leader's journal tail to its follower, segment by segment.
+
+    Runs inside the leader process.  The journal slice and the digest are
+    read in one synchronous block (no await between them), so -- the
+    dispatcher being the only other writer on this event loop -- a
+    segment that reaches the journal tip carries the digest of *exactly*
+    the decision history it completes.  The follower's ack advances
+    ``retain_floor``, which is what licenses checkpoint truncation to
+    drop the shipped prefix.
+    """
+    host, port = follower_addr
+    client = AsyncAdmissionClient(
+        host, port, timeout=5.0, retries=2, backoff=interval
+    )
+    seq = 0
+    synced = server.journal_start
+    try:
+        while True:
+            if synced >= server.journal_end():
+                await asyncio.sleep(interval)
+                continue
+            entries, digest = server.journal_segment(synced, batch)
+            try:
+                result = await client.journal_sync(
+                    shard=server.name,
+                    seq=seq,
+                    start=synced,
+                    entries=entries,
+                    digest=digest,
+                )
+            except (RemoteError, *_SHARD_DOWN_ERRORS) as exc:
+                logger.warning(
+                    "replication pump %s: segment %d failed: %s",
+                    server.name, seq, exc,
+                )
+                await asyncio.sleep(interval)
+                continue
+            seq += 1
+            synced = int(result["total"])
+            server.retain_floor = synced
+            if result.get("digest_ok") is False:  # pragma: no cover
+                logger.error(
+                    "replication pump %s: follower diverged at %d",
+                    server.name, synced,
+                )
+    finally:
+        await client.close()
+
+
+def _shard_main(
+    name: str,
+    spec: GatewaySpec,
+    host: str,
+    conn,
+    standby: bool,
+    journal_max_entries: int | None,
+    follower_addr: tuple[str, int] | None,
+    sync_interval: float,
+    sync_batch: int,
+) -> None:
+    """Child-process entry point: one shard, one event loop, one core.
+
+    Builds the gateway from ``spec``, serves on an ephemeral port,
+    reports the bound address through ``conn``, and (leaders with a
+    follower) runs the replication pump.  SIGTERM drains and exits
+    cleanly; SIGKILL is the crash the failover path exists for.
+    """
+    gateway = spec.build()
+    server = AdmissionServer(
+        gateway,
+        name=name,
+        config=ServerConfig(max_queue_depth=8192),
+        collect_digest=True,
+        keep_journal=True,
+        journal_max_entries=journal_max_entries,
+        gateway_factory=spec.build,
+        standby=standby,
+    )
+    if follower_addr is not None:
+        # Never truncate entries the follower has not acked yet.
+        server.retain_floor = 0
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        bound = await server.start(host, 0)
+        conn.send(bound)
+        conn.close()
+        pump = None
+        if follower_addr is not None:
+            pump = loop.create_task(_replication_pump(
+                server, follower_addr,
+                interval=sync_interval, batch=sync_batch,
+            ))
+        await stop.wait()
+        if pump is not None:
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+        await server.stop()
+
+    asyncio.run(main())
+
+
+class ShardProcess:
+    """Supervisor-side handle for one shard OS process."""
+
+    __slots__ = ("name", "role", "process", "address")
+
+    def __init__(self, name, role, process, address) -> None:
+        self.name = name
+        self.role = role
+        self.process = process
+        self.address = tuple(address)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardProcess({self.name!r}, {self.role!r}, pid="
+            f"{self.process.pid}, addr={self.address}, alive={self.alive})"
+        )
+
+
+class ProcessCluster:
+    """Supervise N leader+follower shard process pairs behind one router.
+
+    The supervisor owns the consistent-hash ring, the authoritative
+    ``flow -> (shard, t_admitted)`` table, and one TCP client per shard
+    whose ``address_provider`` always names the shard's *current* leader
+    -- so after a failover the client's normal reconnect path lands on
+    the promoted follower (retry-on-promotion).
+
+    Parameters
+    ----------
+    spec : GatewaySpec
+        Twin-gateway recipe; shard ``i`` is built with ``seed + i`` (its
+        follower with the *same* seed, so leader and follower decide
+        identically).
+    shards : int
+        Leader count (ring size).
+    replicas : int
+        Standby followers per shard: ``1`` (journal-shipped follower,
+        the default) or ``0`` (no redundancy; failover raises).
+    journal_max_entries : int, optional
+        Leader-side journal bound (checkpoint truncation of the
+        follower-acked prefix).  ``None`` keeps full journals.
+    sync_interval, sync_batch : float, int
+        Replication pump cadence and max entries per segment.
+    """
+
+    def __init__(
+        self,
+        spec: GatewaySpec,
+        *,
+        shards: int = 3,
+        replicas: int = 1,
+        host: str = "127.0.0.1",
+        vnodes: int = DEFAULT_VNODES,
+        journal_max_entries: int | None = 4096,
+        sync_interval: float = 0.02,
+        sync_batch: int = 512,
+        timeout: float = 10.0,
+        retries: int = 3,
+        spawn_timeout: float = 60.0,
+    ) -> None:
+        if shards < 1:
+            raise ParameterError("a cluster needs at least one shard")
+        if replicas not in (0, 1):
+            raise ParameterError(
+                f"replicas must be 0 or 1 (one journal-shipped follower "
+                f"per shard), got {replicas!r}"
+            )
+        self.spec = spec
+        self.replicas = int(replicas)
+        self.host = host
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.spawn_timeout = float(spawn_timeout)
+        self.journal_max_entries = journal_max_entries
+        self.sync_interval = float(sync_interval)
+        self.sync_batch = int(sync_batch)
+        self.ring = HashRing(vnodes=vnodes)
+        self._initial_shards = int(shards)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._leaders: dict[str, ShardProcess] = {}
+        self._followers: dict[str, ShardProcess | None] = {}
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._clients: dict[str, AsyncAdmissionClient] = {}
+        self._flows: dict[Hashable, tuple[str, float]] = {}
+        self._clock = 0.0
+        self._spawned = 0
+        self._started = False
+        #: Failover promotions performed.
+        self.failovers = 0
+        #: Flows moved through the two-phase handoff.
+        self.migrated = 0
+        #: Ordered record of kills / promotions / resizes (reconcile
+        #: reports ride on this).
+        self.events: list[dict] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def shards(self) -> list[str]:
+        """Current ring membership (shard names)."""
+        return sorted(self._leaders)
+
+    @property
+    def flows(self) -> dict[Hashable, tuple[str, float]]:
+        """The authoritative ``flow -> (shard, t_admitted)`` table (copy)."""
+        return dict(self._flows)
+
+    @property
+    def retried(self) -> int:
+        """Transparent client-level retries summed across shard clients."""
+        return sum(client.retried for client in self._clients.values())
+
+    async def start(self) -> "ProcessCluster":
+        """Spawn every shard pair and build the ring (idempotent)."""
+        if self._started:
+            return self
+        names = [f"s{i}" for i in range(self._initial_shards)]
+        seeds = {name: self._next_seed() for name in names}
+        # Spawn all followers concurrently, then all leaders (a leader
+        # needs its follower's address for the pump).
+        followers: dict[str, ShardProcess | None] = {}
+        if self.replicas:
+            launches = {
+                name: self._launch(name, seed=seeds[name], standby=True)
+                for name in names
+            }
+            for name, (proc, conn) in launches.items():
+                addr = await self._recv_address(name, proc, conn)
+                followers[name] = ShardProcess(name, "follower", proc, addr)
+        else:
+            followers = {name: None for name in names}
+        launches = {
+            name: self._launch(
+                name,
+                seed=seeds[name],
+                standby=False,
+                follower_addr=(
+                    followers[name].address if followers[name] else None
+                ),
+            )
+            for name in names
+        }
+        for name, (proc, conn) in launches.items():
+            addr = await self._recv_address(name, proc, conn)
+            self._register(name, ShardProcess(name, "leader", proc, addr),
+                           followers[name])
+            self.ring.add(name)
+        self._started = True
+        logger.info(
+            "process cluster up: %d shards x %d processes",
+            len(names), 1 + self.replicas,
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Close clients and terminate every shard process."""
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()
+        handles = [h for h in self._leaders.values()]
+        handles += [h for h in self._followers.values() if h is not None]
+        for handle in handles:
+            if handle.alive:
+                handle.process.terminate()
+        await self._join(handles, timeout=10.0)
+        for handle in handles:
+            if handle.alive:  # pragma: no cover - drain failed
+                handle.process.kill()
+        self._leaders.clear()
+        self._followers.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "ProcessCluster":
+        try:
+            return await self.start()
+        except BaseException:
+            await self.stop()
+            raise
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _next_seed(self) -> int:
+        """Allocate a fresh seed for one leader+follower pair.
+
+        Both halves of a pair build from the SAME seed (that is what
+        makes them decision twins); distinct pairs get distinct seeds so
+        their feeds are decorrelated.
+        """
+        seed = self.spec.seed + self._spawned
+        self._spawned += 1
+        return seed
+
+    def _launch(
+        self,
+        name: str,
+        *,
+        seed: int,
+        standby: bool,
+        follower_addr: tuple[str, int] | None = None,
+    ):
+        spec = self.spec.with_seed(seed)
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(
+                name,
+                spec,
+                self.host,
+                child,
+                standby,
+                None if standby else self.journal_max_entries,
+                None if standby else follower_addr,
+                self.sync_interval,
+                self.sync_batch,
+            ),
+            name=f"repro-shard-{name}-{'follower' if standby else 'leader'}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return process, parent
+
+    async def _spawn_pair(
+        self, name: str
+    ) -> tuple[ShardProcess, ShardProcess | None]:
+        """Spawn one leader(+follower) pair sharing a fresh seed."""
+        seed = self._next_seed()
+        follower = None
+        if self.replicas:
+            proc, conn = self._launch(name, seed=seed, standby=True)
+            addr = await self._recv_address(name, proc, conn)
+            follower = ShardProcess(name, "follower", proc, addr)
+        proc, conn = self._launch(
+            name,
+            seed=seed,
+            standby=False,
+            follower_addr=follower.address if follower else None,
+        )
+        addr = await self._recv_address(name, proc, conn)
+        return ShardProcess(name, "leader", proc, addr), follower
+
+    async def _recv_address(self, name, process, conn) -> tuple[str, int]:
+        deadline = time.monotonic() + self.spawn_timeout
+        try:
+            while not conn.poll(0):
+                if not process.is_alive():
+                    raise RuntimeStateError(
+                        f"shard process {name} died during startup "
+                        f"(exit code {process.exitcode})"
+                    )
+                if time.monotonic() > deadline:
+                    process.kill()
+                    raise RuntimeStateError(
+                        f"shard process {name} did not report an address "
+                        f"within {self.spawn_timeout:g}s"
+                    )
+                await asyncio.sleep(0.02)
+            return tuple(conn.recv())
+        finally:
+            conn.close()
+
+    def _register(
+        self,
+        name: str,
+        leader: ShardProcess,
+        follower: ShardProcess | None,
+    ) -> None:
+        self._leaders[name] = leader
+        self._followers[name] = follower
+        self._addresses[name] = leader.address
+        if name not in self._clients:
+            self._clients[name] = AsyncAdmissionClient(
+                *leader.address,
+                timeout=self.timeout,
+                retries=self.retries,
+                address_provider=lambda n=name: self._addresses[n],
+            )
+
+    async def _join(self, handles, *, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            while handle.alive and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            handle.process.join(timeout=0)
+
+    # -- request routing ---------------------------------------------------
+
+    async def _submit(self, shard: str, op: str, **fields) -> dict:
+        """One routed call with promotion-aware retry.
+
+        A connection-level failure (or timeout) against a shard whose
+        leader process is gone triggers failover promotion of its
+        follower, then retries once -- the client reconnects through its
+        ``address_provider``, which now names the promoted follower.
+        """
+        client = self._clients[shard]
+        try:
+            return await client.call(op, **fields)
+        except _SHARD_DOWN_ERRORS:
+            if not await self.failover(shard):
+                raise
+            return await client.call(op, **fields)
+        except RemoteError as exc:
+            if exc.code == "shutting-down" and await self.failover(shard):
+                return await client.call(op, **fields)
+            raise
+
+    async def admit(self, flow: Hashable, t: float | None = None):
+        """Route one admission; returns the decision."""
+        if flow in self._flows:
+            raise RuntimeStateError(
+                f"flow {flow!r} is already admitted on shard "
+                f"{self._flows[flow][0]}"
+            )
+        shard = self.ring.node_for(flow)
+        result = await self._submit(shard, "admit", flow=flow, t=t)
+        self._clock = max(self._clock, float(result["t"]))
+        decision = decision_from_wire(result["decision"])
+        if decision.admitted:
+            self._flows[flow] = (shard, float(result["t"]))
+        return decision
+
+    async def depart(self, flow: Hashable, t: float | None = None) -> str:
+        """Route one departure; returns the carrying link's name."""
+        entry = self._flows.get(flow)
+        if entry is None:
+            raise UnknownFlowError([flow], self._leaders)
+        result = await self._submit(entry[0], "depart", flow=flow, t=t)
+        self._flows.pop(flow, None)
+        self._clock = max(self._clock, float(result["t"]))
+        return result["link"]
+
+    # -- failure handling --------------------------------------------------
+
+    def kill_shard(self, name: str) -> None:
+        """SIGKILL a shard's leader process (the crash under test)."""
+        leader = self._shard(name)
+        if leader.alive:
+            os.kill(leader.process.pid, signal.SIGKILL)
+            leader.process.join(timeout=10.0)
+        self.events.append({"event": "killed", "shard": name})
+        logger.info("shard %s leader killed (pid %d)",
+                    name, leader.process.pid)
+
+    async def failover(self, name: str) -> bool:
+        """Promote ``name``'s follower if its leader process is dead.
+
+        Returns ``False`` when the leader is still alive (nothing to
+        do).  Promotion sends the supervisor's authoritative flow table
+        for the shard, so the follower repairs any decisions the dead
+        leader applied but never shipped; the promote response's digest
+        and verification outcome are recorded in :attr:`events`.
+        """
+        leader = self._shard(name)
+        if leader.alive:
+            return False
+        follower = self._followers.get(name)
+        if follower is None or not follower.alive:
+            raise RuntimeStateError(
+                f"shard {name}: leader is dead and no live follower "
+                "remains to promote"
+            )
+        believed = [
+            [flow, t0]
+            for flow, (shard, t0) in self._flows.items()
+            if shard == name
+        ]
+        control = AsyncAdmissionClient(
+            *follower.address, timeout=self.timeout, retries=self.retries
+        )
+        try:
+            result = await control.promote(flows=believed, t=self._clock)
+        finally:
+            await control.close()
+        leader.process.join(timeout=0)
+        follower.role = "leader"
+        self._leaders[name] = follower
+        self._followers[name] = None
+        self._addresses[name] = follower.address
+        # Drop the dead connection; the next call reconnects through the
+        # address provider, which now names the promoted follower.
+        await self._clients[name].close()
+        self.failovers += 1
+        event = {
+            "event": "promoted",
+            "shard": name,
+            "digest": result.get("digest"),
+            "verified": result.get("verified"),
+            "repaired_in": result.get("repaired_in"),
+            "repaired_out": result.get("repaired_out"),
+            "n_flows": result.get("n_flows"),
+        }
+        self.events.append(event)
+        logger.info("shard %s: follower promoted (%s)", name, event)
+        return True
+
+    async def heal(self) -> int:
+        """Promote followers for every dead leader; returns promotions."""
+        promoted = 0
+        for name in list(self._leaders):
+            if not self._leaders[name].alive:
+                promoted += int(await self.failover(name))
+        return promoted
+
+    async def restart_shard(self, name: str) -> None:
+        """Rolling restart: respawn ``name`` as a fresh pair, re-seat flows.
+
+        The old processes are terminated (SIGTERM); a brand-new
+        leader+follower pair is spawned, and the shard's flows are
+        re-installed from the supervisor table via ``migrate-in`` (with
+        their original admission times), restoring full redundancy.
+        """
+        old_leader = self._shard(name)
+        old = [old_leader, self._followers.get(name)]
+        for handle in old:
+            if handle is not None and handle.alive:
+                handle.process.terminate()
+        await self._join([h for h in old if h is not None], timeout=10.0)
+        await self._clients[name].close()
+        leader, follower = await self._spawn_pair(name)
+        self._register(name, leader, follower)
+        pairs = [
+            [flow, t0]
+            for flow, (shard, t0) in self._flows.items()
+            if shard == name
+        ]
+        if pairs:
+            await self._submit(name, "migrate-in", flows=pairs, t=self._clock)
+        self.events.append(
+            {"event": "restarted", "shard": name, "flows": len(pairs)}
+        )
+
+    # -- ring resize with two-phase migration ------------------------------
+
+    async def add_shard(self, name: str) -> int:
+        """Grow the ring by one shard; returns flows migrated onto it.
+
+        Spawns a fresh leader(+follower) pair, adds ``name`` to the
+        ring, and moves every flow whose owner changed (~1/N of them,
+        the Hypothesis ring-stability bound) via the two-phase
+        ``migrate-out`` / ``migrate-in`` handoff.
+        """
+        if name in self._leaders:
+            raise ParameterError(f"shard {name!r} already exists")
+        leader, follower = await self._spawn_pair(name)
+        self._register(name, leader, follower)
+        self.ring.add(name)
+        by_source: dict[str, list] = {}
+        for flow, (shard, t0) in self._flows.items():
+            if shard != name and self.ring.node_for(flow) == name:
+                by_source.setdefault(shard, []).append((flow, t0))
+        moved = await self._migrate(by_source, name)
+        self.events.append(
+            {"event": "added", "shard": name, "migrated": moved}
+        )
+        return moved
+
+    async def remove_shard(self, name: str) -> int:
+        """Shrink the ring by one shard; returns flows migrated off it.
+
+        The departing shard's flows move to their new ring owners first
+        (two-phase handoff), then its processes are terminated.
+        """
+        self._shard(name)
+        if len(self._leaders) == 1:
+            raise ParameterError("cannot remove the last shard")
+        self.ring.remove(name)
+        leaving = [
+            (flow, t0)
+            for flow, (shard, t0) in self._flows.items()
+            if shard == name
+        ]
+        moved = 0
+        if leaving:
+            await self._submit(
+                name, "migrate-out",
+                flows=[flow for flow, _t0 in leaving], t=self._clock,
+            )
+            by_target: dict[str, list] = {}
+            for flow, t0 in leaving:
+                by_target.setdefault(self.ring.node_for(flow), []).append(
+                    (flow, t0)
+                )
+            for target, group in by_target.items():
+                await self._submit(
+                    target, "migrate-in",
+                    flows=[[flow, t0] for flow, t0 in group], t=self._clock,
+                )
+                for flow, t0 in group:
+                    self._flows[flow] = (target, t0)
+                moved += len(group)
+            self.migrated += moved
+        handles = [self._leaders.pop(name)]
+        follower = self._followers.pop(name, None)
+        if follower is not None:
+            handles.append(follower)
+        await self._clients.pop(name).close()
+        self._addresses.pop(name, None)
+        for handle in handles:
+            if handle.alive:
+                handle.process.terminate()
+        await self._join(handles, timeout=10.0)
+        self.events.append(
+            {"event": "removed", "shard": name, "migrated": moved}
+        )
+        return moved
+
+    async def _migrate(self, by_source: dict[str, list], target: str) -> int:
+        """Two-phase handoff of grouped flows into ``target``."""
+        moved = 0
+        for source, group in by_source.items():
+            await self._submit(
+                source, "migrate-out",
+                flows=[flow for flow, _t0 in group], t=self._clock,
+            )
+            await self._submit(
+                target, "migrate-in",
+                flows=[[flow, t0] for flow, t0 in group], t=self._clock,
+            )
+            for flow, t0 in group:
+                self._flows[flow] = (target, t0)
+            moved += len(group)
+        self.migrated += moved
+        return moved
+
+    # -- reporting / reconciliation ----------------------------------------
+
+    def _shard(self, name: str) -> ShardProcess:
+        try:
+            return self._leaders[name]
+        except KeyError:
+            raise ParameterError(
+                f"no shard named {name!r}; cluster has "
+                f"{', '.join(self.shards) or '<none>'}"
+            ) from None
+
+    async def snapshot(self) -> dict:
+        """Aggregate per-shard snapshots; dead shards degrade gracefully.
+
+        A shard that cannot be reached is reported as
+        ``{"unreachable": ...}`` instead of poisoning the whole scrape
+        (same contract as ``ShardedCluster.snapshot``).
+        """
+        shards: dict[str, dict] = {}
+        for name in sorted(self._clients):
+            try:
+                shards[name] = await self._clients[name].snapshot()
+            except (RemoteError, *_SHARD_DOWN_ERRORS) as exc:
+                shards[name] = {
+                    "unreachable": f"{type(exc).__name__}: {exc}"
+                }
+        reachable = [s for s in shards.values() if "unreachable" not in s]
+        return {
+            "shards": shards,
+            "cluster": {
+                "flows": len(self._flows),
+                "clock": self._clock,
+                "failovers": self.failovers,
+                "migrated": self.migrated,
+                "unreachable": len(shards) - len(reachable),
+                "decisions": sum(
+                    s.get("service", {}).get("decisions", 0)
+                    for s in reachable
+                ),
+            },
+        }
+
+    async def reconcile(self) -> dict:
+        """Prove no decision was lost or double-applied, cluster-wide.
+
+        Fetches every shard's actual flow table and decision digest and
+        compares against the supervisor's authoritative table: a flow
+        the supervisor admitted but no shard carries is **lost**; a flow
+        a shard carries beyond the supervisor's table is
+        **double-admitted** (or stray).  ``ok`` requires both lists
+        empty and the totals to match exactly.
+        """
+        shards: dict[str, dict] = {}
+        lost: list = []
+        double: list = []
+        for name in sorted(self._clients):
+            snap = await self._submit(name, "snapshot", flows=True)
+            service = snap.get("service", {})
+            actual = set(service.get("flows", ()))
+            expected = {
+                flow
+                for flow, (shard, _t0) in self._flows.items()
+                if shard == name
+            }
+            missing = sorted(expected - actual, key=repr)
+            extra = sorted(actual - expected, key=repr)
+            shards[name] = {
+                "digest": service.get("decision_digest"),
+                "n_flows": len(actual),
+                "expected": len(expected),
+                "missing": missing,
+                "extra": extra,
+            }
+            lost.extend(missing)
+            double.extend(extra)
+        total = sum(entry["n_flows"] for entry in shards.values())
+        return {
+            "ok": not lost and not double and total == len(self._flows),
+            "flows": len(self._flows),
+            "shard_flows": total,
+            "lost": lost,
+            "double_admitted": double,
+            "shards": shards,
+            "failovers": self.failovers,
+            "migrated": self.migrated,
+        }
+
+
+def process_fault_schedule(plan) -> list[tuple[float, str, str]]:
+    """Extract process-level fault events from a :class:`FaultPlan`.
+
+    Returns ``(start_time, kind, shard)`` triples -- one per
+    ``shard_crash`` / ``shard_restart`` window in the plan -- sorted by
+    time, so a cluster soak can schedule seeded, declarative process
+    failures the same way the chaos layer schedules feed faults.
+    """
+    events: list[tuple[float, str, str]] = []
+    for name, faults in plan.links.items():
+        for window in getattr(faults, "shard_crash", ()):
+            events.append((window.start, "shard_crash", name))
+        for window in getattr(faults, "shard_restart", ()):
+            events.append((window.start, "shard_restart", name))
+    return sorted(events)

@@ -71,6 +71,13 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
+#: Client-facing mutating ops a standby follower refuses until promotion
+#: (its state may only advance through leader-shipped journal segments).
+_STANDBY_REFUSED = frozenset(
+    {"admit", "admit_many", "depart", "depart_many", "telemetry",
+     "migrate-out", "migrate-in"}
+)
+
 
 def digest_record(flow_id, decision) -> bytes:
     """One decision's digest line -- the exact format ``replay()`` hashes.
@@ -162,7 +169,30 @@ class AdmissionServer:
     keep_journal : bool
         Record every applied mutating op as ``(op, flows, t)`` so tests
         (and :func:`replay_journal`) can re-execute the exact sequence
-        sequentially.  Off by default -- the journal grows unboundedly.
+        sequentially.  Off by default -- without ``journal_max_entries``
+        the journal grows unboundedly.
+    journal_max_entries : int, optional
+        Bound the in-memory journal: once it exceeds this many entries,
+        the oldest entries are folded into a live **checkpoint** (a twin
+        gateway built from ``gateway_factory`` plus a running digest), so
+        ``replay_journal(checkpoint, tail, sha=...)`` still reproduces
+        the served digest while memory stays flat.  Entries above
+        ``retain_floor`` (set by a replication pump to the follower's
+        acked offset) are never dropped.  Requires ``keep_journal`` and
+        ``gateway_factory``.
+    gateway_factory : callable, optional
+        Zero-argument callable building a fresh gateway identical to
+        ``gateway`` (deterministic twin).  Used for the truncation
+        checkpoint and for promotion-time replay verification.
+    standby : bool
+        Run as a replication **follower**: every client-facing mutating
+        op (admit/depart/telemetry/migrate) is refused with a typed
+        ``state-error`` until promotion; state advances only through
+        ``journal-sync`` segments shipped by the leader, whose per-segment
+        checkpoint digest is verified against the follower's own running
+        digest.  Requires ``keep_journal``, ``collect_digest`` and
+        ``gateway_factory`` (a ``promote`` request replays the retained
+        journal on a fresh twin to prove the rebuild before going live).
     metrics_writer : MetricsJsonlWriter, optional
         Periodic snapshot sink, polled on the server's logical clock
         after every applied request and closed (final partial interval
@@ -183,18 +213,55 @@ class AdmissionServer:
         config: ServerConfig | None = None,
         collect_digest: bool = False,
         keep_journal: bool = False,
+        journal_max_entries: int | None = None,
+        gateway_factory: Callable[[], AdmissionGateway] | None = None,
+        standby: bool = False,
         metrics_writer=None,
     ) -> None:
+        if journal_max_entries is not None:
+            if journal_max_entries < 1:
+                raise ParameterError("journal_max_entries must be at least 1")
+            if not keep_journal:
+                raise ParameterError(
+                    "journal_max_entries requires keep_journal=True"
+                )
+            if gateway_factory is None:
+                raise ParameterError(
+                    "journal_max_entries requires a gateway_factory (the "
+                    "checkpoint twin that absorbs truncated entries)"
+                )
+        if standby and (
+            not keep_journal or not collect_digest or gateway_factory is None
+        ):
+            raise ParameterError(
+                "a standby follower requires keep_journal=True, "
+                "collect_digest=True and a gateway_factory (it must be able "
+                "to replay and verify the shipped journal at promotion)"
+            )
         self.gateway = gateway
         self.name = str(name)
         self.config = config if config is not None else ServerConfig()
         self.registry = gateway.registry
         self.metrics_writer = metrics_writer
+        self.standby = bool(standby)
         self._sha = hashlib.sha256() if collect_digest else None
         self._decisions = 0
         self.journal: list[tuple[str, object, float]] | None = (
             [] if keep_journal else None
         )
+        #: Absolute offset of ``journal[0]`` (> 0 once truncation folded
+        #: dropped entries into the checkpoint).
+        self.journal_start = 0
+        #: Absolute offset below which truncation may drop entries
+        #: (``None`` = unconstrained).  A replication pump sets this to
+        #: the follower's acked offset so un-shipped entries survive.
+        self.retain_floor: int | None = None
+        self._journal_limit = journal_max_entries
+        self._gateway_factory = gateway_factory
+        self._ckpt_gateway = (
+            gateway_factory() if journal_max_entries is not None else None
+        )
+        self._ckpt_sha = hashlib.sha256()
         self._clock = 0.0
         self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -257,6 +324,66 @@ class AdmissionServer:
     def digest(self) -> str | None:
         """Decision digest so far (``None`` unless ``collect_digest``)."""
         return self._sha.hexdigest() if self._sha is not None else None
+
+    def checkpoint_digest(self) -> str:
+        """Digest of the decisions folded into the checkpoint so far.
+
+        Hex digest of every decision in journal entries ``[0,
+        journal_start)``; equals the empty-journal digest until the first
+        truncation.
+        """
+        return self._ckpt_sha.hexdigest()
+
+    def journal_end(self) -> int:
+        """Absolute offset one past the newest journal entry."""
+        journal = self.journal
+        return self.journal_start + (len(journal) if journal is not None else 0)
+
+    def journal_segment(
+        self, start: int, limit: int = 512
+    ) -> tuple[list[tuple[str, object, float]], str | None]:
+        """Entries from absolute offset ``start`` plus the digest after them.
+
+        Returns at most ``limit`` entries and the server's decision digest
+        as of the *end of the returned slice being the journal tip* --
+        i.e. when the slice reaches the current tip, the digest is the
+        running decision digest; otherwise ``None`` (a replication pump
+        only attaches a checkpoint digest to segments that end at a point
+        whose digest it can name exactly).  Raises
+        :class:`~repro.errors.RuntimeStateError` when ``start`` predates
+        the retained journal (already truncated).
+        """
+        if self.journal is None:
+            raise RuntimeStateError(
+                f"server {self.name} keeps no journal (keep_journal=False)"
+            )
+        if start < self.journal_start:
+            raise RuntimeStateError(
+                f"journal entries before offset {self.journal_start} were "
+                f"truncated into the checkpoint; cannot serve {start}"
+            )
+        index = start - self.journal_start
+        entries = self.journal[index:index + limit]
+        at_tip = index + len(entries) == len(self.journal)
+        return entries, (self.digest() if at_tip else None)
+
+    def replay_from_checkpoint(self) -> str:
+        """Replay the retained tail on the checkpoint twin; returns digest.
+
+        Proves the bounded journal still reproduces the served digest:
+        the checkpoint twin (which already absorbed every truncated
+        entry) replays the retained tail starting from the checkpoint's
+        digest state.  **Destructive** -- the twin advances past the
+        checkpoint, so call this once, after the run being verified.
+        """
+        if self._ckpt_gateway is None:
+            raise RuntimeStateError(
+                f"server {self.name} has no checkpoint "
+                "(journal_max_entries not configured)"
+            )
+        return replay_journal(
+            self._ckpt_gateway, self.journal or (), sha=self._ckpt_sha.copy()
+        )
 
     async def start_dispatcher(self) -> None:
         """Start the single-writer dispatch loop (idempotent).
@@ -465,7 +592,7 @@ class AdmissionServer:
             request, future = live[i]
             op = request.get("op") if isinstance(request, dict) else None
             j = i + 1
-            if op in ("admit", "depart"):
+            if op in ("admit", "depart") and not self.standby:
                 while j < len(live):
                     nxt = live[j][0]
                     if not (isinstance(nxt, dict) and nxt.get("op") == op):
@@ -578,8 +705,16 @@ class AdmissionServer:
     def _apply(self, request: dict) -> dict:
         request_id = request.get("id")
         op = request["op"]
+        if self.standby and op in _STANDBY_REFUSED:
+            self._m_errors.inc()
+            return error_response(
+                request_id,
+                "state-error",
+                f"shard {self.name} is a standby follower; {op} is refused "
+                "until promotion",
+            )
         try:
-            result = getattr(self, f"_op_{op}")(request)
+            result = getattr(self, f"_op_{op.replace('-', '_')}")(request)
         except UnknownFlowError as exc:
             return error_response(request_id, "unknown-flow", str(exc))
         except RuntimeStateError as exc:
@@ -599,6 +734,30 @@ class AdmissionServer:
     def _journal_append(self, op: str, flows, t: float) -> None:
         if self.journal is not None:
             self.journal.append((op, flows, t))
+            if (
+                self._journal_limit is not None
+                and len(self.journal) > self._journal_limit
+            ):
+                self._truncate_journal()
+
+    def _truncate_journal(self) -> None:
+        """Fold the oldest journal entries into the live checkpoint.
+
+        Drops everything above the configured bound -- except entries at
+        or past ``retain_floor``, which a replication pump still needs to
+        ship -- applying each dropped entry to the checkpoint twin and
+        its running digest, so checkpoint + retained tail always replays
+        to the served digest.
+        """
+        excess = len(self.journal) - self._journal_limit
+        if self.retain_floor is not None:
+            excess = min(excess, self.retain_floor - self.journal_start)
+        if excess <= 0:
+            return
+        dropped = self.journal[:excess]
+        del self.journal[:excess]
+        self.journal_start += excess
+        _apply_journal(self._ckpt_gateway, dropped, self._ckpt_sha)
 
     def _op_admit(self, request: dict) -> dict:
         flow = request["flow"]
@@ -643,6 +802,163 @@ class AdmissionServer:
         self._journal_append("telemetry", sample, t)
         return {"t": t, "link": link_name, "buffered": buffered}
 
+    def _op_journal_sync(self, request: dict) -> dict:
+        """Apply one leader-shipped journal segment (follower side).
+
+        The segment must be contiguous with the follower's journal tip
+        (overlapping prefixes from leader retries are skipped; a gap is a
+        typed ``state-error`` naming the expected offset so the leader
+        resends from there).  Each entry is applied through the same code
+        path :func:`replay_journal` uses and appended to the follower's
+        own journal; when the segment carries the leader's checkpoint
+        digest, the follower's running digest must match it exactly --
+        a mismatch is a divergence and fails loudly.
+        """
+        if not self.standby:
+            raise RuntimeStateError(
+                f"shard {self.name} is not a standby follower; "
+                "journal-sync refused"
+            )
+        start = int(request["start"])
+        expected = self.journal_end()
+        if start > expected:
+            raise RuntimeStateError(
+                f"journal-sync segment starts at entry {start} but follower "
+                f"{self.name} expects {expected}; resend from {expected}"
+            )
+        entries = request["entries"]
+        if start < expected:  # leader retried an already-applied prefix
+            entries = entries[expected - start:]
+        applied = 0
+        for raw in entries:
+            entry = (raw[0], raw[1], float(raw[2]))
+            _apply_journal(self.gateway, (entry,), self._sha)
+            self.journal.append(entry)
+            self._clock = max(self._clock, entry[2])
+            applied += 1
+        total = self.journal_end()
+        digest = self.digest()
+        want = request.get("digest")
+        digest_ok = None if want is None else (digest == want)
+        if digest_ok is False:
+            raise RuntimeStateError(
+                f"follower {self.name} diverged at entry {total}: running "
+                f"digest {digest} != leader checkpoint {want}"
+            )
+        return {
+            "t": self._clock,
+            "applied": applied,
+            "total": total,
+            "digest": digest,
+            "digest_ok": digest_ok,
+        }
+
+    def _op_promote(self, request: dict) -> dict:
+        """Flip a standby follower to active, verifying the rebuild first.
+
+        Verification replays the follower's retained journal on a fresh
+        ``gateway_factory()`` twin via :func:`replay_journal` and requires
+        the replayed digest to equal the running digest (skipped only
+        when truncation already folded a prefix into the checkpoint --
+        per-segment digest checks cover that case).  The optional
+        ``flows`` table (``[[flow, t_admitted], ...]``) is the
+        supervisor's authoritative flow set: flows the leader admitted
+        but never shipped are installed (journaled ``migrate_in``),
+        flows the supervisor saw depart are removed (``migrate_out``),
+        so the promoted shard reconciles exactly to cluster truth.
+        """
+        if not self.standby:
+            raise RuntimeStateError(f"shard {self.name} is already active")
+        t = self._effective_time(request)
+        verified = None
+        if request.get("verify", True) and self.journal_start == 0:
+            fresh = self._gateway_factory()
+            replayed = replay_journal(fresh, self.journal)
+            running = self.digest()
+            if replayed != running:
+                raise RuntimeStateError(
+                    f"promotion verification failed on {self.name}: journal "
+                    f"replay digest {replayed} != running digest {running}"
+                )
+            verified = True
+        want = request.get("digest")
+        if want is not None and self.digest() != want:
+            raise RuntimeStateError(
+                f"promotion refused on {self.name}: running digest "
+                f"{self.digest()} != expected leader digest {want}"
+            )
+        repaired_in = repaired_out = 0
+        table = request.get("flows")
+        if table is not None:
+            wanted = {flow: float(t0) for flow, t0 in table}
+            have = set(self.gateway.active_flows())
+            extra = [flow for flow in have if flow not in wanted]
+            missing = [
+                [flow, t0] for flow, t0 in wanted.items() if flow not in have
+            ]
+            if extra:
+                self.gateway.depart_many(extra, t)
+                self._journal_append("migrate_out", extra, t)
+                repaired_out = len(extra)
+            if missing:
+                for flow, _t0 in missing:
+                    self.gateway.install(flow, t)
+                self._journal_append("migrate_in", missing, t)
+                repaired_in = len(missing)
+        self.standby = False
+        logger.info(
+            "shard %s promoted to active (%d flows, %d repaired in, "
+            "%d repaired out)",
+            self.name, self.gateway.n_flows, repaired_in, repaired_out,
+        )
+        return {
+            "t": t,
+            "promoted": True,
+            "name": self.name,
+            "digest": self.digest(),
+            "n_flows": self.gateway.n_flows,
+            "verified": verified,
+            "repaired_in": repaired_in,
+            "repaired_out": repaired_out,
+        }
+
+    def _op_migrate_out(self, request: dict) -> dict:
+        """Phase one of a flow handoff: depart the flows, journal it.
+
+        No admission decision is made (the flows were already admitted),
+        so the decision digest is untouched; the ``migrate_out`` journal
+        entry makes the departure part of the replayable history.
+        """
+        flows = list(request["flows"])
+        t = self._effective_time(request)
+        self.gateway.depart_many(flows, t)
+        self._journal_append("migrate_out", flows, t)
+        return {"t": t, "departed": len(flows)}
+
+    def _op_migrate_in(self, request: dict) -> dict:
+        """Phase two of a flow handoff: install flows admitted elsewhere.
+
+        ``flows`` is ``[[flow, original_effective_t], ...]`` -- the
+        original admission time rides into the journal so reconciliation
+        can prove the decision was carried over, not re-made.  Installs
+        are unconditional placements: no decision, no digest record.
+        """
+        pairs = [[flow, float(t0)] for flow, t0 in request["flows"]]
+        active = [
+            flow for flow, _t0 in pairs
+            if self.gateway.link_of(flow) is not None
+        ]
+        if active:
+            raise RuntimeStateError(
+                f"migrate-in refused: {active!r} already active on shard "
+                f"{self.name} (would double-admit)"
+            )
+        t = self._effective_time(request)
+        for flow, _t0 in pairs:
+            self.gateway.install(flow, t)
+        self._journal_append("migrate_in", pairs, t)
+        return {"t": t, "installed": len(pairs)}
+
     def _op_snapshot(self, request: dict) -> dict:
         snapshot = json_safe(self.gateway.snapshot())
         snapshot["service"] = {
@@ -651,13 +967,23 @@ class AdmissionServer:
             "decisions": self._decisions,
             "decision_digest": self.digest(),
             "health": shard_health(self.gateway).value,
+            "standby": self.standby,
+            "journal_start": self.journal_start,
+            "journal_entries": (
+                len(self.journal) if self.journal is not None else 0
+            ),
         }
+        if request.get("flows"):
+            # Opt-in: the active flow table, so a cluster supervisor can
+            # reconcile its routing table against shard truth exactly.
+            snapshot["service"]["flows"] = list(self.gateway.active_flows())
         return snapshot
 
     def _op_health(self, request: dict) -> dict:
         return {
             "name": self.name,
             "health": shard_health(self.gateway).value,
+            "standby": self.standby,
             "clock": self._clock,
             "n_flows": self.gateway.n_flows,
             "queue_depth": self._queue.qsize() if self._queue else 0,
@@ -842,9 +1168,50 @@ def _push_telemetry(
 # -- sequential re-execution --------------------------------------------------
 
 
+def _apply_journal(gateway, journal, sha) -> None:
+    """Apply ``(op, flows, t)`` entries to ``gateway``, hashing decisions.
+
+    The one loop body shared by :func:`replay_journal`, the follower's
+    ``journal-sync`` handler and the leader's checkpoint truncation, so
+    every path that re-executes journal entries produces byte-identical
+    digest updates.  ``sha`` may be ``None`` (decisions are applied but
+    not hashed).
+    """
+    update = sha.update if sha is not None else None
+    for op, flows, t in journal:
+        if op == "admit":
+            decision = gateway.admit(flows, t)
+            if update is not None:
+                update(digest_record(flows, decision))
+        elif op == "admit_many":
+            decisions = gateway.admit_many(flows, t)
+            if update is not None:
+                for flow, decision in zip(flows, decisions):
+                    update(digest_record(flow, decision))
+        elif op == "depart":
+            gateway.depart(flows, t)
+        elif op == "depart_many":
+            gateway.depart_many(flows, t)
+        elif op == "telemetry":
+            _push_telemetry(gateway, flows)
+        elif op == "migrate_out":
+            # Two-phase handoff departure: no decision, no digest record.
+            gateway.depart_many(flows, t)
+        elif op == "migrate_in":
+            # ``flows`` is [[flow, original_effective_t], ...]; the
+            # original time is bookkeeping -- installation happens at the
+            # journal entry's effective time, unconditionally.
+            for flow, _t0 in flows:
+                gateway.install(flow, t)
+        else:  # pragma: no cover - journals only hold the known ops
+            raise ParameterError(f"unknown journal op {op!r}")
+
+
 def replay_journal(
     gateway: AdmissionGateway,
     journal: Sequence[tuple[str, object, float]],
+    *,
+    sha=None,
 ) -> str:
     """Re-execute a server journal sequentially; returns the digest.
 
@@ -855,20 +1222,14 @@ def replay_journal(
     yields exactly this digest for the run that produced the journal:
     the single-writer queue makes concurrent serving and sequential
     re-execution indistinguishable.
+
+    ``sha`` seeds the digest state: pass a checkpoint's running sha256
+    (``checkpoint.copy()``) together with the checkpoint twin gateway to
+    replay a truncated journal's retained tail -- the result is still the
+    full served digest.  Default (``None``) starts from scratch,
+    byte-compatible with the historical behavior.
     """
-    sha = hashlib.sha256()
-    for op, flows, t in journal:
-        if op == "admit":
-            sha.update(digest_record(flows, gateway.admit(flows, t)))
-        elif op == "admit_many":
-            for flow, decision in zip(flows, gateway.admit_many(flows, t)):
-                sha.update(digest_record(flow, decision))
-        elif op == "depart":
-            gateway.depart(flows, t)
-        elif op == "depart_many":
-            gateway.depart_many(flows, t)
-        elif op == "telemetry":
-            _push_telemetry(gateway, flows)
-        else:  # pragma: no cover - journals only hold the five ops
-            raise ParameterError(f"unknown journal op {op!r}")
+    if sha is None:
+        sha = hashlib.sha256()
+    _apply_journal(gateway, journal, sha)
     return sha.hexdigest()

@@ -1,0 +1,66 @@
+"""Process-level fault kinds: parsed like any fault, rejected on feeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultyFeed,
+    FeedFaults,
+    Window,
+)
+from repro.runtime.feed import TraceFeed
+from repro.core.estimators import CrossSection
+
+
+def make_inner():
+    section = CrossSection(n=4, mean=1.0, second_moment=1.1, variance=0.1)
+    return TraceFeed([section], period=1.0, cycle=True)
+
+
+class TestProcessFaultKinds:
+    def test_listed_in_fault_kinds(self):
+        assert "shard_crash" in FAULT_KINDS
+        assert "shard_restart" in FAULT_KINDS
+
+    def test_parsed_from_dict_and_direct_construction(self):
+        faults = FeedFaults.from_dict(
+            {"shard_crash": [[5.0, 1.0]], "shard_restart": [{"start": 9.0}]}
+        )
+        assert faults.shard_crash == (Window(5.0, 1.0),)
+        assert faults.shard_restart[0].start == 9.0
+        direct = FeedFaults(shard_crash=[[2.0, 3.0]])
+        assert direct.shard_crash == (Window(2.0, 3.0),)
+
+    def test_unknown_kind_still_names_the_valid_set(self):
+        with pytest.raises(ParameterError, match="shard_crash"):
+            FeedFaults.from_dict({"shard_crunch": [[0.0, 1.0]]})
+
+    def test_plan_round_trips_process_faults(self):
+        plan = FaultPlan.from_dict({
+            "seed": 3,
+            "links": {"s0": {"shard_crash": [[4.0, 1.0]]}},
+        })
+        assert plan.links["s0"].shard_crash == (Window(4.0, 1.0),)
+
+    def test_faulty_feed_rejects_process_faults_with_typed_error(self):
+        # A process fault on a feed target would silently no-op for the
+        # whole run; it must be rejected at wrap time, pointing at the
+        # supervisor that can actually execute it.
+        for kind in ("shard_crash", "shard_restart"):
+            faults = FeedFaults(**{kind: [[1.0, 1.0]]})
+            with pytest.raises(ParameterError) as exc:
+                FaultyFeed(make_inner(), faults, name="link0")
+            message = str(exc.value)
+            assert kind in message
+            assert "process-level" in message
+            assert "ProcessCluster" in message
+
+    def test_feed_level_faults_still_wrap_fine(self):
+        feed = FaultyFeed(
+            make_inner(), FeedFaults(outages=[[0.0, 1.0]]), name="link0"
+        )
+        assert feed.injected["outage_polls"] == 0

@@ -126,6 +126,15 @@ class TestValidation:
                 payload["flows"] = ["f1", 2]
             elif op == "telemetry":
                 payload.update(link="l0", t=1.0, bytes=1000)
+            elif op == "journal-sync":
+                payload.update(
+                    shard="s0", seq=0, start=0,
+                    entries=[["admit", "f1", 1.0]],
+                )
+            elif op == "migrate-out":
+                payload["flows"] = ["f1", 2]
+            elif op == "migrate-in":
+                payload["flows"] = [["f1", 1.0], [2, 2.0]]
             assert validate_request(payload) is payload
 
     def test_rejects_wrong_version(self):

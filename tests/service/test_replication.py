@@ -1,0 +1,526 @@
+"""Replication-plane tests: bounded journals, journal-sync shipping,
+standby followers, failover promotion, two-phase migration, and the
+multi-process cluster supervisor."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError, RemoteError
+from repro.runtime.faults import FaultPlan, FeedFaults
+from repro.service.protocol import JOURNAL_OPS, make_request
+from repro.service.replication import (
+    GatewaySpec,
+    ProcessCluster,
+    process_fault_schedule,
+)
+from repro.service.server import AdmissionServer, replay_journal
+
+from .conftest import run
+
+SPEC = GatewaySpec(kind="trace", links=2, capacity=20.0)
+
+
+def make_server(**kwargs) -> AdmissionServer:
+    defaults = dict(
+        collect_digest=True,
+        keep_journal=True,
+        gateway_factory=SPEC.build,
+    )
+    defaults.update(kwargs)
+    return AdmissionServer(SPEC.build(), **defaults)
+
+
+def req(op, request_id, **fields):
+    return make_request(op, request_id, **fields)
+
+
+async def drive(server, n, *, t0=0.0, depart_every=3, rid=0):
+    """Admit ``n`` flows (departing every ``depart_every``-th) via submit."""
+    t = t0
+    for i in range(n):
+        t += 0.05
+        flow = f"f{rid}-{i}"
+        response = await server.submit(req("admit", rid * 100000 + i, flow=flow, t=t))
+        assert response["ok"], response
+        if depart_every and i % depart_every == depart_every - 1:
+            t += 0.01
+            await server.submit(
+                req("depart", rid * 100000 + 50000 + i, flow=flow, t=t)
+            )
+    return t
+
+
+class TestGatewaySpec:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ParameterError):
+            GatewaySpec(kind="nope")
+        with pytest.raises(ParameterError):
+            GatewaySpec(links=0)
+        with pytest.raises(ParameterError):
+            GatewaySpec(capacity=0.0)
+
+    def test_twins_decide_identically(self):
+        async def scenario():
+            a = make_server(name="a")
+            b = make_server(name="b")
+            await a.start_dispatcher()
+            await b.start_dispatcher()
+            try:
+                await drive(a, 40)
+                await drive(b, 40)
+                return a.digest(), b.digest()
+            finally:
+                await a.stop()
+                await b.stop()
+
+        left, right = run(scenario())
+        assert left is not None and left == right
+
+    def test_with_seed_is_pure(self):
+        spec = GatewaySpec(kind="rcbr", seed=3)
+        assert spec.with_seed(7).seed == 7
+        assert spec.seed == 3
+
+
+class TestJournalBounding:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AdmissionServer(SPEC.build(), journal_max_entries=64)
+        with pytest.raises(ParameterError):
+            AdmissionServer(
+                SPEC.build(), keep_journal=True, journal_max_entries=0,
+                gateway_factory=SPEC.build,
+            )
+        with pytest.raises(ParameterError):
+            AdmissionServer(SPEC.build(), standby=True)
+
+    def test_long_run_holds_journal_flat(self):
+        """The satellite regression: a run far longer than the bound keeps
+        the in-memory journal at the bound while the checkpoint keeps the
+        *full* decision history replayable to the served digest."""
+
+        async def scenario():
+            server = make_server(name="bounded", journal_max_entries=64)
+            await server.start_dispatcher()
+            try:
+                await drive(server, 400)
+                return (
+                    len(server.journal),
+                    server.journal_start,
+                    server.journal_end(),
+                    server.digest(),
+                    server.replay_from_checkpoint(),
+                )
+            finally:
+                await server.stop()
+
+        kept, start, end, served, replayed = run(scenario())
+        assert kept <= 64
+        assert start > 0 and start + kept == end
+        assert served == replayed
+
+    def test_retain_floor_blocks_truncation(self):
+        async def scenario():
+            server = make_server(name="floored", journal_max_entries=16)
+            server.retain_floor = 0  # an attached follower has acked nothing
+            await server.start_dispatcher()
+            try:
+                await drive(server, 100, depart_every=0)
+                floored_len = len(server.journal)
+                server.retain_floor = server.journal_end()  # all acked
+                await drive(server, 30, depart_every=0, rid=1)
+                acked_len = len(server.journal)
+                server.retain_floor = None  # follower detached
+                await drive(server, 1, depart_every=0, rid=2)
+                return floored_len, acked_len, len(server.journal)
+            finally:
+                await server.stop()
+
+        floored_len, acked_len, detached_len = run(scenario())
+        assert floored_len == 100  # nothing truncated while unshipped
+        assert acked_len == 30  # only the unacked tail survives truncation
+        assert detached_len <= 16  # full bound once no follower holds a floor
+
+
+class TestStandby:
+    def test_refuses_data_ops(self):
+        async def scenario():
+            follower = make_server(name="fol", standby=True)
+            await follower.start_dispatcher()
+            try:
+                out = {}
+                for op, fields in (
+                    ("admit", {"flow": "f1"}),
+                    ("depart", {"flow": "f1"}),
+                    ("admit_many", {"flows": ["a"]}),
+                    ("migrate-out", {"flows": ["a"]}),
+                    ("migrate-in", {"flows": [["a", 1.0]]}),
+                ):
+                    response = await follower.submit(req(op, 1, **fields))
+                    out[op] = response["error"]
+                health = await follower.submit(req("health", 9))
+                return out, health["result"]["standby"]
+            finally:
+                await follower.stop()
+
+        errors, standby = run(scenario())
+        assert standby is True
+        for op, error in errors.items():
+            assert error["code"] == "state-error", (op, error)
+            assert "standby" in error["message"]
+
+    def test_journal_sync_refused_on_active_server(self):
+        async def scenario():
+            server = make_server(name="active")
+            await server.start_dispatcher()
+            try:
+                return (await server.submit(req(
+                    "journal-sync", 1, shard="x", seq=0, start=0, entries=[],
+                )))["error"]
+            finally:
+                await server.stop()
+
+        error = run(scenario())
+        assert error["code"] == "state-error"
+
+
+class TestJournalSync:
+    async def _sync(self, follower, leader, synced, *, rid, limit=512):
+        entries, digest = leader.journal_segment(synced, limit)
+        response = await follower.submit(req(
+            "journal-sync", rid, shard=leader.name, seq=rid,
+            start=synced, entries=[list(e) for e in entries], digest=digest,
+        ))
+        return response
+
+    def test_follower_reconstructs_leader_digest(self):
+        async def scenario():
+            leader = make_server(name="lead")
+            follower = make_server(name="fol", standby=True)
+            await leader.start_dispatcher()
+            await follower.start_dispatcher()
+            try:
+                await drive(leader, 60)
+                synced, rid = 0, 0
+                while synced < leader.journal_end():
+                    response = await self._sync(
+                        follower, leader, synced, rid=rid, limit=17
+                    )
+                    assert response["ok"], response
+                    synced = response["result"]["total"]
+                    rid += 1
+                final = response["result"]
+                return final, leader.digest(), follower.digest()
+            finally:
+                await leader.stop()
+                await follower.stop()
+
+        final, leader_digest, follower_digest = run(scenario())
+        assert final["digest_ok"] is True
+        assert final["digest"] == leader_digest == follower_digest
+
+    def test_gap_detected_and_names_expected_offset(self):
+        async def scenario():
+            leader = make_server(name="lead")
+            follower = make_server(name="fol", standby=True)
+            await leader.start_dispatcher()
+            await follower.start_dispatcher()
+            try:
+                await drive(leader, 10, depart_every=0)
+                entries, digest = leader.journal_segment(5, 512)
+                response = await follower.submit(req(
+                    "journal-sync", 1, shard="lead", seq=0, start=5,
+                    entries=[list(e) for e in entries], digest=digest,
+                ))
+                return response["error"]
+            finally:
+                await leader.stop()
+                await follower.stop()
+
+        error = run(scenario())
+        assert error["code"] == "state-error"
+        assert "expects 0" in error["message"]
+
+    def test_overlap_is_skipped_idempotently(self):
+        async def scenario():
+            leader = make_server(name="lead")
+            follower = make_server(name="fol", standby=True)
+            await leader.start_dispatcher()
+            await follower.start_dispatcher()
+            try:
+                await drive(leader, 10, depart_every=0)
+                first = await self._sync(follower, leader, 0, rid=1)
+                again = await self._sync(follower, leader, 0, rid=2)
+                return first["result"], again["result"], follower.digest()
+            finally:
+                await leader.stop()
+                await follower.stop()
+
+        first, again, digest = run(scenario())
+        assert first["applied"] == first["total"] == 10
+        assert again["applied"] == 0 and again["total"] == 10
+        assert again["digest_ok"] is True and again["digest"] == digest
+
+    def test_divergence_is_fatal(self):
+        async def scenario():
+            leader = make_server(name="lead")
+            follower = make_server(name="fol", standby=True)
+            await leader.start_dispatcher()
+            await follower.start_dispatcher()
+            try:
+                await drive(leader, 6, depart_every=0)
+                entries, _ = leader.journal_segment(0, 512)
+                response = await follower.submit(req(
+                    "journal-sync", 1, shard="lead", seq=0, start=0,
+                    entries=[list(e) for e in entries],
+                    digest="0" * 64,
+                ))
+                return response["error"]
+            finally:
+                await leader.stop()
+                await follower.stop()
+
+        error = run(scenario())
+        assert error["code"] == "state-error"
+        assert "diverged" in error["message"]
+
+
+class TestPromotion:
+    def test_promote_verifies_replay_and_repairs(self):
+        async def scenario():
+            leader = make_server(name="lead")
+            follower = make_server(name="fol", standby=True)
+            await leader.start_dispatcher()
+            await follower.start_dispatcher()
+            try:
+                t = await drive(leader, 30)
+                # Ship everything, then admit two more the follower will
+                # never see -- the "dead leader's unshipped tail".
+                entries, digest = leader.journal_segment(0, 4096)
+                await follower.submit(req(
+                    "journal-sync", 1, shard="lead", seq=0, start=0,
+                    entries=[list(e) for e in entries], digest=digest,
+                ))
+                extra = []
+                for i in range(2):
+                    t += 0.05
+                    flow = f"late-{i}"
+                    response = await leader.submit(req(
+                        "admit", 100 + i, flow=flow, t=t,
+                    ))
+                    if response["result"]["decision"]["admitted"]:
+                        extra.append([flow, response["result"]["t"]])
+                # The supervisor's table: everything the leader carries.
+                table = [
+                    [flow, 0.0]
+                    for flow in leader.gateway.active_flows()
+                ]
+                response = await follower.submit(req(
+                    "promote", 2, flows=table, t=t,
+                ))
+                assert response["ok"], response
+                result = response["result"]
+                health = await follower.submit(req("health", 3))
+                return result, len(extra), health["result"]["standby"]
+            finally:
+                await leader.stop()
+                await follower.stop()
+
+        result, n_extra, standby = run(scenario())
+        assert result["promoted"] is True
+        assert result["verified"] is True
+        assert result["repaired_in"] == n_extra
+        assert result["repaired_out"] == 0
+        assert standby is False
+
+    def test_promote_refused_when_already_active(self):
+        async def scenario():
+            server = make_server(name="lead")
+            await server.start_dispatcher()
+            try:
+                return (await server.submit(req("promote", 1)))["error"]
+            finally:
+                await server.stop()
+
+        assert run(scenario())["code"] == "state-error"
+
+
+class TestTwoPhaseMigration:
+    def test_migrated_flows_replay_on_both_shards(self):
+        """migrate-out journals the departure, migrate-in the placement
+        with the original admission time; both journals replay to their
+        served digests on fresh twins (nothing lost, nothing doubled)."""
+
+        async def scenario():
+            a = make_server(name="a")
+            b = make_server(name="b")
+            await a.start_dispatcher()
+            await b.start_dispatcher()
+            try:
+                t = await drive(a, 20)
+                moving = a.gateway.active_flows()[:5]
+                t += 1.0
+                out = await a.submit(req(
+                    "migrate-out", 1, flows=list(moving), t=t,
+                ))
+                assert out["ok"], out
+                pairs = [[flow, 0.5] for flow in moving]
+                incoming = await b.submit(req(
+                    "migrate-in", 2, flows=pairs, t=t,
+                ))
+                assert incoming["ok"], incoming
+                # Second migrate-in of the same flows must refuse rather
+                # than double-place.
+                doubled = await b.submit(req("migrate-in", 3, flows=pairs, t=t))
+                return (
+                    out["result"]["departed"],
+                    incoming["result"]["installed"],
+                    doubled["error"],
+                    a.digest(), replay_journal(SPEC.build(), a.journal),
+                    b.digest(), replay_journal(SPEC.build(), b.journal),
+                    set(moving) <= set(b.gateway.active_flows()),
+                    set(moving) & set(a.gateway.active_flows()),
+                )
+            finally:
+                await a.stop()
+                await b.stop()
+
+        (departed, installed, doubled, a_digest, a_replayed,
+         b_digest, b_replayed, on_b, still_on_a) = run(scenario())
+        assert departed == installed == 5
+        assert doubled["code"] == "state-error"
+        assert "double-admit" in doubled["message"]
+        assert a_digest == a_replayed
+        assert b_digest == b_replayed
+        assert on_b and not still_on_a
+
+
+class TestProcessFaultSchedule:
+    def test_extracts_sorted_process_events(self):
+        plan = FaultPlan(links={
+            "s1": FeedFaults(shard_crash=[[4.0, 1.0]]),
+            "s0": FeedFaults(
+                shard_restart=[[2.0, 1.0]], shard_crash=[[9.0, 1.0]]
+            ),
+        })
+        assert process_fault_schedule(plan) == [
+            (2.0, "shard_restart", "s0"),
+            (4.0, "shard_crash", "s1"),
+            (9.0, "shard_crash", "s0"),
+        ]
+
+
+@pytest.mark.slow
+class TestProcessCluster:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ProcessCluster(SPEC, shards=0)
+        with pytest.raises(ParameterError):
+            ProcessCluster(SPEC, replicas=2)
+
+    def test_sigkill_failover_under_load(self):
+        """The acceptance test: a 3-shard multi-process cluster survives
+        SIGKILL of a leader mid-run; the follower's replayed digest
+        verifies, and cluster-wide reconciliation shows zero lost and
+        zero double-admitted decisions."""
+
+        async def scenario():
+            async with ProcessCluster(
+                SPEC, shards=3, replicas=1, journal_max_entries=256,
+            ) as cluster:
+                t = 0.0
+                for i in range(90):
+                    t += 0.05
+                    await cluster.admit(f"f{i}", t)
+                before = await cluster.reconcile()
+                victim = cluster.ring.node_for("f0")
+                await asyncio.sleep(0.3)  # let the pump drain
+                cluster.kill_shard(victim)
+                for i in range(90, 140):
+                    t += 0.05
+                    await cluster.admit(f"f{i}", t)
+                for flow in list(cluster.flows)[:10]:
+                    t += 0.01
+                    await cluster.depart(flow, t)
+                after = await cluster.reconcile()
+                return before, after, cluster.failovers, list(cluster.events)
+
+        before, after, failovers, events = run(scenario())
+        assert before["ok"], before
+        assert failovers == 1
+        assert after["ok"], after
+        assert after["lost"] == [] and after["double_admitted"] == []
+        promoted = [e for e in events if e["event"] == "promoted"]
+        assert len(promoted) == 1 and promoted[0]["verified"] is True
+        assert promoted[0]["digest"] is not None
+
+    def test_ring_resize_migrates_with_reconciliation(self):
+        async def scenario():
+            async with ProcessCluster(
+                SPEC, shards=2, replicas=0,
+            ) as cluster:
+                t = 0.0
+                for i in range(60):
+                    t += 0.05
+                    await cluster.admit(f"f{i}", t)
+                added = await cluster.add_shard("s9")
+                mid = await cluster.reconcile()
+                removed = await cluster.remove_shard("s9")
+                final = await cluster.reconcile()
+                return added, mid, removed, final, cluster.migrated
+
+        added, mid, removed, final, migrated = run(scenario())
+        assert added > 0  # ~1/3 of flows remap onto the new shard
+        assert mid["ok"], mid
+        assert removed == added  # everything it gained moves back off
+        assert final["ok"], final
+        assert migrated == added + removed
+
+
+class TestClusterLoadgen:
+    def test_hooked_kill_inside_workload(self):
+        from repro.service.loadgen import run_cluster_loadgen
+
+        async def scenario():
+            async with ProcessCluster(
+                SPEC, shards=2, replicas=1, journal_max_entries=128,
+            ) as cluster:
+                fired = []
+                hooks = [
+                    (1.5, lambda: (
+                        fired.append(True),
+                        cluster.kill_shard(cluster.shards[0]),
+                    )),
+                ]
+                report = await run_cluster_loadgen(
+                    cluster,
+                    rate=20.0,
+                    holding_time=2.0,
+                    n_flows=120,
+                    seed=7,
+                    hooks=hooks,
+                )
+                await cluster.heal()
+                reconcile = await cluster.reconcile()
+                return report, reconcile, fired, cluster.failovers
+
+        report, reconcile, fired, failovers = run(scenario())
+        assert fired == [True]
+        assert report.arrivals == 120
+        assert report.errors == 0
+        assert failovers == 1
+        assert reconcile["ok"], reconcile
+
+
+def test_journal_ops_cover_migration():
+    assert "migrate_out" in JOURNAL_OPS and "migrate_in" in JOURNAL_OPS
+
+
+def test_remote_error_has_retryable_promotion_path():
+    # The supervisor retries a shard call after promoting; make sure the
+    # client surfaces the shutting-down code it keys on.
+    exc = RemoteError("shutting-down", "draining", retryable=True)
+    assert exc.code == "shutting-down"
