@@ -533,6 +533,92 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+
+    soak = sub.add_parser(
+        "soak",
+        help="day-in-the-life soak: diurnal + flash-crowd + overload load "
+        "over a replicated cluster with autoscaling and online p_ce "
+        "re-inversion, gated per phase",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--shards", type=int, default=2, help="base leader shard processes"
+    )
+    soak.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        choices=(0, 1),
+        help="journal-shipped standby followers per shard",
+    )
+    soak.add_argument(
+        "--links", type=int, default=2, help="links per shard gateway"
+    )
+    soak.add_argument("--capacity", type=float, default=20.0)
+    soak.add_argument(
+        "--day",
+        type=float,
+        default=120.0,
+        help="simulated length of the compressed day",
+    )
+    soak.add_argument("--holding-time", type=float, default=12.0)
+    soak.add_argument(
+        "--low-rate", type=float, default=1.0, help="night arrival rate"
+    )
+    soak.add_argument(
+        "--high-rate", type=float, default=6.0, help="midday arrival rate"
+    )
+    soak.add_argument(
+        "--overload-rate",
+        type=float,
+        default=18.0,
+        help="overload-phase arrival rate (far past cluster capacity)",
+    )
+    soak.add_argument("--flash-amplitude", type=float, default=20.0)
+    soak.add_argument(
+        "--overflow-bound",
+        type=float,
+        default=0.05,
+        help="per-link overflow-fraction gate for normal phases",
+    )
+    soak.add_argument(
+        "--overload-overflow-bound",
+        type=float,
+        default=0.10,
+        help="per-link overflow-fraction gate for the overload phase",
+    )
+    soak.add_argument("--autoscale-high", type=float, default=24.0)
+    soak.add_argument("--autoscale-low", type=float, default=8.0)
+    soak.add_argument("--max-extra-shards", type=int, default=2)
+    soak.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="SHARD:T",
+        help="SIGKILL SHARD's leader at simulated time T (repeatable)",
+    )
+    soak.add_argument("--journal-max-entries", type=int, default=4096)
+    soak.add_argument(
+        "--check-digest",
+        action="store_true",
+        help="rerun the identical scenario and require byte-identical "
+        "shard digests",
+    )
+    soak.add_argument(
+        "--min-decisions-per-sec",
+        type=float,
+        default=None,
+        help="fail unless throughput stays above this floor",
+    )
+    soak.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the full phase report as JSON to PATH",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     return parser
 
 
@@ -1364,9 +1450,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               f"decisions/s ({report.requests} requests, "
               f"wall {report.wall_seconds:.2f}s)")
         latency = report.latency
-        print(f"latency              : p50 {latency['p50'] * 1e3:.2f}ms  "
-              f"p90 {latency['p90'] * 1e3:.2f}ms  "
-              f"p99 {latency['p99'] * 1e3:.2f}ms")
+
+        def _ms(value):
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                return "n/a"
+            return f"{value * 1e3:.2f}ms"
+
+        print(f"latency              : p50 {_ms(latency['p50'])}  "
+              f"p90 {_ms(latency['p90'])}  "
+              f"p99 {_ms(latency['p99'])}")
         for addr, digest in sorted(report.digests.items()):
             print(f"digest[{addr}]: {digest}")
         if digest_replayed is not None:
@@ -1534,6 +1626,106 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.scenario import SoakConfig, evaluate_gates, run_soak
+
+    kills = _parse_shard_times(args.kill, "--kill")
+    if kills and not args.replicas:
+        return _usage_error("--kill needs --replicas 1 (a killed shard "
+                            "without a follower cannot fail over)")
+    config = SoakConfig(
+        seed=args.seed,
+        shards=args.shards,
+        replicas=args.replicas,
+        links=args.links,
+        capacity=args.capacity,
+        day=args.day,
+        holding_time=args.holding_time,
+        low_rate=args.low_rate,
+        high_rate=args.high_rate,
+        overload_rate=args.overload_rate,
+        flash_amplitude=args.flash_amplitude,
+        overflow_bound=args.overflow_bound,
+        overload_overflow_bound=args.overload_overflow_bound,
+        autoscale_high=args.autoscale_high,
+        autoscale_low=args.autoscale_low,
+        max_extra_shards=args.max_extra_shards,
+        kills=tuple(kills),
+        journal_max_entries=args.journal_max_entries,
+    )
+    result = asyncio.run(run_soak(config))
+    digest_stable = None
+    if args.check_digest:
+        rerun = asyncio.run(run_soak(config))
+        # A killed shard's promoted follower only carries the journal
+        # prefix the wall-clock pump shipped before the SIGKILL, so its
+        # digest is legitimately timing-dependent; every surviving
+        # shard's digest must still reproduce byte for byte.
+        killed = {name for name, _t in kills}
+        mine = {k: v for k, v in result.digests.items() if k not in killed}
+        theirs = {k: v for k, v in rerun.digests.items() if k not in killed}
+        digest_stable = mine == theirs
+
+    failures = evaluate_gates(
+        phase_reports=result.phase_reports,
+        events=result.events,
+        reconcile=result.reconcile,
+        report=result.report,
+        min_decisions_per_sec=args.min_decisions_per_sec,
+        digest_stable=digest_stable,
+    )
+    promotions = [e for e in result.events if e.get("event") == "promoted"]
+    if len(promotions) < len(kills):
+        failures.append(
+            f"{len(kills)} shard(s) killed but only {len(promotions)} "
+            "follower(s) promoted"
+        )
+
+    payload = result.as_dict()
+    payload["digest_stable"] = digest_stable
+    payload["failures"] = failures
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=repr)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+    else:
+        report = result.report
+        print(f"scenario             : day {args.day:g}s, "
+              f"{args.shards}+{result.scale_ups} shard(s), "
+              f"{len(result.phase_reports)} phases")
+        print(f"workload             : {report.arrivals} arrivals -> "
+              f"{report.admitted} admitted, {report.rejected} rejected, "
+              f"{report.departures} departed "
+              f"({report.shed} shed, {report.errors} errors)")
+        print(f"throughput           : {report.decisions_per_sec:,.0f} "
+              f"decisions/s (wall {report.wall_seconds:.2f}s)")
+        for phase in result.phase_reports:
+            print(f"phase {phase.name:<14s} : overflow "
+                  f"{phase.worst_overflow:.4f} <= {phase.bound:.4f} "
+                  f"{'ok' if phase.ok else 'FAIL'}")
+        print(f"autoscale            : {result.scale_ups} up, "
+              f"{result.scale_downs} down")
+        print(f"re-inversions        : {result.retargets} "
+              f"({[r['alpha'] for r in result.reinversions]})")
+        print(f"reconcile            : "
+              f"{'OK' if result.reconcile.get('ok') else 'FAILED'} -- "
+              f"{result.reconcile.get('flows')} tracked, "
+              f"{result.reconcile.get('shard_flows')} on shards")
+        for name, digest in sorted(result.digests.items()):
+            print(f"digest[{name}]: {digest}")
+        if digest_stable is not None:
+            print(f"digest rerun         : "
+                  f"{'byte-identical' if digest_stable else 'DIVERGED'}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "list": lambda args: _cmd_list(),
     "run": _cmd_run,
@@ -1547,6 +1739,7 @@ _COMMANDS = {
     "admit-client": _cmd_admit_client,
     "loadgen": _cmd_loadgen,
     "serve-cluster": _cmd_serve_cluster,
+    "soak": _cmd_soak,
 }
 
 

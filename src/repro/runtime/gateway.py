@@ -493,6 +493,18 @@ class AdmissionGateway:
         """Advance every link to ``now``; returns fresh measurements seen."""
         return sum(1 for link in self.links if link.tick(now))
 
+    def retarget(self, alpha: float, link: str | None = None) -> list[str]:
+        """Install a re-inverted CE parameter on one link or all of them.
+
+        Pure controller swap (no feed or clock state is touched), so the
+        call is replay-safe wherever it lands in a journal.  Returns the
+        names of the links affected.
+        """
+        targets = [self.link(link)] if link is not None else list(self.links)
+        for target in targets:
+            target.retarget(alpha)
+        return [target.name for target in targets]
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -506,6 +518,8 @@ class AdmissionGateway:
                 "breaker": link.breaker.snapshot(),
                 "mean_utilization": link.mean_utilization,
                 "overflow_fraction": link.overflow_fraction,
+                "observed_time": link.observed_time,
+                "overload_time": link.overload_time,
                 "load_fraction": link.load_fraction,
             }
             for link in self.links

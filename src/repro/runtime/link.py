@@ -452,6 +452,27 @@ class ManagedLink:
             return None
         return self.conservative_controller.target_count(estimate, self._n)
 
+    def retarget(self, alpha: float) -> None:
+        """Install a re-inverted certainty-equivalent parameter online.
+
+        Replaces the healthy-mode controller with a closed-form
+        ``CertaintyEquivalentController(capacity, alpha=...)`` -- the
+        paper's robust scheme runs the *plain* CE rule with the adjusted
+        p_ce in place of p_q, so a re-inversion lands on the primary
+        decision path.  ``alpha`` is capped at the most conservative
+        representable parameter.  Pure controller swap: no feed or clock
+        state changes, so a journaled retarget replays exactly.
+        """
+        alpha = float(alpha)
+        if not math.isfinite(alpha) or alpha <= 0.0:
+            raise ParameterError("retarget alpha must be a positive finite "
+                                 f"number, got {alpha!r}")
+        min_sigma = getattr(self.controller, "min_sigma", 0.0)
+        self.controller = CertaintyEquivalentController(
+            self.capacity, alpha=min(alpha, _ALPHA_FLOOR),
+            min_sigma=min_sigma,
+        )
+
     # -- health bookkeeping ------------------------------------------------
 
     def _on_breaker_transition(

@@ -1,0 +1,44 @@
+"""Seeded day-in-the-life scenario engine.
+
+Composable arrival-rate profiles (:mod:`~repro.scenario.profiles`),
+supervisor-driven shard autoscaling (:mod:`~repro.scenario.autoscale`),
+online p_ce re-inversion (:mod:`~repro.scenario.reinvert`), per-phase
+gate evaluation (:mod:`~repro.scenario.gates`) and the soak driver that
+threads them together (:mod:`~repro.scenario.soak`).
+"""
+
+from repro.scenario.autoscale import AutoscalePolicy, Autoscaler
+from repro.scenario.gates import PhaseReport, evaluate_gates, evaluate_phases
+from repro.scenario.profiles import (
+    CompositeProfile,
+    DiurnalProfile,
+    FlashCrowd,
+    Phase,
+    draw_arrivals,
+)
+from repro.scenario.reinvert import Reinverter, plan_retarget
+from repro.scenario.soak import (
+    SoakConfig,
+    SoakResult,
+    day_in_the_life,
+    run_soak,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "CompositeProfile",
+    "DiurnalProfile",
+    "FlashCrowd",
+    "Phase",
+    "PhaseReport",
+    "Reinverter",
+    "SoakConfig",
+    "SoakResult",
+    "day_in_the_life",
+    "draw_arrivals",
+    "evaluate_gates",
+    "evaluate_phases",
+    "plan_retarget",
+    "run_soak",
+]

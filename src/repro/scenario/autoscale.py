@@ -1,0 +1,125 @@
+"""Supervisor-side shard autoscaling for the soak scenario.
+
+The :class:`Autoscaler` watches the cluster supervisor's authoritative
+flow table (no wire traffic, deterministic under a deterministic driver)
+and resizes the ring through the existing two-phase-migration
+``ProcessCluster.add_shard`` / ``remove_shard`` -- so every scaling
+action moves live flows under load, which is exactly the machinery the
+soak exists to exercise.
+
+Flap control is structural: the add threshold sits well above the
+remove threshold (hysteresis band), a cooldown in *simulated* time
+separates consecutive actions, and only shards the autoscaler itself
+added are ever removed (base shards are permanent), last-in-first-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and limits for supervisor-driven ring resizing.
+
+    ``high_flows_per_shard`` / ``low_flows_per_shard`` bound the
+    hysteresis band on the mean active-flow count per shard: scale up
+    at or above the high mark, down at or below the low mark, do
+    nothing in between.  ``cooldown`` is the minimum simulated time
+    between any two actions.
+    """
+
+    high_flows_per_shard: float
+    low_flows_per_shard: float
+    min_shards: int = 1
+    max_shards: int = 8
+    cooldown: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.low_flows_per_shard < 0.0:
+            raise ParameterError("low_flows_per_shard must be >= 0")
+        if self.high_flows_per_shard <= self.low_flows_per_shard:
+            raise ParameterError(
+                "high_flows_per_shard must exceed low_flows_per_shard "
+                "(the hysteresis band must be non-empty)"
+            )
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ParameterError(
+                "need 1 <= min_shards <= max_shards, got "
+                f"[{self.min_shards}, {self.max_shards}]"
+            )
+        if self.cooldown < 0.0:
+            raise ParameterError("cooldown must be >= 0")
+
+
+class Autoscaler:
+    """Drive ``cluster`` ring resizes from its own flow table.
+
+    Call :meth:`observe` at whatever cadence the scenario schedules
+    (soak hooks use a fixed simulated-time interval); each call performs
+    at most one scaling action and records it in :attr:`actions`.
+    """
+
+    def __init__(self, cluster, policy: AutoscalePolicy,
+                 *, name_prefix: str = "a") -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.name_prefix = str(name_prefix)
+        #: LIFO stack of shards this autoscaler added (the only ones it
+        #: will remove).
+        self._added: list[str] = []
+        self._spawned = 0
+        self._last_action_t: float | None = None
+        #: Ordered ``{"action", "t", "shard", ...}`` records.
+        self.actions: list[dict] = []
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for a in self.actions if a["action"] == "add")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for a in self.actions if a["action"] == "remove")
+
+    def _cooling(self, now: float) -> bool:
+        return (
+            self._last_action_t is not None
+            and now - self._last_action_t < self.policy.cooldown
+        )
+
+    async def observe(self, now: float) -> dict | None:
+        """Evaluate the policy once; returns the action record, if any."""
+        if self._cooling(now):
+            return None
+        policy = self.policy
+        shards = self.cluster.shards
+        n_shards = len(shards)
+        per_shard = len(self.cluster.flows) / n_shards
+        if (
+            per_shard >= policy.high_flows_per_shard
+            and n_shards < policy.max_shards
+        ):
+            self._spawned += 1
+            name = f"{self.name_prefix}{self._spawned}"
+            moved = await self.cluster.add_shard(name)
+            self._added.append(name)
+            action = {"action": "add", "t": now, "shard": name,
+                      "migrated": moved, "flows_per_shard": per_shard}
+        elif (
+            per_shard <= policy.low_flows_per_shard
+            and n_shards > policy.min_shards
+            and self._added
+        ):
+            name = self._added.pop()
+            moved = await self.cluster.remove_shard(name)
+            action = {"action": "remove", "t": now, "shard": name,
+                      "migrated": moved, "flows_per_shard": per_shard}
+        else:
+            return None
+        self._last_action_t = now
+        self.actions.append(action)
+        return action

@@ -1,0 +1,159 @@
+"""Per-phase gate evaluation for the day-in-the-life soak.
+
+The soak driver snapshots the cluster at every phase boundary; the
+gateway snapshot carries each link's cumulative ``observed_time`` and
+``overload_time`` integrals, so differencing consecutive boundary
+snapshots yields the overflow fraction *within* each phase -- including
+the overload phase, where the paper's claim is precisely that the
+controller keeps the time-in-overflow bounded even though the offered
+load is far beyond capacity.
+
+:func:`evaluate_phases` turns boundary snapshots into per-phase reports;
+:func:`evaluate_gates` folds those plus the run-level facts (events,
+reconciliation, throughput, digest stability) into a flat list of
+human-readable failure strings -- empty means the soak passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseReport", "evaluate_gates", "evaluate_phases"]
+
+
+@dataclass
+class PhaseReport:
+    """Overflow exposure of one scenario phase, per link and worst-case."""
+
+    name: str
+    start: float
+    end: float
+    bound: float
+    #: ``{"shard/link": in-phase overflow fraction}``.
+    overflow: dict = field(default_factory=dict)
+
+    @property
+    def worst_overflow(self) -> float:
+        return max(self.overflow.values(), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return self.worst_overflow <= self.bound
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "bound": self.bound,
+            "overflow": dict(self.overflow),
+            "worst_overflow": self.worst_overflow,
+            "ok": self.ok,
+        }
+
+
+def _link_integrals(snapshot: dict) -> dict:
+    """``{"shard/link": (observed_time, overload_time)}`` from a snapshot."""
+    out: dict = {}
+    for shard_name, shard in snapshot.get("shards", {}).items():
+        if "unreachable" in shard:
+            continue
+        for link_name, link in shard.get("links", {}).items():
+            observed = link.get("observed_time") or 0.0
+            overload = link.get("overload_time") or 0.0
+            out[f"{shard_name}/{link_name}"] = (
+                float(observed), float(overload)
+            )
+    return out
+
+
+def evaluate_phases(phases, boundary_snapshots) -> list:
+    """Difference boundary snapshots into per-phase overflow reports.
+
+    ``boundary_snapshots`` has one snapshot per phase boundary --
+    ``len(phases) + 1`` of them, the first at the scenario start.  A
+    link first seen during a phase (autoscale-up) differences against
+    zero; a link gone by the phase's end (autoscale-down) contributed
+    its exposure while it lived but cannot be differenced, so it is
+    skipped -- the supervisor migrated its flows away, it served nothing
+    after removal.  Links with no observed time in the phase are skipped
+    (no exposure, nothing to bound).
+    """
+    if len(boundary_snapshots) != len(phases) + 1:
+        raise ValueError(
+            f"need {len(phases) + 1} boundary snapshots for "
+            f"{len(phases)} phases, got {len(boundary_snapshots)}"
+        )
+    reports: list = []
+    for phase, before, after in zip(
+        phases, boundary_snapshots, boundary_snapshots[1:]
+    ):
+        prev = _link_integrals(before)
+        cur = _link_integrals(after)
+        overflow: dict = {}
+        for key, (observed, overload) in sorted(cur.items()):
+            observed0, overload0 = prev.get(key, (0.0, 0.0))
+            d_observed = observed - observed0
+            if d_observed <= 0.0:
+                continue
+            overflow[key] = max(overload - overload0, 0.0) / d_observed
+        reports.append(PhaseReport(
+            name=phase.name,
+            start=phase.start,
+            end=phase.end,
+            bound=phase.overflow_bound,
+            overflow=overflow,
+        ))
+    return reports
+
+
+def evaluate_gates(
+    *,
+    phase_reports,
+    events,
+    reconcile: dict,
+    report,
+    min_scale_ups: int = 1,
+    min_scale_downs: int = 1,
+    min_retargets: int = 1,
+    min_decisions_per_sec: float | None = None,
+    digest_stable: bool | None = None,
+) -> list:
+    """Every failed gate as one message; an empty list is a pass."""
+    failures: list = []
+    for phase in phase_reports:
+        if not phase.ok:
+            failures.append(
+                f"phase {phase.name!r}: overflow {phase.worst_overflow:.4f} "
+                f"exceeds bound {phase.bound:.4f}"
+            )
+    ups = sum(1 for e in events if e.get("event") == "added")
+    downs = sum(1 for e in events if e.get("event") == "removed")
+    retargets = sum(1 for e in events if e.get("event") == "retarget")
+    if ups < min_scale_ups:
+        failures.append(f"expected >= {min_scale_ups} autoscale-up events, "
+                        f"saw {ups}")
+    if downs < min_scale_downs:
+        failures.append(f"expected >= {min_scale_downs} autoscale-down "
+                        f"events, saw {downs}")
+    if retargets < min_retargets:
+        failures.append(f"expected >= {min_retargets} online re-inversions, "
+                        f"saw {retargets}")
+    if not reconcile.get("ok"):
+        failures.append(
+            f"reconciliation dirty: {len(reconcile.get('lost', []))} lost, "
+            f"{len(reconcile.get('double_admitted', []))} double-admitted"
+        )
+    if report.errors:
+        failures.append(f"{report.errors} requests errored")
+    if (
+        min_decisions_per_sec is not None
+        and report.decisions_per_sec < min_decisions_per_sec
+    ):
+        failures.append(
+            f"throughput {report.decisions_per_sec:,.0f} decisions/s below "
+            f"the {min_decisions_per_sec:,.0f} floor"
+        )
+    if digest_stable is False:
+        failures.append("rerun decision digests diverged")
+    return failures

@@ -1,0 +1,188 @@
+"""Composable time-varying arrival-rate profiles for the soak scenario.
+
+A *profile* maps simulated time to an instantaneous Poisson arrival
+intensity.  The pieces here are all piecewise-linear, which buys two
+things: the composite of any set of them is piecewise-linear too, so the
+exact peak rate is found by evaluating at the union of breakpoints (no
+numeric search), and Lewis-Shedler thinning against that exact peak
+generates an inhomogeneous Poisson arrival schedule that is a pure
+function of the seed.
+
+The generated schedule plugs into
+:func:`repro.service.loadgen.run_cluster_loadgen` via its ``arrivals``
+parameter -- the scenario owns *when* flows arrive, the loadgen owns
+everything else (holding times, routing, accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "CompositeProfile",
+    "DiurnalProfile",
+    "FlashCrowd",
+    "Phase",
+    "draw_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Piecewise-linear baseline rate: the day's slow breathing.
+
+    ``points`` is a sorted ``((t, rate), ...)`` sequence; the rate is
+    linearly interpolated between breakpoints and clamped to the first /
+    last value outside them.
+    """
+
+    points: tuple
+
+    def __post_init__(self) -> None:
+        points = tuple((float(t), float(r)) for t, r in self.points)
+        if len(points) < 2:
+            raise ParameterError("a diurnal profile needs >= 2 breakpoints")
+        times = [t for t, _r in points]
+        if times != sorted(times) or len(set(times)) != len(times):
+            raise ParameterError("profile breakpoints must be strictly "
+                                 "increasing in time")
+        if any(r < 0.0 for _t, r in points):
+            raise ParameterError("profile rates must be non-negative")
+        object.__setattr__(self, "points", points)
+
+    def rate(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t0, r0), (t1, r1) in zip(points, points[1:]):
+            if t0 <= t <= t1:
+                return r0 + (r1 - r0) * (t - t0) / (t1 - t0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def breakpoints(self) -> tuple:
+        return tuple(t for t, _r in self.points)
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """Additive triangular-trapezoid spike: ramp up, hold, decay to zero.
+
+    Models a flash crowd landing on top of whatever baseline is active:
+    zero outside ``[start, start + ramp + hold + decay]``, rising
+    linearly to ``amplitude`` over ``ramp``, flat for ``hold``, falling
+    linearly back over ``decay``.
+    """
+
+    start: float
+    amplitude: float
+    ramp: float = 1.0
+    hold: float = 0.0
+    decay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0.0:
+            raise ParameterError("flash-crowd amplitude must be >= 0")
+        if self.ramp <= 0.0 or self.decay <= 0.0 or self.hold < 0.0:
+            raise ParameterError("flash-crowd ramp/decay must be positive "
+                                 "and hold >= 0")
+
+    def rate(self, t: float) -> float:
+        dt = t - self.start
+        if dt <= 0.0:
+            return 0.0
+        if dt < self.ramp:
+            return self.amplitude * dt / self.ramp
+        dt -= self.ramp
+        if dt <= self.hold:
+            return self.amplitude
+        dt -= self.hold
+        if dt < self.decay:
+            return self.amplitude * (1.0 - dt / self.decay)
+        return 0.0
+
+    def breakpoints(self) -> tuple:
+        return (
+            self.start,
+            self.start + self.ramp,
+            self.start + self.ramp + self.hold,
+            self.start + self.ramp + self.hold + self.decay,
+        )
+
+
+@dataclass(frozen=True)
+class CompositeProfile:
+    """Sum of component profiles (baseline + any number of spikes)."""
+
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        parts = tuple(self.parts)
+        if not parts:
+            raise ParameterError("a composite profile needs >= 1 part")
+        object.__setattr__(self, "parts", parts)
+
+    def rate(self, t: float) -> float:
+        return sum(part.rate(t) for part in self.parts)
+
+    def breakpoints(self) -> tuple:
+        out: set = set()
+        for part in self.parts:
+            out.update(part.breakpoints())
+        return tuple(sorted(out))
+
+    def max_rate(self, horizon: float) -> float:
+        """Exact peak rate on ``[0, horizon]``.
+
+        Every part is piecewise-linear, so the composite is too and its
+        maximum sits at a breakpoint (or an interval endpoint).
+        """
+        candidates = [0.0, horizon]
+        candidates += [t for t in self.breakpoints() if 0.0 <= t <= horizon]
+        return max(self.rate(t) for t in candidates)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named window of the scenario with its own overflow gate."""
+
+    name: str
+    start: float
+    end: float
+    #: Per-link overflow-fraction bound the phase must hold.
+    overflow_bound: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ParameterError(f"phase {self.name!r} must end after it "
+                                 "starts")
+        if not 0.0 <= self.overflow_bound <= 1.0:
+            raise ParameterError("overflow_bound must be in [0, 1]")
+
+
+def draw_arrivals(profile, horizon: float, rng) -> list:
+    """Inhomogeneous Poisson arrival times on ``[0, horizon]`` by thinning.
+
+    Lewis-Shedler: draw homogeneous candidates at the profile's exact
+    peak rate, accept each at probability ``rate(t) / peak``.  One
+    candidate and one uniform per step, in a fixed order -- the schedule
+    is a pure function of ``rng``'s seed, which is what makes a soak's
+    decision digest reproducible.
+    """
+    if horizon <= 0.0:
+        raise ParameterError("horizon must be positive")
+    peak = profile.max_rate(horizon)
+    if peak <= 0.0:
+        raise ParameterError("profile peak rate must be positive on the "
+                             "horizon")
+    out: list = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= horizon:
+            return out
+        if float(rng.random()) * peak < profile.rate(t):
+            out.append(t)

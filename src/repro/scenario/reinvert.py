@@ -1,0 +1,177 @@
+"""Online p_ce re-inversion: close the loop from telemetry to targets.
+
+The theory layer's :func:`repro.theory.inversion.adjusted_ce_alpha`
+answers "given the measurement memory, the flow dynamics and the
+measured burstiness, which certainty-equivalent parameter makes the
+*predicted* overflow equal the design target p_q?".  Until now that
+inversion ran once, offline, at build time.  This module runs it
+*online*: :class:`Reinverter` periodically reads the measured per-flow
+mean / deviation gauges out of live cluster snapshots, re-solves for
+alpha against the drifted signal-to-noise ratio, and installs the
+result on every shard through the journaled ``retarget`` op -- so the
+serving digest reproduces under replay even though the target moved
+mid-day.
+
+:func:`plan_retarget` is the pure planning kernel (also the target of
+the Hypothesis monotonicity / bound property tests): it caps the
+solution at the most conservative representable parameter and quantizes
+it, conservatively upward, so the installed value -- which travels into
+every subsequent decision's digest line -- cannot wobble with solver
+library versions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.theory.inversion import _ALPHA_MAX, adjusted_ce_alpha
+
+__all__ = ["Reinverter", "plan_retarget"]
+
+
+def plan_retarget(
+    p_q: float,
+    *,
+    memory: float,
+    correlation_time: float,
+    holding_time_scaled: float,
+    snr: float,
+    formula: str = "general",
+    cap: float = _ALPHA_MAX,
+    quantize: float = 1e-4,
+) -> float:
+    """The alpha to install for measured parameters; total and safe.
+
+    Wraps :func:`adjusted_ce_alpha` with the two properties an *online*
+    loop needs and the offline call site didn't:
+
+    * **total** -- an unreachable p_q (predicted overflow above target
+      even at the most conservative representable parameter) installs
+      ``cap`` instead of raising, mirroring ``ManagedLink.build``'s
+      max-conservative fallback;
+    * **digest-stable** -- the root is quantized to the ``quantize``
+      grid by rounding *up* (never below the exact solution, so the
+      installed target is never less conservative than the theory
+      demands), killing solver-tolerance jitter before it can reach the
+      decision digest.
+    """
+    if cap <= 0.0:
+        raise ParameterError("cap must be positive")
+    if quantize < 0.0:
+        raise ParameterError("quantize must be >= 0")
+    try:
+        alpha = adjusted_ce_alpha(
+            p_q,
+            memory=memory,
+            correlation_time=correlation_time,
+            holding_time_scaled=holding_time_scaled,
+            snr=snr,
+            formula=formula,
+        )
+    except ConvergenceError:
+        alpha = cap
+    if quantize > 0.0:
+        # Round up, tolerating values already on the grid (the 1e-9
+        # slack keeps an exact grid point from jumping a full step).
+        alpha = math.ceil(alpha / quantize - 1e-9) * quantize
+    return min(float(alpha), float(cap))
+
+
+class Reinverter:
+    """Periodic online re-inversion against measured cluster telemetry.
+
+    Call :meth:`observe` on the scenario's schedule.  Each call scrapes
+    one cluster snapshot, averages the finite ``link.*.mu_hat`` /
+    ``link.*.sigma_hat`` gauges across reachable shards into a measured
+    signal-to-noise ratio, plans the matching alpha, and -- when it has
+    moved more than ``tolerance`` from what is installed -- broadcasts a
+    journaled ``retarget`` to the whole cluster.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        p_q: float,
+        memory: float,
+        correlation_time: float,
+        holding_time_scaled: float,
+        formula: str = "general",
+        cap: float = _ALPHA_MAX,
+        quantize: float = 1e-4,
+        tolerance: float = 1e-3,
+    ) -> None:
+        if tolerance < 0.0:
+            raise ParameterError("tolerance must be >= 0")
+        self.cluster = cluster
+        self.p_q = float(p_q)
+        self.memory = float(memory)
+        self.correlation_time = float(correlation_time)
+        self.holding_time_scaled = float(holding_time_scaled)
+        self.formula = formula
+        self.cap = float(cap)
+        self.quantize = float(quantize)
+        self.tolerance = float(tolerance)
+        #: Currently installed alpha (None until the first install).
+        self.installed: float | None = None
+        #: Ordered ``{"t", "snr", "alpha", "installed"}`` records.
+        self.history: list[dict] = []
+
+    @staticmethod
+    def measure_snr(snapshot: dict) -> float | None:
+        """Mean sigma_hat over mean mu_hat across every reachable link.
+
+        Gauges crossed the wire through ``json_safe``, so a link with no
+        estimate yet reports ``None`` -- skipped, like non-finite values.
+        Returns ``None`` when no usable measurement exists.
+        """
+        mus: list[float] = []
+        sigmas: list[float] = []
+        for shard in snapshot.get("shards", {}).values():
+            if "unreachable" in shard:
+                continue
+            gauges = shard.get("gauges", {})
+            for key, value in gauges.items():
+                if not key.startswith("link.") or not isinstance(
+                    value, (int, float)
+                ) or isinstance(value, bool) or not math.isfinite(value):
+                    continue
+                if key.endswith(".mu_hat"):
+                    mus.append(float(value))
+                elif key.endswith(".sigma_hat"):
+                    sigmas.append(float(value))
+        if not mus or not sigmas:
+            return None
+        mu = sum(mus) / len(mus)
+        sigma = sum(sigmas) / len(sigmas)
+        if mu <= 0.0 or sigma < 0.0:
+            return None
+        return sigma / mu
+
+    async def observe(self, now: float) -> dict | None:
+        """Scrape, re-invert, install if drifted; returns the record."""
+        snapshot = await self.cluster.snapshot()
+        snr = self.measure_snr(snapshot)
+        if snr is None or snr <= 0.0:
+            return None
+        alpha = plan_retarget(
+            self.p_q,
+            memory=self.memory,
+            correlation_time=self.correlation_time,
+            holding_time_scaled=self.holding_time_scaled,
+            snr=snr,
+            formula=self.formula,
+            cap=self.cap,
+            quantize=self.quantize,
+        )
+        if (
+            self.installed is not None
+            and abs(alpha - self.installed) <= self.tolerance
+        ):
+            return None
+        await self.cluster.retarget(alpha)
+        self.installed = alpha
+        record = {"t": now, "snr": snr, "alpha": alpha}
+        self.history.append(record)
+        return record

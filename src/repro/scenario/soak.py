@@ -1,0 +1,324 @@
+"""Day-in-the-life soak driver: one compressed day, end to end.
+
+Composes the pieces the repo has grown -- the multi-process replicated
+cluster (journal shipping, failover promotion, two-phase migration),
+the open-loop cluster loadgen, the telemetry-bearing snapshots and the
+theory inversion -- into a single seeded scenario:
+
+* a **diurnal** baseline ramps offered load from a quiet night to a
+  busy midday;
+* a **flash crowd** spikes on top of the morning ramp;
+* an **overload** plateau offers load far beyond cluster capacity (the
+  regime where measurement-based admission control is what keeps the
+  network stable);
+* an :class:`~repro.scenario.autoscale.Autoscaler` grows and shrinks
+  the ring under that load, migrating live flows;
+* a :class:`~repro.scenario.reinvert.Reinverter` re-inverts p_ce
+  against measured telemetry and installs the result via the journaled
+  ``retarget`` op.
+
+Everything is an event on the loadgen's single-sequence simulated
+clock, so the whole day -- decisions, migrations, re-inversions -- is a
+pure function of the seed: rerunning the same config must reproduce
+every shard digest byte for byte, which is the strongest gate
+:mod:`repro.scenario.gates` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.memory import critical_time_scale
+from repro.errors import ParameterError
+from repro.scenario.autoscale import AutoscalePolicy, Autoscaler
+from repro.scenario.gates import evaluate_phases
+from repro.scenario.profiles import (
+    CompositeProfile,
+    DiurnalProfile,
+    FlashCrowd,
+    Phase,
+    draw_arrivals,
+)
+from repro.scenario.reinvert import Reinverter
+from repro.service.loadgen import run_cluster_loadgen
+from repro.service.replication import GatewaySpec, ProcessCluster
+
+__all__ = ["SoakConfig", "SoakResult", "day_in_the_life", "run_soak"]
+
+
+def day_in_the_life(
+    day: float,
+    *,
+    low: float = 1.0,
+    high: float = 6.0,
+    overload: float = 18.0,
+    flash_amplitude: float = 20.0,
+    overflow_bound: float = 0.05,
+    overload_overflow_bound: float = 0.10,
+):
+    """The canonical compressed day: ``(profile, phases)``.
+
+    Ramp-up to midday, a flash crowd riding the ramp's shoulder, an
+    overload plateau far past cluster capacity, then a wind-down back
+    to the night rate.  All times scale with ``day``.
+    """
+    if day <= 0.0:
+        raise ParameterError("day must be positive")
+    baseline = DiurnalProfile((
+        (0.00 * day, low),
+        (0.15 * day, low),
+        (0.30 * day, high),
+        (0.55 * day, high),
+        (0.60 * day, overload),
+        (0.75 * day, overload),
+        (0.85 * day, low),
+        (1.00 * day, low),
+    ))
+    flash = FlashCrowd(
+        start=0.32 * day,
+        amplitude=flash_amplitude,
+        ramp=0.03 * day,
+        hold=0.03 * day,
+        decay=0.05 * day,
+    )
+    profile = CompositeProfile((baseline, flash))
+    phases = [
+        Phase("ramp-up", 0.00 * day, 0.30 * day, overflow_bound),
+        Phase("flash-crowd", 0.30 * day, 0.45 * day, overflow_bound),
+        Phase("midday", 0.45 * day, 0.60 * day, overflow_bound),
+        Phase("overload", 0.60 * day, 0.80 * day, overload_overflow_bound),
+        Phase("wind-down", 0.80 * day, 1.00 * day, overflow_bound),
+    ]
+    return profile, phases
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything that determines one soak run (and hence its digests)."""
+
+    seed: int = 0
+    shards: int = 2
+    replicas: int = 1
+    links: int = 2
+    capacity: float = 20.0
+    #: Simulated length of the compressed day.
+    day: float = 120.0
+    #: Mean exponential flow holding time (simulated units).
+    holding_time: float = 12.0
+    # -- load shape (flows per simulated second) --
+    low_rate: float = 1.0
+    high_rate: float = 6.0
+    overload_rate: float = 18.0
+    flash_amplitude: float = 20.0
+    # -- gates --
+    overflow_bound: float = 0.05
+    overload_overflow_bound: float = 0.10
+    # -- autoscaling --
+    autoscale_high: float = 24.0
+    autoscale_low: float = 8.0
+    max_extra_shards: int = 2
+    # -- controller targets --
+    #: Explicit closed-form CE parameter the shards boot with (keeps
+    #: the decision path free of the scipy inversion, so pinned digests
+    #: survive solver-library changes).
+    alpha: float = 1.645
+    #: Design overflow target the online re-inversion solves for.
+    p_q: float = 0.01
+    #: Assumed measurement memory T_m fed to the inversion (0 matches
+    #: the trace gateway's memoryless estimators).
+    memory: float = 0.0
+    #: Assumed source correlation time T_c fed to the inversion.
+    correlation_time: float = 1.0
+    #: ``(shard, t)`` SIGKILLs to inject (failover promotion under load).
+    kills: tuple = ()
+    journal_max_entries: int | None = 4096
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ParameterError("need at least one shard")
+        if self.day <= 0.0 or self.holding_time <= 0.0:
+            raise ParameterError("day and holding_time must be positive")
+        if self.max_extra_shards < 0:
+            raise ParameterError("max_extra_shards must be >= 0")
+
+
+@dataclass
+class SoakResult:
+    """One soak run's full evidence bundle."""
+
+    config: SoakConfig
+    report: object
+    phase_reports: list
+    events: list = field(default_factory=list)
+    reconcile: dict = field(default_factory=dict)
+    autoscale_actions: list = field(default_factory=list)
+    reinversions: list = field(default_factory=list)
+
+    @property
+    def digests(self) -> dict:
+        return dict(self.report.digests)
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.get("event") == "added")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.get("event") == "removed")
+
+    @property
+    def retargets(self) -> int:
+        return sum(1 for e in self.events if e.get("event") == "retarget")
+
+    def as_dict(self) -> dict:
+        report = self.report
+        return {
+            "phases": [p.as_dict() for p in self.phase_reports],
+            "events": list(self.events),
+            "reconcile": dict(self.reconcile),
+            "autoscale_actions": list(self.autoscale_actions),
+            "reinversions": list(self.reinversions),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "retargets": self.retargets,
+            "report": {
+                "arrivals": report.arrivals,
+                "admitted": report.admitted,
+                "rejected": report.rejected,
+                "departures": report.departures,
+                "shed": report.shed,
+                "errors": report.errors,
+                "retried": report.retried,
+                "requests": report.requests,
+                "simulated_time": report.simulated_time,
+                "wall_seconds": report.wall_seconds,
+                "decisions_per_sec": report.decisions_per_sec,
+                "latency": report.latency,
+                "digests": dict(report.digests),
+            },
+        }
+
+
+async def run_soak(config: SoakConfig) -> SoakResult:
+    """Drive one full scenario; returns the evidence bundle.
+
+    Gate evaluation is the caller's job (CLI / tests) via
+    :func:`repro.scenario.gates.evaluate_gates` -- this function only
+    *collects*: per-phase boundary snapshots, scaling and re-inversion
+    events, the end-of-day reconciliation and the loadgen report.
+    """
+    profile, phases = day_in_the_life(
+        config.day,
+        low=config.low_rate,
+        high=config.high_rate,
+        overload=config.overload_rate,
+        flash_amplitude=config.flash_amplitude,
+        overflow_bound=config.overflow_bound,
+        overload_overflow_bound=config.overload_overflow_bound,
+    )
+    # The arrival schedule gets its own substream so adding knobs to the
+    # holding-time draw can never shift *when* flows arrive.
+    arrivals = draw_arrivals(
+        profile, config.day, np.random.default_rng((config.seed, 17))
+    )
+    spec = GatewaySpec(
+        kind="trace",
+        links=config.links,
+        capacity=config.capacity,
+        alpha=config.alpha,
+        seed=config.seed,
+    )
+    cluster = ProcessCluster(
+        spec,
+        shards=config.shards,
+        replicas=config.replicas,
+        journal_max_entries=config.journal_max_entries,
+    )
+    async with cluster:
+        policy = AutoscalePolicy(
+            high_flows_per_shard=config.autoscale_high,
+            low_flows_per_shard=config.autoscale_low,
+            min_shards=config.shards,
+            max_shards=config.shards + config.max_extra_shards,
+            cooldown=config.day / 12.0,
+        )
+        autoscaler = Autoscaler(cluster, policy)
+        reinverter = Reinverter(
+            cluster,
+            p_q=config.p_q,
+            memory=config.memory,
+            correlation_time=config.correlation_time,
+            holding_time_scaled=critical_time_scale(
+                config.holding_time, config.capacity
+            ),
+        )
+
+        boundaries = [phases[0].start] + [phase.end for phase in phases]
+        snapshots: list = [None] * len(boundaries)
+        hooks: list = []
+
+        def snapshot_hook(index: int):
+            async def hook() -> None:
+                snapshots[index] = await cluster.snapshot()
+            return hook
+
+        for index, when in enumerate(boundaries):
+            hooks.append((when, snapshot_hook(index)))
+
+        def autoscale_hook(when: float):
+            async def hook() -> None:
+                await autoscaler.observe(when)
+            return hook
+
+        step = config.day / 50.0
+        when = step * 0.65  # off the phase boundaries
+        while when < config.day:
+            hooks.append((when, autoscale_hook(when)))
+            when += step
+
+        def reinvert_hook(when: float):
+            async def hook() -> None:
+                await reinverter.observe(when)
+            return hook
+
+        step = config.day / 5.0
+        when = step * 0.45
+        while when < config.day:
+            hooks.append((when, reinvert_hook(when)))
+            when += step
+
+        for shard, when in config.kills:
+            hooks.append((float(when),
+                          lambda shard=shard: cluster.kill_shard(shard)))
+
+        report = await run_cluster_loadgen(
+            cluster,
+            holding_time=config.holding_time,
+            seed=config.seed,
+            arrivals=arrivals,
+            hooks=hooks,
+        )
+        await cluster.heal()
+        reconcile = await cluster.reconcile()
+        events = list(cluster.events)
+        autoscale_actions = list(autoscaler.actions)
+        reinversions = list(reinverter.history)
+
+    missing = [i for i, snap in enumerate(snapshots) if snap is None]
+    if missing:  # pragma: no cover - hooks always fire within the horizon
+        raise ParameterError(
+            f"phase boundary snapshots {missing} never fired; is the "
+            "scenario horizon shorter than the last phase?"
+        )
+    phase_reports = evaluate_phases(phases, snapshots)
+    return SoakResult(
+        config=config,
+        report=report,
+        phase_reports=phase_reports,
+        events=events,
+        reconcile=reconcile,
+        autoscale_actions=autoscale_actions,
+        reinversions=reinversions,
+    )

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ParameterError, RemoteError
-from repro.runtime.metrics import Histogram
+from repro.runtime.metrics import Histogram, json_safe
 from repro.service.client import AsyncAdmissionClient, parse_address
 from repro.service.protocol import MAX_PROTOCOL_VERSION, SUPPORTED_VERSIONS
 from repro.service.cluster import HashRing
@@ -440,6 +440,13 @@ async def run_loadgen(
             try:
                 snapshot = await client.snapshot()
                 digests[addr] = snapshot.get("service", {}).get("decision_digest")
+            except (RemoteError, ConnectionError, OSError,
+                    asyncio.TimeoutError) as exc:
+                # A server that died mid-run (every request errored) must
+                # not turn the report itself into an exception.
+                logger.warning("loadgen: digest fetch from %s failed: %s",
+                               addr, exc)
+                digests[addr] = None
             finally:
                 await client.close()
 
@@ -455,7 +462,9 @@ async def run_loadgen(
         simulated_time=max(w.simulated_time for w in workers),
         wall_seconds=wall,
         decisions_per_sec=decisions / wall if wall > 0.0 else float("inf"),
-        latency=latency.summary(),
+        # json_safe: a zero-success run has an empty histogram whose
+        # percentiles are NaN -- report them as None, not invalid JSON.
+        latency=json_safe(latency.summary()),
         digests=digests,
         **totals,
     )
@@ -464,11 +473,12 @@ async def run_loadgen(
 async def run_cluster_loadgen(
     cluster,
     *,
-    rate: float,
+    rate: float | None = None,
     holding_time: float,
-    n_flows: int,
+    n_flows: int | None = None,
     seed: int = 0,
     hooks=(),
+    arrivals: "list[float] | None" = None,
 ) -> LoadGenReport:
     """Drive a supervised cluster with the loadgen workload, plus chaos hooks.
 
@@ -486,16 +496,32 @@ async def run_cluster_loadgen(
     This is how a test SIGKILLs a shard or resizes the ring at an exact
     point in the arrival sequence.
 
+    ``arrivals``, when given, is a precomputed nondecreasing sequence of
+    arrival instants (e.g. drawn from a time-varying rate profile via
+    :func:`repro.scenario.profiles.draw_arrivals`) that replaces the
+    constant-``rate`` Poisson draw; the RNG then only draws holding
+    times, so the schedule stays a pure function of the seed.
+
     The driver is single-sequence and sequential, so the event order --
     and therefore every shard's journal -- is a pure function of
-    ``seed`` and the hook schedule.
+    ``seed``, the arrival schedule and the hook schedule.
     """
     import inspect
 
-    if rate <= 0.0 or holding_time <= 0.0:
-        raise ParameterError("rate and holding_time must be positive")
-    if n_flows < 1:
-        raise ParameterError("n_flows must be at least 1")
+    if holding_time <= 0.0:
+        raise ParameterError("holding_time must be positive")
+    if arrivals is None:
+        if rate is None or n_flows is None:
+            raise ParameterError(
+                "rate and n_flows are required without a precomputed "
+                "arrivals schedule"
+            )
+        if rate <= 0.0:
+            raise ParameterError("rate must be positive")
+        if n_flows < 1:
+            raise ParameterError("n_flows must be at least 1")
+    elif len(arrivals) < 1:
+        raise ParameterError("arrivals schedule must be non-empty")
     from repro.errors import RuntimeStateError
 
     _HOOK = 2
@@ -508,10 +534,11 @@ async def run_cluster_loadgen(
         heapq.heappush(heap, (when, kind, seq, payload))
         seq += 1
 
-    for when, raw in zip(
-        np.cumsum(rng.exponential(1.0 / rate, size=n_flows)),
-        range(n_flows),
-    ):
+    if arrivals is None:
+        schedule = np.cumsum(rng.exponential(1.0 / rate, size=n_flows))
+    else:
+        schedule = arrivals
+    for raw, when in enumerate(schedule):
         push(float(when), _ARRIVE, f"c{raw}")
     for when, fn in hooks:
         push(float(when), _HOOK, fn)
@@ -584,7 +611,7 @@ async def run_cluster_loadgen(
         simulated_time=simulated,
         wall_seconds=wall,
         decisions_per_sec=decisions / wall if wall > 0.0 else float("inf"),
-        latency=latency.summary(),
+        latency=json_safe(latency.summary()),
         digests=digests,
     )
 

@@ -149,6 +149,7 @@ OPS = (
     "migrate-out",
     "migrate-in",
     "promote",
+    "retarget",
 )
 
 #: Journal entry op names a ``journal-sync`` segment may carry (the ops
@@ -161,6 +162,9 @@ JOURNAL_OPS = (
     "telemetry",
     "migrate_out",
     "migrate_in",
+    # Appended (not inserted) so the v2 binary codes of the ops above
+    # stay stable across protocol revisions.
+    "retarget",
 )
 
 #: Machine-readable error codes carried by error frames.
@@ -479,6 +483,17 @@ def _pack_journal_entry(entry, out: bytearray) -> None:
         else:
             out += b"\x01"
             _pack_flow(flow, out)
+    elif op == "retarget":
+        # Re-inversion install: (alpha, link|None for all links).
+        if not isinstance(flows, (list, tuple)) or len(flows) != 2:
+            raise _NotEncodable
+        alpha, link = flows
+        if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+            raise _NotEncodable
+        if link is not None and not isinstance(link, str):
+            raise _NotEncodable
+        out += _V2_F64.pack(float(alpha))
+        _pack_str(link, out)
     else:  # migrate_in: [(flow, original effective_t), ...]
         if not isinstance(flows, (list, tuple)):
             raise _NotEncodable
@@ -514,6 +529,8 @@ def _take_journal_entry(reader: _V2Reader) -> list:
         has_flow = reader.take_bytes(1) == b"\x01"
         flows = [link, t_sample, nbytes, packets,
                  reader.take_flow() if has_flow else None]
+    elif op == "retarget":
+        flows = [reader.take(_V2_F64), reader.take_str()]
     else:  # migrate_in
         count = reader.take(_V2_U32)
         flows = [
@@ -1049,6 +1066,26 @@ def validate_request(payload: dict) -> dict:
             _check_flow_id(flow)
     elif op == "migrate-in":
         _check_flow_pairs(payload.get("flows"), op, allow_empty=False)
+    elif op == "retarget":
+        alpha = payload.get("alpha")
+        if (
+            isinstance(alpha, bool)
+            or not isinstance(alpha, (int, float))
+            or not math.isfinite(alpha)
+            or alpha <= 0.0
+        ):
+            raise ProtocolError(
+                f"retarget 'alpha' must be a positive finite number, "
+                f"got {alpha!r}",
+                code="bad-request",
+            )
+        link = payload.get("link")
+        if link is not None and (not isinstance(link, str) or not link):
+            raise ProtocolError(
+                f"retarget 'link' must be a non-empty string or null, "
+                f"got {link!r}",
+                code="bad-request",
+            )
     elif op == "promote":
         if "flows" in payload and payload["flows"] is not None:
             _check_flow_pairs(payload["flows"], op, allow_empty=True)

@@ -95,6 +95,12 @@ class GatewaySpec:
     links: int = 2
     capacity: float = 20.0
     placement: str = "least-loaded"
+    #: Explicit healthy-mode CE parameter for ``trace`` gateways.  When
+    #: set, the controller is built closed-form (no scipy inversion on
+    #: the decision path), which is what lets a soak's pinned digest
+    #: survive scipy version changes -- the same principle the golden
+    #: replay trace uses.  ``None`` keeps the historical p_q=0.05 build.
+    alpha: float | None = None
     # rcbr-only knobs (mirroring the CLI's gateway builder)
     n: float = 20.0
     holding_time: float = 100.0
@@ -114,6 +120,8 @@ class GatewaySpec:
             raise ParameterError("a gateway spec needs at least one link")
         if self.capacity <= 0.0:
             raise ParameterError("capacity must be positive")
+        if self.alpha is not None and self.alpha <= 0.0:
+            raise ParameterError("alpha must be positive when given")
 
     def with_seed(self, seed: int) -> "GatewaySpec":
         """A copy with a different seed (per-shard feed decorrelation)."""
@@ -141,6 +149,12 @@ class GatewaySpec:
             section = CrossSection(
                 n=n, mean=mean, second_moment=m2, variance=var
             )
+            if self.alpha is not None:
+                controller = CertaintyEquivalentController(
+                    self.capacity, alpha=self.alpha
+                )
+            else:
+                controller = CertaintyEquivalentController(self.capacity, 0.05)
             links.append(ManagedLink(
                 f"link{i}",
                 capacity=self.capacity,
@@ -148,7 +162,7 @@ class GatewaySpec:
                 mean_rate=1.0,
                 feed=TraceFeed([section], period=1.0, cycle=True),
                 estimator=MemorylessEstimator(),
-                controller=CertaintyEquivalentController(self.capacity, 0.05),
+                controller=controller,
                 conservative_controller=CertaintyEquivalentController(
                     self.capacity, alpha=3.0
                 ),
@@ -409,6 +423,12 @@ class ProcessCluster:
         self.failovers = 0
         #: Flows moved through the two-phase handoff.
         self.migrated = 0
+        #: Re-inversions installed cluster-wide.
+        self.retargets = 0
+        #: Last installed ``(alpha, link)`` -- re-applied to shards
+        #: spawned after the install so their journals stay
+        #: self-consistent with the cluster's current targets.
+        self._last_retarget: tuple[float, str | None] | None = None
         #: Ordered record of kills / promotions / resizes (reconcile
         #: reports ride on this).
         self.events: list[dict] = []
@@ -651,6 +671,36 @@ class ProcessCluster:
         self._clock = max(self._clock, float(result["t"]))
         return result["link"]
 
+    async def retarget(self, alpha: float, link: str | None = None) -> int:
+        """Install a re-inverted CE parameter on every shard's links.
+
+        Broadcast in sorted shard order (deterministic journal content
+        for a deterministic driver).  Each shard journals the install as
+        a ``retarget`` entry, so its follower and any later replay
+        reproduce the served digest exactly.  Returns shards updated.
+        """
+        alpha = float(alpha)
+        updated = 0
+        for name in self.shards:
+            await self._submit(name, "retarget", alpha=alpha, link=link,
+                               t=self._clock)
+            updated += 1
+        self._last_retarget = (alpha, link)
+        self.retargets += 1
+        self.events.append(
+            {"event": "retarget", "alpha": alpha, "link": link,
+             "shards": updated}
+        )
+        return updated
+
+    async def _reapply_retarget(self, name: str) -> None:
+        """Install the cluster's current target on a freshly spawned shard."""
+        if self._last_retarget is None:
+            return
+        alpha, link = self._last_retarget
+        await self._submit(name, "retarget", alpha=alpha, link=link,
+                           t=self._clock)
+
     # -- failure handling --------------------------------------------------
 
     def kill_shard(self, name: str) -> None:
@@ -740,6 +790,7 @@ class ProcessCluster:
         await self._clients[name].close()
         leader, follower = await self._spawn_pair(name)
         self._register(name, leader, follower)
+        await self._reapply_retarget(name)
         pairs = [
             [flow, t0]
             for flow, (shard, t0) in self._flows.items()
@@ -765,6 +816,7 @@ class ProcessCluster:
             raise ParameterError(f"shard {name!r} already exists")
         leader, follower = await self._spawn_pair(name)
         self._register(name, leader, follower)
+        await self._reapply_retarget(name)
         self.ring.add(name)
         by_source: dict[str, list] = {}
         for flow, (shard, t0) in self._flows.items():

@@ -75,7 +75,7 @@ logger = logging.getLogger(__name__)
 #: (its state may only advance through leader-shipped journal segments).
 _STANDBY_REFUSED = frozenset(
     {"admit", "admit_many", "depart", "depart_many", "telemetry",
-     "migrate-out", "migrate-in"}
+     "migrate-out", "migrate-in", "retarget"}
 )
 
 
@@ -959,6 +959,21 @@ class AdmissionServer:
         self._journal_append("migrate_in", pairs, t)
         return {"t": t, "installed": len(pairs)}
 
+    def _op_retarget(self, request: dict) -> dict:
+        """Install a re-inverted p_ce target (as its alpha) on live links.
+
+        The install is journaled -- it changes the target every later
+        decision carries into the digest, so replay must reproduce it at
+        exactly this point in the sequence.  No digest record of its own:
+        retarget makes no admission decision.
+        """
+        link = request.get("link")
+        t = self._effective_time(request)
+        alpha = float(request["alpha"])
+        updated = self.gateway.retarget(alpha, link=link)
+        self._journal_append("retarget", [alpha, link], t)
+        return {"t": t, "alpha": alpha, "links": updated}
+
     def _op_snapshot(self, request: dict) -> dict:
         snapshot = json_safe(self.gateway.snapshot())
         snapshot["service"] = {
@@ -1203,6 +1218,12 @@ def _apply_journal(gateway, journal, sha) -> None:
             # journal entry's effective time, unconditionally.
             for flow, _t0 in flows:
                 gateway.install(flow, t)
+        elif op == "retarget":
+            # Online re-inversion install: (alpha, link|None). Changes
+            # every subsequent decision's target, hence its digest line
+            # -- which is why the install itself must be journaled.
+            alpha, link = flows
+            gateway.retarget(float(alpha), link=link)
         else:  # pragma: no cover - journals only hold the known ops
             raise ParameterError(f"unknown journal op {op!r}")
 

@@ -1,0 +1,200 @@
+"""Autoscaler policy mechanics and live ring-resize reconciliation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.scenario.autoscale import AutoscalePolicy, Autoscaler
+from repro.service.cluster import HashRing
+from repro.service.replication import GatewaySpec, ProcessCluster
+
+KEYS = [f"flow-{i}" for i in range(400)]
+SPEC = GatewaySpec(kind="trace", links=2, capacity=20.0)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeCluster:
+    """In-memory stand-in exposing the surface Autoscaler reads/drives."""
+
+    def __init__(self, n_flows=0, shards=("s0",)):
+        self.flows = {f"f{i}": "s0" for i in range(n_flows)}
+        self.shards = {name: object() for name in shards}
+        self.calls = []
+
+    def set_load(self, n_flows):
+        self.flows = {f"f{i}": "s0" for i in range(n_flows)}
+
+    async def add_shard(self, name):
+        self.shards[name] = object()
+        self.calls.append(("add", name))
+        return 3
+
+    async def remove_shard(self, name):
+        del self.shards[name]
+        self.calls.append(("remove", name))
+        return 2
+
+
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AutoscalePolicy(high_flows_per_shard=2.0, low_flows_per_shard=2.0)
+        with pytest.raises(ParameterError):
+            AutoscalePolicy(high_flows_per_shard=5.0, low_flows_per_shard=-1.0)
+        with pytest.raises(ParameterError):
+            AutoscalePolicy(5.0, 1.0, min_shards=0)
+        with pytest.raises(ParameterError):
+            AutoscalePolicy(5.0, 1.0, min_shards=3, max_shards=2)
+        with pytest.raises(ParameterError):
+            AutoscalePolicy(5.0, 1.0, cooldown=-0.1)
+
+
+class TestAutoscalerUnit:
+    def policy(self, **kwargs):
+        defaults = dict(high_flows_per_shard=10.0, low_flows_per_shard=2.0,
+                        min_shards=1, max_shards=4)
+        defaults.update(kwargs)
+        return AutoscalePolicy(**defaults)
+
+    def test_hysteresis_band_is_quiet(self):
+        async def scenario():
+            cluster = FakeCluster(n_flows=5)  # 5/shard: inside (2, 10)
+            scaler = Autoscaler(cluster, self.policy())
+            assert await scaler.observe(0.0) is None
+            assert cluster.calls == []
+
+        run(scenario())
+
+    def test_scales_up_at_high_mark_and_caps_at_max(self):
+        async def scenario():
+            cluster = FakeCluster(n_flows=10)
+            scaler = Autoscaler(cluster, self.policy(max_shards=2))
+            action = await scaler.observe(1.0)
+            assert action == {"action": "add", "t": 1.0, "shard": "a1",
+                              "migrated": 3, "flows_per_shard": 10.0}
+            cluster.set_load(40)  # 20/shard, but max_shards reached
+            assert await scaler.observe(2.0) is None
+            assert scaler.scale_ups == 1
+            assert [c[0] for c in cluster.calls] == ["add"]
+
+        run(scenario())
+
+    def test_removes_own_shards_lifo_and_never_base_shards(self):
+        async def scenario():
+            cluster = FakeCluster(n_flows=0, shards=("s0", "s1"))
+            scaler = Autoscaler(cluster, self.policy(min_shards=1))
+            # Below the low mark with nothing of its own: must not touch
+            # the base shards.
+            assert await scaler.observe(0.0) is None
+            cluster.set_load(20)
+            await scaler.observe(1.0)  # adds a1
+            cluster.set_load(40)
+            await scaler.observe(2.0)  # adds a2
+            cluster.set_load(0)
+            first = await scaler.observe(3.0)
+            second = await scaler.observe(4.0)
+            assert (first["shard"], second["shard"]) == ("a2", "a1")
+            # Own stack drained; base shards stay put even below low.
+            assert await scaler.observe(5.0) is None
+            assert set(cluster.shards) == {"s0", "s1"}
+            assert scaler.scale_downs == 2
+
+        run(scenario())
+
+    def test_min_shards_floor_blocks_removal(self):
+        async def scenario():
+            cluster = FakeCluster(n_flows=20, shards=("s0",))
+            scaler = Autoscaler(cluster, self.policy(min_shards=2))
+            await scaler.observe(0.0)  # adds a1 -> 2 shards
+            cluster.set_load(0)
+            assert await scaler.observe(1.0) is None  # floor is 2
+            assert set(cluster.shards) == {"s0", "a1"}
+
+        run(scenario())
+
+    def test_cooldown_separates_actions_in_simulated_time(self):
+        async def scenario():
+            cluster = FakeCluster(n_flows=10)
+            scaler = Autoscaler(cluster, self.policy(cooldown=10.0))
+            assert (await scaler.observe(0.0))["action"] == "add"
+            cluster.set_load(40)
+            assert await scaler.observe(5.0) is None  # still cooling
+            assert (await scaler.observe(10.0))["action"] == "add"
+            assert scaler.scale_ups == 2
+
+        run(scenario())
+
+
+class TestAutoscaleRingTransitions:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(
+        n_base=st.integers(min_value=2, max_value=6),
+        fresh=st.integers(min_value=0, max_value=10 ** 9),
+    )
+    def test_each_transition_remaps_about_one_over_n(self, n_base, fresh):
+        """Every autoscale step pays only the consistent-hashing price:
+        adding the (N+1)-th shard remaps ~1/(N+1) of keys (generously
+        bounded), and the matching removal restores the mapping exactly
+        -- so repeated up/down cycles cannot accumulate churn."""
+        ring = HashRing([f"s{i}" for i in range(n_base)])
+        for step in range(3):
+            before = {key: ring.node_for(key) for key in KEYS}
+            name = f"a{fresh}-{step}"
+            ring.add(name)
+            moved = sum(
+                1 for key in KEYS if ring.node_for(key) != before[key]
+            )
+            assert moved <= len(KEYS) * min(1.0, 4.0 / (n_base + 1))
+            ring.remove(name)
+            assert {key: ring.node_for(key) for key in KEYS} == before
+
+
+@pytest.mark.slow
+class TestAutoscaleLive:
+    def test_add_remove_add_under_load_reconciles_clean(self):
+        """The satellite acceptance: an add -> remove -> add sequence on
+        a live multi-process cluster, each step migrating flows that are
+        mid-holding-time, ends with zero lost and zero double-admitted
+        decisions."""
+
+        async def scenario():
+            async with ProcessCluster(SPEC, shards=2, replicas=0) as cluster:
+                policy = AutoscalePolicy(
+                    high_flows_per_shard=10.0, low_flows_per_shard=2.0,
+                    min_shards=2, max_shards=4,
+                )
+                scaler = Autoscaler(cluster, policy)
+                t = 0.0
+                for i in range(40):
+                    t += 0.02
+                    await cluster.admit(f"f{i}", t)
+                up1 = await scaler.observe(t)
+                mid1 = await cluster.reconcile()
+                for flow in list(cluster.flows)[:36]:
+                    t += 0.01
+                    await cluster.depart(flow, t)
+                down = await scaler.observe(t)
+                mid2 = await cluster.reconcile()
+                for i in range(40, 80):
+                    t += 0.02
+                    await cluster.admit(f"f{i}", t)
+                up2 = await scaler.observe(t)
+                final = await cluster.reconcile()
+                return up1, down, up2, mid1, mid2, final, scaler
+
+        up1, down, up2, mid1, mid2, final, scaler = run(scenario())
+        assert up1 and up1["action"] == "add" and up1["migrated"] > 0
+        assert down and down["action"] == "remove" and down["shard"] == up1["shard"]
+        assert up2 and up2["action"] == "add" and up2["shard"] != up1["shard"]
+        assert scaler.scale_ups == 2 and scaler.scale_downs == 1
+        for stage in (mid1, mid2, final):
+            assert stage["ok"], stage
+            assert stage["lost"] == [] and stage["double_admitted"] == []

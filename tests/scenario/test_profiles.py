@@ -1,0 +1,124 @@
+"""Profile composition, exact peak rates, and seeded arrival schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.scenario.profiles import (
+    CompositeProfile,
+    DiurnalProfile,
+    FlashCrowd,
+    Phase,
+    draw_arrivals,
+)
+
+
+class TestDiurnalProfile:
+    def test_interpolates_and_clamps(self):
+        profile = DiurnalProfile(((0.0, 2.0), (10.0, 6.0), (20.0, 2.0)))
+        assert profile.rate(-5.0) == 2.0
+        assert profile.rate(0.0) == 2.0
+        assert profile.rate(5.0) == pytest.approx(4.0)
+        assert profile.rate(10.0) == 6.0
+        assert profile.rate(15.0) == pytest.approx(4.0)
+        assert profile.rate(99.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DiurnalProfile(((0.0, 1.0),))
+        with pytest.raises(ParameterError):
+            DiurnalProfile(((0.0, 1.0), (0.0, 2.0)))  # duplicate time
+        with pytest.raises(ParameterError):
+            DiurnalProfile(((5.0, 1.0), (0.0, 2.0)))  # unsorted
+        with pytest.raises(ParameterError):
+            DiurnalProfile(((0.0, -1.0), (1.0, 2.0)))  # negative rate
+
+
+class TestFlashCrowd:
+    def test_trapezoid_shape(self):
+        spike = FlashCrowd(start=10.0, amplitude=8.0, ramp=2.0, hold=3.0,
+                           decay=4.0)
+        assert spike.rate(9.0) == 0.0
+        assert spike.rate(10.0) == 0.0
+        assert spike.rate(11.0) == pytest.approx(4.0)
+        assert spike.rate(12.0) == 8.0
+        assert spike.rate(14.0) == 8.0
+        assert spike.rate(17.0) == pytest.approx(4.0)
+        assert spike.rate(19.0) == 0.0
+        assert spike.rate(50.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FlashCrowd(start=0.0, amplitude=-1.0)
+        with pytest.raises(ParameterError):
+            FlashCrowd(start=0.0, amplitude=1.0, ramp=0.0)
+        with pytest.raises(ParameterError):
+            FlashCrowd(start=0.0, amplitude=1.0, hold=-1.0)
+
+
+class TestCompositeProfile:
+    def test_sums_parts_and_finds_exact_peak(self):
+        baseline = DiurnalProfile(((0.0, 2.0), (10.0, 6.0), (20.0, 2.0)))
+        spike = FlashCrowd(start=8.0, amplitude=10.0, ramp=1.0, hold=1.0,
+                           decay=2.0)
+        profile = CompositeProfile((baseline, spike))
+        assert profile.rate(9.5) == pytest.approx(
+            baseline.rate(9.5) + spike.rate(9.5)
+        )
+        # Piecewise-linear composite: the peak is at a breakpoint, and
+        # it must dominate any dense grid evaluation.
+        peak = profile.max_rate(20.0)
+        grid = np.linspace(0.0, 20.0, 5001)
+        assert peak >= max(profile.rate(float(t)) for t in grid) - 1e-12
+        assert peak == pytest.approx(10.0 + baseline.rate(10.0), abs=1e-9)
+
+    def test_needs_parts(self):
+        with pytest.raises(ParameterError):
+            CompositeProfile(())
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Phase("p", 1.0, 1.0, 0.05)
+        with pytest.raises(ParameterError):
+            Phase("p", 0.0, 1.0, 1.5)
+
+
+class TestDrawArrivals:
+    def test_seeded_schedule_is_reproducible(self):
+        profile = CompositeProfile((
+            DiurnalProfile(((0.0, 1.0), (50.0, 8.0), (100.0, 1.0))),
+            FlashCrowd(start=30.0, amplitude=12.0, ramp=2.0, hold=2.0,
+                       decay=5.0),
+        ))
+        a = draw_arrivals(profile, 100.0, np.random.default_rng(7))
+        b = draw_arrivals(profile, 100.0, np.random.default_rng(7))
+        c = draw_arrivals(profile, 100.0, np.random.default_rng(8))
+        assert a == b
+        assert a != c
+        assert all(0.0 < t < 100.0 for t in a)
+        assert a == sorted(a)
+
+    def test_intensity_tracks_the_profile(self):
+        # Thinning must concentrate arrivals where the rate is high: the
+        # busy half at rate 9 should see ~9x the quiet half at rate 1.
+        profile = DiurnalProfile(((0.0, 1.0), (49.999, 1.0), (50.0, 9.0),
+                                  (100.0, 9.0)))
+        composite = CompositeProfile((profile,))
+        times = draw_arrivals(composite, 100.0, np.random.default_rng(0))
+        quiet = sum(1 for t in times if t < 50.0)
+        busy = sum(1 for t in times if t >= 50.0)
+        assert busy > 5 * max(quiet, 1)
+        # Totals near the integrated intensity (500 expected).
+        assert 350 < len(times) < 650
+
+    def test_validation(self):
+        profile = CompositeProfile((DiurnalProfile(((0.0, 1.0), (1.0, 1.0))),))
+        with pytest.raises(ParameterError):
+            draw_arrivals(profile, 0.0, np.random.default_rng(0))
+        zero = CompositeProfile((DiurnalProfile(((0.0, 0.0), (1.0, 0.0))),))
+        with pytest.raises(ParameterError):
+            draw_arrivals(zero, 1.0, np.random.default_rng(0))

@@ -1,0 +1,140 @@
+"""Online re-inversion properties: monotone, bounded, conservative.
+
+The satellite property: for any measured (T_c, sigma) drift, the
+re-inverted certainty-equivalent parameter moves monotonically with the
+measurement -- nondecreasing in the measured burstiness (snr), and
+nonincreasing in the measured correlation time -- and the installed
+value never exceeds the most conservative representable bound while
+never being *less* conservative than the exact eqn-15 solution.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.scenario.reinvert import Reinverter, plan_retarget
+from repro.theory.inversion import _ALPHA_MAX, adjusted_ce_alpha
+
+warnings.filterwarnings(
+    "ignore", message=".*does not converge.*", module="repro.theory.hitting"
+)
+
+# Solver-friendly measurement space (the regimes the soak drifts over).
+snrs = st.floats(min_value=0.05, max_value=1.2)
+correlation_times = st.floats(min_value=0.2, max_value=20.0)
+memories = st.floats(min_value=0.0, max_value=5.0)
+P_Q = 0.01
+HTS = 2.683  # critical_time_scale(12, 20), the soak default
+
+
+def exact(snr, tc, memory):
+    return adjusted_ce_alpha(
+        P_Q, memory=memory, correlation_time=tc,
+        holding_time_scaled=HTS, snr=snr,
+    )
+
+
+def planned(snr, tc, memory, **kwargs):
+    return plan_retarget(
+        P_Q, memory=memory, correlation_time=tc,
+        holding_time_scaled=HTS, snr=snr, **kwargs,
+    )
+
+
+class TestPlanRetarget:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(snr=snrs, tc=correlation_times, memory=memories)
+    def test_bounded_and_never_less_conservative_than_exact(
+        self, snr, tc, memory
+    ):
+        alpha = planned(snr, tc, memory)
+        assert 0.0 < alpha <= _ALPHA_MAX
+        try:
+            truth = exact(snr, tc, memory)
+        except ConvergenceError:
+            truth = _ALPHA_MAX
+        # Quantization rounds up: installed >= exact (capped), so the
+        # installed p_ce = Q(alpha) never exceeds the adjusted bound.
+        assert alpha >= min(truth, _ALPHA_MAX) - 1e-9
+
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(
+        snr_lo=snrs, snr_hi=snrs, tc=correlation_times, memory=memories
+    )
+    def test_monotone_nondecreasing_in_measured_snr(
+        self, snr_lo, snr_hi, tc, memory
+    ):
+        lo, hi = sorted((snr_lo, snr_hi))
+        # A burstier measured signal can only demand a more (or equally)
+        # conservative target; tolerance covers the quantization grid.
+        assert planned(hi, tc, memory) >= planned(lo, tc, memory) - 2e-4
+
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(
+        snr=snrs, tc_lo=correlation_times, tc_hi=correlation_times,
+        memory=memories,
+    )
+    def test_monotone_nonincreasing_in_measured_correlation_time(
+        self, snr, tc_lo, tc_hi, memory
+    ):
+        lo, hi = sorted((tc_lo, tc_hi))
+        # Slower fluctuations average away over a holding time, so a
+        # larger measured T_c never demands a harsher target.
+        assert planned(snr, hi, memory) <= planned(snr, lo, memory) + 2e-4
+
+    def test_unreachable_target_installs_the_cap(self, monkeypatch):
+        def unreachable(*args, **kwargs):
+            raise ConvergenceError("unreachable")
+        monkeypatch.setattr(
+            "repro.scenario.reinvert.adjusted_ce_alpha", unreachable
+        )
+        assert planned(0.3, 1.0, 0.0) == _ALPHA_MAX
+        assert planned(0.3, 1.0, 0.0, cap=5.0) == 5.0
+
+    def test_quantization_rounds_up_on_the_grid(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.scenario.reinvert.adjusted_ce_alpha",
+            lambda *a, **k: 2.00003,
+        )
+        assert planned(0.3, 1.0, 0.0, quantize=1e-4) == pytest.approx(2.0001)
+        # Values already on the grid stay put.
+        monkeypatch.setattr(
+            "repro.scenario.reinvert.adjusted_ce_alpha",
+            lambda *a, **k: 2.5,
+        )
+        assert planned(0.3, 1.0, 0.0, quantize=1e-4) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            planned(0.3, 1.0, 0.0, cap=0.0)
+        with pytest.raises(ParameterError):
+            planned(0.3, 1.0, 0.0, quantize=-1.0)
+
+
+class TestMeasureSnr:
+    def test_averages_finite_gauges_across_reachable_shards(self):
+        snapshot = {"shards": {
+            "s0": {"gauges": {
+                "link.l0.mu_hat": 1.0, "link.l0.sigma_hat": 0.3,
+                "link.l1.mu_hat": 1.2, "link.l1.sigma_hat": 0.5,
+                "link.l0.n_flows": 7,  # not a measurement gauge
+            }},
+            "s1": {"unreachable": "ConnectionError: gone"},
+            "s2": {"gauges": {
+                "link.l0.mu_hat": None,  # json_safe'd NaN: skipped
+                "link.l0.sigma_hat": 0.4,
+            }},
+        }}
+        snr = Reinverter.measure_snr(snapshot)
+        assert snr == pytest.approx((0.3 + 0.5 + 0.4) / 3 / ((1.0 + 1.2) / 2))
+
+    def test_no_measurements_returns_none(self):
+        assert Reinverter.measure_snr({"shards": {}}) is None
+        assert Reinverter.measure_snr({"shards": {
+            "s0": {"gauges": {"link.l0.mu_hat": None}},
+        }}) is None

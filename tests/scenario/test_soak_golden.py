@@ -1,0 +1,143 @@
+"""Golden soak regression: a short seeded day's digests are pinned.
+
+A compressed day (60 simulated seconds, seed 11, two base shards, no
+replicas) that still exercises the whole scenario — two autoscale-ups,
+one autoscale-down, one online re-inversion, clean reconciliation — is
+committed under ``tests/scenario/data/`` as per-shard decision digests
+plus the phase report and event log.  The test re-runs the soak and
+asserts the run reproduces the committed evidence exactly, so any
+change to admission behavior, migration order, journal replay or the
+re-inversion pipeline fails loudly here.
+
+Determinism rests on the same contract as the replay golden: shards
+boot with an explicit closed-form alpha (no scipy on the decision
+path), the one online re-inversion ceil-quantizes its solver output to
+a 1e-4 grid, and every scenario event rides the loadgen's seeded
+single-sequence simulated clock.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/scenario/test_soak_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenario.gates import evaluate_gates
+from repro.scenario.soak import SoakConfig, run_soak
+
+DATA_DIR = Path(__file__).parent / "data"
+META_PATH = DATA_DIR / "soak_meta.json"
+
+#: Small enough for tier-1, rich enough to hit every scenario path.
+GOLDEN_CONFIG = SoakConfig(seed=11, day=60.0, holding_time=8.0, replicas=0)
+
+
+def summarize(result) -> dict:
+    """The deterministic evidence a run must reproduce byte for byte.
+
+    Wall-clock fields (latency, wall_seconds, decisions_per_sec) are
+    deliberately absent; everything here is a pure function of the
+    config.
+    """
+    report = result.report
+    return {
+        "config": {
+            "seed": GOLDEN_CONFIG.seed,
+            "day": GOLDEN_CONFIG.day,
+            "holding_time": GOLDEN_CONFIG.holding_time,
+            "shards": GOLDEN_CONFIG.shards,
+            "replicas": GOLDEN_CONFIG.replicas,
+            "alpha": GOLDEN_CONFIG.alpha,
+        },
+        "digests": result.digests,
+        "events": list(result.events),
+        "phases": [p.as_dict() for p in result.phase_reports],
+        "reinversions": list(result.reinversions),
+        "report": {
+            "arrivals": report.arrivals,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "departures": report.departures,
+            "shed": report.shed,
+            "errors": report.errors,
+        },
+        "reconcile": {
+            "ok": result.reconcile["ok"],
+            "lost": result.reconcile["lost"],
+            "double_admitted": result.reconcile["double_admitted"],
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    return asyncio.run(run_soak(GOLDEN_CONFIG))
+
+
+@pytest.mark.slow
+class TestGoldenSoak:
+    def test_matches_committed_golden(self, golden_run):
+        committed = json.loads(META_PATH.read_text())
+        live = json.loads(json.dumps(summarize(golden_run)))
+        assert live["digests"] == committed["digests"], (
+            "soak decision digests diverged from the committed golden; "
+            "if intentional, regenerate with "
+            "`python tests/scenario/test_soak_golden.py --regen`"
+        )
+        assert live == committed, (
+            "soak evidence (events/phases/report) changed vs the "
+            "committed golden; if intentional, regenerate the data file"
+        )
+
+    def test_gates_hold(self, golden_run):
+        failures = evaluate_gates(
+            phase_reports=golden_run.phase_reports,
+            events=golden_run.events,
+            reconcile=golden_run.reconcile,
+            report=golden_run.report,
+        )
+        assert failures == []
+
+    def test_golden_day_is_interesting(self, golden_run):
+        # The pinned run must actually exercise what it claims to pin:
+        # both autoscale directions, an online re-inversion that changed
+        # the installed target, both admission outcomes, live migration.
+        assert golden_run.scale_ups >= 2
+        assert golden_run.scale_downs >= 1
+        assert golden_run.retargets >= 1
+        assert golden_run.reinversions[0]["alpha"] != GOLDEN_CONFIG.alpha
+        assert golden_run.report.admitted > 0
+        assert golden_run.report.rejected > 0
+        migrated = sum(
+            e.get("migrated", 0) for e in golden_run.events
+            if e["event"] in ("added", "removed")
+        )
+        assert migrated > 0
+
+
+def regen():  # pragma: no cover - maintenance entry point
+    DATA_DIR.mkdir(exist_ok=True)
+    result = asyncio.run(run_soak(GOLDEN_CONFIG))
+    META_PATH.write_text(
+        json.dumps(summarize(result), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"golden soak: {result.report.arrivals} arrivals, "
+          f"{result.scale_ups} ups / {result.scale_downs} downs / "
+          f"{result.retargets} retargets -> {META_PATH}")
+    for shard, digest in sorted(result.digests.items()):
+        print(f"  {shard}: {digest}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)
+        sys.exit(2)

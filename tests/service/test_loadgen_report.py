@@ -1,0 +1,62 @@
+"""Regression: a zero-success run must yield a serializable report.
+
+A loadgen run where every wire call fails (dead address, no retries)
+used to blow up twice: an empty latency histogram's NaN statistics
+leaked into the report (rejected by strict-JSON consumers), and the
+post-run digest fetch raised out of ``run_loadgen`` instead of
+degrading.  The report must come back with ``errors == n_flows``,
+``None`` for any unavailable latency statistic and ``None`` digests --
+and survive ``json.dumps(..., allow_nan=False)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+from repro.runtime.metrics import Histogram, json_safe
+from repro.service.loadgen import run_loadgen
+
+from .conftest import run
+
+DEAD_ADDR = "127.0.0.1:1"  # reserved port: connection refused immediately
+
+
+def test_empty_histogram_summary_degrades_to_none():
+    # The exact contract the report relies on: no observations means
+    # every statistic is None after json_safe, never NaN.
+    summary = json_safe(Histogram("latency", buckets=(0.1, 1.0)).summary())
+    assert summary["count"] == 0
+    for key in ("min", "max", "mean", "p50", "p90", "p99"):
+        assert summary[key] is None, (key, summary[key])
+    json.dumps(summary, allow_nan=False)
+
+
+class TestZeroSuccessReport:
+    def test_dead_server_degrades_to_error_counts(self):
+        report = run(run_loadgen(
+            DEAD_ADDR,
+            rate=50.0,
+            holding_time=0.1,
+            n_flows=5,
+            timeout=0.2,
+            retries=0,
+            fetch_digests=True,
+        ))
+        assert report.arrivals == 5
+        assert report.errors == 5
+        assert report.admitted == report.rejected == report.departures == 0
+        assert report.decisions == 0
+        # Failed wire calls are still timed, but whatever the histogram
+        # holds must be strict-JSON clean: finite or None, never NaN.
+        for key, value in report.latency.items():
+            assert value is None or (
+                isinstance(value, (int, float)) and math.isfinite(value)
+            ), (key, value)
+        # The digest fetch failed but the report still carries the addr
+        # (degraded to None) instead of raising out of the run.
+        assert report.digests == {DEAD_ADDR: None}
+        # Strict-JSON round-trip is the regression's acceptance check.
+        payload = json.dumps(dataclasses.asdict(report), allow_nan=False)
+        assert json.loads(payload)["errors"] == 5

@@ -135,6 +135,8 @@ class TestValidation:
                 payload["flows"] = ["f1", 2]
             elif op == "migrate-in":
                 payload["flows"] = [["f1", 1.0], [2, 2.0]]
+            elif op == "retarget":
+                payload["alpha"] = 2.5
             assert validate_request(payload) is payload
 
     def test_rejects_wrong_version(self):

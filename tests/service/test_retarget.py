@@ -1,0 +1,220 @@
+"""The journaled ``retarget`` op: validation, wire codec, replay, refusal.
+
+Online re-inversion installs a new certainty-equivalent parameter on
+live gateways.  No admission decision is made at install time, but the
+swap changes every *subsequent* decision's target -- so the op must be
+journaled in sequence and reproduce exactly under ``replay_journal``,
+follower journal-sync and checkpoint truncation (all three share one
+apply loop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import BandwidthEstimate
+from repro.errors import ParameterError, ProtocolError
+from repro.runtime.link import _ALPHA_FLOOR
+from repro.service.protocol import (
+    JOURNAL_OPS,
+    OPS,
+    decode_frame_body,
+    encode_request_v2,
+    make_request,
+    validate_request,
+)
+from repro.service.server import replay_journal
+
+from .conftest import make_gateway, run
+from .test_replication import SPEC, drive, make_server, req
+
+
+class TestValidateRequest:
+    def test_accepts_all_links_and_single_link_forms(self):
+        assert "retarget" in OPS and "retarget" in JOURNAL_OPS
+        for fields in (
+            dict(alpha=2.5, t=1.0),
+            dict(alpha=2.5, link="l0", t=1.0),
+            dict(alpha=0.25),
+        ):
+            payload = make_request("retarget", 7, **fields)
+            assert validate_request(payload) is payload
+
+    @pytest.mark.parametrize("fields", [
+        dict(),  # alpha missing
+        dict(alpha=0.0),
+        dict(alpha=-1.5),
+        dict(alpha=float("nan")),
+        dict(alpha=float("inf")),
+        dict(alpha=True),
+        dict(alpha="2.5"),
+        dict(alpha=2.5, link=""),
+        dict(alpha=2.5, link=7),
+    ])
+    def test_rejects_malformed(self, fields):
+        with pytest.raises(ProtocolError) as exc:
+            validate_request(make_request("retarget", 7, **fields))
+        assert exc.value.code == "bad-request"
+
+
+class TestV2JournalCodec:
+    def test_retarget_entries_roundtrip_in_journal_sync(self):
+        entries = [
+            ["admit", "f1", 1.0],
+            ["retarget", [2.2713, None], 1.5],  # all-links form
+            ["retarget", [35.0, "l1"], 2.0],
+            ["depart", "f1", 2.5],
+        ]
+        payload = make_request(
+            "journal-sync", 9, shard="s0", seq=4, start=0,
+            digest="ab" * 32, entries=entries,
+        )
+        body = encode_request_v2(payload)
+        assert body is not None, "journal-sync with retarget must stay binary"
+        decoded = decode_frame_body(body)
+        assert decoded["op"] == "journal-sync"
+        assert decoded["entries"] == entries
+
+    def test_malformed_retarget_entry_falls_back_to_json(self):
+        for bad in ([2.5], [True, None], [2.5, 7], "nope"):
+            payload = make_request(
+                "journal-sync", 9, shard="s0", seq=1, start=0,
+                digest=None, entries=[["retarget", bad, 1.0]],
+            )
+            assert encode_request_v2(payload) is None
+
+
+class TestManagedLinkRetarget:
+    def test_swaps_controller_and_changes_the_target(self):
+        gateway = make_gateway(n_links=1)
+        link = gateway.links[0]
+        gateway.tick(1.0)
+        before = link.controller.criterion
+        link.retarget(3.0)
+        after = link.controller.criterion
+        assert after.alpha == 3.0
+        # More conservative parameter, strictly smaller admissible region.
+        assert after.alpha > before.alpha
+        estimate = BandwidthEstimate(mu=1.0, sigma=0.3, n=6)
+        assert (
+            link.controller.target_count(estimate, 0)
+            < CertaintyEquivalentController(link.capacity, 0.05)
+            .target_count(estimate, 0)
+        )
+
+    def test_caps_at_the_representable_floor(self):
+        gateway = make_gateway(n_links=1)
+        link = gateway.links[0]
+        link.retarget(1e6)
+        assert link.controller.criterion.alpha == _ALPHA_FLOOR
+
+    def test_preserves_min_sigma(self):
+        gateway = make_gateway(n_links=1)
+        link = gateway.links[0]
+        link.controller = CertaintyEquivalentController(
+            link.capacity, alpha=1.0, min_sigma=0.25
+        )
+        link.retarget(2.0)
+        assert link.controller.min_sigma == 0.25
+
+    @pytest.mark.parametrize("alpha", [0.0, -1.0, float("nan"), float("inf")])
+    def test_validation(self, alpha):
+        gateway = make_gateway(n_links=1)
+        with pytest.raises(ParameterError):
+            gateway.links[0].retarget(alpha)
+
+
+class TestGatewayRetarget:
+    def test_all_links_or_one(self):
+        gateway = make_gateway(n_links=2)
+        assert gateway.retarget(2.0) == ["link0", "link1"]
+        assert all(
+            link.controller.criterion.alpha == 2.0 for link in gateway.links
+        )
+        assert gateway.retarget(3.0, link="link1") == ["link1"]
+        assert gateway.link("link0").controller.criterion.alpha == 2.0
+        assert gateway.link("link1").controller.criterion.alpha == 3.0
+
+    def test_unknown_link_raises(self):
+        gateway = make_gateway(n_links=1)
+        with pytest.raises(ParameterError):
+            gateway.retarget(2.0, link="ghost")
+
+
+class TestServerRetarget:
+    def test_journaled_and_replays_to_the_served_digest(self):
+        """A mid-sequence retarget changes every later decision's target,
+        so the digest is only reproducible if replay re-applies the op in
+        exactly the same position -- the property followers and
+        checkpoint rebuilds rely on."""
+
+        async def scenario():
+            server = make_server(name="rt")
+            await server.start_dispatcher()
+            try:
+                t = await drive(server, 30)
+                response = await server.submit(
+                    req("retarget", 900000, alpha=3.0, t=t + 0.01)
+                )
+                assert response["ok"], response
+                assert response["result"]["links"] == ["link0", "link1"]
+                await drive(server, 30, t0=t + 0.02, rid=1)
+                return server.digest(), list(server.journal)
+            finally:
+                await server.stop()
+
+        digest, journal = run(scenario())
+        retargets = [entry for entry in journal if entry[0] == "retarget"]
+        assert len(retargets) == 1
+        assert retargets[0][1] == [3.0, None]
+        fresh = SPEC.build()
+        assert replay_journal(fresh, journal) == digest
+        # The install itself survives replay, not just the decisions.
+        assert all(
+            link.controller.criterion.alpha == 3.0 for link in fresh.links
+        )
+
+    def test_retarget_makes_later_decisions_stricter(self):
+        async def scenario():
+            plain = make_server(name="plain")
+            strict = make_server(name="strict")
+            await plain.start_dispatcher()
+            await strict.start_dispatcher()
+            try:
+                await strict.submit(
+                    req("retarget", 1, alpha=6.0, t=0.01)
+                )
+                admitted = {}
+                for name, server in (("plain", plain), ("strict", strict)):
+                    t, count = 0.02, 0
+                    for i in range(60):
+                        t += 0.05
+                        response = await server.submit(
+                            req("admit", 10 + i, flow=f"f{i}", t=t)
+                        )
+                        count += response["result"]["decision"]["admitted"]
+                    admitted[name] = count
+                return admitted
+            finally:
+                await plain.stop()
+                await strict.stop()
+
+        admitted = run(scenario())
+        assert admitted["strict"] < admitted["plain"]
+
+    def test_standby_refuses_until_promotion(self):
+        async def scenario():
+            follower = make_server(name="fol", standby=True)
+            await follower.start_dispatcher()
+            try:
+                return await follower.submit(
+                    req("retarget", 5, alpha=2.0, t=1.0)
+                )
+            finally:
+                await follower.stop()
+
+        response = run(scenario())
+        assert not response["ok"]
+        assert response["error"]["code"] == "state-error"
+        assert "standby" in response["error"]["message"]
