@@ -1,0 +1,47 @@
+"""Class-policy subsystem: multi-class admission over one link stack.
+
+The paper's Section 5.4 observes that when flow classification is
+available, the MBAC can keep a *different mean estimate per class* and
+admit each class against its own QoS target.  This package threads a
+``flow_class`` attribute through the whole runtime:
+
+* :mod:`repro.classes.policy` -- the :class:`ClassPolicy` registry
+  (per-class ``p_q``, declared moments, correlation time, capacity share
+  and optionally a pre-inverted eqn-15 adjusted ``alpha``),
+* :mod:`repro.classes.bank` -- per-class eqn-42 controller pairs for one
+  link,
+* :mod:`repro.classes.feed` -- the per-class measurement feed backing
+  the Section 5.4 :class:`~repro.core.estimators.ClassAwareEstimator`,
+* :mod:`repro.classes.factory` -- one-call assembly of a classed
+  gateway.
+
+A classless request on a classed link (and everything on a classless
+link) behaves exactly as before -- the subsystem is strictly additive.
+"""
+
+from repro.classes.bank import ClassBank
+from repro.classes.factory import build_classed_gateway, mixture_parameters
+from repro.classes.feed import ClassedSourceFeed
+from repro.classes.policy import (
+    ALPHA_CAP,
+    ClassPolicy,
+    ClassPolicySet,
+    adjusted_class_alpha,
+    default_class_policies,
+    make_class_source,
+    validate_mix_weights,
+)
+
+__all__ = [
+    "ALPHA_CAP",
+    "ClassBank",
+    "ClassPolicy",
+    "ClassPolicySet",
+    "ClassedSourceFeed",
+    "adjusted_class_alpha",
+    "build_classed_gateway",
+    "default_class_policies",
+    "make_class_source",
+    "mixture_parameters",
+    "validate_mix_weights",
+]

@@ -1,0 +1,94 @@
+"""Per-link class criteria: one eqn-42 controller pair per class.
+
+A :class:`ClassBank` is built once per :class:`~repro.runtime.link.ManagedLink`
+from a :class:`~repro.classes.policy.ClassPolicySet`.  Each class gets
+
+* a **healthy** controller -- the plain certainty-equivalent criterion at
+  the class's ``p_q`` over its capacity share, or, when the policy
+  carries a pre-inverted ``alpha``, the adjusted conservative target
+  (the robust scheme: admit against the eqn-15 adjusted ``p_ce`` so the
+  realized per-class ``p_f`` stays below ``p_q``); and
+* a **conservative** controller -- always the adjusted target, used when
+  the link's measurement plane degrades (mirrors the pooled link's
+  stale-feed fallback).
+
+The bank is pure policy: flow counts and overflow integrals live on the
+link, the per-class filtered estimates live in the
+:class:`~repro.core.estimators.ClassAwareEstimator`.
+"""
+
+from __future__ import annotations
+
+from repro.core.controllers import CertaintyEquivalentController
+from repro.classes.policy import ClassPolicySet, adjusted_class_alpha
+
+__all__ = ["ClassBank"]
+
+
+class ClassBank:
+    """Per-class admission criteria for one link of given capacity."""
+
+    def __init__(
+        self,
+        policies: ClassPolicySet,
+        *,
+        capacity: float,
+        holding_time: float,
+        memory: float,
+        min_sigma: float = 0.0,
+    ) -> None:
+        self.policies = policies
+        self.capacity = float(capacity)
+        self._capacities: dict[int, float] = {}
+        self._healthy: dict[int, CertaintyEquivalentController] = {}
+        self._conservative: dict[int, CertaintyEquivalentController] = {}
+        for class_id, policy in policies.items():
+            cap_k = policy.share * self.capacity
+            alpha_adj = (
+                policy.alpha
+                if policy.alpha is not None
+                else adjusted_class_alpha(
+                    policy,
+                    capacity=self.capacity,
+                    holding_time=holding_time,
+                    memory=memory,
+                )
+            )
+            conservative = CertaintyEquivalentController(
+                cap_k, alpha=alpha_adj, min_sigma=min_sigma
+            )
+            if policy.alpha is not None:
+                healthy = CertaintyEquivalentController(
+                    cap_k, alpha=policy.alpha, min_sigma=min_sigma
+                )
+            else:
+                healthy = CertaintyEquivalentController(
+                    cap_k, policy.p_q, min_sigma=min_sigma
+                )
+            self._capacities[class_id] = cap_k
+            self._healthy[class_id] = healthy
+            self._conservative[class_id] = conservative
+
+    def __len__(self) -> int:
+        return len(self._healthy)
+
+    def class_id(self, name: str) -> int:
+        return self.policies.class_id(name)
+
+    def name_of(self, class_id: int) -> str:
+        return self.policies.name_of(class_id)
+
+    def class_ids(self):
+        return self._healthy.keys()
+
+    def policy_of(self, class_id: int):
+        return self.policies.policy_at(class_id)
+
+    def capacity_of(self, class_id: int) -> float:
+        return self._capacities[class_id]
+
+    def controller(
+        self, class_id: int, *, conservative: bool = False
+    ) -> CertaintyEquivalentController:
+        bank = self._conservative if conservative else self._healthy
+        return bank[class_id]

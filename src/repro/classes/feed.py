@@ -1,0 +1,116 @@
+"""Classified measurement feed: per-class cross-sections per epoch.
+
+:class:`ClassedSourceFeed` is the multi-class analogue of
+:class:`~repro.runtime.feed.SourceFeed`: each epoch it samples one
+stationary rate per active flow *from that flow's own class marginal*
+and reports both the per-class sections (for the Section 5.4
+:class:`~repro.core.estimators.ClassAwareEstimator` filter bank) and the
+pooled section computed from the very same samples (for validation and
+the homogeneous fallback path).
+
+Determinism contract: one shared RNG, classes sampled in ascending
+class-id order.  A feed with a single class therefore consumes the RNG
+stream exactly like a ``SourceFeed`` with the same seed -- the
+single-class differential-digest guarantee rests on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import CrossSection, cross_section
+from repro.errors import ParameterError
+from repro.runtime.feed import MeasurementFeed
+
+__all__ = ["ClassedSourceFeed"]
+
+
+class ClassedSourceFeed(MeasurementFeed):
+    """Synthesizes per-class measurements from per-class traffic sources.
+
+    Parameters
+    ----------
+    sources : mapping of class_id -> TrafficSource
+        One marginal per class.
+    period : float
+        Measurement epoch.
+    seed : int, optional
+        Seed for the feed's single shared RNG.
+    """
+
+    def __init__(self, sources, period: float, *, seed: int | None = 0):
+        super().__init__(period)
+        self.sources = {int(k): s for k, s in dict(sources).items()}
+        if not self.sources:
+            raise ParameterError("ClassedSourceFeed needs at least one class")
+        self._rng = np.random.default_rng(seed)
+        self._samplers = {}
+        for class_id, source in self.sources.items():
+            sampler = getattr(source, "sample_rates", None)
+            self._samplers[class_id] = sampler if callable(sampler) else None
+        # Per-class flow counts for the epoch being produced; stashed by
+        # measure_classified() so the base class keeps sole ownership of
+        # the pause/period/staleness bookkeeping.
+        self._counts: dict[int, int] | None = None
+        self._sections: list[tuple[int, CrossSection]] | None = None
+
+    @property
+    def mean(self) -> float:
+        """Unweighted mean of the class means (diagnostic only)."""
+        return float(
+            np.mean([s.mean for s in self.sources.values()])
+        )
+
+    def _sample_rates(self, class_id: int, n: int) -> np.ndarray:
+        if n <= 0:
+            return np.empty(0, dtype=float)
+        sampler = self._samplers[class_id]
+        if sampler is not None:
+            return np.asarray(sampler(self._rng, n), dtype=float)
+        source = self.sources[class_id]
+        return np.array(
+            [source.new_flow(self._rng).rate for _ in range(n)], dtype=float
+        )
+
+    def measure_classified(
+        self, now: float, class_counts
+    ) -> tuple[CrossSection, list[tuple[int, CrossSection]]] | None:
+        """Poll for one epoch of per-class sections.
+
+        ``class_counts`` maps class_id -> flows of that class on the
+        link.  Returns ``(pooled, [(class_id, CrossSection), ...])`` in
+        ascending class-id order (classes with zero flows appear with an
+        empty section; the pooled section is computed from the very same
+        samples) when a new epoch completed, else ``None``.  Shares the
+        pause/period gating with :meth:`measure`.
+        """
+        self._counts = {int(k): int(v) for k, v in dict(class_counts).items()}
+        try:
+            section = self.measure(now, sum(self._counts.values()))
+        finally:
+            self._counts = None
+        if section is None:
+            return None
+        sections, self._sections = self._sections, None
+        return section, sections
+
+    def _produce(self, now: float, n_flows: int) -> CrossSection:
+        class_ids = sorted(self.sources)
+        if self._counts is not None:
+            counts = {k: self._counts.get(k, 0) for k in class_ids}
+        else:
+            # Plain measure() on a classed feed (degraded/homogeneous
+            # path): spread the pooled count evenly across classes.
+            base, extra = divmod(max(int(n_flows), 0), len(class_ids))
+            counts = {
+                k: base + (1 if i < extra else 0)
+                for i, k in enumerate(class_ids)
+            }
+        samples = []
+        sections = []
+        for class_id in class_ids:
+            rates = self._sample_rates(class_id, counts[class_id])
+            samples.append(rates)
+            sections.append((class_id, cross_section(rates)))
+        self._sections = sections
+        return cross_section(np.concatenate(samples))

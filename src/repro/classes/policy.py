@@ -1,0 +1,354 @@
+"""Class policies: per-class QoS targets for multi-class admission.
+
+The paper's Section 5.4 remedy for heterogeneous flow populations is
+class-aware *measurement*; this module adds the matching class-aware
+*policy* layer.  A :class:`ClassPolicy` declares one traffic class --
+its QoS target ``p_q``, per-flow moments (``mean_rate``, ``snr`` =
+sigma/mu), correlation time ``T_c``, and the fraction of link capacity
+(``share``) the class is entitled to.  A :class:`ClassPolicySet` is the
+validated, ordered registry: class ids are positional (stable across
+twin gateways, journal replay and the wire), names are the operator- and
+wire-facing handles.
+
+Per-class targets come from the same eqn-42 criterion the pooled link
+uses, evaluated at the class's capacity share against the class's own
+filtered cross-section (see :class:`repro.classes.bank.ClassBank`).  A
+policy may carry a pre-inverted ``alpha`` -- the adjusted ``p_ce`` of
+the eqn-15 inversion evaluated at the class's ``(p_q, snr, T_c)`` --
+via :meth:`ClassPolicySet.with_adjusted_alphas`; like the reinverter,
+the brentq root is ceil-quantized to a 1e-4 grid so solver jitter can
+never reach decision digests, and the inversion runs once at setup so
+scipy stays off the admission hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.memory import critical_time_scale
+from repro.errors import ConvergenceError, MixWeightError, ParameterError
+
+__all__ = [
+    "ALPHA_CAP",
+    "ClassPolicy",
+    "ClassPolicySet",
+    "adjusted_class_alpha",
+    "default_class_policies",
+    "make_class_source",
+    "validate_mix_weights",
+]
+
+#: Alpha ceiling shared with the runtime's retarget path: an inversion
+#: that cannot reach the target (or does not converge) clamps here --
+#: Q(35) underflows double precision, i.e. "maximally conservative".
+ALPHA_CAP = 35.0
+
+#: Quantization grid for inverted alphas (ceil -- never less conservative).
+_ALPHA_GRID = 1e-4
+
+#: Tolerance on the weight sum.  Weights are operator-supplied decimals
+#: (0.5 + 0.3 + 0.2); anything further from 1 than float rounding is a
+#: configuration mistake, not noise.
+_WEIGHT_SUM_TOL = 1e-9
+
+
+def validate_mix_weights(weights, *, what: str = "class mix") -> dict:
+    """Validate a ``{name: fraction}`` weight map; returns it normalized
+    to ``{str: float}`` **without** changing any value.
+
+    Raises
+    ------
+    MixWeightError
+        If the map is empty, any weight is non-finite or not strictly
+        positive, or the weights do not sum to 1 (within float rounding).
+        The offending weights are named in the message -- nothing is
+        silently renormalized.
+    """
+    try:
+        weights = {str(k): float(v) for k, v in dict(weights).items()}
+    except (TypeError, ValueError) as exc:
+        raise MixWeightError(f"{what} weights must be name->number: {exc}") from exc
+    if not weights:
+        raise MixWeightError(f"{what} weights must not be empty")
+    bad = {k: v for k, v in weights.items() if not math.isfinite(v) or v <= 0.0}
+    if bad:
+        named = ", ".join(f"{k}={v!r}" for k, v in sorted(bad.items()))
+        raise MixWeightError(
+            f"{what} weights must be finite and > 0; offending: {named}",
+            weights=weights,
+        )
+    total = math.fsum(weights.values())
+    if abs(total - 1.0) > _WEIGHT_SUM_TOL:
+        named = ", ".join(f"{k}={v:g}" for k, v in sorted(weights.items()))
+        raise MixWeightError(
+            f"{what} weights must sum to 1, got {total:g} ({named}); "
+            "fix the fractions -- nothing is silently renormalized",
+            weights=weights,
+        )
+    return weights
+
+
+@dataclass(frozen=True)
+class ClassPolicy:
+    """One traffic class: QoS target, per-flow moments, capacity share.
+
+    Attributes
+    ----------
+    name : str
+        Wire- and operator-facing class handle (e.g. ``"video"``).
+    p_q : float
+        The class's QoS target: admissible long-run fraction of time the
+        class's aggregate may exceed its capacity share.
+    mean_rate : float
+        Declared per-flow mean rate ``mu`` (also the estimator prior).
+    snr : float
+        Declared per-flow ``sigma/mu``.
+    correlation_time : float
+        The class's flow-rate correlation time ``T_c``.
+    share : float
+        Fraction of each link's capacity reserved for the class; a
+        policy set's shares must sum to 1 (validated, never renormalized).
+    alpha : float or None
+        Optional pre-inverted adjusted target (the eqn-15 ``alpha_ce``).
+        When set, the class's everyday controller admits against this
+        conservative target instead of the plain ``Q^-1(p_q)``; see
+        :meth:`ClassPolicySet.with_adjusted_alphas`.
+    source_kind : str
+        Which traffic model :func:`make_class_source` builds for the
+        class: ``"rcbr"`` (renegotiated CBR, the paper's workload) or
+        ``"vbr"`` (GoP-structured VBR video).
+    """
+
+    name: str
+    p_q: float
+    mean_rate: float
+    snr: float
+    correlation_time: float
+    share: float
+    alpha: float | None = None
+    source_kind: str = "rcbr"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ParameterError("class name must be a non-empty string")
+        if not 0.0 < self.p_q < 1.0:
+            raise ParameterError(
+                f"class {self.name!r}: p_q must be in (0, 1), got {self.p_q!r}"
+            )
+        if self.mean_rate <= 0.0:
+            raise ParameterError(
+                f"class {self.name!r}: mean_rate must be positive"
+            )
+        if self.snr < 0.0:
+            raise ParameterError(f"class {self.name!r}: snr must be >= 0")
+        if self.correlation_time <= 0.0:
+            raise ParameterError(
+                f"class {self.name!r}: correlation_time must be positive"
+            )
+        if not 0.0 < self.share <= 1.0:
+            raise ParameterError(
+                f"class {self.name!r}: share must be in (0, 1], "
+                f"got {self.share!r}"
+            )
+        if self.alpha is not None and self.alpha <= 0.0:
+            raise ParameterError(f"class {self.name!r}: alpha must be positive")
+        if self.source_kind not in ("rcbr", "vbr"):
+            raise ParameterError(
+                f"class {self.name!r}: unknown source_kind "
+                f"{self.source_kind!r} (choose 'rcbr' or 'vbr')"
+            )
+
+    @property
+    def sigma(self) -> float:
+        """Declared per-flow standard deviation."""
+        return self.snr * self.mean_rate
+
+
+def adjusted_class_alpha(
+    policy: ClassPolicy, *, capacity: float, holding_time: float, memory: float
+) -> float:
+    """The class's adjusted target via the eqn-15 inversion.
+
+    Evaluated at the class's own system size (its capacity share over its
+    mean rate), ``T_c`` and ``snr``; capped at :data:`ALPHA_CAP` and
+    ceil-quantized to the 1e-4 grid so the brentq root's floating jitter
+    cannot reach decision digests.
+    """
+    from repro.theory.inversion import adjusted_ce_alpha
+
+    n_class = max(policy.share * capacity / policy.mean_rate, 1.0)
+    t_h_tilde = critical_time_scale(holding_time, n_class)
+    try:
+        alpha = adjusted_ce_alpha(
+            policy.p_q,
+            memory=memory,
+            correlation_time=policy.correlation_time,
+            holding_time_scaled=t_h_tilde,
+            snr=policy.snr if policy.snr > 0.0 else 1e-6,
+            formula="general",
+        )
+    except ConvergenceError:
+        return ALPHA_CAP
+    return min(ALPHA_CAP, math.ceil(alpha / _ALPHA_GRID) * _ALPHA_GRID)
+
+
+class ClassPolicySet:
+    """Validated ordered registry of :class:`ClassPolicy` entries.
+
+    Class ids are positional (0..K-1) and therefore identical on every
+    twin gateway built from the same set -- journal replay and follower
+    promotion depend on that.  Shares must sum to 1.
+    """
+
+    def __init__(self, policies) -> None:
+        policies = tuple(policies)
+        if not policies:
+            raise ParameterError("a class policy set needs at least one class")
+        names = [p.name for p in policies]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate class names: {names}")
+        validate_mix_weights(
+            {p.name: p.share for p in policies}, what="class capacity-share"
+        )
+        self._policies = policies
+        self._ids = {p.name: i for i, p in enumerate(policies)}
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __iter__(self):
+        return iter(self._policies)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClassPolicySet):
+            return NotImplemented
+        return self._policies == other._policies
+
+    def __repr__(self) -> str:
+        return f"ClassPolicySet({list(self._policies)!r})"
+
+    @property
+    def names(self) -> tuple:
+        return tuple(p.name for p in self._policies)
+
+    def items(self):
+        """Yield ``(class_id, policy)`` in id order."""
+        return enumerate(self._policies)
+
+    def policy(self, name: str) -> ClassPolicy:
+        try:
+            return self._policies[self._ids[name]]
+        except KeyError:
+            raise ParameterError(
+                f"unknown flow class {name!r} (classes: "
+                f"{', '.join(self.names)})"
+            ) from None
+
+    def class_id(self, name: str) -> int:
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown flow class {name!r} (classes: "
+                f"{', '.join(self.names)})"
+            ) from None
+
+    def name_of(self, class_id: int) -> str:
+        return self.policy_at(class_id).name
+
+    def policy_at(self, class_id: int) -> ClassPolicy:
+        if not 0 <= class_id < len(self._policies):
+            raise ParameterError(
+                f"unknown class id {class_id!r} "
+                f"(have 0..{len(self._policies) - 1})"
+            )
+        return self._policies[class_id]
+
+    def mix_weights(self) -> dict:
+        """``{name: share}`` -- the default arrival-mix weights."""
+        return {p.name: p.share for p in self._policies}
+
+    def with_adjusted_alphas(
+        self, *, capacity: float, holding_time: float, memory: float
+    ) -> "ClassPolicySet":
+        """A copy whose every policy carries its inverted adjusted alpha."""
+        return ClassPolicySet(
+            replace(
+                p,
+                alpha=adjusted_class_alpha(
+                    p,
+                    capacity=capacity,
+                    holding_time=holding_time,
+                    memory=memory,
+                ),
+            )
+            for p in self._policies
+        )
+
+
+#: Canonical 3-class population: GoP-structured VBR video, RCBR data,
+#: and low-rate smooth voice.  Distinct (p_q, snr, T_c) per class --
+#: exactly the heterogeneity Sec 5.4 warns about.
+_DEFAULT_SPECS = {
+    # The video snr reflects the VBR source's true mixture CV: the I/P/B
+    # size ratios over the default GoP alone contribute ~0.69, so a
+    # smaller declared value would understate what is actually emitted.
+    "video": dict(
+        p_q=2e-2, mean_rate=4.0, snr=0.7, correlation_time=2.0,
+        source_kind="vbr",
+    ),
+    "data": dict(
+        p_q=5e-2, mean_rate=1.0, snr=0.3, correlation_time=1.0,
+        source_kind="rcbr",
+    ),
+    "voice": dict(
+        p_q=1e-2, mean_rate=0.2, snr=0.15, correlation_time=0.5,
+        source_kind="rcbr",
+    ),
+}
+
+_DEFAULT_SHARES = {"video": 0.5, "data": 0.3, "voice": 0.2}
+
+
+def default_class_policies(shares=None) -> ClassPolicySet:
+    """The canonical video/data/voice policy set.
+
+    ``shares`` overrides the capacity split (``{name: fraction}``, must
+    cover a subset of the three canonical names and sum to 1); the
+    default is video 0.5 / data 0.3 / voice 0.2.
+    """
+    if shares is None:
+        shares = _DEFAULT_SHARES
+    else:
+        shares = validate_mix_weights(shares)
+        unknown = sorted(set(shares) - set(_DEFAULT_SPECS))
+        if unknown:
+            raise ParameterError(
+                f"unknown class name(s) {', '.join(map(repr, unknown))} "
+                f"(canonical classes: {', '.join(_DEFAULT_SPECS)})"
+            )
+    return ClassPolicySet(
+        ClassPolicy(name=name, share=shares[name], **_DEFAULT_SPECS[name])
+        for name in _DEFAULT_SPECS
+        if name in shares
+    )
+
+
+def make_class_source(policy: ClassPolicy):
+    """Build the class's :class:`~repro.traffic.base.TrafficSource`."""
+    if policy.source_kind == "vbr":
+        from repro.traffic.vbr import paper_vbr_source
+
+        return paper_vbr_source(
+            mean=policy.mean_rate,
+            cv=policy.snr,
+            gop_time=policy.correlation_time,
+        )
+    from repro.traffic.marginals import TruncatedGaussianMarginal
+    from repro.traffic.rcbr import RcbrSource
+
+    return RcbrSource(
+        TruncatedGaussianMarginal.from_cv(policy.mean_rate, policy.snr),
+        policy.correlation_time,
+    )

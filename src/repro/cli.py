@@ -35,8 +35,14 @@ Commands
 ``loadgen``
     Open-loop load generation against running servers (``--addr``) or
     self-hosted loopback shards (``--self-host``), optionally with v2
-    pipelining (``--pipeline``), journal-replay digest verification
+    pipelining (``--pipeline``), a multi-class arrival mix
+    (``--class-mix``), journal-replay digest verification
     (``--check-digest``) and throughput gates.
+``overload``
+    Sustained multi-class overload (arrival rate >= 3x capacity against
+    a classed gateway with adjusted per-class alphas), gated on
+    Leskelä-style stability and per-class ``p_f <= p_q`` conformance in
+    every phase.
 
 A global ``--verbose``/``-v`` flag (repeatable) configures the root
 logging handler: once for INFO, twice for DEBUG.
@@ -434,6 +440,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="highest wire protocol version the clients negotiate "
         "(1 pins legacy JSON framing)",
     )
+    loadgen.add_argument(
+        "--class-mix",
+        metavar="NAME=FRAC[,NAME=FRAC...]",
+        default=None,
+        help="tag arrivals with flow classes drawn from this mix "
+        "(e.g. video=0.25,data=0.35,voice=0.4); fractions must sum "
+        "to exactly 1 -- nothing is silently renormalized",
+    )
     loadgen.add_argument("--timeout", type=float, default=5.0)
     loadgen.add_argument(
         "--retries",
@@ -617,6 +631,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full phase report as JSON to PATH",
     )
     soak.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+
+    overload = sub.add_parser(
+        "overload",
+        help="sustained multi-class overload against a classed gateway, "
+        "gated on stability and per-class p_f <= p_q conformance",
+    )
+    overload.add_argument("--capacity", type=float, default=200.0)
+    overload.add_argument("--holding-time", type=float, default=40.0)
+    overload.add_argument(
+        "--overload-factor",
+        type=float,
+        default=3.0,
+        help="offered load as a multiple of the nominal flow population",
+    )
+    overload.add_argument(
+        "--warmup", type=float, default=60.0, help="warmup phase duration"
+    )
+    overload.add_argument(
+        "--overload",
+        type=float,
+        default=120.0,
+        dest="overload",
+        help="overload phase duration",
+    )
+    overload.add_argument(
+        "--sustain", type=float, default=60.0, help="sustain phase duration"
+    )
+    overload.add_argument("--links", type=int, default=1)
+    overload.add_argument("--seed", type=int, default=7)
+    overload.add_argument(
+        "--class-mix",
+        metavar="NAME=FRAC[,NAME=FRAC...]",
+        default=None,
+        help="arrival fractions per class (default: proportional to each "
+        "class's share of the nominal population); must sum to exactly 1",
+    )
+    overload.add_argument(
+        "--feed-period",
+        type=float,
+        default=None,
+        help="measurement feed period (default: min_k T_c(k) / 4)",
+    )
+    overload.add_argument(
+        "--max-in-system-factor",
+        type=float,
+        default=2.0,
+        help="stability gate: in-system flows must stay below this "
+        "multiple of the nominal population",
+    )
+    overload.add_argument(
+        "--check-digest",
+        action="store_true",
+        help="rerun the identical scenario and require a byte-identical "
+        "decision digest",
+    )
+    overload.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
     return parser
@@ -1353,6 +1425,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             if args.arrival_rate is not None
             else 1.3 * args.links * args.n / args.holding_time
         )
+    try:
+        class_mix = _parse_class_mix(args.class_mix)
+    except ValueError as exc:
+        return _usage_error(str(exc))
     workload = dict(
         rate=rate,
         holding_time=args.holding_time,
@@ -1364,6 +1440,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         timeout=args.timeout,
         retries=args.retries,
+        class_mix=class_mix,
     )
 
     async def one_run():
@@ -1470,6 +1547,37 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _parse_class_mix(spec: str | None) -> dict[str, float] | None:
+    """Parse ``NAME=FRAC[,NAME=FRAC...]`` into a class-mix dict.
+
+    Only the *syntax* is checked here (raises :class:`ValueError` for the
+    CLI's usage-error path); the weights themselves -- positivity,
+    duplicates aside, summing to exactly 1 -- are validated downstream by
+    :func:`repro.classes.policy.validate_mix_weights`, which names the
+    offending entries.
+    """
+    if spec is None:
+        return None
+    mix: dict[str, float] = {}
+    for part in spec.split(","):
+        name, sep, raw = part.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"bad --class-mix entry {part!r}; expected NAME=FRAC "
+                "(e.g. video=0.25,data=0.35,voice=0.4)"
+            )
+        if name in mix:
+            raise ValueError(f"--class-mix names {name!r} twice")
+        try:
+            mix[name] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"bad --class-mix fraction {raw!r} for class {name!r}"
+            ) from None
+    return mix
 
 
 def _parse_shard_times(specs: list[str], flag: str) -> list[tuple[str, float]]:
@@ -1726,6 +1834,78 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario import OverloadConfig, run_overload
+
+    try:
+        class_mix = _parse_class_mix(args.class_mix)
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    config = OverloadConfig(
+        capacity=args.capacity,
+        holding_time=args.holding_time,
+        overload_factor=args.overload_factor,
+        warmup=args.warmup,
+        overload=args.overload,
+        sustain=args.sustain,
+        links=args.links,
+        seed=args.seed,
+        class_mix=class_mix,
+        feed_period=args.feed_period,
+        max_in_system_factor=args.max_in_system_factor,
+    )
+    result = run_overload(config)
+    failures = list(result.failures)
+    digest_stable = None
+    if args.check_digest:
+        rerun = run_overload(config)
+        digest_stable = result.digest == rerun.digest
+        if not digest_stable:
+            failures.append(
+                f"overload digest unstable across identical runs "
+                f"({result.digest} vs {rerun.digest})"
+            )
+
+    if args.json:
+        payload = result.as_dict()
+        payload["digest_stable"] = digest_stable
+        payload["failures"] = failures
+        payload["ok"] = not failures
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        admit_rate = result.admitted / max(1, result.arrivals)
+        print(f"scenario             : {config.horizon:g}s "
+              f"(warmup {config.warmup:g} / overload {config.overload:g} / "
+              f"sustain {config.sustain:g}), {config.links} link(s) "
+              f"x capacity {config.capacity:g}")
+        print(f"offered load         : {result.offered_factor:.2f}x the "
+              f"nominal {result.nominal_flows:.1f}-flow population")
+        print(f"arrivals             : {result.arrivals} "
+              f"({result.admitted} admitted / {result.rejected} rejected, "
+              f"{admit_rate:.1%} admit rate)")
+        for cls in sorted(result.per_class):
+            stats = result.per_class[cls]
+            print(f"  class {cls:<10s}     : {stats['arrivals']} arrivals, "
+                  f"{stats['admitted']} admitted, "
+                  f"{stats['rejected']} rejected")
+        print(f"stability            : max {result.max_in_system} flows "
+              f"in system (bound "
+              f"{config.max_in_system_factor * result.nominal_flows:.1f})")
+        for report in result.phase_reports:
+            print(f"phase {report.name:<16s}: overflow "
+                  f"{report.worst_overflow:.4f} <= {report.bound:.4f} "
+                  f"{'ok' if report.ok else 'FAIL'}")
+        print(f"digest               : {result.digest}")
+        if digest_stable is not None:
+            print(f"digest rerun         : "
+                  f"{'byte-identical' if digest_stable else 'DIVERGED'}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "list": lambda args: _cmd_list(),
     "run": _cmd_run,
@@ -1740,6 +1920,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "serve-cluster": _cmd_serve_cluster,
     "soak": _cmd_soak,
+    "overload": _cmd_overload,
 }
 
 

@@ -390,10 +390,26 @@ class ClassAwareEstimator(Estimator):
         self.memory = float(memory)
         self._filters: dict[int, ExponentialMemoryEstimator] = {}
         self._classified: list[tuple[int, CrossSection]] | None = None
+        self._priors: dict[int, BandwidthEstimate] = {}
 
     def _reset_state(self) -> None:
         self._filters.clear()
         self._classified = None
+
+    def set_class_prior(self, class_id: int, mu: float, sigma: float) -> None:
+        """Register the declared ``(mu, sigma)`` of a class.
+
+        The prior backs :meth:`class_estimate` before the class has ever
+        been measured, and is the fallback when a class's filter cannot
+        produce a finite estimate (e.g. it was poisoned by a corrupt
+        section before the caller's validation existed).  Priors survive
+        :meth:`reset`.
+        """
+        if mu < 0.0 or sigma < 0.0:
+            raise ParameterError("class prior mu and sigma must be >= 0")
+        self._priors[int(class_id)] = BandwidthEstimate(
+            mu=float(mu), sigma=float(sigma), n=0
+        )
 
     def observe_classified(self, sections) -> None:
         """Replace the signal with per-class cross-sections.
@@ -401,18 +417,32 @@ class ClassAwareEstimator(Estimator):
         Parameters
         ----------
         sections : iterable of (class_id, CrossSection)
-            One entry per class currently present (empty classes omitted).
+            One entry per class currently present.  While *other* classes
+            still carry flows, a class that emptied mid-epoch (an
+            ``n == 0`` section) is skipped entirely: its filter keeps the
+            last measured value instead of being dragged toward a
+            meaningless zero/NaN mean, and it contributes nothing to the
+            pooled estimate until it is measured again.  When the *whole*
+            system is empty, every listed class observes the empty
+            section, so each filter decays toward zero exactly like the
+            homogeneous estimator does -- a single-class bank therefore
+            tracks :class:`ExponentialMemoryEstimator` bit-for-bit.
         """
         sections = [(int(k), cs) for k, cs in sections]
         total_n = sum(cs.n for _, cs in sections)
         total_rate = sum(cs.mean * cs.n for _, cs in sections)
+        live = (
+            [(k, cs) for k, cs in sections if cs.n > 0]
+            if total_n > 0
+            else sections
+        )
         overall = CrossSection(
             n=total_n,
             mean=total_rate / total_n if total_n else 0.0,
             second_moment=0.0,
             variance=0.0,
         )
-        for class_id, cs in sections:
+        for class_id, cs in live:
             flt = self._filters.get(class_id)
             if flt is None:
                 flt = ExponentialMemoryEstimator(self.memory)
@@ -420,8 +450,27 @@ class ClassAwareEstimator(Estimator):
                 self._filters[class_id] = flt
             flt.advance(self.time)
             flt.observe(cs)
-        self._classified = sections
+        self._classified = [(k, cs) for k, cs in live if cs.n > 0]
         self._signal = overall  # enables estimate(); overall n and mean
+
+    def class_estimate(self, class_id: int) -> BandwidthEstimate | None:
+        """Per-class estimate: the class filter, its prior, or ``None``.
+
+        Returns the class's own filtered ``(mu, sigma)`` when the filter
+        has observed data and is finite; otherwise the registered prior
+        (``n == 0`` marks it as unmeasured); ``None`` when neither exists.
+        """
+        class_id = int(class_id)
+        flt = self._filters.get(class_id)
+        if flt is not None:
+            out = flt.estimate_or_none()
+            if (
+                out is not None
+                and math.isfinite(out.mu)
+                and math.isfinite(out.sigma)
+            ):
+                return out
+        return self._priors.get(class_id)
 
     def advance(self, t: float) -> None:
         """Advance the clock; each class filter integrates its own signal."""
@@ -446,6 +495,15 @@ class ClassAwareEstimator(Estimator):
         for class_id, cs in self._classified:
             weight = cs.n / total_n
             out = self._filters[class_id].estimate()
+            if not (math.isfinite(out.mu) and math.isfinite(out.sigma)):
+                # A poisoned filter must not poison the pooled estimate:
+                # fall back to the class prior, or failing that the class's
+                # own raw cross-section.
+                out = self._priors.get(class_id) or BandwidthEstimate(
+                    mu=cs.mean,
+                    sigma=math.sqrt(max(cs.variance, 0.0)),
+                    n=cs.n,
+                )
             mu += weight * out.mu
             var += weight * out.sigma**2
         return BandwidthEstimate(mu=mu, sigma=math.sqrt(var), n=total_n)

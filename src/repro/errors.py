@@ -20,6 +20,19 @@ class ConvergenceError(ReproError, RuntimeError):
     """A numerical routine (root finding, quadrature) failed to converge."""
 
 
+class MixWeightError(ParameterError):
+    """A class-mix weight vector is invalid (bad entries or sum != 1).
+
+    Raised instead of silently renormalizing: the offending weights are
+    named in the message and carried on ``weights`` so callers can see
+    exactly which fractions were wrong.
+    """
+
+    def __init__(self, message: str, *, weights=None) -> None:
+        super().__init__(message)
+        self.weights = dict(weights) if weights else {}
+
+
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine reached an inconsistent internal state."""
 

@@ -200,6 +200,10 @@ class AdmissionGateway:
         self.tracer = tracer if tracer is not None else links[0].tracer
         self.profiler = profiler if profiler is not None else links[0].profiler
         self._flows: dict[Hashable, ManagedLink] = {}
+        # flow_id -> class name, for classed flows only: departures are
+        # credited to the class the flow was admitted under, without the
+        # caller having to repeat it.
+        self._flow_class: dict[Hashable, str] = {}
         self._m_admits = self.registry.counter(
             "gateway.admits", "flows admitted (all links)"
         )
@@ -259,6 +263,10 @@ class AdmissionGateway:
         """Ids of all currently placed flows (insertion order)."""
         return list(self._flows)
 
+    def flow_class_of(self, flow_id: Hashable) -> str | None:
+        """The class ``flow_id`` was admitted under (``None`` if classless)."""
+        return self._flow_class.get(flow_id)
+
     def _placement_candidates(self) -> list[ManagedLink]:
         """Links eligible for new placements (all, if all are quarantined)."""
         eligible = [link for link in self.links if not link.quarantined]
@@ -266,13 +274,20 @@ class AdmissionGateway:
 
     # -- request path ------------------------------------------------------
 
-    def admit(self, flow_id: Hashable, now: float) -> AdmissionDecision:
+    def admit(
+        self, flow_id: Hashable, now: float, flow_class: str | None = None
+    ) -> AdmissionDecision:
         """Place and decide one arriving flow.
 
         Quarantined links are skipped at placement; if the chosen link
         still rejects with ``reason="quarantined"`` (its breaker flipped
         at decision time), the request fails over to the next-best
         non-quarantined link until one decides it or none remain.
+
+        ``flow_class`` routes the request through the deciding link's
+        per-class criterion (when that link is multi-class; classless
+        links decide it pooled) and is remembered so the flow's eventual
+        departure is credited to the same class.
         """
         if flow_id in self._flows:
             raise RuntimeStateError(f"flow {flow_id!r} is already active")
@@ -286,7 +301,7 @@ class AdmissionGateway:
                 profiler.placement.observe(time.perf_counter_ns() - p0)
             else:
                 link = self.placement.choose(candidates, flow_id)
-            decision = link.admit(now)
+            decision = link.admit(now, flow_class)
             if decision.reason != "quarantined":
                 break
             remaining = [
@@ -306,6 +321,8 @@ class AdmissionGateway:
             candidates = remaining
         if decision.admitted:
             self._flows[flow_id] = link
+            if flow_class is not None:
+                self._flow_class[flow_id] = str(flow_class)
             self._m_admits.inc()
         else:
             self._m_rejects.inc()
@@ -317,7 +334,10 @@ class AdmissionGateway:
         return decision
 
     def admit_many(
-        self, flow_ids: Sequence[Hashable], now: float
+        self,
+        flow_ids: Sequence[Hashable],
+        now: float,
+        flow_class: str | None = None,
     ) -> list[AdmissionDecision]:
         """Place and decide a burst of simultaneous flow arrivals.
 
@@ -330,6 +350,9 @@ class AdmissionGateway:
         that failed closed, so the loop terminates).  Returns one decision
         per flow, in input order; admitted flows are entered into the flow
         table exactly as :meth:`admit` would.
+
+        ``flow_class`` applies to the whole burst (callers split
+        mixed-class arrivals into one burst per class).
         """
         ids = list(flow_ids)
         if not ids:
@@ -369,7 +392,7 @@ class AdmissionGateway:
             for name, indices in by_link.items():
                 link = self._by_name[name]
                 for index, decision in zip(
-                    indices, link.admit_many(len(indices), now)
+                    indices, link.admit_many(len(indices), now, flow_class)
                 ):
                     decisions[index] = decision
                     if decision.reason == "quarantined":
@@ -377,6 +400,8 @@ class AdmissionGateway:
                         quarantined_names.add(name)
                     elif decision.admitted:
                         self._flows[ids[index]] = link
+                        if flow_class is not None:
+                            self._flow_class[ids[index]] = str(flow_class)
             if not next_pending:
                 break
             candidates = [
@@ -422,7 +447,9 @@ class AdmissionGateway:
         digest record is emitted -- the flow simply starts occupying a
         link here so capacity accounting and the departure path bill it.
         Placement follows the gateway's normal policy over non-quarantined
-        links.
+        links.  Installed flows are classless: migration moves only
+        ``(flow, t0)`` pairs, so a classed flow re-homes onto the pooled
+        criterion (see docs/classes.md).
 
         Raises
         ------
@@ -450,7 +477,7 @@ class AdmissionGateway:
         link = self._flows.pop(flow_id, None)
         if link is None:
             raise UnknownFlowError([flow_id], self._by_name)
-        link.depart(now)
+        link.depart(now, self._flow_class.pop(flow_id, None))
         self._m_departs.inc()
         self._m_flows.set(len(self._flows))
         return link
@@ -466,7 +493,7 @@ class AdmissionGateway:
         ids = list(flow_ids)
         if not ids:
             return
-        counts: dict[str, int] = {}
+        counts: dict[tuple[str, str | None], int] = {}
         seen: set = set()
         unknown: list = []
         for flow_id in ids:  # validate before mutating anything
@@ -479,13 +506,15 @@ class AdmissionGateway:
             if link is None:
                 unknown.append(flow_id)
             else:
-                counts[link.name] = counts.get(link.name, 0) + 1
+                key = (link.name, self._flow_class.get(flow_id))
+                counts[key] = counts.get(key, 0) + 1
         if unknown:
             raise UnknownFlowError(unknown, self._by_name)
         for flow_id in ids:
             del self._flows[flow_id]
-        for name, count in counts.items():
-            self._by_name[name].depart_many(count, now)
+            self._flow_class.pop(flow_id, None)
+        for (name, flow_class), count in counts.items():
+            self._by_name[name].depart_many(count, now, flow_class)
         self._m_departs.inc(len(ids))
         self._m_flows.set(len(self._flows))
 
@@ -508,10 +537,17 @@ class AdmissionGateway:
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Registry snapshot plus per-link operational summaries."""
+        """Registry snapshot plus per-link operational summaries.
+
+        Multi-class links additionally report a ``"classes"`` mapping
+        (class name -> occupancy and overload integrals); classless
+        links' summaries are unchanged, so pre-existing golden snapshots
+        stay byte-stable.
+        """
         out = self.registry.snapshot()
-        out["links"] = {
-            link.name: {
+        links: dict[str, dict] = {}
+        for link in self.links:
+            summary = {
                 "n_flows": link.n_flows,
                 "degraded": link.degraded,
                 "health": link.health.value,
@@ -522,6 +558,8 @@ class AdmissionGateway:
                 "overload_time": link.overload_time,
                 "load_fraction": link.load_fraction,
             }
-            for link in self.links
-        }
+            if link.classed:
+                summary["classes"] = link.class_report()
+            links[link.name] = summary
+        out["links"] = links
         return out

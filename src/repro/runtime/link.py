@@ -177,6 +177,7 @@ class ManagedLink:
         registry: MetricsRegistry | None = None,
         tracer=None,
         profiler=None,
+        class_bank=None,
     ) -> None:
         if capacity <= 0.0 or holding_time <= 0.0 or mean_rate <= 0.0:
             raise ParameterError(
@@ -218,6 +219,28 @@ class ManagedLink:
         self.observed_time = 0.0
         self.overload_time = 0.0
         self.utilization_integral = 0.0
+
+        # Multi-class state (all None/empty on a classless link, which
+        # keeps every classless code path byte-for-byte unchanged).
+        self.class_bank = class_bank
+        self._class_n: dict[int, int] = {}
+        self._last_class_aggregate: dict[int, float] | None = None
+        self.class_observed_time: dict[int, float] = {}
+        self.class_overload_time: dict[int, float] = {}
+        if class_bank is not None:
+            for class_id in class_bank.class_ids():
+                self._class_n[class_id] = 0
+                self.class_observed_time[class_id] = 0.0
+                self.class_overload_time[class_id] = 0.0
+            self._measure_classified = getattr(feed, "measure_classified", None)
+            self._observe_classified = getattr(
+                estimator, "observe_classified", None
+            )
+            self._class_estimate = getattr(estimator, "class_estimate", None)
+        else:
+            self._measure_classified = None
+            self._observe_classified = None
+            self._class_estimate = None
 
         self.registry = registry if registry is not None else MetricsRegistry()
         prefix = f"link.{self.name}"
@@ -283,6 +306,21 @@ class ManagedLink:
             "requests per admit_many() burst",
             buckets=BATCH_SIZE_BUCKETS,
         )
+        self._m_class_n: dict[int, object] = {}
+        self._m_class_overflow: dict[int, object] = {}
+        if class_bank is not None:
+            for class_id in class_bank.class_ids():
+                cls = class_bank.name_of(class_id)
+                gauge_n = metric.gauge(
+                    f"{prefix}.class.{cls}.n_flows",
+                    f"occupancy of class {cls}",
+                )
+                gauge_n.set(0)
+                self._m_class_n[class_id] = gauge_n
+                self._m_class_overflow[class_id] = metric.gauge(
+                    f"{prefix}.class.{cls}.overflow_fraction",
+                    f"time fraction class {cls} exceeds its capacity share",
+                )
         self._m_n.set(0)
         self._m_health.set(HEALTH_CODES[self._health])
         self._m_breaker_state.set(BREAKER_STATE_CODES[self.breaker.state])
@@ -309,6 +347,7 @@ class ManagedLink:
         registry: MetricsRegistry | None = None,
         tracer=None,
         profiler=None,
+        class_policies=None,
     ) -> "ManagedLink":
         """Assemble a link from design parameters.
 
@@ -325,6 +364,16 @@ class ManagedLink:
         ``p_q`` unreachable).  ``mean_rate`` defaults to the feed source's
         mean when the feed carries one.  ``breaker_config`` tunes the
         feed circuit breaker (defaults as in :class:`ManagedLink`).
+
+        ``class_policies`` (a :class:`~repro.classes.policy.ClassPolicySet`)
+        turns the link multi-class: the estimator becomes a per-class
+        :class:`~repro.core.estimators.ClassAwareEstimator` seeded with
+        each policy's declared ``(mu, sigma)`` prior, and classed
+        ``admit(..., flow_class=...)`` requests are decided against that
+        class's own capacity share and eqn-(42) target (see
+        :class:`~repro.classes.bank.ClassBank`).  Classless requests on a
+        classed link, and the pooled link-level behavior above, are
+        unchanged.
         """
         if memory is not None and memory < 0.0:
             raise ParameterError(
@@ -346,7 +395,33 @@ class ManagedLink:
             memory = t_h_tilde
         # make_estimator treats 0 as memoryless, matching the T_m = 0 passed
         # to the adjusted-target inversion below.
-        estimator = make_estimator(memory)
+        class_bank = None
+        if class_policies is not None:
+            if memory <= 0.0:
+                raise ParameterError(
+                    "class policies require memory > 0 (the per-class "
+                    "filter bank has no memoryless form)"
+                )
+            # Deferred import: repro.classes pulls in repro.runtime.feed,
+            # which at module-import time would cycle back through the
+            # runtime package onto this very module.
+            from repro.classes.bank import ClassBank
+            from repro.core.estimators import ClassAwareEstimator
+
+            class_bank = ClassBank(
+                class_policies,
+                capacity=capacity,
+                holding_time=holding_time,
+                memory=memory,
+                min_sigma=min_sigma,
+            )
+            estimator = ClassAwareEstimator(memory)
+            for class_id, policy in class_policies.items():
+                estimator.set_class_prior(
+                    class_id, policy.mean_rate, policy.sigma
+                )
+        else:
+            estimator = make_estimator(memory)
         controller = CertaintyEquivalentController(
             capacity, p_q, min_sigma=min_sigma
         )
@@ -386,6 +461,7 @@ class ManagedLink:
             registry=registry,
             tracer=tracer,
             profiler=profiler,
+            class_bank=class_bank,
         )
 
     # -- read side ---------------------------------------------------------
@@ -428,6 +504,47 @@ class ManagedLink:
         if self.observed_time <= 0.0:
             return 0.0
         return self.overload_time / self.observed_time
+
+    @property
+    def classed(self) -> bool:
+        """Whether the link carries a per-class policy bank."""
+        return self.class_bank is not None
+
+    def class_counts(self) -> dict[str, int]:
+        """Current occupancy per class name (empty on a classless link)."""
+        bank = self.class_bank
+        if bank is None:
+            return {}
+        return {
+            bank.name_of(class_id): count
+            for class_id, count in self._class_n.items()
+        }
+
+    def class_report(self) -> dict[str, dict[str, float]]:
+        """Per-class occupancy and overload integrals, keyed by class name.
+
+        ``overflow_fraction`` is the fraction of observed time the class's
+        measured aggregate exceeded its capacity share -- the per-class
+        QoS conformance signal the overload scenario's stability gate
+        consumes.  Empty on a classless link.
+        """
+        bank = self.class_bank
+        if bank is None:
+            return {}
+        report: dict[str, dict[str, float]] = {}
+        for class_id in bank.class_ids():
+            observed = self.class_observed_time.get(class_id, 0.0)
+            overload = self.class_overload_time.get(class_id, 0.0)
+            report[bank.name_of(class_id)] = {
+                "n_flows": self._class_n.get(class_id, 0),
+                "capacity": bank.capacity_of(class_id),
+                "observed_time": observed,
+                "overload_time": overload,
+                "overflow_fraction": (
+                    overload / observed if observed > 0.0 else 0.0
+                ),
+            }
+        return report
 
     def _current_estimate(self) -> BandwidthEstimate | None:
         helper = getattr(self.estimator, "estimate_or_none", None)
@@ -557,6 +674,18 @@ class ManagedLink:
             if self._last_aggregate > self.capacity:
                 self.overload_time += dt
             self._m_overflow.set(self.overflow_fraction)
+        if dt > 0.0 and self._last_class_aggregate is not None:
+            bank = self.class_bank
+            for class_id, aggregate in self._last_class_aggregate.items():
+                observed = self.class_observed_time.get(class_id, 0.0) + dt
+                self.class_observed_time[class_id] = observed
+                overload = self.class_overload_time.get(class_id, 0.0)
+                if aggregate > bank.capacity_of(class_id):
+                    overload += dt
+                    self.class_overload_time[class_id] = overload
+                gauge = self._m_class_overflow.get(class_id)
+                if gauge is not None:
+                    gauge.set(overload / observed)
         self._clock = now
 
         self.estimator.advance(now)
@@ -566,12 +695,27 @@ class ManagedLink:
             probing = breaker.state is BreakerState.HALF_OPEN
             if probing:
                 self._m_breaker_probes.inc()
-            section = self.feed.measure(now, self._n)
+            sections = None
+            if self._measure_classified is not None:
+                polled = self._measure_classified(now, self._class_n)
+                section = None if polled is None else polled[0]
+                if polled is not None:
+                    sections = polled[1]
+            else:
+                section = self.feed.measure(now, self._n)
             if section is not None:
+                # Per-class samples concatenate into the pooled section, so
+                # validating the pooled section covers every class slice.
                 problem = section_problem(section)
                 if problem is None:
                     try:
-                        self.estimator.observe(section)
+                        if (
+                            sections is not None
+                            and self._observe_classified is not None
+                        ):
+                            self._observe_classified(sections)
+                        else:
+                            self.estimator.observe(section)
                     except EstimatorError as exc:
                         problem = str(exc)
                 if problem is None:
@@ -581,6 +725,11 @@ class ManagedLink:
                     aggregate = section.mean * section.n
                     self._last_aggregate = aggregate
                     self._m_util.set(aggregate / self.capacity)
+                    if sections is not None:
+                        self._last_class_aggregate = {
+                            class_id: cs.mean * cs.n
+                            for class_id, cs in sections
+                        }
                     estimate = self._current_estimate()
                     if estimate is not None:
                         self._m_mu.set(estimate.mu)
@@ -626,8 +775,17 @@ class ManagedLink:
 
     # -- request path ------------------------------------------------------
 
-    def admit(self, now: float) -> AdmissionDecision:
-        """Decide one flow-arrival request at time ``now``."""
+    def admit(self, now: float, flow_class: str | None = None) -> AdmissionDecision:
+        """Decide one flow-arrival request at time ``now``.
+
+        ``flow_class`` routes the request through the class's own
+        criterion on a multi-class link (per-class estimate, capacity
+        share and eqn-(42) target).  It is ignored -- the request is
+        decided against the pooled criterion -- when the link carries no
+        class bank, so classed peers interoperate with classless links.
+        """
+        if flow_class is not None and self.class_bank is not None:
+            return self._admit_classed(now, str(flow_class))
         t0 = time.perf_counter()
         profiler = self.profiler
         if profiler is not None:
@@ -690,7 +848,87 @@ class ManagedLink:
             sigma_hat=sigma_hat,
         )
 
-    def admit_many(self, k: int, now: float) -> list[AdmissionDecision]:
+    def _admit_classed(self, now: float, flow_class: str) -> AdmissionDecision:
+        """Decide one classed arrival against the class's own criterion.
+
+        Mirrors :meth:`admit` decision-for-decision (same reason strings,
+        same bootstrap semantics) with the class's filtered estimate, its
+        occupancy and its capacity-share controller in place of the
+        pooled ones.  A link carrying a single class with an unadjusted
+        policy therefore produces byte-identical decisions to a classless
+        link (the differential-digest guarantee).
+        """
+        bank = self.class_bank
+        class_id = bank.class_id(flow_class)  # unknown class: no state change
+        t0 = time.perf_counter()
+        profiler = self.profiler
+        if profiler is not None:
+            p0 = time.perf_counter_ns()
+        self.tick(now)
+        health = self._health
+        degraded = health is not LinkHealth.HEALTHY
+        if profiler is not None:
+            e0 = time.perf_counter_ns()
+        if self._class_estimate is not None:
+            estimate = self._class_estimate(class_id)
+        else:
+            estimate = self._current_estimate()
+        if profiler is not None:
+            profiler.estimator_read.observe(time.perf_counter_ns() - e0)
+        mu_hat = estimate.mu if estimate is not None else math.nan
+        sigma_hat = estimate.sigma if estimate is not None else math.nan
+        n_k = self._class_n.get(class_id, 0)
+
+        if health is LinkHealth.QUARANTINED:
+            admitted, reason, target = False, "quarantined", math.nan
+        elif estimate is None or (estimate.mu <= 0.0 and n_k == 0):
+            if not degraded and n_k == 0:
+                admitted, reason, target = True, "bootstrap", math.nan
+            else:
+                admitted, reason, target = False, "no-measurement", math.nan
+        else:
+            controller = bank.controller(class_id, conservative=degraded)
+            target = controller.target_count(estimate, n_k)
+            admitted = n_k + 1 <= math.floor(target)
+            reason = "conservative-target" if degraded else "target"
+
+        if admitted:
+            self._n += 1
+            self._class_n[class_id] = n_k + 1
+            self._m_admits.inc()
+        else:
+            self._m_rejects.inc()
+        self._m_n.set(self._n)
+        gauge = self._m_class_n.get(class_id)
+        if gauge is not None:
+            gauge.set(self._class_n.get(class_id, 0))
+        if not math.isnan(target):
+            self._m_target.set(target)
+        self._m_latency.observe(time.perf_counter() - t0)
+        if profiler is not None:
+            profiler.admit.observe(time.perf_counter_ns() - p0)
+        logger.debug(
+            "link %s admit(t=%.6g, class=%s): %s (%s, target=%.6g, "
+            "n_k=%d, n=%d, health=%s)",
+            self.name, now, flow_class, "accept" if admitted else "reject",
+            reason, target, self._class_n.get(class_id, 0), self._n,
+            health.value,
+        )
+        return AdmissionDecision(
+            admitted=admitted,
+            link=self.name,
+            reason=reason,
+            target=float(target),
+            n_flows=self._n,
+            degraded=degraded,
+            health=health.value,
+            mu_hat=mu_hat,
+            sigma_hat=sigma_hat,
+        )
+
+    def admit_many(
+        self, k: int, now: float, flow_class: str | None = None
+    ) -> list[AdmissionDecision]:
         """Decide a burst of ``k`` simultaneous flow-arrival requests.
 
         Semantically identical to ``k`` sequential :meth:`admit` calls at
@@ -705,12 +943,18 @@ class ManagedLink:
         nothing the burst changes, the decision sequence is always an
         accept-prefix followed by rejects, exactly as sequential calls at
         one instant would produce.
+
+        ``flow_class`` applies the same classed routing as :meth:`admit`
+        to the whole burst (one class per burst; mixed-class arrivals are
+        split by the caller).
         """
         k = int(k)
         if k < 0:
             raise ParameterError("burst size k must be non-negative")
         if k == 0:
             return []
+        if flow_class is not None and self.class_bank is not None:
+            return self._admit_many_classed(k, now, str(flow_class))
         t0 = time.perf_counter()
         profiler = self.profiler
         if profiler is not None:
@@ -839,7 +1083,142 @@ class ManagedLink:
         )
         return decisions
 
-    def install(self, now: float) -> None:
+    def _admit_many_classed(
+        self, k: int, now: float, flow_class: str
+    ) -> list[AdmissionDecision]:
+        """Classed burst: ``k`` sequential classed admits, batched."""
+        bank = self.class_bank
+        class_id = bank.class_id(flow_class)
+        t0 = time.perf_counter()
+        profiler = self.profiler
+        if profiler is not None:
+            p0 = time.perf_counter_ns()
+        self.tick(now)
+        health = self._health
+        degraded = health is not LinkHealth.HEALTHY
+        if profiler is not None:
+            e0 = time.perf_counter_ns()
+        if self._class_estimate is not None:
+            estimate = self._class_estimate(class_id)
+        else:
+            estimate = self._current_estimate()
+        if profiler is not None:
+            profiler.estimator_read.observe(time.perf_counter_ns() - e0)
+        mu_hat = estimate.mu if estimate is not None else math.nan
+        sigma_hat = estimate.sigma if estimate is not None else math.nan
+
+        decisions: list[AdmissionDecision] = []
+        name = self.name
+        n = self._n
+        n_k = self._class_n.get(class_id, 0)
+        remaining = k
+
+        if health is LinkHealth.QUARANTINED:
+            reject = AdmissionDecision(
+                admitted=False,
+                link=name,
+                reason="quarantined",
+                target=math.nan,
+                n_flows=n,
+                degraded=degraded,
+                health=health.value,
+                mu_hat=mu_hat,
+                sigma_hat=sigma_hat,
+            )
+            decisions.extend([reject] * remaining)
+            remaining = 0
+
+        while remaining > 0 and (
+            estimate is None or (estimate.mu <= 0.0 and n_k == 0)
+        ):
+            if not degraded and n_k == 0:
+                admitted, reason = True, "bootstrap"
+                n += 1
+                n_k += 1
+            else:
+                admitted, reason = False, "no-measurement"
+            decisions.append(
+                AdmissionDecision(
+                    admitted=admitted,
+                    link=name,
+                    reason=reason,
+                    target=math.nan,
+                    n_flows=n,
+                    degraded=degraded,
+                    health=health.value,
+                    mu_hat=mu_hat,
+                    sigma_hat=sigma_hat,
+                )
+            )
+            remaining -= 1
+
+        last_target = math.nan
+        if remaining > 0:
+            controller = bank.controller(class_id, conservative=degraded)
+            reason = "conservative-target" if degraded else "target"
+            occupancies = n_k + np.arange(remaining)
+            targets = controller.target_count_batch(
+                estimate.mu, estimate.sigma, occupancies
+            )
+            ok = occupancies + 1 <= np.floor(targets)
+            accepted = int(ok.argmin()) if not ok.all() else remaining
+            for i in range(accepted):
+                n += 1
+                n_k += 1
+                decisions.append(
+                    AdmissionDecision(
+                        admitted=True,
+                        link=name,
+                        reason=reason,
+                        target=float(targets[i]),
+                        n_flows=n,
+                        degraded=degraded,
+                        health=health.value,
+                        mu_hat=mu_hat,
+                        sigma_hat=sigma_hat,
+                    )
+                )
+            if accepted < remaining:
+                reject = AdmissionDecision(
+                    admitted=False,
+                    link=name,
+                    reason=reason,
+                    target=float(targets[accepted]),
+                    n_flows=n,
+                    degraded=degraded,
+                    health=health.value,
+                    mu_hat=mu_hat,
+                    sigma_hat=sigma_hat,
+                )
+                decisions.extend([reject] * (remaining - accepted))
+            last_target = float(targets[min(accepted, remaining - 1)])
+
+        admitted_total = n - self._n
+        self._n = n
+        self._class_n[class_id] = n_k
+        if admitted_total:
+            self._m_admits.inc(admitted_total)
+        if k - admitted_total:
+            self._m_rejects.inc(k - admitted_total)
+        self._m_n.set(n)
+        gauge = self._m_class_n.get(class_id)
+        if gauge is not None:
+            gauge.set(n_k)
+        if not math.isnan(last_target):
+            self._m_target.set(last_target)
+        self._m_batch_size.observe(k)
+        self._m_batch_latency.observe(time.perf_counter() - t0)
+        if profiler is not None:
+            profiler.admit_many.observe(time.perf_counter_ns() - p0)
+        logger.debug(
+            "link %s admit_many(t=%.6g, k=%d, class=%s): %d accepted, "
+            "%d rejected (n_k=%d, n=%d, health=%s)",
+            name, now, k, flow_class, admitted_total, k - admitted_total,
+            n_k, n, health.value,
+        )
+        return decisions
+
+    def install(self, now: float, flow_class: str | None = None) -> None:
         """Place one flow unconditionally (live migration / journal repair).
 
         The admission decision for this flow already happened elsewhere
@@ -847,31 +1226,59 @@ class ManagedLink:
         counted, no target is evaluated and no decision is produced --
         occupancy simply grows so capacity accounting and the departure
         path bill this link.  Installs are tracked in their own counter.
+        ``flow_class`` bills the flow to that class's occupancy on a
+        multi-class link (ignored otherwise; migration currently moves
+        flows classless, see docs/classes.md).
         """
+        class_id = None
+        if flow_class is not None and self.class_bank is not None:
+            class_id = self.class_bank.class_id(str(flow_class))
         self.tick(now)
         self._n += 1
+        if class_id is not None:
+            self._class_n[class_id] = self._class_n.get(class_id, 0) + 1
+            gauge = self._m_class_n.get(class_id)
+            if gauge is not None:
+                gauge.set(self._class_n[class_id])
         self._m_installs.inc()
         self._m_n.set(self._n)
 
-    def depart(self, now: float) -> None:
+    def depart(self, now: float, flow_class: str | None = None) -> None:
         """Record one flow departure at time ``now``.
 
         Departures are always served -- including on degraded or
         quarantined links (failing closed stops *admissions*, not the
-        draining of existing flows).
+        draining of existing flows).  ``flow_class`` credits the
+        departure to that class's occupancy on a multi-class link.
         """
         if self._n <= 0:
             raise RuntimeStateError(f"link {self.name}: departure from empty link")
+        class_id = None
+        if flow_class is not None and self.class_bank is not None:
+            class_id = self.class_bank.class_id(str(flow_class))
+            if self._class_n.get(class_id, 0) <= 0:
+                raise RuntimeStateError(
+                    f"link {self.name}: departure from empty class "
+                    f"{flow_class!r}"
+                )
         self.tick(now)
         self._n -= 1
+        if class_id is not None:
+            self._class_n[class_id] -= 1
+            gauge = self._m_class_n.get(class_id)
+            if gauge is not None:
+                gauge.set(self._class_n[class_id])
         self._m_departs.inc()
         self._m_n.set(self._n)
 
-    def depart_many(self, k: int, now: float) -> None:
+    def depart_many(
+        self, k: int, now: float, flow_class: str | None = None
+    ) -> None:
         """Record ``k`` simultaneous flow departures at time ``now``.
 
         Equivalent to ``k`` sequential :meth:`depart` calls at the same
-        timestamp, with one tick and one metrics flush.
+        timestamp, with one tick and one metrics flush.  ``flow_class``
+        credits the whole burst to one class on a multi-class link.
         """
         k = int(k)
         if k < 0:
@@ -882,7 +1289,21 @@ class ManagedLink:
             raise RuntimeStateError(
                 f"link {self.name}: {k} departures from {self._n} flows"
             )
+        class_id = None
+        if flow_class is not None and self.class_bank is not None:
+            class_id = self.class_bank.class_id(str(flow_class))
+            if k > self._class_n.get(class_id, 0):
+                raise RuntimeStateError(
+                    f"link {self.name}: {k} departures from "
+                    f"{self._class_n.get(class_id, 0)} flows of class "
+                    f"{flow_class!r}"
+                )
         self.tick(now)
         self._n -= k
+        if class_id is not None:
+            self._class_n[class_id] -= k
+            gauge = self._m_class_n.get(class_id)
+            if gauge is not None:
+                gauge.set(self._class_n[class_id])
         self._m_departs.inc(k)
         self._m_n.set(self._n)

@@ -9,6 +9,11 @@ threads them together (:mod:`~repro.scenario.soak`).
 
 from repro.scenario.autoscale import AutoscalePolicy, Autoscaler
 from repro.scenario.gates import PhaseReport, evaluate_gates, evaluate_phases
+from repro.scenario.overload import (
+    OverloadConfig,
+    OverloadResult,
+    run_overload,
+)
 from repro.scenario.profiles import (
     CompositeProfile,
     DiurnalProfile,
@@ -30,6 +35,8 @@ __all__ = [
     "CompositeProfile",
     "DiurnalProfile",
     "FlashCrowd",
+    "OverloadConfig",
+    "OverloadResult",
     "Phase",
     "PhaseReport",
     "Reinverter",
@@ -40,5 +47,6 @@ __all__ = [
     "evaluate_gates",
     "evaluate_phases",
     "plan_retarget",
+    "run_overload",
     "run_soak",
 ]

@@ -1,0 +1,381 @@
+"""Sustained-overload scenario: multi-class admission at >= 3x capacity.
+
+The paper's central robustness claim is that a measurement-based
+controller keeps QoS *without* trusting declared parameters -- and the
+regime where that matters most is sustained overload, where the offered
+load far exceeds what the link can carry and the controller alone stands
+between the users and collapse.  This scenario drives a classed gateway
+(:func:`repro.classes.factory.build_classed_gateway`, adjusted per-class
+alphas) with a mixed video/data/voice Poisson arrival stream whose
+offered load is ``overload_factor`` times the link's flow-carrying
+capacity, across three phases:
+
+* **warmup** -- the estimator filters converge while the system fills;
+* **overload** -- the full offered load, held;
+* **sustain** -- the same load continued, proving the system reached a
+  stationary regime rather than a slow drift into collapse.
+
+Two gate families decide pass/fail, in the spirit of Leskelä's stability
+analysis of MBAC systems:
+
+* **stability** -- the in-system flow count stays bounded (within
+  ``max_in_system_factor`` of the nominal full-share population) even
+  though arrivals outpace capacity by 3x or more: the admission
+  controller, not the buffer, absorbs the overload;
+* **per-class conformance** -- within every phase, every class's
+  overflow fraction (time its aggregate spent over its capacity share,
+  from the link's per-class integrals) stays at or below that class's
+  own ``p_q``.
+
+The whole run is a pure function of the seed: one RNG draws arrivals,
+classes and holding times in a fixed order, decisions are hashed in the
+server digest format (:func:`repro.service.server.digest_record`), and
+re-running with the same config must reproduce the digest byte-for-byte
+-- the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classes.factory import build_classed_gateway, mixture_parameters
+from repro.classes.policy import (
+    ClassPolicySet,
+    default_class_policies,
+    validate_mix_weights,
+)
+from repro.errors import ParameterError
+from repro.scenario.gates import PhaseReport
+from repro.scenario.profiles import Phase
+from repro.service.server import digest_record
+
+__all__ = ["OverloadConfig", "OverloadResult", "run_overload"]
+
+_ARRIVE = 0
+_DEPART = 1
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs for one :func:`run_overload` run.
+
+    ``overload_factor`` scales the offered load (arrival rate x holding
+    time) relative to the gateway's nominal flow-carrying population; the
+    scenario's reason to exist is ``>= 3``, but any positive factor runs
+    (a factor below 1 makes a useful control experiment).  ``class_mix``
+    maps class names to arrival fractions and must sum to exactly 1
+    (:func:`~repro.classes.policy.validate_mix_weights`); ``None`` draws
+    each class proportionally to its share of the nominal population.
+    """
+
+    capacity: float = 200.0
+    holding_time: float = 40.0
+    overload_factor: float = 3.0
+    warmup: float = 60.0
+    overload: float = 120.0
+    sustain: float = 60.0
+    links: int = 1
+    seed: int = 7
+    class_mix: dict | None = None
+    #: Measurement period; ``None`` derives ``min_k T_c(k) / 4`` -- the
+    #: eqn-15 adjustment models a *continuous* estimator, so the feed
+    #: must sample a few times per correlation time of the fastest class
+    #: or the realized estimation error exceeds what the adjusted alpha
+    #: compensates (and the per-class conformance gate fails honestly).
+    feed_period: float | None = None
+    #: In-system bound for the stability gate, as a multiple of the
+    #: nominal full-share population.
+    max_in_system_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0 or self.holding_time <= 0.0:
+            raise ParameterError("capacity and holding_time must be positive")
+        if self.overload_factor <= 0.0:
+            raise ParameterError("overload_factor must be positive")
+        if min(self.warmup, self.overload, self.sustain) <= 0.0:
+            raise ParameterError("every phase must have positive duration")
+        if self.links < 1:
+            raise ParameterError("need at least one link")
+        if self.max_in_system_factor <= 1.0:
+            raise ParameterError("max_in_system_factor must exceed 1")
+        if self.feed_period is not None and self.feed_period <= 0.0:
+            raise ParameterError("feed_period must be positive")
+        if self.class_mix is not None:
+            validate_mix_weights(self.class_mix, what="overload class mix")
+
+    @property
+    def horizon(self) -> float:
+        return self.warmup + self.overload + self.sustain
+
+    def phases(self) -> list[Phase]:
+        t1 = self.warmup
+        t2 = t1 + self.overload
+        return [
+            Phase("warmup", 0.0, t1, overflow_bound=1.0),
+            Phase("overload", t1, t2, overflow_bound=1.0),
+            Phase("sustain", t2, self.horizon, overflow_bound=1.0),
+        ]
+
+
+@dataclass
+class OverloadResult:
+    """Outcome of one overload run; ``failures`` empty means the gates held."""
+
+    config: OverloadConfig
+    arrivals: int
+    admitted: int
+    rejected: int
+    departures: int
+    #: Nominal full-share flow population (the stability yardstick).
+    nominal_flows: float
+    max_in_system: int
+    #: Realized offered load as a multiple of the nominal population.
+    offered_factor: float
+    per_class: dict = field(default_factory=dict)
+    phase_reports: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "departures": self.departures,
+            "nominal_flows": self.nominal_flows,
+            "max_in_system": self.max_in_system,
+            "offered_factor": self.offered_factor,
+            "per_class": {k: dict(v) for k, v in self.per_class.items()},
+            "phases": [report.as_dict() for report in self.phase_reports],
+            "failures": list(self.failures),
+            "digest": self.digest,
+            "ok": self.ok,
+        }
+
+
+def _class_integrals(snapshot: dict) -> dict:
+    """``{"link/class": (observed_time, overload_time)}`` from a snapshot."""
+    out: dict = {}
+    for link_name, link in snapshot.get("links", {}).items():
+        for cls, report in link.get("classes", {}).items():
+            out[f"{link_name}/{cls}"] = (
+                float(report.get("observed_time") or 0.0),
+                float(report.get("overload_time") or 0.0),
+            )
+    return out
+
+
+def _class_phase_reports(
+    config: OverloadConfig,
+    policies: ClassPolicySet,
+    boundary_snapshots: list,
+) -> list:
+    """Per-(phase, class) conformance reports from boundary snapshots.
+
+    Each report differences one class's overload/observed integrals
+    across one phase, over every link; the bound is that class's own
+    ``p_q`` -- the eqn-42 conformance the adjusted per-class criterion
+    is supposed to deliver.
+    """
+    reports: list = []
+    for phase, before, after in zip(
+        config.phases(), boundary_snapshots, boundary_snapshots[1:]
+    ):
+        prev = _class_integrals(before)
+        cur = _class_integrals(after)
+        per_class: dict[str, dict] = {}
+        for key, (observed, overload) in sorted(cur.items()):
+            observed0, overload0 = prev.get(key, (0.0, 0.0))
+            d_observed = observed - observed0
+            if d_observed <= 0.0:
+                continue
+            cls = key.rsplit("/", 1)[1]
+            fraction = max(overload - overload0, 0.0) / d_observed
+            per_class.setdefault(cls, {})[key] = fraction
+        for _, policy in policies.items():
+            overflow = per_class.get(policy.name)
+            if not overflow:
+                continue
+            reports.append(PhaseReport(
+                name=f"{phase.name}:{policy.name}",
+                start=phase.start,
+                end=phase.end,
+                bound=policy.p_q,
+                overflow=overflow,
+            ))
+    return reports
+
+
+def run_overload(
+    config: OverloadConfig | None = None,
+    *,
+    policies: ClassPolicySet | None = None,
+) -> OverloadResult:
+    """Run the sustained-overload scenario; returns the gated result.
+
+    Builds a classed gateway with **adjusted** per-class alphas (the
+    robust configuration), derives the arrival rate from
+    ``overload_factor`` times the nominal population over the holding
+    time, and drives a seeded event loop of mixed-class arrivals and
+    exponential departures.  Phase boundaries tick the gateway and
+    snapshot it; the per-class integrals are differenced into
+    :class:`~repro.scenario.gates.PhaseReport` entries gated at each
+    class's ``p_q``, and the in-system count is gated against
+    ``max_in_system_factor`` times the nominal population.  Every gate
+    failure lands in ``result.failures`` as one readable string.
+    """
+    if config is None:
+        config = OverloadConfig()
+    if policies is None:
+        policies = default_class_policies()
+    feed_period = config.feed_period
+    if feed_period is None:
+        feed_period = min(
+            policy.correlation_time for _, policy in policies.items()
+        ) / 4.0
+    gateway, policies = build_classed_gateway(
+        policies,
+        links=config.links,
+        capacity=config.capacity,
+        holding_time=config.holding_time,
+        feed_period=feed_period,
+        seed=config.seed,
+        adjust=True,
+    )
+
+    mixture = mixture_parameters(policies, capacity=config.capacity)
+    nominal = mixture["n"] * config.links
+    rate = config.overload_factor * nominal / config.holding_time
+    counts = {
+        policy.name: policy.share * config.capacity / policy.mean_rate
+        for _, policy in policies.items()
+    }
+    if config.class_mix is not None:
+        unknown = sorted(set(config.class_mix) - set(counts))
+        if unknown:
+            raise ParameterError(
+                f"class_mix names unknown classes {unknown!r}; policy "
+                f"classes are {sorted(counts)!r}"
+            )
+        mix = config.class_mix
+    else:
+        total = sum(counts.values())
+        mix = {name: n / total for name, n in counts.items()}
+    class_names = sorted(mix)
+    class_p = np.array([mix[name] for name in class_names], dtype=float)
+    class_p = class_p / class_p.sum()
+
+    rng = np.random.default_rng(config.seed)
+    arrival_times = np.cumsum(
+        rng.exponential(1.0 / rate, size=max(1, int(math.ceil(
+            rate * config.horizon * 1.25
+        ))))
+    )
+    arrival_times = arrival_times[arrival_times < config.horizon]
+    arrival_classes = rng.choice(
+        len(class_names), size=len(arrival_times), p=class_p
+    )
+
+    heap: list = []
+    seq = 0
+    for when, pick in zip(arrival_times, arrival_classes):
+        heapq.heappush(
+            heap, (float(when), _ARRIVE, seq, class_names[int(pick)])
+        )
+        seq += 1
+
+    boundaries = [phase.end for phase in config.phases()]
+    sha = hashlib.sha256()
+    per_class = {
+        name: {"arrivals": 0, "admitted": 0, "rejected": 0}
+        for name in class_names
+    }
+    arrivals = admitted = rejected = departures = 0
+    max_in_system = 0
+    snapshots = [gateway.snapshot()]
+    next_boundary = 0
+    flow_seq = 0
+
+    while heap:
+        now, kind, _, payload = heapq.heappop(heap)
+        while next_boundary < len(boundaries) and now >= boundaries[next_boundary]:
+            gateway.tick(boundaries[next_boundary])
+            snapshots.append(gateway.snapshot())
+            next_boundary += 1
+        if now >= config.horizon:
+            # Only departures live past the horizon; the gates are
+            # already decided by the final boundary snapshot.
+            break
+        if kind == _ARRIVE:
+            cls = payload
+            flow = f"o{flow_seq}"
+            flow_seq += 1
+            arrivals += 1
+            per_class[cls]["arrivals"] += 1
+            decision = gateway.admit(flow, now, cls)
+            sha.update(digest_record(flow, decision))
+            if decision.admitted:
+                admitted += 1
+                per_class[cls]["admitted"] += 1
+                hold = float(rng.exponential(config.holding_time))
+                heapq.heappush(heap, (now + hold, _DEPART, seq, flow))
+                seq += 1
+            else:
+                rejected += 1
+                per_class[cls]["rejected"] += 1
+        else:
+            gateway.depart(payload, now)
+            departures += 1
+        max_in_system = max(max_in_system, gateway.n_flows)
+
+    while next_boundary < len(boundaries):
+        gateway.tick(boundaries[next_boundary])
+        snapshots.append(gateway.snapshot())
+        next_boundary += 1
+
+    phase_reports = _class_phase_reports(config, policies, snapshots)
+    failures: list = []
+    bound = config.max_in_system_factor * nominal
+    if max_in_system > bound:
+        failures.append(
+            f"stability gate: {max_in_system} flows in system exceeds "
+            f"{bound:.1f} ({config.max_in_system_factor:g}x the nominal "
+            f"{nominal:.1f})"
+        )
+    if not rejected:
+        failures.append(
+            "overload never rejected a flow; the offered load did not "
+            "exercise the controller"
+        )
+    for report in phase_reports:
+        if not report.ok:
+            failures.append(
+                f"phase {report.name!r}: overflow {report.worst_overflow:.4f} "
+                f"exceeds the class bound {report.bound:.4f}"
+            )
+
+    return OverloadResult(
+        config=config,
+        arrivals=arrivals,
+        admitted=admitted,
+        rejected=rejected,
+        departures=departures,
+        nominal_flows=nominal,
+        max_in_system=max_in_system,
+        offered_factor=(
+            (arrivals / config.horizon) * config.holding_time / nominal
+        ),
+        per_class=per_class,
+        phase_reports=phase_reports,
+        failures=failures,
+        digest=sha.hexdigest(),
+    )

@@ -419,16 +419,34 @@ class AsyncAdmissionClient:
         """Round-trip liveness/version probe."""
         return await self._call("ping")
 
-    async def admit(self, flow, t: float | None = None) -> AdmissionDecision:
-        """Request admission for one flow; returns the decision."""
-        result = await self._call("admit", flow=flow, t=t)
+    async def admit(
+        self, flow, t: float | None = None, flow_class: str | None = None
+    ) -> AdmissionDecision:
+        """Request admission for one flow; returns the decision.
+
+        ``flow_class`` tags the flow with a policy class on a multi-class
+        server; ``None`` (the default, and the only thing a v1 peer can
+        say) requests the pooled criterion.
+        """
+        result = await self._call(
+            "admit", flow=flow, t=t, flow_class=flow_class
+        )
         return decision_from_wire(result["decision"])
 
     async def admit_many(
-        self, flows: Sequence, t: float | None = None
+        self,
+        flows: Sequence,
+        t: float | None = None,
+        flow_class: str | None = None,
     ) -> list[AdmissionDecision]:
-        """Request admission for a burst; returns decisions in order."""
-        result = await self._call("admit_many", flows=list(flows), t=t)
+        """Request admission for a burst; returns decisions in order.
+
+        ``flow_class`` applies to the whole burst -- callers split
+        mixed-class arrivals into one burst per class.
+        """
+        result = await self._call(
+            "admit_many", flows=list(flows), t=t, flow_class=flow_class
+        )
         return [decision_from_wire(d) for d in result["decisions"]]
 
     async def depart(self, flow, t: float | None = None) -> str:
@@ -586,13 +604,18 @@ class SyncAdmissionClient:
     def ping(self) -> dict:
         return self._run(self._client.ping())
 
-    def admit(self, flow, t: float | None = None) -> AdmissionDecision:
-        return self._run(self._client.admit(flow, t))
+    def admit(
+        self, flow, t: float | None = None, flow_class: str | None = None
+    ) -> AdmissionDecision:
+        return self._run(self._client.admit(flow, t, flow_class))
 
     def admit_many(
-        self, flows: Sequence, t: float | None = None
+        self,
+        flows: Sequence,
+        t: float | None = None,
+        flow_class: str | None = None,
     ) -> list[AdmissionDecision]:
-        return self._run(self._client.admit_many(flows, t))
+        return self._run(self._client.admit_many(flows, t, flow_class))
 
     def depart(self, flow, t: float | None = None) -> str:
         return self._run(self._client.depart(flow, t))

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.classes.policy import validate_mix_weights
 from repro.errors import ParameterError, RemoteError
 from repro.runtime.metrics import Histogram, json_safe
 from repro.service.client import AsyncAdmissionClient, parse_address
@@ -114,6 +115,7 @@ class _Worker:
         latency: Histogram,
         pipeline: int = 1,
         wire_version: int = MAX_PROTOCOL_VERSION,
+        class_mix: dict[str, float] | None = None,
     ) -> None:
         self.index = index
         self.ring = ring
@@ -123,6 +125,22 @@ class _Worker:
         self.batch_window = batch_window
         self.pipeline = pipeline
         self.rng = np.random.default_rng((seed, index))
+        # Class draws come from their own substream so a classless run's
+        # workload (and therefore the server digest) is untouched by the
+        # feature existing.
+        if class_mix is not None:
+            self._class_names = sorted(class_mix)
+            self._class_p = np.array(
+                [class_mix[name] for name in self._class_names], dtype=float
+            )
+            # The caller already validated the sum == 1; this division
+            # only clears float round-off so rng.choice's own tolerance
+            # check never trips.
+            self._class_p = self._class_p / self._class_p.sum()
+            self._class_rng = np.random.default_rng((seed, index, 7))
+        else:
+            self._class_names = None
+        self._pending_class: dict[str, str] = {}
         self.latency = latency
         self.clients = {
             addr: AsyncAdmissionClient(
@@ -197,6 +215,12 @@ class _Worker:
                 pending_raw = float(next(arrival_iter))
             flows = [f"w{self.index}-{next_flow + i}" for i in range(count)]
             next_flow += count
+            if self._class_names is not None:
+                picks = self._class_rng.choice(
+                    len(self._class_names), size=count, p=self._class_p
+                )
+                for flow, pick in zip(flows, picks):
+                    self._pending_class[flow] = self._class_names[int(pick)]
             self._push(when, _ARRIVE, flows)
 
         schedule_arrivals()
@@ -248,17 +272,25 @@ class _Worker:
 
     async def _admit(self, flows: list[str], now: float) -> None:
         self.arrivals += len(flows)
-        by_addr: dict[str, list[str]] = {}
+        # Bursts are split per (shard, class): the wire carries one class
+        # tag per admit_many frame.  Classless runs key on (addr, None),
+        # which degenerates to the original per-shard grouping.
+        by_key: dict[tuple[str, str | None], list[str]] = {}
         for flow in flows:
-            by_addr.setdefault(self.ring.node_for(flow), []).append(flow)
+            key = (self.ring.node_for(flow), self._pending_class.pop(flow, None))
+            by_key.setdefault(key, []).append(flow)
         admitted: list[str] = []
-        for addr, group in by_addr.items():
+        for (addr, flow_class), group in by_key.items():
             client = self.clients[addr]
             try:
                 if self.batch_window is None and len(group) == 1:
-                    decisions = [await self._timed(client.admit(group[0], t=now))]
+                    decisions = [await self._timed(
+                        client.admit(group[0], t=now, flow_class=flow_class)
+                    )]
                 else:
-                    decisions = await self._timed(client.admit_many(group, t=now))
+                    decisions = await self._timed(
+                        client.admit_many(group, t=now, flow_class=flow_class)
+                    )
             except RemoteError as exc:
                 if exc.code == "overloaded":
                     self.shed += len(group)
@@ -323,6 +355,7 @@ async def run_loadgen(
     retries: int = 0,
     wire_version: int = MAX_PROTOCOL_VERSION,
     fetch_digests: bool = True,
+    class_mix: dict[str, float] | None = None,
 ) -> LoadGenReport:
     """Drive the servers at ``addrs`` with ``n_flows`` Poisson arrivals.
 
@@ -363,6 +396,14 @@ async def run_loadgen(
     fetch_digests : bool
         Fetch each server's decision digest via ``snapshot`` after the
         run (disable against servers without snapshot access).
+    class_mix : dict, optional
+        ``{class_name: fraction}`` tagging each arrival with a flow class
+        drawn from a dedicated RNG substream (the classless workload
+        stream is untouched, so omitting this reproduces historical runs
+        byte-for-byte).  Fractions must sum to exactly 1 --
+        :func:`~repro.classes.policy.validate_mix_weights` raises a typed
+        :class:`~repro.errors.MixWeightError` naming the offending
+        weights instead of silently renormalizing.
 
     Returns
     -------
@@ -388,6 +429,8 @@ async def run_loadgen(
         )
     if batch_window is not None and batch_window <= 0.0:
         raise ParameterError("batch_window must be positive")
+    if class_mix is not None:
+        validate_mix_weights(class_mix, what="loadgen class mix")
     for addr in addrs:
         parse_address(addr)  # validate up front
 
@@ -422,6 +465,7 @@ async def run_loadgen(
             latency=latency,
             pipeline=pipeline,
             wire_version=wire_version,
+            class_mix=class_mix,
         )
         for k in range(concurrency)
     ]

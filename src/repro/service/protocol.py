@@ -26,6 +26,13 @@ Timestamps (``t``) are the caller's logical clock; the server clamps them
 monotone.  Flow ids must be JSON strings or integers (they travel
 verbatim into the gateway's flow table and the decision digest).
 
+``admit`` and ``admit_many`` accept an optional ``"flow_class"`` field (a
+non-empty string naming a class in the server's policy set).  Departures
+never carry a class: the gateway remembers each admitted flow's class and
+credits the departure itself.  A v1 peer that never sends the field gets
+the pooled criterion, byte-for-byte as before -- the class tag is purely
+additive.
+
 The ``telemetry`` op pushes one cumulative counter sample into a link's
 ingest feed (see :mod:`repro.telemetry.ingest`)::
 
@@ -165,6 +172,9 @@ JOURNAL_OPS = (
     # Appended (not inserted) so the v2 binary codes of the ops above
     # stay stable across protocol revisions.
     "retarget",
+    # Class-tagged admissions: flows = [flow, class] / [[flow, ...], class].
+    "admit_class",
+    "admit_many_class",
 )
 
 #: Machine-readable error codes carried by error frames.
@@ -315,6 +325,7 @@ _CODE_JOURNAL_OPS = {code: op for op, code in _JOURNAL_CODES.items()}
 _F_HAS_T = 0x01    # requests: the optional logical clock is present
 _F_HAS_ID = 0x02   # responses: the correlation id is present
 _F_HAS_FLOW = 0x04  # telemetry: a per-flow stream id is present
+_F_HAS_CLASS = 0x08  # admit/admit_many: a flow-class tag is appended
 
 _V2_HEADER = struct.Struct("!BBBB")   # magic, version, kind, flags
 _V2_ID = struct.Struct("!Q")
@@ -494,6 +505,26 @@ def _pack_journal_entry(entry, out: bytearray) -> None:
             raise _NotEncodable
         out += _V2_F64.pack(float(alpha))
         _pack_str(link, out)
+    elif op == "admit_class":
+        # Class-tagged admit: (flow, class name).
+        if not isinstance(flows, (list, tuple)) or len(flows) != 2:
+            raise _NotEncodable
+        flow, cls = flows
+        if not isinstance(cls, str):
+            raise _NotEncodable
+        _pack_flow(flow, out)
+        _pack_str(cls, out)
+    elif op == "admit_many_class":
+        # Class-tagged batch admit: ([flow, ...], class name).
+        if not isinstance(flows, (list, tuple)) or len(flows) != 2:
+            raise _NotEncodable
+        batch, cls = flows
+        if not isinstance(batch, (list, tuple)) or not isinstance(cls, str):
+            raise _NotEncodable
+        out += _V2_U32.pack(len(batch))
+        for flow in batch:
+            _pack_flow(flow, out)
+        _pack_str(cls, out)
     else:  # migrate_in: [(flow, original effective_t), ...]
         if not isinstance(flows, (list, tuple)):
             raise _NotEncodable
@@ -531,6 +562,13 @@ def _take_journal_entry(reader: _V2Reader) -> list:
                  reader.take_flow() if has_flow else None]
     elif op == "retarget":
         flows = [reader.take(_V2_F64), reader.take_str()]
+    elif op == "admit_class":
+        flows = [reader.take_flow(), reader.take_str()]
+    elif op == "admit_many_class":
+        count = reader.take(_V2_U32)
+        flows = [
+            [reader.take_flow() for _ in range(count)], reader.take_str()
+        ]
     else:  # migrate_in
         count = reader.take(_V2_U32)
         flows = [
@@ -563,6 +601,11 @@ def encode_request_v2(payload: dict) -> bytes | None:
     flags = _F_HAS_T if t is not None else 0
     if kind == _K_TELEMETRY and payload.get("flow") is not None:
         flags |= _F_HAS_FLOW
+    flow_class = payload.get("flow_class")
+    if kind in (_K_ADMIT, _K_ADMIT_MANY) and flow_class is not None:
+        if not isinstance(flow_class, str):
+            return None
+        flags |= _F_HAS_CLASS
     out += _V2_HEADER.pack(V2_MAGIC, PROTOCOL_VERSION_2, kind, flags)
     out += _V2_ID.pack(request_id)
     if t is not None:
@@ -570,6 +613,8 @@ def encode_request_v2(payload: dict) -> bytes | None:
     try:
         if kind in (_K_ADMIT, _K_DEPART):
             _pack_flow(payload["flow"], out)
+            if flags & _F_HAS_CLASS:
+                _pack_str(flow_class, out)
         elif kind in (_K_ADMIT_MANY, _K_DEPART_MANY):
             flows = payload["flows"]
             if not isinstance(flows, list) or len(flows) > _U64_MAX:
@@ -577,6 +622,8 @@ def encode_request_v2(payload: dict) -> bytes | None:
             out += _V2_U32.pack(len(flows))
             for flow in flows:
                 _pack_flow(flow, out)
+            if flags & _F_HAS_CLASS:
+                _pack_str(flow_class, out)
         elif kind == _K_TELEMETRY:
             if t is None:
                 return None
@@ -756,9 +803,13 @@ def _decode_v2(body: bytes) -> dict:
             payload["t"] = reader.take(_V2_F64)
         if kind in (_K_ADMIT, _K_DEPART):
             payload["flow"] = reader.take_flow()
+            if flags & _F_HAS_CLASS:
+                payload["flow_class"] = reader.take_str()
         elif kind in (_K_ADMIT_MANY, _K_DEPART_MANY):
             count = reader.take(_V2_U32)
             payload["flows"] = [reader.take_flow() for _ in range(count)]
+            if flags & _F_HAS_CLASS:
+                payload["flow_class"] = reader.take_str()
         elif kind == _K_TELEMETRY:
             payload["link"] = reader.take_str()
             payload["bytes"] = reader.take(_V2_U64)
@@ -963,6 +1014,16 @@ def validate_request(payload: dict) -> dict:
         raise ProtocolError(f"'t' must be a number, got {t!r}", code="bad-request")
     if t is not None and not math.isfinite(t):
         raise ProtocolError(f"'t' must be finite, got {t!r}", code="bad-request")
+    if op in ("admit", "admit_many"):
+        flow_class = payload.get("flow_class")
+        if flow_class is not None and (
+            not isinstance(flow_class, str) or not flow_class
+        ):
+            raise ProtocolError(
+                f"'flow_class' must be a non-empty string or null, "
+                f"got {flow_class!r}",
+                code="bad-request",
+            )
     if op in ("admit", "depart"):
         if "flow" not in payload:
             raise ProtocolError(f"{op} requires 'flow'", code="bad-request")

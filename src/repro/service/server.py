@@ -593,9 +593,17 @@ class AdmissionServer:
             op = request.get("op") if isinstance(request, dict) else None
             j = i + 1
             if op in ("admit", "depart") and not self.standby:
+                # Admits coalesce only within one flow class (including
+                # the classless None class): the batch gateway call takes
+                # a single class tag for the whole run.
+                flow_class = (
+                    request.get("flow_class") if op == "admit" else None
+                )
                 while j < len(live):
                     nxt = live[j][0]
                     if not (isinstance(nxt, dict) and nxt.get("op") == op):
+                        break
+                    if op == "admit" and nxt.get("flow_class") != flow_class:
                         break
                     j += 1
             if j - i > 1:
@@ -658,7 +666,8 @@ class AdmissionServer:
         t = self._clock
         try:
             if op == "admit":
-                decisions = self.gateway.admit_many(flows, t)
+                flow_class = run[0][0].get("flow_class")
+                decisions = self.gateway.admit_many(flows, t, flow_class)
                 responses = []
                 for (request, _), flow, decision in zip(run, flows, decisions):
                     self._record(flow, decision)
@@ -666,7 +675,12 @@ class AdmissionServer:
                         request.get("id"),
                         {"t": t, "decision": decision_to_wire(decision)},
                     ))
-                self._journal_append("admit_many", flows, t)
+                if flow_class is not None:
+                    self._journal_append(
+                        "admit_many_class", [flows, flow_class], t
+                    )
+                else:
+                    self._journal_append("admit_many", flows, t)
             else:
                 links = [self.gateway.link_of(flow).name for flow in flows]
                 self.gateway.depart_many(flows, t)
@@ -761,19 +775,27 @@ class AdmissionServer:
 
     def _op_admit(self, request: dict) -> dict:
         flow = request["flow"]
+        flow_class = request.get("flow_class")
         t = self._effective_time(request)
-        decision = self.gateway.admit(flow, t)
+        decision = self.gateway.admit(flow, t, flow_class)
         self._record(flow, decision)
-        self._journal_append("admit", flow, t)
+        if flow_class is not None:
+            self._journal_append("admit_class", [flow, flow_class], t)
+        else:
+            self._journal_append("admit", flow, t)
         return {"t": t, "decision": decision_to_wire(decision)}
 
     def _op_admit_many(self, request: dict) -> dict:
         flows = list(request["flows"])
+        flow_class = request.get("flow_class")
         t = self._effective_time(request)
-        decisions = self.gateway.admit_many(flows, t)
+        decisions = self.gateway.admit_many(flows, t, flow_class)
         for flow, decision in zip(flows, decisions):
             self._record(flow, decision)
-        self._journal_append("admit_many", flows, t)
+        if flow_class is not None:
+            self._journal_append("admit_many_class", [flows, flow_class], t)
+        else:
+            self._journal_append("admit_many", flows, t)
         return {
             "t": t,
             "decisions": [decision_to_wire(d) for d in decisions],
@@ -1202,6 +1224,19 @@ def _apply_journal(gateway, journal, sha) -> None:
             decisions = gateway.admit_many(flows, t)
             if update is not None:
                 for flow, decision in zip(flows, decisions):
+                    update(digest_record(flow, decision))
+        elif op == "admit_class":
+            # Class-tagged admit: flows = [flow, class name].
+            flow, flow_class = flows
+            decision = gateway.admit(flow, t, flow_class)
+            if update is not None:
+                update(digest_record(flow, decision))
+        elif op == "admit_many_class":
+            # Class-tagged batch admit: flows = [[flow, ...], class name].
+            batch, flow_class = flows
+            decisions = gateway.admit_many(batch, t, flow_class)
+            if update is not None:
+                for flow, decision in zip(batch, decisions):
                     update(digest_record(flow, decision))
         elif op == "depart":
             gateway.depart(flows, t)

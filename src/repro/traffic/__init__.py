@@ -19,6 +19,7 @@ from repro.traffic.markov import MarkovFluidFlow, MarkovFluidSource
 from repro.traffic.onoff import OnOffSource, on_off_source
 from repro.traffic.rcbr import RcbrFlow, RcbrSource, paper_rcbr_source
 from repro.traffic.trace import Trace, TraceFlow, TraceSource, rcbr_smooth
+from repro.traffic.vbr import VbrFlow, VbrVideoSource, paper_vbr_source
 
 __all__ = [
     "DeterministicMarginal",
@@ -40,9 +41,12 @@ __all__ = [
     "TrafficSource",
     "TruncatedGaussianMarginal",
     "UniformMarginal",
+    "VbrFlow",
+    "VbrVideoSource",
     "mixture_moments",
     "on_off_source",
     "paper_rcbr_source",
+    "paper_vbr_source",
     "rcbr_smooth",
     "starwars_like_source",
     "synthetic_video_trace",

@@ -1,0 +1,210 @@
+"""GoP-structured VBR video source (frame-size marginals over a GoP).
+
+MPEG-style video is not well modelled by i.i.d. renegotiation: the
+encoder emits a deterministic *group-of-pictures* pattern (e.g.
+``IBBPBBPBBPBB``) in which intra-coded I frames are several times larger
+than predicted P frames, which in turn dwarf bidirectional B frames.
+The bandwidth process of one flow is therefore a cyclostationary chain:
+the frame *type* sequence is periodic and deterministic, while the frame
+*size* (here: the rate while that frame is on the wire) is a fresh draw
+from the type's marginal.
+
+:class:`VbrVideoSource` realizes exactly that process for the event
+engine (:class:`VbrFlow` steps through the pattern at the frame period,
+starting from a uniformly random phase so a population of flows is
+stationary in aggregate), and exposes the exact stationary mixture
+moments so controllers and theory formulas see the true ``mu`` and
+``sigma`` of what is simulated.
+
+:func:`paper_vbr_source` builds the source from the same three numbers
+the rest of the library uses to describe a class -- mean rate, overall
+coefficient of variation, and correlation time-scale (taken as one GoP
+duration) -- splitting the requested variance between the deterministic
+I/P/B size ratios and the within-type marginal spread.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.traffic.base import FlowProcess, TrafficSource
+from repro.traffic.marginals import LognormalMarginal, Marginal
+
+__all__ = [
+    "VbrFlow",
+    "VbrVideoSource",
+    "paper_vbr_source",
+    "DEFAULT_GOP_PATTERN",
+    "DEFAULT_SIZE_RATIOS",
+]
+
+#: The classic 12-frame MPEG GoP.
+DEFAULT_GOP_PATTERN = "IBBPBBPBBPBB"
+
+#: Typical encoder size ratios: I frames ~5x, P frames ~2.5x a B frame.
+DEFAULT_SIZE_RATIOS = {"I": 5.0, "P": 2.5, "B": 1.0}
+
+#: Floor for the within-type CV so every type marginal stays a proper
+#: distribution even when the GoP structure alone already supplies (or
+#: exceeds) the requested overall variance.
+_MIN_WITHIN_CV = 0.02
+
+
+class VbrFlow(FlowProcess):
+    """One video flow stepping through the GoP pattern frame by frame."""
+
+    __slots__ = ("_source", "_position", "rate")
+
+    def __init__(self, source: "VbrVideoSource", rng: np.random.Generator) -> None:
+        self._source = source
+        # Uniform random GoP phase: the population is stationary even
+        # though each flow's type sequence is deterministic.
+        self._position = int(rng.integers(len(source.pattern)))
+        self.rate = source.marginal_at(self._position).sample(rng)
+
+    def time_to_next_change(self, rng: np.random.Generator) -> float:
+        return self._source.frame_period
+
+    def apply_change(self, rng: np.random.Generator) -> None:
+        self._position = (self._position + 1) % len(self._source.pattern)
+        self.rate = self._source.marginal_at(self._position).sample(rng)
+
+
+class VbrVideoSource(TrafficSource):
+    """Population of GoP-patterned VBR flows.
+
+    Parameters
+    ----------
+    marginals : mapping of frame type -> Marginal
+        Rate distribution while a frame of that type is on the wire.
+    pattern : str
+        The GoP frame-type sequence; every character must have a marginal.
+    frame_rate : float
+        Frames per unit time; one GoP lasts ``len(pattern) / frame_rate``.
+    """
+
+    def __init__(self, marginals, pattern: str, frame_rate: float) -> None:
+        if not pattern:
+            raise ParameterError("GoP pattern must be non-empty")
+        if frame_rate <= 0.0:
+            raise ParameterError("frame_rate must be positive")
+        self.marginals: dict[str, Marginal] = dict(marginals)
+        missing = sorted(set(pattern) - set(self.marginals))
+        if missing:
+            raise ParameterError(
+                f"GoP pattern uses frame types without marginals: "
+                f"{', '.join(missing)}"
+            )
+        self.pattern = str(pattern)
+        self.frame_rate = float(frame_rate)
+        self.frame_period = 1.0 / self.frame_rate
+        # Exact stationary mixture moments over one GoP period.
+        weights = {
+            t: pattern.count(t) / len(pattern) for t in set(pattern)
+        }
+        mean = sum(w * self.marginals[t].mean for t, w in weights.items())
+        second = sum(
+            w * (self.marginals[t].std ** 2 + self.marginals[t].mean ** 2)
+            for t, w in weights.items()
+        )
+        self._weights = weights
+        self._mean = float(mean)
+        self._var = max(float(second - mean * mean), 0.0)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._var)
+
+    @property
+    def correlation_time(self) -> float:
+        """One GoP duration -- the period of the frame-type cycle."""
+        return len(self.pattern) * self.frame_period
+
+    def marginal_at(self, position: int) -> Marginal:
+        return self.marginals[self.pattern[position]]
+
+    def new_flow(self, rng: np.random.Generator) -> VbrFlow:
+        return VbrFlow(self, rng)
+
+    def sample_rates(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` stationary rates (vectorized).
+
+        A stationary observation of one flow is: uniform position in the
+        GoP, then a draw from that position's type marginal.  Positions
+        are drawn first, then each type's block in sorted-type order, so
+        the stream of RNG consumption is deterministic for a given seed.
+        """
+        size = int(size)
+        if size <= 0:
+            return np.empty(0, dtype=float)
+        positions = rng.integers(0, len(self.pattern), size=size)
+        types = np.array([self.pattern[p] for p in positions])
+        out = np.empty(size, dtype=float)
+        for frame_type in sorted(self.marginals):
+            mask = types == frame_type
+            count = int(mask.sum())
+            if count:
+                out[mask] = self.marginals[frame_type].sample(rng, count)
+        return out
+
+
+def paper_vbr_source(
+    mean: float,
+    cv: float,
+    *,
+    gop_time: float,
+    pattern: str = DEFAULT_GOP_PATTERN,
+    size_ratios=None,
+) -> VbrVideoSource:
+    """Build a VBR video source from class-level (mean, cv, T_c).
+
+    The GoP pattern and I/P/B size ratios fix the *between-type*
+    variance; whatever remains of the requested overall variance
+    ``(cv * mean)^2`` is assigned as a common *within-type* CV on
+    lognormal frame marginals (floored at a small positive value, so a
+    cv below what the GoP structure alone produces yields a slightly
+    burstier source than asked -- the exact moments are always exposed
+    via :attr:`VbrVideoSource.mean` / :attr:`VbrVideoSource.std`).
+
+    ``gop_time`` becomes the source's correlation time-scale: the frame
+    rate is chosen so one GoP spans exactly ``gop_time``.
+    """
+    if mean <= 0.0 or cv <= 0.0:
+        raise ParameterError("mean and cv must be positive")
+    if gop_time <= 0.0:
+        raise ParameterError("gop_time must be positive")
+    ratios = dict(DEFAULT_SIZE_RATIOS if size_ratios is None else size_ratios)
+    missing = sorted(set(pattern) - set(ratios))
+    if missing:
+        raise ParameterError(
+            f"GoP pattern uses frame types without size ratios: "
+            f"{', '.join(missing)}"
+        )
+    for frame_type, ratio in ratios.items():
+        if not (math.isfinite(ratio) and ratio > 0.0):
+            raise ParameterError(
+                f"size ratio for frame type {frame_type!r} must be positive"
+            )
+    weights = {t: pattern.count(t) / len(pattern) for t in set(pattern)}
+    # Per-type means from the ratios: m_t = ratio_t * base with the base
+    # chosen so the mixture mean hits the requested mean.
+    base = mean / sum(w * ratios[t] for t, w in weights.items())
+    type_means = {t: ratios[t] * base for t in weights}
+    # Between-type variance is fixed by the ratios; the within-type CV
+    # soaks up the remainder of the requested overall variance.
+    mean_sq = sum(w * type_means[t] ** 2 for t, w in weights.items())
+    var_between = mean_sq - mean * mean
+    var_within = max((cv * mean) ** 2 - var_between, 0.0)
+    cv_within = max(math.sqrt(var_within / mean_sq), _MIN_WITHIN_CV)
+    marginals = {
+        t: LognormalMarginal(type_means[t], cv_within) for t in weights
+    }
+    frame_rate = len(pattern) / gop_time
+    return VbrVideoSource(marginals, pattern, frame_rate)

@@ -1,0 +1,79 @@
+"""Tests for the per-link class criterion bank."""
+
+import pytest
+
+from repro.classes.bank import ClassBank
+from repro.classes.policy import ClassPolicy, ClassPolicySet
+from repro.core.controllers import CertaintyEquivalentController
+from repro.core.estimators import BandwidthEstimate
+
+
+def policies(alpha=None) -> ClassPolicySet:
+    return ClassPolicySet([
+        ClassPolicy(
+            name="gold", p_q=1e-2, mean_rate=2.0, snr=0.4,
+            correlation_time=1.0, share=0.7, alpha=alpha,
+        ),
+        ClassPolicy(
+            name="bulk", p_q=5e-2, mean_rate=1.0, snr=0.2,
+            correlation_time=2.0, share=0.3, alpha=alpha,
+        ),
+    ])
+
+
+def bank(policy_set=None, capacity=100.0) -> ClassBank:
+    return ClassBank(
+        policy_set if policy_set is not None else policies(),
+        capacity=capacity,
+        holding_time=200.0,
+        memory=10.0,
+    )
+
+
+class TestCapacityPartition:
+    def test_shares_partition_the_link(self):
+        b = bank(capacity=100.0)
+        assert b.capacity_of(0) == pytest.approx(70.0)
+        assert b.capacity_of(1) == pytest.approx(30.0)
+        assert sum(b.capacity_of(k) for k in b.class_ids()) == pytest.approx(
+            b.capacity
+        )
+
+    def test_name_lookups_delegate_to_the_policy_set(self):
+        b = bank()
+        assert b.class_id("bulk") == 1
+        assert b.name_of(0) == "gold"
+        assert b.policy_of(1).name == "bulk"
+        assert len(b) == 2
+
+
+class TestControllers:
+    def test_healthy_without_alpha_is_plain_ce_at_the_share(self):
+        """No pre-inverted alpha: the everyday criterion is the plain
+        certainty-equivalent controller at (share * capacity, p_q) --
+        the identity the single-class differential digest rests on."""
+        b = bank(capacity=100.0)
+        estimate = BandwidthEstimate(mu=2.0, sigma=0.8, n=20)
+        for class_id, policy in policies().items():
+            expected = CertaintyEquivalentController(
+                policy.share * 100.0, policy.p_q
+            )
+            got = b.controller(class_id).target_count(estimate, 5)
+            assert got == expected.target_count(estimate, 5)
+
+    def test_healthy_with_alpha_uses_the_adjusted_target(self):
+        b = bank(policies(alpha=3.0), capacity=100.0)
+        estimate = BandwidthEstimate(mu=2.0, sigma=0.8, n=20)
+        expected = CertaintyEquivalentController(70.0, alpha=3.0)
+        got = b.controller(0).target_count(estimate, 5)
+        assert got == expected.target_count(estimate, 5)
+
+    def test_conservative_never_admits_more_than_healthy(self):
+        b = bank(capacity=100.0)
+        estimate = BandwidthEstimate(mu=2.0, sigma=0.8, n=20)
+        for class_id in b.class_ids():
+            healthy = b.controller(class_id).target_count(estimate, 5)
+            conservative = b.controller(
+                class_id, conservative=True
+            ).target_count(estimate, 5)
+            assert conservative <= healthy

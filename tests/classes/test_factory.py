@@ -1,0 +1,90 @@
+"""Tests for mixture parameters and the classed-gateway assembly."""
+
+import pytest
+
+from repro.classes.factory import build_classed_gateway, mixture_parameters
+from repro.classes.policy import default_class_policies
+from repro.errors import ParameterError
+
+
+class TestMixtureParameters:
+    def test_full_share_population_and_moments(self):
+        policies = default_class_policies()
+        out = mixture_parameters(policies, capacity=100.0)
+        expected_n = sum(
+            p.share * 100.0 / p.mean_rate for p in policies
+        )
+        assert out["n"] == pytest.approx(expected_n)
+        # sum_k n_k mu_k = capacity, so the pooled mean is c / n.
+        assert out["mean"] == pytest.approx(100.0 / expected_n)
+        assert out["p_q"] == min(p.p_q for p in policies)
+        assert out["correlation_time"] == max(
+            p.correlation_time for p in policies
+        )
+        assert out["cv"] > 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            mixture_parameters(default_class_policies(), capacity=0.0)
+
+
+class TestBuildClassedGateway:
+    def test_links_are_classed_and_snapshot_reports_classes(self):
+        gateway, policies = build_classed_gateway(
+            links=2, capacity=50.0, holding_time=100.0, seed=3
+        )
+        snapshot = gateway.snapshot()
+        assert len(snapshot["links"]) == 2
+        for summary in snapshot["links"].values():
+            report = summary["classes"]
+            assert set(report) == set(policies.names)
+            for name, stats in report.items():
+                policy = policies.policy(name)
+                assert stats["capacity"] == pytest.approx(
+                    policy.share * 50.0
+                )
+
+    def test_adjust_presets_every_alpha(self):
+        _, policies = build_classed_gateway(
+            capacity=50.0, holding_time=100.0, adjust=True
+        )
+        for _, policy in policies.items():
+            assert policy.alpha is not None
+
+    def test_classed_admission_is_billed_to_the_class(self):
+        gateway, _ = build_classed_gateway(
+            links=1, capacity=50.0, holding_time=100.0, seed=3
+        )
+        gateway.tick(0.0)
+        decision = gateway.admit("f0", 0.1, "voice")
+        assert decision.admitted
+        assert gateway.flow_class_of("f0") == "voice"
+        link = gateway.snapshot()["links"]["link0"]
+        assert link["classes"]["voice"]["n_flows"] == 1
+        assert link["classes"]["video"]["n_flows"] == 0
+        gateway.depart("f0", 0.2)
+        link = gateway.snapshot()["links"]["link0"]
+        assert link["classes"]["voice"]["n_flows"] == 0
+
+    def test_unknown_class_is_rejected_without_state_change(self):
+        gateway, _ = build_classed_gateway(
+            links=1, capacity=50.0, holding_time=100.0, seed=3
+        )
+        gateway.tick(0.0)
+        with pytest.raises(ParameterError):
+            gateway.admit("f0", 0.1, "fax")
+        assert gateway.n_flows == 0
+
+    def test_classless_admission_still_works_on_a_classed_link(self):
+        """v1 peers send no class; the pooled criterion must decide."""
+        gateway, _ = build_classed_gateway(
+            links=1, capacity=50.0, holding_time=100.0, seed=3
+        )
+        gateway.tick(0.0)
+        decision = gateway.admit("f0", 0.1)
+        assert decision.admitted
+        assert gateway.flow_class_of("f0") is None
+
+    def test_needs_at_least_one_link(self):
+        with pytest.raises(ParameterError):
+            build_classed_gateway(links=0)

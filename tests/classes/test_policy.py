@@ -1,0 +1,172 @@
+"""Tests for class policies, the validated registry and mix weights."""
+
+import math
+
+import pytest
+
+from repro.classes.policy import (
+    ALPHA_CAP,
+    ClassPolicy,
+    ClassPolicySet,
+    adjusted_class_alpha,
+    default_class_policies,
+    validate_mix_weights,
+)
+from repro.core.gaussian import q_inverse
+from repro.errors import MixWeightError, ParameterError
+
+
+def policy(name="data", **overrides) -> ClassPolicy:
+    base = dict(
+        name=name, p_q=1e-2, mean_rate=1.0, snr=0.3,
+        correlation_time=1.0, share=1.0,
+    )
+    base.update(overrides)
+    return ClassPolicy(**base)
+
+
+class TestValidateMixWeights:
+    def test_valid_weights_pass_through_unchanged(self):
+        weights = {"a": 0.25, "b": 0.75}
+        out = validate_mix_weights(weights)
+        assert out == weights  # values untouched, never renormalized
+
+    def test_empty_rejected(self):
+        with pytest.raises(MixWeightError):
+            validate_mix_weights({})
+
+    def test_sum_error_names_every_weight(self):
+        with pytest.raises(MixWeightError) as err:
+            validate_mix_weights({"video": 0.5, "data": 0.3})
+        message = str(err.value)
+        assert "video=0.5" in message and "data=0.3" in message
+        assert "renormalized" in message
+        assert err.value.weights == {"video": 0.5, "data": 0.3}
+
+    def test_bad_entries_named(self):
+        with pytest.raises(MixWeightError) as err:
+            validate_mix_weights(
+                {"a": -0.5, "b": float("nan"), "c": 1.5}
+            )
+        message = str(err.value)
+        assert "a=-0.5" in message and "b=nan" in message
+        assert "c=" not in message  # only the offenders are named
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(MixWeightError):
+            validate_mix_weights({"a": 0.0, "b": 1.0})
+
+    def test_float_rounding_tolerated(self):
+        # 0.1 * 10 sums to 0.9999999999999999; that is rounding, not a
+        # configuration mistake.
+        weights = {f"c{i}": 0.1 for i in range(10)}
+        assert validate_mix_weights(weights) == weights
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(MixWeightError):
+            validate_mix_weights({"a": "lots"})
+
+
+class TestClassPolicy:
+    def test_sigma_is_snr_times_mean(self):
+        assert policy(mean_rate=4.0, snr=0.5).sigma == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("overrides", [
+        dict(name=""),
+        dict(p_q=0.0),
+        dict(p_q=1.0),
+        dict(mean_rate=0.0),
+        dict(snr=-0.1),
+        dict(correlation_time=0.0),
+        dict(share=0.0),
+        dict(share=1.5),
+        dict(alpha=0.0),
+        dict(source_kind="cbr"),
+    ])
+    def test_validation(self, overrides):
+        with pytest.raises(ParameterError):
+            policy(**overrides)
+
+
+class TestClassPolicySet:
+    def two(self) -> ClassPolicySet:
+        return ClassPolicySet([
+            policy("gold", share=0.6),
+            policy("best-effort", share=0.4),
+        ])
+
+    def test_ids_are_positional(self):
+        policies = self.two()
+        assert policies.class_id("gold") == 0
+        assert policies.class_id("best-effort") == 1
+        assert policies.name_of(1) == "best-effort"
+        assert policies.names == ("gold", "best-effort")
+
+    def test_unknown_name_and_id(self):
+        policies = self.two()
+        with pytest.raises(ParameterError):
+            policies.class_id("silver")
+        with pytest.raises(ParameterError):
+            policies.policy_at(2)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            ClassPolicySet([policy("a", share=0.5), policy("a", share=0.5)])
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(MixWeightError):
+            ClassPolicySet([policy("a", share=0.5), policy("b", share=0.4)])
+
+    def test_mix_weights_round_trip(self):
+        assert self.two().mix_weights() == {"gold": 0.6, "best-effort": 0.4}
+
+    def test_with_adjusted_alphas_sets_every_alpha(self):
+        adjusted = self.two().with_adjusted_alphas(
+            capacity=100.0, holding_time=200.0, memory=10.0
+        )
+        for _, p in adjusted.items():
+            assert p.alpha is not None and p.alpha > 0.0
+
+
+class TestAdjustedClassAlpha:
+    def test_never_laxer_than_the_plain_target(self):
+        p = policy(p_q=1e-2, snr=0.3, correlation_time=1.0, share=0.5)
+        alpha = adjusted_class_alpha(
+            p, capacity=200.0, holding_time=100.0, memory=5.0
+        )
+        assert alpha >= q_inverse(p.p_q)
+
+    def test_quantized_to_grid(self):
+        p = policy(share=0.5)
+        alpha = adjusted_class_alpha(
+            p, capacity=200.0, holding_time=100.0, memory=5.0
+        )
+        scaled = alpha / 1e-4
+        assert scaled == pytest.approx(round(scaled), abs=1e-6)
+
+    def test_capped(self):
+        p = policy(p_q=1e-2, snr=2.0, correlation_time=50.0, share=0.5)
+        alpha = adjusted_class_alpha(
+            p, capacity=20.0, holding_time=40.0, memory=0.05
+        )
+        assert alpha <= ALPHA_CAP
+
+
+class TestDefaultPolicies:
+    def test_canonical_roster(self):
+        policies = default_class_policies()
+        assert policies.names == ("video", "data", "voice")
+        assert math.fsum(p.share for p in policies) == pytest.approx(1.0)
+        # Distinct QoS targets and time-scales -- the Sec 5.4 heterogeneity.
+        assert len({p.p_q for p in policies}) == 3
+        assert len({p.correlation_time for p in policies}) == 3
+        assert policies.policy("video").source_kind == "vbr"
+
+    def test_share_override(self):
+        policies = default_class_policies({"video": 0.7, "voice": 0.3})
+        assert policies.names == ("video", "voice")
+        assert policies.policy("video").share == pytest.approx(0.7)
+
+    def test_unknown_share_name_rejected(self):
+        with pytest.raises(ParameterError):
+            default_class_policies({"video": 0.5, "fax": 0.5})

@@ -92,6 +92,70 @@ class TestClassifiedObservation:
         assert est._filters == {}
 
 
+class TestClassEmptiesMidEpoch:
+    """Regression: a class draining to zero flows mid-epoch must not emit
+    a stale or NaN cross-section into the pooled estimate."""
+
+    def empty(self) -> CrossSection:
+        return cross_section(np.array([], dtype=float))
+
+    def test_pooled_estimate_stays_finite_and_excludes_empty_class(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified(
+            [(0, section([1.0] * 4)), (1, section([2.0] * 4))]
+        )
+        est.advance(1.0)
+        est.observe_classified([(0, section([1.0] * 4)), (1, self.empty())])
+        out = est.estimate()
+        assert math.isfinite(out.mu) and math.isfinite(out.sigma)
+        # The emptied class contributes nothing to the pooled estimate.
+        assert out.mu == pytest.approx(1.0)
+
+    def test_emptied_class_filter_holds_last_value(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.observe_classified([(1, section([2.0] * 4))])
+        est.advance(1.0)
+        est.observe_classified([(0, section([1.0] * 4)), (1, self.empty())])
+        held = est.class_estimate(1)
+        assert held is not None
+        assert math.isfinite(held.mu)
+        # Held, not dragged toward a meaningless zero by the empty epoch.
+        assert held.mu == pytest.approx(2.0, rel=1e-6)
+
+    def test_unmeasured_class_falls_back_to_prior(self):
+        est = ClassAwareEstimator(memory=5.0)
+        est.set_class_prior(7, mu=3.0, sigma=0.5)
+        out = est.class_estimate(7)
+        assert out is not None
+        assert out.mu == pytest.approx(3.0)
+        assert out.sigma == pytest.approx(0.5)
+        assert out.n == 0  # marks the estimate as prior, not measured
+
+    def test_never_seen_class_without_prior_is_none(self):
+        est = ClassAwareEstimator(memory=5.0)
+        assert est.class_estimate(99) is None
+
+    def test_whole_system_empty_decays_like_homogeneous(self):
+        """When *every* class is empty each filter decays toward zero in
+        lockstep with the homogeneous estimator (single-class parity)."""
+        from repro.core.estimators import ExponentialMemoryEstimator
+
+        bank = ClassAwareEstimator(memory=4.0)
+        homogeneous = ExponentialMemoryEstimator(4.0)
+        busy = section([2.0] * 3)
+        bank.observe_classified([(0, busy)])
+        homogeneous.observe(busy)
+        for t in (1.0, 2.0, 3.0):
+            bank.advance(t)
+            homogeneous.advance(t)
+            bank.observe_classified([(0, self.empty())])
+            homogeneous.observe(self.empty())
+            held = bank.class_estimate(0)
+            expected = homogeneous.estimate()
+            assert held.mu == expected.mu
+            assert held.sigma == expected.sigma
+
+
 class TestEndToEndBiasRemoval:
     def test_recovers_utilization_on_mixture(self, rng):
         """On a heterogeneous workload the class-aware MBAC must carry more

@@ -1,0 +1,278 @@
+"""Flow classes on the wire: v2 frames, journal ops, server dispatch.
+
+The contract under test: a ``flow_class`` tag rides admit/admit_many in
+both wire versions and in the journal, classed journals replay to the
+served digest on a fresh twin, and classless traffic produces frames and
+journals that are byte-identical to the pre-class protocol (v1 peers
+never see the field at all).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.classes.factory import build_classed_gateway
+from repro.errors import ProtocolError
+from repro.service.client import AsyncAdmissionClient
+from repro.service.protocol import (
+    JOURNAL_OPS,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
+    V2_MAGIC,
+    decode_frame_body,
+    encode_request,
+    make_request,
+    validate_request,
+)
+from repro.service.server import AdmissionServer, replay_journal
+
+from .conftest import make_gateway, run
+
+_LENGTH = struct.Struct("!I")
+
+
+def roundtrip(payload: dict, version=PROTOCOL_VERSION_2) -> tuple[bytes, dict]:
+    frame = encode_request(payload, version)
+    (length,) = _LENGTH.unpack(frame[:4])
+    body = frame[4:]
+    assert len(body) == length
+    return body, decode_frame_body(body)
+
+
+def classed_gateway():
+    gateway, _ = build_classed_gateway(
+        links=1, capacity=50.0, holding_time=100.0, seed=3
+    )
+    return gateway
+
+
+class TestV2ClassFrames:
+    def test_admit_with_class_stays_binary_and_round_trips(self):
+        body, decoded = roundtrip(
+            make_request("admit", 7, flow="f-1", t=1.5, flow_class="video")
+        )
+        assert body[0] == V2_MAGIC
+        assert decoded == {
+            "v": 2, "id": 7, "op": "admit", "t": 1.5,
+            "flow": "f-1", "flow_class": "video",
+        }
+
+    def test_admit_many_with_class_round_trips(self):
+        _, decoded = roundtrip(
+            make_request(
+                "admit_many", 9, flows=["a", 5, "b"], flow_class="voice"
+            )
+        )
+        assert decoded["flows"] == ["a", 5, "b"]
+        assert decoded["flow_class"] == "voice"
+
+    def test_classless_admit_frame_is_byte_identical_to_pre_class(self):
+        """flow_class=None must not change a single bit on the wire."""
+        with_none = encode_request(
+            make_request("admit", 7, flow="f", t=1.0, flow_class=None),
+            PROTOCOL_VERSION_2,
+        )
+        without = encode_request(
+            make_request("admit", 7, flow="f", t=1.0), PROTOCOL_VERSION_2
+        )
+        assert with_none == without
+        _, decoded = roundtrip(make_request("admit", 7, flow="f", t=1.0))
+        assert "flow_class" not in decoded
+
+    def test_non_string_class_falls_back_to_json(self):
+        body, decoded = roundtrip(
+            make_request("admit", 1, flow="f", flow_class=7)
+        )
+        assert body[0] != V2_MAGIC  # not binary-encodable; JSON carries it
+        assert decoded["flow_class"] == 7  # validation rejects it later
+
+    def test_v1_json_carries_the_class_key(self):
+        body, decoded = roundtrip(
+            make_request("admit", 3, flow="f", flow_class="data"),
+            PROTOCOL_VERSION,
+        )
+        assert body[0] != V2_MAGIC
+        assert decoded["flow_class"] == "data"
+
+
+class TestValidation:
+    def test_valid_class_and_null_pass(self):
+        for flow_class in ("video", None):
+            payload = make_request(
+                "admit", 1, flow="f", t=1.0, flow_class=flow_class
+            )
+            assert validate_request(payload) is payload
+
+    @pytest.mark.parametrize("bad", ["", 7, 1.5, ["video"]])
+    def test_bad_class_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            validate_request(
+                make_request("admit", 1, flow="f", flow_class=bad)
+            )
+        with pytest.raises(ProtocolError):
+            validate_request(
+                make_request("admit_many", 1, flows=["f"], flow_class=bad)
+            )
+
+
+class TestClassedJournalFrames:
+    def test_journal_ops_appended_not_renumbered(self):
+        """The classed ops extend JOURNAL_OPS at the end: existing binary
+        op codes (positional) must never shift under old journals."""
+        assert JOURNAL_OPS[-2:] == ("admit_class", "admit_many_class")
+
+    def test_journal_sync_round_trips_classed_entries(self):
+        entries = [
+            ("admit", "f0", 1.0),
+            ("admit_class", ["f1", "video"], 2.0),
+            ("admit_many_class", [["f2", "f3", 7], "voice"], 3.0),
+            ("depart", "f0", 4.0),
+        ]
+        body, decoded = roundtrip(make_request(
+            "journal-sync", 5, shard="s0", seq=9, start=0,
+            digest="ab" * 32, entries=entries,
+        ))
+        assert body[0] == V2_MAGIC
+        assert decoded["entries"] == [list(e) for e in [
+            ("admit", "f0", 1.0),
+            ("admit_class", ["f1", "video"], 2.0),
+            ("admit_many_class", [["f2", "f3", 7], "voice"], 3.0),
+            ("depart", "f0", 4.0),
+        ]]
+
+
+class TestServerClassedDispatch:
+    def request(self, op, request_id, **fields):
+        return make_request(op, request_id, **fields)
+
+    def drive(self, gateway):
+        """40 classed admits + departs through the dispatcher."""
+        async def scenario():
+            server = AdmissionServer(
+                gateway, collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                t = 0.0
+                classes = ("video", "data", "voice")
+                for i in range(40):
+                    t += 0.25
+                    await server.submit(self.request(
+                        "admit", i, flow=f"f{i}", t=t,
+                        flow_class=classes[i % 3],
+                    ))
+                    if i >= 10:
+                        await server.submit(self.request(
+                            "depart", 100 + i, flow=f"f{i - 10}", t=t
+                        ))
+                await server.submit(self.request(
+                    "admit_many", 500, flows=["b0", "b1"], t=t + 1.0,
+                    flow_class="data",
+                ))
+            finally:
+                await server.stop()
+            return server
+
+        return run(scenario())
+
+    def test_classed_journal_replays_to_the_served_digest(self):
+        server = self.drive(classed_gateway())
+        ops = {op for op, _, _ in server.journal}
+        assert ops & {"admit_class", "admit_many_class"}
+        assert replay_journal(classed_gateway(), server.journal) == (
+            server.digest()
+        )
+
+    def test_classless_journal_never_uses_classed_ops(self):
+        """No classes on the wire -> the journal is the pre-class one."""
+        async def scenario():
+            server = AdmissionServer(
+                make_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                for i in range(10):
+                    await server.submit(self.request(
+                        "admit", i, flow=f"f{i}", t=1.0 + i
+                    ))
+            finally:
+                await server.stop()
+            return server
+
+        server = run(scenario())
+        ops = {op for op, _, _ in server.journal}
+        assert not ops & {"admit_class", "admit_many_class"}
+
+    def test_coalescing_splits_runs_at_class_boundaries(self):
+        """Consecutive single admits coalesce only within one class, so
+        the journalled admit_many_class batches are class-pure."""
+        async def scenario():
+            server = AdmissionServer(
+                classed_gateway(), collect_digest=True, keep_journal=True
+            )
+            await server.start_dispatcher()
+            try:
+                futures = [
+                    server._submit_start(self.request(
+                        "admit", i, flow=f"f{i}", t=1.0 + i * 0.1,
+                        flow_class="video" if i < 3 else "voice",
+                    ))
+                    for i in range(6)
+                ]
+                await asyncio.gather(*futures)
+            finally:
+                await server.stop()
+            return server
+
+        server = run(scenario())
+        assert [op for op, _, _ in server.journal] == [
+            "admit_many_class", "admit_many_class"
+        ]
+        assert server.journal[0][1] == [["f0", "f1", "f2"], "video"]
+        assert server.journal[1][1] == [["f3", "f4", "f5"], "voice"]
+
+    def test_depart_uses_the_remembered_class(self):
+        """Departures carry no class on the wire; the gateway bills the
+        release to the class it remembered from the admit."""
+        gateway = classed_gateway()
+        server = self.drive(gateway)
+        link = gateway.snapshot()["links"]["link0"]
+        total_by_class = sum(
+            stats["n_flows"] for stats in link["classes"].values()
+        )
+        assert total_by_class == gateway.n_flows  # nothing leaked classless
+
+
+class TestV1Interop:
+    def test_v1_client_sends_classes_and_classless_peers_still_work(self):
+        async def scenario():
+            server = AdmissionServer(classed_gateway(), collect_digest=True)
+            async with server.serving() as (host, port):
+                classed = AsyncAdmissionClient(
+                    host, port, wire_version=PROTOCOL_VERSION
+                )
+                legacy = AsyncAdmissionClient(
+                    host, port, wire_version=PROTOCOL_VERSION
+                )
+                try:
+                    # The classless bootstrap admit goes first: an empty
+                    # pooled estimate on a non-empty link fails closed.
+                    plain = await legacy.admit("f1", t=1.0)
+                    tagged = await classed.admit(
+                        "f0", t=2.0, flow_class="video"
+                    )
+                    snapshot = await classed.snapshot()
+                finally:
+                    await classed.close()
+                    await legacy.close()
+            return tagged, plain, snapshot
+
+        tagged, plain, snapshot = run(scenario())
+        assert tagged.admitted and plain.admitted
+        classes = snapshot["links"]["link0"]["classes"]
+        assert classes["video"]["n_flows"] == 1
+        # The classless peer's flow is pooled, not billed to any class.
+        assert sum(c["n_flows"] for c in classes.values()) == 1
